@@ -1,0 +1,97 @@
+//! Simulated comparator systems for the GraphZeppelin evaluation.
+//!
+//! The paper benchmarks against **Aspen** (Dhulipala et al.) and **Terrace**
+//! (Pandey et al.), neither of which is available here; per the substitution
+//! policy in DESIGN.md §3 we build stand-ins that reproduce the properties
+//! the comparison actually depends on:
+//!
+//! - [`aspen_like`] — compressed sorted adjacency (delta + varint blocks,
+//!   modeling Aspen's compressed purely-functional trees): ~4–6 bytes per
+//!   edge on dense graphs, batch insert/delete by merge-and-recompress.
+//! - [`terrace_like`] — skew-aware hierarchical container (inline neighbor
+//!   slots → sorted spill with PMA-like slack → B-tree overflow, modeling
+//!   Terrace): larger per-edge footprint, fast for low-degree vertices,
+//!   **no batch deletes** (the paper notes Terrace lacks them).
+//!
+//! Both implement [`DynamicGraphSystem`], the interface the benchmark
+//! harness drives all systems through (batch updates, CC queries, memory
+//! accounting — Figures 11–13 and 16).
+
+pub mod aspen_like;
+pub mod terrace_like;
+pub mod varint;
+
+pub use aspen_like::AspenLike;
+pub use terrace_like::TerraceLike;
+
+/// A batch-dynamic graph system with connectivity queries and memory
+/// accounting — the common denominator of the paper's comparator systems.
+pub trait DynamicGraphSystem {
+    /// Human-readable system name (for experiment tables).
+    fn name(&self) -> &'static str;
+
+    /// Number of vertices.
+    fn num_vertices(&self) -> usize;
+
+    /// Number of edges currently present.
+    fn num_edges(&self) -> u64;
+
+    /// Insert a batch of edges (duplicates and present edges ignored).
+    fn batch_insert(&mut self, edges: &[(u32, u32)]);
+
+    /// Delete a batch of edges (absent edges ignored). Systems without
+    /// batch deletion (Terrace) fall back to one-at-a-time internally, as
+    /// the paper does (§6.2 footnote 2).
+    fn batch_delete(&mut self, edges: &[(u32, u32)]);
+
+    /// Connected-component labels, normalized to minimum member ids.
+    fn connected_components(&self) -> Vec<u32>;
+
+    /// Estimated resident memory in bytes.
+    fn memory_bytes(&self) -> usize;
+}
+
+/// BFS connected components over any neighbor function — shared by both
+/// baselines (their CC query is a traversal, unlike GraphZeppelin's
+/// sketch-space Boruvka).
+pub(crate) fn bfs_components(
+    num_vertices: usize,
+    mut neighbors_of: impl FnMut(u32, &mut Vec<u32>),
+) -> Vec<u32> {
+    let mut label = vec![u32::MAX; num_vertices];
+    let mut queue = std::collections::VecDeque::new();
+    let mut nbrs = Vec::new();
+    for start in 0..num_vertices as u32 {
+        if label[start as usize] != u32::MAX {
+            continue;
+        }
+        label[start as usize] = start;
+        queue.push_back(start);
+        while let Some(x) = queue.pop_front() {
+            neighbors_of(x, &mut nbrs);
+            for &y in &nbrs {
+                if label[y as usize] == u32::MAX {
+                    label[y as usize] = start;
+                    queue.push_back(y);
+                }
+            }
+        }
+    }
+    label
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bfs_components_on_function_graph() {
+        // 0-1-2 path, 3 isolated.
+        let adj = [vec![1u32], vec![0, 2], vec![1], vec![]];
+        let labels = bfs_components(4, |x, out| {
+            out.clear();
+            out.extend_from_slice(&adj[x as usize]);
+        });
+        assert_eq!(labels, vec![0, 0, 0, 3]);
+    }
+}

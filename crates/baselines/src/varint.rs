@@ -1,0 +1,148 @@
+//! LEB128 varint + delta encoding for sorted neighbor lists.
+//!
+//! Aspen's space efficiency comes from difference-encoding sorted adjacency
+//! data (its C-trees); on the paper's dense Kronecker graphs consecutive
+//! neighbors differ by 1–2, so most deltas fit in one byte — which is how
+//! the real system reaches ~4 bytes per (directed) edge and why the
+//! [`crate::AspenLike`] stand-in reproduces Figure 11's memory behaviour.
+
+/// Append `value` as LEB128 to `out`.
+#[inline]
+pub fn write_varint(mut value: u32, out: &mut Vec<u8>) {
+    loop {
+        let byte = (value & 0x7F) as u8;
+        value >>= 7;
+        if value == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Read a LEB128 value from `bytes` starting at `pos`; advances `pos`.
+#[inline]
+pub fn read_varint(bytes: &[u8], pos: &mut usize) -> u32 {
+    let mut value = 0u32;
+    let mut shift = 0;
+    loop {
+        let byte = bytes[*pos];
+        *pos += 1;
+        value |= ((byte & 0x7F) as u32) << shift;
+        if byte & 0x80 == 0 {
+            return value;
+        }
+        shift += 7;
+        debug_assert!(shift < 35, "varint too long");
+    }
+}
+
+/// Compress a strictly increasing list: first value absolute, then
+/// `gap − 1` for each subsequent value (gaps are ≥ 1 in a strict list).
+pub fn compress_sorted(values: &[u32], out: &mut Vec<u8>) {
+    out.clear();
+    let mut prev: Option<u32> = None;
+    for &v in values {
+        match prev {
+            None => write_varint(v, out),
+            Some(p) => {
+                debug_assert!(v > p, "list must be strictly increasing");
+                write_varint(v - p - 1, out);
+            }
+        }
+        prev = Some(v);
+    }
+}
+
+/// Decompress a list produced by [`compress_sorted`]; `count` values.
+pub fn decompress_sorted(bytes: &[u8], count: usize, out: &mut Vec<u32>) {
+    out.clear();
+    let mut pos = 0;
+    let mut prev = 0u32;
+    for i in 0..count {
+        let raw = read_varint(bytes, &mut pos);
+        let v = if i == 0 { raw } else { prev + raw + 1 };
+        out.push(v);
+        prev = v;
+    }
+    debug_assert_eq!(pos, bytes.len(), "trailing bytes in compressed list");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn varint_round_trip() {
+        let mut buf = Vec::new();
+        for v in [0u32, 1, 127, 128, 16_383, 16_384, u32::MAX] {
+            buf.clear();
+            write_varint(v, &mut buf);
+            let mut pos = 0;
+            assert_eq!(read_varint(&buf, &mut pos), v);
+            assert_eq!(pos, buf.len());
+        }
+    }
+
+    #[test]
+    fn varint_sizes() {
+        let size = |v: u32| {
+            let mut buf = Vec::new();
+            write_varint(v, &mut buf);
+            buf.len()
+        };
+        assert_eq!(size(0), 1);
+        assert_eq!(size(127), 1);
+        assert_eq!(size(128), 2);
+        assert_eq!(size(u32::MAX), 5);
+    }
+
+    #[test]
+    fn compress_round_trip() {
+        let values = vec![3u32, 4, 5, 9, 1000, 1001, 1_000_000];
+        let mut bytes = Vec::new();
+        compress_sorted(&values, &mut bytes);
+        let mut back = Vec::new();
+        decompress_sorted(&bytes, values.len(), &mut back);
+        assert_eq!(back, values);
+    }
+
+    #[test]
+    fn dense_lists_compress_to_one_byte_per_entry() {
+        // Consecutive neighbors (the dense-graph case): 1 byte each after
+        // the first — the property Aspen's footprint depends on.
+        let values: Vec<u32> = (500..2500).collect();
+        let mut bytes = Vec::new();
+        compress_sorted(&values, &mut bytes);
+        assert!(bytes.len() <= values.len() + 2, "{} bytes", bytes.len());
+    }
+
+    #[test]
+    fn empty_list() {
+        let mut bytes = vec![1, 2, 3];
+        compress_sorted(&[], &mut bytes);
+        assert!(bytes.is_empty());
+        let mut out = vec![9];
+        decompress_sorted(&bytes, 0, &mut out);
+        assert!(out.is_empty());
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn round_trip_any_sorted_list(mut values in proptest::collection::vec(any::<u32>(), 0..200)) {
+            values.sort_unstable();
+            values.dedup();
+            let mut bytes = Vec::new();
+            compress_sorted(&values, &mut bytes);
+            let mut back = Vec::new();
+            decompress_sorted(&bytes, values.len(), &mut back);
+            prop_assert_eq!(back, values);
+        }
+    }
+}

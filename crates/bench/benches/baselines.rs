@@ -1,0 +1,75 @@
+//! Baseline-system benchmarks: Aspen-like and Terrace-like batch updates and
+//! CC queries (the comparator side of Figures 12, 13, 16).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use gz_baselines::{AspenLike, DynamicGraphSystem, TerraceLike};
+use gz_bench::harness::{batch_for_baselines, kron_workload};
+use std::time::Duration;
+
+fn bench_batch_ingest(c: &mut Criterion) {
+    let w = kron_workload(8, 7);
+    let batches = batch_for_baselines(&w.updates, 50_000);
+    let mut group = c.benchmark_group("baseline_ingest");
+    group.throughput(Throughput::Elements(w.updates.len() as u64));
+    group.bench_with_input(BenchmarkId::from_parameter("aspen-like"), &batches, |b, batches| {
+        b.iter(|| {
+            let mut sys = AspenLike::new(w.num_nodes as usize);
+            for (is_delete, edges) in batches {
+                if *is_delete {
+                    sys.batch_delete(edges);
+                } else {
+                    sys.batch_insert(edges);
+                }
+            }
+            sys.num_edges()
+        })
+    });
+    group.bench_with_input(BenchmarkId::from_parameter("terrace-like"), &batches, |b, batches| {
+        b.iter(|| {
+            let mut sys = TerraceLike::new(w.num_nodes as usize);
+            for (is_delete, edges) in batches {
+                if *is_delete {
+                    sys.batch_delete(edges);
+                } else {
+                    sys.batch_insert(edges);
+                }
+            }
+            sys.num_edges()
+        })
+    });
+    group.finish();
+}
+
+fn bench_cc_queries(c: &mut Criterion) {
+    let w = kron_workload(8, 8);
+    let batches = batch_for_baselines(&w.updates, 50_000);
+    let mut aspen = AspenLike::new(w.num_nodes as usize);
+    let mut terrace = TerraceLike::new(w.num_nodes as usize);
+    for (is_delete, edges) in &batches {
+        if *is_delete {
+            aspen.batch_delete(edges);
+            terrace.batch_delete(edges);
+        } else {
+            aspen.batch_insert(edges);
+            terrace.batch_insert(edges);
+        }
+    }
+    let mut group = c.benchmark_group("baseline_cc");
+    group.bench_function("aspen-like", |b| b.iter(|| aspen.connected_components()));
+    group.bench_function("terrace-like", |b| b.iter(|| terrace.connected_components()));
+    group.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(300))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_batch_ingest, bench_cc_queries
+}
+criterion_main!(benches);

@@ -1,0 +1,74 @@
+//! End-to-end ingestion benchmarks: the full pipeline on small kron streams
+//! (Figure 13's stopwatch at criterion discipline).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use graph_zeppelin::{BufferStrategy, GraphZeppelin, GutterCapacity, GzConfig};
+use gz_bench::harness::kron_workload;
+use gz_stream::UpdateKind;
+use std::time::Duration;
+
+fn ingest(gz: &mut GraphZeppelin, updates: &[gz_stream::EdgeUpdate]) {
+    for upd in updates {
+        gz.update(upd.u, upd.v, upd.kind == UpdateKind::Delete);
+    }
+    gz.flush();
+}
+
+fn bench_ingest_by_workers(c: &mut Criterion) {
+    let w = kron_workload(8, 1);
+    let mut group = c.benchmark_group("gz_ingest_workers");
+    group.throughput(Throughput::Elements(w.updates.len() as u64));
+    for workers in [1usize, 2, 4] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(workers),
+            &w.updates,
+            |b, updates| {
+                b.iter(|| {
+                    let mut config = GzConfig::in_ram(w.num_nodes);
+                    config.num_workers = workers;
+                    let mut gz = GraphZeppelin::new(config).unwrap();
+                    ingest(&mut gz, updates);
+                    gz.batches_applied()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_ingest_by_buffering(c: &mut Criterion) {
+    let w = kron_workload(8, 2);
+    let mut group = c.benchmark_group("gz_ingest_buffering");
+    group.throughput(Throughput::Elements(w.updates.len() as u64));
+    let cases: Vec<(&str, GutterCapacity)> = vec![
+        ("unbuffered", GutterCapacity::Updates(1)),
+        ("f=0.1", GutterCapacity::SketchFactor(0.1)),
+        ("f=0.5", GutterCapacity::SketchFactor(0.5)),
+    ];
+    for (name, capacity) in cases {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &w.updates, |b, updates| {
+            b.iter(|| {
+                let mut config = GzConfig::in_ram(w.num_nodes);
+                config.buffering = BufferStrategy::LeafOnly { capacity };
+                let mut gz = GraphZeppelin::new(config).unwrap();
+                ingest(&mut gz, updates);
+                gz.batches_applied()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(300))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_ingest_by_workers, bench_ingest_by_buffering
+}
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! Query-path benchmarks: sketch-space Boruvka (Figure 12c / 16's stopwatch).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use graph_zeppelin::{GraphZeppelin, GzConfig};
+use gz_bench::harness::kron_workload;
+use gz_stream::UpdateKind;
+use std::time::Duration;
+
+fn bench_connected_components(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gz_query");
+    group.sample_size(10);
+    for scale in [7u32, 9] {
+        let w = kron_workload(scale, 3);
+        let mut gz = GraphZeppelin::new(GzConfig::in_ram(w.num_nodes)).unwrap();
+        for upd in &w.updates {
+            gz.update(upd.u, upd.v, upd.kind == UpdateKind::Delete);
+        }
+        gz.flush();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("kron{scale}")),
+            &(),
+            |b, _| b.iter(|| gz.connected_components().unwrap().num_components()),
+        );
+    }
+    group.finish();
+}
+
+fn bench_spanning_forest_empty_vs_dense(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gz_query_density");
+    let num_nodes = 512u64;
+    // Empty graph: all components retire in round one.
+    let mut empty = GraphZeppelin::new(GzConfig::in_ram(num_nodes)).unwrap();
+    group.bench_function("empty", |b| {
+        b.iter(|| empty.connected_components().unwrap().num_components())
+    });
+    // Dense graph: log V merge rounds.
+    let w = kron_workload(9, 4);
+    let mut dense = GraphZeppelin::new(GzConfig::in_ram(w.num_nodes)).unwrap();
+    for upd in &w.updates {
+        dense.update(upd.u, upd.v, upd.kind == UpdateKind::Delete);
+    }
+    dense.flush();
+    group.bench_function("dense", |b| {
+        b.iter(|| dense.connected_components().unwrap().num_components())
+    });
+    group.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(300))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_connected_components, bench_spanning_forest_empty_vs_dense
+}
+criterion_main!(benches);

@@ -1,0 +1,101 @@
+//! Criterion micro-benchmarks for the sketch layer (paper Figure 4's
+//! stopwatch, statistically disciplined).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use gz_hash::Xxh64Hasher;
+use gz_sketch::cube::CubeSketchFamily;
+use gz_sketch::standard::AnyStandardFamily;
+use gz_sketch::L0Sampler;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::time::Duration;
+
+fn indices(n: u64, count: usize) -> Vec<u64> {
+    let mut rng = SmallRng::seed_from_u64(99);
+    (0..count).map(|_| rng.gen_range(0..n)).collect()
+}
+
+fn bench_cube_updates(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cubesketch_update");
+    for exp in [4u32, 6, 9, 12] {
+        let n = 10u64.pow(exp);
+        let family = CubeSketchFamily::<Xxh64Hasher>::for_vector(n, 1);
+        let idx = indices(n, 1024);
+        group.throughput(Throughput::Elements(idx.len() as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(format!("n=10^{exp}")), &idx, |b, idx| {
+            let mut sketch = family.new_sketch();
+            b.iter(|| sketch.update_batch(idx));
+        });
+    }
+    group.finish();
+}
+
+fn bench_standard_updates(c: &mut Criterion) {
+    let mut group = c.benchmark_group("standard_l0_update");
+    group.sample_size(10);
+    for exp in [4u32, 6, 9, 10, 12] {
+        let n = 10u64.pow(exp);
+        let family = AnyStandardFamily::<Xxh64Hasher>::for_vector(n, 1);
+        let idx = indices(n, 256);
+        group.throughput(Throughput::Elements(idx.len() as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(format!("n=10^{exp}")), &idx, |b, idx| {
+            let mut sketch = family.new_sketch();
+            b.iter(|| {
+                for &i in idx {
+                    sketch.update_signed(i, 1);
+                }
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_cube_query(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cubesketch_query");
+    let n = 10u64.pow(8);
+    let family = CubeSketchFamily::<Xxh64Hasher>::for_vector(n, 2);
+    for support in [1usize, 100, 10_000] {
+        let mut sketch = family.new_sketch();
+        for &i in indices(n, support).iter() {
+            sketch.update(i);
+        }
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("support={support}")),
+            &sketch,
+            |b, s| b.iter(|| s.query()),
+        );
+    }
+    group.finish();
+}
+
+fn bench_cube_merge(c: &mut Criterion) {
+    let n = 10u64.pow(9);
+    let family = CubeSketchFamily::<Xxh64Hasher>::for_vector(n, 3);
+    let mut a = family.new_sketch();
+    let mut b2 = family.new_sketch();
+    for &i in indices(n, 500).iter() {
+        a.update(i);
+        b2.update(i / 2 + 1);
+    }
+    c.bench_function("cubesketch_merge", |bch| {
+        bch.iter(|| {
+            let mut x = a.clone();
+            x.merge(&b2);
+            x
+        })
+    });
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(Duration::from_millis(700))
+        .warm_up_time(Duration::from_millis(200))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_cube_updates, bench_standard_updates, bench_cube_query, bench_cube_merge
+}
+criterion_main!(benches);

@@ -1,0 +1,139 @@
+//! Criterion micro-benchmarks for the substrate crates: hashing, DSU,
+//! edge codec, varint compression, work queue, leaf gutters.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use gz_baselines::varint::{compress_sorted, decompress_sorted};
+use gz_dsu::Dsu;
+use gz_graph::{edge_index, index_to_edge, Edge};
+use gz_gutters::{Batch, BufferingSystem, LeafGutters, WorkQueue};
+use gz_hash::xxh64::xxh64_u64;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn bench_hash(c: &mut Criterion) {
+    let mut group = c.benchmark_group("xxh64_u64");
+    group.throughput(Throughput::Elements(1024));
+    group.bench_function("1024 keys", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for k in 0..1024u64 {
+                acc ^= xxh64_u64(k, 42);
+            }
+            acc
+        })
+    });
+    group.finish();
+}
+
+fn bench_dsu(c: &mut Criterion) {
+    let mut rng = SmallRng::seed_from_u64(5);
+    let n = 1 << 16;
+    let unions: Vec<(u32, u32)> =
+        (0..n).map(|_| (rng.gen_range(0..n as u32), rng.gen_range(0..n as u32))).collect();
+    let mut group = c.benchmark_group("dsu");
+    group.throughput(Throughput::Elements(unions.len() as u64));
+    group.bench_function("union_find_random", |b| {
+        b.iter(|| {
+            let mut dsu = Dsu::new(n);
+            for &(a, x) in &unions {
+                dsu.union(a, x);
+            }
+            dsu.component_count()
+        })
+    });
+    group.finish();
+}
+
+fn bench_edge_codec(c: &mut Criterion) {
+    let v = 1u64 << 20;
+    let mut rng = SmallRng::seed_from_u64(6);
+    let edges: Vec<Edge> = (0..1024)
+        .map(|_| {
+            let a = rng.gen_range(0..v as u32);
+            let b = rng.gen_range(0..v as u32);
+            if a == b {
+                Edge::new(a, a + 1)
+            } else {
+                Edge::new(a, b)
+            }
+        })
+        .collect();
+    let mut group = c.benchmark_group("edge_codec");
+    group.throughput(Throughput::Elements(edges.len() as u64));
+    group.bench_function("encode_decode_1024", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for &e in &edges {
+                let idx = edge_index(e, v);
+                acc ^= index_to_edge(idx, v).u() as u64;
+            }
+            acc
+        })
+    });
+    group.finish();
+}
+
+fn bench_varint(c: &mut Criterion) {
+    let values: Vec<u32> = (0..4096u32).map(|i| i * 3).collect();
+    let mut compressed = Vec::new();
+    compress_sorted(&values, &mut compressed);
+    let mut group = c.benchmark_group("varint");
+    group.throughput(Throughput::Elements(values.len() as u64));
+    group.bench_function("compress_4096", |b| {
+        let mut out = Vec::new();
+        b.iter(|| compress_sorted(&values, &mut out))
+    });
+    group.bench_function("decompress_4096", |b| {
+        let mut out = Vec::new();
+        b.iter(|| decompress_sorted(&compressed, values.len(), &mut out))
+    });
+    group.finish();
+}
+
+fn bench_work_queue(c: &mut Criterion) {
+    c.bench_function("work_queue_push_pop_256", |b| {
+        let q = Arc::new(WorkQueue::with_capacity(512));
+        b.iter(|| {
+            for i in 0..256u32 {
+                q.push(Batch { node: i, others: vec![i] });
+            }
+            for _ in 0..256 {
+                let batch = q.pop().unwrap();
+                q.task_done();
+                std::hint::black_box(batch);
+            }
+        })
+    });
+}
+
+fn bench_leaf_gutters(c: &mut Criterion) {
+    let mut group = c.benchmark_group("leaf_gutters");
+    group.throughput(Throughput::Elements(8192));
+    group.bench_function("insert_8192", |b| {
+        b.iter(|| {
+            let queue = Arc::new(WorkQueue::with_capacity(1 << 14));
+            let mut gutters = LeafGutters::new(1024, 64, Arc::clone(&queue));
+            for i in 0..8192u32 {
+                gutters.insert(i % 1024, i);
+            }
+            while queue.try_pop().is_some() {}
+        })
+    });
+    group.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(Duration::from_millis(700))
+        .warm_up_time(Duration::from_millis(200))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_hash, bench_dsu, bench_edge_codec, bench_varint, bench_work_queue, bench_leaf_gutters
+}
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! Figure 10: dimensions of datasets used in the evaluation.
+//!
+//! Prints the paper's nominal catalog plus the scaled datasets actually
+//! generated at the chosen reproduction scale (with their measured stream
+//! lengths, which — as in the paper — slightly exceed the edge counts
+//! because of transient churn).
+
+use crate::harness::{dataset_workload, Scale, Table};
+
+/// Print the dataset table.
+pub fn run(scale: Scale) {
+    println!("== Figure 10: dataset dimensions ==\n");
+    println!("paper-scale catalog (nominal):\n");
+    let mut t = Table::new(&["name", "# nodes", "# edges", "density"]);
+    let mut datasets = gz_stream::catalog::paper_kron_datasets();
+    datasets.extend(gz_stream::catalog::real_world_standins());
+    for d in &datasets {
+        t.row(vec![
+            d.name.clone(),
+            format!("2^{} = {}", (d.num_vertices as f64).log2() as u32, d.num_vertices),
+            format!("{:.2e}", d.nominal_edges as f64),
+            format!("{:.3}", d.density()),
+        ]);
+    }
+    t.print();
+
+    println!("\ngenerated at reproduction scale (measured):\n");
+    let mut g = Table::new(&["name", "# nodes", "# edges", "# stream updates"]);
+    for s in scale.kron_scales() {
+        let w = dataset_workload(&gz_stream::Dataset::kron(s), 42);
+        g.row(vec![
+            w.name,
+            format!("{}", w.num_nodes),
+            format!("{:.3e}", w.graph_edges as f64),
+            format!("{:.3e}", w.updates.len() as f64),
+        ]);
+    }
+    for d in gz_stream::catalog::tiny_standins() {
+        let w = dataset_workload(&d, 42);
+        g.row(vec![
+            w.name,
+            format!("{}", w.num_nodes),
+            format!("{:.3e}", w.graph_edges as f64),
+            format!("{:.3e}", w.updates.len() as f64),
+        ]);
+    }
+    g.print();
+    println!();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stream_updates_exceed_edges() {
+        // Figure 10's pattern: update count ≥ edge count for every dataset.
+        let w = dataset_workload(&gz_stream::Dataset::kron(8), 1);
+        assert!(w.updates.len() as u64 >= w.graph_edges);
+    }
+
+    #[test]
+    fn runs() {
+        run(Scale::Small);
+    }
+}

@@ -1,0 +1,68 @@
+//! Figure 14: GraphZeppelin updates sketches in parallel.
+//!
+//! Ingestion rate vs Graph Worker count (leaf-only gutters, everything in
+//! RAM — the paper's §6.4 setup). Paper shape: near-linear scaling at low
+//! thread counts, 26× at 46 threads, still-positive marginal rate at the
+//! top end.
+
+use crate::harness::{fmt_rate, kron_workload, rate, run_graphzeppelin, Scale, Table};
+use graph_zeppelin::{GraphZeppelin, GzConfig};
+
+/// Run the thread-scaling sweep.
+pub fn run(scale: Scale) {
+    println!("== Figure 14: ingestion rate vs Graph Workers ==\n");
+    let kron = scale.reference_kron();
+    let w = kron_workload(kron, 9);
+    println!("workload: kron{kron} ({} updates)\n", w.updates.len());
+
+    let max_workers =
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+    let mut counts = vec![1usize, 2, 4];
+    for c in [8usize, 16, 32] {
+        if c <= max_workers {
+            counts.push(c);
+        }
+    }
+
+    let mut t = Table::new(&["workers", "ingest rate", "speedup vs 1"]);
+    let mut base_rate = None;
+    for workers in counts {
+        let mut config = GzConfig::in_ram(w.num_nodes);
+        config.num_workers = workers;
+        let mut gz = GraphZeppelin::new(config).unwrap();
+        let d = run_graphzeppelin(&mut gz, &w.updates);
+        let r = rate(w.updates.len(), d);
+        let base = *base_rate.get_or_insert(r);
+        t.row(vec![
+            format!("{workers}"),
+            fmt_rate(r),
+            format!("{:.2}x", r / base),
+        ]);
+    }
+    t.print();
+    println!(
+        "\npaper shape: monotone scaling; 26x at 46 threads on a 48-hyperthread\n\
+         workstation (this host has {max_workers} hardware threads).\n"
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn multi_worker_runs_match_single_worker_answers() {
+        let w = kron_workload(7, 4);
+        let labels: Vec<Vec<u32>> = [1usize, 4]
+            .iter()
+            .map(|&workers| {
+                let mut config = GzConfig::in_ram(w.num_nodes);
+                config.num_workers = workers;
+                let mut gz = GraphZeppelin::new(config).unwrap();
+                run_graphzeppelin(&mut gz, &w.updates);
+                gz.connected_components().unwrap().labels().to_vec()
+            })
+            .collect();
+        assert_eq!(labels[0], labels[1], "parallelism must not change answers");
+    }
+}

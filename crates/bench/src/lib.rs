@@ -1,0 +1,12 @@
+//! Experiment harness for the GraphZeppelin reproduction.
+//!
+//! [`figures`] contains one module per table/figure of the paper's
+//! evaluation (§6); the `repro` binary drives them. [`harness`] holds the
+//! shared machinery: timing, table formatting, workload preparation, and
+//! the scale knob that maps the paper's workstation-sized experiments onto
+//! laptop-sized ones while preserving their shape.
+
+pub mod figures;
+pub mod harness;
+
+pub use harness::{Scale, Table};

@@ -1,0 +1,394 @@
+//! `gz` — command-line front end for the GraphZeppelin reproduction.
+//!
+//! ```text
+//! gz generate --dataset kron10 --seed 42 --out stream.gzs
+//! gz generate --er 1000x5000 --out er.gzs
+//! gz info stream.gzs
+//! gz components stream.gzs [--workers 4] [--disk /tmp/gzwork] [--forest]
+//! gz bipartite stream.gzs
+//! ```
+//!
+//! All logic lives in this library so it is unit-testable; `main.rs` is a
+//! thin shell.
+
+use graph_zeppelin::{BipartitenessTester, GraphZeppelin, GzConfig};
+use gz_stream::format::{StreamReader, StreamWriter};
+use gz_stream::{Dataset, GeneratorSpec, StreamifyConfig, UpdateKind};
+use std::path::PathBuf;
+
+/// A parsed CLI invocation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// Generate a dataset stream into a file.
+    Generate {
+        /// Dataset spec.
+        dataset: DatasetArg,
+        /// RNG seed.
+        seed: u64,
+        /// Output path.
+        out: PathBuf,
+    },
+    /// Print a stream file's header and statistics.
+    Info {
+        /// Stream file.
+        path: PathBuf,
+    },
+    /// Compute connected components of a stream file.
+    Components {
+        /// Stream file.
+        path: PathBuf,
+        /// Graph Workers.
+        workers: usize,
+        /// Put sketches + gutters on disk under this directory.
+        disk: Option<PathBuf>,
+        /// Also print the spanning forest.
+        forest: bool,
+    },
+    /// Test bipartiteness of a stream file.
+    Bipartite {
+        /// Stream file.
+        path: PathBuf,
+    },
+}
+
+/// Dataset selection for `generate`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DatasetArg {
+    /// `kronN` from the paper catalog.
+    Kron(u32),
+    /// Erdős–Rényi `G(n, m)` written as `NxM`.
+    ErdosRenyi(u64, u64),
+    /// Preferential attachment written as `NxM`.
+    Preferential(u64, u64),
+}
+
+impl DatasetArg {
+    fn to_dataset(&self) -> Dataset {
+        match *self {
+            DatasetArg::Kron(scale) => Dataset::kron(scale),
+            DatasetArg::ErdosRenyi(nodes, edges) => Dataset {
+                name: format!("er-{nodes}x{edges}"),
+                num_vertices: nodes,
+                nominal_edges: edges,
+                spec: GeneratorSpec::ErdosRenyi { nodes, edges },
+            },
+            DatasetArg::Preferential(nodes, edges) => Dataset {
+                name: format!("pa-{nodes}x{edges}"),
+                num_vertices: nodes,
+                nominal_edges: edges,
+                spec: GeneratorSpec::Preferential { nodes, edges },
+            },
+        }
+    }
+}
+
+/// Parse `NxM` pairs.
+fn parse_pair(s: &str) -> Result<(u64, u64), String> {
+    let (a, b) = s.split_once('x').ok_or_else(|| format!("expected NxM, got {s}"))?;
+    Ok((
+        a.parse().map_err(|_| format!("bad node count {a}"))?,
+        b.parse().map_err(|_| format!("bad edge count {b}"))?,
+    ))
+}
+
+/// Parse a full argument vector (without argv[0]).
+pub fn parse_args(args: &[String]) -> Result<Command, String> {
+    let mut it = args.iter();
+    let sub = it.next().ok_or("missing subcommand (generate|info|components|bipartite)")?;
+    match sub.as_str() {
+        "generate" => {
+            let mut dataset = None;
+            let mut seed = 42u64;
+            let mut out = None;
+            while let Some(arg) = it.next() {
+                match arg.as_str() {
+                    "--dataset" => {
+                        let v = it.next().ok_or("--dataset needs a value")?;
+                        let scale = v
+                            .strip_prefix("kron")
+                            .and_then(|s| s.parse().ok())
+                            .ok_or_else(|| format!("unknown dataset {v} (try kron10)"))?;
+                        dataset = Some(DatasetArg::Kron(scale));
+                    }
+                    "--er" => {
+                        let v = it.next().ok_or("--er needs NxM")?;
+                        let (n, m) = parse_pair(v)?;
+                        dataset = Some(DatasetArg::ErdosRenyi(n, m));
+                    }
+                    "--pa" => {
+                        let v = it.next().ok_or("--pa needs NxM")?;
+                        let (n, m) = parse_pair(v)?;
+                        dataset = Some(DatasetArg::Preferential(n, m));
+                    }
+                    "--seed" => {
+                        seed = it
+                            .next()
+                            .ok_or("--seed needs a value")?
+                            .parse()
+                            .map_err(|_| "bad seed")?;
+                    }
+                    "--out" => out = Some(PathBuf::from(it.next().ok_or("--out needs a path")?)),
+                    other => return Err(format!("unknown flag {other}")),
+                }
+            }
+            Ok(Command::Generate {
+                dataset: dataset.ok_or("need one of --dataset/--er/--pa")?,
+                seed,
+                out: out.ok_or("need --out")?,
+            })
+        }
+        "info" => {
+            let path = it.next().ok_or("info needs a stream file")?;
+            Ok(Command::Info { path: PathBuf::from(path) })
+        }
+        "components" => {
+            let path = PathBuf::from(it.next().ok_or("components needs a stream file")?);
+            let mut workers = 2usize;
+            let mut disk = None;
+            let mut forest = false;
+            while let Some(arg) = it.next() {
+                match arg.as_str() {
+                    "--workers" => {
+                        workers = it
+                            .next()
+                            .ok_or("--workers needs a value")?
+                            .parse()
+                            .map_err(|_| "bad worker count")?;
+                    }
+                    "--disk" => disk = Some(PathBuf::from(it.next().ok_or("--disk needs a dir")?)),
+                    "--forest" => forest = true,
+                    other => return Err(format!("unknown flag {other}")),
+                }
+            }
+            Ok(Command::Components { path, workers, disk, forest })
+        }
+        "bipartite" => {
+            let path = it.next().ok_or("bipartite needs a stream file")?;
+            Ok(Command::Bipartite { path: PathBuf::from(path) })
+        }
+        other => Err(format!("unknown subcommand {other}")),
+    }
+}
+
+/// Execute a command; returns the text to print.
+pub fn execute(cmd: Command) -> Result<String, String> {
+    match cmd {
+        Command::Generate { dataset, seed, out } => {
+            let d = dataset.to_dataset();
+            let result = d.stream(seed, &StreamifyConfig::default());
+            let mut writer =
+                StreamWriter::create(&out, d.num_vertices).map_err(|e| e.to_string())?;
+            writer.write_all(&result.updates).map_err(|e| e.to_string())?;
+            let header = writer.finish().map_err(|e| e.to_string())?;
+            Ok(format!(
+                "wrote {}: {} nodes, {} updates, {} final edges, {} nodes disconnected",
+                out.display(),
+                header.num_vertices,
+                header.num_updates,
+                result.final_edge_count,
+                result.disconnected.len(),
+            ))
+        }
+        Command::Info { path } => {
+            let mut reader = StreamReader::open(&path).map_err(|e| e.to_string())?;
+            let header = reader.header();
+            let mut inserts = 0u64;
+            let mut deletes = 0u64;
+            let updates = reader.read_all().map_err(|e| e.to_string())?;
+            for u in &updates {
+                match u.kind {
+                    UpdateKind::Insert => inserts += 1,
+                    UpdateKind::Delete => deletes += 1,
+                }
+            }
+            let final_edges = gz_stream::update::validate_stream(
+                header.num_vertices,
+                updates.iter().copied(),
+            )
+            .map_err(|v| format!("invalid stream: {v:?}"))?;
+            Ok(format!(
+                "{}: {} nodes, {} updates ({} inserts, {} deletes), {} final edges, valid",
+                path.display(),
+                header.num_vertices,
+                header.num_updates,
+                inserts,
+                deletes,
+                final_edges.len(),
+            ))
+        }
+        Command::Components { path, workers, disk, forest } => {
+            let mut reader = StreamReader::open(&path).map_err(|e| e.to_string())?;
+            let header = reader.header();
+            let mut config = match &disk {
+                Some(dir) => {
+                    std::fs::create_dir_all(dir).map_err(|e| e.to_string())?;
+                    GzConfig::on_disk(header.num_vertices, dir.clone())
+                }
+                None => GzConfig::in_ram(header.num_vertices),
+            };
+            config.num_workers = workers.max(1);
+            let mut gz = GraphZeppelin::new(config).map_err(|e| e.to_string())?;
+            let mut batch = Vec::new();
+            loop {
+                let n = reader.read_batch(&mut batch, 1 << 16).map_err(|e| e.to_string())?;
+                if n == 0 {
+                    break;
+                }
+                for u in &batch {
+                    gz.update(u.u, u.v, u.kind == UpdateKind::Delete);
+                }
+            }
+            let cc = gz.connected_components().map_err(|e| e.to_string())?;
+            let mut out = format!(
+                "{} components over {} nodes ({} updates ingested)\n",
+                cc.num_components(),
+                header.num_vertices,
+                gz.updates_ingested(),
+            );
+            if forest {
+                for e in cc.spanning_forest() {
+                    out.push_str(&format!("{} {}\n", e.u(), e.v()));
+                }
+            }
+            Ok(out)
+        }
+        Command::Bipartite { path } => {
+            let mut reader = StreamReader::open(&path).map_err(|e| e.to_string())?;
+            let header = reader.header();
+            let mut tester =
+                BipartitenessTester::new(header.num_vertices, 7).map_err(|e| e.to_string())?;
+            let updates = reader.read_all().map_err(|e| e.to_string())?;
+            for u in &updates {
+                tester.update(u.u, u.v, u.kind == UpdateKind::Delete);
+            }
+            let ans = tester.query().map_err(|e| e.to_string())?;
+            Ok(if ans.bipartite {
+                "bipartite".to_string()
+            } else {
+                format!("NOT bipartite ({} odd components)", ans.odd_components.len())
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(|x| x.to_string()).collect()
+    }
+
+    fn tmp(name: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("gz_cli_{}_{}.gzs", std::process::id(), name));
+        p
+    }
+
+    #[test]
+    fn parses_generate() {
+        let cmd = parse_args(&argv("generate --dataset kron9 --seed 7 --out /tmp/x.gzs")).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Generate {
+                dataset: DatasetArg::Kron(9),
+                seed: 7,
+                out: PathBuf::from("/tmp/x.gzs"),
+            }
+        );
+    }
+
+    #[test]
+    fn parses_er_and_pa_specs() {
+        assert_eq!(
+            parse_args(&argv("generate --er 100x500 --out o.gzs")).unwrap(),
+            Command::Generate {
+                dataset: DatasetArg::ErdosRenyi(100, 500),
+                seed: 42,
+                out: PathBuf::from("o.gzs"),
+            }
+        );
+        assert!(matches!(
+            parse_args(&argv("generate --pa 50x100 --out o.gzs")).unwrap(),
+            Command::Generate { dataset: DatasetArg::Preferential(50, 100), .. }
+        ));
+    }
+
+    #[test]
+    fn parses_components_flags() {
+        let cmd =
+            parse_args(&argv("components s.gzs --workers 8 --disk /tmp/d --forest")).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Components {
+                path: PathBuf::from("s.gzs"),
+                workers: 8,
+                disk: Some(PathBuf::from("/tmp/d")),
+                forest: true,
+            }
+        );
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(parse_args(&argv("")).is_err());
+        assert!(parse_args(&argv("frobnicate x")).is_err());
+        assert!(parse_args(&argv("generate --out x.gzs")).is_err(), "no dataset");
+        assert!(parse_args(&argv("generate --dataset kronfoo --out x")).is_err());
+        assert!(parse_args(&argv("generate --er 100y500 --out x")).is_err());
+    }
+
+    #[test]
+    fn end_to_end_generate_info_components() {
+        let path = tmp("e2e");
+        let msg = execute(Command::Generate {
+            dataset: DatasetArg::Kron(6),
+            seed: 3,
+            out: path.clone(),
+        })
+        .unwrap();
+        assert!(msg.contains("64 nodes"), "{msg}");
+
+        let info = execute(Command::Info { path: path.clone() }).unwrap();
+        assert!(info.contains("valid"), "{info}");
+
+        let comps = execute(Command::Components {
+            path: path.clone(),
+            workers: 2,
+            disk: None,
+            forest: false,
+        })
+        .unwrap();
+        assert!(comps.contains("components over 64 nodes"), "{comps}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn end_to_end_bipartite() {
+        // An even cycle stream: bipartite.
+        let path = tmp("bip");
+        let updates: Vec<gz_stream::EdgeUpdate> =
+            (0..10u32).map(|i| gz_stream::EdgeUpdate::insert(i, (i + 1) % 10)).collect();
+        gz_stream::format::write_stream(&path, 10, &updates).unwrap();
+        let out = execute(Command::Bipartite { path: path.clone() }).unwrap();
+        assert_eq!(out, "bipartite");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn components_with_forest_lists_edges() {
+        let path = tmp("forest");
+        let updates =
+            vec![gz_stream::EdgeUpdate::insert(0, 1), gz_stream::EdgeUpdate::insert(1, 2)];
+        gz_stream::format::write_stream(&path, 4, &updates).unwrap();
+        let out = execute(Command::Components {
+            path: path.clone(),
+            workers: 1,
+            disk: None,
+            forest: true,
+        })
+        .unwrap();
+        assert!(out.lines().count() >= 3, "{out}");
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,17 @@
+//! Thin shell around [`gz_cli`]: parse, execute, print.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match gz_cli::parse_args(&args).and_then(gz_cli::execute) {
+        Ok(output) => println!("{output}"),
+        Err(err) => {
+            eprintln!("error: {err}");
+            eprintln!(
+                "usage:\n  gz generate (--dataset kronN | --er NxM | --pa NxM) \
+                 [--seed S] --out FILE\n  gz info FILE\n  gz components FILE \
+                 [--workers N] [--disk DIR] [--forest]\n  gz bipartite FILE"
+            );
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,233 @@
+//! Checkpointing: persist the entire sketch state and resume later.
+//!
+//! Linear sketches make this trivial in principle — the whole system state
+//! is the `V × O(log V)` bucket arrays plus the seeds that define the hash
+//! functions — and very useful in practice: a stream can be ingested across
+//! process restarts, or sketches shipped from an ingestion machine to a
+//! query machine (the coordinator/shard split of [`crate::sharding`]).
+//!
+//! Layout (little-endian):
+//!
+//! ```text
+//! magic    [u8;4] = b"GZC1"
+//! num_nodes u64, seed u64, rounds u32, columns u32
+//! updates   u64      — updates ingested so far (informational)
+//! payload   num_nodes × node_sketch_serialized_bytes
+//! ```
+
+use crate::config::GzConfig;
+use crate::error::GzError;
+use crate::node_sketch::SketchParams;
+use crate::system::GraphZeppelin;
+use std::io::{BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+const MAGIC: [u8; 4] = *b"GZC1";
+
+/// Header of a checkpoint file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CheckpointHeader {
+    /// Vertex universe size.
+    pub num_nodes: u64,
+    /// Master seed (hash functions are derived from it).
+    pub seed: u64,
+    /// Rounds per node sketch.
+    pub rounds: u32,
+    /// Sketch columns.
+    pub columns: u32,
+    /// Updates ingested when the checkpoint was taken.
+    pub updates_ingested: u64,
+}
+
+impl GraphZeppelin {
+    /// Flush all buffered updates and write the sketch state to `path`.
+    pub fn save_checkpoint(&mut self, path: &Path) -> Result<CheckpointHeader, GzError> {
+        self.flush();
+        let params = self.params().clone();
+        let header = CheckpointHeader {
+            num_nodes: self.config().num_nodes,
+            seed: self.config().seed,
+            rounds: params.rounds() as u32,
+            columns: self.config().num_columns,
+            updates_ingested: self.updates_ingested(),
+        };
+
+        let file = std::fs::File::create(path)?;
+        let mut w = BufWriter::with_capacity(1 << 20, file);
+        w.write_all(&MAGIC)?;
+        w.write_all(&header.num_nodes.to_le_bytes())?;
+        w.write_all(&header.seed.to_le_bytes())?;
+        w.write_all(&header.rounds.to_le_bytes())?;
+        w.write_all(&header.columns.to_le_bytes())?;
+        w.write_all(&header.updates_ingested.to_le_bytes())?;
+
+        let mut buf = Vec::with_capacity(params.node_sketch_serialized_bytes());
+        for sketch in self.snapshot_sketches() {
+            buf.clear();
+            params.serialize_node_sketch(&sketch, &mut buf);
+            w.write_all(&buf)?;
+        }
+        w.flush()?;
+        Ok(header)
+    }
+
+    /// Read just the header of a checkpoint file.
+    pub fn checkpoint_header(path: &Path) -> Result<CheckpointHeader, GzError> {
+        let file = std::fs::File::open(path)?;
+        let mut r = BufReader::new(file);
+        read_header(&mut r)
+    }
+
+    /// Restore a system from a checkpoint with default runtime settings
+    /// (in-RAM store, default buffering/workers).
+    pub fn restore(path: &Path) -> Result<GraphZeppelin, GzError> {
+        let header = Self::checkpoint_header(path)?;
+        let mut config = GzConfig::in_ram(header.num_nodes);
+        config.seed = header.seed;
+        config.num_rounds = Some(header.rounds);
+        config.num_columns = header.columns;
+        Self::restore_with_config(path, config)
+    }
+
+    /// Restore with explicit runtime settings. The config's sketch-defining
+    /// fields (`num_nodes`, `seed`, rounds, `num_columns`) must match the
+    /// checkpoint or an [`GzError::InvalidConfig`] is returned.
+    pub fn restore_with_config(path: &Path, config: GzConfig) -> Result<GraphZeppelin, GzError> {
+        let file = std::fs::File::open(path)?;
+        let mut r = BufReader::with_capacity(1 << 20, file);
+        let header = read_header(&mut r)?;
+
+        if config.num_nodes != header.num_nodes
+            || config.seed != header.seed
+            || config.rounds() != header.rounds
+            || config.num_columns != header.columns
+        {
+            return Err(GzError::InvalidConfig(format!(
+                "config does not match checkpoint header {header:?}"
+            )));
+        }
+
+        let mut gz = GraphZeppelin::new(config)?;
+        let params = SketchParams::new(
+            header.num_nodes,
+            header.rounds,
+            header.columns,
+            header.seed,
+        );
+        let node_bytes = params.node_sketch_serialized_bytes();
+        let mut buf = vec![0u8; node_bytes];
+        let mut sketches = Vec::with_capacity(header.num_nodes as usize);
+        for _ in 0..header.num_nodes {
+            r.read_exact(&mut buf)?;
+            sketches.push(params.deserialize_node_sketch(&buf));
+        }
+        gz.load_sketches(sketches, header.updates_ingested);
+        Ok(gz)
+    }
+}
+
+fn read_header(r: &mut impl Read) -> Result<CheckpointHeader, GzError> {
+    let mut magic = [0u8; 4];
+    r.read_exact(&mut magic)?;
+    if magic != MAGIC {
+        return Err(GzError::InvalidConfig("not a GraphZeppelin checkpoint".into()));
+    }
+    let mut u64buf = [0u8; 8];
+    let mut u32buf = [0u8; 4];
+    r.read_exact(&mut u64buf)?;
+    let num_nodes = u64::from_le_bytes(u64buf);
+    r.read_exact(&mut u64buf)?;
+    let seed = u64::from_le_bytes(u64buf);
+    r.read_exact(&mut u32buf)?;
+    let rounds = u32::from_le_bytes(u32buf);
+    r.read_exact(&mut u32buf)?;
+    let columns = u32::from_le_bytes(u32buf);
+    r.read_exact(&mut u64buf)?;
+    let updates_ingested = u64::from_le_bytes(u64buf);
+    Ok(CheckpointHeader { num_nodes, seed, rounds, columns, updates_ingested })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn tmp(name: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("gz_ckpt_{}_{}.gzc", std::process::id(), name));
+        p
+    }
+
+    #[test]
+    fn save_restore_round_trip_preserves_answers() {
+        let path = tmp("round_trip");
+        let mut gz = GraphZeppelin::new(GzConfig::in_ram(32)).unwrap();
+        for &(a, b) in &[(0u32, 1u32), (1, 2), (5, 6), (6, 7), (7, 5)] {
+            gz.edge_update(a, b);
+        }
+        let expected = gz.connected_components().unwrap().labels().to_vec();
+        let header = gz.save_checkpoint(&path).unwrap();
+        assert_eq!(header.updates_ingested, 5);
+        drop(gz);
+
+        let mut restored = GraphZeppelin::restore(&path).unwrap();
+        assert_eq!(restored.updates_ingested(), 5);
+        assert_eq!(restored.connected_components().unwrap().labels(), &expected[..]);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn restored_system_continues_streaming() {
+        let path = tmp("continue");
+        let mut gz = GraphZeppelin::new(GzConfig::in_ram(16)).unwrap();
+        gz.edge_update(0, 1);
+        gz.edge_update(2, 3);
+        gz.save_checkpoint(&path).unwrap();
+        drop(gz);
+
+        let mut restored = GraphZeppelin::restore(&path).unwrap();
+        // Delete an old edge and add a new one across the components.
+        restored.update(2, 3, true);
+        restored.edge_update(1, 2);
+        let cc = restored.connected_components().unwrap();
+        assert!(cc.same_component(0, 2));
+        assert!(!cc.same_component(2, 3));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn mismatched_config_rejected() {
+        let path = tmp("mismatch");
+        let mut gz = GraphZeppelin::new(GzConfig::in_ram(16)).unwrap();
+        gz.edge_update(0, 1);
+        gz.save_checkpoint(&path).unwrap();
+
+        let mut wrong = GzConfig::in_ram(16);
+        wrong.seed = 12345; // different hash functions: must refuse
+        assert!(matches!(
+            GraphZeppelin::restore_with_config(&path, wrong),
+            Err(GzError::InvalidConfig(_))
+        ));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn rejects_non_checkpoint_files() {
+        let path = tmp("garbage");
+        std::fs::write(&path, b"definitely not a checkpoint").unwrap();
+        assert!(GraphZeppelin::restore(&path).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn header_readable_without_payload_scan() {
+        let path = tmp("header");
+        let mut gz = GraphZeppelin::new(GzConfig::in_ram(64)).unwrap();
+        gz.edge_update(3, 4);
+        gz.save_checkpoint(&path).unwrap();
+        let h = GraphZeppelin::checkpoint_header(&path).unwrap();
+        assert_eq!(h.num_nodes, 64);
+        assert_eq!(h.updates_ingested, 1);
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,225 @@
+//! System configuration.
+//!
+//! Mirrors the tunables the paper exposes and sweeps: worker count and
+//! thread-group size (§6.4, Figure 14), gutter sizing (Figure 15), buffering
+//! strategy (gutter tree vs leaf-only, Figure 12), sketch store placement
+//! (RAM vs SSD), and the batch-level locking discipline (§5.1).
+
+use crate::error::GzError;
+use std::path::PathBuf;
+
+/// How large each leaf gutter is.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum GutterCapacity {
+    /// A fraction `f` of the node-sketch size (the paper's knob; default
+    /// 0.5 per §5.1, swept in Figure 15).
+    SketchFactor(f64),
+    /// An absolute number of buffered updates (Figure 16a uses 100).
+    Updates(usize),
+}
+
+impl GutterCapacity {
+    /// Resolve to a record count given the node-sketch size.
+    pub fn resolve(self, node_sketch_bytes: usize) -> usize {
+        match self {
+            GutterCapacity::SketchFactor(f) => {
+                ((node_sketch_bytes as f64 * f) / 4.0).ceil().max(1.0) as usize
+            }
+            GutterCapacity::Updates(n) => n.max(1),
+        }
+    }
+}
+
+/// Which buffering system routes updates to the Graph Workers (paper §5.1:
+/// "GraphZeppelin implements two buffering data structures").
+#[derive(Debug, Clone, PartialEq)]
+pub enum BufferStrategy {
+    /// In-RAM leaf-only gutters (used when memory allows, `M > V·B`).
+    LeafOnly {
+        /// Per-node gutter capacity.
+        capacity: GutterCapacity,
+    },
+    /// The on-disk gutter tree (§4.1).
+    GutterTree {
+        /// Internal buffer size in bytes (paper: 8 MB).
+        buffer_bytes: usize,
+        /// Fan-out (paper: 512).
+        fanout: usize,
+        /// Leaf gutter capacity (paper: 2× node sketch).
+        leaf_capacity: GutterCapacity,
+        /// Directory for the backing file.
+        dir: PathBuf,
+    },
+}
+
+/// Where node sketches live.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StoreBackend {
+    /// All sketches in RAM.
+    Ram,
+    /// Sketches in a file, accessed in node groups through an LRU cache —
+    /// the measurable analogue of "sketches on SSD with limited RAM".
+    Disk {
+        /// Directory for the backing file.
+        dir: PathBuf,
+        /// Block size `B` in bytes; node groups hold `max(1, B/sketch)`
+        /// nodes (paper §4.1).
+        block_bytes: usize,
+        /// Number of node groups the RAM cache may hold (the `M` knob).
+        cache_groups: usize,
+    },
+}
+
+/// Batch-level locking discipline (paper §5.1's critical-section
+/// minimization).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LockingStrategy {
+    /// Hold the node-sketch lock for the whole batch application.
+    Direct,
+    /// Apply the batch to a worker-local scratch sketch without the lock,
+    /// then lock only to XOR-merge (`S(x) = S(x) + S(x_0)`) — the paper's
+    /// approach.
+    DeltaSketch,
+}
+
+/// Full system configuration.
+#[derive(Debug, Clone)]
+pub struct GzConfig {
+    /// Number of vertices (or a loose upper bound on it; §2.2).
+    pub num_nodes: u64,
+    /// Master seed; the entire system is deterministic in it (up to worker
+    /// scheduling, which never changes results thanks to sketch linearity).
+    pub seed: u64,
+    /// Graph Workers applying batches (paper `g`).
+    pub num_workers: usize,
+    /// Threads per worker group for sketch-level parallelism (§5.1).
+    /// The paper found group size 1 best on its hardware; that is the
+    /// default.
+    pub group_threads: usize,
+    /// Boruvka rounds = independent sketches per node. `None` = the paper's
+    /// `⌈log_{3/2} V⌉`.
+    pub num_rounds: Option<u32>,
+    /// CubeSketch columns (`log(1/δ)`; paper fixes 7).
+    pub num_columns: u32,
+    /// Buffering system.
+    pub buffering: BufferStrategy,
+    /// Sketch store placement.
+    pub store: StoreBackend,
+    /// Batch-level locking discipline.
+    pub locking: LockingStrategy,
+}
+
+impl GzConfig {
+    /// Default in-RAM configuration for `num_nodes` vertices: leaf-only
+    /// gutters at factor 0.5, 4 workers, group size 1, delta-sketch locking.
+    pub fn in_ram(num_nodes: u64) -> Self {
+        GzConfig {
+            num_nodes,
+            seed: 0x5EED_1E55,
+            num_workers: 4,
+            group_threads: 1,
+            num_rounds: None,
+            num_columns: gz_sketch::geometry::DEFAULT_COLUMNS,
+            buffering: BufferStrategy::LeafOnly { capacity: GutterCapacity::SketchFactor(0.5) },
+            store: StoreBackend::Ram,
+            locking: LockingStrategy::DeltaSketch,
+        }
+    }
+
+    /// On-disk configuration: file-backed sketches plus a gutter tree, both
+    /// in `dir` (the paper's SSD deployment, §6.2).
+    pub fn on_disk(num_nodes: u64, dir: PathBuf) -> Self {
+        GzConfig {
+            store: StoreBackend::Disk {
+                dir: dir.clone(),
+                block_bytes: 16 << 10,
+                cache_groups: 1024,
+            },
+            buffering: BufferStrategy::GutterTree {
+                buffer_bytes: 1 << 20,
+                fanout: 64,
+                leaf_capacity: GutterCapacity::SketchFactor(2.0),
+                dir,
+            },
+            ..GzConfig::in_ram(num_nodes)
+        }
+    }
+
+    /// Number of Boruvka rounds (= sketches per node).
+    pub fn rounds(&self) -> u32 {
+        self.num_rounds.unwrap_or_else(|| default_rounds(self.num_nodes))
+    }
+
+    /// Validate invariants the system relies on.
+    pub fn validate(&self) -> Result<(), GzError> {
+        if self.num_nodes < 2 {
+            return Err(GzError::InvalidConfig("need at least 2 nodes".into()));
+        }
+        if self.num_nodes > u32::MAX as u64 {
+            return Err(GzError::InvalidConfig("vertex ids must fit in u32".into()));
+        }
+        if self.num_workers == 0 {
+            return Err(GzError::InvalidConfig("need at least one Graph Worker".into()));
+        }
+        if self.group_threads == 0 {
+            return Err(GzError::InvalidConfig("group_threads must be ≥ 1".into()));
+        }
+        if self.num_columns == 0 {
+            return Err(GzError::InvalidConfig("need at least one sketch column".into()));
+        }
+        if self.rounds() == 0 {
+            return Err(GzError::InvalidConfig("need at least one Boruvka round".into()));
+        }
+        Ok(())
+    }
+}
+
+/// The paper's round budget: `⌈log_{3/2} V⌉` (Figure 9's
+/// `log_{3/2}(num_nodes)` failure threshold).
+pub fn default_rounds(num_nodes: u64) -> u32 {
+    if num_nodes <= 2 {
+        return 1;
+    }
+    ((num_nodes as f64).ln() / 1.5f64.ln()).ceil() as u32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_rounds_growth() {
+        assert_eq!(default_rounds(2), 1);
+        // log_{3/2}(1024) ≈ 17.09 -> 18
+        assert_eq!(default_rounds(1024), 18);
+        assert!(default_rounds(1 << 17) > default_rounds(1 << 13));
+    }
+
+    #[test]
+    fn gutter_capacity_resolution() {
+        assert_eq!(GutterCapacity::SketchFactor(0.5).resolve(8000), 1000);
+        assert_eq!(GutterCapacity::Updates(100).resolve(8000), 100);
+        assert_eq!(GutterCapacity::SketchFactor(0.0).resolve(8000), 1);
+        assert_eq!(GutterCapacity::Updates(0).resolve(8000), 1);
+    }
+
+    #[test]
+    fn validation_catches_bad_configs() {
+        assert!(GzConfig::in_ram(64).validate().is_ok());
+        assert!(GzConfig::in_ram(1).validate().is_err());
+        let mut c = GzConfig::in_ram(64);
+        c.num_workers = 0;
+        assert!(c.validate().is_err());
+        let mut c = GzConfig::in_ram(64);
+        c.num_columns = 0;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn on_disk_config_uses_tree_and_disk_store() {
+        let c = GzConfig::on_disk(1024, std::env::temp_dir());
+        assert!(matches!(c.store, StoreBackend::Disk { .. }));
+        assert!(matches!(c.buffering, BufferStrategy::GutterTree { .. }));
+        assert!(c.validate().is_ok());
+    }
+}

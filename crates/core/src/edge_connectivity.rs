@@ -1,0 +1,299 @@
+//! Sketch-based k-edge-connectivity certificates — the "edge- or
+//! vertex-connectivity" application the paper names for CubeSketch (§3.1),
+//! after Ahn–Guha–McGregor's k-forest construction.
+//!
+//! Maintain `k` independent copies of the connectivity sketch (layers).
+//! After the stream, *peel* forests: `F₁` is a spanning forest recovered
+//! from layer 1; delete `F₁`'s edges from layer 2 (sketch linearity makes
+//! deletion a toggle) and recover `F₂`, a spanning forest of `G − F₁`; and
+//! so on. The union `H = F₁ ∪ … ∪ F_k` is a *sparse certificate*: AGM's
+//! theorem states every cut of size `≤ k` in `G` has the same size in `H`,
+//! so in particular
+//!
+//! > `G` is k-edge-connected  ⇔  `H` is k-edge-connected,
+//!
+//! and `H` has at most `k·(V−1)` edges, small enough to check exactly.
+//! Total space is `k·V·polylog(V)` — still sublinear in the graph.
+
+use crate::boruvka::boruvka_spanning_forest;
+use crate::config::default_rounds;
+use crate::error::GzError;
+use crate::node_sketch::{update_index, CubeNodeSketch, SketchParams};
+use gz_graph::bridges::is_two_edge_connected;
+use gz_graph::{AdjacencyList, Edge};
+use gz_hash::SplitMix64;
+use std::sync::Arc;
+
+/// Streaming k-edge-connectivity sketcher: `k` independent sketch layers.
+pub struct KForestSketcher {
+    num_nodes: u64,
+    layers: Vec<Layer>,
+    updates: u64,
+}
+
+struct Layer {
+    params: Arc<SketchParams>,
+    sketches: Vec<CubeNodeSketch>,
+}
+
+/// The peeled certificate: `k` edge-disjoint forests.
+#[derive(Debug, Clone)]
+pub struct ForestCertificate {
+    /// Vertex universe size.
+    pub num_nodes: u64,
+    /// `forests[i]` is a spanning forest of `G − (forests[0] ∪ … ∪ forests[i−1])`.
+    pub forests: Vec<Vec<Edge>>,
+}
+
+impl ForestCertificate {
+    /// All certificate edges (the sparse subgraph `H`).
+    pub fn union_edges(&self) -> Vec<Edge> {
+        let mut all: Vec<Edge> = self.forests.iter().flatten().copied().collect();
+        all.sort_unstable();
+        all.dedup();
+        all
+    }
+
+    /// The certificate as a graph.
+    pub fn as_graph(&self) -> AdjacencyList {
+        AdjacencyList::from_edges(
+            self.num_nodes as usize,
+            self.union_edges().iter().map(|e| (e.u(), e.v())),
+        )
+    }
+
+    /// Exact 2-edge-connectivity of the certificate — by AGM's theorem,
+    /// equal to the input graph's 2-edge-connectivity when `k ≥ 2`.
+    pub fn is_two_edge_connected(&self) -> bool {
+        assert!(self.forests.len() >= 2, "need k ≥ 2 layers for a 2-connectivity answer");
+        is_two_edge_connected(&self.as_graph())
+    }
+}
+
+impl KForestSketcher {
+    /// Build a sketcher with `k` layers for up to `num_nodes` vertices.
+    pub fn new(num_nodes: u64, k: usize, seed: u64) -> Result<Self, GzError> {
+        if num_nodes < 2 {
+            return Err(GzError::InvalidConfig("need at least 2 nodes".into()));
+        }
+        if k == 0 {
+            return Err(GzError::InvalidConfig("need at least one forest layer".into()));
+        }
+        let rounds = default_rounds(num_nodes);
+        let layers = (0..k as u64)
+            .map(|i| {
+                let params = Arc::new(SketchParams::new(
+                    num_nodes,
+                    rounds,
+                    7,
+                    SplitMix64::derive(seed, i),
+                ));
+                let sketches = (0..num_nodes).map(|_| params.new_node_sketch()).collect();
+                Layer { params, sketches }
+            })
+            .collect();
+        Ok(KForestSketcher { num_nodes, layers, updates: 0 })
+    }
+
+    /// Number of layers `k`.
+    pub fn k(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Apply one stream update to every layer.
+    pub fn update(&mut self, u: u32, v: u32, is_delete: bool) {
+        assert!(u != v, "self-loop");
+        assert!((u as u64) < self.num_nodes && (v as u64) < self.num_nodes);
+        let _ = is_delete; // Z_2: toggle either way
+        let idx = update_index(u, v, self.num_nodes);
+        for layer in &mut self.layers {
+            layer.sketches[u as usize].update_signed(idx, 1);
+            layer.sketches[v as usize].update_signed(idx, 1);
+        }
+        self.updates += 1;
+    }
+
+    /// Insert an edge.
+    pub fn insert(&mut self, u: u32, v: u32) {
+        self.update(u, v, false);
+    }
+
+    /// Delete an edge.
+    pub fn delete(&mut self, u: u32, v: u32) {
+        self.update(u, v, true);
+    }
+
+    /// Peel the k forests (non-destructive: clones each layer).
+    pub fn certificate(&self) -> Result<ForestCertificate, GzError> {
+        let mut removed: Vec<Edge> = Vec::new();
+        let mut forests = Vec::with_capacity(self.layers.len());
+        for layer in &self.layers {
+            // Clone this layer's sketches and subtract everything already
+            // peeled (linearity: deletion = toggle).
+            let mut sketches: Vec<Option<CubeNodeSketch>> =
+                layer.sketches.iter().map(|s| Some(s.clone())).collect();
+            for e in &removed {
+                let idx = update_index(e.u(), e.v(), self.num_nodes);
+                sketches[e.u() as usize].as_mut().unwrap().update_signed(idx, 1);
+                sketches[e.v() as usize].as_mut().unwrap().update_signed(idx, 1);
+            }
+            let outcome = boruvka_spanning_forest(
+                sketches,
+                self.num_nodes,
+                layer.params.rounds(),
+            )?;
+            removed.extend(outcome.forest.iter().copied());
+            forests.push(outcome.forest);
+        }
+        Ok(ForestCertificate { num_nodes: self.num_nodes, forests })
+    }
+
+    /// Is the graph 2-edge-connected? (Requires `k ≥ 2`.)
+    pub fn is_two_edge_connected(&self) -> Result<bool, GzError> {
+        Ok(self.certificate()?.is_two_edge_connected())
+    }
+
+    /// Total sketch bytes across layers (`k ×` the connectivity structure).
+    pub fn sketch_bytes(&self) -> usize {
+        self.layers
+            .iter()
+            .map(|l| l.params.node_sketch_bytes() * l.sketches.len())
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gz_dsu::Dsu;
+
+    fn sketcher_with(num_nodes: u64, k: usize, edges: &[(u32, u32)]) -> KForestSketcher {
+        let mut s = KForestSketcher::new(num_nodes, k, 31).unwrap();
+        for &(a, b) in edges {
+            s.insert(a, b);
+        }
+        s
+    }
+
+    /// Structural invariants of a peeled certificate.
+    fn check_certificate(cert: &ForestCertificate, graph_edges: &[(u32, u32)]) {
+        let g = AdjacencyList::from_edges(cert.num_nodes as usize, graph_edges.iter().copied());
+        let mut peeled = AdjacencyList::new(cert.num_nodes as usize);
+        let mut remaining = g.clone();
+        for forest in &cert.forests {
+            // Each forest: acyclic, edges exist in the remaining graph, and
+            // it spans the remaining graph's components.
+            let mut dsu = Dsu::new(cert.num_nodes as usize);
+            for &e in forest {
+                assert!(remaining.contains(e), "{e} not in remaining graph");
+                assert!(!peeled.contains(e), "{e} peeled twice");
+                assert!(dsu.union(e.u(), e.v()), "cycle in forest");
+            }
+            assert_eq!(
+                dsu.normalized_labels(),
+                gz_graph::connected_components_dsu(&remaining),
+                "forest does not span the remaining graph"
+            );
+            for &e in forest {
+                remaining.remove(e);
+                peeled.insert(e);
+            }
+        }
+    }
+
+    #[test]
+    fn cycle_peels_into_tree_plus_closing_edge() {
+        let n = 8u32;
+        let edges: Vec<(u32, u32)> = (0..n).map(|i| (i, (i + 1) % n)).collect();
+        let s = sketcher_with(n as u64, 2, &edges);
+        let cert = s.certificate().unwrap();
+        check_certificate(&cert, &edges);
+        assert_eq!(cert.forests[0].len(), 7, "spanning tree of the cycle");
+        assert_eq!(cert.forests[1].len(), 1, "the closing edge");
+        assert!(cert.is_two_edge_connected());
+    }
+
+    #[test]
+    fn path_is_not_two_edge_connected() {
+        let edges: Vec<(u32, u32)> = (0..7u32).map(|i| (i, i + 1)).collect();
+        let s = sketcher_with(8, 2, &edges);
+        assert!(!s.is_two_edge_connected().unwrap());
+    }
+
+    #[test]
+    fn complete_graph_is_two_edge_connected() {
+        let n = 7u32;
+        let mut edges = Vec::new();
+        for a in 0..n {
+            for b in (a + 1)..n {
+                edges.push((a, b));
+            }
+        }
+        let s = sketcher_with(n as u64, 2, &edges);
+        let cert = s.certificate().unwrap();
+        check_certificate(&cert, &edges);
+        assert!(cert.is_two_edge_connected());
+        // Certificate is sparse: ≤ k(V−1) edges even though G is dense.
+        assert!(cert.union_edges().len() <= 2 * (n as usize - 1));
+    }
+
+    #[test]
+    fn deletions_affect_connectivity_verdict() {
+        let n = 6u32;
+        let cycle: Vec<(u32, u32)> = (0..n).map(|i| (i, (i + 1) % n)).collect();
+        let mut s = sketcher_with(n as u64, 2, &cycle);
+        assert!(s.is_two_edge_connected().unwrap());
+        s.delete(0, 1); // now a path
+        assert!(!s.is_two_edge_connected().unwrap());
+    }
+
+    #[test]
+    fn matches_exact_two_edge_connectivity_on_random_graphs() {
+        use rand::rngs::SmallRng;
+        use rand::{Rng, SeedableRng};
+        for seed in 0..6u64 {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let n = 14u32;
+            let mut edges = Vec::new();
+            for a in 0..n {
+                for b in (a + 1)..n {
+                    if rng.gen::<f64>() < 0.3 {
+                        edges.push((a, b));
+                    }
+                }
+            }
+            let s = sketcher_with(n as u64, 2, &edges);
+            let cert = s.certificate().unwrap();
+            check_certificate(&cert, &edges);
+            let g = AdjacencyList::from_edges(n as usize, edges.iter().copied());
+            assert_eq!(
+                cert.is_two_edge_connected(),
+                is_two_edge_connected(&g),
+                "seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn three_layers_peel_disjoint_forests() {
+        let n = 10u32;
+        let mut edges = Vec::new();
+        for a in 0..n {
+            for b in (a + 1)..n {
+                if (a + 2 * b) % 3 != 0 {
+                    edges.push((a, b));
+                }
+            }
+        }
+        let s = sketcher_with(n as u64, 3, &edges);
+        let cert = s.certificate().unwrap();
+        check_certificate(&cert, &edges);
+        assert_eq!(cert.forests.len(), 3);
+    }
+
+    #[test]
+    fn rejects_degenerate_parameters() {
+        assert!(KForestSketcher::new(1, 2, 0).is_err());
+        assert!(KForestSketcher::new(8, 0, 0).is_err());
+    }
+}

@@ -1,0 +1,70 @@
+//! Error type for the GraphZeppelin system.
+
+use std::fmt;
+
+/// Errors surfaced by the GraphZeppelin public API.
+#[derive(Debug)]
+pub enum GzError {
+    /// The sketch-space Boruvka emulation exhausted its round budget while
+    /// components were still unresolved — the paper's `algorithm_fails`
+    /// outcome, which occurs with probability at most `1/V^c`
+    /// (empirically never observed; §6.3).
+    AlgorithmFailure {
+        /// Rounds executed before giving up.
+        rounds_used: usize,
+        /// Components still unresolved.
+        unresolved: usize,
+    },
+    /// Configuration rejected (e.g. zero vertices).
+    InvalidConfig(String),
+    /// Underlying I/O failure from a disk-backed store or gutter tree.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for GzError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GzError::AlgorithmFailure { rounds_used, unresolved } => write!(
+                f,
+                "sketch connectivity failed: {unresolved} unresolved components \
+                 after {rounds_used} Boruvka rounds (probability ≤ 1/V^c event)"
+            ),
+            GzError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            GzError::Io(e) => write!(f, "I/O error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for GzError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            GzError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for GzError {
+    fn from(e: std::io::Error) -> Self {
+        GzError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = GzError::AlgorithmFailure { rounds_used: 12, unresolved: 3 };
+        let s = e.to_string();
+        assert!(s.contains("12") && s.contains("3"));
+        assert!(GzError::InvalidConfig("bad".into()).to_string().contains("bad"));
+    }
+
+    #[test]
+    fn io_conversion_preserves_source() {
+        let e: GzError = std::io::Error::other("boom").into();
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

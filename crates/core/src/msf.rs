@@ -1,0 +1,326 @@
+//! Sketch-based minimum spanning forest — the "finding minimum spanning
+//! trees" application the paper names for CubeSketch (§3.1), after
+//! Ahn–Guha–McGregor's leveled construction.
+//!
+//! Edge weights are quantized to `L` integer levels. Level `ℓ` maintains a
+//! full connectivity sketch of the subgraph of edges with weight `≤ ℓ`
+//! (prefix structure: an update of weight `w` toggles levels `w..L`).
+//! Boruvka then picks, for each live component, a cut edge from the
+//! *smallest* level whose sketch is non-empty: since level `ℓ−1` reported an
+//! empty cut, that edge's weight is exactly `ℓ` — the minimum over the cut —
+//! so the resulting forest is an exact minimum spanning forest over the
+//! quantized weights (Boruvka with arbitrary tie-breaking).
+//!
+//! Space is `L ×` the connectivity structure; the stream model extends to
+//! weighted edges as `((u, v), w, ±1)` where a deletion must use the
+//! weight it was inserted with.
+
+use crate::config::default_rounds;
+use crate::error::GzError;
+use crate::node_sketch::{update_index, CubeNodeSketch, SketchParams};
+use gz_dsu::Dsu;
+use gz_graph::{index_to_edge, Edge};
+use gz_hash::SplitMix64;
+use gz_sketch::SampleResult;
+use std::sync::Arc;
+
+/// Streaming minimum-spanning-forest sketcher with `L` weight levels.
+pub struct MsfSketcher {
+    num_nodes: u64,
+    num_levels: u32,
+    /// `levels[ℓ]` sketches the subgraph of weight ≤ ℓ.
+    levels: Vec<Level>,
+    updates: u64,
+}
+
+struct Level {
+    params: Arc<SketchParams>,
+    sketches: Vec<CubeNodeSketch>,
+}
+
+/// A weighted spanning forest answer.
+#[derive(Debug, Clone)]
+pub struct WeightedForest {
+    /// Forest edges with the weight level each was recovered at.
+    pub edges: Vec<(Edge, u32)>,
+    /// Total weight.
+    pub total_weight: u64,
+    /// Component labels (normalized to minimum member).
+    pub labels: Vec<u32>,
+}
+
+impl MsfSketcher {
+    /// Build a sketcher for up to `num_nodes` vertices and integer weights
+    /// in `[0, num_levels)`.
+    pub fn new(num_nodes: u64, num_levels: u32, seed: u64) -> Result<Self, GzError> {
+        if num_nodes < 2 {
+            return Err(GzError::InvalidConfig("need at least 2 nodes".into()));
+        }
+        if num_levels == 0 {
+            return Err(GzError::InvalidConfig("need at least one weight level".into()));
+        }
+        let rounds = default_rounds(num_nodes);
+        let levels = (0..num_levels as u64)
+            .map(|l| {
+                let params = Arc::new(SketchParams::new(
+                    num_nodes,
+                    rounds,
+                    7,
+                    SplitMix64::derive(seed ^ 0x4D5F, l),
+                ));
+                let sketches = (0..num_nodes).map(|_| params.new_node_sketch()).collect();
+                Level { params, sketches }
+            })
+            .collect();
+        Ok(MsfSketcher { num_nodes, num_levels, levels, updates: 0 })
+    }
+
+    /// Number of weight levels.
+    pub fn num_levels(&self) -> u32 {
+        self.num_levels
+    }
+
+    /// Apply one weighted update. Deletions must carry the weight the edge
+    /// was inserted with (the stream model's responsibility, as with any
+    /// linear sketch).
+    pub fn update(&mut self, u: u32, v: u32, weight: u32, is_delete: bool) {
+        assert!(u != v, "self-loop");
+        assert!((u as u64) < self.num_nodes && (v as u64) < self.num_nodes);
+        assert!(weight < self.num_levels, "weight {weight} out of range");
+        let _ = is_delete; // Z_2 toggle either way
+        let idx = update_index(u, v, self.num_nodes);
+        // Prefix structure: levels weight..L contain this edge.
+        for level in &mut self.levels[weight as usize..] {
+            level.sketches[u as usize].update_signed(idx, 1);
+            level.sketches[v as usize].update_signed(idx, 1);
+        }
+        self.updates += 1;
+    }
+
+    /// Insert a weighted edge.
+    pub fn insert(&mut self, u: u32, v: u32, weight: u32) {
+        self.update(u, v, weight, false);
+    }
+
+    /// Delete a weighted edge.
+    pub fn delete(&mut self, u: u32, v: u32, weight: u32) {
+        self.update(u, v, weight, true);
+    }
+
+    /// Compute a minimum spanning forest (non-destructive).
+    ///
+    /// Weighted Boruvka over the level sketches: each round, each live
+    /// component samples from the lowest level with a non-empty cut.
+    pub fn minimum_spanning_forest(&self) -> Result<WeightedForest, GzError> {
+        let n = self.num_nodes as usize;
+        // Clone all levels' sketches (query must not consume ingest state).
+        let mut levels: Vec<Vec<Option<CubeNodeSketch>>> = self
+            .levels
+            .iter()
+            .map(|l| l.sketches.iter().map(|s| Some(s.clone())).collect())
+            .collect();
+        let rounds = self.levels[0].params.rounds();
+
+        let mut dsu = Dsu::new(n);
+        let mut retired = vec![false; n];
+        let mut forest: Vec<(Edge, u32)> = Vec::new();
+
+        let retire_last_live = |dsu: &mut Dsu, retired: &mut Vec<bool>| {
+            let live: Vec<u32> =
+                (0..n as u32).filter(|&v| dsu.find(v) == v && !retired[v as usize]).collect();
+            if let [only] = live[..] {
+                retired[only as usize] = true;
+            }
+        };
+
+        let mut rounds_used = 0;
+        for round in 0..rounds {
+            retire_last_live(&mut dsu, &mut retired);
+            rounds_used = round + 1;
+            let mut found: Vec<(Edge, u32)> = Vec::new();
+            let mut any_live = false;
+            for root in 0..n as u32 {
+                if dsu.find(root) != root || retired[root as usize] {
+                    continue;
+                }
+                // Ascend levels: the first non-empty cut gives the
+                // minimum-weight crossing edge (lower levels were empty).
+                let mut resolved = false;
+                for (w, level) in levels.iter().enumerate() {
+                    let sketch =
+                        level[root as usize].as_ref().expect("live root owns a sketch");
+                    match sketch.sample_round(round) {
+                        SampleResult::Zero => continue, // no cut edge ≤ w
+                        SampleResult::Index(idx) => {
+                            found.push((index_to_edge(idx, self.num_nodes), w as u32));
+                            any_live = true;
+                            resolved = true;
+                            break;
+                        }
+                        SampleResult::Fail => {
+                            // Ambiguous at this level: stop ascending (a
+                            // higher-level sample could be non-minimal).
+                            any_live = true;
+                            resolved = true;
+                            break;
+                        }
+                    }
+                }
+                if !resolved {
+                    // Every level reported Zero: the top level (= whole
+                    // graph) has an empty cut, so the component is maximal.
+                    retired[root as usize] = true;
+                }
+            }
+            if !any_live {
+                break;
+            }
+            for (edge, w) in found {
+                let (ra, rb) = (dsu.find(edge.u()), dsu.find(edge.v()));
+                if ra == rb {
+                    continue;
+                }
+                dsu.union(ra, rb);
+                let winner = dsu.find(ra);
+                let loser = if winner == ra { rb } else { ra };
+                // Merge supernode sketches at every level.
+                for level in levels.iter_mut() {
+                    let loser_sketch = level[loser as usize].take().expect("loser sketch");
+                    level[winner as usize]
+                        .as_mut()
+                        .expect("winner sketch")
+                        .merge(&loser_sketch);
+                }
+                forest.push((edge, w));
+            }
+        }
+        retire_last_live(&mut dsu, &mut retired);
+
+        let unresolved =
+            (0..n as u32).filter(|&v| dsu.find(v) == v && !retired[v as usize]).count();
+        if unresolved > 0 {
+            return Err(GzError::AlgorithmFailure { rounds_used, unresolved });
+        }
+        let total_weight = forest.iter().map(|&(_, w)| w as u64).sum();
+        Ok(WeightedForest { edges: forest, total_weight, labels: dsu.normalized_labels() })
+    }
+
+    /// Total sketch bytes across all levels.
+    pub fn sketch_bytes(&self) -> usize {
+        self.levels
+            .iter()
+            .map(|l| l.params.node_sketch_bytes() * l.sketches.len())
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gz_graph::connectivity::kruskal_msf;
+
+    fn sketcher_with(
+        num_nodes: u64,
+        levels: u32,
+        edges: &[(u32, u32, u32)],
+    ) -> MsfSketcher {
+        let mut s = MsfSketcher::new(num_nodes, levels, 7).unwrap();
+        for &(a, b, w) in edges {
+            s.insert(a, b, w);
+        }
+        s
+    }
+
+    fn check_against_kruskal(num_nodes: u64, levels: u32, edges: &[(u32, u32, u32)]) {
+        let s = sketcher_with(num_nodes, levels, edges);
+        let result = s.minimum_spanning_forest().expect("msf query failed");
+        let weighted: Vec<(Edge, u32)> =
+            edges.iter().map(|&(a, b, w)| (Edge::new(a, b), w)).collect();
+        let (oracle_weight, oracle_forest) = kruskal_msf(num_nodes as usize, &weighted);
+        assert_eq!(result.total_weight, oracle_weight, "MSF weight mismatch");
+        assert_eq!(result.edges.len(), oracle_forest.len(), "forest size mismatch");
+        // The recovered weight labels must match the actual edge weights.
+        let weight_of: std::collections::HashMap<Edge, u32> =
+            weighted.iter().copied().collect();
+        for &(e, w) in &result.edges {
+            assert_eq!(weight_of[&e], w, "recovered wrong weight level for {e}");
+        }
+    }
+
+    #[test]
+    fn prefers_light_edges_on_a_cycle() {
+        // Square with three weight-0 edges and one weight-2 edge: the MSF
+        // must avoid the heavy edge.
+        let edges = [(0u32, 1u32, 0u32), (1, 2, 0), (2, 3, 0), (3, 0, 2)];
+        let s = sketcher_with(4, 3, &edges);
+        let result = s.minimum_spanning_forest().unwrap();
+        assert_eq!(result.total_weight, 0);
+        assert!(!result.edges.iter().any(|&(e, _)| e == Edge::new(0, 3)));
+    }
+
+    #[test]
+    fn matches_kruskal_on_fixed_graphs() {
+        check_against_kruskal(
+            6,
+            4,
+            &[(0, 1, 3), (1, 2, 1), (2, 0, 2), (3, 4, 0), (4, 5, 1), (5, 3, 3)],
+        );
+        // Disconnected with isolated vertex.
+        check_against_kruskal(5, 2, &[(0, 1, 1), (2, 3, 0)]);
+    }
+
+    #[test]
+    fn matches_kruskal_on_random_weighted_graphs() {
+        use rand::rngs::SmallRng;
+        use rand::{Rng, SeedableRng};
+        for seed in 0..5u64 {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let n = 12u32;
+            let levels = 4u32;
+            let mut edges = Vec::new();
+            for a in 0..n {
+                for b in (a + 1)..n {
+                    if rng.gen::<f64>() < 0.4 {
+                        edges.push((a, b, rng.gen_range(0..levels)));
+                    }
+                }
+            }
+            check_against_kruskal(n as u64, levels, &edges);
+        }
+    }
+
+    #[test]
+    fn weighted_deletion_changes_the_forest() {
+        let mut s = sketcher_with(4, 3, &[(0, 1, 0), (1, 2, 0), (0, 2, 2)]);
+        let before = s.minimum_spanning_forest().unwrap();
+        assert_eq!(before.total_weight, 0);
+        // Delete a light edge: the heavy edge must now appear.
+        s.delete(0, 1, 0);
+        let after = s.minimum_spanning_forest().unwrap();
+        assert_eq!(after.total_weight, 2);
+    }
+
+    #[test]
+    fn labels_match_connectivity() {
+        let edges = [(0u32, 1u32, 1u32), (2, 3, 0)];
+        let s = sketcher_with(6, 2, &edges);
+        let result = s.minimum_spanning_forest().unwrap();
+        assert_eq!(result.labels, vec![0, 0, 2, 2, 4, 5]);
+    }
+
+    #[test]
+    fn rejects_out_of_range_weight() {
+        let mut s = MsfSketcher::new(4, 2, 1).unwrap();
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            s.insert(0, 1, 5);
+        }));
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn space_scales_with_levels() {
+        let s1 = MsfSketcher::new(16, 1, 1).unwrap();
+        let s3 = MsfSketcher::new(16, 3, 1).unwrap();
+        assert_eq!(s3.sketch_bytes(), 3 * s1.sketch_bytes());
+    }
+}

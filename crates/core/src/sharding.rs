@@ -1,0 +1,270 @@
+//! Sharded (cluster-model) sketch ingestion — the paper's §8 outlook made
+//! concrete: "Since GraphZeppelin's sketches can be updated independently
+//! (Section 5.1), we believe that they can be partitioned throughout a
+//! distributed cluster without sacrificing stream ingestion rate."
+//!
+//! This module demonstrates exactly that property in-process: node sketches
+//! are partitioned across `k` shards that share nothing but the (identical)
+//! sketch hash functions. Each stream update is routed to at most two
+//! shards (its endpoints' owners); shards ingest fully independently — no
+//! cross-shard communication until query time, when a coordinator gathers
+//! the per-shard sketches and runs the ordinary Boruvka computation. The
+//! test suite proves the crucial invariant: a sharded system's sketch state
+//! (and hence its answers) is bit-identical to a single-node system's.
+
+use crate::boruvka::{boruvka_spanning_forest, BoruvkaOutcome};
+use crate::config::LockingStrategy;
+use crate::error::GzError;
+use crate::node_sketch::{encode_other, CubeNodeSketch, SketchParams};
+use crate::store::ram::RamStore;
+use std::sync::Arc;
+
+/// A shard: owns the node sketches for one partition of the vertex set.
+///
+/// In a real deployment this is one machine; here it is one store. The
+/// routing contract is the only coupling: shard `i` owns every vertex `v`
+/// with `v % num_shards == i`.
+pub struct Shard {
+    index: u32,
+    num_shards: u32,
+    store: RamStore,
+}
+
+impl Shard {
+    /// True if this shard owns vertex `v`.
+    #[inline]
+    pub fn owns(&self, v: u32) -> bool {
+        v % self.num_shards == self.index
+    }
+
+    /// Ingest one directed record `(dst, other, is_delete)`; `dst` must be
+    /// owned by this shard.
+    pub fn ingest(&self, dst: u32, other: u32, is_delete: bool) {
+        debug_assert!(self.owns(dst), "routed to the wrong shard");
+        self.store.apply_batch(dst, &[encode_other(other, is_delete)]);
+    }
+
+    /// Ingest a batch bound for one owned vertex.
+    pub fn ingest_batch(&self, dst: u32, records: &[u32]) {
+        debug_assert!(self.owns(dst));
+        self.store.apply_batch(dst, records);
+    }
+}
+
+/// A sharded GraphZeppelin: `k` independent shards plus a query
+/// coordinator.
+pub struct ShardedGraphZeppelin {
+    params: Arc<SketchParams>,
+    shards: Vec<Arc<Shard>>,
+    updates: u64,
+}
+
+impl ShardedGraphZeppelin {
+    /// Build `num_shards` shards for `num_nodes` vertices. All shards share
+    /// the sketch parameters (hash functions) — required for the gathered
+    /// sketches to be mergeable at query time — but nothing else.
+    pub fn new(num_nodes: u64, num_shards: u32, seed: u64) -> Result<Self, GzError> {
+        if num_nodes < 2 {
+            return Err(GzError::InvalidConfig("need at least 2 nodes".into()));
+        }
+        if num_shards == 0 {
+            return Err(GzError::InvalidConfig("need at least one shard".into()));
+        }
+        let rounds = crate::config::default_rounds(num_nodes);
+        let params = Arc::new(SketchParams::new(num_nodes, rounds, 7, seed));
+        let shards = (0..num_shards)
+            .map(|index| {
+                Arc::new(Shard {
+                    index,
+                    num_shards,
+                    // Each shard allocates sketches for the full vertex
+                    // range but only its residue class is ever touched; a
+                    // production system would allocate per-partition. The
+                    // memory overhead is irrelevant to the independence
+                    // demonstration.
+                    store: RamStore::new(Arc::clone(&params), LockingStrategy::DeltaSketch),
+                })
+            })
+            .collect();
+        Ok(ShardedGraphZeppelin { params, shards, updates: 0 })
+    }
+
+    /// Number of shards.
+    pub fn num_shards(&self) -> u32 {
+        self.shards.len() as u32
+    }
+
+    /// The shard owning vertex `v`.
+    pub fn shard_of(&self, v: u32) -> &Arc<Shard> {
+        &self.shards[(v as usize) % self.shards.len()]
+    }
+
+    /// Route one stream update: at most two shards are contacted, and
+    /// neither needs to know about the other.
+    pub fn update(&mut self, u: u32, v: u32, is_delete: bool) {
+        assert!(u != v, "self-loop");
+        assert!((u as u64) < self.params.num_nodes && (v as u64) < self.params.num_nodes);
+        self.shard_of(u).ingest(u, v, is_delete);
+        self.shard_of(v).ingest(v, u, is_delete);
+        self.updates += 1;
+    }
+
+    /// Parallel bulk ingestion: every shard processes its share of the
+    /// stream on its own thread — the "without sacrificing stream ingestion
+    /// rate" claim, since shards never synchronize.
+    pub fn ingest_parallel(&mut self, updates: &[(u32, u32, bool)]) {
+        self.updates += updates.len() as u64;
+        std::thread::scope(|scope| {
+            for shard in &self.shards {
+                let shard = Arc::clone(shard);
+                scope.spawn(move || {
+                    for &(u, v, is_delete) in updates {
+                        // Each shard scans the stream and keeps what it
+                        // owns (a cluster would instead receive a routed
+                        // partition of the stream).
+                        if shard.owns(u) {
+                            shard.ingest(u, v, is_delete);
+                        }
+                        if shard.owns(v) {
+                            shard.ingest(v, u, is_delete);
+                        }
+                    }
+                });
+            }
+        });
+    }
+
+    /// Gather all shards' sketches at the coordinator.
+    fn gather(&self) -> Vec<Option<CubeNodeSketch>> {
+        let mut all: Vec<Option<CubeNodeSketch>> =
+            (0..self.params.num_nodes).map(|_| None).collect();
+        for shard in &self.shards {
+            for (v, sketch) in shard.store.snapshot().into_iter().enumerate() {
+                if shard.owns(v as u32) {
+                    all[v] = sketch;
+                }
+            }
+        }
+        all
+    }
+
+    /// Query connected components: gather + ordinary Boruvka.
+    pub fn spanning_forest(&self) -> Result<BoruvkaOutcome, GzError> {
+        boruvka_spanning_forest(self.gather(), self.params.num_nodes, self.params.rounds())
+    }
+
+    /// Component labels.
+    pub fn connected_components(&self) -> Result<Vec<u32>, GzError> {
+        Ok(self.spanning_forest()?.labels)
+    }
+
+    /// Updates routed so far.
+    pub fn updates_ingested(&self) -> u64 {
+        self.updates
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::system::GraphZeppelin;
+    use crate::config::GzConfig;
+
+    fn demo_updates(n: u32, count: usize, seed: u64) -> Vec<(u32, u32, bool)> {
+        use rand::rngs::SmallRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut present = std::collections::HashSet::new();
+        let mut out = Vec::new();
+        while out.len() < count {
+            let a = rng.gen_range(0..n);
+            let b = rng.gen_range(0..n);
+            if a == b {
+                continue;
+            }
+            let key = (a.min(b), a.max(b));
+            if present.remove(&key) {
+                out.push((a, b, true));
+            } else {
+                present.insert(key);
+                out.push((a, b, false));
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn sharded_matches_single_node_system() {
+        let n = 64u32;
+        let updates = demo_updates(n, 500, 1);
+        let seed = 99;
+
+        let mut sharded = ShardedGraphZeppelin::new(n as u64, 4, seed).unwrap();
+        for &(u, v, d) in &updates {
+            sharded.update(u, v, d);
+        }
+
+        let mut config = GzConfig::in_ram(n as u64);
+        config.seed = seed;
+        let mut single = GraphZeppelin::new(config).unwrap();
+        for &(u, v, d) in &updates {
+            single.update(u, v, d);
+        }
+
+        assert_eq!(
+            sharded.connected_components().unwrap(),
+            single.connected_components().unwrap().labels()
+        );
+    }
+
+    #[test]
+    fn parallel_shard_ingestion_equals_sequential_routing() {
+        let n = 48u32;
+        let updates = demo_updates(n, 400, 2);
+
+        let mut seq = ShardedGraphZeppelin::new(n as u64, 3, 7).unwrap();
+        for &(u, v, d) in &updates {
+            seq.update(u, v, d);
+        }
+        let mut par = ShardedGraphZeppelin::new(n as u64, 3, 7).unwrap();
+        par.ingest_parallel(&updates);
+
+        assert_eq!(
+            seq.connected_components().unwrap(),
+            par.connected_components().unwrap()
+        );
+    }
+
+    #[test]
+    fn each_update_touches_at_most_two_shards() {
+        let sys = ShardedGraphZeppelin::new(100, 5, 1).unwrap();
+        for (u, v) in [(0u32, 1u32), (5, 10), (99, 3)] {
+            let su = sys.shard_of(u).index;
+            let sv = sys.shard_of(v).index;
+            let touched: std::collections::HashSet<u32> = [su, sv].into_iter().collect();
+            assert!(touched.len() <= 2);
+        }
+    }
+
+    #[test]
+    fn shard_count_does_not_change_answers() {
+        let n = 40u32;
+        let updates = demo_updates(n, 300, 3);
+        let mut labels = Vec::new();
+        for shards in [1u32, 2, 7] {
+            let mut sys = ShardedGraphZeppelin::new(n as u64, shards, 5).unwrap();
+            for &(u, v, d) in &updates {
+                sys.update(u, v, d);
+            }
+            labels.push(sys.connected_components().unwrap());
+        }
+        assert_eq!(labels[0], labels[1]);
+        assert_eq!(labels[1], labels[2]);
+    }
+
+    #[test]
+    fn rejects_degenerate_configs() {
+        assert!(ShardedGraphZeppelin::new(1, 2, 0).is_err());
+        assert!(ShardedGraphZeppelin::new(10, 0, 0).is_err());
+    }
+}

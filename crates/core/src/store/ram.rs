@@ -1,0 +1,184 @@
+//! In-RAM sketch store with per-node locking.
+//!
+//! Paper §5.1: "locking is necessary at the batch level because consecutive
+//! batch updates may be requested to the same node sketch […] We minimize
+//! the size of this critical section by exploiting linearity of ℓ0-samplers.
+//! Rather than locking a node sketch S(x) for the entire batch operation, we
+//! apply the updates to an empty sketch S(x0) and lock only to add
+//! S(x) = S(x) + S(x0)." Both disciplines are implemented; the choice is an
+//! ablation benchmark.
+
+use crate::config::LockingStrategy;
+use crate::node_sketch::{CubeNodeSketch, SketchParams};
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// All node sketches in memory, one lock per node.
+pub struct RamStore {
+    params: Arc<SketchParams>,
+    nodes: Vec<Mutex<CubeNodeSketch>>,
+    locking: LockingStrategy,
+    /// Reusable scratch sketches for the delta-sketch discipline: workers
+    /// check one out per batch, so no full node sketch is allocated on the
+    /// hot path.
+    scratch_pool: Mutex<Vec<CubeNodeSketch>>,
+}
+
+impl RamStore {
+    /// Allocate fresh (all-zero) sketches for every node.
+    pub fn new(params: Arc<SketchParams>, locking: LockingStrategy) -> Self {
+        let nodes = (0..params.num_nodes)
+            .map(|_| Mutex::new(params.new_node_sketch()))
+            .collect();
+        RamStore { params, nodes, locking, scratch_pool: Mutex::new(Vec::new()) }
+    }
+
+    /// Shared sketch parameters.
+    pub fn params(&self) -> &Arc<SketchParams> {
+        &self.params
+    }
+
+    /// Apply a batch of encoded records to `node`.
+    pub fn apply_batch(&self, node: u32, records: &[u32]) {
+        match self.locking {
+            LockingStrategy::Direct => {
+                let mut sketch = self.nodes[node as usize].lock();
+                super::apply_records(&mut sketch, node, records, self.params.num_nodes);
+            }
+            LockingStrategy::DeltaSketch => {
+                let mut scratch = self
+                    .scratch_pool
+                    .lock()
+                    .pop()
+                    .unwrap_or_else(|| self.params.new_node_sketch());
+                // Build the delta without holding the node's lock…
+                super::apply_records(&mut scratch, node, records, self.params.num_nodes);
+                // …lock only for the XOR-merge…
+                self.nodes[node as usize].lock().merge(&scratch);
+                // …and recycle the scratch.
+                scratch.clear_all();
+                self.scratch_pool.lock().push(scratch);
+            }
+        }
+    }
+
+    /// Merge a pre-built delta sketch into `node` under its lock — the
+    /// entry point for the sketch-level-parallel path in [`crate::ingest`],
+    /// which constructs the delta across a thread group first.
+    pub fn merge_delta(&self, node: u32, delta: &CubeNodeSketch) {
+        self.nodes[node as usize].lock().merge(delta);
+    }
+
+    /// Clone out every node sketch.
+    pub fn snapshot(&self) -> Vec<Option<CubeNodeSketch>> {
+        self.nodes.iter().map(|m| Some(m.lock().clone())).collect()
+    }
+
+    /// Replace every node sketch (checkpoint restore).
+    pub fn load_all(&self, sketches: Vec<CubeNodeSketch>) {
+        assert_eq!(sketches.len(), self.nodes.len());
+        for (slot, sketch) in self.nodes.iter().zip(sketches) {
+            *slot.lock() = sketch;
+        }
+    }
+
+    /// Total sketch payload bytes.
+    pub fn sketch_bytes(&self) -> usize {
+        self.params.node_sketch_bytes() * self.nodes.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node_sketch::{encode_other, update_index};
+    use gz_sketch::SampleResult;
+
+    fn store(locking: LockingStrategy) -> RamStore {
+        let params = Arc::new(SketchParams::new(32, 4, 7, 99));
+        RamStore::new(params, locking)
+    }
+
+    #[test]
+    fn batch_application_direct_vs_delta_identical() {
+        let a = store(LockingStrategy::Direct);
+        let b = store(LockingStrategy::DeltaSketch);
+        let records: Vec<u32> =
+            [(1u32, false), (2, false), (1, true)].map(|(o, d)| encode_other(o, d)).to_vec();
+        a.apply_batch(0, &records);
+        b.apply_batch(0, &records);
+        let (sa, sb) = (a.snapshot(), b.snapshot());
+        for (x, y) in sa.iter().zip(sb.iter()) {
+            let (x, y) = (x.as_ref().unwrap(), y.as_ref().unwrap());
+            for r in 0..x.num_rounds() {
+                assert_eq!(x.sample_round(r), y.sample_round(r));
+            }
+        }
+    }
+
+    #[test]
+    fn toggle_semantics() {
+        let s = store(LockingStrategy::DeltaSketch);
+        // (0,5) toggled twice cancels; (0,9) stays.
+        s.apply_batch(0, &[encode_other(5, false), encode_other(9, false)]);
+        s.apply_batch(0, &[encode_other(5, true)]);
+        let snap = s.snapshot();
+        let sketch = snap[0].as_ref().unwrap();
+        assert_eq!(
+            sketch.sample_round(0),
+            SampleResult::Index(update_index(0, 9, 32))
+        );
+    }
+
+    #[test]
+    fn self_loops_ignored() {
+        let s = store(LockingStrategy::Direct);
+        s.apply_batch(3, &[encode_other(3, false)]);
+        let snap = s.snapshot();
+        assert_eq!(snap[3].as_ref().unwrap().sample_round(0), SampleResult::Zero);
+    }
+
+    #[test]
+    fn concurrent_batches_linearize() {
+        let s = Arc::new(store(LockingStrategy::DeltaSketch));
+        std::thread::scope(|scope| {
+            for t in 0..8u32 {
+                let s = Arc::clone(&s);
+                scope.spawn(move || {
+                    // Each thread toggles a disjoint set of edges at node 0.
+                    let records: Vec<u32> =
+                        (0..3).map(|i| encode_other(1 + t * 3 + i, false)).collect();
+                    s.apply_batch(0, &records);
+                });
+            }
+        });
+        // All 24 edges present: query returns some (0, x) edge.
+        let snap = s.snapshot();
+        match snap[0].as_ref().unwrap().sample_round(0) {
+            SampleResult::Index(idx) => {
+                let e = gz_graph::index_to_edge(idx, 32);
+                assert_eq!(e.u(), 0);
+                assert!((1..25).contains(&e.v()));
+            }
+            other => panic!("expected a sample, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn scratch_pool_recycles() {
+        let s = store(LockingStrategy::DeltaSketch);
+        for i in 0..10 {
+            s.apply_batch(i % 4, &[encode_other(20 + i, false)]);
+        }
+        // Single-threaded: the pool should hold exactly one scratch.
+        assert_eq!(s.scratch_pool.lock().len(), 1);
+    }
+
+    #[test]
+    fn sketch_bytes_scales_with_nodes() {
+        let params = Arc::new(SketchParams::new(32, 4, 7, 1));
+        let per_node = params.node_sketch_bytes();
+        let s = RamStore::new(params, LockingStrategy::Direct);
+        assert_eq!(s.sketch_bytes(), per_node * 32);
+    }
+}

@@ -1,0 +1,389 @@
+//! The [`GraphZeppelin`] facade: the paper's user-facing API
+//! (`edge_update()` / `list_spanning_forest()`, Figures 8–9).
+
+use crate::boruvka::{boruvka_spanning_forest, BoruvkaOutcome};
+use crate::config::{BufferStrategy, GzConfig, StoreBackend};
+use crate::error::GzError;
+use crate::ingest::{IngestCounters, WorkerPool};
+use crate::node_sketch::{encode_other, SketchParams};
+use crate::store::SketchStore;
+use gz_graph::Edge;
+use gz_gutters::{BufferingSystem, GutterTree, GutterTreeConfig, IoStats, LeafGutters, WorkQueue};
+use std::sync::Arc;
+
+/// A connectivity answer: component labels plus the spanning forest that
+/// witnesses them.
+#[derive(Debug, Clone)]
+pub struct ConnectedComponents {
+    outcome: BoruvkaOutcome,
+}
+
+impl ConnectedComponents {
+    /// Component label of vertex `v` (normalized to the minimum member id).
+    pub fn label(&self, v: u32) -> u32 {
+        self.outcome.labels[v as usize]
+    }
+
+    /// All labels, indexed by vertex.
+    pub fn labels(&self) -> &[u32] {
+        &self.outcome.labels
+    }
+
+    /// True if `a` and `b` are in the same component.
+    pub fn same_component(&self, a: u32, b: u32) -> bool {
+        self.label(a) == self.label(b)
+    }
+
+    /// Number of components.
+    pub fn num_components(&self) -> usize {
+        self.outcome.num_components()
+    }
+
+    /// The spanning forest (the streaming problem's required output).
+    pub fn spanning_forest(&self) -> &[Edge] {
+        &self.outcome.forest
+    }
+
+    /// Boruvka rounds used and sketch failures survived.
+    pub fn query_stats(&self) -> (usize, usize) {
+        (self.outcome.rounds_used, self.outcome.sketch_failures)
+    }
+}
+
+/// The GraphZeppelin system: buffered, parallel sketch ingestion plus
+/// sketch-space Boruvka queries.
+pub struct GraphZeppelin {
+    config: GzConfig,
+    params: Arc<SketchParams>,
+    store: Arc<SketchStore>,
+    queue: Arc<WorkQueue>,
+    buffering: Box<dyn BufferingSystem + Send>,
+    workers: Option<WorkerPool>,
+    counters: Arc<IngestCounters>,
+    updates_ingested: u64,
+    gutter_io: Option<Arc<IoStats>>,
+    buffer_capacity_bytes: usize,
+}
+
+impl GraphZeppelin {
+    /// Build the system described by `config` and start its Graph Workers.
+    pub fn new(config: GzConfig) -> Result<Self, GzError> {
+        config.validate()?;
+        let params = Arc::new(SketchParams::new(
+            config.num_nodes,
+            config.rounds(),
+            config.num_columns,
+            config.seed,
+        ));
+        let store = Arc::new(SketchStore::build(&config, Arc::clone(&params))?);
+        let queue = Arc::new(WorkQueue::for_workers(config.num_workers));
+
+        let node_sketch_bytes = params.node_sketch_bytes();
+        let (buffering, gutter_io, buffer_capacity_bytes): (
+            Box<dyn BufferingSystem + Send>,
+            Option<Arc<IoStats>>,
+            usize,
+        ) = match &config.buffering {
+            BufferStrategy::LeafOnly { capacity } => {
+                let cap = capacity.resolve(node_sketch_bytes);
+                let gutters =
+                    LeafGutters::new(config.num_nodes as usize, cap, Arc::clone(&queue));
+                let bytes = cap * 4 * config.num_nodes as usize;
+                (Box::new(gutters), None, bytes)
+            }
+            BufferStrategy::GutterTree { buffer_bytes, fanout, leaf_capacity, dir } => {
+                let leaf_cap = leaf_capacity.resolve(node_sketch_bytes);
+                let path = dir.join(format!(
+                    "gz_gutter_tree_{}_{}.bin",
+                    std::process::id(),
+                    config.seed
+                ));
+                let tree_config = GutterTreeConfig {
+                    num_nodes: config.num_nodes as u32,
+                    leaf_capacity_updates: leaf_cap,
+                    buffer_bytes: *buffer_bytes,
+                    fanout: *fanout,
+                    path,
+                };
+                let tree = GutterTree::new(tree_config, Arc::clone(&queue))?;
+                let io = tree.stats();
+                // RAM cost of the tree is just the root buffer.
+                (Box::new(tree), Some(io), *buffer_bytes)
+            }
+        };
+
+        let workers = WorkerPool::spawn(
+            config.num_workers,
+            config.group_threads,
+            Arc::clone(&queue),
+            Arc::clone(&store),
+        );
+        let counters = workers.counters();
+
+        Ok(GraphZeppelin {
+            config,
+            params,
+            store,
+            queue,
+            buffering,
+            workers: Some(workers),
+            counters,
+            updates_ingested: 0,
+            gutter_io,
+            buffer_capacity_bytes,
+        })
+    }
+
+    /// Ingest one stream update — a *toggle* of edge `(u, v)` (paper
+    /// Figure 8's `edge_update`). Inserting an absent edge and deleting a
+    /// present one are the same operation over Z_2.
+    #[inline]
+    pub fn edge_update(&mut self, u: u32, v: u32) {
+        self.update(u, v, false)
+    }
+
+    /// Ingest one update with an explicit insert/delete tag. GraphZeppelin's
+    /// sketches ignore the tag (Z_2), but it is preserved through the
+    /// buffering layer for systems that need signs (StreamingCC) and for
+    /// debugging.
+    pub fn update(&mut self, u: u32, v: u32, is_delete: bool) {
+        assert!(u != v, "self-loop ({u},{v}) is not a valid stream update");
+        assert!(
+            (u as u64) < self.config.num_nodes && (v as u64) < self.config.num_nodes,
+            "vertex out of range"
+        );
+        // Figure 8: buffer_insert({u,v}) and buffer_insert({v,u}).
+        self.buffering.insert(u, encode_other(v, is_delete));
+        self.buffering.insert(v, encode_other(u, is_delete));
+        self.updates_ingested += 1;
+    }
+
+    /// Ingest a whole stream of `(u, v, is_delete)` updates.
+    pub fn ingest(&mut self, updates: impl IntoIterator<Item = (u32, u32, bool)>) {
+        for (u, v, d) in updates {
+            self.update(u, v, d);
+        }
+    }
+
+    /// Drain all buffered updates into the sketches (paper Figure 9's
+    /// `cleanup()`): force-flush the buffering system, then wait until the
+    /// Graph Workers have acknowledged every batch.
+    pub fn flush(&mut self) {
+        self.buffering.force_flush();
+        self.queue.wait_idle();
+    }
+
+    /// Compute a spanning forest of the current graph (paper
+    /// `list_spanning_forest()`); leaves the system ready for more updates.
+    pub fn spanning_forest(&mut self) -> Result<BoruvkaOutcome, GzError> {
+        self.flush();
+        let sketches = self.store.snapshot();
+        boruvka_spanning_forest(sketches, self.config.num_nodes, self.params.rounds())
+    }
+
+    /// Compute connected components of the current graph.
+    pub fn connected_components(&mut self) -> Result<ConnectedComponents, GzError> {
+        Ok(ConnectedComponents { outcome: self.spanning_forest()? })
+    }
+
+    /// Number of stream updates ingested so far.
+    pub fn updates_ingested(&self) -> u64 {
+        self.updates_ingested
+    }
+
+    /// Batches applied by the workers so far.
+    pub fn batches_applied(&self) -> u64 {
+        self.counters.batches.load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// Total sketch bytes (the paper's Figure 11 memory accounting).
+    pub fn sketch_bytes(&self) -> usize {
+        self.store.sketch_bytes()
+    }
+
+    /// Approximate total memory footprint: sketches (when in RAM) plus
+    /// buffering capacity.
+    pub fn memory_bytes(&self) -> usize {
+        let sketch_ram = match self.config.store {
+            StoreBackend::Ram => self.store.sketch_bytes(),
+            StoreBackend::Disk { .. } => 0, // sketches live on disk
+        };
+        sketch_ram + self.buffer_capacity_bytes
+    }
+
+    /// I/O counters of the sketch store (disk backend only).
+    pub fn store_io(&self) -> Option<Arc<IoStats>> {
+        self.store.io_stats()
+    }
+
+    /// I/O counters of the gutter tree (gutter-tree buffering only).
+    pub fn gutter_io(&self) -> Option<Arc<IoStats>> {
+        self.gutter_io.clone()
+    }
+
+    /// The configuration this system was built with.
+    pub fn config(&self) -> &GzConfig {
+        &self.config
+    }
+
+    /// Shared sketch parameters (geometry, rounds).
+    pub fn params(&self) -> &Arc<SketchParams> {
+        &self.params
+    }
+
+    /// Owned copies of all node sketches (checkpointing). Callers should
+    /// [`Self::flush`] first so buffered updates are included.
+    pub(crate) fn snapshot_sketches(&self) -> Vec<crate::node_sketch::CubeNodeSketch> {
+        self.store
+            .snapshot()
+            .into_iter()
+            .map(|s| s.expect("store snapshot holds every node"))
+            .collect()
+    }
+
+    /// Replace all sketch state (checkpoint restore).
+    pub(crate) fn load_sketches(
+        &mut self,
+        sketches: Vec<crate::node_sketch::CubeNodeSketch>,
+        updates_ingested: u64,
+    ) {
+        self.store.load_all(sketches);
+        self.updates_ingested = updates_ingested;
+    }
+
+    /// Shut down: close the queue and join the Graph Workers. Called
+    /// automatically on drop; explicit form surfaces worker panics.
+    pub fn shutdown(mut self) {
+        self.shutdown_inner();
+    }
+
+    fn shutdown_inner(&mut self) {
+        self.queue.close();
+        if let Some(workers) = self.workers.take() {
+            workers.join();
+        }
+    }
+}
+
+impl Drop for GraphZeppelin {
+    fn drop(&mut self) {
+        self.shutdown_inner();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{GutterCapacity, LockingStrategy};
+
+    fn tiny_config(num_nodes: u64) -> GzConfig {
+        let mut c = GzConfig::in_ram(num_nodes);
+        c.num_workers = 2;
+        c
+    }
+
+    #[test]
+    fn empty_graph_is_all_singletons() {
+        let mut gz = GraphZeppelin::new(tiny_config(8)).unwrap();
+        let cc = gz.connected_components().unwrap();
+        assert_eq!(cc.num_components(), 8);
+        assert!(cc.spanning_forest().is_empty());
+    }
+
+    #[test]
+    fn triangle_plus_edge() {
+        let mut gz = GraphZeppelin::new(tiny_config(16)).unwrap();
+        gz.edge_update(0, 1);
+        gz.edge_update(1, 2);
+        gz.edge_update(2, 0);
+        gz.edge_update(9, 10);
+        let cc = gz.connected_components().unwrap();
+        assert!(cc.same_component(0, 2));
+        assert!(cc.same_component(9, 10));
+        assert!(!cc.same_component(0, 9));
+        // 11 singletons + the triangle + the pair.
+        assert_eq!(cc.num_components(), 13);
+        assert_eq!(cc.spanning_forest().len(), 3);
+    }
+
+    #[test]
+    fn deletion_disconnects() {
+        let mut gz = GraphZeppelin::new(tiny_config(8)).unwrap();
+        gz.update(0, 1, false);
+        gz.update(1, 2, false);
+        let cc1 = gz.connected_components().unwrap();
+        assert!(cc1.same_component(0, 2));
+        // Delete the bridge (toggle it off).
+        gz.update(1, 2, true);
+        let cc2 = gz.connected_components().unwrap();
+        assert!(cc2.same_component(0, 1));
+        assert!(!cc2.same_component(1, 2));
+    }
+
+    #[test]
+    fn queries_are_repeatable_and_nondestructive() {
+        let mut gz = GraphZeppelin::new(tiny_config(8)).unwrap();
+        gz.edge_update(3, 4);
+        let a = gz.connected_components().unwrap();
+        let b = gz.connected_components().unwrap();
+        assert_eq!(a.labels(), b.labels());
+        // And ingestion continues to work after queries.
+        gz.edge_update(4, 5);
+        let c = gz.connected_components().unwrap();
+        assert!(c.same_component(3, 5));
+    }
+
+    #[test]
+    fn update_counts() {
+        let mut gz = GraphZeppelin::new(tiny_config(8)).unwrap();
+        gz.edge_update(0, 1);
+        gz.edge_update(0, 2);
+        assert_eq!(gz.updates_ingested(), 2);
+        gz.flush();
+        assert!(gz.batches_applied() > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loop")]
+    fn rejects_self_loops() {
+        let mut gz = GraphZeppelin::new(tiny_config(8)).unwrap();
+        gz.edge_update(3, 3);
+    }
+
+    #[test]
+    fn tiny_buffers_behave_like_unbuffered() {
+        let mut c = tiny_config(8);
+        c.buffering = BufferStrategy::LeafOnly { capacity: GutterCapacity::Updates(1) };
+        let mut gz = GraphZeppelin::new(c).unwrap();
+        gz.edge_update(0, 1);
+        gz.edge_update(1, 2);
+        let cc = gz.connected_components().unwrap();
+        assert!(cc.same_component(0, 2));
+    }
+
+    #[test]
+    fn direct_locking_matches_delta() {
+        let mut ca = tiny_config(12);
+        ca.locking = LockingStrategy::Direct;
+        let mut cb = tiny_config(12);
+        cb.locking = LockingStrategy::DeltaSketch;
+        let edges = [(0u32, 1u32), (1, 2), (3, 4), (5, 6), (6, 7), (7, 5)];
+        let mut a = GraphZeppelin::new(ca).unwrap();
+        let mut b = GraphZeppelin::new(cb).unwrap();
+        for &(u, v) in &edges {
+            a.edge_update(u, v);
+            b.edge_update(u, v);
+        }
+        assert_eq!(
+            a.connected_components().unwrap().labels(),
+            b.connected_components().unwrap().labels()
+        );
+    }
+
+    #[test]
+    fn memory_accounting_positive() {
+        let gz = GraphZeppelin::new(tiny_config(32)).unwrap();
+        assert!(gz.sketch_bytes() > 0);
+        assert!(gz.memory_bytes() >= gz.sketch_bytes());
+    }
+}

@@ -1,0 +1,146 @@
+//! Union–find with rollback (union by rank, **no** path compression).
+//!
+//! Used by the test suites to explore alternative Boruvka merge orders: a
+//! round's merges can be applied, inspected, and undone without copying the
+//! whole structure. Not used on the ingestion hot path.
+
+/// A single undo record: which element's parent pointer changed, and whether
+/// the winning root's rank was bumped.
+#[derive(Debug, Clone, Copy)]
+struct UndoRecord {
+    child: u32,
+    rank_bumped: bool,
+    root: u32,
+}
+
+/// Union–find supporting `O(log n)` find and constant-time rollback of the
+/// most recent unions.
+#[derive(Debug, Clone)]
+pub struct RollbackDsu {
+    parent: Vec<u32>,
+    rank: Vec<u8>,
+    log: Vec<UndoRecord>,
+    components: usize,
+}
+
+impl RollbackDsu {
+    /// Create a rollback DSU with `n` singleton components.
+    pub fn new(n: usize) -> Self {
+        RollbackDsu {
+            parent: (0..n as u32).collect(),
+            rank: vec![0; n],
+            log: Vec::new(),
+            components: n,
+        }
+    }
+
+    /// Number of current components.
+    pub fn component_count(&self) -> usize {
+        self.components
+    }
+
+    /// Find the representative of `x` (no compression, so rollback stays
+    /// trivial).
+    pub fn find(&self, mut x: u32) -> u32 {
+        while self.parent[x as usize] != x {
+            x = self.parent[x as usize];
+        }
+        x
+    }
+
+    /// Merge the components of `a` and `b`, recording an undo entry.
+    /// Returns `true` if a merge happened.
+    pub fn union(&mut self, a: u32, b: u32) -> bool {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return false;
+        }
+        let (hi, lo) = if self.rank[ra as usize] >= self.rank[rb as usize] {
+            (ra, rb)
+        } else {
+            (rb, ra)
+        };
+        let rank_bumped = self.rank[hi as usize] == self.rank[lo as usize];
+        self.parent[lo as usize] = hi;
+        if rank_bumped {
+            self.rank[hi as usize] += 1;
+        }
+        self.log.push(UndoRecord { child: lo, rank_bumped, root: hi });
+        self.components -= 1;
+        true
+    }
+
+    /// A checkpoint token: the number of successful unions so far.
+    pub fn checkpoint(&self) -> usize {
+        self.log.len()
+    }
+
+    /// Undo all unions performed after `checkpoint`.
+    pub fn rollback_to(&mut self, checkpoint: usize) {
+        while self.log.len() > checkpoint {
+            let rec = self.log.pop().expect("log nonempty");
+            self.parent[rec.child as usize] = rec.child;
+            if rec.rank_bumped {
+                self.rank[rec.root as usize] -= 1;
+            }
+            self.components += 1;
+        }
+    }
+
+    /// True if `a` and `b` share a component.
+    pub fn connected(&self, a: u32, b: u32) -> bool {
+        self.find(a) == self.find(b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn union_and_rollback_round_trip() {
+        let mut d = RollbackDsu::new(8);
+        let cp0 = d.checkpoint();
+        assert!(d.union(0, 1));
+        assert!(d.union(2, 3));
+        let cp1 = d.checkpoint();
+        assert!(d.union(1, 2));
+        assert!(d.connected(0, 3));
+        assert_eq!(d.component_count(), 5);
+
+        d.rollback_to(cp1);
+        assert!(!d.connected(0, 3));
+        assert!(d.connected(0, 1));
+        assert_eq!(d.component_count(), 6);
+
+        d.rollback_to(cp0);
+        assert!(!d.connected(0, 1));
+        assert_eq!(d.component_count(), 8);
+    }
+
+    #[test]
+    fn rollback_restores_ranks() {
+        let mut d = RollbackDsu::new(4);
+        let cp = d.checkpoint();
+        d.union(0, 1); // rank of winner bumps to 1
+        d.union(2, 3);
+        d.union(0, 2);
+        d.rollback_to(cp);
+        // After full rollback the structure must behave exactly like new:
+        // re-run the same unions and get the same partition.
+        d.union(0, 1);
+        d.union(2, 3);
+        assert!(d.connected(0, 1));
+        assert!(d.connected(2, 3));
+        assert!(!d.connected(0, 2));
+    }
+
+    #[test]
+    fn failed_union_not_logged() {
+        let mut d = RollbackDsu::new(3);
+        d.union(0, 1);
+        let cp = d.checkpoint();
+        assert!(!d.union(1, 0));
+        assert_eq!(d.checkpoint(), cp, "no-op union must not append to log");
+    }
+}

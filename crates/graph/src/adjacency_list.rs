@@ -1,0 +1,170 @@
+//! Plain adjacency-list representation.
+//!
+//! This is the "lossless representation of the graph" that the paper's space
+//! bounds are measured against (and the structure behind Figure 1's 16 GB
+//! feasibility line). It doubles as the reference container for building test
+//! graphs and computing ground truth on sparse inputs, where the bit-matrix
+//! would be wasteful.
+
+use crate::edge::{Edge, VertexId};
+
+/// An undirected graph as per-vertex sorted neighbor vectors.
+#[derive(Debug, Clone, Default)]
+pub struct AdjacencyList {
+    adj: Vec<Vec<VertexId>>,
+    num_edges: u64,
+}
+
+impl AdjacencyList {
+    /// Create an empty graph on `num_vertices` vertices.
+    pub fn new(num_vertices: usize) -> Self {
+        AdjacencyList { adj: vec![Vec::new(); num_vertices], num_edges: 0 }
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Number of edges.
+    #[inline]
+    pub fn num_edges(&self) -> u64 {
+        self.num_edges
+    }
+
+    /// True if edge `e` is present.
+    pub fn contains(&self, e: Edge) -> bool {
+        self.adj[e.u() as usize].binary_search(&e.v()).is_ok()
+    }
+
+    /// Insert an edge; returns `true` if newly added.
+    pub fn insert(&mut self, e: Edge) -> bool {
+        match self.adj[e.u() as usize].binary_search(&e.v()) {
+            Ok(_) => false,
+            Err(pos) => {
+                self.adj[e.u() as usize].insert(pos, e.v());
+                let pos2 = self.adj[e.v() as usize]
+                    .binary_search(&e.u())
+                    .expect_err("half-edge asymmetry");
+                self.adj[e.v() as usize].insert(pos2, e.u());
+                self.num_edges += 1;
+                true
+            }
+        }
+    }
+
+    /// Remove an edge; returns `true` if it was present.
+    pub fn remove(&mut self, e: Edge) -> bool {
+        match self.adj[e.u() as usize].binary_search(&e.v()) {
+            Err(_) => false,
+            Ok(pos) => {
+                self.adj[e.u() as usize].remove(pos);
+                let pos2 = self.adj[e.v() as usize]
+                    .binary_search(&e.u())
+                    .expect("half-edge asymmetry");
+                self.adj[e.v() as usize].remove(pos2);
+                self.num_edges -= 1;
+                true
+            }
+        }
+    }
+
+    /// Toggle an edge; returns `true` if present after the toggle.
+    pub fn toggle(&mut self, e: Edge) -> bool {
+        if self.contains(e) {
+            self.remove(e);
+            false
+        } else {
+            self.insert(e);
+            true
+        }
+    }
+
+    /// Sorted neighbors of a vertex.
+    pub fn neighbors(&self, x: VertexId) -> &[VertexId] {
+        &self.adj[x as usize]
+    }
+
+    /// Degree of a vertex.
+    pub fn degree(&self, x: VertexId) -> usize {
+        self.adj[x as usize].len()
+    }
+
+    /// Iterate all edges in canonical order (each edge once).
+    pub fn edges(&self) -> impl Iterator<Item = Edge> + '_ {
+        self.adj.iter().enumerate().flat_map(|(u, nbrs)| {
+            nbrs.iter()
+                .filter(move |&&v| (u as u32) < v)
+                .map(move |&v| Edge::new(u as u32, v))
+        })
+    }
+
+    /// Heap size in bytes of the neighbor arrays (the Figure 1 cost model:
+    /// an adjacency list stores each edge twice).
+    pub fn size_bytes(&self) -> usize {
+        self.adj.iter().map(|v| v.len() * std::mem::size_of::<VertexId>()).sum::<usize>()
+            + self.adj.len() * std::mem::size_of::<Vec<VertexId>>()
+    }
+
+    /// Build from an edge iterator, ignoring duplicates and self-loops.
+    pub fn from_edges(num_vertices: usize, edges: impl IntoIterator<Item = (u32, u32)>) -> Self {
+        let mut g = AdjacencyList::new(num_vertices);
+        for (a, b) in edges {
+            if a != b {
+                g.insert(Edge::new(a, b));
+            }
+        }
+        g
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_is_symmetric_and_sorted() {
+        let mut g = AdjacencyList::new(5);
+        assert!(g.insert(Edge::new(3, 1)));
+        assert!(g.insert(Edge::new(1, 4)));
+        assert!(g.insert(Edge::new(1, 0)));
+        assert_eq!(g.neighbors(1), &[0, 3, 4]);
+        assert_eq!(g.neighbors(3), &[1]);
+        assert!(!g.insert(Edge::new(1, 3)), "duplicate insert");
+        assert_eq!(g.num_edges(), 3);
+    }
+
+    #[test]
+    fn remove_and_toggle() {
+        let mut g = AdjacencyList::new(4);
+        g.insert(Edge::new(0, 1));
+        assert!(g.remove(Edge::new(1, 0)));
+        assert!(!g.remove(Edge::new(1, 0)));
+        assert!(g.toggle(Edge::new(2, 3)));
+        assert!(!g.toggle(Edge::new(2, 3)));
+        assert_eq!(g.num_edges(), 0);
+    }
+
+    #[test]
+    fn edges_enumerated_once() {
+        let g = AdjacencyList::from_edges(6, [(0, 1), (1, 0), (2, 5), (5, 2), (3, 3)]);
+        let edges: Vec<Edge> = g.edges().collect();
+        assert_eq!(edges, vec![Edge::new(0, 1), Edge::new(2, 5)]);
+        assert_eq!(g.num_edges(), 2);
+    }
+
+    #[test]
+    fn degrees() {
+        let g = AdjacencyList::from_edges(4, [(0, 1), (0, 2), (0, 3)]);
+        assert_eq!(g.degree(0), 3);
+        assert_eq!(g.degree(1), 1);
+    }
+
+    #[test]
+    fn size_counts_both_directions() {
+        let g = AdjacencyList::from_edges(3, [(0, 1)]);
+        // 2 half-edges * 4 bytes + 3 Vec headers.
+        assert_eq!(g.size_bytes(), 8 + 3 * std::mem::size_of::<Vec<u32>>());
+    }
+}

@@ -1,0 +1,201 @@
+//! Bit-packed adjacency matrix.
+//!
+//! The paper's §6.3 reliability experiment compares GraphZeppelin's answers
+//! "with an in-memory adjacency matrix stored as a bit vector". This is that
+//! structure: one bit per possible undirected edge, stored over the same
+//! triangular index space as the characteristic vectors, so a stream of edge
+//! toggles can be mirrored exactly.
+
+use crate::edge::{edge_index, edge_index_count, Edge, VertexId};
+
+/// A dense undirected graph as one bit per possible edge (upper triangle).
+#[derive(Debug, Clone)]
+pub struct AdjacencyMatrix {
+    num_vertices: u64,
+    bits: Vec<u64>,
+    num_edges: u64,
+}
+
+impl AdjacencyMatrix {
+    /// Create an empty graph on `num_vertices` vertices.
+    ///
+    /// Space is `C(V,2)` bits; at the paper's kron17 scale (2^17 nodes) this
+    /// is ~1 GiB, exactly the baseline cost the sketches avoid.
+    pub fn new(num_vertices: u64) -> Self {
+        let nbits = edge_index_count(num_vertices);
+        let words = nbits.div_ceil(64) as usize;
+        AdjacencyMatrix { num_vertices, bits: vec![0; words], num_edges: 0 }
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn num_vertices(&self) -> u64 {
+        self.num_vertices
+    }
+
+    /// Number of edges currently present.
+    #[inline]
+    pub fn num_edges(&self) -> u64 {
+        self.num_edges
+    }
+
+    /// Heap size in bytes (the "explicit representation" cost).
+    pub fn size_bytes(&self) -> usize {
+        self.bits.len() * 8
+    }
+
+    #[inline]
+    fn locate(&self, e: Edge) -> (usize, u64) {
+        let idx = edge_index(e, self.num_vertices);
+        ((idx / 64) as usize, 1u64 << (idx % 64))
+    }
+
+    /// True if the edge is present.
+    #[inline]
+    pub fn contains(&self, e: Edge) -> bool {
+        let (w, m) = self.locate(e);
+        self.bits[w] & m != 0
+    }
+
+    /// Toggle an edge (the natural mirror of a Z_2 stream update). Returns
+    /// `true` if the edge is present *after* the toggle.
+    #[inline]
+    pub fn toggle(&mut self, e: Edge) -> bool {
+        let (w, m) = self.locate(e);
+        self.bits[w] ^= m;
+        let present = self.bits[w] & m != 0;
+        if present {
+            self.num_edges += 1;
+        } else {
+            self.num_edges -= 1;
+        }
+        present
+    }
+
+    /// Insert an edge; returns `true` if it was newly added.
+    pub fn insert(&mut self, e: Edge) -> bool {
+        if self.contains(e) {
+            false
+        } else {
+            self.toggle(e);
+            true
+        }
+    }
+
+    /// Remove an edge; returns `true` if it was present.
+    pub fn remove(&mut self, e: Edge) -> bool {
+        if self.contains(e) {
+            self.toggle(e);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Iterate the neighbors of `x` in increasing order.
+    pub fn neighbors(&self, x: VertexId) -> impl Iterator<Item = VertexId> + '_ {
+        let n = self.num_vertices as u32;
+        (0..n).filter(move |&y| y != x && self.contains(Edge::new(x, y)))
+    }
+
+    /// Iterate all present edges in index order.
+    pub fn edges(&self) -> impl Iterator<Item = Edge> + '_ {
+        let v = self.num_vertices;
+        self.bits.iter().enumerate().flat_map(move |(w, &word)| {
+            let mut word = word;
+            let mut out = Vec::new();
+            while word != 0 {
+                let bit = word.trailing_zeros() as u64;
+                word &= word - 1;
+                let idx = w as u64 * 64 + bit;
+                if idx < edge_index_count(v) {
+                    out.push(crate::edge::index_to_edge(idx, v));
+                }
+            }
+            out
+        })
+    }
+
+    /// Connected components by DSU over present edges; labels normalized to
+    /// the minimum vertex id per component.
+    pub fn connected_components(&self) -> Vec<u32> {
+        let mut dsu = gz_dsu::Dsu::new(self.num_vertices as usize);
+        for e in self.edges() {
+            dsu.union(e.u(), e.v());
+        }
+        dsu.normalized_labels()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn toggle_round_trip() {
+        let mut m = AdjacencyMatrix::new(10);
+        let e = Edge::new(2, 7);
+        assert!(!m.contains(e));
+        assert!(m.toggle(e));
+        assert!(m.contains(e));
+        assert_eq!(m.num_edges(), 1);
+        assert!(!m.toggle(e));
+        assert!(!m.contains(e));
+        assert_eq!(m.num_edges(), 0);
+    }
+
+    #[test]
+    fn insert_remove_idempotence() {
+        let mut m = AdjacencyMatrix::new(6);
+        let e = Edge::new(0, 5);
+        assert!(m.insert(e));
+        assert!(!m.insert(e));
+        assert!(m.remove(e));
+        assert!(!m.remove(e));
+    }
+
+    #[test]
+    fn neighbors_and_edges() {
+        let mut m = AdjacencyMatrix::new(5);
+        m.insert(Edge::new(0, 1));
+        m.insert(Edge::new(0, 3));
+        m.insert(Edge::new(2, 3));
+        assert_eq!(m.neighbors(0).collect::<Vec<_>>(), vec![1, 3]);
+        assert_eq!(m.neighbors(4).count(), 0);
+        let edges: Vec<Edge> = m.edges().collect();
+        assert_eq!(edges, vec![Edge::new(0, 1), Edge::new(0, 3), Edge::new(2, 3)]);
+    }
+
+    #[test]
+    fn components_of_two_triangles() {
+        let mut m = AdjacencyMatrix::new(7);
+        for &(a, b) in &[(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3)] {
+            m.insert(Edge::new(a, b));
+        }
+        let labels = m.connected_components();
+        assert_eq!(labels, vec![0, 0, 0, 3, 3, 3, 6]);
+    }
+
+    #[test]
+    fn size_is_quadratic() {
+        // V=1024: C(V,2) bits ≈ 64 KiB.
+        let m = AdjacencyMatrix::new(1024);
+        assert_eq!(m.size_bytes(), (edge_index_count(1024).div_ceil(64) * 8) as usize);
+    }
+
+    #[test]
+    fn full_graph_edge_count() {
+        let v = 20u64;
+        let mut m = AdjacencyMatrix::new(v);
+        for a in 0..v as u32 {
+            for b in (a + 1)..v as u32 {
+                m.insert(Edge::new(a, b));
+            }
+        }
+        assert_eq!(m.num_edges(), edge_index_count(v));
+        assert_eq!(m.edges().count() as u64, edge_index_count(v));
+        // One component.
+        let labels = m.connected_components();
+        assert!(labels.iter().all(|&l| l == 0));
+    }
+}

@@ -1,0 +1,166 @@
+//! Bridge finding (2-edge-connectivity), iterative Tarjan lowlink.
+//!
+//! Used by the edge-connectivity extension (`graph-zeppelin`'s k-forest
+//! certificates, after paper §3.1's "edge- or vertex-connectivity"
+//! application of CubeSketch): a graph is 2-edge-connected iff it is
+//! connected and bridge-free, and an AGM certificate preserves exactly that
+//! property. Implemented iteratively so deep paths cannot overflow the
+//! stack.
+
+use crate::adjacency_list::AdjacencyList;
+use crate::edge::Edge;
+
+/// All bridges of `g` (edges whose removal disconnects their component),
+/// in canonical order.
+pub fn bridges(g: &AdjacencyList) -> Vec<Edge> {
+    let n = g.num_vertices();
+    let mut disc = vec![u32::MAX; n]; // discovery time
+    let mut low = vec![u32::MAX; n]; // lowlink
+    let mut timer = 0u32;
+    let mut out = Vec::new();
+
+    // Iterative DFS frame: (vertex, parent, next neighbor index).
+    let mut stack: Vec<(u32, u32, usize)> = Vec::new();
+    for root in 0..n as u32 {
+        if disc[root as usize] != u32::MAX {
+            continue;
+        }
+        disc[root as usize] = timer;
+        low[root as usize] = timer;
+        timer += 1;
+        stack.push((root, u32::MAX, 0));
+
+        while let Some(&mut (v, parent, ref mut next)) = stack.last_mut() {
+            let nbrs = g.neighbors(v);
+            if *next < nbrs.len() {
+                let w = nbrs[*next];
+                *next += 1;
+                if disc[w as usize] == u32::MAX {
+                    // Tree edge: descend.
+                    disc[w as usize] = timer;
+                    low[w as usize] = timer;
+                    timer += 1;
+                    stack.push((w, v, 0));
+                } else if w != parent {
+                    // Back edge (or multi-visit): update lowlink.
+                    low[v as usize] = low[v as usize].min(disc[w as usize]);
+                }
+                // Note: simple graphs have no parallel edges, so skipping
+                // exactly one `w == parent` occurrence is exact here.
+            } else {
+                // Retreat: propagate lowlink to the parent.
+                stack.pop();
+                if let Some(&mut (p, _, _)) = stack.last_mut() {
+                    low[p as usize] = low[p as usize].min(low[v as usize]);
+                    if low[v as usize] > disc[p as usize] {
+                        out.push(Edge::new(p, v));
+                    }
+                }
+            }
+        }
+    }
+    out.sort_unstable();
+    out
+}
+
+/// True if `g` is connected (non-trivially: `n ≥ 2`) and has no bridges —
+/// i.e. is 2-edge-connected.
+pub fn is_two_edge_connected(g: &AdjacencyList) -> bool {
+    let n = g.num_vertices();
+    if n < 2 {
+        return false;
+    }
+    let labels = crate::connectivity::connected_components_dsu(g);
+    if labels.iter().any(|&l| l != 0) {
+        return false; // not connected
+    }
+    bridges(g).is_empty()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn graph(n: usize, edges: &[(u32, u32)]) -> AdjacencyList {
+        AdjacencyList::from_edges(n, edges.iter().copied())
+    }
+
+    #[test]
+    fn path_edges_are_all_bridges() {
+        let g = graph(5, &[(0, 1), (1, 2), (2, 3), (3, 4)]);
+        assert_eq!(bridges(&g).len(), 4);
+        assert!(!is_two_edge_connected(&g));
+    }
+
+    #[test]
+    fn cycle_has_no_bridges() {
+        let g = graph(5, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)]);
+        assert!(bridges(&g).is_empty());
+        assert!(is_two_edge_connected(&g));
+    }
+
+    #[test]
+    fn barbell_bridge_identified() {
+        // Two triangles joined by one edge: exactly that edge is a bridge.
+        let g = graph(
+            6,
+            &[(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3), (2, 3)],
+        );
+        assert_eq!(bridges(&g), vec![Edge::new(2, 3)]);
+        assert!(!is_two_edge_connected(&g));
+    }
+
+    #[test]
+    fn disconnected_graph_not_two_edge_connected() {
+        let g = graph(6, &[(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3)]);
+        assert!(bridges(&g).is_empty(), "each triangle is bridge-free");
+        assert!(!is_two_edge_connected(&g), "but the graph is disconnected");
+    }
+
+    #[test]
+    fn deep_path_does_not_overflow() {
+        let n = 200_000;
+        let edges: Vec<(u32, u32)> = (0..n as u32 - 1).map(|i| (i, i + 1)).collect();
+        let g = AdjacencyList::from_edges(n, edges);
+        assert_eq!(bridges(&g).len(), n - 1);
+    }
+
+    /// Oracle: e is a bridge iff removing it splits its component.
+    fn bridges_naive(g: &AdjacencyList) -> Vec<Edge> {
+        let base = crate::connectivity::count_components(
+            &crate::connectivity::connected_components_dsu(g),
+        );
+        let mut out = Vec::new();
+        for e in g.edges().collect::<Vec<_>>() {
+            let mut h = g.clone();
+            h.remove(e);
+            let c = crate::connectivity::count_components(
+                &crate::connectivity::connected_components_dsu(&h),
+            );
+            if c > base {
+                out.push(e);
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn matches_naive_on_random_graphs() {
+        use rand::rngs::SmallRng;
+        use rand::{Rng, SeedableRng};
+        for seed in 0..8u64 {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let n = 24;
+            let mut edges = Vec::new();
+            for a in 0..n as u32 {
+                for b in (a + 1)..n as u32 {
+                    if rng.gen::<f64>() < 0.12 {
+                        edges.push((a, b));
+                    }
+                }
+            }
+            let g = AdjacencyList::from_edges(n, edges);
+            assert_eq!(bridges(&g), bridges_naive(&g), "seed {seed}");
+        }
+    }
+}

@@ -1,0 +1,229 @@
+//! Vertex and edge types, and the triangular edge↔index codec.
+//!
+//! The characteristic vector of node `i` (paper §2.2) is indexed by the set
+//! of possible undirected edges on `V` vertices. We fix the standard
+//! row-major upper-triangle enumeration: edge `(u,v)` with `u < v` gets index
+//!
+//! ```text
+//! idx(u,v) = u·V − u(u+1)/2 + (v − u − 1)   ∈ [0, C(V,2))
+//! ```
+//!
+//! This codec is the contract between the stream layer (which emits vertex
+//! pairs) and the sketch layer (which toggles vector coordinates); its
+//! bijectivity is property-tested below.
+
+/// Vertex identifier. The paper's systems address up to 2^18 nodes; `u32`
+/// leaves ample headroom while keeping update records compact.
+pub type VertexId = u32;
+
+/// An undirected edge, stored in canonical `(min, max)` order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Edge {
+    u: VertexId,
+    v: VertexId,
+}
+
+impl Edge {
+    /// Create a canonical edge from two distinct endpoints (any order).
+    ///
+    /// # Panics
+    /// Panics on self-loops: graph streams in the paper's model contain only
+    /// `u ≠ v` updates.
+    #[inline]
+    pub fn new(a: VertexId, b: VertexId) -> Self {
+        assert!(a != b, "self-loop ({a},{b}) is not a valid stream edge");
+        if a < b {
+            Edge { u: a, v: b }
+        } else {
+            Edge { u: b, v: a }
+        }
+    }
+
+    /// The smaller endpoint.
+    #[inline]
+    pub fn u(&self) -> VertexId {
+        self.u
+    }
+
+    /// The larger endpoint.
+    #[inline]
+    pub fn v(&self) -> VertexId {
+        self.v
+    }
+
+    /// The endpoint that is not `x`.
+    ///
+    /// # Panics
+    /// Panics if `x` is not an endpoint of this edge.
+    #[inline]
+    pub fn other(&self, x: VertexId) -> VertexId {
+        if x == self.u {
+            self.v
+        } else if x == self.v {
+            self.u
+        } else {
+            panic!("vertex {x} is not an endpoint of {self:?}")
+        }
+    }
+
+    /// Both endpoints as a tuple `(min, max)`.
+    #[inline]
+    pub fn endpoints(&self) -> (VertexId, VertexId) {
+        (self.u, self.v)
+    }
+}
+
+impl std::fmt::Display for Edge {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "({},{})", self.u, self.v)
+    }
+}
+
+/// Number of possible undirected edges on `num_vertices` vertices: `C(V,2)`.
+#[inline]
+pub fn edge_index_count(num_vertices: u64) -> u64 {
+    num_vertices * num_vertices.saturating_sub(1) / 2
+}
+
+/// Map an edge to its characteristic-vector index (row-major upper triangle).
+///
+/// ```
+/// use gz_graph::{edge_index, index_to_edge, Edge};
+/// let v = 1000;
+/// let e = Edge::new(3, 77);
+/// let idx = edge_index(e, v);
+/// assert_eq!(index_to_edge(idx, v), e);
+/// ```
+#[inline]
+pub fn edge_index(edge: Edge, num_vertices: u64) -> u64 {
+    let (u, v) = (edge.u as u64, edge.v as u64);
+    debug_assert!(v < num_vertices, "edge {edge} out of range for V={num_vertices}");
+    u * num_vertices - u * (u + 1) / 2 + (v - u - 1)
+}
+
+/// Inverse of [`edge_index`]: recover the edge from a vector index.
+///
+/// Solves for the row `u` as the largest `u` with
+/// `u·V − u(u+1)/2 ≤ idx` via the quadratic formula, then verifies and
+/// adjusts — exact for all valid inputs (no float-rounding escape).
+pub fn index_to_edge(idx: u64, num_vertices: u64) -> Edge {
+    debug_assert!(idx < edge_index_count(num_vertices), "index {idx} out of range");
+    let n = num_vertices as f64;
+    // Row start offsets: S(u) = u·V − u(u+1)/2. Solve S(u) ≤ idx < S(u+1).
+    // Float solution then integer-fix (float error is < 1 row for V < 2^32).
+    let approx = (2.0 * n - 1.0 - ((2.0 * n - 1.0) * (2.0 * n - 1.0) - 8.0 * idx as f64).sqrt())
+        / 2.0;
+    let mut u = approx.floor().max(0.0) as u64;
+    let row_start = |u: u64| u * num_vertices - u * (u + 1) / 2;
+    // Integer adjustment by at most a couple of steps.
+    while u + 1 < num_vertices && row_start(u + 1) <= idx {
+        u += 1;
+    }
+    while u > 0 && row_start(u) > idx {
+        u -= 1;
+    }
+    let v = u + 1 + (idx - row_start(u));
+    Edge::new(u as VertexId, v as VertexId)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canonicalizes_order() {
+        assert_eq!(Edge::new(5, 2), Edge::new(2, 5));
+        assert_eq!(Edge::new(2, 5).endpoints(), (2, 5));
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loop")]
+    fn rejects_self_loop() {
+        let _ = Edge::new(3, 3);
+    }
+
+    #[test]
+    fn other_endpoint() {
+        let e = Edge::new(1, 9);
+        assert_eq!(e.other(1), 9);
+        assert_eq!(e.other(9), 1);
+    }
+
+    #[test]
+    fn small_enumeration_is_dense_and_ordered() {
+        // For V=5 the indices must be exactly 0..10 in row-major order.
+        let v = 5u64;
+        let mut expected = 0u64;
+        for a in 0..5u32 {
+            for b in (a + 1)..5u32 {
+                assert_eq!(edge_index(Edge::new(a, b), v), expected);
+                expected += 1;
+            }
+        }
+        assert_eq!(expected, edge_index_count(v));
+    }
+
+    #[test]
+    fn round_trip_exhaustive_small() {
+        for v in 2u64..=40 {
+            for idx in 0..edge_index_count(v) {
+                let e = index_to_edge(idx, v);
+                assert_eq!(edge_index(e, v), idx, "V={v} idx={idx}");
+            }
+        }
+    }
+
+    #[test]
+    fn round_trip_large_vertices() {
+        let v = 1u64 << 20;
+        for &(a, b) in &[(0u32, 1u32), (0, (v - 1) as u32), ((v - 2) as u32, (v - 1) as u32), (77, 1 << 19)] {
+            let e = Edge::new(a, b);
+            assert_eq!(index_to_edge(edge_index(e, v), v), e);
+        }
+    }
+
+    #[test]
+    fn edge_count_formula() {
+        assert_eq!(edge_index_count(0), 0);
+        assert_eq!(edge_index_count(1), 0);
+        assert_eq!(edge_index_count(2), 1);
+        assert_eq!(edge_index_count(1000), 499_500);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn codec_bijective(v in 2u64..100_000, a in any::<u32>(), b in any::<u32>()) {
+            let a = (a as u64 % v) as u32;
+            let b = (b as u64 % v) as u32;
+            prop_assume!(a != b);
+            let e = Edge::new(a, b);
+            let idx = edge_index(e, v);
+            prop_assert!(idx < edge_index_count(v));
+            prop_assert_eq!(index_to_edge(idx, v), e);
+        }
+
+        #[test]
+        fn distinct_edges_distinct_indices(
+            v in 2u64..1000,
+            raw in proptest::collection::vec((any::<u32>(), any::<u32>()), 2..20)
+        ) {
+            let mut seen = std::collections::HashMap::new();
+            for (a, b) in raw {
+                let a = (a as u64 % v) as u32;
+                let b = (b as u64 % v) as u32;
+                if a == b { continue; }
+                let e = Edge::new(a, b);
+                let idx = edge_index(e, v);
+                if let Some(prev) = seen.insert(idx, e) {
+                    prop_assert_eq!(prev, e, "index collision");
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,137 @@
+//! Graph summary statistics.
+//!
+//! Backs the dataset catalog (paper Figure 10) and the Figure 1 feasibility
+//! computation: which `(V, E)` pairs fit in a RAM budget as an adjacency
+//! list.
+
+use crate::adjacency_list::AdjacencyList;
+
+/// Size in bytes of an adjacency-list representation of a graph with `e`
+/// undirected edges, using `bytes_per_endpoint` per stored endpoint.
+///
+/// An adjacency list stores each edge twice (once per endpoint); Figure 1's
+/// feasibility line uses this model.
+pub fn adjacency_list_bytes(e: u64, bytes_per_endpoint: u64) -> u64 {
+    2 * e * bytes_per_endpoint
+}
+
+/// Does a graph with `e` edges fit in `budget_bytes` as an adjacency list
+/// with 4-byte vertex ids? (The dark line in Figure 1, with 16 GiB budget.)
+pub fn fits_in_ram(e: u64, budget_bytes: u64) -> bool {
+    adjacency_list_bytes(e, 4) <= budget_bytes
+}
+
+/// The maximum average degree representable for `v` vertices in
+/// `budget_bytes` (the Figure 1 line expressed as degree vs node count).
+pub fn max_avg_degree(v: u64, budget_bytes: u64) -> f64 {
+    if v == 0 {
+        return 0.0;
+    }
+    // 2·E·4 bytes ≤ budget  ⇒  avg_degree = 2E/V ≤ budget / (4V)
+    budget_bytes as f64 / (4.0 * v as f64)
+}
+
+/// Density of a graph: fraction of possible edges present.
+pub fn density(v: u64, e: u64) -> f64 {
+    let possible = crate::edge::edge_index_count(v);
+    if possible == 0 {
+        0.0
+    } else {
+        e as f64 / possible as f64
+    }
+}
+
+/// Degree distribution summary of a built graph.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DegreeStats {
+    /// Minimum degree.
+    pub min: usize,
+    /// Maximum degree.
+    pub max: usize,
+    /// Mean degree.
+    pub mean: f64,
+    /// Number of isolated (degree-0) vertices.
+    pub isolated: usize,
+}
+
+impl DegreeStats {
+    /// Compute degree statistics for a graph.
+    pub fn of(g: &AdjacencyList) -> Self {
+        let n = g.num_vertices();
+        if n == 0 {
+            return DegreeStats { min: 0, max: 0, mean: 0.0, isolated: 0 };
+        }
+        let mut min = usize::MAX;
+        let mut max = 0usize;
+        let mut sum = 0usize;
+        let mut isolated = 0usize;
+        for x in 0..n as u32 {
+            let d = g.degree(x);
+            min = min.min(d);
+            max = max.max(d);
+            sum += d;
+            if d == 0 {
+                isolated += 1;
+            }
+        }
+        DegreeStats { min, max, mean: sum as f64 / n as f64, isolated }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure1_line_examples() {
+        let budget = 16u64 << 30; // 16 GiB
+        // 1 billion edges: 8 GB of endpoints -> fits.
+        assert!(fits_in_ram(1_000_000_000, budget));
+        // 10 billion edges: 80 GB -> does not fit.
+        assert!(!fits_in_ram(10_000_000_000, budget));
+    }
+
+    #[test]
+    fn paper_dense_example_does_not_fit() {
+        // Paper §1: 10M nodes, avg degree 1M => 5e12 edges needs ~10TB at
+        // 2B/edge; our 4B-per-endpoint model says even more. Must not fit.
+        let e = 10_000_000u64 * 1_000_000 / 2;
+        assert!(!fits_in_ram(e, 16u64 << 30));
+    }
+
+    #[test]
+    fn max_degree_line_is_hyperbolic() {
+        let budget = 16u64 << 30;
+        assert!(max_avg_degree(1 << 20, budget) > max_avg_degree(1 << 24, budget));
+        let d = max_avg_degree(1 << 20, budget);
+        // V * d * 4 should equal the budget.
+        let implied = (1u64 << 20) as f64 * d * 4.0;
+        assert!((implied - budget as f64).abs() < 1.0);
+    }
+
+    #[test]
+    fn density_range() {
+        assert_eq!(density(2, 1), 1.0);
+        assert_eq!(density(4, 3), 0.5);
+        assert_eq!(density(0, 0), 0.0);
+        assert_eq!(density(1, 0), 0.0);
+    }
+
+    #[test]
+    fn degree_stats_of_star() {
+        let g = AdjacencyList::from_edges(5, (1..5u32).map(|i| (0, i)));
+        let s = DegreeStats::of(&g);
+        assert_eq!(s.max, 4);
+        assert_eq!(s.min, 1);
+        assert_eq!(s.isolated, 0);
+        assert!((s.mean - 8.0 / 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degree_stats_counts_isolated() {
+        let g = AdjacencyList::from_edges(4, [(0, 1)]);
+        let s = DegreeStats::of(&g);
+        assert_eq!(s.isolated, 2);
+        assert_eq!(s.min, 0);
+    }
+}

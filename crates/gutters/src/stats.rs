@@ -1,0 +1,121 @@
+//! I/O accounting.
+//!
+//! The paper's hybrid streaming model charges one I/O per block-sized disk
+//! access (§2.1). Since this reproduction models "sketches on SSD" with
+//! explicit file-backed stores rather than cgroup-forced swap, every
+//! block access is counted here, which is what lets the experiment suite
+//! verify the I/O-complexity claims (Observation 1 vs Lemma 4) directly.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Thread-safe I/O counters. Cheap to share via `Arc`.
+#[derive(Debug, Default)]
+pub struct IoStats {
+    reads: AtomicU64,
+    writes: AtomicU64,
+    bytes_read: AtomicU64,
+    bytes_written: AtomicU64,
+}
+
+impl IoStats {
+    /// Fresh zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record a read of `bytes`.
+    #[inline]
+    pub fn record_read(&self, bytes: u64) {
+        self.reads.fetch_add(1, Ordering::Relaxed);
+        self.bytes_read.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    /// Record a write of `bytes`.
+    #[inline]
+    pub fn record_write(&self, bytes: u64) {
+        self.writes.fetch_add(1, Ordering::Relaxed);
+        self.bytes_written.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    /// Number of read operations.
+    pub fn reads(&self) -> u64 {
+        self.reads.load(Ordering::Relaxed)
+    }
+
+    /// Number of write operations.
+    pub fn writes(&self) -> u64 {
+        self.writes.load(Ordering::Relaxed)
+    }
+
+    /// Total bytes read.
+    pub fn bytes_read(&self) -> u64 {
+        self.bytes_read.load(Ordering::Relaxed)
+    }
+
+    /// Total bytes written.
+    pub fn bytes_written(&self) -> u64 {
+        self.bytes_written.load(Ordering::Relaxed)
+    }
+
+    /// Total operations (reads + writes) — the hybrid model's I/O count.
+    pub fn total_ops(&self) -> u64 {
+        self.reads() + self.writes()
+    }
+
+    /// Reset all counters to zero.
+    pub fn reset(&self) {
+        self.reads.store(0, Ordering::Relaxed);
+        self.writes.store(0, Ordering::Relaxed);
+        self.bytes_read.store(0, Ordering::Relaxed);
+        self.bytes_written.store(0, Ordering::Relaxed);
+    }
+
+    /// Snapshot of all four counters (reads, writes, bytes_read,
+    /// bytes_written).
+    pub fn snapshot(&self) -> (u64, u64, u64, u64) {
+        (self.reads(), self.writes(), self.bytes_read(), self.bytes_written())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let s = IoStats::new();
+        s.record_read(100);
+        s.record_read(50);
+        s.record_write(16_384);
+        assert_eq!(s.reads(), 2);
+        assert_eq!(s.writes(), 1);
+        assert_eq!(s.bytes_read(), 150);
+        assert_eq!(s.bytes_written(), 16_384);
+        assert_eq!(s.total_ops(), 3);
+    }
+
+    #[test]
+    fn reset_zeroes() {
+        let s = IoStats::new();
+        s.record_write(1);
+        s.reset();
+        assert_eq!(s.snapshot(), (0, 0, 0, 0));
+    }
+
+    #[test]
+    fn concurrent_updates_all_counted() {
+        let s = std::sync::Arc::new(IoStats::new());
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                let s = std::sync::Arc::clone(&s);
+                scope.spawn(move || {
+                    for _ in 0..1000 {
+                        s.record_read(1);
+                    }
+                });
+            }
+        });
+        assert_eq!(s.reads(), 8000);
+        assert_eq!(s.bytes_read(), 8000);
+    }
+}

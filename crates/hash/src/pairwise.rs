@@ -1,0 +1,198 @@
+//! A genuine 2-universal (pairwise independent) hash family.
+//!
+//! The ℓ0-sampling analysis (paper Lemma 1–3, citing Cormode–Firmani) assumes
+//! hash functions drawn from a 2-wise independent family. The production
+//! system uses xxHash for speed; this module provides the family the proofs
+//! actually need, `h_{a,b}(x) = (a·x + b) mod p` over the Mersenne prime
+//! `p = 2^61 − 1`, so the repository can (a) run sketches in "theory mode" and
+//! (b) benchmark the cost difference (an ablation in `gz-bench`).
+//!
+//! Pairwise independence holds on the domain `[p]`; callers hashing full
+//! 64-bit keys first reduce them mod `p`, which is the standard compromise
+//! (GraphZeppelin's characteristic-vector indices are < C(V,2) < 2^61 for all
+//! V < 2^31, so graph workloads stay inside the exact domain).
+
+use crate::splitmix::SplitMix64;
+use crate::Hasher64;
+
+/// The Mersenne prime 2^61 − 1.
+pub const MERSENNE_P61: u64 = (1u64 << 61) - 1;
+
+/// Reduce a 128-bit product modulo 2^61 − 1 using the Mersenne identity
+/// `2^61 ≡ 1 (mod p)`: fold the high bits onto the low bits twice.
+#[inline]
+pub fn mod_p61(z: u128) -> u64 {
+    let lo = (z as u64) & MERSENNE_P61;
+    let mid = ((z >> 61) as u64) & MERSENNE_P61;
+    let hi = (z >> 122) as u64;
+    let mut r = lo + mid + hi;
+    // r < 3p after one fold; at most two conditional subtractions needed.
+    if r >= MERSENNE_P61 {
+        r -= MERSENNE_P61;
+    }
+    if r >= MERSENNE_P61 {
+        r -= MERSENNE_P61;
+    }
+    r
+}
+
+/// Multiply two residues mod 2^61 − 1.
+#[inline]
+pub fn mulmod_p61(a: u64, b: u64) -> u64 {
+    mod_p61((a as u128) * (b as u128))
+}
+
+/// A hash function drawn from the 2-universal family
+/// `h_{a,b}(x) = ((a·x + b) mod p)` with `p = 2^61 − 1`, `a ∈ [1, p)`,
+/// `b ∈ [0, p)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PairwiseHash {
+    a: u64,
+    b: u64,
+}
+
+impl PairwiseHash {
+    /// Draw `(a, b)` deterministically from `seed`.
+    pub fn from_seed(seed: u64) -> Self {
+        let mut g = SplitMix64::new(seed);
+        // Rejection-sample into the field to keep the distribution uniform.
+        let a = loop {
+            let v = g.next_u64() & MERSENNE_P61;
+            if v != 0 && v < MERSENNE_P61 {
+                break v;
+            }
+        };
+        let b = loop {
+            let v = g.next_u64() & MERSENNE_P61;
+            if v < MERSENNE_P61 {
+                break v;
+            }
+        };
+        PairwiseHash { a, b }
+    }
+
+    /// Evaluate the hash on a key already reduced into `[0, p)`.
+    #[inline]
+    pub fn eval(&self, x: u64) -> u64 {
+        mod_p61((self.a as u128) * (x as u128) + self.b as u128)
+    }
+
+    /// The multiplier `a`.
+    pub fn a(&self) -> u64 {
+        self.a
+    }
+
+    /// The offset `b`.
+    pub fn b(&self) -> u64 {
+        self.b
+    }
+}
+
+impl Hasher64 for PairwiseHash {
+    fn with_seed(seed: u64) -> Self {
+        PairwiseHash::from_seed(seed)
+    }
+
+    #[inline]
+    fn hash64(&self, key: u64) -> u64 {
+        // Reduce the key into the field, evaluate, then spread the 61-bit
+        // result across 64 bits so callers can consume high or low bits.
+        let x = key % MERSENNE_P61;
+        let h = self.eval(x);
+        // A fixed odd multiplier is a bijection on u64; it does not affect
+        // pairwise independence of the underlying family, only bit placement.
+        h.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mod_p61_agrees_with_naive() {
+        let cases: [u128; 7] = [
+            0,
+            1,
+            MERSENNE_P61 as u128,
+            (MERSENNE_P61 as u128) + 1,
+            u64::MAX as u128,
+            u128::MAX,
+            (MERSENNE_P61 as u128) * (MERSENNE_P61 as u128),
+        ];
+        for z in cases {
+            assert_eq!(mod_p61(z) as u128, z % (MERSENNE_P61 as u128), "z={z}");
+        }
+    }
+
+    #[test]
+    fn mulmod_small_values() {
+        assert_eq!(mulmod_p61(3, 5), 15);
+        assert_eq!(mulmod_p61(MERSENNE_P61 - 1, 2), MERSENNE_P61 - 2);
+        assert_eq!(mulmod_p61(MERSENNE_P61 - 1, MERSENNE_P61 - 1), 1);
+    }
+
+    #[test]
+    fn eval_is_affine() {
+        let h = PairwiseHash::from_seed(99);
+        // h(x+1) - h(x) == a (mod p) for all x: the function is affine.
+        let d1 = (h.eval(11) + MERSENNE_P61 - h.eval(10)) % MERSENNE_P61;
+        let d2 = (h.eval(1001) + MERSENNE_P61 - h.eval(1000)) % MERSENNE_P61;
+        assert_eq!(d1, d2);
+        assert_eq!(d1, h.a());
+    }
+
+    #[test]
+    fn distinct_seeds_distinct_functions() {
+        let h1 = PairwiseHash::from_seed(1);
+        let h2 = PairwiseHash::from_seed(2);
+        assert!(h1 != h2);
+    }
+
+    /// Empirical pairwise-independence check: over many function draws, the
+    /// joint distribution of (h(x) mod 2, h(y) mod 2) for fixed x≠y should be
+    /// close to uniform on 4 outcomes.
+    #[test]
+    fn empirical_pairwise_uniformity() {
+        let (x, y) = (12345u64, 67890u64);
+        let mut counts = [0u32; 4];
+        let trials = 4000;
+        for seed in 0..trials {
+            let h = PairwiseHash::from_seed(seed);
+            let bx = (h.eval(x) & 1) as usize;
+            let by = (h.eval(y) & 1) as usize;
+            counts[bx * 2 + by] += 1;
+        }
+        for (i, &c) in counts.iter().enumerate() {
+            let frac = c as f64 / trials as f64;
+            assert!(
+                (0.2..0.3).contains(&frac),
+                "joint outcome {i} frequency {frac} not ~0.25"
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn reduction_correct(z in any::<u128>()) {
+            prop_assert_eq!(mod_p61(z) as u128, z % (MERSENNE_P61 as u128));
+        }
+
+        #[test]
+        fn eval_in_field(seed in any::<u64>(), x in 0u64..MERSENNE_P61) {
+            let h = PairwiseHash::from_seed(seed);
+            prop_assert!(h.eval(x) < MERSENNE_P61);
+        }
+
+        #[test]
+        fn mulmod_commutes(a in 0u64..MERSENNE_P61, b in 0u64..MERSENNE_P61) {
+            prop_assert_eq!(mulmod_p61(a, b), mulmod_p61(b, a));
+        }
+    }
+}

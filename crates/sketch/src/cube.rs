@@ -1,0 +1,507 @@
+//! CubeSketch: the paper's ℓ0-sampler for vectors over Z_2 (§3.1, Figure 6).
+//!
+//! Every bucket holds two XOR-accumulators: `α`, the XOR of the (offset)
+//! binary representations of all coordinates currently "in" the bucket, and
+//! `γ`, the XOR of their checksums `h2(·)`. A coordinate `e` belongs to
+//! bucket row `i` of column `j` iff `h1_j(e)` has at least `i` trailing zero
+//! bits — so row 0 holds everything and each deeper row holds an (expected)
+//! half of the previous one. A bucket with exactly one surviving coordinate
+//! reports it directly: `α` *is* its encoding and the checksum certifies
+//! single support (Lemma 3).
+//!
+//! Two implementation choices relative to the pseudocode, both documented in
+//! DESIGN.md:
+//!
+//! - `α` accumulates `idx + 1` rather than `idx`, so the all-zero bucket
+//!   unambiguously means "empty" even when coordinate 0 is in play; queries
+//!   subtract the offset.
+//! - Hash functions live in a shared [`CubeSketchFamily`], not in each
+//!   sketch: sketches are only mergeable when built from identical hash
+//!   functions (the paper shares them across all node sketches of a round),
+//!   and sharing keeps per-sketch memory at exactly the bucket payload.
+
+use crate::geometry::SketchGeometry;
+use crate::{L0Sampler, SampleResult};
+use gz_hash::{Hasher64, SplitMix64, Xxh64Hasher};
+use std::sync::Arc;
+
+/// Shared parameters (geometry + hash functions) for a family of mergeable
+/// CubeSketches.
+#[derive(Debug, Clone)]
+pub struct CubeSketchFamily<H: Hasher64 = Xxh64Hasher> {
+    geometry: SketchGeometry,
+    seed: u64,
+    /// Per-column membership hash `h1` (depth = trailing zeros of its value).
+    h1: Vec<H>,
+    /// Per-column checksum hash `h2`.
+    h2: Vec<H>,
+}
+
+impl<H: Hasher64> CubeSketchFamily<H> {
+    /// Create the family identified by `(geometry, seed)`.
+    pub fn new(geometry: SketchGeometry, seed: u64) -> Arc<Self> {
+        let cols = geometry.num_columns as u64;
+        let h1 = (0..cols).map(|c| H::with_seed(SplitMix64::derive(seed, 2 * c))).collect();
+        let h2 = (0..cols).map(|c| H::with_seed(SplitMix64::derive(seed, 2 * c + 1))).collect();
+        Arc::new(CubeSketchFamily { geometry, seed, h1, h2 })
+    }
+
+    /// Convenience: family for a vector of length `n` with default columns.
+    pub fn for_vector(vector_len: u64, seed: u64) -> Arc<Self> {
+        Self::new(SketchGeometry::for_vector(vector_len), seed)
+    }
+
+    /// The family's geometry.
+    #[inline]
+    pub fn geometry(&self) -> SketchGeometry {
+        self.geometry
+    }
+
+    /// The master seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// A fresh all-zero sketch of this family.
+    pub fn new_sketch(self: &Arc<Self>) -> CubeSketch<H> {
+        CubeSketch::new(Arc::clone(self))
+    }
+
+    /// True if two families are interoperable (same geometry and seed).
+    pub fn compatible(&self, other: &Self) -> bool {
+        self.geometry == other.geometry && self.seed == other.seed
+    }
+}
+
+/// A CubeSketch: the bucket payload of one sketched vector.
+///
+/// Buckets are stored structure-of-arrays (`α`s then `γ`s) so the in-memory
+/// footprint is the paper's 12 bytes per bucket and column updates touch
+/// contiguous words.
+///
+/// ```
+/// use gz_sketch::cube::CubeSketchFamily;
+/// use gz_sketch::SampleResult;
+///
+/// // A family fixes the geometry and hash functions; sketches from one
+/// // family are mergeable (linearity).
+/// let family = CubeSketchFamily::<gz_hash::Xxh64Hasher>::for_vector(1_000, 42);
+/// let mut a = family.new_sketch();
+/// let mut b = family.new_sketch();
+///
+/// a.update(7);          // toggle coordinate 7 on
+/// b.update(7);          // ...and the same coordinate in the other sketch
+/// b.update(123);
+///
+/// a.merge(&b);          // S(x) + S(y) = S(x XOR y): coordinate 7 cancels
+/// assert_eq!(a.query(), SampleResult::Index(123));
+/// ```
+#[derive(Debug, Clone)]
+pub struct CubeSketch<H: Hasher64 = Xxh64Hasher> {
+    family: Arc<CubeSketchFamily<H>>,
+    alpha: Box<[u64]>,
+    gamma: Box<[u32]>,
+}
+
+impl<H: Hasher64> CubeSketch<H> {
+    /// A fresh all-zero sketch.
+    pub fn new(family: Arc<CubeSketchFamily<H>>) -> Self {
+        let n = family.geometry.num_buckets();
+        CubeSketch {
+            family,
+            alpha: vec![0u64; n].into_boxed_slice(),
+            gamma: vec![0u32; n].into_boxed_slice(),
+        }
+    }
+
+    /// The family this sketch belongs to.
+    pub fn family(&self) -> &Arc<CubeSketchFamily<H>> {
+        &self.family
+    }
+
+    /// Toggle coordinate `idx` of the underlying Z_2 vector
+    /// (paper Figure 6, `update_sketch`).
+    #[inline]
+    pub fn update(&mut self, idx: u64) {
+        let geom = &self.family.geometry;
+        debug_assert!(idx < geom.vector_len, "index {idx} out of range");
+        let enc = idx + 1; // offset encoding: 0 is reserved for "empty"
+        let rows = geom.num_rows as usize;
+        for col in 0..geom.num_columns as usize {
+            let h = self.family.h1[col].hash64(enc);
+            let checksum = self.family.h2[col].hash32(enc);
+            // Depth: row i requires i trailing zero bits; row 0 always.
+            let depth = (1 + h.trailing_zeros() as usize).min(rows);
+            let base = col * rows;
+            for r in base..base + depth {
+                self.alpha[r] ^= enc;
+                self.gamma[r] ^= checksum;
+            }
+        }
+    }
+
+    /// Apply a batch of coordinate toggles (the Graph Worker path,
+    /// paper Figure 8 `update_sketch_batch`).
+    pub fn update_batch(&mut self, indices: &[u64]) {
+        for &idx in indices {
+            self.update(idx);
+        }
+    }
+
+    /// Recover a nonzero coordinate (paper Figure 6, `query_sketch`).
+    ///
+    /// Scans each column from its deepest (sparsest) row upward: deep buckets
+    /// are the likeliest to have single support when the vector is dense.
+    pub fn query(&self) -> SampleResult {
+        let geom = &self.family.geometry;
+        let rows = geom.num_rows as usize;
+        let mut all_empty = true;
+        for col in 0..geom.num_columns as usize {
+            let base = col * rows;
+            for r in (base..base + rows).rev() {
+                let (a, g) = (self.alpha[r], self.gamma[r]);
+                if a == 0 && g == 0 {
+                    continue; // empty (or an undetectable double-cancellation)
+                }
+                all_empty = false;
+                if a != 0
+                    && self.family.h2[col].hash32(a) == g
+                    && a - 1 < geom.vector_len
+                {
+                    return SampleResult::Index(a - 1);
+                }
+            }
+        }
+        if all_empty {
+            SampleResult::Zero
+        } else {
+            SampleResult::Fail
+        }
+    }
+
+    /// True if every bucket is empty — w.h.p. the vector is zero.
+    pub fn is_empty(&self) -> bool {
+        self.alpha.iter().all(|&a| a == 0) && self.gamma.iter().all(|&g| g == 0)
+    }
+
+    /// Merge (XOR) another sketch of the same family into this one.
+    ///
+    /// This is sketch linearity (Definition 1): the result sketches the sum
+    /// (XOR) of the two vectors.
+    ///
+    /// # Panics
+    /// Panics if the sketches come from incompatible families.
+    pub fn merge(&mut self, other: &Self) {
+        assert!(
+            self.family.compatible(&other.family),
+            "cannot merge sketches from different families"
+        );
+        for (a, b) in self.alpha.iter_mut().zip(other.alpha.iter()) {
+            *a ^= *b;
+        }
+        for (a, b) in self.gamma.iter_mut().zip(other.gamma.iter()) {
+            *a ^= *b;
+        }
+    }
+
+    /// Reset to the all-zero sketch (reused as the scratch "delta sketch" in
+    /// the ingestion pipeline's lock-minimizing path, paper §5.1).
+    pub fn clear(&mut self) {
+        self.alpha.fill(0);
+        self.gamma.fill(0);
+    }
+
+    /// Payload size in bytes (α and γ arrays only), the Figure 5 metric.
+    pub fn payload_bytes(&self) -> usize {
+        self.alpha.len() * 8 + self.gamma.len() * 4
+    }
+
+    /// Serialize the payload to `out` (little-endian α words, then γ words).
+    /// Used by the file-backed sketch store.
+    pub fn serialize_into(&self, out: &mut Vec<u8>) {
+        out.reserve(self.payload_bytes());
+        for &a in self.alpha.iter() {
+            out.extend_from_slice(&a.to_le_bytes());
+        }
+        for &g in self.gamma.iter() {
+            out.extend_from_slice(&g.to_le_bytes());
+        }
+    }
+
+    /// Deserialize a payload previously produced by [`Self::serialize_into`].
+    ///
+    /// # Panics
+    /// Panics if `bytes` has the wrong length for the family's geometry.
+    pub fn deserialize(family: Arc<CubeSketchFamily<H>>, bytes: &[u8]) -> Self {
+        let n = family.geometry.num_buckets();
+        assert_eq!(bytes.len(), n * 12, "payload size mismatch");
+        let mut alpha = Vec::with_capacity(n);
+        let mut gamma = Vec::with_capacity(n);
+        for i in 0..n {
+            alpha.push(u64::from_le_bytes(bytes[i * 8..i * 8 + 8].try_into().unwrap()));
+        }
+        let goff = n * 8;
+        for i in 0..n {
+            gamma.push(u32::from_le_bytes(
+                bytes[goff + i * 4..goff + i * 4 + 4].try_into().unwrap(),
+            ));
+        }
+        CubeSketch { family, alpha: alpha.into(), gamma: gamma.into() }
+    }
+
+    /// Exact serialized size for a geometry.
+    pub fn serialized_size(geometry: SketchGeometry) -> usize {
+        geometry.num_buckets() * 12
+    }
+}
+
+impl<H: Hasher64> L0Sampler for CubeSketch<H> {
+    #[inline]
+    fn update_signed(&mut self, idx: u64, _delta: i32) {
+        // Over Z_2 insertion and deletion are the same toggle.
+        self.update(idx);
+    }
+
+    fn sample(&self) -> SampleResult {
+        self.query()
+    }
+
+    fn merge_from(&mut self, other: &Self) {
+        self.merge(other);
+    }
+
+    fn clear(&mut self) {
+        CubeSketch::clear(self);
+    }
+
+    fn payload_bytes(&self) -> usize {
+        CubeSketch::payload_bytes(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gz_hash::PairwiseHash;
+
+    fn family(n: u64, seed: u64) -> Arc<CubeSketchFamily> {
+        CubeSketchFamily::for_vector(n, seed)
+    }
+
+    #[test]
+    fn empty_sketch_reports_zero() {
+        let s = family(1000, 1).new_sketch();
+        assert_eq!(s.query(), SampleResult::Zero);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn single_update_recovered() {
+        for idx in [0u64, 1, 500, 999] {
+            let mut s = family(1000, 2).new_sketch();
+            s.update(idx);
+            assert_eq!(s.query(), SampleResult::Index(idx), "idx={idx}");
+        }
+    }
+
+    #[test]
+    fn toggle_twice_cancels() {
+        let mut s = family(1000, 3).new_sketch();
+        s.update(123);
+        s.update(123);
+        assert!(s.is_empty());
+        assert_eq!(s.query(), SampleResult::Zero);
+    }
+
+    #[test]
+    fn recovers_some_member_of_support() {
+        let mut s = family(10_000, 4).new_sketch();
+        let support: Vec<u64> = vec![3, 77, 1024, 9999, 5000];
+        for &i in &support {
+            s.update(i);
+        }
+        match s.query() {
+            SampleResult::Index(i) => assert!(support.contains(&i), "got {i}"),
+            other => panic!("expected a sample, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn dense_support_still_sampleable_usually() {
+        // Half of all coordinates set — the graph-stream regime. A single
+        // sketch fails with probability ≤ δ; across 50 seeds the failure
+        // count must be small.
+        let n = 1 << 12;
+        let mut failures = 0;
+        for seed in 0..50u64 {
+            let mut s = family(n, seed).new_sketch();
+            for i in (0..n).step_by(2) {
+                s.update(i);
+            }
+            match s.query() {
+                SampleResult::Index(i) => assert_eq!(i % 2, 0, "sampled a zero coordinate"),
+                SampleResult::Fail => failures += 1,
+                SampleResult::Zero => panic!("nonzero vector reported zero"),
+            }
+        }
+        assert!(failures <= 5, "{failures}/50 failures is too many");
+    }
+
+    #[test]
+    fn linearity_merge_equals_sketch_of_symmetric_difference() {
+        let f = family(5000, 7);
+        let (mut a, mut b) = (f.new_sketch(), f.new_sketch());
+        let xs = [1u64, 2, 3, 100];
+        let ys = [3u64, 100, 4000]; // overlap {3, 100} cancels
+        for &x in &xs {
+            a.update(x);
+        }
+        for &y in &ys {
+            b.update(y);
+        }
+        a.merge(&b);
+
+        let mut direct = f.new_sketch();
+        for &i in &[1u64, 2, 4000] {
+            direct.update(i);
+        }
+        assert_eq!(a.alpha, direct.alpha);
+        assert_eq!(a.gamma, direct.gamma);
+    }
+
+    #[test]
+    #[should_panic(expected = "different families")]
+    fn merge_rejects_different_seeds() {
+        let mut a = family(100, 1).new_sketch();
+        let b = family(100, 2).new_sketch();
+        a.merge(&b);
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut s = family(100, 9).new_sketch();
+        s.update(42);
+        assert!(!s.is_empty());
+        s.clear();
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn serialization_round_trip() {
+        let f = family(4096, 11);
+        let mut s = f.new_sketch();
+        for i in [0u64, 1, 4095, 2048] {
+            s.update(i);
+        }
+        let mut bytes = Vec::new();
+        s.serialize_into(&mut bytes);
+        assert_eq!(bytes.len(), CubeSketch::<Xxh64Hasher>::serialized_size(f.geometry()));
+        let t = CubeSketch::deserialize(Arc::clone(&f), &bytes);
+        assert_eq!(s.alpha, t.alpha);
+        assert_eq!(s.gamma, t.gamma);
+        assert_eq!(t.query(), s.query());
+    }
+
+    #[test]
+    fn works_with_pairwise_hasher() {
+        // Theory-mode ablation: the 2-universal family must work identically.
+        let f: Arc<CubeSketchFamily<PairwiseHash>> =
+            CubeSketchFamily::for_vector(1000, 5);
+        let mut s = f.new_sketch();
+        s.update(777);
+        assert_eq!(s.query(), SampleResult::Index(777));
+    }
+
+    #[test]
+    fn payload_matches_geometry_model() {
+        let f = family(1_000_000, 13);
+        let s = f.new_sketch();
+        assert_eq!(s.payload_bytes(), f.geometry().cube_sketch_bytes());
+    }
+
+    #[test]
+    fn batch_equals_singles() {
+        let f = family(10_000, 17);
+        let mut a = f.new_sketch();
+        let mut b = f.new_sketch();
+        let updates: Vec<u64> = (0..200).map(|i| (i * 37) % 10_000).collect();
+        a.update_batch(&updates);
+        for &u in &updates {
+            b.update(u);
+        }
+        assert_eq!(a.alpha, b.alpha);
+        assert_eq!(a.gamma, b.gamma);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::collections::HashSet;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(128))]
+
+        /// Soundness: whatever the sketch returns is a genuinely nonzero
+        /// coordinate of the toggled vector.
+        #[test]
+        fn sample_is_sound(
+            seed in any::<u64>(),
+            updates in proptest::collection::vec(0u64..5000, 0..120)
+        ) {
+            let f = CubeSketchFamily::<Xxh64Hasher>::for_vector(5000, seed);
+            let mut s = f.new_sketch();
+            let mut support = HashSet::new();
+            for &u in &updates {
+                s.update(u);
+                if !support.remove(&u) {
+                    support.insert(u);
+                }
+            }
+            match s.query() {
+                SampleResult::Index(i) => prop_assert!(support.contains(&i)),
+                SampleResult::Zero => prop_assert!(support.is_empty()),
+                SampleResult::Fail => prop_assert!(!support.is_empty()),
+            }
+        }
+
+        /// Linearity: merging sketches equals sketching the XOR of vectors.
+        #[test]
+        fn linearity(
+            seed in any::<u64>(),
+            xs in proptest::collection::vec(0u64..2000, 0..60),
+            ys in proptest::collection::vec(0u64..2000, 0..60)
+        ) {
+            let f = CubeSketchFamily::<Xxh64Hasher>::for_vector(2000, seed);
+            let (mut a, mut b, mut c) = (f.new_sketch(), f.new_sketch(), f.new_sketch());
+            for &x in &xs { a.update(x); c.update(x); }
+            for &y in &ys { b.update(y); c.update(y); }
+            a.merge(&b);
+            let mut abytes = Vec::new();
+            let mut cbytes = Vec::new();
+            a.serialize_into(&mut abytes);
+            c.serialize_into(&mut cbytes);
+            prop_assert_eq!(abytes, cbytes);
+        }
+
+        /// Updates commute: any permutation of updates yields the same sketch.
+        #[test]
+        fn updates_commute(
+            seed in any::<u64>(),
+            mut updates in proptest::collection::vec(0u64..3000, 2..50)
+        ) {
+            let f = CubeSketchFamily::<Xxh64Hasher>::for_vector(3000, seed);
+            let mut a = f.new_sketch();
+            for &u in &updates { a.update(u); }
+            updates.reverse();
+            let mut b = f.new_sketch();
+            for &u in &updates { b.update(u); }
+            let mut ab = Vec::new();
+            let mut bb = Vec::new();
+            a.serialize_into(&mut ab);
+            b.serialize_into(&mut bb);
+            prop_assert_eq!(ab, bb);
+        }
+    }
+}

@@ -1,0 +1,300 @@
+//! Binary on-disk stream format.
+//!
+//! The evaluation streams are large (Figure 10: up to 1.8·10^10 updates at
+//! full scale); regenerating them for every run would dominate benchmarks, so
+//! streams are materialized once and replayed from disk through buffered I/O
+//! (per the performance-book guidance: one syscall per block, not per
+//! record).
+//!
+//! Layout (little-endian):
+//!
+//! ```text
+//! magic   [u8; 4] = b"GZS1"
+//! nodes   u64     — vertex universe size
+//! count   u64     — number of updates
+//! records count × { u: u32, v: u32, kind: u8 }   (9 bytes each)
+//! ```
+
+use crate::update::{EdgeUpdate, UpdateKind};
+use std::fs::File;
+use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+const MAGIC: [u8; 4] = *b"GZS1";
+const RECORD_BYTES: usize = 9;
+
+/// Metadata read from a stream file header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StreamHeader {
+    /// Vertex universe size.
+    pub num_vertices: u64,
+    /// Number of updates in the file.
+    pub num_updates: u64,
+}
+
+/// Write a stream to `path`.
+pub fn write_stream(
+    path: &Path,
+    num_vertices: u64,
+    updates: &[EdgeUpdate],
+) -> io::Result<()> {
+    let file = File::create(path)?;
+    let mut w = BufWriter::with_capacity(1 << 20, file);
+    w.write_all(&MAGIC)?;
+    w.write_all(&num_vertices.to_le_bytes())?;
+    w.write_all(&(updates.len() as u64).to_le_bytes())?;
+    for u in updates {
+        w.write_all(&u.u.to_le_bytes())?;
+        w.write_all(&u.v.to_le_bytes())?;
+        w.write_all(&[u.kind.to_byte()])?;
+    }
+    w.flush()
+}
+
+/// Incremental stream writer: records are appended one batch at a time and
+/// the header's count is fixed up on close — the path used when streams are
+/// produced by generators too large to hold in memory.
+pub struct StreamWriter {
+    writer: BufWriter<File>,
+    num_vertices: u64,
+    written: u64,
+}
+
+impl StreamWriter {
+    /// Create a stream file with a placeholder count.
+    pub fn create(path: &Path, num_vertices: u64) -> io::Result<Self> {
+        let file = File::create(path)?;
+        let mut writer = BufWriter::with_capacity(1 << 20, file);
+        writer.write_all(&MAGIC)?;
+        writer.write_all(&num_vertices.to_le_bytes())?;
+        writer.write_all(&0u64.to_le_bytes())?; // fixed up in finish()
+        Ok(StreamWriter { writer, num_vertices, written: 0 })
+    }
+
+    /// Append one update.
+    pub fn write(&mut self, update: &EdgeUpdate) -> io::Result<()> {
+        self.writer.write_all(&update.u.to_le_bytes())?;
+        self.writer.write_all(&update.v.to_le_bytes())?;
+        self.writer.write_all(&[update.kind.to_byte()])?;
+        self.written += 1;
+        Ok(())
+    }
+
+    /// Append many updates.
+    pub fn write_all(&mut self, updates: &[EdgeUpdate]) -> io::Result<()> {
+        for u in updates {
+            self.write(u)?;
+        }
+        Ok(())
+    }
+
+    /// Flush, rewrite the header count, and return the final header.
+    pub fn finish(mut self) -> io::Result<StreamHeader> {
+        use std::io::{Seek, SeekFrom};
+        self.writer.flush()?;
+        let mut file = self.writer.into_inner().map_err(|e| e.into_error())?;
+        file.seek(SeekFrom::Start(12))?; // magic(4) + nodes(8)
+        file.write_all(&self.written.to_le_bytes())?;
+        file.flush()?;
+        Ok(StreamHeader { num_vertices: self.num_vertices, num_updates: self.written })
+    }
+}
+
+/// Streaming reader over a stream file: an iterator of updates.
+pub struct StreamReader {
+    reader: BufReader<File>,
+    header: StreamHeader,
+    read_so_far: u64,
+}
+
+impl StreamReader {
+    /// Open a stream file and parse its header.
+    pub fn open(path: &Path) -> io::Result<Self> {
+        let file = File::open(path)?;
+        let mut reader = BufReader::with_capacity(1 << 20, file);
+        let mut magic = [0u8; 4];
+        reader.read_exact(&mut magic)?;
+        if magic != MAGIC {
+            return Err(io::Error::new(io::ErrorKind::InvalidData, "bad magic"));
+        }
+        let mut buf = [0u8; 8];
+        reader.read_exact(&mut buf)?;
+        let num_vertices = u64::from_le_bytes(buf);
+        reader.read_exact(&mut buf)?;
+        let num_updates = u64::from_le_bytes(buf);
+        Ok(StreamReader {
+            reader,
+            header: StreamHeader { num_vertices, num_updates },
+            read_so_far: 0,
+        })
+    }
+
+    /// The file header.
+    pub fn header(&self) -> StreamHeader {
+        self.header
+    }
+
+    /// Read the next batch of at most `max` updates into `out` (cleared
+    /// first). Returns the number read; 0 at end of stream.
+    pub fn read_batch(&mut self, out: &mut Vec<EdgeUpdate>, max: usize) -> io::Result<usize> {
+        out.clear();
+        let remaining = (self.header.num_updates - self.read_so_far) as usize;
+        let want = remaining.min(max);
+        let mut buf = vec![0u8; want * RECORD_BYTES];
+        self.reader.read_exact(&mut buf)?;
+        for rec in buf.chunks_exact(RECORD_BYTES) {
+            let u = u32::from_le_bytes(rec[0..4].try_into().unwrap());
+            let v = u32::from_le_bytes(rec[4..8].try_into().unwrap());
+            let kind = UpdateKind::from_byte(rec[8])
+                .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "bad update kind"))?;
+            out.push(EdgeUpdate { u, v, kind });
+        }
+        self.read_so_far += want as u64;
+        Ok(want)
+    }
+
+    /// Read the entire remaining stream into memory.
+    pub fn read_all(&mut self) -> io::Result<Vec<EdgeUpdate>> {
+        let mut all = Vec::with_capacity((self.header.num_updates - self.read_so_far) as usize);
+        let mut batch = Vec::new();
+        loop {
+            let n = self.read_batch(&mut batch, 1 << 16)?;
+            if n == 0 {
+                break;
+            }
+            all.extend_from_slice(&batch);
+        }
+        Ok(all)
+    }
+}
+
+impl Iterator for StreamReader {
+    type Item = io::Result<EdgeUpdate>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.read_so_far >= self.header.num_updates {
+            return None;
+        }
+        let mut rec = [0u8; RECORD_BYTES];
+        if let Err(e) = self.reader.read_exact(&mut rec) {
+            return Some(Err(e));
+        }
+        self.read_so_far += 1;
+        let u = u32::from_le_bytes(rec[0..4].try_into().unwrap());
+        let v = u32::from_le_bytes(rec[4..8].try_into().unwrap());
+        match UpdateKind::from_byte(rec[8]) {
+            Some(kind) => Some(Ok(EdgeUpdate { u, v, kind })),
+            None => Some(Err(io::Error::new(io::ErrorKind::InvalidData, "bad update kind"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("gz_stream_fmt_{}_{}", std::process::id(), name));
+        p
+    }
+
+    fn sample_updates() -> Vec<EdgeUpdate> {
+        vec![
+            EdgeUpdate::insert(0, 1),
+            EdgeUpdate::insert(2, 3),
+            EdgeUpdate::delete(0, 1),
+            EdgeUpdate::insert(1, 4),
+        ]
+    }
+
+    #[test]
+    fn round_trip_via_read_all() {
+        let path = tmp("round_trip");
+        let updates = sample_updates();
+        write_stream(&path, 5, &updates).unwrap();
+        let mut r = StreamReader::open(&path).unwrap();
+        assert_eq!(r.header(), StreamHeader { num_vertices: 5, num_updates: 4 });
+        assert_eq!(r.read_all().unwrap(), updates);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn round_trip_via_iterator() {
+        let path = tmp("iter");
+        let updates = sample_updates();
+        write_stream(&path, 5, &updates).unwrap();
+        let r = StreamReader::open(&path).unwrap();
+        let got: Vec<EdgeUpdate> = r.map(|x| x.unwrap()).collect();
+        assert_eq!(got, updates);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn batched_reads_respect_limits() {
+        let path = tmp("batched");
+        let updates: Vec<EdgeUpdate> =
+            (0..100u32).map(|i| EdgeUpdate::insert(i, i + 1)).collect();
+        write_stream(&path, 200, &updates).unwrap();
+        let mut r = StreamReader::open(&path).unwrap();
+        let mut batch = Vec::new();
+        let mut total = 0;
+        loop {
+            let n = r.read_batch(&mut batch, 7).unwrap();
+            if n == 0 {
+                break;
+            }
+            assert!(n <= 7);
+            total += n;
+        }
+        assert_eq!(total, 100);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let path = tmp("bad_magic");
+        std::fs::write(&path, b"NOPE0000000000000000").unwrap();
+        assert!(StreamReader::open(&path).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn empty_stream() {
+        let path = tmp("empty");
+        write_stream(&path, 10, &[]).unwrap();
+        let mut r = StreamReader::open(&path).unwrap();
+        assert_eq!(r.read_all().unwrap(), vec![]);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn incremental_writer_matches_one_shot() {
+        let (p1, p2) = (tmp("inc_a"), tmp("inc_b"));
+        let updates = sample_updates();
+        write_stream(&p1, 5, &updates).unwrap();
+        let mut w = StreamWriter::create(&p2, 5).unwrap();
+        w.write(&updates[0]).unwrap();
+        w.write_all(&updates[1..]).unwrap();
+        let header = w.finish().unwrap();
+        assert_eq!(header, StreamHeader { num_vertices: 5, num_updates: 4 });
+        assert_eq!(std::fs::read(&p1).unwrap(), std::fs::read(&p2).unwrap());
+        std::fs::remove_file(&p1).ok();
+        std::fs::remove_file(&p2).ok();
+    }
+
+    #[test]
+    fn incremental_writer_fixes_header_count() {
+        let path = tmp("inc_count");
+        let mut w = StreamWriter::create(&path, 9).unwrap();
+        for i in 0..37u32 {
+            w.write(&EdgeUpdate::insert(i % 8, i % 8 + 1)).unwrap();
+        }
+        let header = w.finish().unwrap();
+        assert_eq!(header.num_updates, 37);
+        let r = StreamReader::open(&path).unwrap();
+        assert_eq!(r.header().num_updates, 37);
+        assert_eq!(r.count(), 37);
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,121 @@
+//! Erdős–Rényi `G(n, m)` generation.
+//!
+//! Stand-in generator for the sparse real-world graphs of §6.3
+//! (p2p-gnutella, rec-amazon): uniformly random graphs with an exact edge
+//! count. Sampling draws distinct indices from the triangular edge-index
+//! space and decodes them through the `gz-graph` codec, so it is O(m) with
+//! no adjacency structure needed.
+
+use gz_graph::{edge_index_count, index_to_edge, Edge};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Generate exactly `m` distinct uniformly random edges on `n` vertices.
+///
+/// Deterministic in `seed`. Panics if `m` exceeds `C(n,2)`.
+pub fn gnm_edges(n: u64, m: u64, seed: u64) -> Vec<Edge> {
+    let possible = edge_index_count(n);
+    assert!(m <= possible, "requested {m} edges but only {possible} possible");
+    let mut rng = SmallRng::seed_from_u64(seed);
+
+    // Dense requests: Floyd's algorithm degenerates; do a Fisher–Yates-style
+    // partial shuffle over indices only when m is a large fraction.
+    if m * 3 >= possible {
+        let mut all: Vec<u64> = (0..possible).collect();
+        for i in 0..m as usize {
+            let j = rng.gen_range(i..all.len());
+            all.swap(i, j);
+        }
+        let mut edges: Vec<Edge> =
+            all[..m as usize].iter().map(|&i| index_to_edge(i, n)).collect();
+        edges.sort_unstable();
+        return edges;
+    }
+
+    // Sparse requests: rejection sampling into a set.
+    let mut set = std::collections::HashSet::with_capacity(m as usize);
+    while (set.len() as u64) < m {
+        set.insert(rng.gen_range(0..possible));
+    }
+    let mut edges: Vec<Edge> = set.into_iter().map(|i| index_to_edge(i, n)).collect();
+    edges.sort_unstable();
+    edges
+}
+
+/// Generate a random graph where each edge appears independently with
+/// probability `p` (classic `G(n, p)`), deterministic in `seed`.
+pub fn gnp_edges(n: u64, p: f64, seed: u64) -> Vec<Edge> {
+    assert!((0.0..=1.0).contains(&p));
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut edges = Vec::new();
+    // Geometric skipping: jump over non-edges in O(#edges) expected time.
+    if p <= 0.0 {
+        return edges;
+    }
+    let possible = edge_index_count(n);
+    if p >= 1.0 {
+        return (0..possible).map(|i| index_to_edge(i, n)).collect();
+    }
+    let log1p = (1.0 - p).ln();
+    let mut idx: u64 = 0;
+    loop {
+        let r: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+        let skip = (r.ln() / log1p).floor() as u64;
+        idx = match idx.checked_add(skip) {
+            Some(i) => i,
+            None => break,
+        };
+        if idx >= possible {
+            break;
+        }
+        edges.push(index_to_edge(idx, n));
+        idx += 1;
+    }
+    edges
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gnm_exact_count_and_distinct() {
+        let edges = gnm_edges(100, 500, 7);
+        assert_eq!(edges.len(), 500);
+        assert!(edges.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn gnm_dense_path() {
+        let possible = edge_index_count(30);
+        let edges = gnm_edges(30, possible, 1);
+        assert_eq!(edges.len() as u64, possible);
+    }
+
+    #[test]
+    fn gnm_deterministic() {
+        assert_eq!(gnm_edges(50, 100, 3), gnm_edges(50, 100, 3));
+        assert_ne!(gnm_edges(50, 100, 3), gnm_edges(50, 100, 4));
+    }
+
+    #[test]
+    fn gnp_density_near_p() {
+        let n = 200u64;
+        let p = 0.1;
+        let edges = gnp_edges(n, p, 11);
+        let density = edges.len() as f64 / edge_index_count(n) as f64;
+        assert!((density - p).abs() < 0.02, "density {density}");
+    }
+
+    #[test]
+    fn gnp_extremes() {
+        assert!(gnp_edges(50, 0.0, 1).is_empty());
+        assert_eq!(gnp_edges(10, 1.0, 1).len() as u64, edge_index_count(10));
+    }
+
+    #[test]
+    fn gnp_edges_sorted_distinct() {
+        let edges = gnp_edges(100, 0.3, 5);
+        assert!(edges.windows(2).all(|w| w[0] < w[1]));
+    }
+}

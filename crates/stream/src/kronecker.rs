@@ -1,0 +1,272 @@
+//! Stochastic-Kronecker graph generation (the Graph500 model).
+//!
+//! The paper's `kronNN` datasets are produced "using a Graph500
+//! specification": simple undirected graphs on `2^scale` vertices with
+//! roughly **half of all possible edges** present (§6.1). Graph500's
+//! generator is the R-MAT / stochastic-Kronecker model: edge probabilities
+//! are a `scale`-fold Kronecker power of a 2×2 initiator matrix.
+//!
+//! Two sampling strategies are provided:
+//!
+//! - [`KroneckerGenerator`] — per-edge Bernoulli over all `C(V,2)` slots with
+//!   the exact Kronecker probability (computed in O(1) per edge from bit
+//!   overlap counts). This is the right tool for the paper's *dense* graphs,
+//!   where sampling-with-rejection would thrash on duplicates.
+//! - [`RmatSampler`] — the classic recursive quadrant sampler, right for
+//!   sparse skewed graphs.
+
+use gz_graph::Edge;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// 2×2 initiator matrix of per-bit edge probabilities.
+///
+/// `Pr[edge (u,v)] = Π_i m[bit_i(u)][bit_i(v)]` over the `scale` bit
+/// positions. The default is tuned so a `scale`-power has expected density
+/// ≈ 0.5 with mild skew — matching Figure 10's kron densities.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Initiator {
+    /// Probability factor for bit pattern (0,0).
+    pub p00: f64,
+    /// Probability factor for bit pattern (0,1) and (1,0) — kept symmetric
+    /// because edges are undirected.
+    pub p01: f64,
+    /// Probability factor for bit pattern (1,1).
+    pub p11: f64,
+}
+
+impl Initiator {
+    /// Initiator calibrated so the Kronecker power at `scale` has expected
+    /// density ≈ `target_density`, preserving Graph500-like skew
+    /// (low-id vertices denser than high-id ones).
+    pub fn for_density(scale: u32, target_density: f64) -> Self {
+        assert!((0.0..=1.0).contains(&target_density));
+        // Fix the skew shape (ratios ~ Graph500's A:B:D) and scale all
+        // entries so the mean entry is density^(1/scale).
+        let (a, b, d) = (1.10f64, 1.00, 0.82);
+        let mean = (a + 2.0 * b + d) / 4.0;
+        let want = target_density.powf(1.0 / scale as f64);
+        let k = want / mean;
+        Initiator { p00: (a * k).min(1.0), p01: (b * k).min(1.0), p11: (d * k).min(1.0) }
+    }
+
+    /// Probability of edge `(u, v)` at the given scale.
+    #[inline]
+    pub fn edge_probability(&self, scale: u32, u: u64, v: u64) -> f64 {
+        let both = (u & v).count_ones(); // (1,1) positions
+        let either = (u | v).count_ones();
+        let neither = scale - either; // (0,0) positions
+        let mixed = either - both; // (0,1)+(1,0) positions
+        self.p00.powi(neither as i32) * self.p01.powi(mixed as i32) * self.p11.powi(both as i32)
+    }
+}
+
+impl Default for Initiator {
+    fn default() -> Self {
+        // Graph500 reference initiator (A=0.57, B=C=0.19, D=0.05) —
+        // appropriate for the sparse R-MAT sampler.
+        Initiator { p00: 0.57, p01: 0.19, p11: 0.05 }
+    }
+}
+
+/// Dense stochastic-Kronecker generator: exact per-edge Bernoulli sampling.
+#[derive(Debug, Clone)]
+pub struct KroneckerGenerator {
+    scale: u32,
+    initiator: Initiator,
+    seed: u64,
+}
+
+impl KroneckerGenerator {
+    /// Generator for a `2^scale`-vertex graph with expected density
+    /// `target_density` (the paper's kron graphs use 0.5).
+    pub fn new(scale: u32, target_density: f64, seed: u64) -> Self {
+        assert!((1..=30).contains(&scale), "scale out of range");
+        KroneckerGenerator { scale, initiator: Initiator::for_density(scale, target_density), seed }
+    }
+
+    /// Number of vertices `2^scale`.
+    pub fn num_vertices(&self) -> u64 {
+        1u64 << self.scale
+    }
+
+    /// Generate the edge set. Deterministic in `(scale, density, seed)`.
+    ///
+    /// Visits all `C(V,2)` slots; probabilities are evaluated from
+    /// precomputed power tables, so generation is a tight loop suitable for
+    /// the multi-million-edge bench datasets.
+    pub fn edges(&self) -> Vec<Edge> {
+        let n = self.num_vertices();
+        let s = self.scale as usize;
+        // pow tables: p^k for k in 0..=scale.
+        let table = |p: f64| -> Vec<f64> {
+            (0..=s).map(|k| p.powi(k as i32)).collect::<Vec<_>>()
+        };
+        let (t00, t01, t11) =
+            (table(self.initiator.p00), table(self.initiator.p01), table(self.initiator.p11));
+        let mut rng = SmallRng::seed_from_u64(self.seed);
+        let mut edges = Vec::new();
+        for u in 0..n {
+            for v in (u + 1)..n {
+                let both = (u & v).count_ones() as usize;
+                let either = (u | v).count_ones() as usize;
+                let p = t00[s - either] * t01[either - both] * t11[both];
+                if rng.gen::<f64>() < p {
+                    edges.push(Edge::new(u as u32, v as u32));
+                }
+            }
+        }
+        edges
+    }
+}
+
+/// Classic R-MAT sampler: draws edges by recursive quadrant descent,
+/// deduplicates, and drops self-loops (as the paper does to its Graph500
+/// output, §6.1).
+#[derive(Debug, Clone)]
+pub struct RmatSampler {
+    scale: u32,
+    target_edges: u64,
+    initiator: Initiator,
+    seed: u64,
+}
+
+impl RmatSampler {
+    /// Sampler for `2^scale` vertices aiming at `target_edges` distinct
+    /// edges with the default (skewed) initiator.
+    pub fn new(scale: u32, target_edges: u64, seed: u64) -> Self {
+        assert!((1..=31).contains(&scale));
+        let possible = gz_graph::edge_index_count(1u64 << scale);
+        assert!(
+            target_edges <= possible / 2,
+            "R-MAT rejection sampling needs density ≤ 0.5; use KroneckerGenerator"
+        );
+        RmatSampler { scale, target_edges, initiator: Initiator::default(), seed }
+    }
+
+    /// Number of vertices `2^scale`.
+    pub fn num_vertices(&self) -> u64 {
+        1u64 << self.scale
+    }
+
+    fn sample_endpoint_pair(&self, rng: &mut SmallRng) -> (u32, u32) {
+        let Initiator { p00: a, p01: b, p11: d } = self.initiator;
+        let sum = a + 2.0 * b + d;
+        let (pa, pb, pc) = (a / sum, b / sum, b / sum);
+        let (mut u, mut v) = (0u32, 0u32);
+        for _ in 0..self.scale {
+            u <<= 1;
+            v <<= 1;
+            let x: f64 = rng.gen();
+            if x < pa {
+                // quadrant (0,0)
+            } else if x < pa + pb {
+                v |= 1;
+            } else if x < pa + pb + pc {
+                u |= 1;
+            } else {
+                u |= 1;
+                v |= 1;
+            }
+        }
+        (u, v)
+    }
+
+    /// Generate the deduplicated edge set (exactly `target_edges` edges,
+    /// assuming the probability mass allows it; loops until reached).
+    pub fn edges(&self) -> Vec<Edge> {
+        let mut rng = SmallRng::seed_from_u64(self.seed);
+        let mut set = std::collections::HashSet::with_capacity(self.target_edges as usize);
+        let mut attempts = 0u64;
+        // Guard: an adversarially skewed initiator might not have enough
+        // distinct support; bail out after generous oversampling.
+        let max_attempts = self.target_edges.saturating_mul(1000).max(1 << 20);
+        while (set.len() as u64) < self.target_edges && attempts < max_attempts {
+            attempts += 1;
+            let (u, v) = self.sample_endpoint_pair(&mut rng);
+            if u != v {
+                set.insert(Edge::new(u, v));
+            }
+        }
+        let mut edges: Vec<Edge> = set.into_iter().collect();
+        edges.sort_unstable();
+        edges
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gz_graph::edge_index_count;
+
+    #[test]
+    fn dense_kron_density_near_target() {
+        let g = KroneckerGenerator::new(9, 0.5, 42);
+        let edges = g.edges();
+        let possible = edge_index_count(g.num_vertices()) as f64;
+        let density = edges.len() as f64 / possible;
+        assert!((0.42..0.58).contains(&density), "density {density}");
+    }
+
+    #[test]
+    fn kron_deterministic_in_seed() {
+        let a = KroneckerGenerator::new(7, 0.5, 1).edges();
+        let b = KroneckerGenerator::new(7, 0.5, 1).edges();
+        let c = KroneckerGenerator::new(7, 0.5, 2).edges();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn kron_is_skewed_toward_low_ids() {
+        // The initiator weights (0,0) bit patterns highest, so low-id
+        // vertices should have higher average degree than high-id ones.
+        let g = KroneckerGenerator::new(9, 0.5, 7);
+        let n = g.num_vertices() as usize;
+        let mut degree = vec![0u32; n];
+        for e in g.edges() {
+            degree[e.u() as usize] += 1;
+            degree[e.v() as usize] += 1;
+        }
+        let lo: u64 = degree[..n / 8].iter().map(|&d| d as u64).sum();
+        let hi: u64 = degree[n - n / 8..].iter().map(|&d| d as u64).sum();
+        assert!(lo > hi, "low-id degree sum {lo} not above high-id {hi}");
+    }
+
+    #[test]
+    fn kron_no_self_loops_or_duplicates() {
+        let edges = KroneckerGenerator::new(8, 0.5, 3).edges();
+        let set: std::collections::HashSet<_> = edges.iter().collect();
+        assert_eq!(set.len(), edges.len());
+        // Edge::new panics on self-loops, so reaching here proves none.
+    }
+
+    #[test]
+    fn edge_probability_matches_bit_pattern_count() {
+        let init = Initiator { p00: 0.9, p01: 0.5, p11: 0.2 };
+        // scale 4, u=0b0011, v=0b0101: both=1 (bit0), mixed=2 (bits 1,2),
+        // neither=1 (bit3).
+        let p = init.edge_probability(4, 0b0011, 0b0101);
+        assert!((p - 0.9 * 0.5 * 0.5 * 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rmat_hits_target_edge_count() {
+        let s = RmatSampler::new(10, 3000, 9);
+        let edges = s.edges();
+        assert_eq!(edges.len(), 3000);
+        // sorted + dedup by construction
+        assert!(edges.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn rmat_deterministic() {
+        assert_eq!(RmatSampler::new(9, 1000, 5).edges(), RmatSampler::new(9, 1000, 5).edges());
+    }
+
+    #[test]
+    #[should_panic(expected = "density")]
+    fn rmat_rejects_dense_targets() {
+        let _ = RmatSampler::new(4, 100, 1); // C(16,2)=120; 100 > 60
+    }
+}

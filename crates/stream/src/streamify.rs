@@ -1,0 +1,304 @@
+//! Turn a target graph into a random insert/delete stream (paper §6.1).
+//!
+//! The paper converts each evaluation graph into a stream with four
+//! guarantees:
+//!
+//! 1. an insertion of edge `e` always occurs before a deletion of `e`;
+//! 2. an edge never receives two consecutive updates of the same type;
+//! 3. a small set of nodes (fewer than 150) is disconnected from the rest of
+//!    the final graph (so queries have non-trivial components to find);
+//! 4. by the end of the stream exactly the input graph — minus the edges
+//!    removed for (3) — remains.
+//!
+//! The mechanism "deliberately adds edges not in the original graph, but they
+//! are always subsequently deleted": transient churn exercises the deletion
+//! path without changing the final answer.
+//!
+//! Implementation: every edge contributes an alternating event sequence
+//! (starting with an insert). Each event draws a random timestamp, per-edge
+//! timestamps are sorted so the sequence order is preserved, and a stable
+//! global sort by timestamp interleaves all edges uniformly.
+
+use crate::update::{EdgeUpdate, UpdateKind};
+use gz_graph::Edge;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashSet;
+
+/// Configuration for [`streamify`].
+#[derive(Debug, Clone)]
+pub struct StreamifyConfig {
+    /// RNG seed: streams are deterministic in (graph, config).
+    pub seed: u64,
+    /// How many nodes to disconnect (guarantee 3). Clamped to < V.
+    /// The paper uses "fewer than 150".
+    pub disconnect_nodes: usize,
+    /// Probability that a surviving edge gets one extra delete+insert churn
+    /// cycle (repeated geometrically).
+    pub churn_prob: f64,
+    /// Number of transient non-edges, as a fraction of the edge count.
+    pub noise_fraction: f64,
+}
+
+impl Default for StreamifyConfig {
+    fn default() -> Self {
+        StreamifyConfig {
+            seed: 0xC0FFEE,
+            disconnect_nodes: 32,
+            churn_prob: 0.02,
+            noise_fraction: 0.02,
+        }
+    }
+}
+
+/// Output of [`streamify`].
+#[derive(Debug, Clone)]
+pub struct StreamifyResult {
+    /// The shuffled update stream.
+    pub updates: Vec<EdgeUpdate>,
+    /// The nodes disconnected per guarantee (3).
+    pub disconnected: Vec<u32>,
+    /// Number of edges present when the stream ends.
+    pub final_edge_count: u64,
+}
+
+/// Build a random insert/delete stream whose final graph is `edges` minus
+/// all edges incident to a small disconnected node set.
+///
+/// ```
+/// use gz_stream::{streamify, StreamifyConfig};
+/// use gz_graph::Edge;
+///
+/// let edges = vec![Edge::new(0, 1), Edge::new(1, 2)];
+/// let config = StreamifyConfig { disconnect_nodes: 0, ..Default::default() };
+/// let result = streamify(8, &edges, &config);
+/// // Inserts and deletes interleave, but the final graph is exactly `edges`.
+/// assert_eq!(result.final_edge_count, 2);
+/// assert!(result.updates.len() >= edges.len());
+/// ```
+pub fn streamify(num_vertices: u64, edges: &[Edge], config: &StreamifyConfig) -> StreamifyResult {
+    assert!(num_vertices >= 2);
+    let mut rng = SmallRng::seed_from_u64(config.seed);
+
+    // Guarantee (3): pick the disconnect set by partial shuffle.
+    let k = config.disconnect_nodes.min(num_vertices as usize - 1);
+    let disconnected = sample_distinct_vertices(num_vertices, k, &mut rng);
+    let dset: HashSet<u32> = disconnected.iter().copied().collect();
+
+    let edge_set: HashSet<Edge> = edges.iter().copied().collect();
+
+    // Events: (timestamp, update). Stable sort keeps per-edge order.
+    let mut events: Vec<(u32, EdgeUpdate)> = Vec::with_capacity(edges.len() * 2);
+    let mut final_edge_count = 0u64;
+
+    let mut timestamps = Vec::new();
+    let mut push_sequence =
+        |events: &mut Vec<(u32, EdgeUpdate)>, rng: &mut SmallRng, e: Edge, n_events: usize| {
+            timestamps.clear();
+            timestamps.extend((0..n_events).map(|_| rng.gen::<u32>()));
+            timestamps.sort_unstable();
+            for (i, &ts) in timestamps.iter().enumerate() {
+                let kind = if i % 2 == 0 { UpdateKind::Insert } else { UpdateKind::Delete };
+                events.push((ts, EdgeUpdate { u: e.u(), v: e.v(), kind }));
+            }
+        };
+
+    for &e in edges {
+        let touches_disconnected = dset.contains(&e.u()) || dset.contains(&e.v());
+        let churn = geometric(&mut rng, config.churn_prob);
+        if touches_disconnected {
+            // Must end deleted: (I D) × (churn + 1).
+            push_sequence(&mut events, &mut rng, e, 2 * (churn + 1));
+        } else {
+            // Must end inserted: I then (D I) × churn.
+            push_sequence(&mut events, &mut rng, e, 2 * churn + 1);
+            final_edge_count += 1;
+        }
+    }
+
+    // Transient noise edges (never in the input graph, always end deleted).
+    // Each noise edge must appear at most once: two interleaved alternating
+    // sequences for one edge would break guarantee (2).
+    let noise_target = (edges.len() as f64 * config.noise_fraction) as usize;
+    let mut noise_seen: HashSet<Edge> = HashSet::with_capacity(noise_target);
+    let mut added = 0usize;
+    let mut attempts = 0usize;
+    while added < noise_target && attempts < noise_target * 20 + 100 {
+        attempts += 1;
+        let a = rng.gen_range(0..num_vertices as u32);
+        let b = rng.gen_range(0..num_vertices as u32);
+        if a == b {
+            continue;
+        }
+        let e = Edge::new(a, b);
+        if edge_set.contains(&e) || !noise_seen.insert(e) {
+            continue;
+        }
+        let churn = geometric(&mut rng, config.churn_prob);
+        push_sequence(&mut events, &mut rng, e, 2 * (churn + 1));
+        added += 1;
+    }
+
+    events.sort_by_key(|&(ts, _)| ts); // stable: preserves per-edge order
+    let updates = events.into_iter().map(|(_, u)| u).collect();
+
+    StreamifyResult { updates, disconnected, final_edge_count }
+}
+
+/// Geometric(p) count of extra churn cycles (0 with probability 1−p).
+fn geometric(rng: &mut SmallRng, p: f64) -> usize {
+    let mut n = 0;
+    while n < 16 && rng.gen::<f64>() < p {
+        n += 1;
+    }
+    n
+}
+
+fn sample_distinct_vertices(num_vertices: u64, k: usize, rng: &mut SmallRng) -> Vec<u32> {
+    let mut chosen = HashSet::with_capacity(k);
+    while chosen.len() < k {
+        chosen.insert(rng.gen_range(0..num_vertices as u32));
+    }
+    let mut v: Vec<u32> = chosen.into_iter().collect();
+    v.sort_unstable();
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::update::validate_stream;
+    use crate::gnp::gnm_edges;
+
+    fn check_guarantees(num_vertices: u64, edges: &[Edge], config: &StreamifyConfig) {
+        let result = streamify(num_vertices, edges, config);
+
+        // Guarantees (1) and (2) via full validation (insert-before-delete
+        // and alternation are equivalent to "never double-insert / never
+        // delete-absent" given per-edge alternating sequences).
+        let final_edges = validate_stream(num_vertices, result.updates.clone())
+            .expect("stream violates the update model");
+
+        // Guarantee (4): final edge set is exactly the input minus edges
+        // touching the disconnect set.
+        let dset: HashSet<u32> = result.disconnected.iter().copied().collect();
+        let expected: HashSet<Edge> = edges
+            .iter()
+            .copied()
+            .filter(|e| !dset.contains(&e.u()) && !dset.contains(&e.v()))
+            .collect();
+        assert_eq!(final_edges, expected);
+        assert_eq!(result.final_edge_count, expected.len() as u64);
+
+        // Guarantee (3): the disconnect set is small and actually isolated.
+        assert!(result.disconnected.len() < 150);
+        for e in &final_edges {
+            assert!(!dset.contains(&e.u()) && !dset.contains(&e.v()));
+        }
+    }
+
+    #[test]
+    fn guarantees_hold_on_random_graph() {
+        let edges = gnm_edges(200, 1500, 42);
+        check_guarantees(200, &edges, &StreamifyConfig::default());
+    }
+
+    #[test]
+    fn guarantees_hold_with_heavy_churn() {
+        let edges = gnm_edges(100, 800, 7);
+        let config = StreamifyConfig {
+            seed: 9,
+            disconnect_nodes: 10,
+            churn_prob: 0.5,
+            noise_fraction: 0.3,
+        };
+        check_guarantees(100, &edges, &config);
+    }
+
+    #[test]
+    fn stream_longer_than_edges() {
+        // Noise and churn mean |stream| ≥ |edges| (Figure 10's update counts
+        // exceed edge counts).
+        let edges = gnm_edges(150, 1000, 3);
+        let r = streamify(150, &edges, &StreamifyConfig::default());
+        assert!(r.updates.len() >= edges.len());
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let edges = gnm_edges(80, 400, 5);
+        let c = StreamifyConfig::default();
+        let a = streamify(80, &edges, &c);
+        let b = streamify(80, &edges, &c);
+        assert_eq!(a.updates, b.updates);
+        let c2 = StreamifyConfig { seed: 1, ..c };
+        assert_ne!(streamify(80, &edges, &c2).updates, a.updates);
+    }
+
+    #[test]
+    fn zero_churn_zero_noise_minimal_stream() {
+        let edges = gnm_edges(60, 300, 11);
+        let config = StreamifyConfig {
+            seed: 1,
+            disconnect_nodes: 0,
+            churn_prob: 0.0,
+            noise_fraction: 0.0,
+        };
+        let r = streamify(60, &edges, &config);
+        assert_eq!(r.updates.len(), edges.len(), "pure insertion stream");
+        assert!(r.updates.iter().all(|u| u.kind == UpdateKind::Insert));
+        assert_eq!(r.final_edge_count, edges.len() as u64);
+    }
+
+    #[test]
+    fn updates_are_shuffled() {
+        // The stream must not be sorted by edge: count adjacent pairs that
+        // share an endpoint — in a sorted stream nearly all would.
+        let edges = gnm_edges(100, 2000, 13);
+        let r = streamify(100, &edges, &StreamifyConfig::default());
+        let adjacent_same_u = r
+            .updates
+            .windows(2)
+            .filter(|w| w[0].edge().u() == w[1].edge().u())
+            .count();
+        assert!(
+            adjacent_same_u < r.updates.len() / 2,
+            "stream looks sorted: {adjacent_same_u}/{} adjacent same-u pairs",
+            r.updates.len()
+        );
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use crate::update::validate_stream;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn always_a_valid_stream(
+            n in 5u64..80,
+            edge_frac in 0.0f64..0.8,
+            seed in any::<u64>(),
+            churn in 0.0f64..0.6,
+            noise in 0.0f64..0.5,
+            disconnect in 0usize..10
+        ) {
+            let m = (edge_frac * gz_graph::edge_index_count(n) as f64) as u64;
+            let edges = crate::gnp::gnm_edges(n, m, seed);
+            let config = StreamifyConfig {
+                seed,
+                disconnect_nodes: disconnect,
+                churn_prob: churn,
+                noise_fraction: noise,
+            };
+            let r = streamify(n, &edges, &config);
+            let final_edges = validate_stream(n, r.updates.clone());
+            prop_assert!(final_edges.is_ok());
+            prop_assert_eq!(final_edges.unwrap().len() as u64, r.final_edge_count);
+        }
+    }
+}

@@ -1,0 +1,183 @@
+//! The stream update model (paper §2.1).
+//!
+//! Each update has the form `((u, v), Δ)` with `u ≠ v` and `Δ ∈ {−1, +1}`:
+//! `+1` inserts the edge, `−1` deletes it. A valid stream only inserts absent
+//! edges and only deletes present ones; [`validate_stream`] checks exactly
+//! that (used to certify generator output in tests).
+
+use gz_graph::Edge;
+
+/// Whether an update inserts or deletes its edge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UpdateKind {
+    /// Δ = +1.
+    Insert,
+    /// Δ = −1.
+    Delete,
+}
+
+impl UpdateKind {
+    /// The signed weight Δ of this update.
+    #[inline]
+    pub fn delta(self) -> i32 {
+        match self {
+            UpdateKind::Insert => 1,
+            UpdateKind::Delete => -1,
+        }
+    }
+
+    /// Encode for the binary format.
+    pub(crate) fn to_byte(self) -> u8 {
+        match self {
+            UpdateKind::Insert => 0,
+            UpdateKind::Delete => 1,
+        }
+    }
+
+    /// Decode from the binary format.
+    pub(crate) fn from_byte(b: u8) -> Option<Self> {
+        match b {
+            0 => Some(UpdateKind::Insert),
+            1 => Some(UpdateKind::Delete),
+            _ => None,
+        }
+    }
+}
+
+/// One stream element: an edge plus its insert/delete flag.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EdgeUpdate {
+    /// First endpoint (canonical order is *not* required at the stream
+    /// level; systems canonicalize internally).
+    pub u: u32,
+    /// Second endpoint.
+    pub v: u32,
+    /// Insert or delete.
+    pub kind: UpdateKind,
+}
+
+impl EdgeUpdate {
+    /// An insertion of edge `(u, v)`.
+    #[inline]
+    pub fn insert(u: u32, v: u32) -> Self {
+        EdgeUpdate { u, v, kind: UpdateKind::Insert }
+    }
+
+    /// A deletion of edge `(u, v)`.
+    #[inline]
+    pub fn delete(u: u32, v: u32) -> Self {
+        EdgeUpdate { u, v, kind: UpdateKind::Delete }
+    }
+
+    /// The canonical [`Edge`] of this update.
+    #[inline]
+    pub fn edge(&self) -> Edge {
+        Edge::new(self.u, self.v)
+    }
+}
+
+/// Violations detectable in an update stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StreamViolation {
+    /// An insert of an edge that is already present (position, update).
+    DoubleInsert(usize, EdgeUpdate),
+    /// A delete of an edge that is absent (position, update).
+    DeleteAbsent(usize, EdgeUpdate),
+    /// A self-loop update (position).
+    SelfLoop(usize),
+    /// An endpoint ≥ the declared vertex count (position).
+    VertexOutOfRange(usize),
+}
+
+/// Validate a stream against the paper's model: inserts only of absent
+/// edges, deletes only of present edges, no self-loops, endpoints in range.
+/// Returns the first violation found, or the final edge set.
+pub fn validate_stream(
+    num_vertices: u64,
+    stream: impl IntoIterator<Item = EdgeUpdate>,
+) -> Result<std::collections::HashSet<Edge>, StreamViolation> {
+    let mut present = std::collections::HashSet::new();
+    for (pos, upd) in stream.into_iter().enumerate() {
+        if upd.u == upd.v {
+            return Err(StreamViolation::SelfLoop(pos));
+        }
+        if upd.u as u64 >= num_vertices || upd.v as u64 >= num_vertices {
+            return Err(StreamViolation::VertexOutOfRange(pos));
+        }
+        let e = upd.edge();
+        match upd.kind {
+            UpdateKind::Insert => {
+                if !present.insert(e) {
+                    return Err(StreamViolation::DoubleInsert(pos, upd));
+                }
+            }
+            UpdateKind::Delete => {
+                if !present.remove(&e) {
+                    return Err(StreamViolation::DeleteAbsent(pos, upd));
+                }
+            }
+        }
+    }
+    Ok(present)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delta_signs() {
+        assert_eq!(UpdateKind::Insert.delta(), 1);
+        assert_eq!(UpdateKind::Delete.delta(), -1);
+    }
+
+    #[test]
+    fn byte_round_trip() {
+        for k in [UpdateKind::Insert, UpdateKind::Delete] {
+            assert_eq!(UpdateKind::from_byte(k.to_byte()), Some(k));
+        }
+        assert_eq!(UpdateKind::from_byte(7), None);
+    }
+
+    #[test]
+    fn valid_stream_returns_final_edges() {
+        let stream = vec![
+            EdgeUpdate::insert(0, 1),
+            EdgeUpdate::insert(1, 2),
+            EdgeUpdate::delete(1, 0), // same edge as (0,1)
+        ];
+        let final_edges = validate_stream(3, stream).unwrap();
+        assert_eq!(final_edges.len(), 1);
+        assert!(final_edges.contains(&Edge::new(1, 2)));
+    }
+
+    #[test]
+    fn detects_double_insert() {
+        let stream = vec![EdgeUpdate::insert(0, 1), EdgeUpdate::insert(1, 0)];
+        assert!(matches!(
+            validate_stream(2, stream),
+            Err(StreamViolation::DoubleInsert(1, _))
+        ));
+    }
+
+    #[test]
+    fn detects_delete_of_absent() {
+        let stream = vec![EdgeUpdate::delete(0, 1)];
+        assert!(matches!(
+            validate_stream(2, stream),
+            Err(StreamViolation::DeleteAbsent(0, _))
+        ));
+    }
+
+    #[test]
+    fn detects_self_loop_and_range() {
+        assert_eq!(
+            validate_stream(5, vec![EdgeUpdate::insert(2, 2)]),
+            Err(StreamViolation::SelfLoop(0))
+        );
+        assert_eq!(
+            validate_stream(5, vec![EdgeUpdate::insert(2, 5)]),
+            Err(StreamViolation::VertexOutOfRange(0))
+        );
+    }
+}

@@ -1,0 +1,95 @@
+//! Tour of the sketch extensions the paper names beyond connectivity
+//! (§3.1: bipartiteness, edge connectivity, minimum spanning trees; §8:
+//! distributed partitioning; plus checkpoint/restore).
+//!
+//! ```sh
+//! cargo run --release -p gz-bench --example extensions_tour
+//! ```
+
+use graph_zeppelin::{
+    BipartitenessTester, GraphZeppelin, GzConfig, KForestSketcher, MsfSketcher,
+    ShardedGraphZeppelin,
+};
+
+fn main() {
+    let n = 64u64;
+
+    // --- Bipartiteness on a dynamic graph -------------------------------
+    let mut bip = BipartitenessTester::new(n, 1).unwrap();
+    for i in 0..16u32 {
+        bip.insert(i, (i + 1) % 16); // 16-cycle: even, bipartite
+    }
+    println!("16-cycle bipartite?          {}", bip.query().unwrap().bipartite);
+    bip.insert(0, 2); // chord creates a 3-cycle
+    println!("...after odd chord (0,2)?    {}", bip.query().unwrap().bipartite);
+    bip.delete(0, 2);
+    println!("...after deleting the chord? {}", bip.query().unwrap().bipartite);
+
+    // --- k-edge-connectivity certificate --------------------------------
+    // (universe sized to the graph: 2-edge-connectivity is a whole-graph
+    // property, so isolated spare vertices would make it trivially false)
+    let mut kec = KForestSketcher::new(20, 2, 2).unwrap();
+    for i in 0..20u32 {
+        kec.insert(i, (i + 1) % 20); // a 20-cycle is 2-edge-connected
+    }
+    println!(
+        "\n20-cycle 2-edge-connected?   {}",
+        kec.is_two_edge_connected().unwrap()
+    );
+    kec.delete(0, 1); // now a path: every edge a bridge
+    println!(
+        "...after deleting one edge?  {}",
+        kec.is_two_edge_connected().unwrap()
+    );
+    let cert = kec.certificate().unwrap();
+    println!(
+        "certificate: {} forests, {} edges total (graph had 19)",
+        cert.forests.len(),
+        cert.union_edges().len()
+    );
+
+    // --- Minimum spanning forest -----------------------------------------
+    let mut msf = MsfSketcher::new(n, 4, 3).unwrap();
+    // A weighted wheel: rim edges cost 0, spokes cost 3.
+    for i in 1..12u32 {
+        msf.insert(i, i % 11 + 1, 0);
+        msf.insert(0, i, 3);
+    }
+    let forest = msf.minimum_spanning_forest().unwrap();
+    println!(
+        "\nwheel MSF: {} edges, total weight {} (one spoke + the rim)",
+        forest.edges.len(),
+        forest.total_weight
+    );
+
+    // --- Sharded ingestion (cluster model) -------------------------------
+    let mut sharded = ShardedGraphZeppelin::new(n, 4, 4).unwrap();
+    let updates: Vec<(u32, u32, bool)> =
+        (0..40u32).map(|i| (i % 32, (i * 7 + 1) % 32, false)).filter(|&(a, b, _)| a != b).collect();
+    sharded.ingest_parallel(&updates);
+    println!(
+        "\nsharded across {} shards: {} components",
+        sharded.num_shards(),
+        sharded
+            .connected_components()
+            .unwrap()
+            .iter()
+            .collect::<std::collections::HashSet<_>>()
+            .len()
+    );
+
+    // --- Checkpoint / restore --------------------------------------------
+    let path = std::env::temp_dir().join(format!("gz_tour_{}.gzc", std::process::id()));
+    let mut gz = GraphZeppelin::new(GzConfig::in_ram(n)).unwrap();
+    gz.edge_update(1, 2);
+    gz.edge_update(2, 3);
+    gz.save_checkpoint(&path).unwrap();
+    let mut restored = GraphZeppelin::restore(&path).unwrap();
+    restored.edge_update(3, 4); // continue streaming after restart
+    let cc = restored.connected_components().unwrap();
+    println!(
+        "\ncheckpoint restored: vertices 1 and 4 connected? {}",
+        cc.same_component(1, 4)
+    );
+    std::fs::remove_file(&path).ok();
+}

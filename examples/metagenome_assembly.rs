@@ -1,0 +1,90 @@
+//! Clustering reads in a (simulated) metagenome assembly.
+//!
+//! Metagenome assembly is one of the paper's headline applications (§1,
+//! citing extreme-scale assemblers): reads overlap, the overlap graph's
+//! connected components are candidate genomes/contigs, and overlap edges
+//! are *retracted* when deeper analysis reveals them to be spurious
+//! (repeats, chimeric reads) — a naturally insert+delete workload.
+//!
+//! This example synthesizes `SPECIES` genomes' worth of reads, streams
+//! overlap edges (true overlaps within a species plus spurious cross-species
+//! overlaps), then deletes the spurious ones and watches the component count
+//! recover the species count.
+//!
+//! ```sh
+//! cargo run --release -p gz-bench --example metagenome_assembly
+//! ```
+
+use graph_zeppelin::{GraphZeppelin, GzConfig};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+const SPECIES: u32 = 12;
+const READS_PER_SPECIES: u32 = 400;
+const READS: u64 = (SPECIES * READS_PER_SPECIES) as u64;
+
+fn species_of(read: u32) -> u32 {
+    read / READS_PER_SPECIES
+}
+
+fn main() {
+    let mut gz = GraphZeppelin::new(GzConfig::in_ram(READS)).expect("valid config");
+    let mut rng = SmallRng::seed_from_u64(7);
+
+    // True overlaps: each read overlaps a handful of its species-mates
+    // (consecutive reads along the genome, plus some long-range repeats).
+    for read in 0..READS as u32 {
+        let s = species_of(read);
+        let base = s * READS_PER_SPECIES;
+        let next = base + (read - base + 1) % READS_PER_SPECIES;
+        gz.edge_update(read, next);
+        if rng.gen::<f64>() < 0.2 {
+            let other = base + rng.gen_range(0..READS_PER_SPECIES);
+            if other != read {
+                gz.edge_update(read, other);
+            }
+        }
+    }
+
+    // Spurious cross-species overlaps from repetitive sequence: these
+    // wrongly glue genomes together.
+    let mut spurious = Vec::new();
+    for _ in 0..SPECIES * 3 {
+        let a = rng.gen_range(0..READS as u32);
+        let b = rng.gen_range(0..READS as u32);
+        if a != b && species_of(a) != species_of(b) && !spurious.contains(&(a.min(b), a.max(b))) {
+            spurious.push((a.min(b), a.max(b)));
+            gz.edge_update(a, b);
+        }
+    }
+
+    let cc = gz.connected_components().expect("query");
+    println!(
+        "after naive overlap detection: {} contigs (true species: {SPECIES})",
+        cc.num_components()
+    );
+    assert!(cc.num_components() < SPECIES as usize, "repeats glued some genomes");
+
+    // Error correction: retract the spurious overlaps (edge deletions).
+    for (a, b) in spurious {
+        gz.update(a, b, true);
+    }
+
+    let cc = gz.connected_components().expect("query");
+    println!("after repeat resolution:        {} contigs", cc.num_components());
+    assert_eq!(cc.num_components(), SPECIES as usize);
+
+    // Report contig sizes from the labeling.
+    let mut sizes = std::collections::HashMap::new();
+    for v in 0..READS as u32 {
+        *sizes.entry(cc.label(v)).or_insert(0u32) += 1;
+    }
+    let mut sizes: Vec<u32> = sizes.into_values().collect();
+    sizes.sort_unstable();
+    println!("contig sizes: {sizes:?}");
+    println!(
+        "\n{} overlap updates processed in {} bytes of sketches",
+        gz.updates_ingested(),
+        gz.sketch_bytes()
+    );
+}

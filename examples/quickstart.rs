@@ -1,0 +1,44 @@
+//! Quickstart: stream a small dynamic graph through GraphZeppelin and query
+//! its connected components.
+//!
+//! ```sh
+//! cargo run --release -p gz-bench --example quickstart
+//! ```
+
+use graph_zeppelin::{GraphZeppelin, GzConfig};
+
+fn main() {
+    // A system for a graph on up to 1024 vertices, all defaults: sketches in
+    // RAM, leaf-only gutters at half the node-sketch size, 4 Graph Workers.
+    let mut gz = GraphZeppelin::new(GzConfig::in_ram(1024)).expect("valid config");
+
+    // Build two communities joined by a bridge.
+    for i in 0..10u32 {
+        gz.edge_update(i, (i + 1) % 10); // cycle A: vertices 0..10
+        gz.edge_update(100 + i, 100 + (i + 1) % 10); // cycle B: 100..110
+    }
+    gz.edge_update(5, 105); // the bridge
+
+    let cc = gz.connected_components().expect("query");
+    println!("with the bridge:    {} components", cc.num_components());
+    assert!(cc.same_component(0, 100));
+
+    // Dynamic deletion: drop the bridge. Over Z_2 a second toggle of the
+    // same edge IS the deletion; the explicit form is `update(.., true)`.
+    gz.update(5, 105, true);
+
+    let cc = gz.connected_components().expect("query");
+    println!("without the bridge: {} components", cc.num_components());
+    assert!(!cc.same_component(0, 100));
+
+    // The spanning forest witnesses connectivity (the streaming problem's
+    // required output format).
+    let forest = cc.spanning_forest();
+    println!("spanning forest edges: {}", forest.len());
+    println!(
+        "memory: {} bytes of sketches for a {}-vertex universe ({} updates ingested)",
+        gz.sketch_bytes(),
+        gz.config().num_nodes,
+        gz.updates_ingested()
+    );
+}

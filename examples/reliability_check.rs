@@ -1,0 +1,56 @@
+//! A miniature of the paper's §6.3 reliability experiment.
+//!
+//! Streams a dataset simultaneously into GraphZeppelin and an exact
+//! adjacency-matrix mirror, comparing partitions at periodic checkpoints.
+//! The sketch algorithm has failure probability ≤ 1/V^c; the paper observed
+//! zero failures in 5000 trials, and so should this run.
+//!
+//! ```sh
+//! cargo run --release -p gz-bench --example reliability_check -- 20
+//! ```
+
+use graph_zeppelin::{GraphZeppelin, GzConfig};
+use gz_graph::connectivity::same_partition;
+use gz_graph::AdjacencyMatrix;
+use gz_stream::{Dataset, StreamifyConfig, UpdateKind};
+
+fn main() {
+    let trials: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(10);
+
+    let dataset = Dataset::kron(8);
+    let mut failures = 0usize;
+    let mut checks = 0usize;
+
+    for trial in 0..trials {
+        let stream = dataset.stream(trial, &StreamifyConfig::default());
+        let mut config = GzConfig::in_ram(dataset.num_vertices);
+        config.seed = 0xACE0 ^ trial; // fresh sketch randomness each trial
+        let mut gz = GraphZeppelin::new(config).expect("valid config");
+        let mut mirror = AdjacencyMatrix::new(dataset.num_vertices);
+
+        let checkpoint = (stream.updates.len() / 4).max(1);
+        for (i, upd) in stream.updates.iter().enumerate() {
+            gz.update(upd.u, upd.v, upd.kind == UpdateKind::Delete);
+            mirror.toggle(upd.edge());
+            if (i + 1) % checkpoint == 0 || i + 1 == stream.updates.len() {
+                checks += 1;
+                let ok = match gz.connected_components() {
+                    Ok(cc) => same_partition(cc.labels(), &mirror.connected_components()),
+                    Err(_) => false,
+                };
+                if !ok {
+                    failures += 1;
+                    eprintln!("trial {trial}: FAILURE at update {}", i + 1);
+                }
+            }
+        }
+        println!("trial {trial}: ok ({} updates)", stream.updates.len());
+    }
+
+    println!("\n{checks} checks across {trials} trials: {failures} failures");
+    println!("(paper §6.3: 0 failures in 5000 trials; guaranteed bound 1/V^c)");
+    assert_eq!(failures, 0, "sketch connectivity produced a wrong answer");
+}

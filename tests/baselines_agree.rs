@@ -1,0 +1,95 @@
+//! Cross-system agreement: the Aspen-like and Terrace-like comparators and
+//! GraphZeppelin must compute identical components on identical streams —
+//! otherwise every performance comparison in the benchmark suite would be
+//! comparing different problems.
+
+use graph_zeppelin::{GraphZeppelin, GzConfig};
+use gz_baselines::{AspenLike, DynamicGraphSystem, TerraceLike};
+use gz_stream::{Dataset, StreamifyConfig, UpdateKind};
+
+fn drive_all(dataset: &Dataset, seed: u64) -> (Vec<u32>, Vec<u32>, Vec<u32>) {
+    let stream = dataset.stream(seed, &StreamifyConfig::default());
+    let mut gz = GraphZeppelin::new(GzConfig::in_ram(dataset.num_vertices)).unwrap();
+    let mut aspen = AspenLike::new(dataset.num_vertices as usize);
+    let mut terrace = TerraceLike::new(dataset.num_vertices as usize);
+    for upd in &stream.updates {
+        gz.update(upd.u, upd.v, upd.kind == UpdateKind::Delete);
+        match upd.kind {
+            UpdateKind::Insert => {
+                aspen.batch_insert(&[(upd.u, upd.v)]);
+                terrace.batch_insert(&[(upd.u, upd.v)]);
+            }
+            UpdateKind::Delete => {
+                aspen.batch_delete(&[(upd.u, upd.v)]);
+                terrace.batch_delete(&[(upd.u, upd.v)]);
+            }
+        }
+    }
+    (
+        gz.connected_components().unwrap().labels().to_vec(),
+        aspen.connected_components(),
+        terrace.connected_components(),
+    )
+}
+
+#[test]
+fn all_systems_agree_on_dense_kron() {
+    let (gz, aspen, terrace) = drive_all(&Dataset::kron(7), 21);
+    assert_eq!(gz, aspen);
+    assert_eq!(aspen, terrace);
+}
+
+#[test]
+fn all_systems_agree_on_sparse_er() {
+    let d = gz_stream::catalog::tiny_standins().remove(0);
+    let (gz, aspen, terrace) = drive_all(&d, 22);
+    assert_eq!(gz, aspen);
+    assert_eq!(aspen, terrace);
+}
+
+#[test]
+fn batched_updates_equal_single_updates_for_baselines() {
+    // The paper feeds baselines large single-type batches; batching must not
+    // change semantics.
+    let dataset = Dataset::kron(6);
+    let stream = dataset.stream(23, &StreamifyConfig::default());
+
+    let mut singly = AspenLike::new(dataset.num_vertices as usize);
+    for upd in &stream.updates {
+        match upd.kind {
+            UpdateKind::Insert => singly.batch_insert(&[(upd.u, upd.v)]),
+            UpdateKind::Delete => singly.batch_delete(&[(upd.u, upd.v)]),
+        }
+    }
+
+    // Note: reordering inserts/deletes across type boundaries is NOT sound
+    // for arbitrary streams (an insert–delete–insert of one edge collapses);
+    // the harness preserves order and only groups contiguous runs. Emulate
+    // that here.
+    let mut batched = AspenLike::new(dataset.num_vertices as usize);
+    let mut run: Vec<(u32, u32)> = Vec::new();
+    let mut run_is_delete = false;
+    for upd in &stream.updates {
+        let is_delete = upd.kind == UpdateKind::Delete;
+        if is_delete != run_is_delete && !run.is_empty() {
+            if run_is_delete {
+                batched.batch_delete(&run);
+            } else {
+                batched.batch_insert(&run);
+            }
+            run.clear();
+        }
+        run_is_delete = is_delete;
+        run.push((upd.u, upd.v));
+    }
+    if !run.is_empty() {
+        if run_is_delete {
+            batched.batch_delete(&run);
+        } else {
+            batched.batch_insert(&run);
+        }
+    }
+
+    assert_eq!(singly.num_edges(), batched.num_edges());
+    assert_eq!(singly.connected_components(), batched.connected_components());
+}

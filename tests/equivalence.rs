@@ -1,0 +1,121 @@
+//! Equivalence tests: every deployment configuration of GraphZeppelin must
+//! produce the *same sketch state* for the same stream — linearity makes the
+//! system's answers independent of buffering, store placement, worker count,
+//! and locking discipline.
+
+use graph_zeppelin::{
+    BufferStrategy, GraphZeppelin, GutterCapacity, GzConfig, LockingStrategy, StoreBackend,
+};
+use gz_stream::{Dataset, StreamifyConfig, UpdateKind};
+
+fn labels_for(config: GzConfig, updates: &[gz_stream::EdgeUpdate]) -> Vec<u32> {
+    let mut gz = GraphZeppelin::new(config).expect("valid config");
+    for upd in updates {
+        gz.update(upd.u, upd.v, upd.kind == UpdateKind::Delete);
+    }
+    gz.connected_components().expect("query").labels().to_vec()
+}
+
+fn shared_stream() -> (u64, Vec<gz_stream::EdgeUpdate>) {
+    let dataset = Dataset::kron(7);
+    let stream = dataset.stream(77, &StreamifyConfig::default());
+    (dataset.num_vertices, stream.updates)
+}
+
+#[test]
+fn buffering_strategies_equivalent() {
+    let (v, updates) = shared_stream();
+    let dir = std::env::temp_dir().join(format!("gz_equiv_buf_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+
+    let mut leaf = GzConfig::in_ram(v);
+    leaf.buffering = BufferStrategy::LeafOnly { capacity: GutterCapacity::SketchFactor(0.5) };
+
+    let mut tiny = GzConfig::in_ram(v);
+    tiny.buffering = BufferStrategy::LeafOnly { capacity: GutterCapacity::Updates(3) };
+
+    let mut tree = GzConfig::in_ram(v);
+    tree.buffering = BufferStrategy::GutterTree {
+        buffer_bytes: 1 << 14,
+        fanout: 8,
+        leaf_capacity: GutterCapacity::SketchFactor(1.0),
+        dir: dir.clone(),
+    };
+
+    let a = labels_for(leaf, &updates);
+    let b = labels_for(tiny, &updates);
+    let c = labels_for(tree, &updates);
+    assert_eq!(a, b, "leaf vs tiny-gutter");
+    assert_eq!(a, c, "leaf vs gutter-tree");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn store_backends_equivalent() {
+    let (v, updates) = shared_stream();
+    let dir = std::env::temp_dir().join(format!("gz_equiv_store_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+
+    let ram = GzConfig::in_ram(v);
+    let mut disk = GzConfig::in_ram(v);
+    disk.store = StoreBackend::Disk { dir: dir.clone(), block_bytes: 4096, cache_groups: 4 };
+
+    assert_eq!(labels_for(ram, &updates), labels_for(disk, &updates));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn locking_strategies_equivalent() {
+    let (v, updates) = shared_stream();
+    let mut direct = GzConfig::in_ram(v);
+    direct.locking = LockingStrategy::Direct;
+    let mut delta = GzConfig::in_ram(v);
+    delta.locking = LockingStrategy::DeltaSketch;
+    assert_eq!(labels_for(direct, &updates), labels_for(delta, &updates));
+}
+
+#[test]
+fn worker_counts_equivalent() {
+    let (v, updates) = shared_stream();
+    let mut one = GzConfig::in_ram(v);
+    one.num_workers = 1;
+    let mut eight = GzConfig::in_ram(v);
+    eight.num_workers = 8;
+    assert_eq!(labels_for(one, &updates), labels_for(eight, &updates));
+}
+
+#[test]
+fn group_threads_equivalent() {
+    let (v, updates) = shared_stream();
+    let mut g1 = GzConfig::in_ram(v);
+    g1.group_threads = 1;
+    let mut g4 = GzConfig::in_ram(v);
+    g4.group_threads = 4;
+    assert_eq!(labels_for(g1, &updates), labels_for(g4, &updates));
+}
+
+#[test]
+fn update_order_irrelevant() {
+    // Linearity: any permutation of the same update multiset yields the
+    // same sketches, hence the same answers.
+    let (v, mut updates) = shared_stream();
+    let forward = labels_for(GzConfig::in_ram(v), &updates);
+    updates.reverse();
+    let backward = labels_for(GzConfig::in_ram(v), &updates);
+    assert_eq!(forward, backward);
+}
+
+#[test]
+fn streaming_cc_baseline_agrees_with_graphzeppelin() {
+    // The prior-art system and GraphZeppelin implement the same abstract
+    // algorithm; on a small graph both must agree with each other.
+    let dataset = Dataset::kron(5);
+    let stream = dataset.stream(5, &StreamifyConfig::default());
+    let gz_labels = labels_for(GzConfig::in_ram(dataset.num_vertices), &stream.updates);
+
+    let mut scc = graph_zeppelin::streaming_cc::StreamingCc::new(dataset.num_vertices, 9).unwrap();
+    for upd in &stream.updates {
+        scc.update(upd.u, upd.v, upd.kind == UpdateKind::Delete);
+    }
+    assert_eq!(scc.connected_components().unwrap(), gz_labels);
+}

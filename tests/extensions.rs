@@ -1,0 +1,100 @@
+//! Integration tests for the extension features: bipartiteness testing
+//! (paper §3.1's suggested application), sharded ingestion (§8 outlook),
+//! and string vertex ids (§2.2).
+
+use graph_zeppelin::{BipartitenessTester, GraphZeppelin, GzConfig, ShardedGraphZeppelin};
+use gz_graph::VertexInterner;
+use gz_stream::{Dataset, StreamifyConfig, UpdateKind};
+
+#[test]
+fn bipartiteness_on_streamed_bipartite_graph() {
+    // Build a random bipartite graph (edges only across halves) and stream
+    // it with churn; the tester must report bipartite at the end.
+    let n = 60u32;
+    let edges: Vec<gz_graph::Edge> = (0..n / 2)
+        .flat_map(|a| {
+            ((n / 2)..n)
+                .filter(move |b| (a * 7 + b) % 3 == 0)
+                .map(move |b| gz_graph::Edge::new(a, b))
+        })
+        .collect();
+    let stream = gz_stream::streamify(
+        n as u64,
+        &edges,
+        &StreamifyConfig { disconnect_nodes: 0, ..StreamifyConfig::default() },
+    );
+    let mut tester = BipartitenessTester::new(n as u64, 5).unwrap();
+    for upd in &stream.updates {
+        tester.update(upd.u, upd.v, upd.kind == UpdateKind::Delete);
+    }
+    let ans = tester.query().unwrap();
+    assert!(ans.bipartite, "odd components: {:?}", ans.odd_components);
+}
+
+#[test]
+fn bipartiteness_detects_planted_odd_cycle() {
+    let n = 40u32;
+    let mut tester = BipartitenessTester::new(n as u64, 9).unwrap();
+    // Bipartite background: a long even cycle.
+    for i in 0..20u32 {
+        tester.insert(i, (i + 1) % 20);
+    }
+    assert!(tester.query().unwrap().bipartite);
+    // Plant a chord creating an odd cycle (chord between i and i+2 keeps it
+    // even; i and i+3 makes a 4-cycle + 18-cycle... use i to i+4? A chord
+    // (0, 5) creates cycles of length 6 and 16 — still even. A chord (0, 3)
+    // creates length 4 and 18 — even. Odd cycle needs chord (0, k) with k
+    // even: (0, 4) → cycles 5 and 17: odd!).
+    tester.insert(0, 4);
+    let ans = tester.query().unwrap();
+    assert!(!ans.bipartite);
+    // Remove it again.
+    tester.delete(0, 4);
+    assert!(tester.query().unwrap().bipartite);
+}
+
+#[test]
+fn sharded_system_on_kron_stream_matches_single_node() {
+    let dataset = Dataset::kron(6);
+    let stream = dataset.stream(8, &StreamifyConfig::default());
+
+    let mut sharded = ShardedGraphZeppelin::new(dataset.num_vertices, 4, 77).unwrap();
+    let mut config = GzConfig::in_ram(dataset.num_vertices);
+    config.seed = 77;
+    let mut single = GraphZeppelin::new(config).unwrap();
+
+    for upd in &stream.updates {
+        let is_delete = upd.kind == UpdateKind::Delete;
+        sharded.update(upd.u, upd.v, is_delete);
+        single.update(upd.u, upd.v, is_delete);
+    }
+    assert_eq!(
+        sharded.connected_components().unwrap(),
+        single.connected_components().unwrap().labels()
+    );
+}
+
+#[test]
+fn string_identified_stream_via_interner() {
+    // A stream naming vertices by string, resolved through the interner
+    // into a GraphZeppelin over a loose upper bound on the vertex count.
+    let raw = [
+        ("alice", "bob"),
+        ("bob", "carol"),
+        ("dave", "erin"),
+        ("erin", "frank"),
+        ("frank", "dave"),
+    ];
+    let mut interner = VertexInterner::new();
+    let mut gz = GraphZeppelin::new(GzConfig::in_ram(64)).unwrap();
+    for (a, b) in raw {
+        let (ia, ib) = (interner.intern(a), interner.intern(b));
+        gz.edge_update(ia, ib);
+    }
+    let cc = gz.connected_components().unwrap();
+    let id = |s: &str| interner.get(s).unwrap();
+    assert!(cc.same_component(id("alice"), id("carol")));
+    assert!(cc.same_component(id("dave"), id("frank")));
+    assert!(!cc.same_component(id("alice"), id("dave")));
+    assert_eq!(interner.len(), 6);
+}

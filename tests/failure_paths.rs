@@ -1,0 +1,100 @@
+//! Failure-path integration tests: the system must degrade *detectably*,
+//! never silently.
+
+use graph_zeppelin::boruvka::boruvka_spanning_forest;
+use graph_zeppelin::node_sketch::{update_index, SketchParams};
+use graph_zeppelin::{GraphZeppelin, GzConfig, GzError};
+
+#[test]
+fn exhausted_round_budget_reports_algorithm_failure() {
+    // One Boruvka round cannot resolve a long path; the API must surface
+    // the paper's `algorithm_fails` outcome as a typed error.
+    let mut config = GzConfig::in_ram(64);
+    config.num_rounds = Some(1);
+    let mut gz = GraphZeppelin::new(config).unwrap();
+    for i in 0..63u32 {
+        gz.edge_update(i, i + 1);
+    }
+    match gz.connected_components() {
+        Err(GzError::AlgorithmFailure { rounds_used, unresolved }) => {
+            assert_eq!(rounds_used, 1);
+            assert!(unresolved > 0);
+        }
+        other => panic!("expected AlgorithmFailure, got {other:?}"),
+    }
+}
+
+#[test]
+fn error_messages_are_informative() {
+    let err = GzError::AlgorithmFailure { rounds_used: 3, unresolved: 7 };
+    let msg = err.to_string();
+    assert!(msg.contains('3') && msg.contains('7'));
+}
+
+#[test]
+fn corrupted_sketches_fail_loudly_not_silently() {
+    // Simulate memory corruption: build per-vertex sketches, overwrite one
+    // vertex's sketch with a *different vertex's* sketch (so bucket
+    // checksums remain internally valid but the graph they describe is
+    // inconsistent), and check Boruvka either fails or returns a partition
+    // — never panics or loops forever.
+    let num_nodes = 16u64;
+    let params = SketchParams::new(num_nodes, 8, 7, 44);
+    let mut sketches: Vec<Option<_>> =
+        (0..num_nodes).map(|_| Some(params.new_node_sketch())).collect();
+    // Path graph 0-1-...-15.
+    for i in 0..15u32 {
+        let idx = update_index(i, i + 1, num_nodes);
+        sketches[i as usize].as_mut().unwrap().update_signed(idx, 1);
+        sketches[i as usize + 1].as_mut().unwrap().update_signed(idx, 1);
+    }
+    // Corrupt: vertex 3's sketch replaced by a copy of vertex 12's.
+    let stolen = sketches[12].clone();
+    sketches[3] = stolen;
+
+    match boruvka_spanning_forest(sketches, num_nodes, 8) {
+        Ok(outcome) => {
+            // If it "succeeds", the answer is some partition of the right
+            // size — the failure mode is a wrong answer (probability-bounded
+            // in normal operation), not UB.
+            assert_eq!(outcome.labels.len(), num_nodes as usize);
+        }
+        Err(GzError::AlgorithmFailure { .. }) => {}
+        Err(other) => panic!("unexpected error kind: {other}"),
+    }
+}
+
+#[test]
+fn invalid_configs_rejected_up_front() {
+    assert!(matches!(
+        GraphZeppelin::new(GzConfig::in_ram(0)),
+        Err(GzError::InvalidConfig(_))
+    ));
+    let mut c = GzConfig::in_ram(64);
+    c.num_workers = 0;
+    assert!(matches!(GraphZeppelin::new(c), Err(GzError::InvalidConfig(_))));
+}
+
+#[test]
+fn disk_store_with_unwritable_dir_errors() {
+    let mut c = GzConfig::in_ram(32);
+    c.store = graph_zeppelin::StoreBackend::Disk {
+        dir: std::path::PathBuf::from("/nonexistent_gz_dir_for_tests"),
+        block_bytes: 4096,
+        cache_groups: 2,
+    };
+    assert!(matches!(GraphZeppelin::new(c), Err(GzError::Io(_))));
+}
+
+#[test]
+fn zero_budget_boruvka_fails_cleanly() {
+    let params = SketchParams::new(8, 4, 7, 1);
+    let mut sketches: Vec<Option<_>> = (0..8).map(|_| Some(params.new_node_sketch())).collect();
+    let idx = update_index(0, 1, 8);
+    sketches[0].as_mut().unwrap().update_signed(idx, 1);
+    sketches[1].as_mut().unwrap().update_signed(idx, 1);
+    assert!(matches!(
+        boruvka_spanning_forest(sketches, 8, 0),
+        Err(GzError::AlgorithmFailure { rounds_used: 0, .. })
+    ));
+}

@@ -1,0 +1,123 @@
+//! Hybrid-model I/O integration tests: the buffering layer must deliver the
+//! paper's amortization (Lemma 4) and the unbuffered path must exhibit
+//! Observation 1's Ω(1) I/Os per update.
+
+use graph_zeppelin::{BufferStrategy, GraphZeppelin, GutterCapacity, GzConfig, StoreBackend};
+use gz_stream::{Dataset, StreamifyConfig, UpdateKind};
+
+fn scratch(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("gz_hybrid_{}_{tag}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn run_stream(config: GzConfig, updates: &[gz_stream::EdgeUpdate]) -> GraphZeppelin {
+    let mut gz = GraphZeppelin::new(config).expect("valid config");
+    for upd in updates {
+        gz.update(upd.u, upd.v, upd.kind == UpdateKind::Delete);
+    }
+    gz.flush();
+    gz
+}
+
+#[test]
+fn buffering_amortizes_store_io() {
+    let dataset = Dataset::kron(7);
+    let stream = dataset.stream(3, &StreamifyConfig::default());
+    let dir = scratch("amortize");
+
+    let disk = |buffering: BufferStrategy| {
+        let mut c = GzConfig::in_ram(dataset.num_vertices);
+        c.store =
+            StoreBackend::Disk { dir: dir.clone(), block_bytes: 1 << 13, cache_groups: 4 };
+        c.buffering = buffering;
+        c
+    };
+
+    let unbuffered = run_stream(
+        disk(BufferStrategy::LeafOnly { capacity: GutterCapacity::Updates(1) }),
+        &stream.updates,
+    );
+    let buffered = run_stream(
+        disk(BufferStrategy::LeafOnly { capacity: GutterCapacity::SketchFactor(2.0) }),
+        &stream.updates,
+    );
+
+    let io_unbuffered = unbuffered.store_io().unwrap().total_ops();
+    let io_buffered = buffered.store_io().unwrap().total_ops();
+    let n = stream.updates.len() as u64;
+
+    // Observation 1: unbuffered ≈ Ω(1) I/Os per update (2 node sketches per
+    // update, tight cache).
+    assert!(
+        io_unbuffered >= n,
+        "unbuffered: {io_unbuffered} ops for {n} updates (expected ≥ n)"
+    );
+    // Lemma 4: buffered is amortized far below one op per update.
+    assert!(
+        (io_buffered as f64) < 0.5 * n as f64,
+        "buffered: {io_buffered} ops for {n} updates"
+    );
+    drop(unbuffered);
+    drop(buffered);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn gutter_tree_writes_are_batched() {
+    let dataset = Dataset::kron(7);
+    let stream = dataset.stream(4, &StreamifyConfig::default());
+    let dir = scratch("tree");
+    let mut c = GzConfig::in_ram(dataset.num_vertices);
+    c.buffering = BufferStrategy::GutterTree {
+        buffer_bytes: 1 << 14,
+        fanout: 8,
+        leaf_capacity: GutterCapacity::SketchFactor(1.0),
+        dir: dir.clone(),
+    };
+    let gz = run_stream(c, &stream.updates);
+    let tree_io = gz.gutter_io().expect("gutter tree counters");
+    let n = stream.updates.len() as u64;
+    // Each update enters the tree once (two directed records), and the tree
+    // moves records in buffer-sized chunks: ops ≪ records.
+    assert!(
+        tree_io.total_ops() < n / 2,
+        "tree: {} ops for {n} updates",
+        tree_io.total_ops()
+    );
+    // And the bytes moved are bounded by a small multiple of the record
+    // volume times the tree depth.
+    let record_volume = 2 * n * 8;
+    assert!(
+        tree_io.bytes_written() <= record_volume * 4,
+        "tree wrote {} bytes for {record_volume} bytes of records",
+        tree_io.bytes_written()
+    );
+    drop(gz);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn query_scans_disk_store_once_per_snapshot() {
+    let dataset = Dataset::kron(6);
+    let stream = dataset.stream(5, &StreamifyConfig::default());
+    let dir = scratch("query");
+    let mut c = GzConfig::in_ram(dataset.num_vertices);
+    c.store = StoreBackend::Disk { dir: dir.clone(), block_bytes: 1 << 13, cache_groups: 2 };
+    let mut gz = run_stream(c, &stream.updates);
+    let io = gz.store_io().unwrap();
+    let before = io.bytes_read();
+    let _ = gz.connected_components().unwrap();
+    let after = io.bytes_read();
+    // The snapshot reads each node group at most once: bounded by the full
+    // store size (plus a cache's worth of slack).
+    let store_bytes = gz.sketch_bytes() as u64;
+    assert!(
+        after - before <= store_bytes + store_bytes / 4,
+        "query read {} bytes for a {}-byte store",
+        after - before,
+        store_bytes
+    );
+    drop(gz);
+    std::fs::remove_dir_all(&dir).ok();
+}
