@@ -61,7 +61,9 @@ impl VertexBlock {
             return false;
         }
         // Fill inline first; overflow cascades to spill, then to the tree.
-        if (self.inline_len as usize) < INLINE_SLOTS && self.spill.is_empty() && self.tree.is_empty()
+        if (self.inline_len as usize) < INLINE_SLOTS
+            && self.spill.is_empty()
+            && self.tree.is_empty()
         {
             let len = self.inline_len as usize;
             let pos = self.inline[..len].binary_search(&v).unwrap_err();

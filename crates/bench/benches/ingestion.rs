@@ -19,19 +19,15 @@ fn bench_ingest_by_workers(c: &mut Criterion) {
     let mut group = c.benchmark_group("gz_ingest_workers");
     group.throughput(Throughput::Elements(w.updates.len() as u64));
     for workers in [1usize, 2, 4] {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(workers),
-            &w.updates,
-            |b, updates| {
-                b.iter(|| {
-                    let mut config = GzConfig::in_ram(w.num_nodes);
-                    config.num_workers = workers;
-                    let mut gz = GraphZeppelin::new(config).unwrap();
-                    ingest(&mut gz, updates);
-                    gz.batches_applied()
-                })
-            },
-        );
+        group.bench_with_input(BenchmarkId::from_parameter(workers), &w.updates, |b, updates| {
+            b.iter(|| {
+                let mut config = GzConfig::in_ram(w.num_nodes);
+                config.num_workers = workers;
+                let mut gz = GraphZeppelin::new(config).unwrap();
+                ingest(&mut gz, updates);
+                gz.batches_applied()
+            })
+        });
     }
     group.finish();
 }

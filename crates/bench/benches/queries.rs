@@ -16,11 +16,9 @@ fn bench_connected_components(c: &mut Criterion) {
             gz.update(upd.u, upd.v, upd.kind == UpdateKind::Delete);
         }
         gz.flush();
-        group.bench_with_input(
-            BenchmarkId::from_parameter(format!("kron{scale}")),
-            &(),
-            |b, _| b.iter(|| gz.connected_components().unwrap().num_components()),
-        );
+        group.bench_with_input(BenchmarkId::from_parameter(format!("kron{scale}")), &(), |b, _| {
+            b.iter(|| gz.connected_components().unwrap().num_components())
+        });
     }
     group.finish();
 }

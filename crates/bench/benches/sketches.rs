@@ -22,10 +22,14 @@ fn bench_cube_updates(c: &mut Criterion) {
         let family = CubeSketchFamily::<Xxh64Hasher>::for_vector(n, 1);
         let idx = indices(n, 1024);
         group.throughput(Throughput::Elements(idx.len() as u64));
-        group.bench_with_input(BenchmarkId::from_parameter(format!("n=10^{exp}")), &idx, |b, idx| {
-            let mut sketch = family.new_sketch();
-            b.iter(|| sketch.update_batch(idx));
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("n=10^{exp}")),
+            &idx,
+            |b, idx| {
+                let mut sketch = family.new_sketch();
+                b.iter(|| sketch.update_batch(idx));
+            },
+        );
     }
     group.finish();
 }
@@ -38,14 +42,18 @@ fn bench_standard_updates(c: &mut Criterion) {
         let family = AnyStandardFamily::<Xxh64Hasher>::for_vector(n, 1);
         let idx = indices(n, 256);
         group.throughput(Throughput::Elements(idx.len() as u64));
-        group.bench_with_input(BenchmarkId::from_parameter(format!("n=10^{exp}")), &idx, |b, idx| {
-            let mut sketch = family.new_sketch();
-            b.iter(|| {
-                for &i in idx {
-                    sketch.update_signed(i, 1);
-                }
-            });
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("n=10^{exp}")),
+            &idx,
+            |b, idx| {
+                let mut sketch = family.new_sketch();
+                b.iter(|| {
+                    for &i in idx {
+                        sketch.update_signed(i, 1);
+                    }
+                });
+            },
+        );
     }
     group.finish();
 }

@@ -67,7 +67,7 @@ fn columns_vs_failure() {
 /// arithmetic the paper's baseline used? (Quantifies how conservative the
 /// Figure 4 speedups are.)
 fn baseline_arithmetic() {
-    use gz_sketch::modular::{P89, P89Division};
+    use gz_sketch::modular::{P89Division, P89};
     use gz_sketch::standard::StandardFamily;
 
     fn measure<F: gz_sketch::modular::FingerprintField>(n: u64) -> f64 {
@@ -105,9 +105,10 @@ fn baseline_arithmetic() {
 fn locking(scale: Scale) {
     let w = kron_workload(scale.reference_kron().min(10), 3);
     let mut t = Table::new(&["locking", "ingest rate"]);
-    for (name, strategy) in
-        [("delta-sketch (paper)", LockingStrategy::DeltaSketch), ("direct", LockingStrategy::Direct)]
-    {
+    for (name, strategy) in [
+        ("delta-sketch (paper)", LockingStrategy::DeltaSketch),
+        ("direct", LockingStrategy::Direct),
+    ] {
         let mut config = GzConfig::in_ram(w.num_nodes);
         config.locking = strategy;
         config.num_workers = super::fig13::available_workers();

@@ -16,7 +16,12 @@ use rand::{Rng, SeedableRng};
 use std::time::Duration;
 
 /// Measure one sampler's update rate on random indices.
-fn measure_updates<S: L0Sampler>(sampler: &mut S, vector_len: u64, min_time: Duration, max_updates: usize) -> f64 {
+fn measure_updates<S: L0Sampler>(
+    sampler: &mut S,
+    vector_len: u64,
+    min_time: Duration,
+    max_updates: usize,
+) -> f64 {
     let mut rng = SmallRng::seed_from_u64(0x000F_1604);
     // Pre-draw indices so RNG cost stays out of the measurement.
     let indices: Vec<u64> = (0..8192).map(|_| rng.gen_range(0..vector_len)).collect();
@@ -81,12 +86,10 @@ mod tests {
             let n = 10u64.pow(exp);
             let cube_family = CubeSketchFamily::<Xxh64Hasher>::for_vector(n, 7);
             let mut cube = cube_family.new_sketch();
-            let cube_rate =
-                measure_updates(&mut cube, n, Duration::from_millis(30), 200_000);
+            let cube_rate = measure_updates(&mut cube, n, Duration::from_millis(30), 200_000);
             let std_family = AnyStandardFamily::<Xxh64Hasher>::for_vector(n, 7);
             let mut std_sketch = std_family.new_sketch();
-            let std_rate =
-                measure_updates(&mut std_sketch, n, Duration::from_millis(30), 20_000);
+            let std_rate = measure_updates(&mut std_sketch, n, Duration::from_millis(30), 20_000);
             assert!(
                 cube_rate > 2.0 * std_rate,
                 "10^{exp}: cube {cube_rate:.0} vs standard {std_rate:.0}"

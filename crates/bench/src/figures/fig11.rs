@@ -16,7 +16,12 @@ use gz_baselines::{AspenLike, DynamicGraphSystem, TerraceLike};
 pub fn run(scale: Scale) {
     println!("== Figure 11: memory footprint, Aspen-like vs Terrace-like vs GraphZeppelin ==\n");
     let mut t = Table::new(&[
-        "dataset", "edges", "aspen-like", "terrace-like", "graphzeppelin", "GZ wins?",
+        "dataset",
+        "edges",
+        "aspen-like",
+        "terrace-like",
+        "graphzeppelin",
+        "GZ wins?",
     ]);
 
     let mut aspen_bpe = 5.0f64; // measured below, defaults conservative

@@ -12,8 +12,7 @@
 //! and keeps this figure to directly measured quantities.
 
 use crate::harness::{
-    fmt_rate, kron_workload, rate, run_baseline, run_graphzeppelin, scratch_dir, time, Scale,
-    Table,
+    fmt_rate, kron_workload, rate, run_baseline, run_graphzeppelin, scratch_dir, time, Scale, Table,
 };
 use graph_zeppelin::{BufferStrategy, GraphZeppelin, GutterCapacity, GzConfig, StoreBackend};
 use gz_baselines::{AspenLike, DynamicGraphSystem, TerraceLike};
@@ -47,11 +46,7 @@ pub fn run(scale: Scale) {
     let kron = scale.reference_kron();
     let w = kron_workload(kron, 11);
     let dir = scratch_dir("fig12");
-    println!(
-        "workload: kron{kron} ({} nodes, {} updates)\n",
-        w.num_nodes,
-        w.updates.len()
-    );
+    println!("workload: kron{kron} ({} nodes, {} updates)\n", w.num_nodes, w.updates.len());
 
     let mut t = Table::new(&["system", "placement", "ingest rate", "CC time"]);
 
@@ -60,16 +55,11 @@ pub fn run(scale: Scale) {
     let d_ram = run_graphzeppelin(&mut gz_ram, &w.updates);
     let (cc_ram, q_ram) = time(|| gz_ram.connected_components().unwrap());
     let ram_rate = rate(w.updates.len(), d_ram);
-    t.row(vec![
-        "graphzeppelin".into(),
-        "RAM".into(),
-        fmt_rate(ram_rate),
-        format!("{:.2?}", q_ram),
-    ]);
+    t.row(vec!["graphzeppelin".into(), "RAM".into(), fmt_rate(ram_rate), format!("{:.2?}", q_ram)]);
 
     // GraphZeppelin on disk, gutter tree.
     let mut gz_tree =
-        GraphZeppelin::new(disk_config(w.num_nodes, dir.clone(), true)).unwrap();
+        GraphZeppelin::new(disk_config(w.num_nodes, dir.path().to_path_buf(), true)).unwrap();
     let d_tree = run_graphzeppelin(&mut gz_tree, &w.updates);
     let (cc_tree, q_tree) = time(|| gz_tree.connected_components().unwrap());
     let tree_rate = rate(w.updates.len(), d_tree);
@@ -82,7 +72,7 @@ pub fn run(scale: Scale) {
 
     // GraphZeppelin on disk, leaf-only gutters.
     let mut gz_leaf =
-        GraphZeppelin::new(disk_config(w.num_nodes, dir.clone(), false)).unwrap();
+        GraphZeppelin::new(disk_config(w.num_nodes, dir.path().to_path_buf(), false)).unwrap();
     let d_leaf = run_graphzeppelin(&mut gz_leaf, &w.updates);
     let (cc_leaf, q_leaf) = time(|| gz_leaf.connected_components().unwrap());
     t.row(vec![
@@ -127,7 +117,6 @@ pub fn run(scale: Scale) {
         cc_ram.num_components()
     );
     let _ = (cc_aspen, cc_tree, cc_leaf);
-    std::fs::remove_dir_all(&dir).ok();
 }
 
 #[cfg(test)]
@@ -139,7 +128,8 @@ mod tests {
         let w = kron_workload(7, 3);
         let dir = scratch_dir("fig12_test");
         let mut ram = GraphZeppelin::new(GzConfig::in_ram(w.num_nodes)).unwrap();
-        let mut disk = GraphZeppelin::new(disk_config(w.num_nodes, dir.clone(), true)).unwrap();
+        let mut disk =
+            GraphZeppelin::new(disk_config(w.num_nodes, dir.path().to_path_buf(), true)).unwrap();
         run_graphzeppelin(&mut ram, &w.updates);
         run_graphzeppelin(&mut disk, &w.updates);
         assert_eq!(
@@ -147,6 +137,5 @@ mod tests {
             disk.connected_components().unwrap().labels()
         );
         drop(disk);
-        std::fs::remove_dir_all(&dir).ok();
     }
 }

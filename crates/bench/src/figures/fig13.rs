@@ -6,7 +6,9 @@
 //! with density (its per-update cost is O(log V) regardless of degree, while
 //! the explicit systems' adjacency maintenance degrades).
 
-use crate::harness::{fmt_rate, kron_workload, rate, run_baseline, run_graphzeppelin, Scale, Table};
+use crate::harness::{
+    fmt_rate, kron_workload, rate, run_baseline, run_graphzeppelin, Scale, Table,
+};
 use graph_zeppelin::{GraphZeppelin, GzConfig};
 use gz_baselines::{AspenLike, TerraceLike};
 

@@ -15,8 +15,7 @@ pub fn run(scale: Scale) {
     let w = kron_workload(kron, 9);
     println!("workload: kron{kron} ({} updates)\n", w.updates.len());
 
-    let max_workers =
-        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+    let max_workers = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
     let mut counts = vec![1usize, 2, 4];
     for c in [8usize, 16, 32] {
         if c <= max_workers {
@@ -33,11 +32,7 @@ pub fn run(scale: Scale) {
         let d = run_graphzeppelin(&mut gz, &w.updates);
         let r = rate(w.updates.len(), d);
         let base = *base_rate.get_or_insert(r);
-        t.row(vec![
-            format!("{workers}"),
-            fmt_rate(r),
-            format!("{:.2}x", r / base),
-        ]);
+        t.row(vec![format!("{workers}"), fmt_rate(r), format!("{:.2}x", r / base)]);
     }
     t.print();
     println!(

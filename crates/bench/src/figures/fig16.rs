@@ -80,12 +80,11 @@ pub fn run(scale: Scale) {
     let dir = scratch_dir("fig16");
     let mut config = GzConfig::in_ram(w.num_nodes);
     config.store = StoreBackend::Disk {
-        dir: dir.clone(),
+        dir: dir.path().to_path_buf(),
         block_bytes: 1 << 16,
         cache_groups: (w.num_nodes / 8).max(4) as usize,
     };
-    config.buffering =
-        BufferStrategy::LeafOnly { capacity: GutterCapacity::SketchFactor(0.1) };
+    config.buffering = BufferStrategy::LeafOnly { capacity: GutterCapacity::SketchFactor(0.1) };
     let mut gz_disk = GraphZeppelin::new(config).unwrap();
     let mut d = Table::new(&["% of stream", "gz-on-disk query"]);
     for dec in 1..=10usize {
@@ -102,7 +101,6 @@ pub fn run(scale: Scale) {
          (24s at every decile on kron17); Aspen's final query was 5x slower.\n"
     );
     drop(gz_disk);
-    std::fs::remove_dir_all(&dir).ok();
 }
 
 #[cfg(test)]

@@ -51,17 +51,26 @@ pub fn run(scale: Scale) {
                 buffer_bytes: 1 << 17,
                 fanout: 16,
                 leaf_capacity: GutterCapacity::SketchFactor(2.0),
-                dir: dir.clone(),
+                dir: dir.path().to_path_buf(),
             },
         ),
     ];
 
     let mut t = Table::new(&[
-        "buffering", "store I/O ops", "store I/O per update", "gutter I/O ops", "total bytes",
+        "buffering",
+        "store I/O ops",
+        "store I/O per update",
+        "gutter I/O ops",
+        "total bytes",
     ]);
     for (name, buffering) in configs {
-        let mut gz =
-            GraphZeppelin::new(disk_config(w.num_nodes, dir.clone(), buffering, cache)).unwrap();
+        let mut gz = GraphZeppelin::new(disk_config(
+            w.num_nodes,
+            dir.path().to_path_buf(),
+            buffering,
+            cache,
+        ))
+        .unwrap();
         run_graphzeppelin(&mut gz, &w.updates);
         let store = gz.store_io().expect("disk store");
         let gutter_ops = gz.gutter_io().map(|g| g.total_ops()).unwrap_or(0);
@@ -81,7 +90,6 @@ pub fn run(scale: Scale) {
         "\npaper shape: unbuffered ingestion costs Ω(1) store I/Os per update;\n\
          buffered ingestion amortizes to ≪1 — this is Lemma 4's sort(N) bound.\n"
     );
-    std::fs::remove_dir_all(&dir).ok();
 }
 
 #[cfg(test)]
@@ -94,7 +102,7 @@ mod tests {
         let dir = scratch_dir("io_model_test");
         let mut gz = GraphZeppelin::new(disk_config(
             w.num_nodes,
-            dir.clone(),
+            dir.path().to_path_buf(),
             BufferStrategy::LeafOnly { capacity: GutterCapacity::SketchFactor(2.0) },
             4,
         ))
@@ -104,6 +112,5 @@ mod tests {
         let per_update = ops / w.updates.len() as f64;
         assert!(per_update < 0.5, "buffered: {per_update:.3} I/Os per update");
         drop(gz);
-        std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -23,8 +23,19 @@ use crate::harness::Scale;
 
 /// All figure ids, in paper order.
 pub const ALL_FIGURES: &[&str] = &[
-    "fig1", "fig4", "fig5", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16",
-    "reliability", "io", "ablations",
+    "fig1",
+    "fig4",
+    "fig5",
+    "fig10",
+    "fig11",
+    "fig12",
+    "fig13",
+    "fig14",
+    "fig15",
+    "fig16",
+    "reliability",
+    "io",
+    "ablations",
 ];
 
 /// Run one figure by id. Returns false for unknown ids.

@@ -60,13 +60,7 @@ pub fn trial_sweep(dataset: &Dataset, trials: usize, checkpoints: usize) -> Tria
             }
         }
     }
-    TrialReport {
-        name: dataset.name.clone(),
-        trials,
-        checks,
-        failures,
-        sketch_retries,
-    }
+    TrialReport { name: dataset.name.clone(), trials, checks, failures, sketch_retries }
 }
 
 /// Run the reliability experiment.
@@ -93,9 +87,7 @@ pub fn run(scale: Scale) {
         ]);
     }
     t.print();
-    println!(
-        "\ntotal failures: {total_failures} (paper: 0 in 5000 trials; the bound is 1/V^c).\n"
-    );
+    println!("\ntotal failures: {total_failures} (paper: 0 in 5000 trials; the bound is 1/V^c).\n");
 }
 
 #[cfg(test)]

@@ -248,12 +248,11 @@ pub fn run_graphzeppelin(
     d
 }
 
-/// A scratch directory for on-disk experiments (created fresh).
-pub fn scratch_dir(tag: &str) -> std::path::PathBuf {
-    let mut p = std::env::temp_dir();
-    p.push(format!("gz_bench_{}_{tag}", std::process::id()));
-    std::fs::create_dir_all(&p).expect("scratch dir");
-    p
+/// A scratch directory for on-disk experiments: a `gz_testutil::TempDir`,
+/// unique per call and removed (recursively) when the guard drops — panic or
+/// assertion failure included. Keep the guard alive for the experiment.
+pub fn scratch_dir(tag: &str) -> gz_testutil::TempDir {
+    gz_testutil::TempDir::new(&format!("gz-bench-{tag}"))
 }
 
 #[cfg(test)]

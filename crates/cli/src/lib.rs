@@ -201,11 +201,9 @@ pub fn execute(cmd: Command) -> Result<String, String> {
                     UpdateKind::Delete => deletes += 1,
                 }
             }
-            let final_edges = gz_stream::update::validate_stream(
-                header.num_vertices,
-                updates.iter().copied(),
-            )
-            .map_err(|v| format!("invalid stream: {v:?}"))?;
+            let final_edges =
+                gz_stream::update::validate_stream(header.num_vertices, updates.iter().copied())
+                    .map_err(|v| format!("invalid stream: {v:?}"))?;
             Ok(format!(
                 "{}: {} nodes, {} updates ({} inserts, {} deletes), {} final edges, valid",
                 path.display(),
@@ -279,10 +277,8 @@ mod tests {
         s.split_whitespace().map(|x| x.to_string()).collect()
     }
 
-    fn tmp(name: &str) -> PathBuf {
-        let mut p = std::env::temp_dir();
-        p.push(format!("gz_cli_{}_{}.gzs", std::process::id(), name));
-        p
+    fn tmp(name: &str) -> gz_testutil::TempPath {
+        gz_testutil::TempPath::new(&format!("gz-cli-{name}"), ".gzs")
     }
 
     #[test]
@@ -316,8 +312,7 @@ mod tests {
 
     #[test]
     fn parses_components_flags() {
-        let cmd =
-            parse_args(&argv("components s.gzs --workers 8 --disk /tmp/d --forest")).unwrap();
+        let cmd = parse_args(&argv("components s.gzs --workers 8 --disk /tmp/d --forest")).unwrap();
         assert_eq!(
             cmd,
             Command::Components {
@@ -344,23 +339,22 @@ mod tests {
         let msg = execute(Command::Generate {
             dataset: DatasetArg::Kron(6),
             seed: 3,
-            out: path.clone(),
+            out: path.to_path_buf(),
         })
         .unwrap();
         assert!(msg.contains("64 nodes"), "{msg}");
 
-        let info = execute(Command::Info { path: path.clone() }).unwrap();
+        let info = execute(Command::Info { path: path.to_path_buf() }).unwrap();
         assert!(info.contains("valid"), "{info}");
 
         let comps = execute(Command::Components {
-            path: path.clone(),
+            path: path.to_path_buf(),
             workers: 2,
             disk: None,
             forest: false,
         })
         .unwrap();
         assert!(comps.contains("components over 64 nodes"), "{comps}");
-        std::fs::remove_file(&path).ok();
     }
 
     #[test]
@@ -369,10 +363,9 @@ mod tests {
         let path = tmp("bip");
         let updates: Vec<gz_stream::EdgeUpdate> =
             (0..10u32).map(|i| gz_stream::EdgeUpdate::insert(i, (i + 1) % 10)).collect();
-        gz_stream::format::write_stream(&path, 10, &updates).unwrap();
-        let out = execute(Command::Bipartite { path: path.clone() }).unwrap();
+        gz_stream::format::write_stream(path.path(), 10, &updates).unwrap();
+        let out = execute(Command::Bipartite { path: path.to_path_buf() }).unwrap();
         assert_eq!(out, "bipartite");
-        std::fs::remove_file(&path).ok();
     }
 
     #[test]
@@ -380,15 +373,14 @@ mod tests {
         let path = tmp("forest");
         let updates =
             vec![gz_stream::EdgeUpdate::insert(0, 1), gz_stream::EdgeUpdate::insert(1, 2)];
-        gz_stream::format::write_stream(&path, 4, &updates).unwrap();
+        gz_stream::format::write_stream(path.path(), 4, &updates).unwrap();
         let out = execute(Command::Components {
-            path: path.clone(),
+            path: path.to_path_buf(),
             workers: 1,
             disk: None,
             forest: true,
         })
         .unwrap();
         assert!(out.lines().count() >= 3, "{out}");
-        std::fs::remove_file(&path).ok();
     }
 }

@@ -15,9 +15,9 @@
 //! one on `G`, one on `G̃` (2V vertices, 2 updates per stream update), for
 //! `O(V log³V)` total space.
 
+use crate::config::GzConfig;
 use crate::error::GzError;
 use crate::system::GraphZeppelin;
-use crate::config::GzConfig;
 
 /// Streaming bipartiteness tester over edge insertions and deletions.
 pub struct BipartitenessTester {

@@ -81,9 +81,7 @@ pub fn boruvka_spanning_forest<S: L0Sampler>(
             if dsu.find(root) != root || retired[root as usize] {
                 continue;
             }
-            let sketch = sketches[root as usize]
-                .as_ref()
-                .expect("live root must own a sketch");
+            let sketch = sketches[root as usize].as_ref().expect("live root must own a sketch");
             if round >= sketch.num_rounds() {
                 // Stack exhausted for a still-live component.
                 any_live = true;
@@ -120,8 +118,7 @@ pub fn boruvka_spanning_forest<S: L0Sampler>(
             dsu.union(ra, rb);
             let winner = dsu.find(ra);
             let loser = if winner == ra { rb } else { ra };
-            let loser_sketch =
-                sketches[loser as usize].take().expect("loser must own a sketch");
+            let loser_sketch = sketches[loser as usize].take().expect("loser must own a sketch");
             // Swap so we merge into the winner slot without double borrow.
             let winner_sketch =
                 sketches[winner as usize].as_mut().expect("winner must own a sketch");
@@ -138,9 +135,7 @@ pub fn boruvka_spanning_forest<S: L0Sampler>(
     retire_last_live(&mut dsu, &mut retired);
 
     // Check for unresolved components (live, not retired).
-    let unresolved = (0..n as u32)
-        .filter(|&v| dsu.find(v) == v && !retired[v as usize])
-        .count();
+    let unresolved = (0..n as u32).filter(|&v| dsu.find(v) == v && !retired[v as usize]).count();
     if unresolved > 0 {
         return Err(GzError::AlgorithmFailure { rounds_used, unresolved });
     }

@@ -108,12 +108,8 @@ impl GraphZeppelin {
         }
 
         let mut gz = GraphZeppelin::new(config)?;
-        let params = SketchParams::new(
-            header.num_nodes,
-            header.rounds,
-            header.columns,
-            header.seed,
-        );
+        let params =
+            SketchParams::new(header.num_nodes, header.rounds, header.columns, header.seed);
         let node_bytes = params.node_sketch_serialized_bytes();
         let mut buf = vec![0u8; node_bytes];
         let mut sketches = Vec::with_capacity(header.num_nodes as usize);
@@ -150,12 +146,9 @@ fn read_header(r: &mut impl Read) -> Result<CheckpointHeader, GzError> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::path::PathBuf;
 
-    fn tmp(name: &str) -> PathBuf {
-        let mut p = std::env::temp_dir();
-        p.push(format!("gz_ckpt_{}_{}.gzc", std::process::id(), name));
-        p
+    fn tmp(name: &str) -> gz_testutil::TempPath {
+        gz_testutil::TempPath::new(&format!("gz-ckpt-{name}"), ".gzc")
     }
 
     #[test]
@@ -166,14 +159,13 @@ mod tests {
             gz.edge_update(a, b);
         }
         let expected = gz.connected_components().unwrap().labels().to_vec();
-        let header = gz.save_checkpoint(&path).unwrap();
+        let header = gz.save_checkpoint(path.path()).unwrap();
         assert_eq!(header.updates_ingested, 5);
         drop(gz);
 
-        let mut restored = GraphZeppelin::restore(&path).unwrap();
+        let mut restored = GraphZeppelin::restore(path.path()).unwrap();
         assert_eq!(restored.updates_ingested(), 5);
         assert_eq!(restored.connected_components().unwrap().labels(), &expected[..]);
-        std::fs::remove_file(&path).ok();
     }
 
     #[test]
@@ -182,17 +174,16 @@ mod tests {
         let mut gz = GraphZeppelin::new(GzConfig::in_ram(16)).unwrap();
         gz.edge_update(0, 1);
         gz.edge_update(2, 3);
-        gz.save_checkpoint(&path).unwrap();
+        gz.save_checkpoint(path.path()).unwrap();
         drop(gz);
 
-        let mut restored = GraphZeppelin::restore(&path).unwrap();
+        let mut restored = GraphZeppelin::restore(path.path()).unwrap();
         // Delete an old edge and add a new one across the components.
         restored.update(2, 3, true);
         restored.edge_update(1, 2);
         let cc = restored.connected_components().unwrap();
         assert!(cc.same_component(0, 2));
         assert!(!cc.same_component(2, 3));
-        std::fs::remove_file(&path).ok();
     }
 
     #[test]
@@ -200,23 +191,21 @@ mod tests {
         let path = tmp("mismatch");
         let mut gz = GraphZeppelin::new(GzConfig::in_ram(16)).unwrap();
         gz.edge_update(0, 1);
-        gz.save_checkpoint(&path).unwrap();
+        gz.save_checkpoint(path.path()).unwrap();
 
         let mut wrong = GzConfig::in_ram(16);
         wrong.seed = 12345; // different hash functions: must refuse
         assert!(matches!(
-            GraphZeppelin::restore_with_config(&path, wrong),
+            GraphZeppelin::restore_with_config(path.path(), wrong),
             Err(GzError::InvalidConfig(_))
         ));
-        std::fs::remove_file(&path).ok();
     }
 
     #[test]
     fn rejects_non_checkpoint_files() {
         let path = tmp("garbage");
-        std::fs::write(&path, b"definitely not a checkpoint").unwrap();
-        assert!(GraphZeppelin::restore(&path).is_err());
-        std::fs::remove_file(&path).ok();
+        std::fs::write(path.path(), b"definitely not a checkpoint").unwrap();
+        assert!(GraphZeppelin::restore(path.path()).is_err());
     }
 
     #[test]
@@ -224,10 +213,9 @@ mod tests {
         let path = tmp("header");
         let mut gz = GraphZeppelin::new(GzConfig::in_ram(64)).unwrap();
         gz.edge_update(3, 4);
-        gz.save_checkpoint(&path).unwrap();
-        let h = GraphZeppelin::checkpoint_header(&path).unwrap();
+        gz.save_checkpoint(path.path()).unwrap();
+        let h = GraphZeppelin::checkpoint_header(path.path()).unwrap();
         assert_eq!(h.num_nodes, 64);
         assert_eq!(h.updates_ingested, 1);
-        std::fs::remove_file(&path).ok();
     }
 }

@@ -82,12 +82,8 @@ impl KForestSketcher {
         let rounds = default_rounds(num_nodes);
         let layers = (0..k as u64)
             .map(|i| {
-                let params = Arc::new(SketchParams::new(
-                    num_nodes,
-                    rounds,
-                    7,
-                    SplitMix64::derive(seed, i),
-                ));
+                let params =
+                    Arc::new(SketchParams::new(num_nodes, rounds, 7, SplitMix64::derive(seed, i)));
                 let sketches = (0..num_nodes).map(|_| params.new_node_sketch()).collect();
                 Layer { params, sketches }
             })
@@ -137,11 +133,7 @@ impl KForestSketcher {
                 sketches[e.u() as usize].as_mut().unwrap().update_signed(idx, 1);
                 sketches[e.v() as usize].as_mut().unwrap().update_signed(idx, 1);
             }
-            let outcome = boruvka_spanning_forest(
-                sketches,
-                self.num_nodes,
-                layer.params.rounds(),
-            )?;
+            let outcome = boruvka_spanning_forest(sketches, self.num_nodes, layer.params.rounds())?;
             removed.extend(outcome.forest.iter().copied());
             forests.push(outcome.forest);
         }
@@ -155,10 +147,7 @@ impl KForestSketcher {
 
     /// Total sketch bytes across layers (`k ×` the connectivity structure).
     pub fn sketch_bytes(&self) -> usize {
-        self.layers
-            .iter()
-            .map(|l| l.params.node_sketch_bytes() * l.sketches.len())
-            .sum()
+        self.layers.iter().map(|l| l.params.node_sketch_bytes() * l.sketches.len()).sum()
     }
 }
 
@@ -266,11 +255,7 @@ mod tests {
             let cert = s.certificate().unwrap();
             check_certificate(&cert, &edges);
             let g = AdjacencyList::from_edges(n as usize, edges.iter().copied());
-            assert_eq!(
-                cert.is_two_edge_connected(),
-                is_two_edge_connected(&g),
-                "seed {seed}"
-            );
+            assert_eq!(cert.is_two_edge_connected(), is_two_edge_connected(&g), "seed {seed}");
         }
     }
 

@@ -149,10 +149,7 @@ mod tests {
         let queue = Arc::new(WorkQueue::for_workers(2));
         let pool = WorkerPool::spawn(2, 1, Arc::clone(&queue), Arc::clone(&store));
         for node in 0..16u32 {
-            queue.push(Batch {
-                node,
-                others: vec![encode_other((node + 1) % 16, false)],
-            });
+            queue.push(Batch { node, others: vec![encode_other((node + 1) % 16, false)] });
         }
         queue.wait_idle();
         queue.close();

@@ -68,12 +68,12 @@ pub mod store;
 pub mod streaming_cc;
 pub mod system;
 
-pub use boruvka::{boruvka_spanning_forest, BoruvkaOutcome};
-pub use config::{BufferStrategy, GutterCapacity, GzConfig, LockingStrategy, StoreBackend};
-pub use error::GzError;
 pub use bipartiteness::{BipartitenessAnswer, BipartitenessTester};
+pub use boruvka::{boruvka_spanning_forest, BoruvkaOutcome};
 pub use checkpoint::CheckpointHeader;
+pub use config::{BufferStrategy, GutterCapacity, GzConfig, LockingStrategy, StoreBackend};
 pub use edge_connectivity::{ForestCertificate, KForestSketcher};
+pub use error::GzError;
 pub use msf::{MsfSketcher, WeightedForest};
 pub use node_sketch::{CubeNodeSketch, NodeSketch};
 pub use sharding::ShardedGraphZeppelin;

@@ -147,8 +147,7 @@ impl MsfSketcher {
                 // minimum-weight crossing edge (lower levels were empty).
                 let mut resolved = false;
                 for (w, level) in levels.iter().enumerate() {
-                    let sketch =
-                        level[root as usize].as_ref().expect("live root owns a sketch");
+                    let sketch = level[root as usize].as_ref().expect("live root owns a sketch");
                     match sketch.sample_round(round) {
                         SampleResult::Zero => continue, // no cut edge ≤ w
                         SampleResult::Index(idx) => {
@@ -186,10 +185,7 @@ impl MsfSketcher {
                 // Merge supernode sketches at every level.
                 for level in levels.iter_mut() {
                     let loser_sketch = level[loser as usize].take().expect("loser sketch");
-                    level[winner as usize]
-                        .as_mut()
-                        .expect("winner sketch")
-                        .merge(&loser_sketch);
+                    level[winner as usize].as_mut().expect("winner sketch").merge(&loser_sketch);
                 }
                 forest.push((edge, w));
             }
@@ -207,10 +203,7 @@ impl MsfSketcher {
 
     /// Total sketch bytes across all levels.
     pub fn sketch_bytes(&self) -> usize {
-        self.levels
-            .iter()
-            .map(|l| l.params.node_sketch_bytes() * l.sketches.len())
-            .sum()
+        self.levels.iter().map(|l| l.params.node_sketch_bytes() * l.sketches.len()).sum()
     }
 }
 
@@ -219,11 +212,7 @@ mod tests {
     use super::*;
     use gz_graph::connectivity::kruskal_msf;
 
-    fn sketcher_with(
-        num_nodes: u64,
-        levels: u32,
-        edges: &[(u32, u32, u32)],
-    ) -> MsfSketcher {
+    fn sketcher_with(num_nodes: u64, levels: u32, edges: &[(u32, u32, u32)]) -> MsfSketcher {
         let mut s = MsfSketcher::new(num_nodes, levels, 7).unwrap();
         for &(a, b, w) in edges {
             s.insert(a, b, w);
@@ -240,8 +229,7 @@ mod tests {
         assert_eq!(result.total_weight, oracle_weight, "MSF weight mismatch");
         assert_eq!(result.edges.len(), oracle_forest.len(), "forest size mismatch");
         // The recovered weight labels must match the actual edge weights.
-        let weight_of: std::collections::HashMap<Edge, u32> =
-            weighted.iter().copied().collect();
+        let weight_of: std::collections::HashMap<Edge, u32> = weighted.iter().copied().collect();
         for &(e, w) in &result.edges {
             assert_eq!(weight_of[&e], w, "recovered wrong weight level for {e}");
         }

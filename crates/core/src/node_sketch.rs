@@ -125,18 +125,12 @@ impl SketchParams {
 
     /// Bytes of one node sketch under the paper's accounting.
     pub fn node_sketch_bytes(&self) -> usize {
-        self.families
-            .iter()
-            .map(|f| f.geometry().cube_sketch_bytes())
-            .sum()
+        self.families.iter().map(|f| f.geometry().cube_sketch_bytes()).sum()
     }
 
     /// Serialized size of one node sketch (for the disk store layout).
     pub fn node_sketch_serialized_bytes(&self) -> usize {
-        self.families
-            .iter()
-            .map(|f| CubeSketch::<Xxh64Hasher>::serialized_size(f.geometry()))
-            .sum()
+        self.families.iter().map(|f| CubeSketch::<Xxh64Hasher>::serialized_size(f.geometry())).sum()
     }
 
     /// Serialize a node sketch into `out` (rounds concatenated).
@@ -152,7 +146,8 @@ impl SketchParams {
         let mut offset = 0;
         NodeSketch::new_with(self.families.len(), |r| {
             let sz = CubeSketch::<Xxh64Hasher>::serialized_size(self.families[r].geometry());
-            let s = CubeSketch::deserialize(Arc::clone(&self.families[r]), &bytes[offset..offset + sz]);
+            let s =
+                CubeSketch::deserialize(Arc::clone(&self.families[r]), &bytes[offset..offset + sz]);
             offset += sz;
             s
         })

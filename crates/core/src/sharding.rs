@@ -167,8 +167,8 @@ impl ShardedGraphZeppelin {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::system::GraphZeppelin;
     use crate::config::GzConfig;
+    use crate::system::GraphZeppelin;
 
     fn demo_updates(n: u32, count: usize, seed: u64) -> Vec<(u32, u32, bool)> {
         use rand::rngs::SmallRng;
@@ -229,10 +229,7 @@ mod tests {
         let mut par = ShardedGraphZeppelin::new(n as u64, 3, 7).unwrap();
         par.ingest_parallel(&updates);
 
-        assert_eq!(
-            seq.connected_components().unwrap(),
-            par.connected_components().unwrap()
-        );
+        assert_eq!(seq.connected_components().unwrap(), par.connected_components().unwrap());
     }
 
     #[test]

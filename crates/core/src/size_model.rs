@@ -76,10 +76,7 @@ mod tests {
         // nodes). The model should land in the same ballpark.
         let bytes = gz_sketch_bytes(1 << 13) as f64;
         let gib = bytes / (1u64 << 30) as f64;
-        assert!(
-            (0.2..1.5).contains(&gib),
-            "kron13 model {gib:.2} GiB vs paper 0.58 GiB"
-        );
+        assert!((0.2..1.5).contains(&gib), "kron13 model {gib:.2} GiB vs paper 0.58 GiB");
     }
 
     #[test]

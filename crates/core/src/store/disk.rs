@@ -53,9 +53,8 @@ impl DiskStore {
         cache_groups: usize,
     ) -> std::io::Result<Self> {
         let node_bytes = params.node_sketch_serialized_bytes();
-        let group_size = ((block_bytes / node_bytes.max(1)).max(1) as u64)
-            .min(params.num_nodes)
-            .max(1) as u32;
+        let group_size =
+            ((block_bytes / node_bytes.max(1)).max(1) as u64).min(params.num_nodes).max(1) as u32;
         let num_groups = (params.num_nodes as u32).div_ceil(group_size);
 
         let file = std::fs::OpenOptions::new()
@@ -193,9 +192,8 @@ impl DiskStore {
         let num_groups = (self.params.num_nodes as u32).div_ceil(self.group_size);
         let mut out = Vec::with_capacity(self.params.num_nodes as usize);
         for group in 0..num_groups {
-            let sketches = self
-                .with_group(group, |s| s.clone())
-                .expect("disk store snapshot read failed");
+            let sketches =
+                self.with_group(group, |s| s.clone()).expect("disk store snapshot read failed");
             for s in sketches {
                 out.push(Some(s));
             }
@@ -235,30 +233,37 @@ mod tests {
     use crate::node_sketch::{encode_other, update_index};
     use gz_sketch::SampleResult;
 
-    fn tmp(name: &str) -> PathBuf {
-        let mut p = std::env::temp_dir();
-        p.push(format!("gz_disk_store_{}_{}.bin", std::process::id(), name));
-        p
+    fn tmp(name: &str) -> gz_testutil::TempPath {
+        gz_testutil::TempPath::new(&format!("gz-disk-store-{name}"), ".bin")
     }
 
-    fn make(name: &str, num_nodes: u64, block_bytes: usize, cache: usize) -> DiskStore {
+    /// Build a store on a unique temp file; keep the returned guard alive for
+    /// the store's lifetime (dropping it deletes the backing file).
+    fn make(
+        name: &str,
+        num_nodes: u64,
+        block_bytes: usize,
+        cache: usize,
+    ) -> (DiskStore, gz_testutil::TempPath) {
         let params = Arc::new(SketchParams::new(num_nodes, 3, 7, 7));
-        DiskStore::new(params, tmp(name), block_bytes, cache).unwrap()
+        let path = tmp(name);
+        let store = DiskStore::new(params, path.to_path_buf(), block_bytes, cache).unwrap();
+        (store, path)
     }
 
     #[test]
     fn group_size_rule() {
         // Tiny block: one node per group.
-        let s = make("g1", 16, 64, 4);
+        let (s, _t1) = make("g1", 16, 64, 4);
         assert_eq!(s.group_size(), 1);
         // Huge block: many nodes per group (capped at V).
-        let s2 = make("g2", 16, 1 << 22, 4);
+        let (s2, _t2) = make("g2", 16, 1 << 22, 4);
         assert_eq!(s2.group_size(), 16);
     }
 
     #[test]
     fn fresh_store_is_all_zero_sketches() {
-        let s = make("zero", 8, 4096, 2);
+        let (s, _t) = make("zero", 8, 4096, 2);
         for snap in s.snapshot() {
             assert_eq!(snap.unwrap().sample_round(0), SampleResult::Zero);
         }
@@ -268,7 +273,7 @@ mod tests {
     fn updates_survive_eviction() {
         // Cache of 1 group, several groups: every new group faults the old
         // one out, exercising write-back.
-        let s = make("evict", 16, 64, 1);
+        let (s, _t) = make("evict", 16, 64, 1);
         assert_eq!(s.group_size(), 1, "want many groups");
         for node in 0..16u32 {
             let other = (node + 1) % 16;
@@ -288,7 +293,7 @@ mod tests {
 
     #[test]
     fn toggle_cancels_across_evictions() {
-        let s = make("toggle", 8, 64, 1);
+        let (s, _t) = make("toggle", 8, 64, 1);
         s.apply_batch(0, &[encode_other(5, false)]);
         // Touch other groups to force eviction of group 0.
         for node in 1..8u32 {
@@ -303,7 +308,7 @@ mod tests {
 
     #[test]
     fn warm_cache_avoids_io() {
-        let s = make("warm", 8, 1 << 20, 8); // everything fits in one group + cache
+        let (s, _t) = make("warm", 8, 1 << 20, 8); // everything fits in one group + cache
         s.apply_batch(0, &[encode_other(1, false)]);
         let ops_after_first = s.io_stats().total_ops();
         for _ in 0..50 {
@@ -322,7 +327,8 @@ mod tests {
         use crate::store::ram::RamStore;
         let params = Arc::new(SketchParams::new(24, 3, 7, 123));
         let ram = RamStore::new(Arc::clone(&params), LockingStrategy::Direct);
-        let disk = DiskStore::new(Arc::clone(&params), tmp("vs_ram"), 256, 2).unwrap();
+        let vs_ram = tmp("vs_ram");
+        let disk = DiskStore::new(Arc::clone(&params), vs_ram.to_path_buf(), 256, 2).unwrap();
         let updates: Vec<(u32, u32)> = (0..60).map(|i| (i % 24, (i * 7 + 1) % 24)).collect();
         for &(a, b) in &updates {
             if a == b {

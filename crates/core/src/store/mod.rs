@@ -33,15 +33,10 @@ impl SketchStore {
     /// Build the store selected by `config`.
     pub fn build(config: &GzConfig, params: Arc<SketchParams>) -> Result<Self, GzError> {
         match &config.store {
-            StoreBackend::Ram => {
-                Ok(SketchStore::Ram(ram::RamStore::new(params, config.locking)))
-            }
+            StoreBackend::Ram => Ok(SketchStore::Ram(ram::RamStore::new(params, config.locking))),
             StoreBackend::Disk { dir, block_bytes, cache_groups } => {
-                let path = dir.join(format!(
-                    "gz_sketches_{}_{}.bin",
-                    std::process::id(),
-                    config.seed
-                ));
+                let path =
+                    dir.join(format!("gz_sketches_{}_{}.bin", std::process::id(), config.seed));
                 Ok(SketchStore::Disk(disk::DiskStore::new(
                     params,
                     path,

@@ -27,9 +27,7 @@ pub struct RamStore {
 impl RamStore {
     /// Allocate fresh (all-zero) sketches for every node.
     pub fn new(params: Arc<SketchParams>, locking: LockingStrategy) -> Self {
-        let nodes = (0..params.num_nodes)
-            .map(|_| Mutex::new(params.new_node_sketch()))
-            .collect();
+        let nodes = (0..params.num_nodes).map(|_| Mutex::new(params.new_node_sketch())).collect();
         RamStore { params, nodes, locking, scratch_pool: Mutex::new(Vec::new()) }
     }
 
@@ -46,11 +44,8 @@ impl RamStore {
                 super::apply_records(&mut sketch, node, records, self.params.num_nodes);
             }
             LockingStrategy::DeltaSketch => {
-                let mut scratch = self
-                    .scratch_pool
-                    .lock()
-                    .pop()
-                    .unwrap_or_else(|| self.params.new_node_sketch());
+                let mut scratch =
+                    self.scratch_pool.lock().pop().unwrap_or_else(|| self.params.new_node_sketch());
                 // Build the delta without holding the node's lock…
                 super::apply_records(&mut scratch, node, records, self.params.num_nodes);
                 // …lock only for the XOR-merge…
@@ -124,10 +119,7 @@ mod tests {
         s.apply_batch(0, &[encode_other(5, true)]);
         let snap = s.snapshot();
         let sketch = snap[0].as_ref().unwrap();
-        assert_eq!(
-            sketch.sample_round(0),
-            SampleResult::Index(update_index(0, 9, 32))
-        );
+        assert_eq!(sketch.sample_round(0), SampleResult::Index(update_index(0, 9, 32)));
     }
 
     #[test]

@@ -86,10 +86,9 @@ impl StreamingCc {
             .map(|s| {
                 // AnyStandardSketch is not Clone (trait-object-ish enum over
                 // generics is, but keep it simple): rebuild by merging.
-                let mut copy =
-                    NodeSketch::new_with(self.params.families.len(), |r| {
-                        self.params.families[r].new_sketch()
-                    });
+                let mut copy = NodeSketch::new_with(self.params.families.len(), |r| {
+                    self.params.families[r].new_sketch()
+                });
                 copy.merge(s);
                 Some(copy)
             })
@@ -154,12 +153,8 @@ mod tests {
     fn sketch_bytes_larger_than_cubesketch() {
         // Paper Figure 5: the general sampler is ≥ 2× larger.
         let cc = StreamingCc::new(64, 1).unwrap();
-        let params = crate::node_sketch::SketchParams::new(
-            64,
-            crate::config::default_rounds(64),
-            7,
-            1,
-        );
+        let params =
+            crate::node_sketch::SketchParams::new(64, crate::config::default_rounds(64), 7, 1);
         let cube_total = params.node_sketch_bytes() * 64;
         assert!(
             cc.sketch_bytes() >= 2 * cube_total,

@@ -86,18 +86,14 @@ impl GraphZeppelin {
         ) = match &config.buffering {
             BufferStrategy::LeafOnly { capacity } => {
                 let cap = capacity.resolve(node_sketch_bytes);
-                let gutters =
-                    LeafGutters::new(config.num_nodes as usize, cap, Arc::clone(&queue));
+                let gutters = LeafGutters::new(config.num_nodes as usize, cap, Arc::clone(&queue));
                 let bytes = cap * 4 * config.num_nodes as usize;
                 (Box::new(gutters), None, bytes)
             }
             BufferStrategy::GutterTree { buffer_bytes, fanout, leaf_capacity, dir } => {
                 let leaf_cap = leaf_capacity.resolve(node_sketch_bytes);
-                let path = dir.join(format!(
-                    "gz_gutter_tree_{}_{}.bin",
-                    std::process::id(),
-                    config.seed
-                ));
+                let path =
+                    dir.join(format!("gz_gutter_tree_{}_{}.bin", std::process::id(), config.seed));
                 let tree_config = GutterTreeConfig {
                     num_nodes: config.num_nodes as u32,
                     leaf_capacity_updates: leaf_cap,
@@ -385,5 +381,59 @@ mod tests {
         let gz = GraphZeppelin::new(tiny_config(32)).unwrap();
         assert!(gz.sketch_bytes() > 0);
         assert!(gz.memory_bytes() >= gz.sketch_bytes());
+    }
+
+    #[test]
+    fn second_toggle_deletes() {
+        // The invariant tests/equivalence.rs relies on: repeating an
+        // `edge_update` toggles the edge back out of the graph.
+        let mut gz = GraphZeppelin::new(tiny_config(8)).unwrap();
+        gz.edge_update(0, 1);
+        gz.edge_update(1, 2);
+        gz.edge_update(0, 1); // second toggle = deletion
+        let cc = gz.connected_components().unwrap();
+        assert!(cc.same_component(1, 2));
+        assert!(!cc.same_component(0, 1));
+        // A third toggle re-inserts.
+        gz.edge_update(0, 1);
+        let cc = gz.connected_components().unwrap();
+        assert!(cc.same_component(0, 2));
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use gz_graph::connectivity::{connected_components_dsu, same_partition};
+    use gz_graph::{AdjacencyList, Edge};
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        /// edge_update toggle semantics against an explicit mirror: applying
+        /// an arbitrary pair sequence (with repeats, so second toggles occur)
+        /// must leave GraphZeppelin's partition equal to the partition of the
+        /// toggled adjacency list.
+        #[test]
+        fn toggle_stream_matches_adjacency_mirror(
+            raw in proptest::collection::vec((0u32..12, 0u32..12), 1..120)
+        ) {
+            let n = 12u64;
+            let mut gz = GraphZeppelin::new(GzConfig::in_ram(n)).unwrap();
+            let mut mirror = AdjacencyList::new(n as usize);
+            for &(a, b) in raw.iter().filter(|(a, b)| a != b) {
+                gz.edge_update(a, b);
+                mirror.toggle(Edge::new(a, b));
+            }
+            let cc = gz.connected_components().unwrap();
+            let truth = connected_components_dsu(&mirror);
+            prop_assert!(
+                same_partition(cc.labels(), &truth),
+                "gz={:?} truth={:?}",
+                cc.labels(),
+                truth
+            );
+        }
     }
 }

@@ -35,11 +35,7 @@ impl Dsu {
     /// Create a DSU with `n` singleton components.
     pub fn new(n: usize) -> Self {
         assert!(n <= u32::MAX as usize, "DSU supports up to 2^32 elements");
-        Dsu {
-            parent: (0..n as u32).collect(),
-            rank: vec![0; n],
-            components: n,
-        }
+        Dsu { parent: (0..n as u32).collect(), rank: vec![0; n], components: n }
     }
 
     /// Number of elements.
@@ -95,11 +91,8 @@ impl Dsu {
         if ra == rb {
             return false;
         }
-        let (hi, lo) = if self.rank[ra as usize] >= self.rank[rb as usize] {
-            (ra, rb)
-        } else {
-            (rb, ra)
-        };
+        let (hi, lo) =
+            if self.rank[ra as usize] >= self.rank[rb as usize] { (ra, rb) } else { (rb, ra) };
         self.parent[lo as usize] = hi;
         if self.rank[hi as usize] == self.rank[lo as usize] {
             self.rank[hi as usize] += 1;
@@ -141,11 +134,7 @@ impl Dsu {
 
     /// Iterator over current component representatives (roots).
     pub fn roots(&self) -> impl Iterator<Item = u32> + '_ {
-        self.parent
-            .iter()
-            .enumerate()
-            .filter(|(i, &p)| p == *i as u32)
-            .map(|(i, _)| i as u32)
+        self.parent.iter().enumerate().filter(|(i, &p)| p == *i as u32).map(|(i, _)| i as u32)
     }
 }
 

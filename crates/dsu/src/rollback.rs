@@ -55,11 +55,8 @@ impl RollbackDsu {
         if ra == rb {
             return false;
         }
-        let (hi, lo) = if self.rank[ra as usize] >= self.rank[rb as usize] {
-            (ra, rb)
-        } else {
-            (rb, ra)
-        };
+        let (hi, lo) =
+            if self.rank[ra as usize] >= self.rank[rb as usize] { (ra, rb) } else { (rb, ra) };
         let rank_bumped = self.rank[hi as usize] == self.rank[lo as usize];
         self.parent[lo as usize] = hi;
         if rank_bumped {
@@ -142,5 +139,90 @@ mod tests {
         let cp = d.checkpoint();
         assert!(!d.union(1, 0));
         assert_eq!(d.checkpoint(), cp, "no-op union must not append to log");
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// Partition labels normalized to the minimum member of each component,
+    /// so two DSUs agree iff their labelings are equal.
+    fn labels(d: &RollbackDsu, n: usize) -> Vec<u32> {
+        let mut min_of_root = vec![u32::MAX; n];
+        for x in 0..n as u32 {
+            let r = d.find(x) as usize;
+            min_of_root[r] = min_of_root[r].min(x);
+        }
+        (0..n as u32).map(|x| min_of_root[d.find(x) as usize]).collect()
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Round-trip: apply a prefix, checkpoint, apply a suffix, roll back.
+        /// The partition, component count, and checkpoint token must all
+        /// match a DSU that only ever saw the prefix — and replaying the
+        /// suffix afterwards must land in the same state as never having
+        /// rolled back.
+        #[test]
+        fn union_rollback_round_trip(
+            n in 1usize..40,
+            prefix in proptest::collection::vec((0u32..40, 0u32..40), 0..40),
+            suffix in proptest::collection::vec((0u32..40, 0u32..40), 0..40)
+        ) {
+            let clamp =
+                |ops: &[(u32, u32)]| -> Vec<(u32, u32)> {
+                    ops.iter().map(|&(a, b)| (a % n as u32, b % n as u32)).collect()
+                };
+            let (prefix, suffix) = (clamp(&prefix), clamp(&suffix));
+
+            let mut d = RollbackDsu::new(n);
+            for &(a, b) in &prefix {
+                d.union(a, b);
+            }
+            let cp = d.checkpoint();
+            let at_prefix = labels(&d, n);
+            let count_at_prefix = d.component_count();
+
+            for &(a, b) in &suffix {
+                d.union(a, b);
+            }
+            let at_full = labels(&d, n);
+
+            d.rollback_to(cp);
+            prop_assert_eq!(labels(&d, n), at_prefix, "rollback must restore the partition");
+            prop_assert_eq!(d.component_count(), count_at_prefix);
+            prop_assert_eq!(d.checkpoint(), cp, "rollback must restore the log position");
+
+            // Replaying the suffix reaches the same state again.
+            for &(a, b) in &suffix {
+                d.union(a, b);
+            }
+            prop_assert_eq!(labels(&d, n), at_full, "replay after rollback must agree");
+        }
+
+        /// Nested checkpoints unwind like a stack.
+        #[test]
+        fn nested_rollbacks_unwind(
+            n in 2usize..30,
+            ops in proptest::collection::vec((0u32..30, 0u32..30), 1..60)
+        ) {
+            let ops: Vec<(u32, u32)> =
+                ops.iter().map(|&(a, b)| (a % n as u32, b % n as u32)).collect();
+            let mut d = RollbackDsu::new(n);
+            let mut snapshots = vec![(d.checkpoint(), labels(&d, n))];
+            for &(a, b) in &ops {
+                d.union(a, b);
+                snapshots.push((d.checkpoint(), labels(&d, n)));
+            }
+            // Unwind through every snapshot in reverse order.
+            for (cp, expect) in snapshots.into_iter().rev() {
+                d.rollback_to(cp);
+                prop_assert_eq!(labels(&d, n), expect);
+            }
+            prop_assert_eq!(d.component_count(), n, "fully unwound DSU is all singletons");
+        }
     }
 }

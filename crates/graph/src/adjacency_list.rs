@@ -60,9 +60,8 @@ impl AdjacencyList {
             Err(_) => false,
             Ok(pos) => {
                 self.adj[e.u() as usize].remove(pos);
-                let pos2 = self.adj[e.v() as usize]
-                    .binary_search(&e.u())
-                    .expect("half-edge asymmetry");
+                let pos2 =
+                    self.adj[e.v() as usize].binary_search(&e.u()).expect("half-edge asymmetry");
                 self.adj[e.v() as usize].remove(pos2);
                 self.num_edges -= 1;
                 true
@@ -94,9 +93,7 @@ impl AdjacencyList {
     /// Iterate all edges in canonical order (each edge once).
     pub fn edges(&self) -> impl Iterator<Item = Edge> + '_ {
         self.adj.iter().enumerate().flat_map(|(u, nbrs)| {
-            nbrs.iter()
-                .filter(move |&&v| (u as u32) < v)
-                .map(move |&v| Edge::new(u as u32, v))
+            nbrs.iter().filter(move |&&v| (u as u32) < v).map(move |&v| Edge::new(u as u32, v))
         })
     }
 

@@ -102,10 +102,7 @@ mod tests {
     #[test]
     fn barbell_bridge_identified() {
         // Two triangles joined by one edge: exactly that edge is a bridge.
-        let g = graph(
-            6,
-            &[(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3), (2, 3)],
-        );
+        let g = graph(6, &[(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3), (2, 3)]);
         assert_eq!(bridges(&g), vec![Edge::new(2, 3)]);
         assert!(!is_two_edge_connected(&g));
     }

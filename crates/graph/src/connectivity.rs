@@ -116,11 +116,7 @@ pub fn same_partition(a: &[u32], b: &[u32]) -> bool {
     // describe the same partition iff these firsts-of-class sequences agree.
     fn canon(labels: &[u32]) -> Vec<u32> {
         let mut first = std::collections::HashMap::new();
-        labels
-            .iter()
-            .enumerate()
-            .map(|(i, &l)| *first.entry(l).or_insert(i as u32))
-            .collect()
+        labels.iter().enumerate().map(|(i, &l)| *first.entry(l).or_insert(i as u32)).collect()
     }
     canon(a) == canon(b)
 }
@@ -185,14 +181,12 @@ mod tests {
     #[test]
     fn kruskal_msf_picks_light_edges() {
         // Triangle with weights 0,1,5: forest must use the 0 and 1 edges.
-        let weighted =
-            vec![(Edge::new(0, 1), 0u32), (Edge::new(1, 2), 1), (Edge::new(0, 2), 5)];
+        let weighted = vec![(Edge::new(0, 1), 0u32), (Edge::new(1, 2), 1), (Edge::new(0, 2), 5)];
         let (total, forest) = kruskal_msf(3, &weighted);
         assert_eq!(total, 1);
         assert_eq!(forest, vec![Edge::new(0, 1), Edge::new(1, 2)]);
         // Disconnected graphs yield forests per component.
-        let (total2, forest2) =
-            kruskal_msf(5, &[(Edge::new(0, 1), 2), (Edge::new(3, 4), 7)]);
+        let (total2, forest2) = kruskal_msf(5, &[(Edge::new(0, 1), 2), (Edge::new(3, 4), 7)]);
         assert_eq!((total2, forest2.len()), (9, 2));
     }
 

@@ -111,8 +111,8 @@ pub fn index_to_edge(idx: u64, num_vertices: u64) -> Edge {
     let n = num_vertices as f64;
     // Row start offsets: S(u) = u·V − u(u+1)/2. Solve S(u) ≤ idx < S(u+1).
     // Float solution then integer-fix (float error is < 1 row for V < 2^32).
-    let approx = (2.0 * n - 1.0 - ((2.0 * n - 1.0) * (2.0 * n - 1.0) - 8.0 * idx as f64).sqrt())
-        / 2.0;
+    let approx =
+        (2.0 * n - 1.0 - ((2.0 * n - 1.0) * (2.0 * n - 1.0) - 8.0 * idx as f64).sqrt()) / 2.0;
     let mut u = approx.floor().max(0.0) as u64;
     let row_start = |u: u64| u * num_vertices - u * (u + 1) / 2;
     // Integer adjustment by at most a couple of steps.
@@ -176,7 +176,9 @@ mod tests {
     #[test]
     fn round_trip_large_vertices() {
         let v = 1u64 << 20;
-        for &(a, b) in &[(0u32, 1u32), (0, (v - 1) as u32), ((v - 2) as u32, (v - 1) as u32), (77, 1 << 19)] {
+        for &(a, b) in
+            &[(0u32, 1u32), (0, (v - 1) as u32), ((v - 2) as u32, (v - 1) as u32), (77, 1 << 19)]
+        {
             let e = Edge::new(a, b);
             assert_eq!(index_to_edge(edge_index(e, v), v), e);
         }

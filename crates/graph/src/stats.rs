@@ -85,7 +85,7 @@ mod tests {
     #[test]
     fn figure1_line_examples() {
         let budget = 16u64 << 30; // 16 GiB
-        // 1 billion edges: 8 GB of endpoints -> fits.
+                                  // 1 billion edges: 8 GB of endpoints -> fits.
         assert!(fits_in_ram(1_000_000_000, budget));
         // 10 billion edges: 80 GB -> does not fit.
         assert!(!fits_in_ram(10_000_000_000, budget));

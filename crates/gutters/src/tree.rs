@@ -124,8 +124,8 @@ impl GutterTree {
         level_base.push(total_internal); // sentinel
 
         let leaf_region_start = (total_internal * config.buffer_bytes) as u64;
-        let file_len = leaf_region_start
-            + leaves * (config.leaf_capacity_updates * LEAF_RECORD_BYTES) as u64;
+        let file_len =
+            leaf_region_start + leaves * (config.leaf_capacity_updates * LEAF_RECORD_BYTES) as u64;
 
         let file = std::fs::OpenOptions::new()
             .read(true)
@@ -384,10 +384,8 @@ mod tests {
     use super::*;
     use std::collections::HashMap;
 
-    fn tmp(name: &str) -> PathBuf {
-        let mut p = std::env::temp_dir();
-        p.push(format!("gz_gutter_tree_{}_{}.bin", std::process::id(), name));
-        p
+    fn tmp(name: &str) -> gz_testutil::TempPath {
+        gz_testutil::TempPath::new(&format!("gz-gutter-tree-{name}"), ".bin")
     }
 
     /// Drain the queue and group everything by node.
@@ -403,7 +401,7 @@ mod tests {
     fn single_level_tree_routes_to_leaves() {
         let path = tmp("single");
         let queue = Arc::new(WorkQueue::with_capacity(4096));
-        let config = GutterTreeConfig::small_for_tests(4, path.clone());
+        let config = GutterTreeConfig::small_for_tests(4, path.to_path_buf());
         let mut tree = GutterTree::new(config, Arc::clone(&queue)).unwrap();
         assert_eq!(tree.depth(), 1);
         for i in 0..20u32 {
@@ -411,15 +409,12 @@ mod tests {
         }
         tree.force_flush();
         let got = drain(&queue);
-        let mut all: Vec<(u32, u32)> = got
-            .into_iter()
-            .flat_map(|(n, os)| os.into_iter().map(move |o| (n, o)))
-            .collect();
+        let mut all: Vec<(u32, u32)> =
+            got.into_iter().flat_map(|(n, os)| os.into_iter().map(move |o| (n, o))).collect();
         all.sort_unstable();
         let mut expected: Vec<(u32, u32)> = (0..20u32).map(|i| (i % 4, 100 + i)).collect();
         expected.sort_unstable();
         assert_eq!(all, expected);
-        std::fs::remove_file(&path).ok();
     }
 
     #[test]
@@ -427,7 +422,7 @@ mod tests {
         let path = tmp("multi");
         let queue = Arc::new(WorkQueue::with_capacity(1 << 16));
         // 64 leaves, fan-out 4 -> depth 3.
-        let config = GutterTreeConfig::small_for_tests(64, path.clone());
+        let config = GutterTreeConfig::small_for_tests(64, path.to_path_buf());
         let mut tree = GutterTree::new(config, Arc::clone(&queue)).unwrap();
         assert_eq!(tree.depth(), 3);
 
@@ -449,7 +444,6 @@ mod tests {
             v.sort_unstable();
         }
         assert_eq!(got, expected);
-        std::fs::remove_file(&path).ok();
     }
 
     #[test]
@@ -461,7 +455,7 @@ mod tests {
         // monotone arrival order for a single hot destination.
         let path = tmp("order");
         let queue = Arc::new(WorkQueue::with_capacity(1 << 16));
-        let config = GutterTreeConfig::small_for_tests(16, path.clone());
+        let config = GutterTreeConfig::small_for_tests(16, path.to_path_buf());
         let mut tree = GutterTree::new(config, Arc::clone(&queue)).unwrap();
         for i in 0..200u32 {
             tree.insert(3, i);
@@ -473,14 +467,13 @@ mod tests {
             all.extend(b.others);
         }
         assert_eq!(all, (0..200u32).collect::<Vec<_>>());
-        std::fs::remove_file(&path).ok();
     }
 
     #[test]
     fn emits_batches_near_leaf_capacity() {
         let path = tmp("cap");
         let queue = Arc::new(WorkQueue::with_capacity(1 << 16));
-        let mut config = GutterTreeConfig::small_for_tests(2, path.clone());
+        let mut config = GutterTreeConfig::small_for_tests(2, path.to_path_buf());
         config.leaf_capacity_updates = 10;
         let mut tree = GutterTree::new(config, Arc::clone(&queue)).unwrap();
         for i in 0..100u32 {
@@ -497,14 +490,13 @@ mod tests {
         for &s in &sizes[..sizes.len().saturating_sub(1)] {
             assert!(s >= 10, "undersized batch {s} in {sizes:?}");
         }
-        std::fs::remove_file(&path).ok();
     }
 
     #[test]
     fn io_is_counted() {
         let path = tmp("io");
         let queue = Arc::new(WorkQueue::with_capacity(1 << 16));
-        let config = GutterTreeConfig::small_for_tests(64, path.clone());
+        let config = GutterTreeConfig::small_for_tests(64, path.to_path_buf());
         let mut tree = GutterTree::new(config, Arc::clone(&queue)).unwrap();
         let stats = tree.stats();
         for i in 0..2000u32 {
@@ -514,7 +506,6 @@ mod tests {
         assert!(stats.total_ops() > 0, "disk traffic must be recorded");
         assert!(stats.bytes_written() > 0);
         while queue.try_pop().is_some() {}
-        std::fs::remove_file(&path).ok();
     }
 
     #[test]
@@ -523,7 +514,7 @@ mod tests {
         // updates. With per-update I/O this would be ≥ N ops.
         let path = tmp("amortized");
         let queue = Arc::new(WorkQueue::with_capacity(1 << 16));
-        let mut config = GutterTreeConfig::small_for_tests(256, path.clone());
+        let mut config = GutterTreeConfig::small_for_tests(256, path.to_path_buf());
         config.buffer_bytes = 512 * RECORD_BYTES;
         config.fanout = 16;
         config.leaf_capacity_updates = 64;
@@ -535,12 +526,8 @@ mod tests {
         }
         tree.force_flush();
         let ops = stats.total_ops();
-        assert!(
-            ops < (n as u64) / 4,
-            "expected amortized I/O, got {ops} ops for {n} updates"
-        );
+        assert!(ops < (n as u64) / 4, "expected amortized I/O, got {ops} ops for {n} updates");
         while queue.try_pop().is_some() {}
-        std::fs::remove_file(&path).ok();
     }
 }
 
@@ -564,21 +551,13 @@ mod proptests {
             leaf_cap in 1usize..16,
             inserts in proptest::collection::vec((any::<u32>(), any::<u32>()), 0..400)
         ) {
-            let path = {
-                let mut p = std::env::temp_dir();
-                p.push(format!(
-                    "gz_tree_prop_{}_{}.bin",
-                    std::process::id(),
-                    SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed)
-                ));
-                p
-            };
+            let path = gz_testutil::TempPath::new("gz-tree-prop", ".bin");
             let config = GutterTreeConfig {
                 num_nodes,
                 leaf_capacity_updates: leaf_cap,
                 buffer_bytes: buffer_records * 8,
                 fanout,
-                path: path.clone(),
+                path: path.to_path_buf(),
             };
             let queue = Arc::new(WorkQueue::with_capacity(1 << 16));
             let mut tree = GutterTree::new(config, Arc::clone(&queue)).unwrap();
@@ -603,9 +582,6 @@ mod proptests {
                 v.sort_unstable();
             }
             prop_assert_eq!(got, expected);
-            std::fs::remove_file(&path).ok();
         }
     }
-
-    static SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
 }

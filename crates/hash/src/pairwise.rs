@@ -165,10 +165,7 @@ mod tests {
         }
         for (i, &c) in counts.iter().enumerate() {
             let frac = c as f64 / trials as f64;
-            assert!(
-                (0.2..0.3).contains(&frac),
-                "joint outcome {i} frequency {frac} not ~0.25"
-            );
+            assert!((0.2..0.3).contains(&frac), "joint outcome {i} frequency {frac} not ~0.25");
         }
     }
 }

@@ -18,16 +18,12 @@ const PRIME64_5: u64 = 0x27D4_EB2F_1656_67C5;
 
 #[inline(always)]
 fn round(acc: u64, input: u64) -> u64 {
-    acc.wrapping_add(input.wrapping_mul(PRIME64_2))
-        .rotate_left(31)
-        .wrapping_mul(PRIME64_1)
+    acc.wrapping_add(input.wrapping_mul(PRIME64_2)).rotate_left(31).wrapping_mul(PRIME64_1)
 }
 
 #[inline(always)]
 fn merge_round(acc: u64, val: u64) -> u64 {
-    (acc ^ round(0, val))
-        .wrapping_mul(PRIME64_1)
-        .wrapping_add(PRIME64_4)
+    (acc ^ round(0, val)).wrapping_mul(PRIME64_1).wrapping_add(PRIME64_4)
 }
 
 #[inline(always)]
@@ -152,10 +148,7 @@ mod tests {
         assert_eq!(xxh64(b"", 0), 0xEF46_DB37_51D8_E999);
         assert_eq!(xxh64(b"a", 0), 0xD24E_C4F1_A98C_6E5B);
         assert_eq!(xxh64(b"abc", 0), 0x44BC_2CF5_AD77_0999);
-        assert_eq!(
-            xxh64(b"The quick brown fox jumps over the lazy dog", 0),
-            0x0B24_2D36_1FDA_71BC
-        );
+        assert_eq!(xxh64(b"The quick brown fox jumps over the lazy dog", 0), 0x0B24_2D36_1FDA_71BC);
     }
 
     #[test]
@@ -184,10 +177,7 @@ mod tests {
         let data: Vec<u8> = (0..100u8).collect();
         let mut seen = std::collections::HashSet::new();
         for len in 0..=data.len() {
-            assert!(
-                seen.insert(xxh64(&data[..len], 0)),
-                "collision at prefix length {len}"
-            );
+            assert!(seen.insert(xxh64(&data[..len], 0)), "collision at prefix length {len}");
         }
     }
 

@@ -164,10 +164,7 @@ impl<H: Hasher64> CubeSketch<H> {
                     continue; // empty (or an undetectable double-cancellation)
                 }
                 all_empty = false;
-                if a != 0
-                    && self.family.h2[col].hash32(a) == g
-                    && a - 1 < geom.vector_len
-                {
+                if a != 0 && self.family.h2[col].hash32(a) == g && a - 1 < geom.vector_len {
                     return SampleResult::Index(a - 1);
                 }
             }
@@ -405,8 +402,7 @@ mod tests {
     #[test]
     fn works_with_pairwise_hasher() {
         // Theory-mode ablation: the 2-universal family must work identically.
-        let f: Arc<CubeSketchFamily<PairwiseHash>> =
-            CubeSketchFamily::for_vector(1000, 5);
+        let f: Arc<CubeSketchFamily<PairwiseHash>> = CubeSketchFamily::for_vector(1000, 5);
         let mut s = f.new_sketch();
         s.update(777);
         assert_eq!(s.query(), SampleResult::Index(777));
@@ -483,6 +479,63 @@ mod proptests {
             a.serialize_into(&mut abytes);
             c.serialize_into(&mut cbytes);
             prop_assert_eq!(abytes, cbytes);
+        }
+
+        /// Set-level linearity, the invariant the equivalence suite builds
+        /// on: `merge(S(A), S(B))` is bit-identical to `S(A △ B)`, and a
+        /// query on the merged sketch answers from the symmetric difference.
+        #[test]
+        fn merge_equals_symmetric_difference(
+            seed in any::<u64>(),
+            raw_a in proptest::collection::vec(0u64..4000, 0..80),
+            raw_b in proptest::collection::vec(0u64..4000, 0..80)
+        ) {
+            let a_set: HashSet<u64> = raw_a.iter().copied().collect();
+            let b_set: HashSet<u64> = raw_b.iter().copied().collect();
+            let sym: HashSet<u64> = a_set.symmetric_difference(&b_set).copied().collect();
+
+            let f = CubeSketchFamily::<Xxh64Hasher>::for_vector(4000, seed);
+            let (mut sa, mut sb, mut sd) = (f.new_sketch(), f.new_sketch(), f.new_sketch());
+            for &x in &a_set {
+                sa.update(x);
+            }
+            for &y in &b_set {
+                sb.update(y);
+            }
+            for &z in &sym {
+                sd.update(z);
+            }
+            sa.merge(&sb);
+
+            let (mut merged, mut direct) = (Vec::new(), Vec::new());
+            sa.serialize_into(&mut merged);
+            sd.serialize_into(&mut direct);
+            prop_assert_eq!(merged, direct, "merge(S(A), S(B)) != S(A symdiff B)");
+
+            match sa.query() {
+                SampleResult::Index(i) => prop_assert!(sym.contains(&i)),
+                SampleResult::Zero => prop_assert!(sym.is_empty()),
+                SampleResult::Fail => prop_assert!(!sym.is_empty()),
+            }
+        }
+
+        /// Second-toggle-deletes at the sketch level: toggling every
+        /// coordinate of a set twice returns the sketch to the zero state.
+        #[test]
+        fn double_toggle_cancels(
+            seed in any::<u64>(),
+            updates in proptest::collection::vec(0u64..2500, 0..60)
+        ) {
+            let f = CubeSketchFamily::<Xxh64Hasher>::for_vector(2500, seed);
+            let mut s = f.new_sketch();
+            for &u in &updates {
+                s.update(u);
+            }
+            for &u in &updates {
+                s.update(u);
+            }
+            prop_assert!(s.is_empty(), "every coordinate toggled twice must cancel");
+            prop_assert_eq!(s.query(), SampleResult::Zero);
         }
 
         /// Updates commute: any permutation of updates yields the same sketch.

@@ -39,9 +39,7 @@ impl<F: FingerprintField, H: Hasher64> StandardFamily<F, H> {
     /// Create the family identified by `(geometry, seed)`.
     pub fn new(geometry: SketchGeometry, seed: u64) -> Arc<Self> {
         let cols = geometry.num_columns as u64;
-        let h1 = (0..cols)
-            .map(|c| H::with_seed(SplitMix64::derive(seed, 3 * c)))
-            .collect();
+        let h1 = (0..cols).map(|c| H::with_seed(SplitMix64::derive(seed, 3 * c))).collect();
         let r = (0..cols)
             .map(|c| {
                 // Draw r ∈ [2, p): any 64-bit sample reduced into the field;

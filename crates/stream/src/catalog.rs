@@ -179,10 +179,8 @@ mod tests {
 
     #[test]
     fn paper_catalog_matches_figure10_nodes() {
-        let names: Vec<(String, u64)> = paper_kron_datasets()
-            .into_iter()
-            .map(|d| (d.name, d.num_vertices))
-            .collect();
+        let names: Vec<(String, u64)> =
+            paper_kron_datasets().into_iter().map(|d| (d.name, d.num_vertices)).collect();
         assert_eq!(
             names,
             vec![

@@ -33,11 +33,7 @@ pub struct StreamHeader {
 }
 
 /// Write a stream to `path`.
-pub fn write_stream(
-    path: &Path,
-    num_vertices: u64,
-    updates: &[EdgeUpdate],
-) -> io::Result<()> {
+pub fn write_stream(path: &Path, num_vertices: u64, updates: &[EdgeUpdate]) -> io::Result<()> {
     let file = File::create(path)?;
     let mut w = BufWriter::with_capacity(1 << 20, file);
     w.write_all(&MAGIC)?;
@@ -193,10 +189,8 @@ impl Iterator for StreamReader {
 mod tests {
     use super::*;
 
-    fn tmp(name: &str) -> std::path::PathBuf {
-        let mut p = std::env::temp_dir();
-        p.push(format!("gz_stream_fmt_{}_{}", std::process::id(), name));
-        p
+    fn tmp(name: &str) -> gz_testutil::TempPath {
+        gz_testutil::TempPath::new(&format!("gz-stream-fmt-{name}"), ".gzs")
     }
 
     fn sample_updates() -> Vec<EdgeUpdate> {
@@ -212,31 +206,28 @@ mod tests {
     fn round_trip_via_read_all() {
         let path = tmp("round_trip");
         let updates = sample_updates();
-        write_stream(&path, 5, &updates).unwrap();
-        let mut r = StreamReader::open(&path).unwrap();
+        write_stream(path.path(), 5, &updates).unwrap();
+        let mut r = StreamReader::open(path.path()).unwrap();
         assert_eq!(r.header(), StreamHeader { num_vertices: 5, num_updates: 4 });
         assert_eq!(r.read_all().unwrap(), updates);
-        std::fs::remove_file(&path).ok();
     }
 
     #[test]
     fn round_trip_via_iterator() {
         let path = tmp("iter");
         let updates = sample_updates();
-        write_stream(&path, 5, &updates).unwrap();
-        let r = StreamReader::open(&path).unwrap();
+        write_stream(path.path(), 5, &updates).unwrap();
+        let r = StreamReader::open(path.path()).unwrap();
         let got: Vec<EdgeUpdate> = r.map(|x| x.unwrap()).collect();
         assert_eq!(got, updates);
-        std::fs::remove_file(&path).ok();
     }
 
     #[test]
     fn batched_reads_respect_limits() {
         let path = tmp("batched");
-        let updates: Vec<EdgeUpdate> =
-            (0..100u32).map(|i| EdgeUpdate::insert(i, i + 1)).collect();
-        write_stream(&path, 200, &updates).unwrap();
-        let mut r = StreamReader::open(&path).unwrap();
+        let updates: Vec<EdgeUpdate> = (0..100u32).map(|i| EdgeUpdate::insert(i, i + 1)).collect();
+        write_stream(path.path(), 200, &updates).unwrap();
+        let mut r = StreamReader::open(path.path()).unwrap();
         let mut batch = Vec::new();
         let mut total = 0;
         loop {
@@ -248,53 +239,47 @@ mod tests {
             total += n;
         }
         assert_eq!(total, 100);
-        std::fs::remove_file(&path).ok();
     }
 
     #[test]
     fn rejects_bad_magic() {
         let path = tmp("bad_magic");
-        std::fs::write(&path, b"NOPE0000000000000000").unwrap();
-        assert!(StreamReader::open(&path).is_err());
-        std::fs::remove_file(&path).ok();
+        std::fs::write(path.path(), b"NOPE0000000000000000").unwrap();
+        assert!(StreamReader::open(path.path()).is_err());
     }
 
     #[test]
     fn empty_stream() {
         let path = tmp("empty");
-        write_stream(&path, 10, &[]).unwrap();
-        let mut r = StreamReader::open(&path).unwrap();
+        write_stream(path.path(), 10, &[]).unwrap();
+        let mut r = StreamReader::open(path.path()).unwrap();
         assert_eq!(r.read_all().unwrap(), vec![]);
-        std::fs::remove_file(&path).ok();
     }
 
     #[test]
     fn incremental_writer_matches_one_shot() {
         let (p1, p2) = (tmp("inc_a"), tmp("inc_b"));
         let updates = sample_updates();
-        write_stream(&p1, 5, &updates).unwrap();
-        let mut w = StreamWriter::create(&p2, 5).unwrap();
+        write_stream(p1.path(), 5, &updates).unwrap();
+        let mut w = StreamWriter::create(p2.path(), 5).unwrap();
         w.write(&updates[0]).unwrap();
         w.write_all(&updates[1..]).unwrap();
         let header = w.finish().unwrap();
         assert_eq!(header, StreamHeader { num_vertices: 5, num_updates: 4 });
-        assert_eq!(std::fs::read(&p1).unwrap(), std::fs::read(&p2).unwrap());
-        std::fs::remove_file(&p1).ok();
-        std::fs::remove_file(&p2).ok();
+        assert_eq!(std::fs::read(p1.path()).unwrap(), std::fs::read(p2.path()).unwrap());
     }
 
     #[test]
     fn incremental_writer_fixes_header_count() {
         let path = tmp("inc_count");
-        let mut w = StreamWriter::create(&path, 9).unwrap();
+        let mut w = StreamWriter::create(path.path(), 9).unwrap();
         for i in 0..37u32 {
             w.write(&EdgeUpdate::insert(i % 8, i % 8 + 1)).unwrap();
         }
         let header = w.finish().unwrap();
         assert_eq!(header.num_updates, 37);
-        let r = StreamReader::open(&path).unwrap();
+        let r = StreamReader::open(path.path()).unwrap();
         assert_eq!(r.header().num_updates, 37);
         assert_eq!(r.count(), 37);
-        std::fs::remove_file(&path).ok();
     }
 }

@@ -26,8 +26,7 @@ pub fn gnm_edges(n: u64, m: u64, seed: u64) -> Vec<Edge> {
             let j = rng.gen_range(i..all.len());
             all.swap(i, j);
         }
-        let mut edges: Vec<Edge> =
-            all[..m as usize].iter().map(|&i| index_to_edge(i, n)).collect();
+        let mut edges: Vec<Edge> = all[..m as usize].iter().map(|&i| index_to_edge(i, n)).collect();
         edges.sort_unstable();
         return edges;
     }

@@ -99,9 +99,7 @@ impl KroneckerGenerator {
         let n = self.num_vertices();
         let s = self.scale as usize;
         // pow tables: p^k for k in 0..=scale.
-        let table = |p: f64| -> Vec<f64> {
-            (0..=s).map(|k| p.powi(k as i32)).collect::<Vec<_>>()
-        };
+        let table = |p: f64| -> Vec<f64> { (0..=s).map(|k| p.powi(k as i32)).collect::<Vec<_>>() };
         let (t00, t01, t11) =
             (table(self.initiator.p00), table(self.initiator.p01), table(self.initiator.p11));
         let mut rng = SmallRng::seed_from_u64(self.seed);

@@ -79,8 +79,8 @@ pub fn preferential_attachment_edges(n: u64, target_edges: u64, seed: u64) -> Ve
 #[cfg(test)]
 mod tests {
     use super::*;
-    use gz_graph::AdjacencyList;
     use gz_graph::stats::DegreeStats;
+    use gz_graph::AdjacencyList;
 
     #[test]
     fn roughly_hits_edge_target() {
@@ -101,18 +101,10 @@ mod tests {
     fn heavy_tailed_degrees() {
         let n = 1000u64;
         let edges = preferential_attachment_edges(n, 5000, 7);
-        let g = AdjacencyList::from_edges(
-            n as usize,
-            edges.iter().map(|e| (e.u(), e.v())),
-        );
+        let g = AdjacencyList::from_edges(n as usize, edges.iter().map(|e| (e.u(), e.v())));
         let stats = DegreeStats::of(&g);
         // Preferential attachment: max degree far above the mean.
-        assert!(
-            stats.max as f64 > 5.0 * stats.mean,
-            "max {} mean {}",
-            stats.max,
-            stats.mean
-        );
+        assert!(stats.max as f64 > 5.0 * stats.mean, "max {} mean {}", stats.max, stats.mean);
     }
 
     #[test]

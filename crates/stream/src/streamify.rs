@@ -167,8 +167,8 @@ fn sample_distinct_vertices(num_vertices: u64, k: usize, rng: &mut SmallRng) -> 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::update::validate_stream;
     use crate::gnp::gnm_edges;
+    use crate::update::validate_stream;
 
     fn check_guarantees(num_vertices: u64, edges: &[Edge], config: &StreamifyConfig) {
         let result = streamify(num_vertices, edges, config);
@@ -206,12 +206,8 @@ mod tests {
     #[test]
     fn guarantees_hold_with_heavy_churn() {
         let edges = gnm_edges(100, 800, 7);
-        let config = StreamifyConfig {
-            seed: 9,
-            disconnect_nodes: 10,
-            churn_prob: 0.5,
-            noise_fraction: 0.3,
-        };
+        let config =
+            StreamifyConfig { seed: 9, disconnect_nodes: 10, churn_prob: 0.5, noise_fraction: 0.3 };
         check_guarantees(100, &edges, &config);
     }
 
@@ -238,12 +234,8 @@ mod tests {
     #[test]
     fn zero_churn_zero_noise_minimal_stream() {
         let edges = gnm_edges(60, 300, 11);
-        let config = StreamifyConfig {
-            seed: 1,
-            disconnect_nodes: 0,
-            churn_prob: 0.0,
-            noise_fraction: 0.0,
-        };
+        let config =
+            StreamifyConfig { seed: 1, disconnect_nodes: 0, churn_prob: 0.0, noise_fraction: 0.0 };
         let r = streamify(60, &edges, &config);
         assert_eq!(r.updates.len(), edges.len(), "pure insertion stream");
         assert!(r.updates.iter().all(|u| u.kind == UpdateKind::Insert));
@@ -256,11 +248,8 @@ mod tests {
         // share an endpoint — in a sorted stream nearly all would.
         let edges = gnm_edges(100, 2000, 13);
         let r = streamify(100, &edges, &StreamifyConfig::default());
-        let adjacent_same_u = r
-            .updates
-            .windows(2)
-            .filter(|w| w[0].edge().u() == w[1].edge().u())
-            .count();
+        let adjacent_same_u =
+            r.updates.windows(2).filter(|w| w[0].edge().u() == w[1].edge().u()).count();
         assert!(
             adjacent_same_u < r.updates.len() / 2,
             "stream looks sorted: {adjacent_same_u}/{} adjacent same-u pairs",

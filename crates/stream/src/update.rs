@@ -154,19 +154,13 @@ mod tests {
     #[test]
     fn detects_double_insert() {
         let stream = vec![EdgeUpdate::insert(0, 1), EdgeUpdate::insert(1, 0)];
-        assert!(matches!(
-            validate_stream(2, stream),
-            Err(StreamViolation::DoubleInsert(1, _))
-        ));
+        assert!(matches!(validate_stream(2, stream), Err(StreamViolation::DoubleInsert(1, _))));
     }
 
     #[test]
     fn detects_delete_of_absent() {
         let stream = vec![EdgeUpdate::delete(0, 1)];
-        assert!(matches!(
-            validate_stream(2, stream),
-            Err(StreamViolation::DeleteAbsent(0, _))
-        ));
+        assert!(matches!(validate_stream(2, stream), Err(StreamViolation::DeleteAbsent(0, _))));
     }
 
     #[test]

@@ -32,15 +32,9 @@ fn main() {
     for i in 0..20u32 {
         kec.insert(i, (i + 1) % 20); // a 20-cycle is 2-edge-connected
     }
-    println!(
-        "\n20-cycle 2-edge-connected?   {}",
-        kec.is_two_edge_connected().unwrap()
-    );
+    println!("\n20-cycle 2-edge-connected?   {}", kec.is_two_edge_connected().unwrap());
     kec.delete(0, 1); // now a path: every edge a bridge
-    println!(
-        "...after deleting one edge?  {}",
-        kec.is_two_edge_connected().unwrap()
-    );
+    println!("...after deleting one edge?  {}", kec.is_two_edge_connected().unwrap());
     let cert = kec.certificate().unwrap();
     println!(
         "certificate: {} forests, {} edges total (graph had 19)",
@@ -87,9 +81,6 @@ fn main() {
     let mut restored = GraphZeppelin::restore(&path).unwrap();
     restored.edge_update(3, 4); // continue streaming after restart
     let cc = restored.connected_components().unwrap();
-    println!(
-        "\ncheckpoint restored: vertices 1 and 4 connected? {}",
-        cc.same_component(1, 4)
-    );
+    println!("\ncheckpoint restored: vertices 1 and 4 connected? {}", cc.same_component(1, 4));
     std::fs::remove_file(&path).ok();
 }

@@ -15,10 +15,7 @@ use gz_graph::AdjacencyMatrix;
 use gz_stream::{Dataset, StreamifyConfig, UpdateKind};
 
 fn main() {
-    let trials: u64 = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(10);
+    let trials: u64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(10);
 
     let dataset = Dataset::kron(8);
     let mut failures = 0usize;

@@ -5,10 +5,15 @@ use graph_zeppelin::{GraphZeppelin, GzConfig};
 use gz_graph::connectivity::{connected_components_dsu, is_spanning_forest};
 use gz_graph::AdjacencyList;
 use gz_stream::{Dataset, StreamifyConfig, UpdateKind};
+use gz_testutil::{TempDir, TempPath};
 
 /// Stream a dataset through a GraphZeppelin instance and return
 /// (final-graph oracle, gz labels, gz forest validity).
-fn run_dataset(dataset: &Dataset, config: GzConfig, stream_seed: u64) -> (Vec<u32>, Vec<u32>, bool) {
+fn run_dataset(
+    dataset: &Dataset,
+    config: GzConfig,
+    stream_seed: u64,
+) -> (Vec<u32>, Vec<u32>, bool) {
     let stream = dataset.stream(stream_seed, &StreamifyConfig::default());
     let mut gz = GraphZeppelin::new(config).expect("valid config");
     let mut oracle = AdjacencyList::new(dataset.num_vertices as usize);
@@ -78,13 +83,11 @@ fn sketch_level_parallelism_still_correct() {
 #[test]
 fn on_disk_pipeline_matches_oracle() {
     let dataset = Dataset::kron(7);
-    let dir = std::env::temp_dir().join(format!("gz_e2e_{}", std::process::id()));
-    std::fs::create_dir_all(&dir).unwrap();
-    let config = GzConfig::on_disk(dataset.num_vertices, dir.clone());
+    let dir = TempDir::new("gz-e2e");
+    let config = GzConfig::on_disk(dataset.num_vertices, dir.path().to_path_buf());
     let (truth, labels, forest_ok) = run_dataset(&dataset, config, 6);
     assert_eq!(labels, truth);
     assert!(forest_ok);
-    std::fs::remove_dir_all(&dir).ok();
 }
 
 #[test]
@@ -93,10 +96,10 @@ fn stream_file_round_trip_preserves_answers() {
     // the replayed stream produces identical components.
     let dataset = Dataset::kron(6);
     let stream = dataset.stream(9, &StreamifyConfig::default());
-    let path = std::env::temp_dir().join(format!("gz_e2e_stream_{}.gzs", std::process::id()));
-    gz_stream::format::write_stream(&path, dataset.num_vertices, &stream.updates).unwrap();
+    let path = TempPath::new("gz-e2e-stream", ".gzs");
+    gz_stream::format::write_stream(path.path(), dataset.num_vertices, &stream.updates).unwrap();
 
-    let mut reader = gz_stream::format::StreamReader::open(&path).unwrap();
+    let mut reader = gz_stream::format::StreamReader::open(path.path()).unwrap();
     let replayed = reader.read_all().unwrap();
     assert_eq!(replayed, stream.updates);
 
@@ -106,11 +109,7 @@ fn stream_file_round_trip_preserves_answers() {
         gz.update(upd.u, upd.v, upd.kind == UpdateKind::Delete);
         oracle.toggle(upd.edge());
     }
-    assert_eq!(
-        gz.connected_components().unwrap().labels(),
-        &connected_components_dsu(&oracle)[..]
-    );
-    std::fs::remove_file(&path).ok();
+    assert_eq!(gz.connected_components().unwrap().labels(), &connected_components_dsu(&oracle)[..]);
 }
 
 #[test]

@@ -7,6 +7,7 @@ use graph_zeppelin::{
     BufferStrategy, GraphZeppelin, GutterCapacity, GzConfig, LockingStrategy, StoreBackend,
 };
 use gz_stream::{Dataset, StreamifyConfig, UpdateKind};
+use gz_testutil::TempDir;
 
 fn labels_for(config: GzConfig, updates: &[gz_stream::EdgeUpdate]) -> Vec<u32> {
     let mut gz = GraphZeppelin::new(config).expect("valid config");
@@ -25,8 +26,7 @@ fn shared_stream() -> (u64, Vec<gz_stream::EdgeUpdate>) {
 #[test]
 fn buffering_strategies_equivalent() {
     let (v, updates) = shared_stream();
-    let dir = std::env::temp_dir().join(format!("gz_equiv_buf_{}", std::process::id()));
-    std::fs::create_dir_all(&dir).unwrap();
+    let dir = TempDir::new("gz-equiv-buf");
 
     let mut leaf = GzConfig::in_ram(v);
     leaf.buffering = BufferStrategy::LeafOnly { capacity: GutterCapacity::SketchFactor(0.5) };
@@ -39,7 +39,7 @@ fn buffering_strategies_equivalent() {
         buffer_bytes: 1 << 14,
         fanout: 8,
         leaf_capacity: GutterCapacity::SketchFactor(1.0),
-        dir: dir.clone(),
+        dir: dir.path().to_path_buf(),
     };
 
     let a = labels_for(leaf, &updates);
@@ -47,21 +47,19 @@ fn buffering_strategies_equivalent() {
     let c = labels_for(tree, &updates);
     assert_eq!(a, b, "leaf vs tiny-gutter");
     assert_eq!(a, c, "leaf vs gutter-tree");
-    std::fs::remove_dir_all(&dir).ok();
 }
 
 #[test]
 fn store_backends_equivalent() {
     let (v, updates) = shared_stream();
-    let dir = std::env::temp_dir().join(format!("gz_equiv_store_{}", std::process::id()));
-    std::fs::create_dir_all(&dir).unwrap();
+    let dir = TempDir::new("gz-equiv-store");
 
     let ram = GzConfig::in_ram(v);
     let mut disk = GzConfig::in_ram(v);
-    disk.store = StoreBackend::Disk { dir: dir.clone(), block_bytes: 4096, cache_groups: 4 };
+    disk.store =
+        StoreBackend::Disk { dir: dir.path().to_path_buf(), block_bytes: 4096, cache_groups: 4 };
 
     assert_eq!(labels_for(ram, &updates), labels_for(disk, &updates));
-    std::fs::remove_dir_all(&dir).ok();
 }
 
 #[test]

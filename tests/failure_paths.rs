@@ -66,10 +66,7 @@ fn corrupted_sketches_fail_loudly_not_silently() {
 
 #[test]
 fn invalid_configs_rejected_up_front() {
-    assert!(matches!(
-        GraphZeppelin::new(GzConfig::in_ram(0)),
-        Err(GzError::InvalidConfig(_))
-    ));
+    assert!(matches!(GraphZeppelin::new(GzConfig::in_ram(0)), Err(GzError::InvalidConfig(_))));
     let mut c = GzConfig::in_ram(64);
     c.num_workers = 0;
     assert!(matches!(GraphZeppelin::new(c), Err(GzError::InvalidConfig(_))));

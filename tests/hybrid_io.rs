@@ -4,11 +4,10 @@
 
 use graph_zeppelin::{BufferStrategy, GraphZeppelin, GutterCapacity, GzConfig, StoreBackend};
 use gz_stream::{Dataset, StreamifyConfig, UpdateKind};
+use gz_testutil::TempDir;
 
-fn scratch(tag: &str) -> std::path::PathBuf {
-    let dir = std::env::temp_dir().join(format!("gz_hybrid_{}_{tag}", std::process::id()));
-    std::fs::create_dir_all(&dir).unwrap();
-    dir
+fn scratch(tag: &str) -> TempDir {
+    TempDir::new(&format!("gz-hybrid-{tag}"))
 }
 
 fn run_stream(config: GzConfig, updates: &[gz_stream::EdgeUpdate]) -> GraphZeppelin {
@@ -28,8 +27,11 @@ fn buffering_amortizes_store_io() {
 
     let disk = |buffering: BufferStrategy| {
         let mut c = GzConfig::in_ram(dataset.num_vertices);
-        c.store =
-            StoreBackend::Disk { dir: dir.clone(), block_bytes: 1 << 13, cache_groups: 4 };
+        c.store = StoreBackend::Disk {
+            dir: dir.path().to_path_buf(),
+            block_bytes: 1 << 13,
+            cache_groups: 4,
+        };
         c.buffering = buffering;
         c
     };
@@ -49,18 +51,9 @@ fn buffering_amortizes_store_io() {
 
     // Observation 1: unbuffered ≈ Ω(1) I/Os per update (2 node sketches per
     // update, tight cache).
-    assert!(
-        io_unbuffered >= n,
-        "unbuffered: {io_unbuffered} ops for {n} updates (expected ≥ n)"
-    );
+    assert!(io_unbuffered >= n, "unbuffered: {io_unbuffered} ops for {n} updates (expected ≥ n)");
     // Lemma 4: buffered is amortized far below one op per update.
-    assert!(
-        (io_buffered as f64) < 0.5 * n as f64,
-        "buffered: {io_buffered} ops for {n} updates"
-    );
-    drop(unbuffered);
-    drop(buffered);
-    std::fs::remove_dir_all(&dir).ok();
+    assert!((io_buffered as f64) < 0.5 * n as f64, "buffered: {io_buffered} ops for {n} updates");
 }
 
 #[test]
@@ -73,18 +66,14 @@ fn gutter_tree_writes_are_batched() {
         buffer_bytes: 1 << 14,
         fanout: 8,
         leaf_capacity: GutterCapacity::SketchFactor(1.0),
-        dir: dir.clone(),
+        dir: dir.path().to_path_buf(),
     };
     let gz = run_stream(c, &stream.updates);
     let tree_io = gz.gutter_io().expect("gutter tree counters");
     let n = stream.updates.len() as u64;
     // Each update enters the tree once (two directed records), and the tree
     // moves records in buffer-sized chunks: ops ≪ records.
-    assert!(
-        tree_io.total_ops() < n / 2,
-        "tree: {} ops for {n} updates",
-        tree_io.total_ops()
-    );
+    assert!(tree_io.total_ops() < n / 2, "tree: {} ops for {n} updates", tree_io.total_ops());
     // And the bytes moved are bounded by a small multiple of the record
     // volume times the tree depth.
     let record_volume = 2 * n * 8;
@@ -93,8 +82,6 @@ fn gutter_tree_writes_are_batched() {
         "tree wrote {} bytes for {record_volume} bytes of records",
         tree_io.bytes_written()
     );
-    drop(gz);
-    std::fs::remove_dir_all(&dir).ok();
 }
 
 #[test]
@@ -103,7 +90,8 @@ fn query_scans_disk_store_once_per_snapshot() {
     let stream = dataset.stream(5, &StreamifyConfig::default());
     let dir = scratch("query");
     let mut c = GzConfig::in_ram(dataset.num_vertices);
-    c.store = StoreBackend::Disk { dir: dir.clone(), block_bytes: 1 << 13, cache_groups: 2 };
+    c.store =
+        StoreBackend::Disk { dir: dir.path().to_path_buf(), block_bytes: 1 << 13, cache_groups: 2 };
     let mut gz = run_stream(c, &stream.updates);
     let io = gz.store_io().unwrap();
     let before = io.bytes_read();
@@ -118,6 +106,4 @@ fn query_scans_disk_store_once_per_snapshot() {
         after - before,
         store_bytes
     );
-    drop(gz);
-    std::fs::remove_dir_all(&dir).ok();
 }
