@@ -1,0 +1,70 @@
+//! Sharded-ingestion benchmarks: ingestion rate vs shard count on a
+//! Kronecker stream, and batched routing vs per-update routing.
+//!
+//! The second group measures the claim the sharding refactor rests on
+//! (after *Exploring the Landscape of Distributed Graph Sketching*): the
+//! distributed win only materializes with real inter-shard batching.
+//! `per-update` forces one-record batches through the router — the old
+//! `Shard::ingest` hot path's message pattern — while `batched` uses the
+//! paper's gutter sizing.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use graph_zeppelin::{GutterCapacity, ShardConfig, ShardedGraphZeppelin};
+use gz_bench::harness::kron_workload;
+use gz_stream::UpdateKind;
+use std::time::Duration;
+
+fn ingest_all(config: ShardConfig, updates: &[gz_stream::EdgeUpdate]) -> u64 {
+    let mut gz = ShardedGraphZeppelin::in_process(config).unwrap();
+    for upd in updates {
+        gz.update(upd.u, upd.v, upd.kind == UpdateKind::Delete).unwrap();
+    }
+    gz.flush().unwrap();
+    gz.batches_shipped()
+}
+
+fn bench_ingest_by_shard_count(c: &mut Criterion) {
+    let w = kron_workload(8, 1);
+    let mut group = c.benchmark_group("gz_shards_ingest");
+    group.throughput(Throughput::Elements(w.updates.len() as u64));
+    for shards in [1u32, 2, 4, 8] {
+        group.bench_with_input(BenchmarkId::from_parameter(shards), &w.updates, |b, updates| {
+            b.iter(|| ingest_all(ShardConfig::in_ram(w.num_nodes, shards), updates))
+        });
+    }
+    group.finish();
+}
+
+fn bench_batched_vs_per_update_routing(c: &mut Criterion) {
+    let w = kron_workload(8, 2);
+    let mut group = c.benchmark_group("gz_shards_batching");
+    group.throughput(Throughput::Elements(w.updates.len() as u64));
+    let cases: Vec<(&str, GutterCapacity)> = vec![
+        ("per-update", GutterCapacity::Updates(1)),
+        ("batched-f0.5", GutterCapacity::SketchFactor(0.5)),
+    ];
+    for (name, capacity) in cases {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &w.updates, |b, updates| {
+            b.iter(|| {
+                let mut config = ShardConfig::in_ram(w.num_nodes, 4);
+                config.router_capacity = capacity;
+                ingest_all(config, updates)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_ingest_by_shard_count, bench_batched_vs_per_update_routing
+}
+criterion_main!(benches);

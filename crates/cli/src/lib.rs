@@ -4,17 +4,62 @@
 //! gz generate --dataset kron10 --seed 42 --out stream.gzs
 //! gz generate --er 1000x5000 --out er.gzs
 //! gz info stream.gzs
-//! gz components stream.gzs [--workers 4] [--disk /tmp/gzwork] [--forest]
+//! gz components stream.gzs [--workers 4] [--store ram|disk] \
+//!     [--buffering leaf|tree] [--dir /tmp/gzwork] [--forest] \
+//!     [--shards K [--connect host:port,host:port,...]]
+//! gz shard-worker --listen 127.0.0.1:7001 --nodes 1024 --shards 2 --index 0
 //! gz bipartite stream.gzs
 //! ```
 //!
 //! All logic lives in this library so it is unit-testable; `main.rs` is a
 //! thin shell.
 
-use graph_zeppelin::{BipartitenessTester, GraphZeppelin, GzConfig};
+use graph_zeppelin::{
+    serve_shard_connection, BipartitenessTester, BufferStrategy, GraphZeppelin, GutterCapacity,
+    GzConfig, ShardConfig, ShardPipeline, ShardedGraphZeppelin, SocketTransport, StoreBackend,
+};
 use gz_stream::format::{StreamReader, StreamWriter};
 use gz_stream::{Dataset, GeneratorSpec, StreamifyConfig, UpdateKind};
+use std::io::Write as _;
 use std::path::PathBuf;
+
+/// Sketch store placement selected on the command line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StoreArg {
+    /// Sketches in RAM.
+    Ram,
+    /// Sketches in a file under `--dir`.
+    Disk,
+}
+
+impl StoreArg {
+    fn parse(s: &str) -> Result<StoreArg, String> {
+        match s {
+            "ram" => Ok(StoreArg::Ram),
+            "disk" => Ok(StoreArg::Disk),
+            other => Err(format!("unknown store {other} (want ram|disk)")),
+        }
+    }
+}
+
+/// Buffering system selected on the command line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BufferingArg {
+    /// In-RAM leaf gutters.
+    Leaf,
+    /// On-disk gutter tree under `--dir`.
+    Tree,
+}
+
+impl BufferingArg {
+    fn parse(s: &str) -> Result<BufferingArg, String> {
+        match s {
+            "leaf" => Ok(BufferingArg::Leaf),
+            "tree" => Ok(BufferingArg::Tree),
+            other => Err(format!("unknown buffering {other} (want leaf|tree)")),
+        }
+    }
+}
 
 /// A parsed CLI invocation.
 #[derive(Debug, Clone, PartialEq)]
@@ -37,12 +82,42 @@ pub enum Command {
     Components {
         /// Stream file.
         path: PathBuf,
-        /// Graph Workers.
+        /// Graph Workers (per shard, when sharded).
         workers: usize,
-        /// Put sketches + gutters on disk under this directory.
-        disk: Option<PathBuf>,
+        /// Sketch store placement.
+        store: StoreArg,
+        /// Buffering system.
+        buffering: BufferingArg,
+        /// Directory for on-disk stores / gutter trees.
+        dir: Option<PathBuf>,
         /// Also print the spanning forest.
         forest: bool,
+        /// Shard the system `k` ways (in-process unless `connect` names
+        /// remote workers).
+        shards: Option<u32>,
+        /// `host:port` shard-worker addresses, one per shard in shard
+        /// order; empty = in-process shards.
+        connect: Vec<String>,
+    },
+    /// Serve one shard over TCP: bind, accept one coordinator connection,
+    /// run the shard-worker event loop until `Shutdown`.
+    ShardWorker {
+        /// `host:port` to listen on (port 0 picks a free port).
+        listen: String,
+        /// Vertex universe size (must match the coordinator).
+        nodes: u64,
+        /// Total shard count.
+        shards: u32,
+        /// This worker's shard index.
+        index: u32,
+        /// Master seed (must match the coordinator).
+        seed: u64,
+        /// Graph Workers in this shard's pipeline.
+        workers: usize,
+        /// Sketch store placement for this shard.
+        store: StoreArg,
+        /// Directory for an on-disk store.
+        dir: Option<PathBuf>,
     },
     /// Test bipartiteness of a stream file.
     Bipartite {
@@ -91,10 +166,21 @@ fn parse_pair(s: &str) -> Result<(u64, u64), String> {
     ))
 }
 
+fn parse_num<T: std::str::FromStr>(
+    it: &mut std::slice::Iter<'_, String>,
+    flag: &str,
+) -> Result<T, String> {
+    it.next()
+        .ok_or(format!("{flag} needs a value"))?
+        .parse()
+        .map_err(|_| format!("bad value for {flag}"))
+}
+
 /// Parse a full argument vector (without argv[0]).
 pub fn parse_args(args: &[String]) -> Result<Command, String> {
     let mut it = args.iter();
-    let sub = it.next().ok_or("missing subcommand (generate|info|components|bipartite)")?;
+    let sub =
+        it.next().ok_or("missing subcommand (generate|info|components|shard-worker|bipartite)")?;
     match sub.as_str() {
         "generate" => {
             let mut dataset = None;
@@ -120,13 +206,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                         let (n, m) = parse_pair(v)?;
                         dataset = Some(DatasetArg::Preferential(n, m));
                     }
-                    "--seed" => {
-                        seed = it
-                            .next()
-                            .ok_or("--seed needs a value")?
-                            .parse()
-                            .map_err(|_| "bad seed")?;
-                    }
+                    "--seed" => seed = parse_num(&mut it, "--seed")?,
                     "--out" => out = Some(PathBuf::from(it.next().ok_or("--out needs a path")?)),
                     other => return Err(format!("unknown flag {other}")),
                 }
@@ -144,23 +224,88 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
         "components" => {
             let path = PathBuf::from(it.next().ok_or("components needs a stream file")?);
             let mut workers = 2usize;
-            let mut disk = None;
+            let mut store = StoreArg::Ram;
+            let mut buffering = BufferingArg::Leaf;
+            let mut dir = None;
             let mut forest = false;
+            let mut shards = None;
+            let mut connect = Vec::new();
             while let Some(arg) = it.next() {
                 match arg.as_str() {
-                    "--workers" => {
-                        workers = it
-                            .next()
-                            .ok_or("--workers needs a value")?
-                            .parse()
-                            .map_err(|_| "bad worker count")?;
+                    "--workers" => workers = parse_num(&mut it, "--workers")?,
+                    "--store" => {
+                        store = StoreArg::parse(it.next().ok_or("--store needs ram|disk")?)?;
                     }
-                    "--disk" => disk = Some(PathBuf::from(it.next().ok_or("--disk needs a dir")?)),
+                    "--buffering" => {
+                        buffering =
+                            BufferingArg::parse(it.next().ok_or("--buffering needs leaf|tree")?)?;
+                    }
+                    "--dir" => dir = Some(PathBuf::from(it.next().ok_or("--dir needs a dir")?)),
+                    // Back-compat: `--disk DIR` = the full on-disk deployment.
+                    "--disk" => {
+                        dir = Some(PathBuf::from(it.next().ok_or("--disk needs a dir")?));
+                        store = StoreArg::Disk;
+                        buffering = BufferingArg::Tree;
+                    }
                     "--forest" => forest = true,
+                    "--shards" => shards = Some(parse_num(&mut it, "--shards")?),
+                    "--connect" => {
+                        let v = it.next().ok_or("--connect needs addr,addr,...")?;
+                        connect = v.split(',').map(|s| s.trim().to_string()).collect();
+                    }
                     other => return Err(format!("unknown flag {other}")),
                 }
             }
-            Ok(Command::Components { path, workers, disk, forest })
+            if !connect.is_empty() && shards.is_none() {
+                return Err("--connect requires --shards".into());
+            }
+            Ok(Command::Components {
+                path,
+                workers,
+                store,
+                buffering,
+                dir,
+                forest,
+                shards,
+                connect,
+            })
+        }
+        "shard-worker" => {
+            let mut listen = None;
+            let mut nodes = None;
+            let mut shards = None;
+            let mut index = None;
+            let mut seed = 0x5EED_1E55u64;
+            let mut workers = 2usize;
+            let mut store = StoreArg::Ram;
+            let mut dir = None;
+            while let Some(arg) = it.next() {
+                match arg.as_str() {
+                    "--listen" => {
+                        listen = Some(it.next().ok_or("--listen needs host:port")?.clone());
+                    }
+                    "--nodes" => nodes = Some(parse_num(&mut it, "--nodes")?),
+                    "--shards" => shards = Some(parse_num(&mut it, "--shards")?),
+                    "--index" => index = Some(parse_num(&mut it, "--index")?),
+                    "--seed" => seed = parse_num(&mut it, "--seed")?,
+                    "--workers" => workers = parse_num(&mut it, "--workers")?,
+                    "--store" => {
+                        store = StoreArg::parse(it.next().ok_or("--store needs ram|disk")?)?;
+                    }
+                    "--dir" => dir = Some(PathBuf::from(it.next().ok_or("--dir needs a dir")?)),
+                    other => return Err(format!("unknown flag {other}")),
+                }
+            }
+            Ok(Command::ShardWorker {
+                listen: listen.ok_or("need --listen")?,
+                nodes: nodes.ok_or("need --nodes")?,
+                shards: shards.ok_or("need --shards")?,
+                index: index.ok_or("need --index")?,
+                seed,
+                workers,
+                store,
+                dir,
+            })
         }
         "bipartite" => {
             let path = it.next().ok_or("bipartite needs a stream file")?;
@@ -168,6 +313,151 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
         }
         other => Err(format!("unknown subcommand {other}")),
     }
+}
+
+/// Resolve `--store`/`--dir` into a [`StoreBackend`], creating the
+/// directory.
+fn store_backend(store: StoreArg, dir: &Option<PathBuf>) -> Result<StoreBackend, String> {
+    match store {
+        StoreArg::Ram => Ok(StoreBackend::Ram),
+        StoreArg::Disk => {
+            let dir = dir.clone().ok_or("--store disk needs --dir")?;
+            std::fs::create_dir_all(&dir).map_err(|e| e.to_string())?;
+            Ok(StoreBackend::Disk { dir, block_bytes: 16 << 10, cache_groups: 1024 })
+        }
+    }
+}
+
+/// Build the single-node config selected by the components flags.
+fn build_config(
+    num_nodes: u64,
+    workers: usize,
+    store: StoreArg,
+    buffering: BufferingArg,
+    dir: &Option<PathBuf>,
+) -> Result<GzConfig, String> {
+    let mut config = GzConfig::in_ram(num_nodes);
+    config.num_workers = workers.max(1);
+    config.store = store_backend(store, dir)?;
+    config.buffering = match buffering {
+        BufferingArg::Leaf => {
+            BufferStrategy::LeafOnly { capacity: GutterCapacity::SketchFactor(0.5) }
+        }
+        BufferingArg::Tree => {
+            let dir = dir.clone().ok_or("--buffering tree needs --dir")?;
+            std::fs::create_dir_all(&dir).map_err(|e| e.to_string())?;
+            BufferStrategy::GutterTree {
+                buffer_bytes: 1 << 20,
+                fanout: 64,
+                leaf_capacity: GutterCapacity::SketchFactor(2.0),
+                dir,
+            }
+        }
+    };
+    Ok(config)
+}
+
+/// Stream every update of a file into `apply`.
+fn feed_stream(
+    reader: &mut StreamReader,
+    mut apply: impl FnMut(u32, u32, bool) -> Result<(), String>,
+) -> Result<u64, String> {
+    let mut batch = Vec::new();
+    let mut total = 0u64;
+    loop {
+        let n = reader.read_batch(&mut batch, 1 << 16).map_err(|e| e.to_string())?;
+        if n == 0 {
+            return Ok(total);
+        }
+        total += n as u64;
+        for u in &batch {
+            apply(u.u, u.v, u.kind == UpdateKind::Delete)?;
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)] // mirrors the Components flag set
+fn components_sharded(
+    path: &std::path::Path,
+    workers: usize,
+    store: StoreArg,
+    buffering: BufferingArg,
+    dir: &Option<PathBuf>,
+    forest: bool,
+    num_shards: u32,
+    connect: &[String],
+) -> Result<String, String> {
+    // Refuse flag combinations that would silently not take effect.
+    if buffering == BufferingArg::Tree {
+        return Err("--buffering tree is not supported with --shards (the sharded router \
+             batches through in-RAM gutters)"
+            .into());
+    }
+    if !connect.is_empty() && store == StoreArg::Disk {
+        return Err("with --connect, sketch stores live in the shard workers; pass \
+             --store/--dir to each `gz shard-worker` instead"
+            .into());
+    }
+
+    let mut reader = StreamReader::open(path).map_err(|e| e.to_string())?;
+    let header = reader.header();
+    let mut config = ShardConfig::in_ram(header.num_vertices, num_shards);
+    config.workers_per_shard = workers.max(1);
+    config.store = store_backend(store, dir)?;
+
+    let mut gz = if connect.is_empty() {
+        ShardedGraphZeppelin::in_process(config).map_err(|e| e.to_string())?
+    } else {
+        if connect.len() != num_shards as usize {
+            return Err(format!(
+                "--connect names {} workers but --shards is {num_shards}",
+                connect.len()
+            ));
+        }
+        let digest = config.params_digest();
+        let transport = SocketTransport::connect_tcp(connect, digest).map_err(|e| e.to_string())?;
+        ShardedGraphZeppelin::with_transport(config, Box::new(transport))
+            .map_err(|e| e.to_string())?
+    };
+
+    feed_stream(&mut reader, |u, v, d| gz.update(u, v, d).map_err(|e| e.to_string()))?;
+    let outcome = gz.spanning_forest().map_err(|e| e.to_string())?;
+    let mut out = format!(
+        "{} components over {} nodes ({} updates ingested, {} shards, {} batches shipped)\n",
+        outcome.num_components(),
+        header.num_vertices,
+        gz.updates_ingested(),
+        num_shards,
+        gz.batches_shipped(),
+    );
+    if forest {
+        for e in &outcome.forest {
+            out.push_str(&format!("{} {}\n", e.u(), e.v()));
+        }
+    }
+    gz.shutdown().map_err(|e| e.to_string())?;
+    Ok(out)
+}
+
+fn run_shard_worker(listen: &str, config: ShardConfig, index: u32) -> Result<String, String> {
+    let shards = config.num_shards;
+    let pipeline = ShardPipeline::new(&config, index).map_err(|e| e.to_string())?;
+
+    let listener = std::net::TcpListener::bind(listen).map_err(|e| e.to_string())?;
+    let addr = listener.local_addr().map_err(|e| e.to_string())?;
+    // Announce the bound address before blocking so a coordinator script
+    // can discover an ephemeral port.
+    println!("shard-worker {index}/{shards} listening on {addr}");
+    std::io::stdout().flush().ok();
+
+    let (mut stream, peer) = listener.accept().map_err(|e| e.to_string())?;
+    stream.set_nodelay(true).map_err(|e| e.to_string())?;
+    let stats = serve_shard_connection(&mut stream, &pipeline, config.params_digest())
+        .map_err(|e| e.to_string())?;
+    Ok(format!(
+        "shard {index}/{shards}: served {peer} — {} batches, {} records, {} flushes, {} gathers",
+        stats.batches, stats.records, stats.flushes, stats.gathers
+    ))
 }
 
 /// Execute a command; returns the text to print.
@@ -214,28 +504,20 @@ pub fn execute(cmd: Command) -> Result<String, String> {
                 final_edges.len(),
             ))
         }
-        Command::Components { path, workers, disk, forest } => {
+        Command::Components { path, workers, store, buffering, dir, forest, shards, connect } => {
+            if let Some(num_shards) = shards {
+                return components_sharded(
+                    &path, workers, store, buffering, &dir, forest, num_shards, &connect,
+                );
+            }
             let mut reader = StreamReader::open(&path).map_err(|e| e.to_string())?;
             let header = reader.header();
-            let mut config = match &disk {
-                Some(dir) => {
-                    std::fs::create_dir_all(dir).map_err(|e| e.to_string())?;
-                    GzConfig::on_disk(header.num_vertices, dir.clone())
-                }
-                None => GzConfig::in_ram(header.num_vertices),
-            };
-            config.num_workers = workers.max(1);
+            let config = build_config(header.num_vertices, workers, store, buffering, &dir)?;
             let mut gz = GraphZeppelin::new(config).map_err(|e| e.to_string())?;
-            let mut batch = Vec::new();
-            loop {
-                let n = reader.read_batch(&mut batch, 1 << 16).map_err(|e| e.to_string())?;
-                if n == 0 {
-                    break;
-                }
-                for u in &batch {
-                    gz.update(u.u, u.v, u.kind == UpdateKind::Delete);
-                }
-            }
+            feed_stream(&mut reader, |u, v, d| {
+                gz.update(u, v, d);
+                Ok(())
+            })?;
             let cc = gz.connected_components().map_err(|e| e.to_string())?;
             let mut out = format!(
                 "{} components over {} nodes ({} updates ingested)\n",
@@ -249,6 +531,13 @@ pub fn execute(cmd: Command) -> Result<String, String> {
                 }
             }
             Ok(out)
+        }
+        Command::ShardWorker { listen, nodes, shards, index, seed, workers, store, dir } => {
+            let mut config = ShardConfig::in_ram(nodes, shards);
+            config.seed = seed;
+            config.workers_per_shard = workers.max(1);
+            config.store = store_backend(store, &dir)?;
+            run_shard_worker(&listen, config, index)
         }
         Command::Bipartite { path } => {
             let mut reader = StreamReader::open(&path).map_err(|e| e.to_string())?;
@@ -281,6 +570,10 @@ mod tests {
         gz_testutil::TempPath::new(&format!("gz-cli-{name}"), ".gzs")
     }
 
+    fn parse_components(s: &str) -> Command {
+        parse_args(&argv(s)).unwrap()
+    }
+
     #[test]
     fn parses_generate() {
         let cmd = parse_args(&argv("generate --dataset kron9 --seed 7 --out /tmp/x.gzs")).unwrap();
@@ -311,17 +604,101 @@ mod tests {
     }
 
     #[test]
-    fn parses_components_flags() {
-        let cmd = parse_args(&argv("components s.gzs --workers 8 --disk /tmp/d --forest")).unwrap();
+    fn parses_workers_flag() {
+        match parse_components("components s.gzs --workers 8") {
+            Command::Components { workers, .. } => assert_eq!(workers, 8),
+            other => panic!("{other:?}"),
+        }
+        assert!(parse_args(&argv("components s.gzs --workers nope")).is_err());
+    }
+
+    #[test]
+    fn parses_store_flag() {
+        match parse_components("components s.gzs --store disk --dir /tmp/d") {
+            Command::Components { store, dir, .. } => {
+                assert_eq!(store, StoreArg::Disk);
+                assert_eq!(dir, Some(PathBuf::from("/tmp/d")));
+            }
+            other => panic!("{other:?}"),
+        }
+        match parse_components("components s.gzs --store ram") {
+            Command::Components { store, .. } => assert_eq!(store, StoreArg::Ram),
+            other => panic!("{other:?}"),
+        }
+        assert!(parse_args(&argv("components s.gzs --store floppy")).is_err());
+    }
+
+    #[test]
+    fn parses_buffering_flag() {
+        match parse_components("components s.gzs --buffering tree --dir /tmp/d") {
+            Command::Components { buffering, .. } => assert_eq!(buffering, BufferingArg::Tree),
+            other => panic!("{other:?}"),
+        }
+        match parse_components("components s.gzs --buffering leaf") {
+            Command::Components { buffering, .. } => assert_eq!(buffering, BufferingArg::Leaf),
+            other => panic!("{other:?}"),
+        }
+        assert!(parse_args(&argv("components s.gzs --buffering ring")).is_err());
+    }
+
+    #[test]
+    fn parses_shards_and_connect_flags() {
+        match parse_components("components s.gzs --shards 3") {
+            Command::Components { shards, connect, .. } => {
+                assert_eq!(shards, Some(3));
+                assert!(connect.is_empty());
+            }
+            other => panic!("{other:?}"),
+        }
+        match parse_components(
+            "components s.gzs --shards 2 --connect 127.0.0.1:7001,127.0.0.1:7002",
+        ) {
+            Command::Components { shards, connect, .. } => {
+                assert_eq!(shards, Some(2));
+                assert_eq!(connect, vec!["127.0.0.1:7001", "127.0.0.1:7002"]);
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(
+            parse_args(&argv("components s.gzs --connect 127.0.0.1:7001")).is_err(),
+            "--connect without --shards must be rejected"
+        );
+    }
+
+    #[test]
+    fn disk_flag_is_back_compat_shorthand() {
+        // `--disk DIR` still means the paper's full on-disk deployment.
+        match parse_components("components s.gzs --disk /tmp/d") {
+            Command::Components { store, buffering, dir, .. } => {
+                assert_eq!(store, StoreArg::Disk);
+                assert_eq!(buffering, BufferingArg::Tree);
+                assert_eq!(dir, Some(PathBuf::from("/tmp/d")));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_shard_worker() {
+        let cmd = parse_args(&argv(
+            "shard-worker --listen 127.0.0.1:0 --nodes 1024 --shards 4 --index 2 \
+             --seed 9 --workers 3 --store ram",
+        ))
+        .unwrap();
         assert_eq!(
             cmd,
-            Command::Components {
-                path: PathBuf::from("s.gzs"),
-                workers: 8,
-                disk: Some(PathBuf::from("/tmp/d")),
-                forest: true,
+            Command::ShardWorker {
+                listen: "127.0.0.1:0".into(),
+                nodes: 1024,
+                shards: 4,
+                index: 2,
+                seed: 9,
+                workers: 3,
+                store: StoreArg::Ram,
+                dir: None,
             }
         );
+        assert!(parse_args(&argv("shard-worker --listen 127.0.0.1:0 --nodes 8")).is_err());
     }
 
     #[test]
@@ -347,14 +724,65 @@ mod tests {
         let info = execute(Command::Info { path: path.to_path_buf() }).unwrap();
         assert!(info.contains("valid"), "{info}");
 
-        let comps = execute(Command::Components {
+        let comps = execute(components_cmd(&path, None)).unwrap();
+        assert!(comps.contains("components over 64 nodes"), "{comps}");
+    }
+
+    fn components_cmd(path: &gz_testutil::TempPath, shards: Option<u32>) -> Command {
+        Command::Components {
             path: path.to_path_buf(),
             workers: 2,
-            disk: None,
+            store: StoreArg::Ram,
+            buffering: BufferingArg::Leaf,
+            dir: None,
             forest: false,
+            shards,
+            connect: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn sharded_components_match_unsharded() {
+        let path = tmp("shards");
+        execute(Command::Generate {
+            dataset: DatasetArg::Kron(5),
+            seed: 4,
+            out: path.to_path_buf(),
         })
         .unwrap();
-        assert!(comps.contains("components over 64 nodes"), "{comps}");
+        let single = execute(components_cmd(&path, None)).unwrap();
+        let sharded = execute(components_cmd(&path, Some(3))).unwrap();
+        let count = |s: &str| s.split_whitespace().next().unwrap().to_string();
+        assert_eq!(count(&single), count(&sharded), "single={single} sharded={sharded}");
+        assert!(sharded.contains("3 shards"), "{sharded}");
+    }
+
+    #[test]
+    fn sharded_rejects_silently_ignored_flags() {
+        let path = tmp("shard-flags");
+        execute(Command::Generate {
+            dataset: DatasetArg::Kron(4),
+            seed: 1,
+            out: path.to_path_buf(),
+        })
+        .unwrap();
+        // --buffering tree has no sharded implementation: must be refused,
+        // not ignored.
+        let mut cmd = components_cmd(&path, Some(2));
+        if let Command::Components { buffering, dir, .. } = &mut cmd {
+            *buffering = BufferingArg::Tree;
+            *dir = Some(std::env::temp_dir());
+        }
+        assert!(execute(cmd).unwrap_err().contains("--buffering tree"));
+        // --store disk with --connect configures nothing on the remote
+        // workers: must be refused.
+        let mut cmd = components_cmd(&path, Some(1));
+        if let Command::Components { store, dir, connect, .. } = &mut cmd {
+            *store = StoreArg::Disk;
+            *dir = Some(std::env::temp_dir());
+            *connect = vec!["127.0.0.1:1".into()];
+        }
+        assert!(execute(cmd).unwrap_err().contains("shard-worker"));
     }
 
     #[test]
@@ -377,8 +805,12 @@ mod tests {
         let out = execute(Command::Components {
             path: path.to_path_buf(),
             workers: 1,
-            disk: None,
+            store: StoreArg::Ram,
+            buffering: BufferingArg::Leaf,
+            dir: None,
             forest: true,
+            shards: None,
+            connect: Vec::new(),
         })
         .unwrap();
         assert!(out.lines().count() >= 3, "{out}");

@@ -9,7 +9,11 @@ fn main() {
             eprintln!(
                 "usage:\n  gz generate (--dataset kronN | --er NxM | --pa NxM) \
                  [--seed S] --out FILE\n  gz info FILE\n  gz components FILE \
-                 [--workers N] [--disk DIR] [--forest]\n  gz bipartite FILE"
+                 [--workers N] [--store ram|disk] [--buffering leaf|tree] \
+                 [--dir DIR] [--forest]\n                [--shards K \
+                 [--connect HOST:PORT,...]]\n  gz shard-worker --listen HOST:PORT \
+                 --nodes N --shards K --index I [--seed S]\n                  \
+                 [--workers N] [--store ram|disk] [--dir DIR]\n  gz bipartite FILE"
             );
             std::process::exit(2);
         }

@@ -19,6 +19,9 @@ pub enum GzError {
     InvalidConfig(String),
     /// Underlying I/O failure from a disk-backed store or gutter tree.
     Io(std::io::Error),
+    /// A shard-protocol violation: mismatched parameter digests, a batch
+    /// routed to the wrong shard, or an unexpected wire message.
+    Protocol(String),
 }
 
 impl fmt::Display for GzError {
@@ -31,6 +34,7 @@ impl fmt::Display for GzError {
             ),
             GzError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
             GzError::Io(e) => write!(f, "I/O error: {e}"),
+            GzError::Protocol(msg) => write!(f, "shard protocol violation: {msg}"),
         }
     }
 }
@@ -60,6 +64,7 @@ mod tests {
         let s = e.to_string();
         assert!(s.contains("12") && s.contains("3"));
         assert!(GzError::InvalidConfig("bad".into()).to_string().contains("bad"));
+        assert!(GzError::Protocol("digest".into()).to_string().contains("digest"));
     }
 
     #[test]

@@ -51,7 +51,9 @@
 //! - [`msf`] — minimum spanning forests over weight-leveled sketches (the
 //!   §3.1 "minimum spanning trees" application).
 //! - [`checkpoint`] — persist and restore the whole sketch state.
-//! - [`sharding`] — cluster-model sharded ingestion (the §8 outlook).
+//! - [`sharding`] — cluster-model sharded ingestion (the §8 outlook):
+//!   inter-shard batching router, per-shard pipelines, and in-process /
+//!   socket transports speaking the `gz_stream::wire` protocol.
 
 pub mod bipartiteness;
 pub mod boruvka;
@@ -76,5 +78,9 @@ pub use edge_connectivity::{ForestCertificate, KForestSketcher};
 pub use error::GzError;
 pub use msf::{MsfSketcher, WeightedForest};
 pub use node_sketch::{CubeNodeSketch, NodeSketch};
-pub use sharding::ShardedGraphZeppelin;
+pub use sharding::{
+    serve_shard_connection, InProcessTransport, ShardConfig, ShardPipeline, ShardRouter,
+    ShardServeStats, ShardTransport, ShardedGraphZeppelin, SocketTransport,
+};
+pub use store::NodeSet;
 pub use system::{ConnectedComponents, GraphZeppelin};

@@ -1,0 +1,509 @@
+//! Sharded (cluster-model) sketch ingestion — the paper's §8 outlook made
+//! concrete: "Since GraphZeppelin's sketches can be updated independently
+//! (Section 5.1), we believe that they can be partitioned throughout a
+//! distributed cluster without sacrificing stream ingestion rate."
+//!
+//! The subsystem has four layers (DESIGN.md §7):
+//!
+//! - [`ShardRouter`] — coordinator-side inter-shard batching: per-node
+//!   gutters (reusing `gz_gutters`) accumulate updates and emit node-keyed
+//!   batches, replacing the old per-update routing hot path.
+//! - the wire protocol (`gz_stream::wire`) — framed, versioned messages
+//!   (`Hello`, `Batch`, `Flush`, `GatherSketches`, `Shutdown`) between
+//!   coordinator and shard workers.
+//! - [`ShardTransport`] — how batches travel: [`InProcessTransport`]
+//!   (queue pushes, the single-process deployment) or [`SocketTransport`]
+//!   (TCP/Unix sockets to worker processes running
+//!   [`serve_shard_connection`]). The coordinator is transport-agnostic.
+//! - [`ShardPipeline`] — a full per-shard ingestion stack: work queue,
+//!   Graph Worker pool, and a pluggable RAM/disk store covering only the
+//!   shard's owned vertices.
+//!
+//! The routing contract is unchanged: shard `i` owns every vertex `v` with
+//! `v % num_shards == i`, each update touches at most two shards, and
+//! shards never communicate until query time, when the coordinator gathers
+//! the per-shard sketches and runs the ordinary Boruvka computation. The
+//! crucial invariant — proved by the equivalence suite and the
+//! multi-process example — is that a sharded system's gathered sketch state
+//! is *bit-identical* to a single-node system's on the same stream.
+
+mod pipeline;
+mod router;
+mod transport;
+
+pub use pipeline::ShardPipeline;
+pub use router::ShardRouter;
+pub use transport::{
+    serve_shard_connection, spawn_local_socket_workers, InProcessTransport, ShardServeStats,
+    ShardTransport, SocketTransport,
+};
+
+use crate::boruvka::{boruvka_spanning_forest, BoruvkaOutcome};
+use crate::config::{GutterCapacity, LockingStrategy, StoreBackend};
+use crate::error::GzError;
+use crate::node_sketch::{CubeNodeSketch, SketchParams};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// Configuration shared by the coordinator and every shard worker. Both
+/// sides must agree on all sketch-defining fields — enforced at connection
+/// time by the [`Self::params_digest`] handshake.
+#[derive(Debug, Clone)]
+pub struct ShardConfig {
+    /// Vertex universe size.
+    pub num_nodes: u64,
+    /// Number of shards; shard `i` owns `{v : v % num_shards == i}`.
+    pub num_shards: u32,
+    /// Master seed (all shards must share it for mergeable sketches).
+    pub seed: u64,
+    /// Boruvka rounds; `None` = the paper's `⌈log_{3/2} V⌉`.
+    pub num_rounds: Option<u32>,
+    /// CubeSketch columns.
+    pub num_columns: u32,
+    /// Graph Workers per shard pipeline.
+    pub workers_per_shard: usize,
+    /// Batch-level locking discipline inside each shard.
+    pub locking: LockingStrategy,
+    /// Per-shard sketch store placement (RAM or disk).
+    pub store: StoreBackend,
+    /// Router gutter capacity (the inter-shard batch size knob).
+    pub router_capacity: GutterCapacity,
+}
+
+impl ShardConfig {
+    /// In-RAM defaults matching [`crate::config::GzConfig::in_ram`], so a
+    /// sharded system with the same seed is bit-identical to a single-node
+    /// one.
+    pub fn in_ram(num_nodes: u64, num_shards: u32) -> Self {
+        ShardConfig {
+            num_nodes,
+            num_shards,
+            seed: 0x5EED_1E55,
+            num_rounds: None,
+            num_columns: gz_sketch::geometry::DEFAULT_COLUMNS,
+            workers_per_shard: 2,
+            locking: LockingStrategy::DeltaSketch,
+            store: StoreBackend::Ram,
+            router_capacity: GutterCapacity::SketchFactor(0.5),
+        }
+    }
+
+    /// Number of Boruvka rounds (= sketches per node).
+    pub fn rounds(&self) -> u32 {
+        self.num_rounds.unwrap_or_else(|| crate::config::default_rounds(self.num_nodes))
+    }
+
+    /// The shared sketch parameters every shard derives.
+    pub fn params(&self) -> SketchParams {
+        SketchParams::new(self.num_nodes, self.rounds(), self.num_columns, self.seed)
+    }
+
+    /// Digest of every sketch-defining field, exchanged in the wire
+    /// handshake: a worker whose digest differs would build unmergeable
+    /// sketches, so the connection is refused.
+    pub fn params_digest(&self) -> u64 {
+        let mut bytes = [0u8; 28];
+        bytes[0..8].copy_from_slice(&self.num_nodes.to_le_bytes());
+        bytes[8..16].copy_from_slice(&self.seed.to_le_bytes());
+        bytes[16..20].copy_from_slice(&self.rounds().to_le_bytes());
+        bytes[20..24].copy_from_slice(&self.num_columns.to_le_bytes());
+        bytes[24..28].copy_from_slice(&self.num_shards.to_le_bytes());
+        gz_hash::xxh64(&bytes, u64::from(gz_stream::PROTOCOL_VERSION))
+    }
+
+    /// Validate invariants the subsystem relies on.
+    pub fn validate(&self) -> Result<(), GzError> {
+        if self.num_nodes < 2 {
+            return Err(GzError::InvalidConfig("need at least 2 nodes".into()));
+        }
+        if self.num_nodes > u32::MAX as u64 {
+            return Err(GzError::InvalidConfig("vertex ids must fit in u32".into()));
+        }
+        if self.num_shards == 0 {
+            return Err(GzError::InvalidConfig("need at least one shard".into()));
+        }
+        if self.workers_per_shard == 0 {
+            return Err(GzError::InvalidConfig("need at least one worker per shard".into()));
+        }
+        if self.num_columns == 0 {
+            return Err(GzError::InvalidConfig("need at least one sketch column".into()));
+        }
+        Ok(())
+    }
+}
+
+/// A sharded GraphZeppelin: a batching router in front of `k` shard
+/// pipelines behind a pluggable transport, plus a query coordinator.
+pub struct ShardedGraphZeppelin {
+    params: Arc<SketchParams>,
+    router: ShardRouter,
+    transport: Box<dyn ShardTransport>,
+    /// Local worker threads (socket transports spawned in-process); joined
+    /// on shutdown.
+    local_workers: Vec<JoinHandle<Result<ShardServeStats, GzError>>>,
+    num_nodes: u64,
+    updates: u64,
+    shut_down: bool,
+}
+
+impl ShardedGraphZeppelin {
+    /// Single-process sharded system with default parameters — the
+    /// convenience form (`num_shards` shards over `num_nodes` vertices,
+    /// deterministic in `seed`).
+    pub fn new(num_nodes: u64, num_shards: u32, seed: u64) -> Result<Self, GzError> {
+        let mut config = ShardConfig::in_ram(num_nodes, num_shards);
+        config.seed = seed;
+        Self::in_process(config)
+    }
+
+    /// Single-process deployment: shards are pipelines in this process
+    /// behind an [`InProcessTransport`].
+    pub fn in_process(config: ShardConfig) -> Result<Self, GzError> {
+        let transport = InProcessTransport::new(&config)?;
+        Self::with_transport(config, Box::new(transport))
+    }
+
+    /// Shards on local threads behind Unix-socket pairs: the full wire
+    /// protocol without OS processes (useful for tests and for exercising
+    /// the socket path on one machine).
+    pub fn local_socket(config: ShardConfig) -> Result<Self, GzError> {
+        let (transport, workers) = spawn_local_socket_workers(&config)?;
+        let mut system = Self::with_transport(config, Box::new(transport))?;
+        system.local_workers = workers;
+        Ok(system)
+    }
+
+    /// The general form: any transport whose shard count matches
+    /// `config.num_shards` (e.g. [`SocketTransport::connect_tcp`] to
+    /// worker processes).
+    pub fn with_transport(
+        config: ShardConfig,
+        transport: Box<dyn ShardTransport>,
+    ) -> Result<Self, GzError> {
+        config.validate()?;
+        if transport.num_shards() != config.num_shards {
+            return Err(GzError::InvalidConfig(format!(
+                "transport has {} shards, config wants {}",
+                transport.num_shards(),
+                config.num_shards
+            )));
+        }
+        let params = Arc::new(config.params());
+        let router = ShardRouter::new(
+            config.num_nodes,
+            config.num_shards,
+            config.router_capacity,
+            params.node_sketch_bytes(),
+        );
+        Ok(ShardedGraphZeppelin {
+            params,
+            router,
+            transport,
+            local_workers: Vec::new(),
+            num_nodes: config.num_nodes,
+            updates: 0,
+            shut_down: false,
+        })
+    }
+
+    /// Number of shards.
+    pub fn num_shards(&self) -> u32 {
+        self.transport.num_shards()
+    }
+
+    /// The shard owning vertex `v`.
+    pub fn shard_of(&self, v: u32) -> u32 {
+        self.router.shard_of(v)
+    }
+
+    /// Route one stream update through the batching router: at most two
+    /// shards are (eventually) contacted, and neither needs to know about
+    /// the other.
+    pub fn update(&mut self, u: u32, v: u32, is_delete: bool) -> Result<(), GzError> {
+        assert!(u != v, "self-loop");
+        assert!((u as u64) < self.num_nodes && (v as u64) < self.num_nodes, "vertex out of range");
+        let transport = &mut self.transport;
+        self.router.route_update(u, v, is_delete, &mut |shard, batch| {
+            transport.send_batch(shard, batch)
+        })?;
+        self.updates += 1;
+        Ok(())
+    }
+
+    /// Ingest a whole stream of `(u, v, is_delete)` updates.
+    pub fn ingest(
+        &mut self,
+        updates: impl IntoIterator<Item = (u32, u32, bool)>,
+    ) -> Result<(), GzError> {
+        for (u, v, d) in updates {
+            self.update(u, v, d)?;
+        }
+        Ok(())
+    }
+
+    /// Drain the router and make every batch visible in the shards'
+    /// sketches (the distributed `cleanup()`).
+    pub fn flush(&mut self) -> Result<(), GzError> {
+        let transport = &mut self.transport;
+        self.router.flush(&mut |shard, batch| transport.send_batch(shard, batch))?;
+        self.transport.flush()
+    }
+
+    /// Gather every node's serialized sketch at the coordinator, indexed by
+    /// node id. Bit-identical to a single-node system's
+    /// [`crate::GraphZeppelin::snapshot_serialized`] on the same stream.
+    pub fn gather_serialized(&mut self) -> Result<Vec<Vec<u8>>, GzError> {
+        self.flush()?;
+        let mut all: Vec<Option<Vec<u8>>> = vec![None; self.num_nodes as usize];
+        for entry in self.transport.gather()? {
+            let slot = all.get_mut(entry.node as usize).ok_or_else(|| {
+                GzError::Protocol(format!("gathered sketch for out-of-range node {}", entry.node))
+            })?;
+            if slot.replace(entry.bytes).is_some() {
+                return Err(GzError::Protocol(format!(
+                    "node {} gathered from two shards",
+                    entry.node
+                )));
+            }
+        }
+        all.into_iter()
+            .enumerate()
+            .map(|(node, bytes)| {
+                bytes.ok_or_else(|| {
+                    GzError::Protocol(format!("no shard gathered a sketch for node {node}"))
+                })
+            })
+            .collect()
+    }
+
+    /// Gather and deserialize all shards' sketches.
+    fn gather(&mut self) -> Result<Vec<Option<CubeNodeSketch>>, GzError> {
+        let params = Arc::clone(&self.params);
+        Ok(self
+            .gather_serialized()?
+            .into_iter()
+            .map(|bytes| Some(params.deserialize_node_sketch(&bytes)))
+            .collect())
+    }
+
+    /// Query a spanning forest: gather + ordinary Boruvka.
+    pub fn spanning_forest(&mut self) -> Result<BoruvkaOutcome, GzError> {
+        let sketches = self.gather()?;
+        boruvka_spanning_forest(sketches, self.num_nodes, self.params.rounds())
+    }
+
+    /// Component labels.
+    pub fn connected_components(&mut self) -> Result<Vec<u32>, GzError> {
+        Ok(self.spanning_forest()?.labels)
+    }
+
+    /// Updates routed so far.
+    pub fn updates_ingested(&self) -> u64 {
+        self.updates
+    }
+
+    /// Node-keyed batches shipped to shards so far (the inter-shard message
+    /// count — the quantity batching minimizes).
+    pub fn batches_shipped(&self) -> u64 {
+        self.router.batches_emitted()
+    }
+
+    /// Shut down: stop the shards and join any local worker threads.
+    /// Surfaces worker errors, unlike the best-effort drop.
+    pub fn shutdown(mut self) -> Result<(), GzError> {
+        self.shutdown_inner()?;
+        for handle in std::mem::take(&mut self.local_workers) {
+            handle.join().expect("shard worker panicked")?;
+        }
+        Ok(())
+    }
+
+    fn shutdown_inner(&mut self) -> Result<(), GzError> {
+        if self.shut_down {
+            return Ok(());
+        }
+        self.shut_down = true;
+        self.transport.shutdown()
+    }
+}
+
+impl Drop for ShardedGraphZeppelin {
+    fn drop(&mut self) {
+        let _ = self.shutdown_inner();
+        for handle in std::mem::take(&mut self.local_workers) {
+            let _ = handle.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::GzConfig;
+    use crate::system::GraphZeppelin;
+
+    fn demo_updates(n: u32, count: usize, seed: u64) -> Vec<(u32, u32, bool)> {
+        use rand::rngs::SmallRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut present = std::collections::HashSet::new();
+        let mut out = Vec::new();
+        while out.len() < count {
+            let a = rng.gen_range(0..n);
+            let b = rng.gen_range(0..n);
+            if a == b {
+                continue;
+            }
+            let key = (a.min(b), a.max(b));
+            if present.remove(&key) {
+                out.push((a, b, true));
+            } else {
+                present.insert(key);
+                out.push((a, b, false));
+            }
+        }
+        out
+    }
+
+    fn single_node_labels(n: u64, seed: u64, updates: &[(u32, u32, bool)]) -> Vec<u32> {
+        let mut config = GzConfig::in_ram(n);
+        config.seed = seed;
+        let mut single = GraphZeppelin::new(config).unwrap();
+        for &(u, v, d) in updates {
+            single.update(u, v, d);
+        }
+        single.connected_components().unwrap().labels().to_vec()
+    }
+
+    #[test]
+    fn sharded_matches_single_node_system() {
+        let n = 64u32;
+        let updates = demo_updates(n, 500, 1);
+        let seed = 99;
+
+        let mut sharded = ShardedGraphZeppelin::new(n as u64, 4, seed).unwrap();
+        sharded.ingest(updates.iter().copied()).unwrap();
+        assert_eq!(
+            sharded.connected_components().unwrap(),
+            single_node_labels(n as u64, seed, &updates)
+        );
+    }
+
+    #[test]
+    fn sharded_sketch_state_is_bit_identical_to_single_node() {
+        let n = 48u64;
+        let updates = demo_updates(n as u32, 400, 2);
+        let seed = 0x5EED_1E55; // ShardConfig::in_ram default
+
+        let mut sharded = ShardedGraphZeppelin::in_process(ShardConfig::in_ram(n, 3)).unwrap();
+        sharded.ingest(updates.iter().copied()).unwrap();
+        let gathered = sharded.gather_serialized().unwrap();
+
+        let mut single = GraphZeppelin::new(GzConfig::in_ram(n)).unwrap();
+        assert_eq!(single.config().seed, seed, "defaults must stay aligned");
+        for &(u, v, d) in &updates {
+            single.update(u, v, d);
+        }
+        assert_eq!(gathered, single.snapshot_serialized(), "gathered state must be bit-identical");
+    }
+
+    #[test]
+    fn local_socket_transport_matches_in_process() {
+        let n = 40u64;
+        let updates = demo_updates(n as u32, 300, 3);
+
+        let mut in_proc = ShardedGraphZeppelin::in_process(ShardConfig::in_ram(n, 3)).unwrap();
+        in_proc.ingest(updates.iter().copied()).unwrap();
+        let a = in_proc.gather_serialized().unwrap();
+
+        let mut socket = ShardedGraphZeppelin::local_socket(ShardConfig::in_ram(n, 3)).unwrap();
+        socket.ingest(updates.iter().copied()).unwrap();
+        let b = socket.gather_serialized().unwrap();
+
+        assert_eq!(a, b);
+        socket.shutdown().unwrap();
+    }
+
+    #[test]
+    fn shard_count_does_not_change_answers() {
+        let n = 40u32;
+        let updates = demo_updates(n, 300, 3);
+        let mut labels = Vec::new();
+        for shards in [1u32, 2, 7] {
+            let mut sys = ShardedGraphZeppelin::new(n as u64, shards, 5).unwrap();
+            sys.ingest(updates.iter().copied()).unwrap();
+            labels.push(sys.connected_components().unwrap());
+        }
+        assert_eq!(labels[0], labels[1]);
+        assert_eq!(labels[1], labels[2]);
+    }
+
+    #[test]
+    fn batching_ships_fewer_messages_than_updates() {
+        let n = 32u32;
+        let updates = demo_updates(n, 2000, 7);
+        let mut sys = ShardedGraphZeppelin::new(n as u64, 4, 5).unwrap();
+        sys.ingest(updates.iter().copied()).unwrap();
+        sys.flush().unwrap();
+        let shipped = sys.batches_shipped();
+        assert!(shipped > 0);
+        assert!(
+            shipped < updates.len() as u64,
+            "batching must ship fewer messages ({shipped}) than updates ({})",
+            updates.len()
+        );
+    }
+
+    #[test]
+    fn queries_are_repeatable_and_ingestion_continues() {
+        let mut sys = ShardedGraphZeppelin::new(16, 2, 1).unwrap();
+        sys.update(0, 1, false).unwrap();
+        let a = sys.connected_components().unwrap();
+        let b = sys.connected_components().unwrap();
+        assert_eq!(a, b);
+        sys.update(1, 2, false).unwrap();
+        let c = sys.connected_components().unwrap();
+        assert_eq!(c[0], c[2]);
+    }
+
+    #[test]
+    fn each_update_touches_at_most_two_shards() {
+        let sys = ShardedGraphZeppelin::new(100, 5, 1).unwrap();
+        for (u, v) in [(0u32, 1u32), (5, 10), (99, 3)] {
+            let touched: std::collections::HashSet<u32> =
+                [sys.shard_of(u), sys.shard_of(v)].into_iter().collect();
+            assert!(touched.len() <= 2);
+        }
+    }
+
+    #[test]
+    fn rejects_degenerate_configs() {
+        assert!(ShardedGraphZeppelin::new(1, 2, 0).is_err());
+        assert!(ShardedGraphZeppelin::new(10, 0, 0).is_err());
+        let mut bad = ShardConfig::in_ram(10, 2);
+        bad.workers_per_shard = 0;
+        assert!(ShardedGraphZeppelin::in_process(bad).is_err());
+    }
+
+    #[test]
+    fn params_digest_separates_configs() {
+        let base = ShardConfig::in_ram(64, 4);
+        let mut other_seed = base.clone();
+        other_seed.seed ^= 1;
+        let mut other_shards = base.clone();
+        other_shards.num_shards = 5;
+        assert_eq!(base.params_digest(), base.clone().params_digest());
+        assert_ne!(base.params_digest(), other_seed.params_digest());
+        assert_ne!(base.params_digest(), other_shards.params_digest());
+    }
+
+    #[test]
+    fn more_shards_than_nodes_still_answers() {
+        // Shards with empty residue classes simply gather nothing.
+        let mut sys = ShardedGraphZeppelin::new(3, 7, 1).unwrap();
+        sys.update(0, 1, false).unwrap();
+        let labels = sys.connected_components().unwrap();
+        assert_eq!(labels[0], labels[1]);
+        assert_ne!(labels[0], labels[2]);
+    }
+}

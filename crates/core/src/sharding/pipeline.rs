@@ -1,0 +1,212 @@
+//! The per-shard ingestion pipeline.
+//!
+//! A shard is no longer a bare store: like the single-node system it runs a
+//! work queue drained by a [`WorkerPool`] into a pluggable [`SketchStore`]
+//! (RAM or disk), so a shard machine gets the same batch-level parallelism
+//! and storage flexibility as a stand-alone deployment. The store covers
+//! only the shard's residue class — sketch memory is
+//! `owned_nodes × node_sketch_bytes`, not `V × node_sketch_bytes`.
+
+use crate::config::StoreBackend;
+use crate::error::GzError;
+use crate::ingest::WorkerPool;
+use crate::node_sketch::SketchParams;
+use crate::sharding::ShardConfig;
+use crate::store::{disk::DiskStore, ram::RamStore, NodeSet, SketchStore};
+use gz_gutters::{Batch, WorkQueue};
+use gz_stream::wire::SketchEntry;
+use std::sync::Arc;
+
+/// One shard: queue → Graph Workers → owned-nodes sketch store.
+pub struct ShardPipeline {
+    index: u32,
+    num_shards: u32,
+    params: Arc<SketchParams>,
+    store: Arc<SketchStore>,
+    queue: Arc<WorkQueue>,
+    workers: Option<WorkerPool>,
+}
+
+impl ShardPipeline {
+    /// Build shard `index` of `config.num_shards`.
+    pub fn new(config: &ShardConfig, index: u32) -> Result<Self, GzError> {
+        config.validate()?;
+        if index >= config.num_shards {
+            return Err(GzError::InvalidConfig(format!(
+                "shard index {index} out of range for {} shards",
+                config.num_shards
+            )));
+        }
+        let params = Arc::new(config.params());
+        let owned = NodeSet::strided(config.num_nodes, index, config.num_shards);
+        let store = match &config.store {
+            StoreBackend::Ram => Arc::new(SketchStore::Ram(RamStore::for_nodes(
+                Arc::clone(&params),
+                config.locking,
+                owned,
+            ))),
+            StoreBackend::Disk { dir, block_bytes, cache_groups } => {
+                let path = dir.join(format!(
+                    "gz_shard{index}_sketches_{}_{}.bin",
+                    std::process::id(),
+                    config.seed
+                ));
+                Arc::new(SketchStore::Disk(DiskStore::for_nodes(
+                    Arc::clone(&params),
+                    owned,
+                    path,
+                    *block_bytes,
+                    *cache_groups,
+                )?))
+            }
+        };
+        let queue = Arc::new(WorkQueue::for_workers(config.workers_per_shard));
+        let workers =
+            WorkerPool::spawn(config.workers_per_shard, 1, Arc::clone(&queue), Arc::clone(&store));
+        Ok(ShardPipeline {
+            index,
+            num_shards: config.num_shards,
+            params,
+            store,
+            queue,
+            workers: Some(workers),
+        })
+    }
+
+    /// This shard's index.
+    pub fn index(&self) -> u32 {
+        self.index
+    }
+
+    /// True if this shard owns vertex `v`.
+    #[inline]
+    pub fn owns(&self, v: u32) -> bool {
+        v % self.num_shards == self.index
+    }
+
+    /// Shared sketch parameters.
+    pub fn params(&self) -> &Arc<SketchParams> {
+        &self.params
+    }
+
+    /// Enqueue a node-keyed batch for the Graph Workers; `node` must be
+    /// owned by this shard.
+    pub fn enqueue(&self, node: u32, records: Vec<u32>) -> Result<(), GzError> {
+        if !self.owns(node) {
+            return Err(GzError::Protocol(format!(
+                "batch for node {node} routed to shard {}/{} (owner is {})",
+                self.index,
+                self.num_shards,
+                node % self.num_shards
+            )));
+        }
+        self.queue.push(Batch { node, others: records });
+        Ok(())
+    }
+
+    /// Block until every enqueued batch has been applied to the sketches.
+    pub fn flush(&self) {
+        self.queue.wait_idle();
+    }
+
+    /// Flush, then serialize every owned node's sketch — the payload of a
+    /// `Sketches` wire reply. Serialization is deterministic, which is what
+    /// makes the sharded system's gathered state *bit-identical* to a
+    /// single-node system fed the same stream.
+    pub fn gather_serialized(&self) -> Vec<SketchEntry> {
+        self.flush();
+        self.store
+            .snapshot_owned()
+            .into_iter()
+            .map(|(node, sketch)| {
+                let mut bytes = Vec::with_capacity(self.params.node_sketch_serialized_bytes());
+                self.params.serialize_node_sketch(&sketch, &mut bytes);
+                SketchEntry { node, bytes }
+            })
+            .collect()
+    }
+
+    /// Sketch payload bytes held by this shard (owned nodes only).
+    pub fn sketch_bytes(&self) -> usize {
+        self.store.sketch_bytes()
+    }
+
+    fn shutdown_inner(&mut self) {
+        self.queue.close();
+        if let Some(workers) = self.workers.take() {
+            workers.join();
+        }
+    }
+}
+
+impl Drop for ShardPipeline {
+    fn drop(&mut self) {
+        self.shutdown_inner();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node_sketch::encode_other;
+
+    #[test]
+    fn pipeline_applies_batches_to_owned_nodes() {
+        let config = ShardConfig::in_ram(16, 4);
+        let shard = ShardPipeline::new(&config, 1).unwrap();
+        shard.enqueue(5, vec![encode_other(2, false)]).unwrap();
+        shard.enqueue(9, vec![encode_other(5, false)]).unwrap();
+        let entries = shard.gather_serialized();
+        // Shard 1 of 4 over 16 nodes owns {1, 5, 9, 13}.
+        assert_eq!(entries.iter().map(|e| e.node).collect::<Vec<u32>>(), vec![1, 5, 9, 13]);
+        // Touched nodes' sketches are nonzero; untouched remain all-zero.
+        let by_node: std::collections::HashMap<u32, &SketchEntry> =
+            entries.iter().map(|e| (e.node, e)).collect();
+        assert!(by_node[&5].bytes.iter().any(|&b| b != 0));
+        assert!(by_node[&13].bytes.iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn rejects_misrouted_batches_and_bad_indices() {
+        let config = ShardConfig::in_ram(16, 4);
+        let shard = ShardPipeline::new(&config, 1).unwrap();
+        assert!(matches!(
+            shard.enqueue(2, vec![encode_other(3, false)]),
+            Err(GzError::Protocol(_))
+        ));
+        assert!(ShardPipeline::new(&config, 4).is_err());
+    }
+
+    #[test]
+    fn footprint_is_owned_nodes_only() {
+        // The satellite fix: a shard must NOT allocate sketch stacks for the
+        // full vertex range. Four shards over 64 nodes must together use
+        // exactly one system's worth of sketch memory (16 nodes each).
+        let config = ShardConfig::in_ram(64, 4);
+        let params = config.params();
+        let per_node = params.node_sketch_bytes();
+        let shards: Vec<ShardPipeline> =
+            (0..4).map(|i| ShardPipeline::new(&config, i).unwrap()).collect();
+        for shard in &shards {
+            assert_eq!(shard.sketch_bytes(), per_node * 16);
+        }
+        let total: usize = shards.iter().map(|s| s.sketch_bytes()).sum();
+        assert_eq!(total, per_node * 64, "shards together hold one universe");
+    }
+
+    #[test]
+    fn disk_backed_shard_pipeline_works() {
+        let dir = gz_testutil::TempDir::new("gz-shard-disk");
+        let mut config = ShardConfig::in_ram(16, 2);
+        config.store = StoreBackend::Disk {
+            dir: dir.path().to_path_buf(),
+            block_bytes: 4096,
+            cache_groups: 2,
+        };
+        let shard = ShardPipeline::new(&config, 0).unwrap();
+        shard.enqueue(4, vec![encode_other(1, false)]).unwrap();
+        let entries = shard.gather_serialized();
+        assert_eq!(entries.len(), 8);
+        assert!(entries.iter().find(|e| e.node == 4).unwrap().bytes.iter().any(|&b| b != 0));
+    }
+}

@@ -1,0 +1,247 @@
+//! The shard router: inter-shard batching at the coordinator.
+//!
+//! The old sharded path forwarded every stream update to its destination
+//! shard individually — exactly the per-update routing that *Exploring the
+//! Landscape of Distributed Graph Sketching* shows erases the distributed
+//! win (a message per update costs more than the sketch work it carries).
+//! The router instead reuses the gutter machinery from `gz_gutters`: one
+//! [`BufferingSystem`] per destination shard accumulates records per graph
+//! node and emits node-keyed [`Batch`]es, which the transport ships as
+//! single `Batch{node, records}` frames.
+//!
+//! Each shard's lane indexes its gutters by *local* node index
+//! (`node / num_shards`, dense within the shard's residue class) so the
+//! router's memory is one gutter per graph node **total**, not per shard —
+//! the same owned-nodes-only discipline the shard stores follow.
+
+use crate::config::GutterCapacity;
+use crate::error::GzError;
+use crate::store::NodeSet;
+use gz_gutters::{Batch, BufferingSystem, LeafGutters, WorkQueue};
+use std::sync::Arc;
+
+/// Per-destination-shard buffering lane: leaf gutters (local node indexing)
+/// plus the staging queue they emit into. The queue is drained inline after
+/// every insert, so it stays near-empty; it exists because the gutter
+/// machinery speaks `WorkQueue`, and reusing it keeps the batching code
+/// identical to the single-node ingest path.
+struct Lane {
+    gutters: LeafGutters,
+    queue: Arc<WorkQueue>,
+    owned: NodeSet,
+}
+
+/// Routes stream updates to destination shards in node-keyed batches.
+pub struct ShardRouter {
+    lanes: Vec<Lane>,
+    num_shards: u32,
+    batches_emitted: u64,
+}
+
+impl ShardRouter {
+    /// A router for `num_shards` shards over a `num_nodes` universe, with
+    /// per-node gutters holding `capacity` records (resolved against
+    /// `node_sketch_bytes`, the paper's gutter-sizing rule).
+    pub fn new(
+        num_nodes: u64,
+        num_shards: u32,
+        capacity: GutterCapacity,
+        node_sketch_bytes: usize,
+    ) -> Self {
+        assert!(num_shards > 0, "need at least one shard");
+        let cap = capacity.resolve(node_sketch_bytes);
+        let lanes = (0..num_shards)
+            .map(|s| {
+                let owned = NodeSet::strided(num_nodes, s, num_shards);
+                // Small queue: inserts emit at most one batch before the
+                // inline drain, and flushes drain per node.
+                let queue = Arc::new(WorkQueue::with_capacity(8));
+                let gutters = LeafGutters::new(owned.len(), cap, Arc::clone(&queue));
+                Lane { gutters, queue, owned }
+            })
+            .collect();
+        ShardRouter { lanes, num_shards, batches_emitted: 0 }
+    }
+
+    /// The shard owning vertex `v`.
+    #[inline]
+    pub fn shard_of(&self, v: u32) -> u32 {
+        v % self.num_shards
+    }
+
+    /// Number of shards routed to.
+    pub fn num_shards(&self) -> u32 {
+        self.num_shards
+    }
+
+    /// Buffer one encoded record bound for `dst`; full gutters emit through
+    /// `send(shard, batch)`.
+    pub fn insert(
+        &mut self,
+        dst: u32,
+        record: u32,
+        send: &mut impl FnMut(u32, Batch) -> Result<(), GzError>,
+    ) -> Result<(), GzError> {
+        let shard = self.shard_of(dst);
+        let lane = &mut self.lanes[shard as usize];
+        lane.gutters.insert(lane.owned.slot(dst) as u32, record);
+        self.drain(shard, send)
+    }
+
+    /// Route one stream update `(u, v, is_delete)`: both endpoint records
+    /// are buffered toward their owners (at most two shards involved).
+    pub fn route_update(
+        &mut self,
+        u: u32,
+        v: u32,
+        is_delete: bool,
+        send: &mut impl FnMut(u32, Batch) -> Result<(), GzError>,
+    ) -> Result<(), GzError> {
+        self.insert(u, crate::node_sketch::encode_other(v, is_delete), send)?;
+        self.insert(v, crate::node_sketch::encode_other(u, is_delete), send)
+    }
+
+    /// Emit every buffered record (the start of query processing). Gutters
+    /// are flushed node-by-node with interleaved drains, so the staging
+    /// queues never grow past one batch.
+    pub fn flush(
+        &mut self,
+        send: &mut impl FnMut(u32, Batch) -> Result<(), GzError>,
+    ) -> Result<(), GzError> {
+        for shard in 0..self.num_shards {
+            for local in 0..self.lanes[shard as usize].gutters.num_nodes() as u32 {
+                self.lanes[shard as usize].gutters.flush_node(local);
+                self.drain(shard, send)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Records buffered and not yet emitted.
+    pub fn buffered_len(&self) -> usize {
+        self.lanes.iter().map(|l| l.gutters.buffered_len()).sum()
+    }
+
+    /// Batches emitted to transports so far.
+    pub fn batches_emitted(&self) -> u64 {
+        self.batches_emitted
+    }
+
+    /// Forward everything a lane's gutters emitted, translating the lane's
+    /// local node indices back to graph node ids.
+    fn drain(
+        &mut self,
+        shard: u32,
+        send: &mut impl FnMut(u32, Batch) -> Result<(), GzError>,
+    ) -> Result<(), GzError> {
+        let lane = &mut self.lanes[shard as usize];
+        let mut result = Ok(());
+        let mut emitted = 0u64;
+        lane.queue.drain_with(|batch| {
+            emitted += 1;
+            if result.is_ok() {
+                let node = lane.owned.node(batch.node as usize);
+                result = send(shard, Batch { node, others: batch.others });
+            }
+        });
+        self.batches_emitted += emitted;
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node_sketch::{decode_other, encode_other};
+    use std::collections::HashMap;
+
+    /// Collects emitted batches per shard, checking the routing contract.
+    fn collect(
+        num_nodes: u64,
+        num_shards: u32,
+        cap: usize,
+        updates: &[(u32, u32, bool)],
+    ) -> HashMap<u32, Vec<Batch>> {
+        let mut router = ShardRouter::new(num_nodes, num_shards, GutterCapacity::Updates(cap), 0);
+        let mut out: HashMap<u32, Vec<Batch>> = HashMap::new();
+        let mut send = |shard: u32, batch: Batch| {
+            out.entry(shard).or_default().push(batch);
+            Ok(())
+        };
+        for &(u, v, d) in updates {
+            router.route_update(u, v, d, &mut send).unwrap();
+        }
+        router.flush(&mut send).unwrap();
+        assert_eq!(router.buffered_len(), 0);
+        out
+    }
+
+    #[test]
+    fn batches_are_node_keyed_and_owner_routed() {
+        let updates: Vec<(u32, u32, bool)> =
+            (0..50).map(|i| (i % 10, (i + 3) % 10, false)).filter(|&(a, b, _)| a != b).collect();
+        let per_shard = collect(10, 3, 4, &updates);
+        for (&shard, batches) in &per_shard {
+            for b in batches {
+                assert_eq!(b.node % 3, shard, "batch for node {} on shard {shard}", b.node);
+                assert!(!b.others.is_empty());
+                assert!(b.others.len() <= 4, "batches bounded by gutter capacity");
+            }
+        }
+    }
+
+    #[test]
+    fn every_record_is_delivered_exactly_once() {
+        let updates: Vec<(u32, u32, bool)> =
+            (0..200u32).map(|i| (i % 16, (i * 7 + 1) % 16, i % 3 == 0)).collect();
+        let valid: Vec<_> = updates.into_iter().filter(|&(a, b, _)| a != b).collect();
+        let per_shard = collect(16, 4, 5, &valid);
+
+        // Reconstruct the delivered multiset of (dst, other, is_delete).
+        let mut delivered: Vec<(u32, u32, bool)> = Vec::new();
+        for batches in per_shard.values() {
+            for b in batches {
+                for &rec in &b.others {
+                    let (other, d) = decode_other(rec);
+                    delivered.push((b.node, other, d));
+                }
+            }
+        }
+        let mut expected: Vec<(u32, u32, bool)> =
+            valid.iter().flat_map(|&(u, v, d)| [(u, v, d), (v, u, d)]).collect();
+        delivered.sort_unstable();
+        expected.sort_unstable();
+        assert_eq!(delivered, expected);
+    }
+
+    #[test]
+    fn batching_reduces_messages() {
+        let updates: Vec<(u32, u32, bool)> =
+            (0..300u32).map(|i| (i % 8, (i + 1) % 8, false)).filter(|&(a, b, _)| a != b).collect();
+        let batched = collect(8, 2, 50, &updates);
+        let unbatched = collect(8, 2, 1, &updates);
+        let count = |m: &HashMap<u32, Vec<Batch>>| m.values().map(Vec::len).sum::<usize>();
+        assert!(
+            count(&batched) * 10 <= count(&unbatched),
+            "batched {} vs unbatched {}",
+            count(&batched),
+            count(&unbatched)
+        );
+    }
+
+    #[test]
+    fn send_errors_propagate() {
+        let mut router = ShardRouter::new(8, 2, GutterCapacity::Updates(1), 0);
+        let mut send = |_s: u32, _b: Batch| Err(GzError::Protocol("link down".into()));
+        let err = router.insert(3, encode_other(1, false), &mut send);
+        assert!(matches!(err, Err(GzError::Protocol(_))));
+    }
+
+    #[test]
+    fn single_shard_router_degenerates_to_leaf_gutters() {
+        let updates: Vec<(u32, u32, bool)> = vec![(0, 1, false), (1, 2, false), (2, 0, false)];
+        let per_shard = collect(4, 1, 100, &updates);
+        assert_eq!(per_shard.len(), 1);
+        assert!(per_shard.contains_key(&0));
+    }
+}

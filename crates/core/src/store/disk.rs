@@ -9,6 +9,7 @@
 //! hybrid-model I/O claims instead of relying on cgroup-forced swap.
 
 use crate::node_sketch::{CubeNodeSketch, SketchParams};
+use crate::store::NodeSet;
 use gz_gutters::IoStats;
 use parking_lot::Mutex;
 use std::fs::File;
@@ -28,8 +29,13 @@ struct CacheState {
 }
 
 /// Sketches in a file, node-group layout, bounded LRU cache.
+///
+/// Like [`super::ram::RamStore`], the store may hold the whole vertex set or
+/// only a shard's residue class; the file is laid out over dense *slots* of
+/// the [`NodeSet`], so a shard's file is sized to its owned nodes.
 pub struct DiskStore {
     params: Arc<SketchParams>,
+    node_set: NodeSet,
     file: File,
     path: PathBuf,
     /// Nodes per group.
@@ -52,10 +58,24 @@ impl DiskStore {
         block_bytes: usize,
         cache_groups: usize,
     ) -> std::io::Result<Self> {
+        let node_set = NodeSet::all(params.num_nodes);
+        Self::for_nodes(params, node_set, path, block_bytes, cache_groups)
+    }
+
+    /// Create a store over the nodes of `node_set` only (a shard's residue
+    /// class); the backing file holds one slot per owned node.
+    pub fn for_nodes(
+        params: Arc<SketchParams>,
+        node_set: NodeSet,
+        path: PathBuf,
+        block_bytes: usize,
+        cache_groups: usize,
+    ) -> std::io::Result<Self> {
         let node_bytes = params.node_sketch_serialized_bytes();
+        let num_slots = node_set.len() as u64;
         let group_size =
-            ((block_bytes / node_bytes.max(1)).max(1) as u64).min(params.num_nodes).max(1) as u32;
-        let num_groups = (params.num_nodes as u32).div_ceil(group_size);
+            ((block_bytes / node_bytes.max(1)).max(1) as u64).min(num_slots.max(1)).max(1) as u32;
+        let num_groups = (num_slots as u32).div_ceil(group_size);
 
         let file = std::fs::OpenOptions::new()
             .read(true)
@@ -67,6 +87,7 @@ impl DiskStore {
 
         Ok(DiskStore {
             params,
+            node_set,
             file,
             path,
             group_size,
@@ -92,8 +113,13 @@ impl DiskStore {
         self.group_size
     }
 
-    fn group_of(&self, node: u32) -> u32 {
-        node / self.group_size
+    /// The vertex set this store holds sketches for.
+    pub fn node_set(&self) -> NodeSet {
+        self.node_set
+    }
+
+    fn group_of_slot(&self, slot: usize) -> u32 {
+        slot as u32 / self.group_size
     }
 
     fn group_offset(&self, group: u32) -> u64 {
@@ -102,7 +128,7 @@ impl DiskStore {
 
     fn nodes_in_group(&self, group: u32) -> u32 {
         let start = group * self.group_size;
-        (self.params.num_nodes as u32 - start).min(self.group_size)
+        (self.node_set.len() as u32 - start).min(self.group_size)
     }
 
     fn load_group(&self, group: u32) -> std::io::Result<Vec<CubeNodeSketch>> {
@@ -163,10 +189,11 @@ impl DiskStore {
         Ok(f(&mut entry.sketches))
     }
 
-    /// Apply a batch of encoded records to `node`.
+    /// Apply a batch of encoded records to `node` (which must be owned).
     pub fn apply_batch(&self, node: u32, records: &[u32]) {
-        let group = self.group_of(node);
-        let local = (node % self.group_size) as usize;
+        let slot = self.node_set.slot(node);
+        let group = self.group_of_slot(slot);
+        let local = slot % self.group_size as usize;
         let num_nodes = self.params.num_nodes;
         self.with_group(group, |sketches| {
             super::apply_records(&mut sketches[local], node, records, num_nodes);
@@ -186,11 +213,12 @@ impl DiskStore {
         Ok(())
     }
 
-    /// Clone out every node sketch (a full scan through the cache, counting
-    /// the reads — the paper's "single scan" query prologue, Lemma 5).
+    /// Clone out every owned node sketch, indexed by slot (a full scan
+    /// through the cache, counting the reads — the paper's "single scan"
+    /// query prologue, Lemma 5).
     pub fn snapshot(&self) -> Vec<Option<CubeNodeSketch>> {
-        let num_groups = (self.params.num_nodes as u32).div_ceil(self.group_size);
-        let mut out = Vec::with_capacity(self.params.num_nodes as usize);
+        let num_groups = (self.node_set.len() as u32).div_ceil(self.group_size);
+        let mut out = Vec::with_capacity(self.node_set.len());
         for group in 0..num_groups {
             let sketches =
                 self.with_group(group, |s| s.clone()).expect("disk store snapshot read failed");
@@ -201,12 +229,21 @@ impl DiskStore {
         out
     }
 
-    /// Replace every node sketch (checkpoint restore).
+    /// Clone out every owned node sketch as `(node, sketch)` pairs.
+    pub fn snapshot_owned(&self) -> Vec<(u32, CubeNodeSketch)> {
+        self.snapshot()
+            .into_iter()
+            .enumerate()
+            .map(|(slot, s)| (self.node_set.node(slot), s.expect("snapshot holds every slot")))
+            .collect()
+    }
+
+    /// Replace every node sketch (checkpoint restore), in slot order.
     pub fn load_all(&self, sketches: Vec<CubeNodeSketch>) {
-        assert_eq!(sketches.len() as u64, self.params.num_nodes);
-        for (node, sketch) in sketches.into_iter().enumerate() {
-            let group = self.group_of(node as u32);
-            let local = (node as u32 % self.group_size) as usize;
+        assert_eq!(sketches.len(), self.node_set.len());
+        for (slot, sketch) in sketches.into_iter().enumerate() {
+            let group = self.group_of_slot(slot);
+            let local = slot % self.group_size as usize;
             self.with_group(group, |group_sketches| {
                 group_sketches[local] = sketch;
             })
@@ -214,9 +251,9 @@ impl DiskStore {
         }
     }
 
-    /// Total sketch payload bytes (the on-disk footprint).
+    /// Total sketch payload bytes (the on-disk footprint, owned nodes only).
     pub fn sketch_bytes(&self) -> usize {
-        self.params.node_sketch_bytes() * self.params.num_nodes as usize
+        self.params.node_sketch_bytes() * self.node_set.len()
     }
 }
 
@@ -319,6 +356,28 @@ mod tests {
             ops_after_first,
             "warm-cache batches must not touch disk"
         );
+    }
+
+    #[test]
+    fn strided_store_covers_owned_slots_only() {
+        let params = Arc::new(SketchParams::new(20, 3, 7, 7));
+        let per_node = params.node_sketch_bytes();
+        let path = tmp("strided");
+        let shard = DiskStore::for_nodes(
+            Arc::clone(&params),
+            NodeSet::strided(20, 2, 4),
+            path.to_path_buf(),
+            256,
+            2,
+        )
+        .unwrap();
+        // Shard 2 of 4 over 20 nodes owns {2, 6, 10, 14, 18}.
+        assert_eq!(shard.sketch_bytes(), per_node * 5);
+        shard.apply_batch(6, &[encode_other(1, false)]);
+        let owned = shard.snapshot_owned();
+        assert_eq!(owned.iter().map(|(n, _)| *n).collect::<Vec<u32>>(), vec![2, 6, 10, 14, 18]);
+        let (_, sketch) = owned.into_iter().find(|(n, _)| *n == 6).unwrap();
+        assert_eq!(sketch.sample_round(0), SampleResult::Index(update_index(6, 1, 20)));
     }
 
     #[test]

@@ -21,6 +21,74 @@ use crate::node_sketch::{CubeNodeSketch, SketchParams};
 use gz_gutters::IoStats;
 use std::sync::Arc;
 
+/// The set of vertices a store holds sketches for, with a dense slot
+/// numbering.
+///
+/// A single-node system stores every vertex ([`NodeSet::all`]); a shard
+/// stores only its residue class (`owner(v) = v % num_shards`,
+/// [`NodeSet::strided`]). Slots are dense — slot `i` holds node
+/// `offset + i·stride` — so a shard's sketch footprint scales with the
+/// number of *owned* vertices, not the universe size.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NodeSet {
+    /// First owned node (a shard's index).
+    offset: u32,
+    /// Distance between consecutive owned nodes (the shard count; 1 = all).
+    stride: u32,
+    /// Vertex universe size.
+    num_nodes: u64,
+}
+
+impl NodeSet {
+    /// Every vertex of a `num_nodes` universe.
+    pub fn all(num_nodes: u64) -> Self {
+        NodeSet { offset: 0, stride: 1, num_nodes }
+    }
+
+    /// The residue class `{v : v ≡ offset (mod stride)}` of a `num_nodes`
+    /// universe — shard `offset` of `stride` shards.
+    pub fn strided(num_nodes: u64, offset: u32, stride: u32) -> Self {
+        assert!(stride > 0, "stride must be positive");
+        assert!(offset < stride, "offset must be a residue modulo stride");
+        NodeSet { offset, stride, num_nodes }
+    }
+
+    /// Number of owned nodes (= store slots).
+    pub fn len(&self) -> usize {
+        let above = self.num_nodes.saturating_sub(self.offset as u64);
+        above.div_ceil(self.stride as u64) as usize
+    }
+
+    /// True if the set owns no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// True if this set owns `node`.
+    #[inline]
+    pub fn contains(&self, node: u32) -> bool {
+        (node as u64) < self.num_nodes && node % self.stride == self.offset
+    }
+
+    /// Dense slot of an owned `node`.
+    #[inline]
+    pub fn slot(&self, node: u32) -> usize {
+        debug_assert!(self.contains(node), "node {node} not owned by {self:?}");
+        ((node - self.offset) / self.stride) as usize
+    }
+
+    /// Node stored in `slot`.
+    #[inline]
+    pub fn node(&self, slot: usize) -> u32 {
+        self.offset + slot as u32 * self.stride
+    }
+
+    /// Owned nodes in slot order.
+    pub fn iter(&self) -> impl Iterator<Item = u32> + '_ {
+        (0..self.len()).map(|s| self.node(s))
+    }
+}
+
 /// A store of per-vertex node sketches, shared across Graph Workers.
 pub enum SketchStore {
     /// In-RAM store.
@@ -62,6 +130,23 @@ impl SketchStore {
         match self {
             SketchStore::Ram(s) => s.snapshot(),
             SketchStore::Disk(s) => s.snapshot(),
+        }
+    }
+
+    /// Clone out the owned nodes' sketches as `(node, sketch)` pairs — the
+    /// gather unit a shard ships to the query coordinator.
+    pub fn snapshot_owned(&self) -> Vec<(u32, CubeNodeSketch)> {
+        match self {
+            SketchStore::Ram(s) => s.snapshot_owned(),
+            SketchStore::Disk(s) => s.snapshot_owned(),
+        }
+    }
+
+    /// The vertex set this store holds sketches for.
+    pub fn node_set(&self) -> NodeSet {
+        match self {
+            SketchStore::Ram(s) => s.node_set(),
+            SketchStore::Disk(s) => s.node_set(),
         }
     }
 
@@ -115,5 +200,50 @@ pub(crate) fn apply_records(
         let idx = crate::node_sketch::update_index(node, other, num_nodes);
         // Z_2: insert and delete are the same toggle.
         sketch.update_signed(idx, 1);
+    }
+}
+
+#[cfg(test)]
+mod node_set_tests {
+    use super::NodeSet;
+
+    #[test]
+    fn all_covers_every_node_densely() {
+        let s = NodeSet::all(10);
+        assert_eq!(s.len(), 10);
+        for v in 0..10u32 {
+            assert!(s.contains(v));
+            assert_eq!(s.slot(v), v as usize);
+            assert_eq!(s.node(v as usize), v);
+        }
+        assert!(!s.contains(10));
+    }
+
+    #[test]
+    fn strided_is_the_residue_class() {
+        // 10 nodes, 3 shards: shard 1 owns {1, 4, 7}.
+        let s = NodeSet::strided(10, 1, 3);
+        assert_eq!(s.iter().collect::<Vec<u32>>(), vec![1, 4, 7]);
+        assert_eq!(s.len(), 3);
+        assert!(s.contains(4) && !s.contains(5) && !s.contains(10));
+        assert_eq!(s.slot(7), 2);
+        assert_eq!(s.node(2), 7);
+    }
+
+    #[test]
+    fn strided_lengths_partition_the_universe() {
+        for n in [1u64, 2, 7, 64, 100] {
+            for k in [1u32, 2, 3, 7, 16] {
+                let total: usize = (0..k).map(|i| NodeSet::strided(n, i, k).len()).sum();
+                assert_eq!(total as u64, n, "n={n} k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn more_shards_than_nodes_leaves_empty_sets() {
+        let s = NodeSet::strided(2, 3, 5);
+        assert!(s.is_empty());
+        assert_eq!(s.iter().count(), 0);
     }
 }

@@ -10,12 +10,18 @@
 
 use crate::config::LockingStrategy;
 use crate::node_sketch::{CubeNodeSketch, SketchParams};
+use crate::store::NodeSet;
 use parking_lot::Mutex;
 use std::sync::Arc;
 
-/// All node sketches in memory, one lock per node.
+/// Node sketches in memory, one lock per owned node.
+///
+/// The store may cover the whole vertex set (a single-node system) or just
+/// one residue class (a shard): slots are dense over the [`NodeSet`], so a
+/// shard allocates sketches only for the vertices it owns.
 pub struct RamStore {
     params: Arc<SketchParams>,
+    node_set: NodeSet,
     nodes: Vec<Mutex<CubeNodeSketch>>,
     locking: LockingStrategy,
     /// Reusable scratch sketches for the delta-sketch discipline: workers
@@ -27,8 +33,21 @@ pub struct RamStore {
 impl RamStore {
     /// Allocate fresh (all-zero) sketches for every node.
     pub fn new(params: Arc<SketchParams>, locking: LockingStrategy) -> Self {
-        let nodes = (0..params.num_nodes).map(|_| Mutex::new(params.new_node_sketch())).collect();
-        RamStore { params, nodes, locking, scratch_pool: Mutex::new(Vec::new()) }
+        let node_set = NodeSet::all(params.num_nodes);
+        Self::for_nodes(params, locking, node_set)
+    }
+
+    /// Allocate fresh sketches for the nodes of `node_set` only (a shard's
+    /// residue class). Sketches still hash over the *full* characteristic
+    /// vector — ownership restricts which vertices live here, not the edge
+    /// universe.
+    pub fn for_nodes(
+        params: Arc<SketchParams>,
+        locking: LockingStrategy,
+        node_set: NodeSet,
+    ) -> Self {
+        let nodes = (0..node_set.len()).map(|_| Mutex::new(params.new_node_sketch())).collect();
+        RamStore { params, node_set, nodes, locking, scratch_pool: Mutex::new(Vec::new()) }
     }
 
     /// Shared sketch parameters.
@@ -36,11 +55,17 @@ impl RamStore {
         &self.params
     }
 
-    /// Apply a batch of encoded records to `node`.
+    /// The vertex set this store holds sketches for.
+    pub fn node_set(&self) -> NodeSet {
+        self.node_set
+    }
+
+    /// Apply a batch of encoded records to `node` (which must be owned).
     pub fn apply_batch(&self, node: u32, records: &[u32]) {
+        let slot = self.node_set.slot(node);
         match self.locking {
             LockingStrategy::Direct => {
-                let mut sketch = self.nodes[node as usize].lock();
+                let mut sketch = self.nodes[slot].lock();
                 super::apply_records(&mut sketch, node, records, self.params.num_nodes);
             }
             LockingStrategy::DeltaSketch => {
@@ -49,7 +74,7 @@ impl RamStore {
                 // Build the delta without holding the node's lock…
                 super::apply_records(&mut scratch, node, records, self.params.num_nodes);
                 // …lock only for the XOR-merge…
-                self.nodes[node as usize].lock().merge(&scratch);
+                self.nodes[slot].lock().merge(&scratch);
                 // …and recycle the scratch.
                 scratch.clear_all();
                 self.scratch_pool.lock().push(scratch);
@@ -61,15 +86,24 @@ impl RamStore {
     /// entry point for the sketch-level-parallel path in [`crate::ingest`],
     /// which constructs the delta across a thread group first.
     pub fn merge_delta(&self, node: u32, delta: &CubeNodeSketch) {
-        self.nodes[node as usize].lock().merge(delta);
+        self.nodes[self.node_set.slot(node)].lock().merge(delta);
     }
 
-    /// Clone out every node sketch.
+    /// Clone out every owned node sketch, indexed by slot.
     pub fn snapshot(&self) -> Vec<Option<CubeNodeSketch>> {
         self.nodes.iter().map(|m| Some(m.lock().clone())).collect()
     }
 
-    /// Replace every node sketch (checkpoint restore).
+    /// Clone out every owned node sketch as `(node, sketch)` pairs.
+    pub fn snapshot_owned(&self) -> Vec<(u32, CubeNodeSketch)> {
+        self.nodes
+            .iter()
+            .enumerate()
+            .map(|(slot, m)| (self.node_set.node(slot), m.lock().clone()))
+            .collect()
+    }
+
+    /// Replace every node sketch (checkpoint restore), in slot order.
     pub fn load_all(&self, sketches: Vec<CubeNodeSketch>) {
         assert_eq!(sketches.len(), self.nodes.len());
         for (slot, sketch) in self.nodes.iter().zip(sketches) {
@@ -77,7 +111,7 @@ impl RamStore {
         }
     }
 
-    /// Total sketch payload bytes.
+    /// Total sketch payload bytes (owned nodes only).
     pub fn sketch_bytes(&self) -> usize {
         self.params.node_sketch_bytes() * self.nodes.len()
     }
@@ -172,5 +206,41 @@ mod tests {
         let per_node = params.node_sketch_bytes();
         let s = RamStore::new(params, LockingStrategy::Direct);
         assert_eq!(s.sketch_bytes(), per_node * 32);
+    }
+
+    #[test]
+    fn strided_store_matches_full_store_on_owned_nodes() {
+        let params = Arc::new(SketchParams::new(32, 4, 7, 99));
+        let full = RamStore::new(Arc::clone(&params), LockingStrategy::DeltaSketch);
+        let shard = RamStore::for_nodes(
+            Arc::clone(&params),
+            LockingStrategy::DeltaSketch,
+            NodeSet::strided(32, 1, 4),
+        );
+        // Apply the same owned-node batches to both.
+        for node in [1u32, 5, 9, 29] {
+            let records = [encode_other((node + 2) % 32, false), encode_other(0, false)];
+            full.apply_batch(node, &records);
+            shard.apply_batch(node, &records);
+        }
+        let full_snap = full.snapshot();
+        for (node, sketch) in shard.snapshot_owned() {
+            let reference = full_snap[node as usize].as_ref().unwrap();
+            for r in 0..sketch.num_rounds() {
+                assert_eq!(sketch.sample_round(r), reference.sample_round(r), "node {node}");
+            }
+        }
+    }
+
+    #[test]
+    fn strided_store_allocates_owned_nodes_only() {
+        let params = Arc::new(SketchParams::new(64, 4, 7, 1));
+        let per_node = params.node_sketch_bytes();
+        let shard = RamStore::for_nodes(
+            Arc::clone(&params),
+            LockingStrategy::Direct,
+            NodeSet::strided(64, 3, 4),
+        );
+        assert_eq!(shard.sketch_bytes(), per_node * 16, "16 of 64 nodes owned");
     }
 }

@@ -227,6 +227,25 @@ impl GraphZeppelin {
         &self.params
     }
 
+    /// Flush, then serialize every node's sketch (indexed by node id).
+    /// Serialization is a pure function of the ingested update multiset, so
+    /// any two deployments fed the same stream — whatever their buffering,
+    /// store, worker count, or sharding — produce bit-identical output;
+    /// the equivalence suite and the multi-process sharding demo compare
+    /// against this.
+    pub fn snapshot_serialized(&mut self) -> Vec<Vec<u8>> {
+        self.flush();
+        let params = Arc::clone(&self.params);
+        self.snapshot_sketches()
+            .iter()
+            .map(|sketch| {
+                let mut bytes = Vec::with_capacity(params.node_sketch_serialized_bytes());
+                params.serialize_node_sketch(sketch, &mut bytes);
+                bytes
+            })
+            .collect()
+    }
+
     /// Owned copies of all node sketches (checkpointing). Callers should
     /// [`Self::flush`] first so buffered updates are included.
     pub(crate) fn snapshot_sketches(&self) -> Vec<crate::node_sketch::CubeNodeSketch> {

@@ -57,6 +57,20 @@ impl LeafGutters {
         self.emitted_batches
     }
 
+    /// Number of nodes this gutter set covers.
+    pub fn num_nodes(&self) -> usize {
+        self.gutters.len()
+    }
+
+    /// Emit one node's gutter (if nonempty) regardless of fill level — the
+    /// incremental form of [`BufferingSystem::force_flush`]. A single-thread
+    /// consumer (the shard router) interleaves `flush_node` with queue
+    /// drains, so the staging queue never has to hold more than one node's
+    /// batch at a time.
+    pub fn flush_node(&mut self, node: u32) {
+        self.emit(node);
+    }
+
     fn emit(&mut self, node: u32) {
         let gutter = &mut self.gutters[node as usize];
         if gutter.is_empty() {
@@ -142,6 +156,22 @@ mod tests {
         assert_eq!(g.buffered_len(), 0);
         // Second flush is a no-op.
         g.force_flush();
+        assert!(q.try_pop().is_none());
+    }
+
+    #[test]
+    fn flush_node_emits_one_partial_gutter() {
+        let (mut g, q) = setup(4, 100);
+        g.insert(2, 7);
+        g.insert(2, 8);
+        g.insert(1, 9);
+        g.flush_node(2);
+        let b = q.try_pop().unwrap();
+        assert_eq!((b.node, b.others), (2, vec![7, 8]));
+        assert!(q.try_pop().is_none(), "other gutters untouched");
+        assert_eq!(g.buffered_len(), 1);
+        // Flushing an empty gutter emits nothing.
+        g.flush_node(2);
         assert!(q.try_pop().is_none());
     }
 

@@ -127,6 +127,20 @@ impl WorkQueue {
         }
     }
 
+    /// Drain every currently queued batch through `f`, acknowledging each —
+    /// the single-threaded consumer pattern used by the shard router, which
+    /// buffers through a queue and forwards batches inline rather than from
+    /// worker threads. Returns the number of batches drained.
+    pub fn drain_with(&self, mut f: impl FnMut(Batch)) -> usize {
+        let mut drained = 0;
+        while let Some(batch) = self.try_pop() {
+            f(batch);
+            self.task_done();
+            drained += 1;
+        }
+        drained
+    }
+
     /// Non-blocking pop.
     pub fn try_pop(&self) -> Option<Batch> {
         let mut inner = self.inner.lock();
@@ -280,6 +294,20 @@ mod tests {
         q.wait_idle();
         assert_eq!(q.outstanding(), 0);
         assert_eq!(worker.join().unwrap(), 10);
+    }
+
+    #[test]
+    fn drain_with_empties_and_acknowledges() {
+        let q = WorkQueue::with_capacity(8);
+        for i in 0..5 {
+            q.push(batch(i));
+        }
+        assert_eq!(q.outstanding(), 5);
+        let mut got = Vec::new();
+        assert_eq!(q.drain_with(|b| got.push(b.node)), 5);
+        assert_eq!(got, vec![0, 1, 2, 3, 4]);
+        assert_eq!(q.outstanding(), 0, "drained batches must be acknowledged");
+        assert_eq!(q.drain_with(|_| panic!("queue is empty")), 0);
     }
 
     #[test]

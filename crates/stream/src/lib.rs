@@ -16,6 +16,8 @@
 //! - [`format`] — binary on-disk stream format with buffered readers/writers.
 //! - [`catalog`] — the named datasets of Figure 10 (plus scaled-down
 //!   variants used by tests and the default benchmark scale).
+//! - [`wire`] — the framed, versioned coordinator ↔ shard-worker protocol
+//!   (the §8 cluster outlook made concrete).
 
 pub mod catalog;
 pub mod format;
@@ -24,7 +26,9 @@ pub mod kronecker;
 pub mod preferential;
 pub mod streamify;
 pub mod update;
+pub mod wire;
 
 pub use catalog::{Dataset, GeneratorSpec};
 pub use streamify::{streamify, StreamifyConfig};
 pub use update::{EdgeUpdate, UpdateKind};
+pub use wire::{SketchEntry, WireMessage, PROTOCOL_VERSION};

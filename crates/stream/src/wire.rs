@@ -1,0 +1,431 @@
+//! The shard wire protocol: framed, versioned messages between the
+//! coordinator and its shard workers.
+//!
+//! The paper's §8 outlook — partitioning sketches "throughout a distributed
+//! cluster without sacrificing stream ingestion rate" — only holds when the
+//! coordinator ships *batches*, not individual updates (per-update routing
+//! pays a round trip per stream element; see *Exploring the Landscape of
+//! Distributed Graph Sketching*). This module defines the messages that
+//! cross the coordinator/shard boundary; it is deliberately sketch-agnostic
+//! (gathered sketches travel as opaque bytes) so the transport layer never
+//! depends on sketch internals.
+//!
+//! Frame layout (little-endian):
+//!
+//! ```text
+//! magic   [u8; 2] = b"GZ"
+//! version u8      = 1
+//! tag     u8      — message discriminant
+//! len     u32     — payload length in bytes
+//! payload len bytes
+//! ```
+//!
+//! The protocol is strictly request/reply from the coordinator's side:
+//! `Hello` expects `HelloAck`, `Flush` expects `FlushAck`, `GatherSketches`
+//! expects `Sketches`; `Batch` and `Shutdown` are one-way.
+
+use std::io::{self, Read, Write};
+
+/// Frame magic.
+pub const WIRE_MAGIC: [u8; 2] = *b"GZ";
+
+/// Protocol version carried in every frame. Bump on any layout change.
+pub const PROTOCOL_VERSION: u8 = 1;
+
+/// Upper bound on a frame payload (defensive: a corrupt length header must
+/// not trigger a multi-gigabyte allocation).
+pub const MAX_PAYLOAD_BYTES: usize = 1 << 28;
+
+const TAG_HELLO: u8 = 1;
+const TAG_HELLO_ACK: u8 = 2;
+const TAG_BATCH: u8 = 3;
+const TAG_FLUSH: u8 = 4;
+const TAG_FLUSH_ACK: u8 = 5;
+const TAG_GATHER: u8 = 6;
+const TAG_SKETCHES: u8 = 7;
+const TAG_SHUTDOWN: u8 = 8;
+
+/// One serialized node sketch, as gathered from a shard: the owning node id
+/// plus the sketch's serialized bytes (opaque at this layer).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SketchEntry {
+    /// Graph node the sketch belongs to.
+    pub node: u32,
+    /// Serialized sketch payload.
+    pub bytes: Vec<u8>,
+}
+
+/// A message of the coordinator ↔ shard-worker protocol.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireMessage {
+    /// Coordinator → worker: opening handshake. `params_digest` commits to
+    /// the sketch parameters (universe size, rounds, columns, seed, shard
+    /// count); a worker built from different parameters must refuse, since
+    /// its sketches would not be mergeable with the other shards'.
+    Hello {
+        /// Digest of the shared sketch parameters.
+        params_digest: u64,
+    },
+    /// Worker → coordinator: handshake accepted; echoes the digest.
+    HelloAck {
+        /// The worker's own parameter digest.
+        params_digest: u64,
+    },
+    /// Coordinator → worker: a node-keyed batch of encoded update records —
+    /// the unit of inter-shard communication.
+    Batch {
+        /// Destination node (owned by the receiving shard).
+        node: u32,
+        /// Encoded `(other, is_delete)` records (see `encode_other`).
+        records: Vec<u32>,
+    },
+    /// Coordinator → worker: apply everything received so far, then reply
+    /// [`WireMessage::FlushAck`].
+    Flush,
+    /// Worker → coordinator: all prior batches are in the sketches.
+    FlushAck,
+    /// Coordinator → worker: flush, then reply [`WireMessage::Sketches`]
+    /// with every owned node's serialized sketch.
+    GatherSketches,
+    /// Worker → coordinator: the shard's sketch state.
+    Sketches {
+        /// One entry per owned node.
+        entries: Vec<SketchEntry>,
+    },
+    /// Coordinator → worker: close the connection; the worker exits its
+    /// event loop.
+    Shutdown,
+}
+
+fn invalid(msg: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.into())
+}
+
+impl WireMessage {
+    fn tag(&self) -> u8 {
+        match self {
+            WireMessage::Hello { .. } => TAG_HELLO,
+            WireMessage::HelloAck { .. } => TAG_HELLO_ACK,
+            WireMessage::Batch { .. } => TAG_BATCH,
+            WireMessage::Flush => TAG_FLUSH,
+            WireMessage::FlushAck => TAG_FLUSH_ACK,
+            WireMessage::GatherSketches => TAG_GATHER,
+            WireMessage::Sketches { .. } => TAG_SKETCHES,
+            WireMessage::Shutdown => TAG_SHUTDOWN,
+        }
+    }
+
+    /// Exact payload size in bytes, computed without encoding — lets
+    /// [`Self::write_to`] refuse oversized frames before building them.
+    fn payload_len(&self) -> usize {
+        match self {
+            WireMessage::Hello { .. } | WireMessage::HelloAck { .. } => 8,
+            WireMessage::Batch { records, .. } => 8 + 4 * records.len(),
+            WireMessage::Sketches { entries } => {
+                4 + entries.iter().map(|e| 8 + e.bytes.len()).sum::<usize>()
+            }
+            WireMessage::Flush
+            | WireMessage::FlushAck
+            | WireMessage::GatherSketches
+            | WireMessage::Shutdown => 0,
+        }
+    }
+
+    fn encode_payload(&self, out: &mut Vec<u8>) {
+        match self {
+            WireMessage::Hello { params_digest } | WireMessage::HelloAck { params_digest } => {
+                out.extend_from_slice(&params_digest.to_le_bytes());
+            }
+            WireMessage::Batch { node, records } => {
+                out.extend_from_slice(&node.to_le_bytes());
+                out.extend_from_slice(&(records.len() as u32).to_le_bytes());
+                for r in records {
+                    out.extend_from_slice(&r.to_le_bytes());
+                }
+            }
+            WireMessage::Sketches { entries } => {
+                out.extend_from_slice(&(entries.len() as u32).to_le_bytes());
+                for e in entries {
+                    out.extend_from_slice(&e.node.to_le_bytes());
+                    out.extend_from_slice(&(e.bytes.len() as u32).to_le_bytes());
+                    out.extend_from_slice(&e.bytes);
+                }
+            }
+            WireMessage::Flush
+            | WireMessage::FlushAck
+            | WireMessage::GatherSketches
+            | WireMessage::Shutdown => {}
+        }
+    }
+
+    /// Serialize the message as one frame into `w`. A message is written
+    /// with a single `write_all` so transports need no additional buffering
+    /// to avoid per-field syscalls.
+    ///
+    /// A payload over [`MAX_PAYLOAD_BYTES`] is refused *before* anything is
+    /// written: the peer would reject it anyway, and past `u32::MAX` the
+    /// length header would silently truncate and desynchronize the stream.
+    /// (Gathers from universes big enough to hit the cap need a chunked
+    /// `Sketches` reply — not implemented yet.)
+    pub fn write_to<W: Write>(&self, w: &mut W) -> io::Result<()> {
+        let payload_len = self.payload_len();
+        if payload_len > MAX_PAYLOAD_BYTES {
+            return Err(invalid(format!(
+                "{} payload of {payload_len} bytes exceeds the frame cap",
+                self.name()
+            )));
+        }
+        let mut frame = Vec::with_capacity(8 + payload_len);
+        frame.extend_from_slice(&WIRE_MAGIC);
+        frame.push(PROTOCOL_VERSION);
+        frame.push(self.tag());
+        frame.extend_from_slice(&(payload_len as u32).to_le_bytes());
+        self.encode_payload(&mut frame);
+        debug_assert_eq!(frame.len(), 8 + payload_len);
+        w.write_all(&frame)
+    }
+
+    /// Read one frame from `r` and decode it. Returns `InvalidData` on a
+    /// bad magic, unsupported version, unknown tag, oversized payload, or a
+    /// payload that does not parse exactly.
+    pub fn read_from<R: Read>(r: &mut R) -> io::Result<WireMessage> {
+        let mut header = [0u8; 8];
+        r.read_exact(&mut header)?;
+        if header[0..2] != WIRE_MAGIC {
+            return Err(invalid("bad wire magic"));
+        }
+        if header[2] != PROTOCOL_VERSION {
+            return Err(invalid(format!(
+                "protocol version mismatch: got {}, want {PROTOCOL_VERSION}",
+                header[2]
+            )));
+        }
+        let tag = header[3];
+        let len = u32::from_le_bytes(header[4..8].try_into().unwrap()) as usize;
+        if len > MAX_PAYLOAD_BYTES {
+            return Err(invalid(format!("payload of {len} bytes exceeds the frame cap")));
+        }
+        let mut payload = vec![0u8; len];
+        r.read_exact(&mut payload)?;
+        Self::decode(tag, &payload)
+    }
+
+    fn decode(tag: u8, payload: &[u8]) -> io::Result<WireMessage> {
+        let mut cur = Cursor { bytes: payload, at: 0 };
+        let msg = match tag {
+            TAG_HELLO => WireMessage::Hello { params_digest: cur.u64()? },
+            TAG_HELLO_ACK => WireMessage::HelloAck { params_digest: cur.u64()? },
+            TAG_BATCH => {
+                let node = cur.u32()?;
+                let count = cur.u32()? as usize;
+                if count > payload.len() / 4 {
+                    return Err(invalid("batch record count exceeds payload"));
+                }
+                let records = (0..count).map(|_| cur.u32()).collect::<io::Result<Vec<u32>>>()?;
+                WireMessage::Batch { node, records }
+            }
+            TAG_FLUSH => WireMessage::Flush,
+            TAG_FLUSH_ACK => WireMessage::FlushAck,
+            TAG_GATHER => WireMessage::GatherSketches,
+            TAG_SKETCHES => {
+                let count = cur.u32()? as usize;
+                if count > payload.len() / 8 {
+                    return Err(invalid("sketch entry count exceeds payload"));
+                }
+                let mut entries = Vec::with_capacity(count);
+                for _ in 0..count {
+                    let node = cur.u32()?;
+                    let len = cur.u32()? as usize;
+                    entries.push(SketchEntry { node, bytes: cur.take(len)?.to_vec() });
+                }
+                WireMessage::Sketches { entries }
+            }
+            TAG_SHUTDOWN => WireMessage::Shutdown,
+            other => return Err(invalid(format!("unknown message tag {other}"))),
+        };
+        if cur.at != payload.len() {
+            return Err(invalid("trailing bytes after message payload"));
+        }
+        Ok(msg)
+    }
+
+    /// Human-readable message name (for protocol-error diagnostics).
+    pub fn name(&self) -> &'static str {
+        match self {
+            WireMessage::Hello { .. } => "Hello",
+            WireMessage::HelloAck { .. } => "HelloAck",
+            WireMessage::Batch { .. } => "Batch",
+            WireMessage::Flush => "Flush",
+            WireMessage::FlushAck => "FlushAck",
+            WireMessage::GatherSketches => "GatherSketches",
+            WireMessage::Sketches { .. } => "Sketches",
+            WireMessage::Shutdown => "Shutdown",
+        }
+    }
+}
+
+/// Minimal bounds-checked reader over a payload slice.
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize) -> io::Result<&'a [u8]> {
+        let end = self.at.checked_add(n).filter(|&e| e <= self.bytes.len());
+        match end {
+            Some(end) => {
+                let s = &self.bytes[self.at..end];
+                self.at = end;
+                Ok(s)
+            }
+            None => Err(invalid("truncated message payload")),
+        }
+    }
+
+    fn u32(&mut self) -> io::Result<u32> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> io::Result<u64> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(msg: WireMessage) -> WireMessage {
+        let mut buf = Vec::new();
+        msg.write_to(&mut buf).unwrap();
+        let mut r = &buf[..];
+        let got = WireMessage::read_from(&mut r).unwrap();
+        assert!(r.is_empty(), "frame must consume exactly");
+        got
+    }
+
+    #[test]
+    fn all_variants_round_trip() {
+        let msgs = vec![
+            WireMessage::Hello { params_digest: 0xDEAD_BEEF_0BAD_F00D },
+            WireMessage::HelloAck { params_digest: 7 },
+            WireMessage::Batch { node: 42, records: vec![1, 2, 3, u32::MAX] },
+            WireMessage::Batch { node: 0, records: vec![] },
+            WireMessage::Flush,
+            WireMessage::FlushAck,
+            WireMessage::GatherSketches,
+            WireMessage::Sketches {
+                entries: vec![
+                    SketchEntry { node: 3, bytes: vec![9, 8, 7] },
+                    SketchEntry { node: 10, bytes: vec![] },
+                ],
+            },
+            WireMessage::Shutdown,
+        ];
+        for msg in msgs {
+            assert_eq!(round_trip(msg.clone()), msg, "{}", msg.name());
+        }
+    }
+
+    #[test]
+    fn messages_stream_back_to_back() {
+        let mut buf = Vec::new();
+        WireMessage::Hello { params_digest: 1 }.write_to(&mut buf).unwrap();
+        WireMessage::Batch { node: 5, records: vec![6] }.write_to(&mut buf).unwrap();
+        WireMessage::Shutdown.write_to(&mut buf).unwrap();
+        let mut r = &buf[..];
+        assert_eq!(
+            WireMessage::read_from(&mut r).unwrap(),
+            WireMessage::Hello { params_digest: 1 }
+        );
+        assert_eq!(
+            WireMessage::read_from(&mut r).unwrap(),
+            WireMessage::Batch { node: 5, records: vec![6] }
+        );
+        assert_eq!(WireMessage::read_from(&mut r).unwrap(), WireMessage::Shutdown);
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn rejects_bad_magic_version_and_tag() {
+        let mut buf = Vec::new();
+        WireMessage::Flush.write_to(&mut buf).unwrap();
+
+        let mut bad_magic = buf.clone();
+        bad_magic[0] = b'X';
+        assert!(WireMessage::read_from(&mut &bad_magic[..]).is_err());
+
+        let mut bad_version = buf.clone();
+        bad_version[2] = PROTOCOL_VERSION + 1;
+        assert!(WireMessage::read_from(&mut &bad_version[..]).is_err());
+
+        let mut bad_tag = buf.clone();
+        bad_tag[3] = 200;
+        assert!(WireMessage::read_from(&mut &bad_tag[..]).is_err());
+    }
+
+    #[test]
+    fn rejects_truncated_and_oversized_frames() {
+        let mut buf = Vec::new();
+        WireMessage::Batch { node: 1, records: vec![2, 3] }.write_to(&mut buf).unwrap();
+        // Truncate mid-payload.
+        let cut = &buf[..buf.len() - 3];
+        assert!(WireMessage::read_from(&mut &cut[..]).is_err());
+
+        // A length header promising more than the cap must be refused
+        // before any allocation.
+        let mut huge = Vec::new();
+        huge.extend_from_slice(&WIRE_MAGIC);
+        huge.push(PROTOCOL_VERSION);
+        huge.push(4); // Flush
+        huge.extend_from_slice(&(u32::MAX).to_le_bytes());
+        assert!(WireMessage::read_from(&mut &huge[..]).is_err());
+    }
+
+    #[test]
+    fn rejects_trailing_garbage_in_payload() {
+        // A Flush frame with a nonempty payload is malformed.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&WIRE_MAGIC);
+        buf.push(PROTOCOL_VERSION);
+        buf.push(4);
+        buf.extend_from_slice(&2u32.to_le_bytes());
+        buf.extend_from_slice(&[0, 0]);
+        assert!(WireMessage::read_from(&mut &buf[..]).is_err());
+    }
+
+    #[test]
+    fn rejects_lying_counts() {
+        // Batch claiming 1000 records but carrying none.
+        let mut payload = Vec::new();
+        payload.extend_from_slice(&1u32.to_le_bytes()); // node
+        payload.extend_from_slice(&1000u32.to_le_bytes()); // count
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&WIRE_MAGIC);
+        buf.push(PROTOCOL_VERSION);
+        buf.push(3);
+        buf.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        buf.extend_from_slice(&payload);
+        assert!(WireMessage::read_from(&mut &buf[..]).is_err());
+    }
+
+    #[test]
+    fn refuses_to_write_oversized_frames() {
+        // A frame the reader would reject must never be sent (and a payload
+        // past u32::MAX must not silently truncate the length header).
+        let msg = WireMessage::Sketches {
+            entries: vec![SketchEntry { node: 0, bytes: vec![0u8; MAX_PAYLOAD_BYTES + 1] }],
+        };
+        let mut out = Vec::new();
+        assert!(msg.write_to(&mut out).is_err());
+        assert!(out.is_empty(), "nothing may reach the wire");
+    }
+
+    #[test]
+    fn empty_batch_is_legal() {
+        // The coordinator never sends these, but the codec must not choke.
+        let msg = round_trip(WireMessage::Batch { node: 9, records: vec![] });
+        assert_eq!(msg, WireMessage::Batch { node: 9, records: vec![] });
+    }
+}

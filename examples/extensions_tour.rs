@@ -57,19 +57,23 @@ fn main() {
     );
 
     // --- Sharded ingestion (cluster model) -------------------------------
+    // Updates flow through the batching router into four shard pipelines;
+    // `examples/multi_process_shards.rs` runs the same coordinator against
+    // worker OS processes over the socket transport.
     let mut sharded = ShardedGraphZeppelin::new(n, 4, 4).unwrap();
     let updates: Vec<(u32, u32, bool)> =
         (0..40u32).map(|i| (i % 32, (i * 7 + 1) % 32, false)).filter(|&(a, b, _)| a != b).collect();
-    sharded.ingest_parallel(&updates);
+    sharded.ingest(updates.iter().copied()).unwrap();
     println!(
-        "\nsharded across {} shards: {} components",
+        "\nsharded across {} shards: {} components ({} batches shipped)",
         sharded.num_shards(),
         sharded
             .connected_components()
             .unwrap()
             .iter()
             .collect::<std::collections::HashSet<_>>()
-            .len()
+            .len(),
+        sharded.batches_shipped(),
     );
 
     // --- Checkpoint / restore --------------------------------------------

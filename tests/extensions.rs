@@ -65,7 +65,7 @@ fn sharded_system_on_kron_stream_matches_single_node() {
 
     for upd in &stream.updates {
         let is_delete = upd.kind == UpdateKind::Delete;
-        sharded.update(upd.u, upd.v, is_delete);
+        sharded.update(upd.u, upd.v, is_delete).unwrap();
         single.update(upd.u, upd.v, is_delete);
     }
     assert_eq!(
