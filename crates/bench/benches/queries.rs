@@ -1,15 +1,25 @@
-//! Query-path benchmarks: sketch-space Boruvka (Figure 12c / 16's stopwatch).
+//! Query-path benchmarks: sketch-space Boruvka (Figure 12c / 16's stopwatch),
+//! plus the disk-backed snapshot-vs-streaming comparison at a pinned cache
+//! budget: bytes read off the store and peak resident sketch bytes per
+//! query mode.
+//!
+//! Set `GZ_BENCH_SMOKE=1` to run at tiny scale (the CI smoke mode).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use graph_zeppelin::{GraphZeppelin, GzConfig};
+use graph_zeppelin::{GraphZeppelin, GzConfig, StoreBackend};
 use gz_bench::harness::kron_workload;
 use gz_stream::UpdateKind;
 use std::time::Duration;
 
+fn smoke() -> bool {
+    std::env::var("GZ_BENCH_SMOKE").is_ok()
+}
+
 fn bench_connected_components(c: &mut Criterion) {
     let mut group = c.benchmark_group("gz_query");
     group.sample_size(10);
-    for scale in [7u32, 9] {
+    let scales: &[u32] = if smoke() { &[5] } else { &[7, 9] };
+    for &scale in scales {
         let w = kron_workload(scale, 3);
         let mut gz = GraphZeppelin::new(GzConfig::in_ram(w.num_nodes)).unwrap();
         for upd in &w.updates {
@@ -32,7 +42,7 @@ fn bench_spanning_forest_empty_vs_dense(c: &mut Criterion) {
         b.iter(|| empty.connected_components().unwrap().num_components())
     });
     // Dense graph: log V merge rounds.
-    let w = kron_workload(9, 4);
+    let w = kron_workload(if smoke() { 5 } else { 9 }, 4);
     let mut dense = GraphZeppelin::new(GzConfig::in_ram(w.num_nodes)).unwrap();
     for upd in &w.updates {
         dense.update(upd.u, upd.v, upd.kind == UpdateKind::Delete);
@@ -40,6 +50,67 @@ fn bench_spanning_forest_empty_vs_dense(c: &mut Criterion) {
     dense.flush();
     group.bench_function("dense", |b| {
         b.iter(|| dense.connected_components().unwrap().num_components())
+    });
+    group.finish();
+}
+
+/// The tentpole comparison: a disk-backed store at a pinned cache budget,
+/// queried in snapshot mode (materialize `V` full sketches) versus
+/// streaming mode (fold round slices with group prefetch). Reports wall
+/// time through criterion plus, one-shot, the bytes read off the store and
+/// the peak resident sketch bytes of each mode.
+fn bench_disk_query_modes(c: &mut Criterion) {
+    // Scale 5 is degenerate (streamify's default disconnects 32 nodes,
+    // which is all of kron5): stay at ≥ 6 so the query runs merge rounds.
+    let scale = if smoke() { 6 } else { 8 };
+    let cache_groups = 4; // the pinned RAM budget `M`, in node groups
+    let w = kron_workload(scale, 6);
+    let dir = gz_testutil::TempDir::new("gz-bench-diskq");
+    let mut config = GzConfig::in_ram(w.num_nodes);
+    config.store =
+        StoreBackend::Disk { dir: dir.path().to_path_buf(), block_bytes: 16 << 10, cache_groups };
+    let mut gz = GraphZeppelin::new(config).unwrap();
+    for upd in &w.updates {
+        gz.update(upd.u, upd.v, upd.kind == UpdateKind::Delete);
+    }
+    gz.flush();
+
+    // One-shot measured comparison of the I/O and memory profiles.
+    let io = gz.store_io().unwrap();
+    let before = io.bytes_read();
+    let snap = gz.spanning_forest_snapshot().unwrap();
+    let snap_read = io.bytes_read() - before;
+    let before = io.bytes_read();
+    let stream = gz.spanning_forest_streaming().unwrap();
+    let stream_read = io.bytes_read() - before;
+    assert_eq!(snap.labels, stream.labels, "query modes must agree bit-for-bit");
+    assert!(
+        stream_read < snap_read,
+        "streaming must read fewer bytes ({stream_read} vs {snap_read})"
+    );
+    assert!(
+        stream.peak_sketch_bytes < snap.peak_sketch_bytes,
+        "streaming must keep fewer sketch bytes resident ({} vs {})",
+        stream.peak_sketch_bytes,
+        snap.peak_sketch_bytes
+    );
+    println!(
+        "gz_query_disk/kron{scale} (cache {cache_groups} groups, {} store groups, \
+         {} rounds used): snapshot read {snap_read} B / peak resident {} B; \
+         streaming read {stream_read} B / peak resident {} B",
+        gz.store().num_groups(),
+        stream.rounds_used,
+        snap.peak_sketch_bytes,
+        stream.peak_sketch_bytes,
+    );
+
+    let mut group = c.benchmark_group("gz_query_disk");
+    group.sample_size(10);
+    group.bench_function("snapshot", |b| {
+        b.iter(|| gz.spanning_forest_snapshot().unwrap().num_components())
+    });
+    group.bench_function("streaming", |b| {
+        b.iter(|| gz.spanning_forest_streaming().unwrap().num_components())
     });
     group.finish();
 }
@@ -54,6 +125,7 @@ fn config() -> Criterion {
 criterion_group! {
     name = benches;
     config = config();
-    targets = bench_connected_components, bench_spanning_forest_empty_vs_dense
+    targets = bench_connected_components, bench_spanning_forest_empty_vs_dense,
+        bench_disk_query_modes
 }
 criterion_main!(benches);

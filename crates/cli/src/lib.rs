@@ -6,7 +6,10 @@
 //! gz info stream.gzs
 //! gz components stream.gzs [--workers 4] [--store ram|disk] \
 //!     [--buffering leaf|tree] [--dir /tmp/gzwork] [--forest] \
+//!     [--query-mode snapshot|streaming] \
 //!     [--shards K [--connect host:port,host:port,...]]
+//! gz checkpoint save ckpt.gzc --from stream.gzs [--workers 4] [--seed S]
+//! gz checkpoint restore ckpt.gzc [--forest] [--query-mode streaming]
 //! gz shard-worker --listen 127.0.0.1:7001 --nodes 1024 --shards 2 --index 0
 //! gz bipartite stream.gzs
 //! ```
@@ -16,7 +19,8 @@
 
 use graph_zeppelin::{
     serve_shard_connection, BipartitenessTester, BufferStrategy, GraphZeppelin, GutterCapacity,
-    GzConfig, ShardConfig, ShardPipeline, ShardedGraphZeppelin, SocketTransport, StoreBackend,
+    GzConfig, QueryMode, ShardConfig, ShardPipeline, ShardedGraphZeppelin, SocketTransport,
+    StoreBackend,
 };
 use gz_stream::format::{StreamReader, StreamWriter};
 use gz_stream::{Dataset, GeneratorSpec, StreamifyConfig, UpdateKind};
@@ -39,6 +43,16 @@ impl StoreArg {
             "disk" => Ok(StoreArg::Disk),
             other => Err(format!("unknown store {other} (want ram|disk)")),
         }
+    }
+}
+
+/// Parse a `--query-mode` value straight into the config type (the CLI
+/// needs no intermediate enum: snapshot/streaming map 1:1).
+fn parse_query_mode(s: &str) -> Result<QueryMode, String> {
+    match s {
+        "snapshot" => Ok(QueryMode::Snapshot),
+        "streaming" => Ok(QueryMode::Streaming),
+        other => Err(format!("unknown query mode {other} (want snapshot|streaming)")),
     }
 }
 
@@ -92,12 +106,35 @@ pub enum Command {
         dir: Option<PathBuf>,
         /// Also print the spanning forest.
         forest: bool,
+        /// How queries read sketches out of the store.
+        query_mode: QueryMode,
         /// Shard the system `k` ways (in-process unless `connect` names
         /// remote workers).
         shards: Option<u32>,
         /// `host:port` shard-worker addresses, one per shard in shard
         /// order; empty = in-process shards.
         connect: Vec<String>,
+    },
+    /// Ingest a stream, then persist the whole sketch state to a file.
+    CheckpointSave {
+        /// Stream file to ingest.
+        stream: PathBuf,
+        /// Checkpoint output path.
+        out: PathBuf,
+        /// Graph Workers for the ingesting system.
+        workers: usize,
+        /// Master seed (must match any system the checkpoint is later
+        /// merged or compared with).
+        seed: u64,
+    },
+    /// Restore a checkpoint and answer a connectivity query from it.
+    CheckpointRestore {
+        /// Checkpoint file.
+        path: PathBuf,
+        /// Also print the spanning forest.
+        forest: bool,
+        /// How the restored system reads sketches at query time.
+        query_mode: QueryMode,
     },
     /// Serve one shard over TCP: bind, accept one coordinator connection,
     /// run the shard-worker event loop until `Shutdown`.
@@ -179,8 +216,9 @@ fn parse_num<T: std::str::FromStr>(
 /// Parse a full argument vector (without argv[0]).
 pub fn parse_args(args: &[String]) -> Result<Command, String> {
     let mut it = args.iter();
-    let sub =
-        it.next().ok_or("missing subcommand (generate|info|components|shard-worker|bipartite)")?;
+    let sub = it
+        .next()
+        .ok_or("missing subcommand (generate|info|components|checkpoint|shard-worker|bipartite)")?;
     match sub.as_str() {
         "generate" => {
             let mut dataset = None;
@@ -228,6 +266,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
             let mut buffering = BufferingArg::Leaf;
             let mut dir = None;
             let mut forest = false;
+            let mut query_mode = QueryMode::Snapshot;
             let mut shards = None;
             let mut connect = Vec::new();
             while let Some(arg) = it.next() {
@@ -248,6 +287,11 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                         buffering = BufferingArg::Tree;
                     }
                     "--forest" => forest = true,
+                    "--query-mode" => {
+                        query_mode = parse_query_mode(
+                            it.next().ok_or("--query-mode needs snapshot|streaming")?,
+                        )?;
+                    }
                     "--shards" => shards = Some(parse_num(&mut it, "--shards")?),
                     "--connect" => {
                         let v = it.next().ok_or("--connect needs addr,addr,...")?;
@@ -266,9 +310,57 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                 buffering,
                 dir,
                 forest,
+                query_mode,
                 shards,
                 connect,
             })
+        }
+        "checkpoint" => {
+            let action = it.next().ok_or("checkpoint needs save|restore")?;
+            match action.as_str() {
+                "save" => {
+                    let out = PathBuf::from(it.next().ok_or("checkpoint save needs a path")?);
+                    let mut stream = None;
+                    let mut workers = 2usize;
+                    let mut seed = 0x5EED_1E55u64;
+                    while let Some(arg) = it.next() {
+                        match arg.as_str() {
+                            "--from" => {
+                                stream = Some(PathBuf::from(
+                                    it.next().ok_or("--from needs a stream file")?,
+                                ));
+                            }
+                            "--workers" => workers = parse_num(&mut it, "--workers")?,
+                            "--seed" => seed = parse_num(&mut it, "--seed")?,
+                            other => return Err(format!("unknown flag {other}")),
+                        }
+                    }
+                    Ok(Command::CheckpointSave {
+                        stream: stream.ok_or("need --from <stream.gzs>")?,
+                        out,
+                        workers,
+                        seed,
+                    })
+                }
+                "restore" => {
+                    let path = PathBuf::from(it.next().ok_or("checkpoint restore needs a path")?);
+                    let mut forest = false;
+                    let mut query_mode = QueryMode::Snapshot;
+                    while let Some(arg) = it.next() {
+                        match arg.as_str() {
+                            "--forest" => forest = true,
+                            "--query-mode" => {
+                                query_mode = parse_query_mode(
+                                    it.next().ok_or("--query-mode needs snapshot|streaming")?,
+                                )?;
+                            }
+                            other => return Err(format!("unknown flag {other}")),
+                        }
+                    }
+                    Ok(Command::CheckpointRestore { path, forest, query_mode })
+                }
+                other => Err(format!("unknown checkpoint action {other} (want save|restore)")),
+            }
         }
         "shard-worker" => {
             let mut listen = None;
@@ -335,10 +427,12 @@ fn build_config(
     store: StoreArg,
     buffering: BufferingArg,
     dir: &Option<PathBuf>,
+    query_mode: QueryMode,
 ) -> Result<GzConfig, String> {
     let mut config = GzConfig::in_ram(num_nodes);
     config.num_workers = workers.max(1);
     config.store = store_backend(store, dir)?;
+    config.query_mode = query_mode;
     config.buffering = match buffering {
         BufferingArg::Leaf => {
             BufferStrategy::LeafOnly { capacity: GutterCapacity::SketchFactor(0.5) }
@@ -384,6 +478,7 @@ fn components_sharded(
     buffering: BufferingArg,
     dir: &Option<PathBuf>,
     forest: bool,
+    query_mode: QueryMode,
     num_shards: u32,
     connect: &[String],
 ) -> Result<String, String> {
@@ -404,6 +499,7 @@ fn components_sharded(
     let mut config = ShardConfig::in_ram(header.num_vertices, num_shards);
     config.workers_per_shard = workers.max(1);
     config.store = store_backend(store, dir)?;
+    config.query_mode = query_mode;
 
     let mut gz = if connect.is_empty() {
         ShardedGraphZeppelin::in_process(config).map_err(|e| e.to_string())?
@@ -504,15 +600,27 @@ pub fn execute(cmd: Command) -> Result<String, String> {
                 final_edges.len(),
             ))
         }
-        Command::Components { path, workers, store, buffering, dir, forest, shards, connect } => {
+        Command::Components {
+            path,
+            workers,
+            store,
+            buffering,
+            dir,
+            forest,
+            query_mode,
+            shards,
+            connect,
+        } => {
             if let Some(num_shards) = shards {
                 return components_sharded(
-                    &path, workers, store, buffering, &dir, forest, num_shards, &connect,
+                    &path, workers, store, buffering, &dir, forest, query_mode, num_shards,
+                    &connect,
                 );
             }
             let mut reader = StreamReader::open(&path).map_err(|e| e.to_string())?;
             let header = reader.header();
-            let config = build_config(header.num_vertices, workers, store, buffering, &dir)?;
+            let config =
+                build_config(header.num_vertices, workers, store, buffering, &dir, query_mode)?;
             let mut gz = GraphZeppelin::new(config).map_err(|e| e.to_string())?;
             feed_stream(&mut reader, |u, v, d| {
                 gz.update(u, v, d);
@@ -524,6 +632,51 @@ pub fn execute(cmd: Command) -> Result<String, String> {
                 cc.num_components(),
                 header.num_vertices,
                 gz.updates_ingested(),
+            );
+            if forest {
+                for e in cc.spanning_forest() {
+                    out.push_str(&format!("{} {}\n", e.u(), e.v()));
+                }
+            }
+            Ok(out)
+        }
+        Command::CheckpointSave { stream, out, workers, seed } => {
+            let mut reader = StreamReader::open(&stream).map_err(|e| e.to_string())?;
+            let header = reader.header();
+            let mut config = GzConfig::in_ram(header.num_vertices);
+            config.num_workers = workers.max(1);
+            config.seed = seed;
+            let mut gz = GraphZeppelin::new(config).map_err(|e| e.to_string())?;
+            feed_stream(&mut reader, |u, v, d| {
+                gz.update(u, v, d);
+                Ok(())
+            })?;
+            let ckpt = gz.save_checkpoint(&out).map_err(|e| e.to_string())?;
+            Ok(format!(
+                "checkpoint {}: {} nodes, {} updates, {} rounds, seed {:#x}",
+                out.display(),
+                ckpt.num_nodes,
+                ckpt.updates_ingested,
+                ckpt.rounds,
+                ckpt.seed,
+            ))
+        }
+        Command::CheckpointRestore { path, forest, query_mode } => {
+            let header = GraphZeppelin::checkpoint_header(&path).map_err(|e| e.to_string())?;
+            let mut config = GzConfig::in_ram(header.num_nodes);
+            config.seed = header.seed;
+            config.num_rounds = Some(header.rounds);
+            config.num_columns = header.columns;
+            config.query_mode = query_mode;
+            let mut gz =
+                GraphZeppelin::restore_with_config(&path, config).map_err(|e| e.to_string())?;
+            let cc = gz.connected_components().map_err(|e| e.to_string())?;
+            let mut out = format!(
+                "{} components over {} nodes ({} updates restored from {})\n",
+                cc.num_components(),
+                header.num_nodes,
+                gz.updates_ingested(),
+                path.display(),
             );
             if forest {
                 for e in cc.spanning_forest() {
@@ -666,6 +819,124 @@ mod tests {
     }
 
     #[test]
+    fn parses_query_mode_flag() {
+        match parse_components("components s.gzs --query-mode streaming") {
+            Command::Components { query_mode, .. } => {
+                assert_eq!(query_mode, QueryMode::Streaming);
+            }
+            other => panic!("{other:?}"),
+        }
+        match parse_components("components s.gzs --query-mode snapshot --shards 2") {
+            Command::Components { query_mode, shards, .. } => {
+                assert_eq!(query_mode, QueryMode::Snapshot);
+                assert_eq!(shards, Some(2));
+            }
+            other => panic!("{other:?}"),
+        }
+        // Default is snapshot; bad values are refused.
+        match parse_components("components s.gzs") {
+            Command::Components { query_mode, .. } => {
+                assert_eq!(query_mode, QueryMode::Snapshot);
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(parse_args(&argv("components s.gzs --query-mode turbo")).is_err());
+    }
+
+    #[test]
+    fn parses_checkpoint_save_and_restore() {
+        assert_eq!(
+            parse_args(&argv("checkpoint save c.gzc --from s.gzs --workers 3 --seed 9")).unwrap(),
+            Command::CheckpointSave {
+                stream: PathBuf::from("s.gzs"),
+                out: PathBuf::from("c.gzc"),
+                workers: 3,
+                seed: 9,
+            }
+        );
+        assert_eq!(
+            parse_args(&argv("checkpoint restore c.gzc --forest --query-mode streaming")).unwrap(),
+            Command::CheckpointRestore {
+                path: PathBuf::from("c.gzc"),
+                forest: true,
+                query_mode: QueryMode::Streaming,
+            }
+        );
+        // Defaults.
+        assert!(matches!(
+            parse_args(&argv("checkpoint restore c.gzc")).unwrap(),
+            Command::CheckpointRestore { forest: false, query_mode: QueryMode::Snapshot, .. }
+        ));
+        // Malformed forms are refused.
+        assert!(parse_args(&argv("checkpoint")).is_err(), "missing action");
+        assert!(parse_args(&argv("checkpoint frobnicate c.gzc")).is_err());
+        assert!(parse_args(&argv("checkpoint save c.gzc")).is_err(), "missing --from");
+        assert!(parse_args(&argv("checkpoint save c.gzc --from s.gzs --seed nope")).is_err());
+        assert!(parse_args(&argv("checkpoint restore")).is_err(), "missing path");
+        assert!(parse_args(&argv("checkpoint restore c.gzc --bogus")).is_err());
+    }
+
+    #[test]
+    fn checkpoint_save_restore_round_trip() {
+        let stream = tmp("ckpt-stream");
+        execute(Command::Generate {
+            dataset: DatasetArg::Kron(5),
+            seed: 8,
+            out: stream.to_path_buf(),
+        })
+        .unwrap();
+        let ckpt = gz_testutil::TempPath::new("gz-cli-ckpt", ".gzc");
+        let saved = execute(Command::CheckpointSave {
+            stream: stream.to_path_buf(),
+            out: ckpt.to_path_buf(),
+            workers: 2,
+            seed: 0x5EED_1E55,
+        })
+        .unwrap();
+        assert!(saved.contains("32 nodes"), "{saved}");
+
+        // The restored answer must match running components directly, in
+        // both query modes.
+        let direct = execute(components_cmd(&stream, None)).unwrap();
+        let count = |s: &str| s.split_whitespace().next().unwrap().to_string();
+        for query_mode in [QueryMode::Snapshot, QueryMode::Streaming] {
+            let restored = execute(Command::CheckpointRestore {
+                path: ckpt.to_path_buf(),
+                forest: false,
+                query_mode,
+            })
+            .unwrap();
+            assert_eq!(count(&restored), count(&direct), "{query_mode:?}");
+        }
+    }
+
+    #[test]
+    fn streaming_query_mode_components_match_snapshot() {
+        let path = tmp("qmode");
+        execute(Command::Generate {
+            dataset: DatasetArg::Kron(5),
+            seed: 6,
+            out: path.to_path_buf(),
+        })
+        .unwrap();
+        let mut streaming = components_cmd(&path, None);
+        if let Command::Components { query_mode, .. } = &mut streaming {
+            *query_mode = QueryMode::Streaming;
+        }
+        let a = execute(components_cmd(&path, None)).unwrap();
+        let b = execute(streaming).unwrap();
+        assert_eq!(a, b);
+        // And sharded streaming agrees too.
+        let mut sharded = components_cmd(&path, Some(3));
+        if let Command::Components { query_mode, .. } = &mut sharded {
+            *query_mode = QueryMode::Streaming;
+        }
+        let c = execute(sharded).unwrap();
+        let count = |s: &str| s.split_whitespace().next().unwrap().to_string();
+        assert_eq!(count(&a), count(&c));
+    }
+
+    #[test]
     fn disk_flag_is_back_compat_shorthand() {
         // `--disk DIR` still means the paper's full on-disk deployment.
         match parse_components("components s.gzs --disk /tmp/d") {
@@ -736,6 +1007,7 @@ mod tests {
             buffering: BufferingArg::Leaf,
             dir: None,
             forest: false,
+            query_mode: QueryMode::Snapshot,
             shards,
             connect: Vec::new(),
         }
@@ -809,6 +1081,7 @@ mod tests {
             buffering: BufferingArg::Leaf,
             dir: None,
             forest: true,
+            query_mode: QueryMode::Snapshot,
             shards: None,
             connect: Vec::new(),
         })

@@ -10,8 +10,12 @@ fn main() {
                 "usage:\n  gz generate (--dataset kronN | --er NxM | --pa NxM) \
                  [--seed S] --out FILE\n  gz info FILE\n  gz components FILE \
                  [--workers N] [--store ram|disk] [--buffering leaf|tree] \
-                 [--dir DIR] [--forest]\n                [--shards K \
-                 [--connect HOST:PORT,...]]\n  gz shard-worker --listen HOST:PORT \
+                 [--dir DIR] [--forest]\n                \
+                 [--query-mode snapshot|streaming] [--shards K \
+                 [--connect HOST:PORT,...]]\n  gz checkpoint save FILE \
+                 --from STREAM [--workers N] [--seed S]\n  gz checkpoint \
+                 restore FILE [--forest] [--query-mode snapshot|streaming]\n  \
+                 gz shard-worker --listen HOST:PORT \
                  --nodes N --shards K --index I [--seed S]\n                  \
                  [--workers N] [--store ram|disk] [--dir DIR]\n  gz bipartite FILE"
             );

@@ -6,9 +6,20 @@
 //! sketch reports an empty cut are maximal and retire. The paper budgets
 //! `log_{3/2} V` rounds; exceeding it is the `algorithm_fails` event with
 //! probability `≤ 1/V^c`.
+//!
+//! The engine is *round-driven*: round `r` pulls only round `r`'s sketch
+//! slices from a [`SketchSource`] and folds each vertex's slice into its
+//! live supernode's accumulator as it streams past. Because sketch merging
+//! is a per-round XOR, the accumulator of a supernode is bit-identical to
+//! round `r` of the merged sketch stack the materialized algorithm would
+//! hold — so every source (a RAM snapshot, a disk store streaming groups
+//! with prefetch, a shard fleet shipping round frames) produces the same
+//! labels, while peak query memory drops from `O(V × full sketch)` to
+//! `O(live components × one round)` plus the source's buffers.
 
 use crate::error::GzError;
 use crate::node_sketch::NodeSketch;
+use crate::store::{MaterializedSource, SketchSource};
 use gz_dsu::Dsu;
 use gz_graph::{index_to_edge, Edge};
 use gz_sketch::{L0Sampler, SampleResult};
@@ -26,29 +37,40 @@ pub struct BoruvkaOutcome {
     /// failure only delays a component to the next round; the run fails
     /// only when the round budget is exhausted).
     pub sketch_failures: usize,
+    /// Peak sketch bytes resident during the query: supernode accumulators
+    /// plus whatever the source buffered (a full materialization for the
+    /// snapshot path; a round's prefetch window for the streaming paths).
+    pub peak_sketch_bytes: usize,
 }
 
 impl BoruvkaOutcome {
-    /// Number of connected components.
+    /// Number of connected components: one `O(n)` pass over the labels with
+    /// a seen-bitmap (labels are normalized minimum member ids, so they
+    /// index the vertex range).
     pub fn num_components(&self) -> usize {
-        let mut roots: Vec<u32> = self.labels.clone();
-        roots.sort_unstable();
-        roots.dedup();
-        roots.len()
+        let mut seen = vec![false; self.labels.len()];
+        let mut count = 0usize;
+        for &label in &self.labels {
+            if !seen[label as usize] {
+                seen[label as usize] = true;
+                count += 1;
+            }
+        }
+        count
     }
 }
 
-/// Run Boruvka over per-vertex node sketches, consuming them (supernode
-/// merges XOR sketches together in place).
+/// Run the round-driven Boruvka engine over any [`SketchSource`].
 ///
-/// `num_vertices` must equal `sketches.len()`; `max_rounds` bounds the
-/// rounds and must not exceed the per-node sketch stack depth.
-pub fn boruvka_spanning_forest<S: L0Sampler>(
-    mut sketches: Vec<Option<NodeSketch<S>>>,
+/// Per round: compute every vertex's current supernode root, stream the
+/// round's slices folding them into per-live-supernode accumulators, sample
+/// one cut edge per live supernode, then merge endpoint components. The
+/// output is bit-identical across sources fed the same sketch state.
+pub fn boruvka_rounds<Src: SketchSource>(
+    source: &mut Src,
     num_vertices: u64,
     max_rounds: usize,
 ) -> Result<BoruvkaOutcome, GzError> {
-    assert_eq!(sketches.len() as u64, num_vertices);
     let n = num_vertices as usize;
     let mut dsu = Dsu::new(n);
     // Retired components: cut known empty; never query again. A retired
@@ -58,6 +80,7 @@ pub fn boruvka_spanning_forest<S: L0Sampler>(
     let mut forest: Vec<Edge> = Vec::new();
     let mut sketch_failures = 0usize;
     let mut rounds_used = 0usize;
+    let mut peak_sketch_bytes = 0usize;
 
     // If exactly one unretired component remains, it cannot have any cut
     // edges (all other components' cuts are provably empty), so it retires
@@ -74,30 +97,60 @@ pub fn boruvka_spanning_forest<S: L0Sampler>(
     for round in 0..max_rounds {
         retire_last_live(&mut dsu, &mut retired);
         rounds_used = round + 1;
-        // Phase 1 (paper Lemma 5): sample one edge per live supernode.
+
+        // Supernode root of every vertex, fixed for the round (the fold and
+        // the source's group-skipping liveness test both read it).
+        let root_of: Vec<u32> = (0..n as u32).map(|v| dsu.find(v)).collect();
+
         let mut found: Vec<Edge> = Vec::new();
         let mut any_live = false;
-        for root in 0..n as u32 {
-            if dsu.find(root) != root || retired[root as usize] {
-                continue;
+
+        if round >= source.num_rounds() {
+            // Stack exhausted: still-live components survive the round
+            // unqueried and fail only once the round budget runs out.
+            any_live = (0..n).any(|v| root_of[v] == v as u32 && !retired[v]);
+        } else {
+            // Phase 1a: fold each vertex's round slice into its live
+            // supernode's accumulator as it streams past.
+            let mut acc: Vec<Option<Src::Sampler>> = (0..n).map(|_| None).collect();
+            let mut acc_bytes = 0usize;
+            {
+                let live = |v: u32| !retired[root_of[v as usize] as usize];
+                let mut fold = |v: u32, slice: &Src::Sampler| {
+                    let root = root_of[v as usize] as usize;
+                    if retired[root] {
+                        return;
+                    }
+                    if let Some(a) = &mut acc[root] {
+                        a.merge_from(slice);
+                    } else {
+                        acc_bytes += slice.payload_bytes();
+                        acc[root] = Some(slice.clone());
+                    }
+                };
+                source.stream_round(round, &live, &mut fold)?;
             }
-            let sketch = sketches[root as usize].as_ref().expect("live root must own a sketch");
-            if round >= sketch.num_rounds() {
-                // Stack exhausted for a still-live component.
-                any_live = true;
-                continue;
-            }
-            match sketch.sample_round(round) {
-                SampleResult::Index(idx) => {
-                    any_live = true;
-                    found.push(index_to_edge(idx, num_vertices));
+            peak_sketch_bytes = peak_sketch_bytes.max(acc_bytes + source.resident_bytes());
+
+            // Phase 1b (paper Lemma 5): sample one edge per live supernode.
+            for root in 0..n as u32 {
+                if root_of[root as usize] != root || retired[root as usize] {
+                    continue;
                 }
-                SampleResult::Zero => {
-                    retired[root as usize] = true;
-                }
-                SampleResult::Fail => {
-                    any_live = true;
-                    sketch_failures += 1;
+                let sketch =
+                    acc[root as usize].as_ref().expect("live supernode must have folded a slice");
+                match sketch.sample() {
+                    SampleResult::Index(idx) => {
+                        any_live = true;
+                        found.push(index_to_edge(idx, num_vertices));
+                    }
+                    SampleResult::Zero => {
+                        retired[root as usize] = true;
+                    }
+                    SampleResult::Fail => {
+                        any_live = true;
+                        sketch_failures += 1;
+                    }
                 }
             }
         }
@@ -107,7 +160,9 @@ pub fn boruvka_spanning_forest<S: L0Sampler>(
             break;
         }
 
-        // Phases 2+3: merge endpoint components and sum their sketches.
+        // Phases 2+3: merge endpoint components. No sketch XOR happens here
+        // — the next round's fold rebuilds accumulators from the updated
+        // supernode membership, which is the same sum.
         for edge in found {
             let (ra, rb) = (dsu.find(edge.u()), dsu.find(edge.v()));
             if ra == rb {
@@ -117,12 +172,6 @@ pub fn boruvka_spanning_forest<S: L0Sampler>(
             }
             dsu.union(ra, rb);
             let winner = dsu.find(ra);
-            let loser = if winner == ra { rb } else { ra };
-            let loser_sketch = sketches[loser as usize].take().expect("loser must own a sketch");
-            // Swap so we merge into the winner slot without double borrow.
-            let winner_sketch =
-                sketches[winner as usize].as_mut().expect("winner must own a sketch");
-            winner_sketch.merge(&loser_sketch);
             // The merged component must be re-queried even if one side had
             // retired... which cannot happen (see `retired` note), but a
             // defensive clear keeps the invariant local.
@@ -141,7 +190,23 @@ pub fn boruvka_spanning_forest<S: L0Sampler>(
     }
 
     let labels = dsu.normalized_labels();
-    Ok(BoruvkaOutcome { forest, labels, rounds_used, sketch_failures })
+    Ok(BoruvkaOutcome { forest, labels, rounds_used, sketch_failures, peak_sketch_bytes })
+}
+
+/// Run Boruvka over a materialized per-vertex sketch vector — the snapshot
+/// query path, expressed through the same round-driven engine so snapshot
+/// and streaming answers are bit-identical by construction.
+///
+/// `num_vertices` must equal `sketches.len()`; `max_rounds` bounds the
+/// rounds and must not exceed the per-node sketch stack depth.
+pub fn boruvka_spanning_forest<S: L0Sampler + Clone>(
+    sketches: Vec<Option<NodeSketch<S>>>,
+    num_vertices: u64,
+    max_rounds: usize,
+) -> Result<BoruvkaOutcome, GzError> {
+    assert_eq!(sketches.len() as u64, num_vertices);
+    let mut source = MaterializedSource::new(sketches);
+    boruvka_rounds(&mut source, num_vertices, max_rounds)
 }
 
 #[cfg(test)]

@@ -70,6 +70,21 @@ pub enum StoreBackend {
     },
 }
 
+/// How `spanning_forest()` reads sketches out of the store (paper §4.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum QueryMode {
+    /// Materialize every node's full sketch stack in RAM before running
+    /// Boruvka — simple, but peak query memory is `O(V × full sketch)`,
+    /// which forfeits a disk store's RAM budget at query time.
+    #[default]
+    Snapshot,
+    /// Stream round slices out of the store round by round (group-
+    /// sequential with prefetch on disk), folding them into per-supernode
+    /// accumulators: peak query memory is `O(live components × one round)`
+    /// plus the prefetch window. Labels are bit-identical to `Snapshot`.
+    Streaming,
+}
+
 /// Batch-level locking discipline (paper §5.1's critical-section
 /// minimization).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -107,6 +122,8 @@ pub struct GzConfig {
     pub store: StoreBackend,
     /// Batch-level locking discipline.
     pub locking: LockingStrategy,
+    /// How queries read sketches out of the store.
+    pub query_mode: QueryMode,
 }
 
 impl GzConfig {
@@ -123,6 +140,7 @@ impl GzConfig {
             buffering: BufferStrategy::LeafOnly { capacity: GutterCapacity::SketchFactor(0.5) },
             store: StoreBackend::Ram,
             locking: LockingStrategy::DeltaSketch,
+            query_mode: QueryMode::default(),
         }
     }
 

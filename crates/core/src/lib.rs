@@ -71,9 +71,11 @@ pub mod streaming_cc;
 pub mod system;
 
 pub use bipartiteness::{BipartitenessAnswer, BipartitenessTester};
-pub use boruvka::{boruvka_spanning_forest, BoruvkaOutcome};
+pub use boruvka::{boruvka_rounds, boruvka_spanning_forest, BoruvkaOutcome};
 pub use checkpoint::CheckpointHeader;
-pub use config::{BufferStrategy, GutterCapacity, GzConfig, LockingStrategy, StoreBackend};
+pub use config::{
+    BufferStrategy, GutterCapacity, GzConfig, LockingStrategy, QueryMode, StoreBackend,
+};
 pub use edge_connectivity::{ForestCertificate, KForestSketcher};
 pub use error::GzError;
 pub use msf::{MsfSketcher, WeightedForest};
@@ -82,5 +84,5 @@ pub use sharding::{
     serve_shard_connection, InProcessTransport, ShardConfig, ShardPipeline, ShardRouter,
     ShardServeStats, ShardTransport, ShardedGraphZeppelin, SocketTransport,
 };
-pub use store::NodeSet;
+pub use store::{MaterializedSource, NodeSet, SketchSource, SliceSource, StoreRoundSource};
 pub use system::{ConnectedComponents, GraphZeppelin};

@@ -88,6 +88,10 @@ impl<S: L0Sampler> NodeSketch<S> {
 /// vector index space.
 pub type CubeNodeSketch = NodeSketch<CubeSketch<Xxh64Hasher>>;
 
+/// One round of a [`CubeNodeSketch`] — the slice the streaming query engine
+/// moves (round `r` of the query touches only round `r`'s column data).
+pub type CubeRoundSketch = CubeSketch<Xxh64Hasher>;
+
 /// Shared per-round CubeSketch families for a whole system.
 ///
 /// All vertices share the same per-round hash functions — required for
@@ -138,6 +142,29 @@ impl SketchParams {
         for r in 0..sketch.num_rounds() {
             sketch.round(r).serialize_into(out);
         }
+    }
+
+    /// Serialized size of the round-`round` slice of a node sketch.
+    pub fn round_serialized_bytes(&self, round: usize) -> usize {
+        CubeSketch::<Xxh64Hasher>::serialized_size(self.families[round].geometry())
+    }
+
+    /// Byte offset of round `round` within a serialized node sketch (the
+    /// rounds-concatenated layout of [`Self::serialize_node_sketch`]).
+    pub fn round_serialized_offset(&self, round: usize) -> usize {
+        (0..round).map(|r| self.round_serialized_bytes(r)).sum()
+    }
+
+    /// Serialize only the round-`round` slice of a node sketch — the unit
+    /// the streaming query engine moves (one round of one vertex).
+    pub fn serialize_round(&self, sketch: &CubeNodeSketch, round: usize, out: &mut Vec<u8>) {
+        sketch.round(round).serialize_into(out);
+    }
+
+    /// Deserialize a round slice previously produced by
+    /// [`Self::serialize_round`].
+    pub fn deserialize_round(&self, round: usize, bytes: &[u8]) -> CubeSketch<Xxh64Hasher> {
+        CubeSketch::deserialize(Arc::clone(&self.families[round]), bytes)
     }
 
     /// Deserialize a node sketch previously produced by
@@ -246,6 +273,25 @@ mod tests {
         for r in 0..s.num_rounds() {
             assert_eq!(t.sample_round(r), s.sample_round(r));
         }
+    }
+
+    #[test]
+    fn round_slices_tile_the_node_record() {
+        let p = params(32);
+        let mut s = p.new_node_sketch();
+        s.update_signed(update_index(1, 2, 32), 1);
+        s.update_signed(update_index(5, 30, 32), 1);
+        let mut whole = Vec::new();
+        p.serialize_node_sketch(&s, &mut whole);
+        for r in 0..s.num_rounds() {
+            let off = p.round_serialized_offset(r);
+            let len = p.round_serialized_bytes(r);
+            let mut slice = Vec::new();
+            p.serialize_round(&s, r, &mut slice);
+            assert_eq!(&whole[off..off + len], &slice[..], "round {r}");
+            assert_eq!(p.deserialize_round(r, &slice).query(), s.sample_round(r));
+        }
+        assert_eq!(p.round_serialized_offset(s.num_rounds()), whole.len());
     }
 
     #[test]

@@ -9,8 +9,8 @@
 //!   gutters (reusing `gz_gutters`) accumulate updates and emit node-keyed
 //!   batches, replacing the old per-update routing hot path.
 //! - the wire protocol (`gz_stream::wire`) — framed, versioned messages
-//!   (`Hello`, `Batch`, `Flush`, `GatherSketches`, `Shutdown`) between
-//!   coordinator and shard workers.
+//!   (`Hello`, `Batch`, `Flush`, `GatherSketches`, `GatherRound`,
+//!   `Shutdown`) between coordinator and shard workers.
 //! - [`ShardTransport`] — how batches travel: [`InProcessTransport`]
 //!   (queue pushes, the single-process deployment) or [`SocketTransport`]
 //!   (TCP/Unix sockets to worker processes running
@@ -21,11 +21,16 @@
 //!
 //! The routing contract is unchanged: shard `i` owns every vertex `v` with
 //! `v % num_shards == i`, each update touches at most two shards, and
-//! shards never communicate until query time, when the coordinator gathers
-//! the per-shard sketches and runs the ordinary Boruvka computation. The
-//! crucial invariant — proved by the equivalence suite and the
-//! multi-process example — is that a sharded system's gathered sketch state
-//! is *bit-identical* to a single-node system's on the same stream.
+//! shards never communicate until query time. Queries run in either
+//! [`QueryMode`]: snapshot mode gathers every node's full sketch stack at
+//! the coordinator and runs the ordinary Boruvka computation; streaming
+//! mode gathers one `GatherRound` frame per Borůvka round (a `rounds`-fold
+//! smaller message) and folds the slices straight into the round-driven
+//! engine, so the coordinator never materializes the universe. The crucial
+//! invariant — proved by the equivalence suite and the multi-process
+//! example — is that a sharded system's gathered sketch state is
+//! *bit-identical* to a single-node system's on the same stream, and both
+//! query modes return bit-identical answers.
 
 mod pipeline;
 mod router;
@@ -38,10 +43,11 @@ pub use transport::{
     ShardTransport, SocketTransport,
 };
 
-use crate::boruvka::{boruvka_spanning_forest, BoruvkaOutcome};
-use crate::config::{GutterCapacity, LockingStrategy, StoreBackend};
+use crate::boruvka::{boruvka_rounds, boruvka_spanning_forest, BoruvkaOutcome};
+use crate::config::{GutterCapacity, LockingStrategy, QueryMode, StoreBackend};
 use crate::error::GzError;
-use crate::node_sketch::{CubeNodeSketch, SketchParams};
+use crate::node_sketch::{CubeNodeSketch, CubeRoundSketch, SketchParams};
+use crate::store::SketchSource;
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
@@ -68,6 +74,10 @@ pub struct ShardConfig {
     pub store: StoreBackend,
     /// Router gutter capacity (the inter-shard batch size knob).
     pub router_capacity: GutterCapacity,
+    /// How the coordinator gathers sketches at query time (coordinator-side
+    /// only: not part of the parameter digest, since it cannot change the
+    /// sketch state or the answers).
+    pub query_mode: QueryMode,
 }
 
 impl ShardConfig {
@@ -85,6 +95,7 @@ impl ShardConfig {
             locking: LockingStrategy::DeltaSketch,
             store: StoreBackend::Ram,
             router_capacity: GutterCapacity::SketchFactor(0.5),
+            query_mode: QueryMode::default(),
         }
     }
 
@@ -143,6 +154,7 @@ pub struct ShardedGraphZeppelin {
     local_workers: Vec<JoinHandle<Result<ShardServeStats, GzError>>>,
     num_nodes: u64,
     updates: u64,
+    query_mode: QueryMode,
     shut_down: bool,
 }
 
@@ -202,6 +214,7 @@ impl ShardedGraphZeppelin {
             local_workers: Vec::new(),
             num_nodes: config.num_nodes,
             updates: 0,
+            query_mode: config.query_mode,
             shut_down: false,
         })
     }
@@ -286,10 +299,37 @@ impl ShardedGraphZeppelin {
             .collect())
     }
 
-    /// Query a spanning forest: gather + ordinary Boruvka.
+    /// Query a spanning forest in the configured [`QueryMode`]; both modes
+    /// return bit-identical labels and forests.
     pub fn spanning_forest(&mut self) -> Result<BoruvkaOutcome, GzError> {
+        match self.query_mode {
+            QueryMode::Snapshot => self.spanning_forest_snapshot(),
+            QueryMode::Streaming => self.spanning_forest_streaming(),
+        }
+    }
+
+    /// Snapshot-mode query: gather every node's full sketch stack at the
+    /// coordinator, then run ordinary Boruvka over the materialization.
+    pub fn spanning_forest_snapshot(&mut self) -> Result<BoruvkaOutcome, GzError> {
         let sketches = self.gather()?;
         boruvka_spanning_forest(sketches, self.num_nodes, self.params.rounds())
+    }
+
+    /// Streaming-mode query: each Borůvka round gathers only that round's
+    /// sketch slices from the shards (`GatherRound` frames, `rounds`-fold
+    /// smaller than a full gather), so the coordinator never materializes
+    /// the whole universe. Bit-identical to
+    /// [`Self::spanning_forest_snapshot`].
+    pub fn spanning_forest_streaming(&mut self) -> Result<BoruvkaOutcome, GzError> {
+        self.flush()?;
+        let params = Arc::clone(&self.params);
+        let mut source = GatherRoundSource {
+            transport: self.transport.as_mut(),
+            params: &params,
+            num_nodes: self.num_nodes,
+            resident: 0,
+        };
+        boruvka_rounds(&mut source, self.num_nodes, params.rounds())
     }
 
     /// Component labels.
@@ -333,6 +373,66 @@ impl Drop for ShardedGraphZeppelin {
         for handle in std::mem::take(&mut self.local_workers) {
             let _ = handle.join();
         }
+    }
+}
+
+/// Round-slice source over the shard transport: Borůvka round `r` gathers
+/// only round `r`'s column data from every shard, validates that each node
+/// arrived exactly once, and folds the slices straight into the engine's
+/// accumulators. Resident bytes per round are one round of the universe —
+/// the gathered frames — instead of the full `V × sketch` materialization.
+struct GatherRoundSource<'a> {
+    transport: &'a mut dyn ShardTransport,
+    params: &'a SketchParams,
+    num_nodes: u64,
+    resident: usize,
+}
+
+impl SketchSource for GatherRoundSource<'_> {
+    type Sampler = CubeRoundSketch;
+
+    fn num_rounds(&self) -> usize {
+        self.params.rounds()
+    }
+
+    fn resident_bytes(&self) -> usize {
+        self.resident
+    }
+
+    fn stream_round(
+        &mut self,
+        round: usize,
+        live: &dyn Fn(u32) -> bool,
+        sink: &mut dyn FnMut(u32, &Self::Sampler),
+    ) -> Result<(), GzError> {
+        let entries = self.transport.gather_round(round as u32)?;
+        self.resident = entries.iter().map(|e| e.bytes.len()).sum();
+        let expect_bytes = self.params.round_serialized_bytes(round);
+        let mut seen = vec![false; self.num_nodes as usize];
+        for e in &entries {
+            let slot = seen.get_mut(e.node as usize).ok_or_else(|| {
+                GzError::Protocol(format!("gathered round slice for out-of-range node {}", e.node))
+            })?;
+            if std::mem::replace(slot, true) {
+                return Err(GzError::Protocol(format!("node {} gathered from two shards", e.node)));
+            }
+            if e.bytes.len() != expect_bytes {
+                return Err(GzError::Protocol(format!(
+                    "round {round} slice for node {} is {} bytes, want {expect_bytes}",
+                    e.node,
+                    e.bytes.len()
+                )));
+            }
+            if live(e.node) {
+                sink(e.node, &self.params.deserialize_round(round, &e.bytes));
+            }
+        }
+        if let Some(node) = seen.iter().position(|s| !*s) {
+            return Err(GzError::Protocol(format!(
+                "no shard gathered a round slice for node {node}"
+            )));
+        }
+        Ok(())
     }
 }
 
@@ -495,6 +595,43 @@ mod tests {
         assert_eq!(base.params_digest(), base.clone().params_digest());
         assert_ne!(base.params_digest(), other_seed.params_digest());
         assert_ne!(base.params_digest(), other_shards.params_digest());
+    }
+
+    #[test]
+    fn streaming_query_bit_identical_to_snapshot_across_transports() {
+        let n = 40u64;
+        let updates = demo_updates(n as u32, 300, 11);
+        type Maker = fn(ShardConfig) -> Result<ShardedGraphZeppelin, GzError>;
+        let makers: [Maker; 2] =
+            [ShardedGraphZeppelin::in_process, ShardedGraphZeppelin::local_socket];
+        for make in makers {
+            let mut sys = make(ShardConfig::in_ram(n, 3)).unwrap();
+            sys.ingest(updates.iter().copied()).unwrap();
+            let snap = sys.spanning_forest_snapshot().unwrap();
+            let stream = sys.spanning_forest_streaming().unwrap();
+            assert_eq!(snap.labels, stream.labels);
+            assert_eq!(snap.forest, stream.forest);
+            assert_eq!(snap.rounds_used, stream.rounds_used);
+            // A round frame is `rounds`-fold smaller than the full gather.
+            assert!(stream.peak_sketch_bytes < snap.peak_sketch_bytes);
+            sys.shutdown().unwrap();
+        }
+    }
+
+    #[test]
+    fn streaming_query_mode_is_routable_from_config() {
+        let n = 24u64;
+        let updates = demo_updates(n as u32, 100, 13);
+        let mut config = ShardConfig::in_ram(n, 2);
+        config.query_mode = QueryMode::Streaming;
+        let mut streaming = ShardedGraphZeppelin::in_process(config).unwrap();
+        streaming.ingest(updates.iter().copied()).unwrap();
+        let mut snapshot = ShardedGraphZeppelin::in_process(ShardConfig::in_ram(n, 2)).unwrap();
+        snapshot.ingest(updates.iter().copied()).unwrap();
+        assert_eq!(
+            streaming.connected_components().unwrap(),
+            snapshot.connected_components().unwrap()
+        );
     }
 
     #[test]

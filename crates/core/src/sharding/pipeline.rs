@@ -126,6 +126,27 @@ impl ShardPipeline {
             .collect()
     }
 
+    /// Flush, then serialize only round `round`'s slice of every owned
+    /// node's sketch — the payload of a `RoundSketches` wire reply. A
+    /// disk-backed shard serves this from one contiguous column read per
+    /// node group instead of faulting whole groups through its cache.
+    pub fn gather_round_serialized(&self, round: usize) -> Result<Vec<SketchEntry>, GzError> {
+        if round >= self.params.rounds() {
+            return Err(GzError::Protocol(format!(
+                "GatherRound for round {round}, but sketches have {} rounds",
+                self.params.rounds()
+            )));
+        }
+        self.flush();
+        let mut entries = Vec::with_capacity(self.store.node_set().len());
+        self.store.stream_round(round, &|_| true, &mut |node, sketch| {
+            let mut bytes = Vec::with_capacity(self.params.round_serialized_bytes(round));
+            sketch.serialize_into(&mut bytes);
+            entries.push(SketchEntry { node, bytes });
+        })?;
+        Ok(entries)
+    }
+
     /// Sketch payload bytes held by this shard (owned nodes only).
     pub fn sketch_bytes(&self) -> usize {
         self.store.sketch_bytes()

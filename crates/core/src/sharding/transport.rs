@@ -38,6 +38,12 @@ pub trait ShardTransport {
     /// Collect every shard's serialized sketches at the coordinator.
     fn gather(&mut self) -> Result<Vec<SketchEntry>, GzError>;
 
+    /// Collect only round `round`'s slice of every shard's sketches — the
+    /// streaming query's gather unit. Each reply is `rounds`-fold smaller
+    /// than a full [`Self::gather`], so the coordinator holds at most one
+    /// round of the universe at a time.
+    fn gather_round(&mut self, round: u32) -> Result<Vec<SketchEntry>, GzError>;
+
     /// Tear the shards down.
     fn shutdown(&mut self) -> Result<(), GzError>;
 }
@@ -88,6 +94,14 @@ impl ShardTransport for InProcessTransport {
         let mut entries = Vec::new();
         for shard in &self.shards {
             entries.extend(shard.gather_serialized());
+        }
+        Ok(entries)
+    }
+
+    fn gather_round(&mut self, round: u32) -> Result<Vec<SketchEntry>, GzError> {
+        let mut entries = Vec::new();
+        for shard in &self.shards {
+            entries.extend(shard.gather_round_serialized(round as usize)?);
         }
         Ok(entries)
     }
@@ -204,6 +218,36 @@ impl<S: Read + Write> ShardTransport for SocketTransport<S> {
         Ok(entries)
     }
 
+    fn gather_round(&mut self, round: u32) -> Result<Vec<SketchEntry>, GzError> {
+        // Pipelined like the full gather: all shards serialize their round
+        // slice concurrently, then the replies are collected in shard order.
+        for link in &mut self.links {
+            WireMessage::GatherRound { round }.write_to(link)?;
+        }
+        let mut entries = Vec::new();
+        for (i, link) in self.links.iter_mut().enumerate() {
+            match WireMessage::read_from(link)? {
+                WireMessage::RoundSketches { round: theirs, entries: shard_entries }
+                    if theirs == round =>
+                {
+                    entries.extend(shard_entries);
+                }
+                WireMessage::RoundSketches { round: theirs, .. } => {
+                    return Err(GzError::Protocol(format!(
+                        "shard {i} answered GatherRound({round}) with round {theirs}"
+                    )));
+                }
+                other => {
+                    return Err(GzError::Protocol(format!(
+                        "shard {i} answered GatherRound with {}",
+                        other.name()
+                    )));
+                }
+            }
+        }
+        Ok(entries)
+    }
+
     fn shutdown(&mut self) -> Result<(), GzError> {
         // Attempt every link even if some fail: a dead shard must not leave
         // its siblings waiting for a Shutdown that never arrives (their
@@ -274,6 +318,11 @@ pub fn serve_shard_connection<S: Read + Write>(
                 stats.gathers += 1;
                 let entries = pipeline.gather_serialized();
                 WireMessage::Sketches { entries }.write_to(stream)?;
+            }
+            WireMessage::GatherRound { round } => {
+                stats.gathers += 1;
+                let entries = pipeline.gather_round_serialized(round as usize)?;
+                WireMessage::RoundSketches { round, entries }.write_to(stream)?;
             }
             WireMessage::Shutdown => return Ok(stats),
             other => {

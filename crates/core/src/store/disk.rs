@@ -7,10 +7,19 @@
 //! budget `M`; evictions write dirty groups back. Every file access is
 //! recorded in [`IoStats`], which is how the experiment suite measures the
 //! hybrid-model I/O claims instead of relying on cgroup-forced swap.
+//!
+//! Within a group the layout is *round-major*: all nodes' round-0 slices,
+//! then all round-1 slices, and so on. Ingestion always faults whole groups
+//! through the cache, so it is indifferent to the internal order — but the
+//! streaming query path (paper §4.2, Figure 9) needs only round `r`'s
+//! column data in Borůvka round `r`, and the round-major order makes that
+//! slice one contiguous read of `nodes_in_group × round_bytes` instead of
+//! `nodes_in_group` strided seeks. [`DiskStore::stream_round`] reads those
+//! slices sequentially and prefetches ahead on a background thread.
 
-use crate::node_sketch::{CubeNodeSketch, SketchParams};
+use crate::node_sketch::{CubeNodeSketch, CubeRoundSketch, NodeSketch, SketchParams};
 use crate::store::NodeSet;
-use gz_gutters::IoStats;
+use gz_gutters::{IoStats, WorkQueue};
 use parking_lot::Mutex;
 use std::fs::File;
 use std::os::unix::fs::FileExt;
@@ -118,6 +127,11 @@ impl DiskStore {
         self.node_set
     }
 
+    /// Number of node groups in the backing file.
+    pub fn num_groups(&self) -> u32 {
+        (self.node_set.len() as u32).div_ceil(self.group_size)
+    }
+
     fn group_of_slot(&self, slot: usize) -> u32 {
         slot as u32 / self.group_size
     }
@@ -131,27 +145,56 @@ impl DiskStore {
         (self.node_set.len() as u32 - start).min(self.group_size)
     }
 
+    /// Encode a group block: round-major over the group's `k` nodes (see
+    /// the module docs — this is what makes a round slice contiguous).
+    fn encode_group(&self, sketches: &[CubeNodeSketch]) -> Vec<u8> {
+        let mut bytes = Vec::with_capacity(sketches.len() * self.node_bytes);
+        for r in 0..self.params.rounds() {
+            for s in sketches {
+                self.params.serialize_round(s, r, &mut bytes);
+            }
+        }
+        bytes
+    }
+
+    /// Decode a round-major group block back into per-node sketch stacks.
+    fn decode_group(&self, bytes: &[u8], k: usize) -> Vec<CubeNodeSketch> {
+        (0..k)
+            .map(|i| {
+                NodeSketch::new_with(self.params.rounds(), |r| {
+                    let rb = self.params.round_serialized_bytes(r);
+                    let base = k * self.params.round_serialized_offset(r) + i * rb;
+                    self.params.deserialize_round(r, &bytes[base..base + rb])
+                })
+            })
+            .collect()
+    }
+
     fn load_group(&self, group: u32) -> std::io::Result<Vec<CubeNodeSketch>> {
         let n = self.nodes_in_group(group) as usize;
         let mut bytes = vec![0u8; n * self.node_bytes];
         self.file.read_exact_at(&mut bytes, self.group_offset(group))?;
         self.io.record_read(bytes.len() as u64);
-        Ok((0..n)
-            .map(|i| {
-                self.params
-                    .deserialize_node_sketch(&bytes[i * self.node_bytes..(i + 1) * self.node_bytes])
-            })
-            .collect())
+        Ok(self.decode_group(&bytes, n))
     }
 
     fn write_group(&self, group: u32, sketches: &[CubeNodeSketch]) -> std::io::Result<()> {
-        let mut bytes = Vec::with_capacity(sketches.len() * self.node_bytes);
-        for s in sketches {
-            self.params.serialize_node_sketch(s, &mut bytes);
-        }
+        let bytes = self.encode_group(sketches);
         self.file.write_all_at(&bytes, self.group_offset(group))?;
         self.io.record_write(bytes.len() as u64);
         Ok(())
+    }
+
+    /// Read the round-`round` slice of `group`: one contiguous read of the
+    /// group's `k × round_bytes` column data, counted in [`IoStats`].
+    fn read_round_slice(&self, group: u32, round: usize) -> std::io::Result<Vec<u8>> {
+        let k = self.nodes_in_group(group) as usize;
+        let mut bytes = vec![0u8; k * self.params.round_serialized_bytes(round)];
+        let offset =
+            self.group_offset(group) + (k * self.params.round_serialized_offset(round)) as u64;
+        self.file.read_exact_at(&mut bytes, offset)?;
+        self.io.record_read(bytes.len() as u64);
+        Ok(bytes)
     }
 
     /// Run `f` with mutable access to a cached group, faulting it in (and
@@ -213,11 +256,105 @@ impl DiskStore {
         Ok(())
     }
 
+    /// Stream the round-`round` slice of every owned node whose component
+    /// is still `live` into `sink`, group by group in slot order — the
+    /// storage-friendly query path (paper §4.2, Figure 9).
+    ///
+    /// Dirty cached groups are written back first so the file is
+    /// authoritative, then a background thread reads the wanted groups'
+    /// round slices sequentially, staying up to `cache_groups` reads ahead
+    /// of the fold (the same RAM budget `M` the ingestion cache honors).
+    /// Groups whose nodes are all retired are skipped entirely. Every read
+    /// is counted in [`IoStats`]. The caller must have quiesced ingestion
+    /// (the system query path flushes before querying).
+    pub fn stream_round(
+        &self,
+        round: usize,
+        live: &dyn Fn(u32) -> bool,
+        sink: &mut dyn FnMut(u32, &CubeRoundSketch),
+    ) -> std::io::Result<()> {
+        self.flush()?;
+        let round_bytes = self.params.round_serialized_bytes(round);
+        let wanted: Vec<u32> = (0..self.num_groups())
+            .filter(|&g| {
+                let start = (g * self.group_size) as usize;
+                (0..self.nodes_in_group(g) as usize).any(|i| live(self.node_set.node(start + i)))
+            })
+            .collect();
+
+        // Bounded prefetch pipeline over the generic work queue: the reader
+        // blocks once `cache_capacity` slices are in flight, so resident
+        // query memory stays within the configured cache budget.
+        let queue: WorkQueue<(u32, std::io::Result<Vec<u8>>)> =
+            WorkQueue::with_capacity(self.cache_capacity);
+        std::thread::scope(|scope| {
+            // Close the queue on *every* exit from this closure — normal
+            // return, an I/O error, or a panic while folding a slice.
+            // Without this, a panicking consumer would leave the prefetcher
+            // blocked in `push` on a full queue while `thread::scope` waits
+            // to join it: the panic would become a deadlock.
+            struct CloseOnExit<'q>(&'q WorkQueue<(u32, std::io::Result<Vec<u8>>)>);
+            impl Drop for CloseOnExit<'_> {
+                fn drop(&mut self) {
+                    self.0.close();
+                }
+            }
+            let _close_guard = CloseOnExit(&queue);
+
+            scope.spawn(|| {
+                for &g in &wanted {
+                    let slice = self.read_round_slice(g, round);
+                    let stop = slice.is_err();
+                    if !queue.push((g, slice)) || stop {
+                        break;
+                    }
+                }
+            });
+            let mut delivered = 0usize;
+            let mut result = Ok(());
+            while delivered < wanted.len() {
+                let Some((group, slice)) = queue.pop() else { break };
+                delivered += 1;
+                match slice {
+                    Err(e) => {
+                        result = Err(e);
+                        break;
+                    }
+                    Ok(bytes) => {
+                        let start = (group * self.group_size) as usize;
+                        for i in 0..self.nodes_in_group(group) as usize {
+                            let node = self.node_set.node(start + i);
+                            if !live(node) {
+                                continue;
+                            }
+                            let sketch = self.params.deserialize_round(
+                                round,
+                                &bytes[i * round_bytes..(i + 1) * round_bytes],
+                            );
+                            sink(node, &sketch);
+                        }
+                    }
+                }
+            }
+            // The close guard unblocks the prefetcher if the fold bailed
+            // early (error or panic).
+            result
+        })
+    }
+
+    /// Upper bound on sketch bytes [`Self::stream_round`] holds resident at
+    /// once: the prefetch queue (`cache_groups` slices), the slice being
+    /// folded, and one more the prefetcher may hold while blocked in `push`.
+    pub fn round_stream_resident_bytes(&self, round: usize) -> usize {
+        let slice = self.group_size as usize * self.params.round_serialized_bytes(round);
+        (self.cache_capacity + 2) * slice
+    }
+
     /// Clone out every owned node sketch, indexed by slot (a full scan
     /// through the cache, counting the reads — the paper's "single scan"
     /// query prologue, Lemma 5).
     pub fn snapshot(&self) -> Vec<Option<CubeNodeSketch>> {
-        let num_groups = (self.node_set.len() as u32).div_ceil(self.group_size);
+        let num_groups = self.num_groups();
         let mut out = Vec::with_capacity(self.node_set.len());
         for group in 0..num_groups {
             let sketches =
@@ -378,6 +515,69 @@ mod tests {
         assert_eq!(owned.iter().map(|(n, _)| *n).collect::<Vec<u32>>(), vec![2, 6, 10, 14, 18]);
         let (_, sketch) = owned.into_iter().find(|(n, _)| *n == 6).unwrap();
         assert_eq!(sketch.sample_round(0), SampleResult::Index(update_index(6, 1, 20)));
+    }
+
+    #[test]
+    fn round_slice_is_the_contiguous_column_of_the_group() {
+        // Raw-file check of the round-major layout: the bytes that
+        // read_round_slice returns must be exactly the round-r serialization
+        // of each node in the group, in slot order.
+        let (s, _t) = make("layout", 12, 1 << 20, 4); // one group of 12
+        assert_eq!(s.num_groups(), 1);
+        for node in 0..12u32 {
+            s.apply_batch(node, &[encode_other((node + 3) % 12, false)]);
+        }
+        s.flush().unwrap();
+        let snap = s.snapshot();
+        for round in 0..s.params().rounds() {
+            let slice = s.read_round_slice(0, round).unwrap();
+            let rb = s.params().round_serialized_bytes(round);
+            let mut expected = Vec::new();
+            for sk in snap.iter() {
+                s.params().serialize_round(sk.as_ref().unwrap(), round, &mut expected);
+            }
+            assert_eq!(slice.len(), 12 * rb);
+            assert_eq!(slice, expected, "round {round}");
+        }
+    }
+
+    #[test]
+    fn stream_round_matches_snapshot_and_counts_reads() {
+        let (s, _t) = make("stream", 16, 64, 2); // one node per group, tiny cache
+        assert_eq!(s.num_groups(), 16);
+        for node in 0..16u32 {
+            s.apply_batch(node, &[encode_other((node + 1) % 16, false)]);
+        }
+        let snap = s.snapshot();
+        for round in 0..s.params().rounds() {
+            let before = s.io_stats().reads();
+            let mut seen = Vec::new();
+            s.stream_round(round, &|_| true, &mut |node, sketch| {
+                let reference = snap[node as usize].as_ref().unwrap().round(round);
+                let (mut a, mut b) = (Vec::new(), Vec::new());
+                sketch.serialize_into(&mut a);
+                reference.serialize_into(&mut b);
+                assert_eq!(a, b, "node {node} round {round}");
+                seen.push(node);
+            })
+            .unwrap();
+            seen.sort_unstable();
+            assert_eq!(seen, (0..16u32).collect::<Vec<_>>());
+            // One slice read per group, at most (flush writes are separate).
+            assert!(s.io_stats().reads() - before <= 16, "round {round}");
+        }
+    }
+
+    #[test]
+    fn stream_round_skips_fully_retired_groups() {
+        let (s, _t) = make("skip", 16, 64, 2); // one node per group
+        s.flush().unwrap();
+        let before = s.io_stats().reads();
+        let mut seen = Vec::new();
+        // Only nodes 3 and 9 are live: exactly two group reads may happen.
+        s.stream_round(0, &|n| n == 3 || n == 9, &mut |node, _| seen.push(node)).unwrap();
+        assert_eq!(seen, vec![3, 9]);
+        assert_eq!(s.io_stats().reads() - before, 2);
     }
 
     #[test]

@@ -17,8 +17,9 @@ pub mod ram;
 
 use crate::config::{GzConfig, StoreBackend};
 use crate::error::GzError;
-use crate::node_sketch::{CubeNodeSketch, SketchParams};
+use crate::node_sketch::{CubeNodeSketch, CubeRoundSketch, NodeSketch, SketchParams};
 use gz_gutters::IoStats;
+use gz_sketch::L0Sampler;
 use std::sync::Arc;
 
 /// The set of vertices a store holds sketches for, with a dense slot
@@ -180,6 +181,210 @@ impl SketchStore {
             SketchStore::Ram(s) => s.params(),
             SketchStore::Disk(s) => s.params(),
         }
+    }
+
+    /// Stream the round-`round` slice of every owned, still-`live` node
+    /// into `sink` — the storage-friendly query path. Disk stores read one
+    /// contiguous round slice per group with background prefetch; RAM
+    /// stores serve borrowed slices under per-node locks.
+    pub fn stream_round(
+        &self,
+        round: usize,
+        live: &dyn Fn(u32) -> bool,
+        sink: &mut dyn FnMut(u32, &CubeRoundSketch),
+    ) -> Result<(), GzError> {
+        match self {
+            SketchStore::Ram(s) => {
+                s.stream_round(round, live, sink);
+                Ok(())
+            }
+            SketchStore::Disk(s) => Ok(s.stream_round(round, live, sink)?),
+        }
+    }
+
+    /// Node groups round slices are delivered in (1 for RAM stores).
+    pub fn num_groups(&self) -> u32 {
+        match self {
+            SketchStore::Ram(_) => 1,
+            SketchStore::Disk(s) => s.num_groups(),
+        }
+    }
+
+    /// Sketch bytes the streaming round path holds resident at once
+    /// (prefetch buffers; zero for RAM stores, which serve borrows).
+    pub fn round_stream_resident_bytes(&self, round: usize) -> usize {
+        match self {
+            SketchStore::Ram(_) => 0,
+            SketchStore::Disk(s) => s.round_stream_resident_bytes(round),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Round-slice sketch sources (the streaming query abstraction)
+// ---------------------------------------------------------------------------
+
+/// A provider of per-round node-sketch slices for the round-driven Borůvka
+/// engine (paper §4.2, Figure 9).
+///
+/// Round `r` of the query needs only round `r`'s column of each live
+/// vertex's sketch stack, so a source serves one round at a time instead of
+/// materializing `V` full sketches: peak query memory becomes
+/// `O(live components × one round sketch)` plus whatever the source
+/// buffers, which is what preserves the disk store's RAM budget `M` at
+/// query time.
+pub trait SketchSource {
+    /// The ℓ0-sampler type of one round slice.
+    type Sampler: L0Sampler + Clone;
+
+    /// Rounds available per node sketch stack.
+    fn num_rounds(&self) -> usize;
+
+    /// Sketch bytes the source held resident while serving the most recent
+    /// round (prefetch buffers, gathered frames, or a full
+    /// materialization); the engine adds its accumulators to this for
+    /// peak-memory accounting.
+    fn resident_bytes(&self) -> usize;
+
+    /// Stream the round-`round` slice of every node whose supernode is
+    /// still `live`, in any order (folding is XOR, so delivery order cannot
+    /// change results); each node must be delivered at most once. Sources
+    /// may use `live` to skip I/O for fully retired node groups.
+    fn stream_round(
+        &mut self,
+        round: usize,
+        live: &dyn Fn(u32) -> bool,
+        sink: &mut dyn FnMut(u32, &Self::Sampler),
+    ) -> Result<(), GzError>;
+}
+
+/// The snapshot-mode source: a fully materialized `V`-sized sketch vector
+/// (what [`SketchStore::snapshot`] produces). Resident bytes are the whole
+/// materialization — the quantity the streaming sources exist to avoid.
+pub struct MaterializedSource<S: L0Sampler> {
+    sketches: Vec<Option<NodeSketch<S>>>,
+    rounds: usize,
+    resident: usize,
+}
+
+impl<S: L0Sampler> MaterializedSource<S> {
+    /// Wrap a per-vertex sketch vector (index = vertex id).
+    pub fn new(sketches: Vec<Option<NodeSketch<S>>>) -> Self {
+        let rounds = sketches.iter().flatten().map(|s| s.num_rounds()).max().unwrap_or(0);
+        let resident = sketches.iter().flatten().map(|s| s.payload_bytes()).sum();
+        MaterializedSource { sketches, rounds, resident }
+    }
+}
+
+impl<S: L0Sampler + Clone> SketchSource for MaterializedSource<S> {
+    type Sampler = S;
+
+    fn num_rounds(&self) -> usize {
+        self.rounds
+    }
+
+    fn resident_bytes(&self) -> usize {
+        self.resident
+    }
+
+    fn stream_round(
+        &mut self,
+        round: usize,
+        live: &dyn Fn(u32) -> bool,
+        sink: &mut dyn FnMut(u32, &Self::Sampler),
+    ) -> Result<(), GzError> {
+        for (v, stack) in self.sketches.iter().enumerate() {
+            if let Some(stack) = stack {
+                let v = v as u32;
+                if round < stack.num_rounds() && live(v) {
+                    sink(v, stack.round(round));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A borrowing source over a caller-owned sketch slice (index = vertex id):
+/// queries fold straight from the resident stacks without cloning them —
+/// used by the StreamingCC baseline's non-destructive query path.
+pub struct SliceSource<'a, S: L0Sampler> {
+    sketches: &'a [NodeSketch<S>],
+    rounds: usize,
+}
+
+impl<'a, S: L0Sampler> SliceSource<'a, S> {
+    /// Wrap a borrowed per-vertex sketch slice.
+    pub fn new(sketches: &'a [NodeSketch<S>]) -> Self {
+        let rounds = sketches.iter().map(|s| s.num_rounds()).max().unwrap_or(0);
+        SliceSource { sketches, rounds }
+    }
+}
+
+impl<S: L0Sampler + Clone> SketchSource for SliceSource<'_, S> {
+    type Sampler = S;
+
+    fn num_rounds(&self) -> usize {
+        self.rounds
+    }
+
+    fn resident_bytes(&self) -> usize {
+        // The stacks belong to the caller and stay resident regardless of
+        // the query; the query itself holds only borrows.
+        0
+    }
+
+    fn stream_round(
+        &mut self,
+        round: usize,
+        live: &dyn Fn(u32) -> bool,
+        sink: &mut dyn FnMut(u32, &Self::Sampler),
+    ) -> Result<(), GzError> {
+        for (v, stack) in self.sketches.iter().enumerate() {
+            let v = v as u32;
+            if round < stack.num_rounds() && live(v) {
+                sink(v, stack.round(round));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// The store-aware streaming source: round slices come straight from a
+/// [`SketchStore`] (group-sequential reads with prefetch when the store is
+/// disk-backed; borrowed in-place slices when it is in RAM).
+pub struct StoreRoundSource<'a> {
+    store: &'a SketchStore,
+    resident: usize,
+}
+
+impl<'a> StoreRoundSource<'a> {
+    /// Wrap a store. The caller must have quiesced ingestion (flushed the
+    /// buffering system and drained the work queue) first.
+    pub fn new(store: &'a SketchStore) -> Self {
+        StoreRoundSource { store, resident: 0 }
+    }
+}
+
+impl SketchSource for StoreRoundSource<'_> {
+    type Sampler = CubeRoundSketch;
+
+    fn num_rounds(&self) -> usize {
+        self.store.params().rounds()
+    }
+
+    fn resident_bytes(&self) -> usize {
+        self.resident
+    }
+
+    fn stream_round(
+        &mut self,
+        round: usize,
+        live: &dyn Fn(u32) -> bool,
+        sink: &mut dyn FnMut(u32, &Self::Sampler),
+    ) -> Result<(), GzError> {
+        self.resident = self.store.round_stream_resident_bytes(round);
+        self.store.stream_round(round, live, sink)
     }
 }
 

@@ -89,6 +89,26 @@ impl RamStore {
         self.nodes[self.node_set.slot(node)].lock().merge(delta);
     }
 
+    /// Stream the round-`round` slice of every owned, still-`live` node
+    /// into `sink` in slot order. Each node's lock is held only for its own
+    /// sink call, and nothing is cloned — the streaming query borrows the
+    /// resident sketches in place.
+    pub fn stream_round(
+        &self,
+        round: usize,
+        live: &dyn Fn(u32) -> bool,
+        sink: &mut dyn FnMut(u32, &crate::node_sketch::CubeRoundSketch),
+    ) {
+        for (slot, lock) in self.nodes.iter().enumerate() {
+            let node = self.node_set.node(slot);
+            if !live(node) {
+                continue;
+            }
+            let sketch = lock.lock();
+            sink(node, sketch.round(round));
+        }
+    }
+
     /// Clone out every owned node sketch, indexed by slot.
     pub fn snapshot(&self) -> Vec<Option<CubeNodeSketch>> {
         self.nodes.iter().map(|m| Some(m.lock().clone())).collect()

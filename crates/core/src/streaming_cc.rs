@@ -9,10 +9,11 @@
 //! measures against CubeSketch; this type exists so the *system-level*
 //! comparison can also be run end-to-end at small scale.
 
-use crate::boruvka::{boruvka_spanning_forest, BoruvkaOutcome};
+use crate::boruvka::{boruvka_rounds, BoruvkaOutcome};
 use crate::config::default_rounds;
 use crate::error::GzError;
 use crate::node_sketch::NodeSketch;
+use crate::store::SliceSource;
 use gz_hash::{SplitMix64, Xxh64Hasher};
 use gz_sketch::standard::{AnyStandardFamily, AnyStandardSketch};
 
@@ -78,22 +79,12 @@ impl StreamingCc {
         self.updates
     }
 
-    /// Compute a spanning forest (non-destructive: clones the sketches).
+    /// Compute a spanning forest (non-destructive: the round-driven engine
+    /// borrows the resident sketches in place and clones only round slices
+    /// into per-supernode accumulators — no `V × full sketch` rebuild).
     pub fn spanning_forest(&self) -> Result<BoruvkaOutcome, GzError> {
-        let sketches: Vec<Option<NodeSketch<AnyStandardSketch<Xxh64Hasher>>>> = self
-            .sketches
-            .iter()
-            .map(|s| {
-                // AnyStandardSketch is not Clone (trait-object-ish enum over
-                // generics is, but keep it simple): rebuild by merging.
-                let mut copy = NodeSketch::new_with(self.params.families.len(), |r| {
-                    self.params.families[r].new_sketch()
-                });
-                copy.merge(s);
-                Some(copy)
-            })
-            .collect();
-        boruvka_spanning_forest(sketches, self.params.num_nodes, self.params.families.len())
+        let mut source = SliceSource::new(&self.sketches);
+        boruvka_rounds(&mut source, self.params.num_nodes, self.params.families.len())
     }
 
     /// Component labels.

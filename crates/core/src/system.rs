@@ -1,12 +1,12 @@
 //! The [`GraphZeppelin`] facade: the paper's user-facing API
 //! (`edge_update()` / `list_spanning_forest()`, Figures 8–9).
 
-use crate::boruvka::{boruvka_spanning_forest, BoruvkaOutcome};
-use crate::config::{BufferStrategy, GzConfig, StoreBackend};
+use crate::boruvka::{boruvka_rounds, boruvka_spanning_forest, BoruvkaOutcome};
+use crate::config::{BufferStrategy, GzConfig, QueryMode, StoreBackend};
 use crate::error::GzError;
 use crate::ingest::{IngestCounters, WorkerPool};
 use crate::node_sketch::{encode_other, SketchParams};
-use crate::store::SketchStore;
+use crate::store::{SketchStore, StoreRoundSource};
 use gz_graph::Edge;
 use gz_gutters::{BufferingSystem, GutterTree, GutterTreeConfig, IoStats, LeafGutters, WorkQueue};
 use std::sync::Arc;
@@ -171,10 +171,31 @@ impl GraphZeppelin {
 
     /// Compute a spanning forest of the current graph (paper
     /// `list_spanning_forest()`); leaves the system ready for more updates.
+    /// Reads the store in the configured [`QueryMode`]; both modes return
+    /// bit-identical labels and forests.
     pub fn spanning_forest(&mut self) -> Result<BoruvkaOutcome, GzError> {
+        match self.config.query_mode {
+            QueryMode::Snapshot => self.spanning_forest_snapshot(),
+            QueryMode::Streaming => self.spanning_forest_streaming(),
+        }
+    }
+
+    /// Snapshot-mode query: materialize every node's full sketch stack,
+    /// then run Boruvka over the copy (peak `O(V × full sketch)` RAM).
+    pub fn spanning_forest_snapshot(&mut self) -> Result<BoruvkaOutcome, GzError> {
         self.flush();
         let sketches = self.store.snapshot();
         boruvka_spanning_forest(sketches, self.config.num_nodes, self.params.rounds())
+    }
+
+    /// Streaming-mode query: fold round slices straight out of the store
+    /// (group-sequential reads with prefetch when disk-backed), keeping
+    /// only per-live-supernode accumulators resident. Bit-identical to
+    /// [`Self::spanning_forest_snapshot`].
+    pub fn spanning_forest_streaming(&mut self) -> Result<BoruvkaOutcome, GzError> {
+        self.flush();
+        let mut source = StoreRoundSource::new(&self.store);
+        boruvka_rounds(&mut source, self.config.num_nodes, self.params.rounds())
     }
 
     /// Compute connected components of the current graph.
@@ -210,6 +231,12 @@ impl GraphZeppelin {
     /// I/O counters of the sketch store (disk backend only).
     pub fn store_io(&self) -> Option<Arc<IoStats>> {
         self.store.io_stats()
+    }
+
+    /// The sketch store (group layout, I/O accounting — the experiment
+    /// suite inspects it to verify the streaming query's I/O bounds).
+    pub fn store(&self) -> &SketchStore {
+        &self.store
     }
 
     /// I/O counters of the gutter tree (gutter-tree buffering only).
@@ -392,6 +419,52 @@ mod tests {
         assert_eq!(
             a.connected_components().unwrap().labels(),
             b.connected_components().unwrap().labels()
+        );
+    }
+
+    #[test]
+    fn streaming_query_bit_identical_to_snapshot() {
+        let mut gz = GraphZeppelin::new(tiny_config(24)).unwrap();
+        for &(u, v) in &[(0u32, 1u32), (1, 2), (2, 3), (5, 6), (8, 9), (9, 10), (10, 8)] {
+            gz.edge_update(u, v);
+        }
+        let snap = gz.spanning_forest_snapshot().unwrap();
+        let stream = gz.spanning_forest_streaming().unwrap();
+        assert_eq!(snap.labels, stream.labels);
+        assert_eq!(snap.forest, stream.forest);
+        assert_eq!(snap.rounds_used, stream.rounds_used);
+        assert_eq!(snap.sketch_failures, stream.sketch_failures);
+        // And the configured mode routes to the same answers.
+        let mut c = tiny_config(24);
+        c.query_mode = crate::config::QueryMode::Streaming;
+        let mut gz2 = GraphZeppelin::new(c).unwrap();
+        for &(u, v) in &[(0u32, 1u32), (1, 2), (2, 3), (5, 6), (8, 9), (9, 10), (10, 8)] {
+            gz2.edge_update(u, v);
+        }
+        assert_eq!(gz2.spanning_forest().unwrap().labels, snap.labels);
+    }
+
+    #[test]
+    fn streaming_query_on_disk_store_keeps_less_resident() {
+        let dir = gz_testutil::TempDir::new("gz-system-streamq");
+        let mut c = tiny_config(64);
+        c.store = StoreBackend::Disk {
+            dir: dir.path().to_path_buf(),
+            block_bytes: 1 << 13,
+            cache_groups: 2,
+        };
+        let mut gz = GraphZeppelin::new(c).unwrap();
+        for i in 0..63u32 {
+            gz.edge_update(i, i + 1);
+        }
+        let snap = gz.spanning_forest_snapshot().unwrap();
+        let stream = gz.spanning_forest_streaming().unwrap();
+        assert_eq!(snap.labels, stream.labels);
+        assert!(
+            stream.peak_sketch_bytes < snap.peak_sketch_bytes,
+            "streaming resident {} must undercut snapshot {}",
+            stream.peak_sketch_bytes,
+            snap.peak_sketch_bytes
         );
     }
 

@@ -8,6 +8,11 @@
 //! Producers block while the queue is full; consumers block while it is
 //! empty. Closing the queue wakes all consumers, which drain remaining
 //! batches and then observe `None`.
+//!
+//! The queue is generic over its item type (defaulting to [`Batch`], the
+//! ingestion unit) so other bounded producer/consumer pipelines — e.g. the
+//! disk store's group prefetcher on the streaming query path — reuse the
+//! same blocking/backpressure machinery.
 
 use parking_lot::{Condvar, Mutex};
 use std::collections::VecDeque;
@@ -23,28 +28,28 @@ pub struct Batch {
     pub others: Vec<u32>,
 }
 
-struct Inner {
-    queue: VecDeque<Batch>,
+struct Inner<T> {
+    queue: VecDeque<T>,
     closed: bool,
-    /// Batches pushed but not yet acknowledged via [`WorkQueue::task_done`].
+    /// Items pushed but not yet acknowledged via [`WorkQueue::task_done`].
     outstanding: usize,
 }
 
-/// Bounded blocking MPMC queue of [`Batch`]es.
+/// Bounded blocking MPMC queue, of [`Batch`]es by default.
 ///
-/// Also tracks *outstanding work*: each pushed batch stays outstanding until
+/// Also tracks *outstanding work*: each pushed item stays outstanding until
 /// a consumer calls [`WorkQueue::task_done`], which is what lets the query
 /// path's `cleanup()` (paper Figure 9) wait until every buffered update has
 /// actually been applied to the sketches.
-pub struct WorkQueue {
-    inner: Mutex<Inner>,
+pub struct WorkQueue<T = Batch> {
+    inner: Mutex<Inner<T>>,
     not_empty: Condvar,
     not_full: Condvar,
     all_done: Condvar,
     capacity: usize,
 }
 
-impl WorkQueue {
+impl<T> WorkQueue<T> {
     /// Queue with the paper's capacity rule: 8 batches per worker.
     pub fn for_workers(num_workers: usize) -> Self {
         Self::with_capacity(8 * num_workers.max(1))
@@ -66,9 +71,9 @@ impl WorkQueue {
         }
     }
 
-    /// Push a batch, blocking while the queue is full. Returns `false` if
-    /// the queue has been closed (the batch is dropped).
-    pub fn push(&self, batch: Batch) -> bool {
+    /// Push an item, blocking while the queue is full. Returns `false` if
+    /// the queue has been closed (the item is dropped).
+    pub fn push(&self, item: T) -> bool {
         let mut inner = self.inner.lock();
         while inner.queue.len() >= self.capacity && !inner.closed {
             self.not_full.wait(&mut inner);
@@ -76,14 +81,14 @@ impl WorkQueue {
         if inner.closed {
             return false;
         }
-        inner.queue.push_back(batch);
+        inner.queue.push_back(item);
         inner.outstanding += 1;
         drop(inner);
         self.not_empty.notify_one();
         true
     }
 
-    /// Acknowledge that a popped batch has been fully processed.
+    /// Acknowledge that a popped item has been fully processed.
     pub fn task_done(&self) {
         let mut inner = self.inner.lock();
         debug_assert!(inner.outstanding > 0, "task_done without outstanding work");
@@ -110,15 +115,15 @@ impl WorkQueue {
         self.inner.lock().outstanding
     }
 
-    /// Pop a batch, blocking while the queue is empty. Returns `None` once
+    /// Pop an item, blocking while the queue is empty. Returns `None` once
     /// the queue is closed *and* drained.
-    pub fn pop(&self) -> Option<Batch> {
+    pub fn pop(&self) -> Option<T> {
         let mut inner = self.inner.lock();
         loop {
-            if let Some(batch) = inner.queue.pop_front() {
+            if let Some(item) = inner.queue.pop_front() {
                 drop(inner);
                 self.not_full.notify_one();
-                return Some(batch);
+                return Some(item);
             }
             if inner.closed {
                 return None;
@@ -127,14 +132,14 @@ impl WorkQueue {
         }
     }
 
-    /// Drain every currently queued batch through `f`, acknowledging each —
+    /// Drain every currently queued item through `f`, acknowledging each —
     /// the single-threaded consumer pattern used by the shard router, which
     /// buffers through a queue and forwards batches inline rather than from
-    /// worker threads. Returns the number of batches drained.
-    pub fn drain_with(&self, mut f: impl FnMut(Batch)) -> usize {
+    /// worker threads. Returns the number of items drained.
+    pub fn drain_with(&self, mut f: impl FnMut(T)) -> usize {
         let mut drained = 0;
-        while let Some(batch) = self.try_pop() {
-            f(batch);
+        while let Some(item) = self.try_pop() {
+            f(item);
             self.task_done();
             drained += 1;
         }
@@ -142,14 +147,14 @@ impl WorkQueue {
     }
 
     /// Non-blocking pop.
-    pub fn try_pop(&self) -> Option<Batch> {
+    pub fn try_pop(&self) -> Option<T> {
         let mut inner = self.inner.lock();
-        let batch = inner.queue.pop_front();
-        if batch.is_some() {
+        let item = inner.queue.pop_front();
+        if item.is_some() {
             drop(inner);
             self.not_full.notify_one();
         }
-        batch
+        item
     }
 
     /// Close the queue: producers fail fast, consumers drain then stop.
@@ -161,22 +166,22 @@ impl WorkQueue {
         self.not_full.notify_all();
     }
 
+    /// Number of queued items.
+    pub fn len(&self) -> usize {
+        self.inner.lock().queue.len()
+    }
+
+    /// True if no items are queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
     /// True once closed.
     pub fn is_closed(&self) -> bool {
         self.inner.lock().closed
     }
 
-    /// Number of queued batches.
-    pub fn len(&self) -> usize {
-        self.inner.lock().queue.len()
-    }
-
-    /// True if no batches are queued.
-    pub fn is_empty(&self) -> bool {
-        self.len() == 0
-    }
-
-    /// Maximum number of queued batches.
+    /// Maximum number of queued items.
     pub fn capacity(&self) -> usize {
         self.capacity
     }
@@ -202,8 +207,18 @@ mod tests {
 
     #[test]
     fn capacity_rule() {
-        assert_eq!(WorkQueue::for_workers(6).capacity(), 48);
-        assert_eq!(WorkQueue::for_workers(0).capacity(), 8);
+        assert_eq!(WorkQueue::<Batch>::for_workers(6).capacity(), 48);
+        assert_eq!(WorkQueue::<Batch>::for_workers(0).capacity(), 8);
+    }
+
+    #[test]
+    fn generic_items_flow_through() {
+        // The prefetcher instantiation: queue of (group, bytes) pairs.
+        let q: WorkQueue<(u32, Vec<u8>)> = WorkQueue::with_capacity(2);
+        assert!(q.push((7, vec![1, 2, 3])));
+        assert_eq!(q.pop(), Some((7, vec![1, 2, 3])));
+        q.close();
+        assert!(!q.push((8, vec![])));
     }
 
     #[test]
@@ -312,13 +327,13 @@ mod tests {
 
     #[test]
     fn wait_idle_returns_immediately_when_empty() {
-        let q = WorkQueue::with_capacity(2);
+        let q = WorkQueue::<Batch>::with_capacity(2);
         q.wait_idle(); // must not hang
     }
 
     #[test]
     fn blocked_consumer_wakes_on_close() {
-        let q = Arc::new(WorkQueue::with_capacity(2));
+        let q = Arc::new(WorkQueue::<Batch>::with_capacity(2));
         let q2 = Arc::clone(&q);
         let consumer = std::thread::spawn(move || q2.pop());
         std::thread::sleep(std::time::Duration::from_millis(20));

@@ -229,6 +229,15 @@ pub enum AnyStandardSketch<H: Hasher64 = Xxh64Hasher> {
     Wide(StandardSketch<P89, H>),
 }
 
+impl<H: Hasher64> Clone for AnyStandardSketch<H> {
+    fn clone(&self) -> Self {
+        match self {
+            AnyStandardSketch::Narrow(s) => AnyStandardSketch::Narrow(s.clone()),
+            AnyStandardSketch::Wide(s) => AnyStandardSketch::Wide(s.clone()),
+        }
+    }
+}
+
 /// Family handle matching [`AnyStandardSketch`].
 pub enum AnyStandardFamily<H: Hasher64 = Xxh64Hasher> {
     /// 64-bit path family.

@@ -22,7 +22,8 @@
 //!
 //! The protocol is strictly request/reply from the coordinator's side:
 //! `Hello` expects `HelloAck`, `Flush` expects `FlushAck`, `GatherSketches`
-//! expects `Sketches`; `Batch` and `Shutdown` are one-way.
+//! expects `Sketches`, `GatherRound` expects `RoundSketches`; `Batch` and
+//! `Shutdown` are one-way.
 
 use std::io::{self, Read, Write};
 
@@ -30,7 +31,8 @@ use std::io::{self, Read, Write};
 pub const WIRE_MAGIC: [u8; 2] = *b"GZ";
 
 /// Protocol version carried in every frame. Bump on any layout change.
-pub const PROTOCOL_VERSION: u8 = 1;
+/// v2 added the round-sliced gather (`GatherRound` / `RoundSketches`).
+pub const PROTOCOL_VERSION: u8 = 2;
 
 /// Upper bound on a frame payload (defensive: a corrupt length header must
 /// not trigger a multi-gigabyte allocation).
@@ -44,6 +46,8 @@ const TAG_FLUSH_ACK: u8 = 5;
 const TAG_GATHER: u8 = 6;
 const TAG_SKETCHES: u8 = 7;
 const TAG_SHUTDOWN: u8 = 8;
+const TAG_GATHER_ROUND: u8 = 9;
+const TAG_ROUND_SKETCHES: u8 = 10;
 
 /// One serialized node sketch, as gathered from a shard: the owning node id
 /// plus the sketch's serialized bytes (opaque at this layer).
@@ -92,6 +96,23 @@ pub enum WireMessage {
         /// One entry per owned node.
         entries: Vec<SketchEntry>,
     },
+    /// Coordinator → worker: flush, then reply [`WireMessage::RoundSketches`]
+    /// with only round `round`'s slice of every owned node's sketch — the
+    /// streaming query's gather unit. A Borůvka query sends one of these per
+    /// round, so each reply frame is a `rounds`-fold smaller than a full
+    /// [`WireMessage::Sketches`] gather and the coordinator never holds more
+    /// than one round of the universe at a time.
+    GatherRound {
+        /// Sketch round (0-based) whose column data is requested.
+        round: u32,
+    },
+    /// Worker → coordinator: the shard's round-`round` sketch slices.
+    RoundSketches {
+        /// The round these slices belong to (echoes the request).
+        round: u32,
+        /// One entry per owned node; `bytes` is the round slice only.
+        entries: Vec<SketchEntry>,
+    },
     /// Coordinator → worker: close the connection; the worker exits its
     /// event loop.
     Shutdown,
@@ -99,6 +120,24 @@ pub enum WireMessage {
 
 fn invalid(msg: impl Into<String>) -> io::Error {
     io::Error::new(io::ErrorKind::InvalidData, msg.into())
+}
+
+fn encode_entries(entries: &[SketchEntry], out: &mut Vec<u8>) {
+    for e in entries {
+        out.extend_from_slice(&e.node.to_le_bytes());
+        out.extend_from_slice(&(e.bytes.len() as u32).to_le_bytes());
+        out.extend_from_slice(&e.bytes);
+    }
+}
+
+fn decode_entries(cur: &mut Cursor<'_>, count: usize) -> io::Result<Vec<SketchEntry>> {
+    let mut entries = Vec::with_capacity(count);
+    for _ in 0..count {
+        let node = cur.u32()?;
+        let len = cur.u32()? as usize;
+        entries.push(SketchEntry { node, bytes: cur.take(len)?.to_vec() });
+    }
+    Ok(entries)
 }
 
 impl WireMessage {
@@ -111,6 +150,8 @@ impl WireMessage {
             WireMessage::FlushAck => TAG_FLUSH_ACK,
             WireMessage::GatherSketches => TAG_GATHER,
             WireMessage::Sketches { .. } => TAG_SKETCHES,
+            WireMessage::GatherRound { .. } => TAG_GATHER_ROUND,
+            WireMessage::RoundSketches { .. } => TAG_ROUND_SKETCHES,
             WireMessage::Shutdown => TAG_SHUTDOWN,
         }
     }
@@ -121,8 +162,12 @@ impl WireMessage {
         match self {
             WireMessage::Hello { .. } | WireMessage::HelloAck { .. } => 8,
             WireMessage::Batch { records, .. } => 8 + 4 * records.len(),
+            WireMessage::GatherRound { .. } => 4,
             WireMessage::Sketches { entries } => {
                 4 + entries.iter().map(|e| 8 + e.bytes.len()).sum::<usize>()
+            }
+            WireMessage::RoundSketches { entries, .. } => {
+                8 + entries.iter().map(|e| 8 + e.bytes.len()).sum::<usize>()
             }
             WireMessage::Flush
             | WireMessage::FlushAck
@@ -145,11 +190,15 @@ impl WireMessage {
             }
             WireMessage::Sketches { entries } => {
                 out.extend_from_slice(&(entries.len() as u32).to_le_bytes());
-                for e in entries {
-                    out.extend_from_slice(&e.node.to_le_bytes());
-                    out.extend_from_slice(&(e.bytes.len() as u32).to_le_bytes());
-                    out.extend_from_slice(&e.bytes);
-                }
+                encode_entries(entries, out);
+            }
+            WireMessage::GatherRound { round } => {
+                out.extend_from_slice(&round.to_le_bytes());
+            }
+            WireMessage::RoundSketches { round, entries } => {
+                out.extend_from_slice(&round.to_le_bytes());
+                out.extend_from_slice(&(entries.len() as u32).to_le_bytes());
+                encode_entries(entries, out);
             }
             WireMessage::Flush
             | WireMessage::FlushAck
@@ -232,13 +281,16 @@ impl WireMessage {
                 if count > payload.len() / 8 {
                     return Err(invalid("sketch entry count exceeds payload"));
                 }
-                let mut entries = Vec::with_capacity(count);
-                for _ in 0..count {
-                    let node = cur.u32()?;
-                    let len = cur.u32()? as usize;
-                    entries.push(SketchEntry { node, bytes: cur.take(len)?.to_vec() });
+                WireMessage::Sketches { entries: decode_entries(&mut cur, count)? }
+            }
+            TAG_GATHER_ROUND => WireMessage::GatherRound { round: cur.u32()? },
+            TAG_ROUND_SKETCHES => {
+                let round = cur.u32()?;
+                let count = cur.u32()? as usize;
+                if count > payload.len() / 8 {
+                    return Err(invalid("round sketch entry count exceeds payload"));
                 }
-                WireMessage::Sketches { entries }
+                WireMessage::RoundSketches { round, entries: decode_entries(&mut cur, count)? }
             }
             TAG_SHUTDOWN => WireMessage::Shutdown,
             other => return Err(invalid(format!("unknown message tag {other}"))),
@@ -259,6 +311,8 @@ impl WireMessage {
             WireMessage::FlushAck => "FlushAck",
             WireMessage::GatherSketches => "GatherSketches",
             WireMessage::Sketches { .. } => "Sketches",
+            WireMessage::GatherRound { .. } => "GatherRound",
+            WireMessage::RoundSketches { .. } => "RoundSketches",
             WireMessage::Shutdown => "Shutdown",
         }
     }
@@ -319,6 +373,14 @@ mod tests {
                 entries: vec![
                     SketchEntry { node: 3, bytes: vec![9, 8, 7] },
                     SketchEntry { node: 10, bytes: vec![] },
+                ],
+            },
+            WireMessage::GatherRound { round: 11 },
+            WireMessage::RoundSketches {
+                round: 11,
+                entries: vec![
+                    SketchEntry { node: 1, bytes: vec![4, 5] },
+                    SketchEntry { node: 4, bytes: vec![] },
                 ],
             },
             WireMessage::Shutdown,
@@ -405,6 +467,18 @@ mod tests {
         buf.extend_from_slice(&WIRE_MAGIC);
         buf.push(PROTOCOL_VERSION);
         buf.push(3);
+        buf.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        buf.extend_from_slice(&payload);
+        assert!(WireMessage::read_from(&mut &buf[..]).is_err());
+
+        // RoundSketches claiming 1000 entries but carrying none.
+        let mut payload = Vec::new();
+        payload.extend_from_slice(&0u32.to_le_bytes()); // round
+        payload.extend_from_slice(&1000u32.to_le_bytes()); // count
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&WIRE_MAGIC);
+        buf.push(PROTOCOL_VERSION);
+        buf.push(10);
         buf.extend_from_slice(&(payload.len() as u32).to_le_bytes());
         buf.extend_from_slice(&payload);
         assert!(WireMessage::read_from(&mut &buf[..]).is_err());

@@ -181,6 +181,118 @@ fn sharded_disk_store_bit_identical_to_unsharded() {
 }
 
 #[test]
+fn streaming_query_bit_identical_across_stores_and_shard_counts() {
+    // The tentpole invariant: the round-driven streaming query must return
+    // labels AND forest bit-identical to the snapshot query, whatever
+    // serves the round slices — the RAM store, a disk store under a tight
+    // cache, or a shard fleet shipping per-round frames over either
+    // transport.
+    let (v, updates) = shared_stream();
+
+    let mut single = GraphZeppelin::new(GzConfig::in_ram(v)).expect("single-node system");
+    for upd in &updates {
+        single.update(upd.u, upd.v, upd.kind == UpdateKind::Delete);
+    }
+    let reference = single.spanning_forest_snapshot().expect("reference query");
+    let streamed = single.spanning_forest_streaming().expect("ram streaming query");
+    assert_eq!(reference.labels, streamed.labels, "ram streaming labels");
+    assert_eq!(reference.forest, streamed.forest, "ram streaming forest");
+
+    let dir = TempDir::new("gz-equiv-streamq");
+    let mut disk = GzConfig::in_ram(v);
+    disk.store =
+        StoreBackend::Disk { dir: dir.path().to_path_buf(), block_bytes: 4096, cache_groups: 2 };
+    let mut gz = GraphZeppelin::new(disk).expect("disk system");
+    for upd in &updates {
+        gz.update(upd.u, upd.v, upd.kind == UpdateKind::Delete);
+    }
+    let streamed = gz.spanning_forest_streaming().expect("disk streaming query");
+    assert_eq!(reference.labels, streamed.labels, "disk streaming labels");
+    assert_eq!(reference.forest, streamed.forest, "disk streaming forest");
+
+    for shards in [1u32, 3] {
+        for transport in [Transport::InProcess, Transport::Socket] {
+            let mut gz = sharded_system(ShardConfig::in_ram(v, shards), transport);
+            for upd in &updates {
+                gz.update(upd.u, upd.v, upd.kind == UpdateKind::Delete).expect("routed update");
+            }
+            let streamed = gz.spanning_forest_streaming().expect("sharded streaming query");
+            assert_eq!(
+                reference.labels, streamed.labels,
+                "labels diverged: {shards} shards over {transport:?}"
+            );
+            assert_eq!(
+                reference.forest, streamed.forest,
+                "forest diverged: {shards} shards over {transport:?}"
+            );
+            gz.shutdown().expect("clean shutdown");
+        }
+    }
+}
+
+mod streaming_query_proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn toggles(n: u64, raw: Vec<(u32, u32)>) -> Vec<(u32, u32, bool)> {
+        raw.into_iter()
+            .map(|(a, b)| ((a as u64 % n) as u32, (b as u64 % n) as u32))
+            .filter(|(a, b)| a != b)
+            .map(|(a, b)| (a, b, false))
+            .collect()
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+
+        /// Streaming == snapshot, bit for bit, on arbitrary toggle streams
+        /// across Ram/Disk stores and shard counts {1, 3}.
+        #[test]
+        fn streaming_matches_snapshot_everywhere(
+            n in 4u64..28,
+            raw in proptest::collection::vec((any::<u32>(), any::<u32>()), 0..120)
+        ) {
+            let updates = toggles(n, raw);
+
+            let mut ram = GraphZeppelin::new(GzConfig::in_ram(n)).unwrap();
+            for &(u, v, d) in &updates {
+                ram.update(u, v, d);
+            }
+            let reference = ram.spanning_forest_snapshot().unwrap();
+            let ram_stream = ram.spanning_forest_streaming().unwrap();
+            prop_assert_eq!(&reference.labels, &ram_stream.labels);
+            prop_assert_eq!(&reference.forest, &ram_stream.forest);
+
+            let dir = TempDir::new("gz-equiv-streamq-prop");
+            let mut disk = GzConfig::in_ram(n);
+            disk.store = StoreBackend::Disk {
+                dir: dir.path().to_path_buf(),
+                block_bytes: 512,
+                cache_groups: 2,
+            };
+            let mut gz = GraphZeppelin::new(disk).unwrap();
+            for &(u, v, d) in &updates {
+                gz.update(u, v, d);
+            }
+            let disk_stream = gz.spanning_forest_streaming().unwrap();
+            prop_assert_eq!(&reference.labels, &disk_stream.labels);
+            prop_assert_eq!(&reference.forest, &disk_stream.forest);
+
+            for shards in [1u32, 3] {
+                let mut gz = ShardedGraphZeppelin::in_process(ShardConfig::in_ram(n, shards))
+                    .unwrap();
+                for &(u, v, d) in &updates {
+                    gz.update(u, v, d).unwrap();
+                }
+                let sharded = gz.spanning_forest_streaming().unwrap();
+                prop_assert_eq!(&reference.labels, &sharded.labels, "{} shards", shards);
+                prop_assert_eq!(&reference.forest, &sharded.forest, "{} shards", shards);
+            }
+        }
+    }
+}
+
+#[test]
 fn streaming_cc_baseline_agrees_with_graphzeppelin() {
     // The prior-art system and GraphZeppelin implement the same abstract
     // algorithm; on a small graph both must agree with each other.

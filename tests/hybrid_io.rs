@@ -85,6 +85,53 @@ fn gutter_tree_writes_are_batched() {
 }
 
 #[test]
+fn streaming_query_io_bounded_under_constrained_cache() {
+    // The low-RAM query path at a pinned cache budget (cache_groups = 2):
+    // a streaming query issues at most one group read per (group, round)
+    // pair — `num_groups × rounds_used` reads — and moves strictly fewer
+    // bytes than the snapshot query's full-store scan, while returning
+    // bit-identical answers.
+    let dataset = Dataset::kron(6);
+    let stream = dataset.stream(5, &StreamifyConfig::default());
+    let dir = scratch("stream-query");
+    let mut c = GzConfig::in_ram(dataset.num_vertices);
+    c.store =
+        StoreBackend::Disk { dir: dir.path().to_path_buf(), block_bytes: 1 << 13, cache_groups: 2 };
+    let mut gz = run_stream(c, &stream.updates);
+    let io = gz.store_io().unwrap();
+
+    let (reads_before, bytes_before) = (io.reads(), io.bytes_read());
+    let streamed = gz.spanning_forest_streaming().unwrap();
+    let stream_reads = io.reads() - reads_before;
+    let stream_bytes = io.bytes_read() - bytes_before;
+
+    let groups = gz.store().num_groups() as u64;
+    assert!(groups > 2, "want more groups ({groups}) than the cache budget");
+    assert!(
+        stream_reads <= groups * streamed.rounds_used as u64,
+        "streaming query did {stream_reads} group-reads; \
+         bound is {groups} groups × {} rounds",
+        streamed.rounds_used
+    );
+
+    let bytes_before = io.bytes_read();
+    let snapshot = gz.spanning_forest_snapshot().unwrap();
+    let snap_bytes = io.bytes_read() - bytes_before;
+    assert_eq!(snapshot.labels, streamed.labels, "query modes must agree");
+    assert_eq!(snapshot.forest, streamed.forest, "query modes must agree");
+    assert!(
+        stream_bytes < snap_bytes,
+        "streaming read {stream_bytes} bytes, snapshot {snap_bytes}"
+    );
+    assert!(
+        streamed.peak_sketch_bytes < snapshot.peak_sketch_bytes,
+        "streaming resident {} must undercut snapshot {}",
+        streamed.peak_sketch_bytes,
+        snapshot.peak_sketch_bytes
+    );
+}
+
+#[test]
 fn query_scans_disk_store_once_per_snapshot() {
     let dataset = Dataset::kron(6);
     let stream = dataset.stream(5, &StreamifyConfig::default());
