@@ -1,11 +1,22 @@
 //! End-to-end ingestion benchmarks: the full pipeline on small kron streams
-//! (Figure 13's stopwatch at criterion discipline).
+//! (Figure 13's stopwatch at criterion discipline), plus the sketch-update
+//! kernel throughput table on the RAM store — per-update singles vs
+//! gutter-sized batches vs dup-heavy batches through the cancellation
+//! pre-pass (updates/sec).
+//!
+//! Set `GZ_BENCH_SMOKE=1` to run at tiny scale (the CI smoke mode); the
+//! kernel comparison asserts its ≥2× batched-over-singles claim in both
+//! modes.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use graph_zeppelin::config::LockingStrategy;
+use graph_zeppelin::node_sketch::{encode_other, SketchParams};
+use graph_zeppelin::store::ram::RamStore;
 use graph_zeppelin::{BufferStrategy, GraphZeppelin, GutterCapacity, GzConfig};
-use gz_bench::harness::kron_workload;
+use gz_bench::harness::{kron_workload, smoke};
 use gz_stream::UpdateKind;
-use std::time::Duration;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 fn ingest(gz: &mut GraphZeppelin, updates: &[gz_stream::EdgeUpdate]) {
     for upd in updates {
@@ -55,6 +66,86 @@ fn bench_ingest_by_buffering(c: &mut Criterion) {
     group.finish();
 }
 
+/// The tentpole measurement: sketch-update kernel throughput on the RAM
+/// store at gutter-sized batches. Reports one-shot updates/sec for
+/// per-update singles vs one batched `apply_batch` call vs a dup-heavy
+/// batched call (insert/delete pairs cancelling in the pre-pass), under the
+/// default delta-sketch locking, and asserts the batched path is ≥2× the
+/// singles path — the win the buffering system banks on.
+fn bench_store_update_kernel(c: &mut Criterion) {
+    let num_nodes: u64 = if smoke() { 1 << 9 } else { 1 << 12 };
+    let rounds = graph_zeppelin::config::default_rounds(num_nodes);
+    let params = Arc::new(SketchParams::new(num_nodes, rounds, 7, 11));
+    // A gutter-sized batch: what a leaf gutter at the paper's default
+    // factor 0.5 hands a Graph Worker in one flush.
+    let batch_len = GutterCapacity::SketchFactor(0.5).resolve(params.node_sketch_bytes());
+    let records: Vec<u32> = (0..batch_len)
+        .map(|i| encode_other(1 + (i as u32 % (num_nodes as u32 - 1)), false))
+        .collect();
+    // Dup-heavy variant of the same length: half the slots are
+    // insert/delete pairs for the same edge.
+    let mut dup_records = Vec::with_capacity(records.len());
+    for r in records[..records.len() / 4].iter() {
+        dup_records.push(*r);
+        dup_records.push(*r | (1 << 31)); // the matching delete
+    }
+    dup_records.extend_from_slice(&records[records.len() / 4..records.len() * 3 / 4]);
+
+    let store = RamStore::new(Arc::clone(&params), LockingStrategy::DeltaSketch);
+    let reps = if smoke() { 3 } else { 10 };
+
+    let one_shot = |label: &str, f: &dyn Fn(&RamStore)| -> f64 {
+        // Warm up once (fills the scratch pool), then time `reps` passes.
+        f(&store);
+        let start = Instant::now();
+        for _ in 0..reps {
+            f(&store);
+        }
+        let per_sec = (reps * batch_len) as f64 / start.elapsed().as_secs_f64();
+        println!(
+            "gz_store_kernel/{label}: {per_sec:.0} updates/sec \
+             (batch {batch_len}, {rounds} rounds, V={num_nodes})"
+        );
+        per_sec
+    };
+
+    let singles = one_shot("singles", &|s| {
+        for &r in &records {
+            s.apply_batch(0, &[r]);
+        }
+    });
+    let batched = one_shot("batch", &|s| s.apply_batch(0, &records));
+    let batched_dup = one_shot("batch+dedup", &|s| s.apply_batch(0, &dup_records));
+    println!(
+        "gz_store_kernel: batch {:.1}x singles, batch+dedup {:.1}x singles",
+        batched / singles,
+        batched_dup / singles
+    );
+    assert!(
+        batched >= 2.0 * singles,
+        "batched kernel must be ≥2× per-update singles ({batched:.0} vs {singles:.0} updates/sec)"
+    );
+
+    let mut group = c.benchmark_group("gz_store_kernel");
+    group.throughput(Throughput::Elements(batch_len as u64));
+    group.bench_with_input(BenchmarkId::from_parameter("singles"), &records, |b, records| {
+        b.iter(|| {
+            for &r in records {
+                store.apply_batch(0, &[r]);
+            }
+        })
+    });
+    group.bench_with_input(BenchmarkId::from_parameter("batch"), &records, |b, records| {
+        b.iter(|| store.apply_batch(0, records))
+    });
+    group.bench_with_input(
+        BenchmarkId::from_parameter("batch+dedup"),
+        &dup_records,
+        |b, records| b.iter(|| store.apply_batch(0, records)),
+    );
+    group.finish();
+}
+
 fn config() -> Criterion {
     Criterion::default()
         .sample_size(10)
@@ -65,6 +156,6 @@ fn config() -> Criterion {
 criterion_group! {
     name = benches;
     config = config();
-    targets = bench_ingest_by_workers, bench_ingest_by_buffering
+    targets = bench_store_update_kernel, bench_ingest_by_workers, bench_ingest_by_buffering
 }
 criterion_main!(benches);

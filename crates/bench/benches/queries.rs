@@ -7,13 +7,9 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use graph_zeppelin::{GraphZeppelin, GzConfig, StoreBackend};
-use gz_bench::harness::kron_workload;
+use gz_bench::harness::{kron_workload, smoke};
 use gz_stream::UpdateKind;
 use std::time::Duration;
-
-fn smoke() -> bool {
-    std::env::var("GZ_BENCH_SMOKE").is_ok()
-}
 
 fn bench_connected_components(c: &mut Criterion) {
     let mut group = c.benchmark_group("gz_query");

@@ -2,6 +2,7 @@
 //! stopwatch, statistically disciplined).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use gz_bench::harness::smoke;
 use gz_hash::Xxh64Hasher;
 use gz_sketch::cube::CubeSketchFamily;
 use gz_sketch::standard::AnyStandardFamily;
@@ -31,6 +32,45 @@ fn bench_cube_updates(c: &mut Criterion) {
             },
         );
     }
+    group.finish();
+}
+
+/// The batch-kernel throughput comparison at the raw sketch level
+/// (updates/sec): per-update singles vs the column-major kernel vs the
+/// kernel behind the self-cancellation pre-pass on a dup-heavy batch (the
+/// gutter regime: insert/delete pairs for the same edge cancel before any
+/// hashing). Store-level numbers live in the ingestion bench.
+fn bench_cube_batch_kernel(c: &mut Criterion) {
+    let n = 10u64.pow(if smoke() { 6 } else { 9 });
+    let family = CubeSketchFamily::<Xxh64Hasher>::for_vector(n, 7);
+    let batch = indices(n, if smoke() { 256 } else { 1024 });
+    // Dup-heavy variant of the same length: half the slots are
+    // insert/delete pairs, which the pre-pass cancels for free.
+    let mut dup_batch = Vec::with_capacity(batch.len());
+    for pair in batch[..batch.len() / 4].iter() {
+        dup_batch.push(*pair);
+        dup_batch.push(*pair);
+    }
+    dup_batch.extend_from_slice(&batch[batch.len() / 4..batch.len() * 3 / 4]);
+
+    let mut group = c.benchmark_group("cubesketch_batch_kernel");
+    group.throughput(Throughput::Elements(batch.len() as u64));
+    group.bench_with_input(BenchmarkId::from_parameter("singles"), &batch, |b, batch| {
+        let mut sketch = family.new_sketch();
+        b.iter(|| {
+            for &i in batch {
+                sketch.update(i);
+            }
+        });
+    });
+    group.bench_with_input(BenchmarkId::from_parameter("batch"), &batch, |b, batch| {
+        let mut sketch = family.new_sketch();
+        b.iter(|| sketch.update_batch_prepared(batch));
+    });
+    group.bench_with_input(BenchmarkId::from_parameter("batch+dedup"), &dup_batch, |b, batch| {
+        let mut sketch = family.new_sketch();
+        b.iter(|| sketch.update_batch(batch));
+    });
     group.finish();
 }
 
@@ -104,6 +144,7 @@ fn config() -> Criterion {
 criterion_group! {
     name = benches;
     config = config();
-    targets = bench_cube_updates, bench_standard_updates, bench_cube_query, bench_cube_merge
+    targets = bench_cube_updates, bench_cube_batch_kernel, bench_standard_updates,
+        bench_cube_query, bench_cube_merge
 }
 criterion_main!(benches);

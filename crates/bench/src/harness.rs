@@ -63,6 +63,12 @@ pub struct Workload {
     pub updates: Vec<EdgeUpdate>,
 }
 
+/// True when benches should run at tiny scale (the CI smoke mode,
+/// `GZ_BENCH_SMOKE=1`). One definition shared by every bench target.
+pub fn smoke() -> bool {
+    std::env::var("GZ_BENCH_SMOKE").is_ok()
+}
+
 /// Generate the kron dataset at `scale` and streamify it.
 pub fn kron_workload(scale: u32, seed: u64) -> Workload {
     let dataset = Dataset::kron(scale);

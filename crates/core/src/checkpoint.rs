@@ -9,7 +9,7 @@
 //! Layout (little-endian):
 //!
 //! ```text
-//! magic    [u8;4] = b"GZC1"
+//! magic    [u8;4] = b"GZC2"   — v2: single-hash column derivation (DESIGN.md §9)
 //! num_nodes u64, seed u64, rounds u32, columns u32
 //! updates   u64      — updates ingested so far (informational)
 //! payload   num_nodes × node_sketch_serialized_bytes
@@ -22,7 +22,11 @@ use crate::system::GraphZeppelin;
 use std::io::{BufReader, BufWriter, Read, Write};
 use std::path::Path;
 
-const MAGIC: [u8; 4] = *b"GZC1";
+// v1 checkpoints ("GZC1") predate the single-hash column derivation
+// (DESIGN.md §9): their bucket payloads were built from the old `h1`/`h2`
+// pair and cannot merge with sketches hashed under the current scheme, so
+// the magic refuses them instead of silently restoring corrupt state.
+const MAGIC: [u8; 4] = *b"GZC2";
 
 /// Header of a checkpoint file.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

@@ -92,41 +92,42 @@ fn apply_batch(store: &SketchStore, node: u32, records: &[u32], group_threads: u
 }
 
 /// Sketch-level parallel application (RAM store, delta-sketch discipline):
-/// decode the batch once, build the delta sketch with rounds split across a
-/// scoped thread group, then lock only for the merge.
+/// decode the batch to indices once (into the per-worker thread-local
+/// scratch, same as the serial path), run the self-cancellation pre-pass
+/// once (hash-independent, so one pass serves every round), build the delta
+/// sketch with rounds split across a scoped thread group — each round
+/// applied through the column-major batch kernel — then lock only for the
+/// merge. The delta sketch comes from the store's reusable scratch pool, so
+/// no node-sized allocation happens per batch.
 fn apply_batch_grouped(
     ram: &crate::store::ram::RamStore,
     node: u32,
     records: &[u32],
     group_threads: usize,
 ) {
-    let params = ram.params();
-    let num_nodes = params.num_nodes;
-    // Decode to characteristic-vector indices once.
-    let indices: Vec<u64> = records
-        .iter()
-        .filter_map(|&rec| {
-            let (other, _del) = crate::node_sketch::decode_other(rec);
-            (other != node).then(|| crate::node_sketch::update_index(node, other, num_nodes))
-        })
-        .collect();
+    let num_nodes = ram.params().num_nodes;
+    crate::store::with_index_scratch(|indices| {
+        crate::store::decode_records_into(node, records, num_nodes, indices);
+        gz_sketch::cancel_duplicates(indices);
 
-    let mut scratch = params.new_node_sketch();
-    {
-        let rounds = scratch.rounds_mut();
-        let per_chunk = rounds.len().div_ceil(group_threads);
-        std::thread::scope(|scope| {
-            for chunk in rounds.chunks_mut(per_chunk.max(1)) {
-                let indices = &indices;
-                scope.spawn(move || {
-                    for sketch in chunk.iter_mut() {
-                        sketch.update_batch(indices);
-                    }
-                });
-            }
-        });
-    }
-    ram.merge_delta(node, &scratch);
+        let mut scratch = ram.checkout_scratch();
+        {
+            let rounds = scratch.rounds_mut();
+            let per_chunk = rounds.len().div_ceil(group_threads);
+            std::thread::scope(|scope| {
+                for chunk in rounds.chunks_mut(per_chunk.max(1)) {
+                    let indices = &*indices;
+                    scope.spawn(move || {
+                        for sketch in chunk.iter_mut() {
+                            sketch.update_batch_prepared(indices);
+                        }
+                    });
+                }
+            });
+        }
+        ram.merge_delta(node, &scratch);
+        ram.recycle_scratch(scratch);
+    });
 }
 
 #[cfg(test)]
@@ -178,6 +179,31 @@ mod tests {
         let (a, b) = (a[0].as_ref().unwrap(), b[0].as_ref().unwrap());
         for r in 0..a.num_rounds() {
             assert_eq!(a.sample_round(r), b.sample_round(r), "round {r}");
+        }
+    }
+
+    #[test]
+    fn grouped_application_reuses_store_scratch() {
+        // The grouped path must draw its delta sketch from the store's
+        // scratch pool (no per-batch node-sketch allocation) and recycle it
+        // zeroed: repeated grouped batches leave exactly one pooled scratch
+        // and state identical to the serial path.
+        let grouped = ram_store(32);
+        let serial = ram_store(32);
+        for node in 0..6u32 {
+            let records: Vec<u32> = (1..12).map(|o| encode_other((node + o) % 32, false)).collect();
+            apply_batch(&grouped, node, &records, 3);
+            apply_batch(&serial, node, &records, 1);
+        }
+        let SketchStore::Ram(ram) = grouped.as_ref() else { unreachable!("ram store") };
+        assert_eq!(ram.scratch_pool_len(), 1, "scratch checked out and recycled per batch");
+        let (a, b) = (grouped.snapshot(), serial.snapshot());
+        for (node, (x, y)) in a.iter().zip(b.iter()).enumerate() {
+            crate::node_sketch::assert_rounds_bitwise_equal(
+                x.as_ref().unwrap(),
+                y.as_ref().unwrap(),
+                &format!("node {node}"),
+            );
         }
     }
 

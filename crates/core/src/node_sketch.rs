@@ -84,6 +84,21 @@ impl<S: L0Sampler> NodeSketch<S> {
     }
 }
 
+impl<H: gz_hash::Hasher64> NodeSketch<CubeSketch<H>> {
+    /// Apply one *prepared* batch of characteristic-vector toggles — decoded
+    /// to indices and run through the self-cancellation pre-pass
+    /// ([`gz_sketch::cancel_duplicates`]) exactly once — to every round via
+    /// the column-major batch kernel. The pre-pass is hash-independent, so
+    /// one pass serves all `O(log V)` rounds; bit-identical to looping
+    /// [`Self::update_signed`] over the raw records.
+    #[inline]
+    pub fn update_batch_prepared(&mut self, indices: &[u64]) {
+        for s in self.rounds.iter_mut() {
+            s.update_batch_prepared(indices);
+        }
+    }
+}
+
 /// The GraphZeppelin node sketch: CubeSketches over the characteristic
 /// vector index space.
 pub type CubeNodeSketch = NodeSketch<CubeSketch<Xxh64Hasher>>;
@@ -178,6 +193,20 @@ impl SketchParams {
             offset += sz;
             s
         })
+    }
+}
+
+/// Test support: assert two node sketch stacks are bit-identical, round by
+/// round (the batch-kernel == singles invariant the store and ingest tests
+/// pin).
+#[cfg(test)]
+pub(crate) fn assert_rounds_bitwise_equal(a: &CubeNodeSketch, b: &CubeNodeSketch, ctx: &str) {
+    assert_eq!(a.num_rounds(), b.num_rounds(), "{ctx}: round count");
+    for r in 0..a.num_rounds() {
+        let (mut ab, mut bb) = (Vec::new(), Vec::new());
+        a.round(r).serialize_into(&mut ab);
+        b.round(r).serialize_into(&mut bb);
+        assert_eq!(ab, bb, "{ctx}: round {r}");
     }
 }
 

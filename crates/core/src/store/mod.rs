@@ -388,8 +388,44 @@ impl SketchSource for StoreRoundSource<'_> {
     }
 }
 
-/// Decode a batch of records into characteristic-vector updates and apply
-/// them to a node sketch. Shared by both stores.
+std::thread_local! {
+    /// Per-thread index scratch for batch decoding: one buffer per Graph
+    /// Worker, reused across batches so the hot path allocates nothing.
+    /// Holds plain `u64` indices, so it is safe to share across stores
+    /// with different sketch parameters.
+    static INDEX_SCRATCH: std::cell::RefCell<Vec<u64>> = const { std::cell::RefCell::new(Vec::new()) };
+}
+
+/// Run `f` with this thread's cleared index-scratch buffer (the decode
+/// workspace of [`apply_records`] and the grouped ingestion path).
+pub(crate) fn with_index_scratch<R>(f: impl FnOnce(&mut Vec<u64>) -> R) -> R {
+    INDEX_SCRATCH.with(|cell| {
+        let mut indices = cell.borrow_mut();
+        indices.clear();
+        f(&mut indices)
+    })
+}
+
+/// Decode a batch of records bound for `node` into characteristic-vector
+/// indices, appending to `out`. Self-loops are dropped (defensive: invalid
+/// stream updates); the deletion flag is ignored (Z_2: insert and delete
+/// are the same toggle).
+#[inline]
+pub(crate) fn decode_records_into(node: u32, records: &[u32], num_nodes: u64, out: &mut Vec<u64>) {
+    out.reserve(records.len());
+    for &rec in records {
+        let (other, _is_delete) = crate::node_sketch::decode_other(rec);
+        if other != node {
+            out.push(crate::node_sketch::update_index(node, other, num_nodes));
+        }
+    }
+}
+
+/// Apply a batch of records to a node sketch through the batch kernel:
+/// decode to indices **once per batch** (not once per round), run the
+/// self-cancellation pre-pass once (it is hash-independent, so one pass
+/// serves every round), then drive each round's column-major kernel.
+/// Shared by both stores and bit-identical to per-record singles.
 #[inline]
 pub(crate) fn apply_records(
     sketch: &mut CubeNodeSketch,
@@ -397,15 +433,11 @@ pub(crate) fn apply_records(
     records: &[u32],
     num_nodes: u64,
 ) {
-    for &rec in records {
-        let (other, _is_delete) = crate::node_sketch::decode_other(rec);
-        if other == node {
-            continue; // defensive: self-loops are invalid stream updates
-        }
-        let idx = crate::node_sketch::update_index(node, other, num_nodes);
-        // Z_2: insert and delete are the same toggle.
-        sketch.update_signed(idx, 1);
-    }
+    with_index_scratch(|indices| {
+        decode_records_into(node, records, num_nodes, indices);
+        gz_sketch::cancel_duplicates(indices);
+        sketch.update_batch_prepared(indices);
+    });
 }
 
 #[cfg(test)]

@@ -60,6 +60,19 @@ impl RamStore {
         self.node_set
     }
 
+    /// Check a scratch node sketch out of the reusable pool (all-zero, no
+    /// allocation once the pool is warm) — the delta-sketch discipline's
+    /// workspace. Return it with [`Self::recycle_scratch`].
+    pub(crate) fn checkout_scratch(&self) -> CubeNodeSketch {
+        self.scratch_pool.lock().pop().unwrap_or_else(|| self.params.new_node_sketch())
+    }
+
+    /// Zero a scratch sketch and put it back in the pool for the next batch.
+    pub(crate) fn recycle_scratch(&self, mut scratch: CubeNodeSketch) {
+        scratch.clear_all();
+        self.scratch_pool.lock().push(scratch);
+    }
+
     /// Apply a batch of encoded records to `node` (which must be owned).
     pub fn apply_batch(&self, node: u32, records: &[u32]) {
         let slot = self.node_set.slot(node);
@@ -69,15 +82,13 @@ impl RamStore {
                 super::apply_records(&mut sketch, node, records, self.params.num_nodes);
             }
             LockingStrategy::DeltaSketch => {
-                let mut scratch =
-                    self.scratch_pool.lock().pop().unwrap_or_else(|| self.params.new_node_sketch());
+                let mut scratch = self.checkout_scratch();
                 // Build the delta without holding the node's lock…
                 super::apply_records(&mut scratch, node, records, self.params.num_nodes);
                 // …lock only for the XOR-merge…
                 self.nodes[slot].lock().merge(&scratch);
                 // …and recycle the scratch.
-                scratch.clear_all();
-                self.scratch_pool.lock().push(scratch);
+                self.recycle_scratch(scratch);
             }
         }
     }
@@ -134,6 +145,13 @@ impl RamStore {
     /// Total sketch payload bytes (owned nodes only).
     pub fn sketch_bytes(&self) -> usize {
         self.params.node_sketch_bytes() * self.nodes.len()
+    }
+
+    /// Scratch sketches currently parked in the pool (test instrumentation
+    /// for the reuse discipline).
+    #[cfg(test)]
+    pub(crate) fn scratch_pool_len(&self) -> usize {
+        self.scratch_pool.lock().len()
     }
 }
 
@@ -218,6 +236,56 @@ mod tests {
         }
         // Single-threaded: the pool should hold exactly one scratch.
         assert_eq!(s.scratch_pool.lock().len(), 1);
+    }
+
+    #[test]
+    fn recycled_scratch_carries_no_state_across_batches() {
+        // The reuse discipline's core invariant: a batch applied through a
+        // recycled scratch yields bytes identical to a store whose scratch
+        // was fresh — nothing from earlier batches bleeds through.
+        let reused = store(LockingStrategy::DeltaSketch);
+        let fresh = store(LockingStrategy::DeltaSketch);
+        // Warm the pool on `reused` with unrelated traffic to other nodes.
+        for i in 0..6 {
+            reused.apply_batch(i % 3, &[encode_other(10 + i, false)]);
+            fresh.apply_batch(i % 3, &[encode_other(10 + i, false)]);
+        }
+        assert_eq!(reused.scratch_pool_len(), 1, "pool warmed");
+        let records: Vec<u32> = (1..8).map(|o| encode_other(o + 20, false)).collect();
+        reused.apply_batch(5, &records);
+        fresh.apply_batch(5, &records);
+        let (a, b) = (reused.snapshot(), fresh.snapshot());
+        for (node, (x, y)) in a.iter().zip(b.iter()).enumerate() {
+            crate::node_sketch::assert_rounds_bitwise_equal(
+                x.as_ref().unwrap(),
+                y.as_ref().unwrap(),
+                &format!("node {node}"),
+            );
+        }
+    }
+
+    #[test]
+    fn dup_heavy_batch_matches_singles_bitwise() {
+        // Gutter regime: insert/delete pairs for the same edge inside one
+        // batch must leave state bit-identical to per-record application.
+        let batched = store(LockingStrategy::DeltaSketch);
+        let singles = store(LockingStrategy::Direct);
+        let mut records = Vec::new();
+        for o in 1..10u32 {
+            records.push(encode_other(o, false)); // insert
+            records.push(encode_other(o, true)); // delete: cancels pre-hash
+        }
+        records.push(encode_other(17, false));
+        batched.apply_batch(0, &records);
+        for &r in &records {
+            singles.apply_batch(0, &[r]);
+        }
+        let (a, b) = (batched.snapshot(), singles.snapshot());
+        crate::node_sketch::assert_rounds_bitwise_equal(
+            a[0].as_ref().unwrap(),
+            b[0].as_ref().unwrap(),
+            "node 0",
+        );
     }
 
     #[test]

@@ -360,6 +360,15 @@ impl GutterTree {
     }
 }
 
+impl Drop for GutterTree {
+    fn drop(&mut self) {
+        // Best-effort cleanup of the backing file (buffered updates are
+        // gone with the process either way); mirrors `DiskStore`'s drop so
+        // a `--disk` run leaves nothing behind. Failures are ignored.
+        let _ = std::fs::remove_file(&self.config.path);
+    }
+}
+
 impl BufferingSystem for GutterTree {
     fn insert(&mut self, dst: u32, other: u32) {
         debug_assert!(dst < self.config.num_nodes);

@@ -2,15 +2,15 @@
 //!
 //! Every bucket holds two XOR-accumulators: `α`, the XOR of the (offset)
 //! binary representations of all coordinates currently "in" the bucket, and
-//! `γ`, the XOR of their checksums `h2(·)`. A coordinate `e` belongs to
-//! bucket row `i` of column `j` iff `h1_j(e)` has at least `i` trailing zero
-//! bits — so row 0 holds everything and each deeper row holds an (expected)
-//! half of the previous one. A bucket with exactly one surviving coordinate
-//! reports it directly: `α` *is* its encoding and the checksum certifies
-//! single support (Lemma 3).
+//! `γ`, the XOR of their checksums. A coordinate `e` belongs to bucket row
+//! `i` of column `j` iff the column hash `h_j(e)` has at least `i` trailing
+//! zero bits — so row 0 holds everything and each deeper row holds an
+//! (expected) half of the previous one. A bucket with exactly one surviving
+//! coordinate reports it directly: `α` *is* its encoding and the checksum
+//! certifies single support (Lemma 3).
 //!
-//! Two implementation choices relative to the pseudocode, both documented in
-//! DESIGN.md:
+//! Three implementation choices relative to the pseudocode, all documented
+//! in DESIGN.md (§2 and §9):
 //!
 //! - `α` accumulates `idx + 1` rather than `idx`, so the all-zero bucket
 //!   unambiguously means "empty" even when coordinate 0 is in play; queries
@@ -19,11 +19,61 @@
 //!   sketch: sketches are only mergeable when built from identical hash
 //!   functions (the paper shares them across all node sketches of a round),
 //!   and sharing keeps per-sketch memory at exactly the bucket payload.
+//! - One 64-bit hash per column serves both roles: the *depth* is its
+//!   trailing-zero count and the *checksum* its high 32 bits, halving hash
+//!   invocations on the update hot path relative to separate `h1`/`h2`
+//!   draws. Update, query, and serialization all derive from the same call,
+//!   so linearity and single-support certification are unaffected.
+//!
+//! The ingestion hot path enters through [`CubeSketch::update_batch`]
+//! (paper Figure 8, `update_sketch_batch`): a self-cancellation pre-pass
+//! drops coordinate pairs before any hashing (toggles over Z_2 — gutters
+//! routinely deliver insert/delete pairs for the same edge), then a
+//! column-major kernel hashes each survivor once per column and applies the
+//! XORs in contiguous row order via a suffix-XOR sweep.
 
 use crate::geometry::SketchGeometry;
 use crate::{L0Sampler, SampleResult};
 use gz_hash::{Hasher64, SplitMix64, Xxh64Hasher};
 use std::sync::Arc;
+
+/// Hard ceiling on sketch rows (`⌈log2 n⌉ ≤ 64` for `n: u64`); sizes the
+/// batch kernel's stack-resident per-depth accumulators.
+const MAX_ROWS: usize = 64;
+
+/// Batches smaller than this skip the column-major kernel: the suffix-XOR
+/// sweep touches every row of every column (`rows × columns` writes), which
+/// only pays for itself once several updates share that fixed cost.
+const KERNEL_MIN_BATCH: usize = 4;
+
+/// Cancel coordinate pairs within a batch of Z_2 toggles, in place.
+///
+/// Over Z_2 an even number of toggles of the same coordinate is a no-op, so
+/// duplicate pairs can be dropped *before any hashing* — the batch kernel's
+/// pre-pass. Sorts `indices` and keeps one copy of each value that occurs an
+/// odd number of times; the surviving order is ascending (irrelevant to the
+/// sketch, whose updates commute).
+pub fn cancel_duplicates(indices: &mut Vec<u64>) {
+    if indices.len() < 2 {
+        return;
+    }
+    indices.sort_unstable();
+    let mut write = 0;
+    let mut read = 0;
+    while read < indices.len() {
+        let value = indices[read];
+        let mut run = 1;
+        while read + run < indices.len() && indices[read + run] == value {
+            run += 1;
+        }
+        if run % 2 == 1 {
+            indices[write] = value;
+            write += 1;
+        }
+        read += run;
+    }
+    indices.truncate(write);
+}
 
 /// Shared parameters (geometry + hash functions) for a family of mergeable
 /// CubeSketches.
@@ -31,19 +81,41 @@ use std::sync::Arc;
 pub struct CubeSketchFamily<H: Hasher64 = Xxh64Hasher> {
     geometry: SketchGeometry,
     seed: u64,
-    /// Per-column membership hash `h1` (depth = trailing zeros of its value).
-    h1: Vec<H>,
-    /// Per-column checksum hash `h2`.
-    h2: Vec<H>,
+    /// One hash per column: depth = trailing zeros of its value, checksum =
+    /// its high 32 bits.
+    hash: Vec<H>,
 }
 
 impl<H: Hasher64> CubeSketchFamily<H> {
     /// Create the family identified by `(geometry, seed)`.
     pub fn new(geometry: SketchGeometry, seed: u64) -> Arc<Self> {
         let cols = geometry.num_columns as u64;
-        let h1 = (0..cols).map(|c| H::with_seed(SplitMix64::derive(seed, 2 * c))).collect();
-        let h2 = (0..cols).map(|c| H::with_seed(SplitMix64::derive(seed, 2 * c + 1))).collect();
-        Arc::new(CubeSketchFamily { geometry, seed, h1, h2 })
+        let hash = (0..cols).map(|c| H::with_seed(SplitMix64::derive(seed, c))).collect();
+        Arc::new(CubeSketchFamily { geometry, seed, hash })
+    }
+
+    /// Depth and checksum of encoded coordinate `enc` in column `col`, from
+    /// a single 64-bit hash: row `i` membership needs `i` trailing zero bits
+    /// (so depth = `1 + tz`, clamped to the row count) and the checksum is
+    /// the high word. The two draw fully disjoint bits while `rows ≤ 32`
+    /// (`n ≤ 2^32`); for longer vectors a row-`i` bucket with `i > 32`
+    /// constrains the low `i − 32` checksum bits of its members, so the
+    /// effective checksum entropy in those deepest rows is `64 − i` bits —
+    /// e.g. still ≥ 25 bits at `n = 2^39` (`V ≈ 10^6`) — a bounded, rare-row
+    /// weakening of the Lemma 3 certificate accepted in exchange for
+    /// halving hash invocations (DESIGN.md §9).
+    #[inline]
+    fn depth_and_checksum(&self, col: usize, enc: u64) -> (usize, u32) {
+        let h = self.hash[col].hash64(enc);
+        let depth = (1 + h.trailing_zeros() as usize).min(self.geometry.num_rows as usize);
+        (depth, (h >> 32) as u32)
+    }
+
+    /// The checksum a single surviving coordinate must certify with (query
+    /// side of the same single-hash derivation).
+    #[inline]
+    fn checksum(&self, col: usize, enc: u64) -> u32 {
+        (self.hash[col].hash64(enc) >> 32) as u32
     }
 
     /// Convenience: family for a vector of length `n` with default columns.
@@ -128,10 +200,7 @@ impl<H: Hasher64> CubeSketch<H> {
         let enc = idx + 1; // offset encoding: 0 is reserved for "empty"
         let rows = geom.num_rows as usize;
         for col in 0..geom.num_columns as usize {
-            let h = self.family.h1[col].hash64(enc);
-            let checksum = self.family.h2[col].hash32(enc);
-            // Depth: row i requires i trailing zero bits; row 0 always.
-            let depth = (1 + h.trailing_zeros() as usize).min(rows);
+            let (depth, checksum) = self.family.depth_and_checksum(col, enc);
             let base = col * rows;
             for r in base..base + depth {
                 self.alpha[r] ^= enc;
@@ -140,11 +209,62 @@ impl<H: Hasher64> CubeSketch<H> {
         }
     }
 
-    /// Apply a batch of coordinate toggles (the Graph Worker path,
-    /// paper Figure 8 `update_sketch_batch`).
+    /// Apply a batch of coordinate toggles (the Graph Worker path, paper
+    /// Figure 8 `update_sketch_batch`): self-cancellation pre-pass, then the
+    /// column-major kernel. Bit-identical to per-update singles.
     pub fn update_batch(&mut self, indices: &[u64]) {
-        for &idx in indices {
-            self.update(idx);
+        let mut survivors = indices.to_vec();
+        cancel_duplicates(&mut survivors);
+        self.update_batch_prepared(&survivors);
+    }
+
+    /// The column-major batch kernel, without the cancellation pre-pass —
+    /// callers that share one prepared (decoded + cancelled) index batch
+    /// across many sketches (every round of a node stack) enter here.
+    ///
+    /// Per column, every index is hashed exactly once and its `(α, γ)`
+    /// contribution is bucketed at its exact depth; a suffix-XOR sweep then
+    /// applies the accumulated deltas to the column's rows in one contiguous
+    /// descending pass (row `r` receives every contribution of depth
+    /// `> r`). Correct for arbitrary batches — duplicate pairs cancel inside
+    /// the accumulators — the pre-pass only saves their hashing cost.
+    pub fn update_batch_prepared(&mut self, indices: &[u64]) {
+        if indices.len() < KERNEL_MIN_BATCH {
+            for &idx in indices {
+                self.update(idx);
+            }
+            return;
+        }
+        let geom = &self.family.geometry;
+        let rows = geom.num_rows as usize;
+        debug_assert!(rows <= MAX_ROWS);
+        // Per-depth XOR accumulators, stack-resident (rows ≤ 64). Index d
+        // holds the XOR of contributions whose exact depth is d + 1.
+        let mut acc_alpha = [0u64; MAX_ROWS];
+        let mut acc_gamma = [0u32; MAX_ROWS];
+        for col in 0..geom.num_columns as usize {
+            for &idx in indices {
+                debug_assert!(idx < geom.vector_len, "index {idx} out of range");
+                let enc = idx + 1;
+                let (depth, checksum) = self.family.depth_and_checksum(col, enc);
+                acc_alpha[depth - 1] ^= enc;
+                acc_gamma[depth - 1] ^= checksum;
+            }
+            // Suffix-XOR sweep: walking rows deepest-first, the running XOR
+            // at row r is exactly the combined delta of all indices with
+            // depth > r. Writes are contiguous within the column (buckets
+            // are column-major), and the accumulators are re-zeroed in the
+            // same pass for the next column.
+            let base = col * rows;
+            let (mut run_alpha, mut run_gamma) = (0u64, 0u32);
+            for r in (0..rows).rev() {
+                run_alpha ^= acc_alpha[r];
+                run_gamma ^= acc_gamma[r];
+                acc_alpha[r] = 0;
+                acc_gamma[r] = 0;
+                self.alpha[base + r] ^= run_alpha;
+                self.gamma[base + r] ^= run_gamma;
+            }
         }
     }
 
@@ -164,7 +284,7 @@ impl<H: Hasher64> CubeSketch<H> {
                     continue; // empty (or an undetectable double-cancellation)
                 }
                 all_empty = false;
-                if a != 0 && self.family.h2[col].hash32(a) == g && a - 1 < geom.vector_len {
+                if a != 0 && self.family.checksum(col, a) == g && a - 1 < geom.vector_len {
                     return SampleResult::Index(a - 1);
                 }
             }
@@ -232,18 +352,19 @@ impl<H: Hasher64> CubeSketch<H> {
     pub fn deserialize(family: Arc<CubeSketchFamily<H>>, bytes: &[u8]) -> Self {
         let n = family.geometry.num_buckets();
         assert_eq!(bytes.len(), n * 12, "payload size mismatch");
-        let mut alpha = Vec::with_capacity(n);
-        let mut gamma = Vec::with_capacity(n);
-        for i in 0..n {
-            alpha.push(u64::from_le_bytes(bytes[i * 8..i * 8 + 8].try_into().unwrap()));
-        }
-        let goff = n * 8;
-        for i in 0..n {
-            gamma.push(u32::from_le_bytes(
-                bytes[goff + i * 4..goff + i * 4 + 4].try_into().unwrap(),
-            ));
-        }
-        CubeSketch { family, alpha: alpha.into(), gamma: gamma.into() }
+        // Bulk-decode via `chunks_exact`: the bounds checks hoist out of the
+        // loops, which matters on the disk-store query path where every
+        // group fault deserializes a whole node group.
+        let (alpha_bytes, gamma_bytes) = bytes.split_at(n * 8);
+        let alpha: Box<[u64]> = alpha_bytes
+            .chunks_exact(8)
+            .map(|c| u64::from_le_bytes(c.try_into().expect("chunk is 8 bytes")))
+            .collect();
+        let gamma: Box<[u32]> = gamma_bytes
+            .chunks_exact(4)
+            .map(|c| u32::from_le_bytes(c.try_into().expect("chunk is 4 bytes")))
+            .collect();
+        CubeSketch { family, alpha, gamma }
     }
 
     /// Exact serialized size for a geometry.
@@ -428,6 +549,71 @@ mod tests {
         assert_eq!(a.alpha, b.alpha);
         assert_eq!(a.gamma, b.gamma);
     }
+
+    #[test]
+    fn prepared_kernel_equals_singles_with_duplicates() {
+        // The column-major kernel is correct even without the pre-pass:
+        // duplicate contributions cancel inside its accumulators.
+        let f = family(10_000, 19);
+        let mut a = f.new_sketch();
+        let mut b = f.new_sketch();
+        let updates: Vec<u64> = (0..150).map(|i| (i * 13) % 50).collect(); // heavy dups
+        a.update_batch_prepared(&updates);
+        for &u in &updates {
+            b.update(u);
+        }
+        assert_eq!(a.alpha, b.alpha);
+        assert_eq!(a.gamma, b.gamma);
+    }
+
+    #[test]
+    fn tiny_batches_take_the_singles_path_identically() {
+        let f = family(1000, 23);
+        for len in 0..KERNEL_MIN_BATCH + 2 {
+            let updates: Vec<u64> = (0..len as u64).map(|i| i * 7 % 1000).collect();
+            let mut a = f.new_sketch();
+            let mut b = f.new_sketch();
+            a.update_batch(&updates);
+            for &u in &updates {
+                b.update(u);
+            }
+            assert_eq!(a.alpha, b.alpha, "len={len}");
+            assert_eq!(a.gamma, b.gamma, "len={len}");
+        }
+    }
+
+    #[test]
+    fn cancel_duplicates_drops_even_runs() {
+        let mut v = vec![5u64, 1, 5, 2, 1, 1, 9, 9, 9, 9];
+        cancel_duplicates(&mut v);
+        assert_eq!(v, vec![1, 2]); // 5×2 and 9×4 vanish; 1×3 keeps one
+        let mut empty: Vec<u64> = Vec::new();
+        cancel_duplicates(&mut empty);
+        assert!(empty.is_empty());
+        let mut single = vec![42u64];
+        cancel_duplicates(&mut single);
+        assert_eq!(single, vec![42]);
+    }
+
+    #[test]
+    fn insert_delete_pairs_cancel_before_hashing() {
+        // The gutter regime: a batch full of insert/delete pairs for the
+        // same edges must leave the sketch exactly as if only the odd
+        // survivors were applied.
+        let f = family(5000, 29);
+        let mut batched = f.new_sketch();
+        let mut reference = f.new_sketch();
+        let mut batch = Vec::new();
+        for i in 0..40u64 {
+            batch.push(i); // insert
+            batch.push(i); // delete (same toggle over Z_2)
+        }
+        batch.push(4999);
+        batched.update_batch(&batch);
+        reference.update(4999);
+        assert_eq!(batched.alpha, reference.alpha);
+        assert_eq!(batched.gamma, reference.gamma);
+    }
 }
 
 #[cfg(test)]
@@ -536,6 +722,53 @@ mod proptests {
             }
             prop_assert!(s.is_empty(), "every coordinate toggled twice must cancel");
             prop_assert_eq!(s.query(), SampleResult::Zero);
+        }
+
+        /// The batch kernel (pre-pass + column-major application) is
+        /// bit-identical to per-update singles on arbitrary batches,
+        /// including dup-heavy ones exercising the cancellation pre-pass.
+        #[test]
+        fn batch_kernel_equals_singles(
+            seed in any::<u64>(),
+            updates in proptest::collection::vec(0u64..64, 0..200)
+        ) {
+            // Domain 64 over up to 200 updates: expect many duplicate runs.
+            let f = CubeSketchFamily::<Xxh64Hasher>::for_vector(64, seed);
+            let mut batched = f.new_sketch();
+            let mut prepared = f.new_sketch();
+            let mut singles = f.new_sketch();
+            batched.update_batch(&updates);
+            prepared.update_batch_prepared(&updates);
+            for &u in &updates {
+                singles.update(u);
+            }
+            let (mut a, mut b, mut c) = (Vec::new(), Vec::new(), Vec::new());
+            batched.serialize_into(&mut a);
+            prepared.serialize_into(&mut b);
+            singles.serialize_into(&mut c);
+            prop_assert_eq!(&a, &c, "update_batch != singles");
+            prop_assert_eq!(&b, &c, "update_batch_prepared != singles");
+        }
+
+        /// The cancellation pre-pass preserves the Z_2 toggle multiset's
+        /// parity: survivors are exactly the odd-multiplicity values.
+        #[test]
+        fn cancel_duplicates_keeps_odd_multiplicities(
+            updates in proptest::collection::vec(0u64..100, 0..150)
+        ) {
+            let mut counts = std::collections::HashMap::new();
+            for &u in &updates {
+                *counts.entry(u).or_insert(0u32) += 1;
+            }
+            let mut expected: Vec<u64> = counts
+                .iter()
+                .filter(|(_, &c)| c % 2 == 1)
+                .map(|(&v, _)| v)
+                .collect();
+            expected.sort_unstable();
+            let mut got = updates.clone();
+            cancel_duplicates(&mut got);
+            prop_assert_eq!(got, expected);
         }
 
         /// Updates commute: any permutation of updates yields the same sketch.

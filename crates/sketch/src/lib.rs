@@ -25,7 +25,7 @@ pub mod geometry;
 pub mod modular;
 pub mod standard;
 
-pub use cube::{CubeSketch, CubeSketchFamily};
+pub use cube::{cancel_duplicates, CubeSketch, CubeSketchFamily};
 pub use geometry::SketchGeometry;
 pub use standard::{StandardFamily, StandardSketch};
 

@@ -30,9 +30,14 @@ use std::io::{self, Read, Write};
 /// Frame magic.
 pub const WIRE_MAGIC: [u8; 2] = *b"GZ";
 
-/// Protocol version carried in every frame. Bump on any layout change.
-/// v2 added the round-sliced gather (`GatherRound` / `RoundSketches`).
-pub const PROTOCOL_VERSION: u8 = 2;
+/// Protocol version carried in every frame. Bump on any layout change —
+/// or any change to the sketch bytes the frames carry: shards XOR-merge
+/// gathered sketches, so a coordinator and worker disagreeing on the hash
+/// derivation must fail the handshake, not corrupt state.
+/// v2 added the round-sliced gather (`GatherRound` / `RoundSketches`);
+/// v3 marks the single-hash column derivation (DESIGN.md §9), which makes
+/// sketch payloads unmergeable with v2 builds.
+pub const PROTOCOL_VERSION: u8 = 3;
 
 /// Upper bound on a frame payload (defensive: a corrupt length header must
 /// not trigger a multi-gigabyte allocation).

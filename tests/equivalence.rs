@@ -292,6 +292,98 @@ mod streaming_query_proptests {
     }
 }
 
+mod batch_kernel_proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// Build the dup-heavy toggle stream the batch kernel's cancellation
+    /// pre-pass exists for: each raw edge is optionally emitted as an
+    /// insert/delete pair (cancelling inside one gutter flush with high
+    /// probability) instead of a single toggle.
+    fn dup_heavy_stream(n: u64, raw: Vec<(u32, u32, bool)>) -> Vec<(u32, u32, bool)> {
+        let mut updates = Vec::new();
+        for (a, b, pair) in raw {
+            let (a, b) = ((a as u64 % n) as u32, (b as u64 % n) as u32);
+            if a == b {
+                continue;
+            }
+            updates.push((a, b, false));
+            if pair {
+                updates.push((a, b, true));
+            }
+        }
+        updates
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+
+        /// The batched sketch-update kernel is bit-identical to per-update
+        /// singles at the whole-system level: a gutter-sized configuration
+        /// (batch kernel, cancellation pre-pass active) must serialize the
+        /// exact same sketch state as an unbuffered configuration (every
+        /// record its own batch) — across Ram/Disk stores and shard counts
+        /// {1, 3}, on dup-heavy streams.
+        #[test]
+        fn batched_kernel_matches_singles_everywhere(
+            n in 4u64..28,
+            raw in proptest::collection::vec((any::<u32>(), any::<u32>(), any::<bool>()), 0..100)
+        ) {
+            let updates = dup_heavy_stream(n, raw);
+
+            // Reference: per-update singles (capacity-1 gutters flush every
+            // record as its own batch, so the kernel's small-batch path and
+            // the pre-pass both degenerate to plain single updates).
+            let mut singles_cfg = GzConfig::in_ram(n);
+            singles_cfg.buffering =
+                BufferStrategy::LeafOnly { capacity: GutterCapacity::Updates(1) };
+            let mut singles = GraphZeppelin::new(singles_cfg).unwrap();
+            for &(u, v, d) in &updates {
+                singles.update(u, v, d);
+            }
+            let reference = singles.snapshot_serialized();
+
+            // Gutter-sized RAM batches through the column-major kernel.
+            let mut ram = GraphZeppelin::new(GzConfig::in_ram(n)).unwrap();
+            for &(u, v, d) in &updates {
+                ram.update(u, v, d);
+            }
+            prop_assert_eq!(&ram.snapshot_serialized(), &reference, "ram batch != singles");
+
+            // Disk store: the same kernel behind the group cache.
+            let dir = TempDir::new("gz-equiv-kernel-prop");
+            let mut disk_cfg = GzConfig::in_ram(n);
+            disk_cfg.store = StoreBackend::Disk {
+                dir: dir.path().to_path_buf(),
+                block_bytes: 512,
+                cache_groups: 2,
+            };
+            let mut disk = GraphZeppelin::new(disk_cfg).unwrap();
+            for &(u, v, d) in &updates {
+                disk.update(u, v, d);
+            }
+            prop_assert_eq!(&disk.snapshot_serialized(), &reference, "disk batch != singles");
+
+            // Shard fleets route through per-shard gutter lanes before the
+            // same store kernel.
+            for shards in [1u32, 3] {
+                let mut gz = ShardedGraphZeppelin::in_process(ShardConfig::in_ram(n, shards))
+                    .unwrap();
+                for &(u, v, d) in &updates {
+                    gz.update(u, v, d).unwrap();
+                }
+                prop_assert_eq!(
+                    &gz.gather_serialized().unwrap(),
+                    &reference,
+                    "sharded batch != singles ({} shards)",
+                    shards
+                );
+                gz.shutdown().unwrap();
+            }
+        }
+    }
+}
+
 #[test]
 fn streaming_cc_baseline_agrees_with_graphzeppelin() {
     // The prior-art system and GraphZeppelin implement the same abstract
