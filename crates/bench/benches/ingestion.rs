@@ -146,6 +146,15 @@ fn bench_store_update_kernel(c: &mut Criterion) {
     group.finish();
 }
 
+/// Final target: persist every measurement above as the machine-readable
+/// baseline (`BENCH_ingestion.json`).
+fn emit_bench_json(_c: &mut Criterion) {
+    match gz_bench::harness::write_bench_json("ingestion") {
+        Ok(path) => println!("bench baseline written to {}", path.display()),
+        Err(e) => eprintln!("could not write BENCH_ingestion.json: {e}"),
+    }
+}
+
 fn config() -> Criterion {
     Criterion::default()
         .sample_size(10)
@@ -156,6 +165,7 @@ fn config() -> Criterion {
 criterion_group! {
     name = benches;
     config = config();
-    targets = bench_store_update_kernel, bench_ingest_by_workers, bench_ingest_by_buffering
+    targets = bench_store_update_kernel, bench_ingest_by_workers, bench_ingest_by_buffering,
+        emit_bench_json
 }
 criterion_main!(benches);

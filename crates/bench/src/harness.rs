@@ -261,6 +261,60 @@ pub fn scratch_dir(tag: &str) -> gz_testutil::TempDir {
     gz_testutil::TempDir::new(&format!("gz-bench-{tag}"))
 }
 
+/// Drain every benchmark measurement recorded so far and write them as
+/// `BENCH_<bench>.json` — a machine-readable perf baseline (best/mean ns
+/// per case) committed alongside EXPERIMENTS.md so future PRs have a
+/// trajectory to compare against, not just prose. The directory comes from
+/// `GZ_BENCH_JSON_DIR`; by default full runs write to the workspace root
+/// (the committed baselines) while smoke runs write under `target/` — a
+/// tiny-scale CI smoke pass must never silently replace a committed
+/// full-run baseline in a developer's checkout. Returns the path written.
+pub fn write_bench_json(bench: &str) -> std::io::Result<std::path::PathBuf> {
+    // CARGO_MANIFEST_DIR is crates/bench at compile time; the workspace
+    // root is two levels up. cwd would be wrong: cargo runs benches from
+    // the package directory.
+    let default_dir = if smoke() {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../target")
+    } else {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../..")
+    };
+    let dir = std::env::var("GZ_BENCH_JSON_DIR").unwrap_or_else(|_| default_dir.into());
+    let path = std::path::Path::new(&dir).join(format!("BENCH_{bench}.json"));
+    let cases = criterion::take_recorded();
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!("  \"bench\": \"{}\",\n", json_escape(bench)));
+    out.push_str(&format!("  \"smoke\": {},\n", smoke()));
+    out.push_str("  \"cases\": [\n");
+    for (i, case) in cases.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"best_ns\": {:.1}, \"mean_ns\": {:.1}}}{}\n",
+            json_escape(&case.name),
+            case.best_ns,
+            case.mean_ns,
+            if i + 1 == cases.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    std::fs::write(&path, out)?;
+    Ok(path)
+}
+
+/// Minimal JSON string escaping for benchmark names (quotes, backslashes,
+/// control characters — names are ASCII identifiers in practice).
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -315,6 +369,36 @@ mod tests {
         // Flush order: inserts then deletes.
         assert!(batches.iter().any(|(d, v)| !d && v == &vec![(2, 3)]));
         assert!(batches.iter().any(|(d, v)| *d && v == &vec![(0, 1)]));
+    }
+
+    #[test]
+    fn bench_json_round_trips_through_disk() {
+        // Record one fake measurement through the shim, emit the JSON, and
+        // sanity-check its shape (no serde in-tree: the emitter is
+        // hand-rolled, so pin the field names a future parser relies on).
+        let dir = gz_testutil::TempDir::new("gz-bench-json");
+        let _ = criterion::take_recorded();
+        let mut c = criterion::Criterion::default()
+            .sample_size(2)
+            .measurement_time(Duration::from_millis(2))
+            .warm_up_time(Duration::from_millis(1));
+        c.bench_function("json/smoke-case", |b| b.iter(|| std::hint::black_box(1 + 1)));
+        std::env::set_var("GZ_BENCH_JSON_DIR", dir.path());
+        let path = write_bench_json("harness_test").unwrap();
+        std::env::remove_var("GZ_BENCH_JSON_DIR");
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(path.file_name().unwrap().to_str().unwrap() == "BENCH_harness_test.json");
+        assert!(text.contains("\"bench\": \"harness_test\""), "{text}");
+        assert!(text.contains("\"name\": \"json/smoke-case\""), "{text}");
+        assert!(text.contains("\"best_ns\":"), "{text}");
+        assert!(text.contains("\"mean_ns\":"), "{text}");
+    }
+
+    #[test]
+    fn json_escape_handles_specials() {
+        assert_eq!(json_escape("plain/name_1"), "plain/name_1");
+        assert_eq!(json_escape("a\"b\\c"), "a\\\"b\\\\c");
+        assert_eq!(json_escape("x\ny"), "x\\u000ay");
     }
 
     #[test]

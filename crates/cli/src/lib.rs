@@ -6,7 +6,7 @@
 //! gz info stream.gzs
 //! gz components stream.gzs [--workers 4] [--store ram|disk] \
 //!     [--buffering leaf|tree] [--dir /tmp/gzwork] [--forest] \
-//!     [--query-mode snapshot|streaming] \
+//!     [--query-mode snapshot|streaming] [--query-threads N] \
 //!     [--shards K [--connect host:port,host:port,...]]
 //! gz checkpoint save ckpt.gzc --from stream.gzs [--workers 4] [--seed S]
 //! gz checkpoint restore ckpt.gzc [--forest] [--query-mode streaming]
@@ -108,6 +108,8 @@ pub enum Command {
         forest: bool,
         /// How queries read sketches out of the store.
         query_mode: QueryMode,
+        /// Borůvka query-engine threads (`None` = the worker count).
+        query_threads: Option<usize>,
         /// Shard the system `k` ways (in-process unless `connect` names
         /// remote workers).
         shards: Option<u32>,
@@ -135,6 +137,8 @@ pub enum Command {
         forest: bool,
         /// How the restored system reads sketches at query time.
         query_mode: QueryMode,
+        /// Borůvka query-engine threads (`None` = the worker count).
+        query_threads: Option<usize>,
     },
     /// Serve one shard over TCP: bind, accept one coordinator connection,
     /// run the shard-worker event loop until `Shutdown`.
@@ -213,6 +217,18 @@ fn parse_num<T: std::str::FromStr>(
         .map_err(|_| format!("bad value for {flag}"))
 }
 
+/// Parse `--query-threads`: a positive thread count (0 is refused — a query
+/// cannot run on no threads; omit the flag to default to the worker count).
+fn parse_query_threads(it: &mut std::slice::Iter<'_, String>) -> Result<usize, String> {
+    let n: usize = parse_num(it, "--query-threads")?;
+    if n == 0 {
+        return Err("--query-threads must be at least 1 (omit the flag to default to the \
+             worker count)"
+            .into());
+    }
+    Ok(n)
+}
+
 /// Parse a full argument vector (without argv[0]).
 pub fn parse_args(args: &[String]) -> Result<Command, String> {
     let mut it = args.iter();
@@ -267,11 +283,13 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
             let mut dir = None;
             let mut forest = false;
             let mut query_mode = QueryMode::Snapshot;
+            let mut query_threads = None;
             let mut shards = None;
             let mut connect = Vec::new();
             while let Some(arg) = it.next() {
                 match arg.as_str() {
                     "--workers" => workers = parse_num(&mut it, "--workers")?,
+                    "--query-threads" => query_threads = Some(parse_query_threads(&mut it)?),
                     "--store" => {
                         store = StoreArg::parse(it.next().ok_or("--store needs ram|disk")?)?;
                     }
@@ -311,6 +329,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                 dir,
                 forest,
                 query_mode,
+                query_threads,
                 shards,
                 connect,
             })
@@ -346,6 +365,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                     let path = PathBuf::from(it.next().ok_or("checkpoint restore needs a path")?);
                     let mut forest = false;
                     let mut query_mode = QueryMode::Snapshot;
+                    let mut query_threads = None;
                     while let Some(arg) = it.next() {
                         match arg.as_str() {
                             "--forest" => forest = true,
@@ -354,10 +374,13 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                                     it.next().ok_or("--query-mode needs snapshot|streaming")?,
                                 )?;
                             }
+                            "--query-threads" => {
+                                query_threads = Some(parse_query_threads(&mut it)?);
+                            }
                             other => return Err(format!("unknown flag {other}")),
                         }
                     }
-                    Ok(Command::CheckpointRestore { path, forest, query_mode })
+                    Ok(Command::CheckpointRestore { path, forest, query_mode, query_threads })
                 }
                 other => Err(format!("unknown checkpoint action {other} (want save|restore)")),
             }
@@ -421,6 +444,7 @@ fn store_backend(store: StoreArg, dir: &Option<PathBuf>) -> Result<StoreBackend,
 }
 
 /// Build the single-node config selected by the components flags.
+#[allow(clippy::too_many_arguments)] // mirrors the Components flag set
 fn build_config(
     num_nodes: u64,
     workers: usize,
@@ -428,11 +452,13 @@ fn build_config(
     buffering: BufferingArg,
     dir: &Option<PathBuf>,
     query_mode: QueryMode,
+    query_threads: Option<usize>,
 ) -> Result<GzConfig, String> {
     let mut config = GzConfig::in_ram(num_nodes);
     config.num_workers = workers.max(1);
     config.store = store_backend(store, dir)?;
     config.query_mode = query_mode;
+    config.query_threads = query_threads;
     config.buffering = match buffering {
         BufferingArg::Leaf => {
             BufferStrategy::LeafOnly { capacity: GutterCapacity::SketchFactor(0.5) }
@@ -479,6 +505,7 @@ fn components_sharded(
     dir: &Option<PathBuf>,
     forest: bool,
     query_mode: QueryMode,
+    query_threads: Option<usize>,
     num_shards: u32,
     connect: &[String],
 ) -> Result<String, String> {
@@ -500,6 +527,7 @@ fn components_sharded(
     config.workers_per_shard = workers.max(1);
     config.store = store_backend(store, dir)?;
     config.query_mode = query_mode;
+    config.query_threads = query_threads;
 
     let mut gz = if connect.is_empty() {
         ShardedGraphZeppelin::in_process(config).map_err(|e| e.to_string())?
@@ -608,19 +636,35 @@ pub fn execute(cmd: Command) -> Result<String, String> {
             dir,
             forest,
             query_mode,
+            query_threads,
             shards,
             connect,
         } => {
             if let Some(num_shards) = shards {
                 return components_sharded(
-                    &path, workers, store, buffering, &dir, forest, query_mode, num_shards,
+                    &path,
+                    workers,
+                    store,
+                    buffering,
+                    &dir,
+                    forest,
+                    query_mode,
+                    query_threads,
+                    num_shards,
                     &connect,
                 );
             }
             let mut reader = StreamReader::open(&path).map_err(|e| e.to_string())?;
             let header = reader.header();
-            let config =
-                build_config(header.num_vertices, workers, store, buffering, &dir, query_mode)?;
+            let config = build_config(
+                header.num_vertices,
+                workers,
+                store,
+                buffering,
+                &dir,
+                query_mode,
+                query_threads,
+            )?;
             let mut gz = GraphZeppelin::new(config).map_err(|e| e.to_string())?;
             feed_stream(&mut reader, |u, v, d| {
                 gz.update(u, v, d);
@@ -661,13 +705,14 @@ pub fn execute(cmd: Command) -> Result<String, String> {
                 ckpt.seed,
             ))
         }
-        Command::CheckpointRestore { path, forest, query_mode } => {
+        Command::CheckpointRestore { path, forest, query_mode, query_threads } => {
             let header = GraphZeppelin::checkpoint_header(&path).map_err(|e| e.to_string())?;
             let mut config = GzConfig::in_ram(header.num_nodes);
             config.seed = header.seed;
             config.num_rounds = Some(header.rounds);
             config.num_columns = header.columns;
             config.query_mode = query_mode;
+            config.query_threads = query_threads;
             let mut gz =
                 GraphZeppelin::restore_with_config(&path, config).map_err(|e| e.to_string())?;
             let cc = gz.connected_components().map_err(|e| e.to_string())?;
@@ -844,6 +889,68 @@ mod tests {
     }
 
     #[test]
+    fn parses_query_threads_flag() {
+        match parse_components("components s.gzs --query-threads 8") {
+            Command::Components { query_threads, .. } => assert_eq!(query_threads, Some(8)),
+            other => panic!("{other:?}"),
+        }
+        // Default: derive from the worker count.
+        match parse_components("components s.gzs") {
+            Command::Components { query_threads, .. } => assert_eq!(query_threads, None),
+            other => panic!("{other:?}"),
+        }
+        // Composes with the other query flags and with sharding.
+        match parse_components(
+            "components s.gzs --query-mode streaming --query-threads 4 --shards 2",
+        ) {
+            Command::Components { query_mode, query_threads, shards, .. } => {
+                assert_eq!(query_mode, QueryMode::Streaming);
+                assert_eq!(query_threads, Some(4));
+                assert_eq!(shards, Some(2));
+            }
+            other => panic!("{other:?}"),
+        }
+        // And on checkpoint restore.
+        assert!(matches!(
+            parse_args(&argv("checkpoint restore c.gzc --query-threads 2")).unwrap(),
+            Command::CheckpointRestore { query_threads: Some(2), .. }
+        ));
+        // Zero is refused with a pointed message; garbage is refused too.
+        let err = parse_args(&argv("components s.gzs --query-threads 0")).unwrap_err();
+        assert!(err.contains("at least 1"), "{err}");
+        let err = parse_args(&argv("checkpoint restore c.gzc --query-threads 0")).unwrap_err();
+        assert!(err.contains("at least 1"), "{err}");
+        assert!(parse_args(&argv("components s.gzs --query-threads lots")).is_err());
+        assert!(parse_args(&argv("components s.gzs --query-threads")).is_err());
+    }
+
+    #[test]
+    fn query_threads_change_no_answers() {
+        // End to end through the CLI: thread counts are a performance knob,
+        // never a correctness one.
+        let path = tmp("qthreads");
+        execute(Command::Generate {
+            dataset: DatasetArg::Kron(5),
+            seed: 12,
+            out: path.to_path_buf(),
+        })
+        .unwrap();
+        let reference = execute(components_cmd(&path, None)).unwrap();
+        for threads in [1usize, 3] {
+            for shards in [None, Some(2)] {
+                let mut cmd = components_cmd(&path, shards);
+                if let Command::Components { query_threads, query_mode, .. } = &mut cmd {
+                    *query_threads = Some(threads);
+                    *query_mode = QueryMode::Streaming;
+                }
+                let got = execute(cmd).unwrap();
+                let count = |s: &str| s.split_whitespace().next().unwrap().to_string();
+                assert_eq!(count(&got), count(&reference), "threads={threads} {shards:?}");
+            }
+        }
+    }
+
+    #[test]
     fn parses_checkpoint_save_and_restore() {
         assert_eq!(
             parse_args(&argv("checkpoint save c.gzc --from s.gzs --workers 3 --seed 9")).unwrap(),
@@ -860,6 +967,7 @@ mod tests {
                 path: PathBuf::from("c.gzc"),
                 forest: true,
                 query_mode: QueryMode::Streaming,
+                query_threads: None,
             }
         );
         // Defaults.
@@ -904,6 +1012,7 @@ mod tests {
                 path: ckpt.to_path_buf(),
                 forest: false,
                 query_mode,
+                query_threads: None,
             })
             .unwrap();
             assert_eq!(count(&restored), count(&direct), "{query_mode:?}");
@@ -1008,6 +1117,7 @@ mod tests {
             dir: None,
             forest: false,
             query_mode: QueryMode::Snapshot,
+            query_threads: None,
             shards,
             connect: Vec::new(),
         }
@@ -1082,6 +1192,7 @@ mod tests {
             dir: None,
             forest: true,
             query_mode: QueryMode::Snapshot,
+            query_threads: None,
             shards: None,
             connect: Vec::new(),
         })

@@ -11,10 +11,11 @@ fn main() {
                  [--seed S] --out FILE\n  gz info FILE\n  gz components FILE \
                  [--workers N] [--store ram|disk] [--buffering leaf|tree] \
                  [--dir DIR] [--forest]\n                \
-                 [--query-mode snapshot|streaming] [--shards K \
-                 [--connect HOST:PORT,...]]\n  gz checkpoint save FILE \
-                 --from STREAM [--workers N] [--seed S]\n  gz checkpoint \
-                 restore FILE [--forest] [--query-mode snapshot|streaming]\n  \
+                 [--query-mode snapshot|streaming] [--query-threads N] \
+                 [--shards K [--connect HOST:PORT,...]]\n  gz checkpoint save \
+                 FILE --from STREAM [--workers N] [--seed S]\n  gz checkpoint \
+                 restore FILE [--forest] [--query-mode snapshot|streaming] \
+                 [--query-threads N]\n  \
                  gz shard-worker --listen HOST:PORT \
                  --nodes N --shards K --index I [--seed S]\n                  \
                  [--workers N] [--store ram|disk] [--dir DIR]\n  gz bipartite FILE"

@@ -16,13 +16,28 @@
 //! with prefetch, a shard fleet shipping round frames) produces the same
 //! labels, while peak query memory drops from `O(V × full sketch)` to
 //! `O(live components × one round)` plus the source's buffers.
+//!
+//! The engine is also *parallel* (DESIGN.md §10): each round's fold is
+//! partitioned across a [`gz_gutters::WorkerPool`] — every worker folds its
+//! share of the round slices into a thread-local [`RoundSink`], and the
+//! sinks are XOR-merged in worker order before sampling. XOR is commutative
+//! and associative at the bit level, so the merged accumulator — and hence
+//! every sampled edge, retirement decision, and failure count — is
+//! independent of thread count and partitioning *by construction*: the
+//! parallel query is bit-identical to the single-threaded one. Sampling
+//! (phase 1b) is likewise partitioned over contiguous supernode ranges and
+//! the per-worker results concatenated in worker order, preserving the
+//! serial processing order exactly. Only the DSU merge step stays
+//! sequential.
 
 use crate::error::GzError;
 use crate::node_sketch::NodeSketch;
 use crate::store::{MaterializedSource, SketchSource};
 use gz_dsu::Dsu;
 use gz_graph::{index_to_edge, Edge};
+use gz_gutters::WorkerPool;
 use gz_sketch::{L0Sampler, SampleResult};
+use parking_lot::Mutex;
 
 /// Result of a successful sketch-connectivity computation.
 #[derive(Debug, Clone)]
@@ -60,17 +75,110 @@ impl BoruvkaOutcome {
     }
 }
 
-/// Run the round-driven Boruvka engine over any [`SketchSource`].
-///
-/// Per round: compute every vertex's current supernode root, stream the
-/// round's slices folding them into per-live-supernode accumulators, sample
-/// one cut edge per live supernode, then merge endpoint components. The
-/// output is bit-identical across sources fed the same sketch state.
+/// One query worker's fold target for one Borůvka round: a per-supernode
+/// accumulator vector plus the round's supernode map. Sources deliver each
+/// node's round slice to exactly one sink (any sink — XOR commutes); the
+/// engine XOR-merges the sinks in worker order afterwards, which makes the
+/// merged accumulators bit-identical to a single-threaded fold.
+pub struct RoundSink<'a, S> {
+    root_of: &'a [u32],
+    retired: &'a [bool],
+    acc: Vec<Option<S>>,
+    acc_bytes: usize,
+}
+
+impl<'a, S: L0Sampler + Clone> RoundSink<'a, S> {
+    pub(crate) fn new(root_of: &'a [u32], retired: &'a [bool]) -> Self {
+        RoundSink {
+            root_of,
+            retired,
+            acc: (0..root_of.len()).map(|_| None).collect(),
+            acc_bytes: 0,
+        }
+    }
+
+    /// The per-supernode accumulators folded so far (store-level tests).
+    #[cfg(test)]
+    pub(crate) fn accumulators(self) -> Vec<Option<S>> {
+        self.acc
+    }
+
+    /// Fold `node`'s round slice into its supernode's accumulator (a no-op
+    /// for retired supernodes).
+    #[inline]
+    pub fn fold(&mut self, node: u32, slice: &S) {
+        let root = self.root_of[node as usize] as usize;
+        if self.retired[root] {
+            return;
+        }
+        match &mut self.acc[root] {
+            Some(acc) => acc.merge_from(slice),
+            slot => {
+                self.acc_bytes += slice.payload_bytes();
+                *slot = Some(slice.clone());
+            }
+        }
+    }
+}
+
+/// XOR-merge per-worker sinks in worker order into one accumulator vector.
+/// Returns the merged accumulators plus the summed per-sink payload bytes
+/// (the true peak: all sinks were resident simultaneously during the fold).
+fn merge_sinks<S: L0Sampler + Clone>(
+    sinks: Vec<Mutex<RoundSink<'_, S>>>,
+) -> (Vec<Option<S>>, usize) {
+    let mut iter = sinks.into_iter().map(|m| m.into_inner());
+    let first = iter.next().expect("at least one sink");
+    let mut acc = first.acc;
+    let mut acc_bytes = first.acc_bytes;
+    for sink in iter {
+        acc_bytes += sink.acc_bytes;
+        for (slot, other) in acc.iter_mut().zip(sink.acc) {
+            let Some(b) = other else { continue };
+            match slot {
+                Some(a) => a.merge_from(&b),
+                None => *slot = Some(b),
+            }
+        }
+    }
+    (acc, acc_bytes)
+}
+
+/// Run the round-driven Boruvka engine over any [`SketchSource`] on a
+/// single thread. Equivalent to [`boruvka_rounds_parallel`] with one query
+/// thread (and bit-identical to it at any thread count).
 pub fn boruvka_rounds<Src: SketchSource>(
     source: &mut Src,
     num_vertices: u64,
     max_rounds: usize,
-) -> Result<BoruvkaOutcome, GzError> {
+) -> Result<BoruvkaOutcome, GzError>
+where
+    Src::Sampler: Send + Sync,
+{
+    boruvka_rounds_parallel(source, num_vertices, max_rounds, 1)
+}
+
+/// Run the round-driven Boruvka engine over any [`SketchSource`], with each
+/// round's fold and sampling partitioned across `query_threads` workers.
+///
+/// Per round: compute every vertex's current supernode root, stream the
+/// round's slices folding them into per-worker [`RoundSink`]s (partitioned
+/// by the source — by slot range in stores, by node group on disk, by
+/// gathered reply in shard fleets), XOR-merge the sinks, sample one cut
+/// edge per live supernode across contiguous supernode ranges, then merge
+/// endpoint components sequentially. The output is bit-identical across
+/// sources *and* thread counts fed the same sketch state (see the module
+/// docs for the argument).
+pub fn boruvka_rounds_parallel<Src: SketchSource>(
+    source: &mut Src,
+    num_vertices: u64,
+    max_rounds: usize,
+    query_threads: usize,
+) -> Result<BoruvkaOutcome, GzError>
+where
+    Src::Sampler: Send + Sync,
+{
+    let pool = WorkerPool::new(query_threads);
     let n = num_vertices as usize;
     let mut dsu = Dsu::new(n);
     // Retired components: cut known empty; never query again. A retired
@@ -111,35 +219,39 @@ pub fn boruvka_rounds<Src: SketchSource>(
             any_live = (0..n).any(|v| root_of[v] == v as u32 && !retired[v]);
         } else {
             // Phase 1a: fold each vertex's round slice into its live
-            // supernode's accumulator as it streams past.
-            let mut acc: Vec<Option<Src::Sampler>> = (0..n).map(|_| None).collect();
-            let mut acc_bytes = 0usize;
-            {
+            // supernode's accumulator as it streams past, each worker into
+            // its own sink; XOR-merging the sinks in worker order then
+            // yields accumulators bit-identical to a serial fold.
+            let (acc, acc_bytes) = {
                 let live = |v: u32| !retired[root_of[v as usize] as usize];
-                let mut fold = |v: u32, slice: &Src::Sampler| {
-                    let root = root_of[v as usize] as usize;
-                    if retired[root] {
-                        return;
-                    }
-                    if let Some(a) = &mut acc[root] {
-                        a.merge_from(slice);
-                    } else {
-                        acc_bytes += slice.payload_bytes();
-                        acc[root] = Some(slice.clone());
-                    }
-                };
-                source.stream_round(round, &live, &mut fold)?;
-            }
+                let sinks: Vec<Mutex<RoundSink<'_, Src::Sampler>>> = (0..pool.threads())
+                    .map(|_| Mutex::new(RoundSink::new(&root_of, &retired)))
+                    .collect();
+                source.stream_round_into(round, &live, &pool, &sinks)?;
+                merge_sinks(sinks)
+            };
             peak_sketch_bytes = peak_sketch_bytes.max(acc_bytes + source.resident_bytes());
 
-            // Phase 1b (paper Lemma 5): sample one edge per live supernode.
-            for root in 0..n as u32 {
-                if root_of[root as usize] != root || retired[root as usize] {
-                    continue;
+            // Phase 1b (paper Lemma 5): sample one edge per live supernode,
+            // partitioned over contiguous supernode ranges. Samples are pure
+            // functions of the merged accumulators, and concatenating the
+            // per-worker results in worker order restores the serial
+            // ascending-root processing order exactly.
+            let samples: Vec<Mutex<Vec<(u32, SampleResult)>>> =
+                (0..pool.threads()).map(|_| Mutex::new(Vec::new())).collect();
+            pool.run(&|w| {
+                let mut out = samples[w].lock();
+                for root in pool.partition(n, w) {
+                    if root_of[root] != root as u32 || retired[root] {
+                        continue;
+                    }
+                    let sketch =
+                        acc[root].as_ref().expect("live supernode must have folded a slice");
+                    out.push((root as u32, sketch.sample()));
                 }
-                let sketch =
-                    acc[root as usize].as_ref().expect("live supernode must have folded a slice");
-                match sketch.sample() {
+            });
+            for (root, sample) in samples.into_iter().flat_map(|m| m.into_inner()) {
+                match sample {
                     SampleResult::Index(idx) => {
                         any_live = true;
                         found.push(index_to_edge(idx, num_vertices));
@@ -199,14 +311,25 @@ pub fn boruvka_rounds<Src: SketchSource>(
 ///
 /// `num_vertices` must equal `sketches.len()`; `max_rounds` bounds the
 /// rounds and must not exceed the per-node sketch stack depth.
-pub fn boruvka_spanning_forest<S: L0Sampler + Clone>(
+pub fn boruvka_spanning_forest<S: L0Sampler + Clone + Send + Sync>(
     sketches: Vec<Option<NodeSketch<S>>>,
     num_vertices: u64,
     max_rounds: usize,
 ) -> Result<BoruvkaOutcome, GzError> {
+    boruvka_spanning_forest_parallel(sketches, num_vertices, max_rounds, 1)
+}
+
+/// [`boruvka_spanning_forest`] with the round fold and sampling partitioned
+/// across `query_threads` workers — bit-identical at any thread count.
+pub fn boruvka_spanning_forest_parallel<S: L0Sampler + Clone + Send + Sync>(
+    sketches: Vec<Option<NodeSketch<S>>>,
+    num_vertices: u64,
+    max_rounds: usize,
+    query_threads: usize,
+) -> Result<BoruvkaOutcome, GzError> {
     assert_eq!(sketches.len() as u64, num_vertices);
     let mut source = MaterializedSource::new(sketches);
-    boruvka_rounds(&mut source, num_vertices, max_rounds)
+    boruvka_rounds_parallel(&mut source, num_vertices, max_rounds, query_threads)
 }
 
 #[cfg(test)]
@@ -311,6 +434,51 @@ mod tests {
         let (_p, sketches) = sketches_for(8, &[(0, 1)], 1);
         let err = boruvka_spanning_forest(sketches, 8, 0).unwrap_err();
         assert!(matches!(err, GzError::AlgorithmFailure { .. }));
+    }
+
+    /// The tentpole invariant at the engine level: every field of the
+    /// outcome except peak memory — labels, forest (with edge order),
+    /// rounds used, failure count — is identical at any thread count.
+    #[test]
+    fn outcome_is_bit_identical_across_thread_counts() {
+        use rand::rngs::SmallRng;
+        use rand::{Rng, SeedableRng};
+        for seed in 0..3u64 {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let n = 64u64;
+            let mut edges = Vec::new();
+            for a in 0..n as u32 {
+                for b in (a + 1)..n as u32 {
+                    if rng.gen::<f64>() < 0.12 {
+                        edges.push((a, b));
+                    }
+                }
+            }
+            let rounds = default_rounds(n) as usize;
+            let reference = {
+                let (_p, sketches) = sketches_for(n, &edges, seed + 100);
+                boruvka_spanning_forest_parallel(sketches, n, rounds, 1).unwrap()
+            };
+            for threads in [2usize, 3, 4, 8, 17] {
+                let (_p, sketches) = sketches_for(n, &edges, seed + 100);
+                let parallel =
+                    boruvka_spanning_forest_parallel(sketches, n, rounds, threads).unwrap();
+                assert_eq!(reference.labels, parallel.labels, "labels at {threads} threads");
+                assert_eq!(reference.forest, parallel.forest, "forest at {threads} threads");
+                assert_eq!(reference.rounds_used, parallel.rounds_used, "rounds at {threads}");
+                assert_eq!(
+                    reference.sketch_failures, parallel.sketch_failures,
+                    "failures at {threads} threads"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn more_threads_than_vertices_is_fine() {
+        let (_p, sketches) = sketches_for(4, &[(0, 1), (2, 3)], 5);
+        let outcome = boruvka_spanning_forest_parallel(sketches, 4, 4, 64).unwrap();
+        assert_eq!(outcome.num_components(), 2);
     }
 }
 

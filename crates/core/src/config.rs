@@ -124,6 +124,11 @@ pub struct GzConfig {
     pub locking: LockingStrategy,
     /// How queries read sketches out of the store.
     pub query_mode: QueryMode,
+    /// Worker threads the Borůvka query engine folds, samples, and (on
+    /// disk stores) reads with; `None` = the ingestion worker count
+    /// (`num_workers`). Answers are bit-identical at any thread count —
+    /// this is purely a performance knob (DESIGN.md §10).
+    pub query_threads: Option<usize>,
 }
 
 impl GzConfig {
@@ -141,6 +146,7 @@ impl GzConfig {
             store: StoreBackend::Ram,
             locking: LockingStrategy::DeltaSketch,
             query_mode: QueryMode::default(),
+            query_threads: None,
         }
     }
 
@@ -168,6 +174,12 @@ impl GzConfig {
         self.num_rounds.unwrap_or_else(|| default_rounds(self.num_nodes))
     }
 
+    /// Worker threads the query engine runs with (defaults to the
+    /// ingestion worker count).
+    pub fn query_threads(&self) -> usize {
+        self.query_threads.unwrap_or(self.num_workers).max(1)
+    }
+
     /// Validate invariants the system relies on.
     pub fn validate(&self) -> Result<(), GzError> {
         if self.num_nodes < 2 {
@@ -181,6 +193,9 @@ impl GzConfig {
         }
         if self.group_threads == 0 {
             return Err(GzError::InvalidConfig("group_threads must be ≥ 1".into()));
+        }
+        if self.query_threads == Some(0) {
+            return Err(GzError::InvalidConfig("query_threads must be ≥ 1".into()));
         }
         if self.num_columns == 0 {
             return Err(GzError::InvalidConfig("need at least one sketch column".into()));

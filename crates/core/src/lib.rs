@@ -71,7 +71,10 @@ pub mod streaming_cc;
 pub mod system;
 
 pub use bipartiteness::{BipartitenessAnswer, BipartitenessTester};
-pub use boruvka::{boruvka_rounds, boruvka_spanning_forest, BoruvkaOutcome};
+pub use boruvka::{
+    boruvka_rounds, boruvka_rounds_parallel, boruvka_spanning_forest,
+    boruvka_spanning_forest_parallel, BoruvkaOutcome, RoundSink,
+};
 pub use checkpoint::CheckpointHeader;
 pub use config::{
     BufferStrategy, GutterCapacity, GzConfig, LockingStrategy, QueryMode, StoreBackend,

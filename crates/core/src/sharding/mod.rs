@@ -43,11 +43,12 @@ pub use transport::{
     ShardTransport, SocketTransport,
 };
 
-use crate::boruvka::{boruvka_rounds, boruvka_spanning_forest, BoruvkaOutcome};
+use crate::boruvka::{boruvka_rounds_parallel, boruvka_spanning_forest_parallel, BoruvkaOutcome};
 use crate::config::{GutterCapacity, LockingStrategy, QueryMode, StoreBackend};
 use crate::error::GzError;
 use crate::node_sketch::{CubeNodeSketch, CubeRoundSketch, SketchParams};
 use crate::store::SketchSource;
+use gz_gutters::WorkerPool;
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
@@ -78,6 +79,10 @@ pub struct ShardConfig {
     /// only: not part of the parameter digest, since it cannot change the
     /// sketch state or the answers).
     pub query_mode: QueryMode,
+    /// Worker threads the coordinator's Borůvka engine folds and samples
+    /// with; `None` = the per-shard ingestion worker count. Coordinator-side
+    /// only — answers are bit-identical at any thread count.
+    pub query_threads: Option<usize>,
 }
 
 impl ShardConfig {
@@ -96,12 +101,19 @@ impl ShardConfig {
             store: StoreBackend::Ram,
             router_capacity: GutterCapacity::SketchFactor(0.5),
             query_mode: QueryMode::default(),
+            query_threads: None,
         }
     }
 
     /// Number of Boruvka rounds (= sketches per node).
     pub fn rounds(&self) -> u32 {
         self.num_rounds.unwrap_or_else(|| crate::config::default_rounds(self.num_nodes))
+    }
+
+    /// Worker threads the coordinator queries with (defaults to the
+    /// ingestion worker count).
+    pub fn query_threads(&self) -> usize {
+        self.query_threads.unwrap_or(self.workers_per_shard).max(1)
     }
 
     /// The shared sketch parameters every shard derives.
@@ -136,6 +148,9 @@ impl ShardConfig {
         if self.workers_per_shard == 0 {
             return Err(GzError::InvalidConfig("need at least one worker per shard".into()));
         }
+        if self.query_threads == Some(0) {
+            return Err(GzError::InvalidConfig("query_threads must be ≥ 1".into()));
+        }
         if self.num_columns == 0 {
             return Err(GzError::InvalidConfig("need at least one sketch column".into()));
         }
@@ -155,6 +170,7 @@ pub struct ShardedGraphZeppelin {
     num_nodes: u64,
     updates: u64,
     query_mode: QueryMode,
+    query_threads: usize,
     shut_down: bool,
 }
 
@@ -215,8 +231,16 @@ impl ShardedGraphZeppelin {
             num_nodes: config.num_nodes,
             updates: 0,
             query_mode: config.query_mode,
+            query_threads: config.query_threads(),
             shut_down: false,
         })
+    }
+
+    /// Change the coordinator's query-thread count (answers are
+    /// bit-identical at any setting; this is a performance knob).
+    pub fn set_query_threads(&mut self, query_threads: usize) {
+        assert!(query_threads >= 1, "query_threads must be ≥ 1");
+        self.query_threads = query_threads;
     }
 
     /// Number of shards.
@@ -312,7 +336,12 @@ impl ShardedGraphZeppelin {
     /// coordinator, then run ordinary Boruvka over the materialization.
     pub fn spanning_forest_snapshot(&mut self) -> Result<BoruvkaOutcome, GzError> {
         let sketches = self.gather()?;
-        boruvka_spanning_forest(sketches, self.num_nodes, self.params.rounds())
+        boruvka_spanning_forest_parallel(
+            sketches,
+            self.num_nodes,
+            self.params.rounds(),
+            self.query_threads,
+        )
     }
 
     /// Streaming-mode query: each Borůvka round gathers only that round's
@@ -329,7 +358,7 @@ impl ShardedGraphZeppelin {
             num_nodes: self.num_nodes,
             resident: 0,
         };
-        boruvka_rounds(&mut source, self.num_nodes, params.rounds())
+        boruvka_rounds_parallel(&mut source, self.num_nodes, params.rounds(), self.query_threads)
     }
 
     /// Component labels.
@@ -402,7 +431,7 @@ impl SketchSource for GatherRoundSource<'_> {
     fn stream_round(
         &mut self,
         round: usize,
-        live: &dyn Fn(u32) -> bool,
+        live: &(dyn Fn(u32) -> bool + Sync),
         sink: &mut dyn FnMut(u32, &Self::Sampler),
     ) -> Result<(), GzError> {
         let entries = self.transport.gather_round(round as u32)?;
@@ -410,30 +439,86 @@ impl SketchSource for GatherRoundSource<'_> {
         let expect_bytes = self.params.round_serialized_bytes(round);
         let mut seen = vec![false; self.num_nodes as usize];
         for e in &entries {
-            let slot = seen.get_mut(e.node as usize).ok_or_else(|| {
-                GzError::Protocol(format!("gathered round slice for out-of-range node {}", e.node))
-            })?;
-            if std::mem::replace(slot, true) {
-                return Err(GzError::Protocol(format!("node {} gathered from two shards", e.node)));
-            }
-            if e.bytes.len() != expect_bytes {
-                return Err(GzError::Protocol(format!(
-                    "round {round} slice for node {} is {} bytes, want {expect_bytes}",
-                    e.node,
-                    e.bytes.len()
-                )));
-            }
+            validate_round_entry(&mut seen, e, round, expect_bytes)?;
             if live(e.node) {
                 sink(e.node, &self.params.deserialize_round(round, &e.bytes));
             }
         }
-        if let Some(node) = seen.iter().position(|s| !*s) {
-            return Err(GzError::Protocol(format!(
-                "no shard gathered a round slice for node {node}"
-            )));
-        }
-        Ok(())
+        require_all_gathered(&seen)
     }
+
+    /// Parallel gather: `GatherRound` frames go to every shard up front and
+    /// each reply is folded *as it arrives* — shard `i`'s slices
+    /// deserialize and fold (fanned out across the pool's workers) while
+    /// shards `j > i` are still serializing or transmitting theirs, instead
+    /// of collecting the whole round before any folding starts.
+    fn stream_round_into(
+        &mut self,
+        round: usize,
+        live: &(dyn Fn(u32) -> bool + Sync),
+        pool: &WorkerPool,
+        sinks: &[parking_lot::Mutex<crate::boruvka::RoundSink<'_, Self::Sampler>>],
+    ) -> Result<(), GzError> {
+        let expect_bytes = self.params.round_serialized_bytes(round);
+        let params = self.params;
+        let mut seen = vec![false; self.num_nodes as usize];
+        let mut resident = 0usize;
+        self.transport.gather_round_each(round as u32, &mut |entries| {
+            for e in &entries {
+                validate_round_entry(&mut seen, e, round, expect_bytes)?;
+            }
+            resident += entries.iter().map(|e| e.bytes.len()).sum::<usize>();
+            // Fold this reply across the pool: contiguous entry chunks, one
+            // per worker, into that worker's sink.
+            pool.run(&|w| {
+                let range = gz_gutters::worker_pool::partition(entries.len(), pool.threads(), w);
+                if range.is_empty() {
+                    return;
+                }
+                let mut sink = sinks[w].lock();
+                for e in &entries[range] {
+                    if live(e.node) {
+                        sink.fold(e.node, &params.deserialize_round(round, &e.bytes));
+                    }
+                }
+            });
+            Ok(())
+        })?;
+        self.resident = resident;
+        require_all_gathered(&seen)
+    }
+}
+
+/// Shared validation for gathered round slices: each in-range node arrives
+/// exactly once with exactly one round's bytes.
+fn validate_round_entry(
+    seen: &mut [bool],
+    e: &gz_stream::wire::SketchEntry,
+    round: usize,
+    expect_bytes: usize,
+) -> Result<(), GzError> {
+    let slot = seen.get_mut(e.node as usize).ok_or_else(|| {
+        GzError::Protocol(format!("gathered round slice for out-of-range node {}", e.node))
+    })?;
+    if std::mem::replace(slot, true) {
+        return Err(GzError::Protocol(format!("node {} gathered from two shards", e.node)));
+    }
+    if e.bytes.len() != expect_bytes {
+        return Err(GzError::Protocol(format!(
+            "round {round} slice for node {} is {} bytes, want {expect_bytes}",
+            e.node,
+            e.bytes.len()
+        )));
+    }
+    Ok(())
+}
+
+/// Every node of the universe must have been gathered by some shard.
+fn require_all_gathered(seen: &[bool]) -> Result<(), GzError> {
+    if let Some(node) = seen.iter().position(|s| !*s) {
+        return Err(GzError::Protocol(format!("no shard gathered a round slice for node {node}")));
+    }
+    Ok(())
 }
 
 #[cfg(test)]

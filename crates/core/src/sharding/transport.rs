@@ -18,7 +18,7 @@
 
 use crate::error::GzError;
 use crate::sharding::{ShardConfig, ShardPipeline};
-use gz_gutters::Batch;
+use gz_gutters::{Batch, WorkQueue};
 use gz_stream::wire::{SketchEntry, WireMessage};
 use std::io::{Read, Write};
 use std::net::TcpStream;
@@ -43,6 +43,22 @@ pub trait ShardTransport {
     /// than a full [`Self::gather`], so the coordinator holds at most one
     /// round of the universe at a time.
     fn gather_round(&mut self, round: u32) -> Result<Vec<SketchEntry>, GzError>;
+
+    /// Gather round `round` with overlap: issue the request to every shard
+    /// up front, then invoke `on_reply` once per shard's reply *as it
+    /// arrives*, so the coordinator folds one shard's slices while the
+    /// others are still serializing or transmitting theirs. An error from
+    /// `on_reply` stops folding and is returned (remaining shards are still
+    /// drained where the transport needs it for framing sanity). The
+    /// default collects everything first — transports with real concurrency
+    /// override it.
+    fn gather_round_each(
+        &mut self,
+        round: u32,
+        on_reply: &mut dyn FnMut(Vec<SketchEntry>) -> Result<(), GzError>,
+    ) -> Result<(), GzError> {
+        on_reply(self.gather_round(round)?)
+    }
 
     /// Tear the shards down.
     fn shutdown(&mut self) -> Result<(), GzError>;
@@ -104,6 +120,56 @@ impl ShardTransport for InProcessTransport {
             entries.extend(shard.gather_round_serialized(round as usize)?);
         }
         Ok(entries)
+    }
+
+    fn gather_round_each(
+        &mut self,
+        round: u32,
+        on_reply: &mut dyn FnMut(Vec<SketchEntry>) -> Result<(), GzError>,
+    ) -> Result<(), GzError> {
+        // Every shard serializes its round slice on its own scoped thread;
+        // replies funnel through a queue sized to hold them all (so a
+        // failed fold never leaves a producer blocked) and are folded in
+        // arrival order — folding is XOR, so arrival order is immaterial.
+        let queue: WorkQueue<Result<Vec<SketchEntry>, GzError>> =
+            WorkQueue::with_capacity(self.shards.len().max(1));
+        std::thread::scope(|scope| {
+            for shard in &self.shards {
+                let queue = &queue;
+                scope.spawn(move || {
+                    // A panicking gather must still push *something*: the
+                    // coordinator pops one reply per shard, and a missing
+                    // push would leave it blocked forever inside this scope
+                    // — turning the panic into a silent hang. Push an error
+                    // to unblock it, then re-raise so `thread::scope`
+                    // propagates the panic as usual.
+                    let reply = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        shard.gather_round_serialized(round as usize)
+                    }));
+                    match reply {
+                        Ok(reply) => {
+                            queue.push(reply);
+                        }
+                        Err(payload) => {
+                            queue.push(Err(GzError::Protocol("shard gather panicked".into())));
+                            std::panic::resume_unwind(payload);
+                        }
+                    }
+                });
+            }
+            let mut result = Ok(());
+            for _ in 0..self.shards.len() {
+                let Some(reply) = queue.pop() else { break };
+                if result.is_err() {
+                    continue; // drain remaining producers
+                }
+                result = match reply {
+                    Ok(entries) => on_reply(entries),
+                    Err(e) => Err(e),
+                };
+            }
+            result
+        })
     }
 
     fn shutdown(&mut self) -> Result<(), GzError> {
@@ -246,6 +312,46 @@ impl<S: Read + Write> ShardTransport for SocketTransport<S> {
             }
         }
         Ok(entries)
+    }
+
+    fn gather_round_each(
+        &mut self,
+        round: u32,
+        on_reply: &mut dyn FnMut(Vec<SketchEntry>) -> Result<(), GzError>,
+    ) -> Result<(), GzError> {
+        // All requests go out before any reply is read, so every shard
+        // serializes its slice concurrently; each reply is then folded as
+        // soon as its link delivers it, while later shards are still
+        // working. (Replies are read in link order — a shard that finishes
+        // early is buffered by the transport until its turn.)
+        for link in &mut self.links {
+            WireMessage::GatherRound { round }.write_to(link)?;
+        }
+        let mut result = Ok(());
+        for (i, link) in self.links.iter_mut().enumerate() {
+            // Keep reading even after a fold error: every link owes exactly
+            // one reply, and leaving it unread would desynchronize the
+            // framing for whatever the coordinator does next.
+            match WireMessage::read_from(link)? {
+                WireMessage::RoundSketches { round: theirs, entries } if theirs == round => {
+                    if result.is_ok() {
+                        result = on_reply(entries);
+                    }
+                }
+                WireMessage::RoundSketches { round: theirs, .. } => {
+                    return Err(GzError::Protocol(format!(
+                        "shard {i} answered GatherRound({round}) with round {theirs}"
+                    )));
+                }
+                other => {
+                    return Err(GzError::Protocol(format!(
+                        "shard {i} answered GatherRound with {}",
+                        other.name()
+                    )));
+                }
+            }
+        }
+        result
     }
 
     fn shutdown(&mut self) -> Result<(), GzError> {
@@ -420,6 +526,63 @@ mod tests {
             assert_eq!(stats.flushes, 1);
             assert_eq!(stats.gathers, 1);
         }
+    }
+
+    #[test]
+    fn gather_round_each_delivers_every_shard_exactly_once() {
+        // Both transports' overlapped gathers must deliver the same entry
+        // multiset as the collect-everything gather_round, one reply per
+        // shard — whatever order the concurrent shard workers finish in.
+        let config = ShardConfig::in_ram(20, 4);
+        let mut in_proc = InProcessTransport::new(&config).unwrap();
+        let (mut socket, handles) = spawn_local_socket_workers(&config).unwrap();
+        for node in 0..20u32 {
+            let batch = Batch { node, others: vec![encode_other((node + 1) % 20, false)] };
+            in_proc.send_batch(node % 4, batch.clone()).unwrap();
+            socket.send_batch(node % 4, batch).unwrap();
+        }
+        in_proc.flush().unwrap();
+        socket.flush().unwrap();
+
+        let reference = {
+            let mut v = in_proc.gather_round(1).unwrap();
+            v.sort_by_key(|e| e.node);
+            v
+        };
+        for transport in [&mut in_proc as &mut dyn ShardTransport, &mut socket] {
+            let mut replies = 0usize;
+            let mut collected = Vec::new();
+            transport
+                .gather_round_each(1, &mut |entries| {
+                    replies += 1;
+                    collected.extend(entries);
+                    Ok(())
+                })
+                .unwrap();
+            assert_eq!(replies, 4, "one reply per shard");
+            collected.sort_by_key(|e| e.node);
+            assert_eq!(collected, reference);
+        }
+
+        in_proc.shutdown().unwrap();
+        socket.shutdown().unwrap();
+        for h in handles {
+            h.join().unwrap().unwrap();
+        }
+    }
+
+    #[test]
+    fn gather_round_each_stops_folding_after_an_error() {
+        let config = ShardConfig::in_ram(12, 3);
+        let mut transport = InProcessTransport::new(&config).unwrap();
+        let mut replies = 0usize;
+        let result = transport.gather_round_each(0, &mut |_| {
+            replies += 1;
+            Err(GzError::Protocol("fold rejected".into()))
+        });
+        assert!(matches!(result, Err(GzError::Protocol(_))));
+        assert_eq!(replies, 1, "folding must stop at the first error");
+        transport.shutdown().unwrap();
     }
 
     #[test]

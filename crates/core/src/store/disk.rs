@@ -185,16 +185,43 @@ impl DiskStore {
         Ok(())
     }
 
-    /// Read the round-`round` slice of `group`: one contiguous read of the
-    /// group's `k × round_bytes` column data, counted in [`IoStats`].
-    fn read_round_slice(&self, group: u32, round: usize) -> std::io::Result<Vec<u8>> {
+    /// Read the round-`round` slice of `group`: one contiguous *positioned*
+    /// read (`FileExt::read_exact_at`) of the group's `k × round_bytes`
+    /// column data. Positioned reads carry their own offset, so any number
+    /// of query workers can fetch different groups through the shared
+    /// `&File` concurrently without a seek cursor to race on. The read is
+    /// counted in `stats` — the caller's [`IoStats`], which parallel
+    /// readers keep thread-local and merge once per worker.
+    fn read_round_slice_counted(
+        &self,
+        group: u32,
+        round: usize,
+        stats: &IoStats,
+    ) -> std::io::Result<Vec<u8>> {
         let k = self.nodes_in_group(group) as usize;
         let mut bytes = vec![0u8; k * self.params.round_serialized_bytes(round)];
         let offset =
             self.group_offset(group) + (k * self.params.round_serialized_offset(round)) as u64;
         self.file.read_exact_at(&mut bytes, offset)?;
-        self.io.record_read(bytes.len() as u64);
+        stats.record_read(bytes.len() as u64);
         Ok(bytes)
+    }
+
+    /// [`Self::read_round_slice_counted`] against the store's shared
+    /// counters (the single-reader paths).
+    fn read_round_slice(&self, group: u32, round: usize) -> std::io::Result<Vec<u8>> {
+        self.read_round_slice_counted(group, round, &self.io)
+    }
+
+    /// The node groups a round stream must visit: those with at least one
+    /// live node, in slot order.
+    fn wanted_groups(&self, live: &(dyn Fn(u32) -> bool + Sync)) -> Vec<u32> {
+        (0..self.num_groups())
+            .filter(|&g| {
+                let start = (g * self.group_size) as usize;
+                (0..self.nodes_in_group(g) as usize).any(|i| live(self.node_set.node(start + i)))
+            })
+            .collect()
     }
 
     /// Run `f` with mutable access to a cached group, faulting it in (and
@@ -270,17 +297,12 @@ impl DiskStore {
     pub fn stream_round(
         &self,
         round: usize,
-        live: &dyn Fn(u32) -> bool,
+        live: &(dyn Fn(u32) -> bool + Sync),
         sink: &mut dyn FnMut(u32, &CubeRoundSketch),
     ) -> std::io::Result<()> {
         self.flush()?;
         let round_bytes = self.params.round_serialized_bytes(round);
-        let wanted: Vec<u32> = (0..self.num_groups())
-            .filter(|&g| {
-                let start = (g * self.group_size) as usize;
-                (0..self.nodes_in_group(g) as usize).any(|i| live(self.node_set.node(start + i)))
-            })
-            .collect();
+        let wanted = self.wanted_groups(live);
 
         // Bounded prefetch pipeline over the generic work queue: the reader
         // blocks once `cache_capacity` slices are in flight, so resident
@@ -342,12 +364,87 @@ impl DiskStore {
         })
     }
 
-    /// Upper bound on sketch bytes [`Self::stream_round`] holds resident at
-    /// once: the prefetch queue (`cache_groups` slices), the slice being
-    /// folded, and one more the prefetcher may hold while blocked in `push`.
-    pub fn round_stream_resident_bytes(&self, round: usize) -> usize {
+    /// Stream the round-`round` slice of every owned live node with group
+    /// reads spread across the pool's workers: each worker claims the next
+    /// wanted group from a shared cursor, issues its own positioned read on
+    /// the shared file handle (up to `sinks.len()` reads in flight at
+    /// once), deserializes the slices, and folds them into its own sink.
+    /// Which worker reads which group is scheduling-dependent, but folding
+    /// is XOR, so results are bit-identical to [`Self::stream_round`].
+    ///
+    /// I/O accounting stays exact under concurrency: every worker counts
+    /// into a thread-local [`IoStats`] and merges it into the store's
+    /// shared counters once, so a parallel round stream records exactly one
+    /// read (of exactly the slice's bytes) per visited group.
+    pub fn stream_round_parallel(
+        &self,
+        round: usize,
+        live: &(dyn Fn(u32) -> bool + Sync),
+        pool: &gz_gutters::WorkerPool,
+        sinks: &[parking_lot::Mutex<crate::boruvka::RoundSink<'_, CubeRoundSketch>>],
+    ) -> std::io::Result<()> {
+        self.flush()?;
+        let round_bytes = self.params.round_serialized_bytes(round);
+        let wanted = self.wanted_groups(live);
+
+        let next = std::sync::atomic::AtomicUsize::new(0);
+        let failed = std::sync::atomic::AtomicBool::new(false);
+        let first_error: Mutex<Option<std::io::Error>> = Mutex::new(None);
+        pool.run(&|w| {
+            let local_io = IoStats::new();
+            let mut sink = sinks[w].lock();
+            loop {
+                if failed.load(std::sync::atomic::Ordering::Relaxed) {
+                    break;
+                }
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                let Some(&group) = wanted.get(i) else { break };
+                match self.read_round_slice_counted(group, round, &local_io) {
+                    Err(e) => {
+                        failed.store(true, std::sync::atomic::Ordering::Relaxed);
+                        let mut slot = first_error.lock();
+                        if slot.is_none() {
+                            *slot = Some(e);
+                        }
+                        break;
+                    }
+                    Ok(bytes) => {
+                        let start = (group * self.group_size) as usize;
+                        for i in 0..self.nodes_in_group(group) as usize {
+                            let node = self.node_set.node(start + i);
+                            if !live(node) {
+                                continue;
+                            }
+                            let sketch = self.params.deserialize_round(
+                                round,
+                                &bytes[i * round_bytes..(i + 1) * round_bytes],
+                            );
+                            sink.fold(node, &sketch);
+                        }
+                    }
+                }
+            }
+            self.io.merge_from(&local_io);
+        });
+        match first_error.into_inner() {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
+
+    /// Upper bound on sketch bytes the round stream holds resident at once
+    /// when read by `threads` query workers. Single-threaded, that is the
+    /// prefetch pipeline: the queue (`cache_groups` slices), the slice
+    /// being folded, and one more the prefetcher may hold while blocked in
+    /// `push`. With `threads > 1` workers read for themselves — each holds
+    /// at most one slice.
+    pub fn round_stream_resident_bytes(&self, round: usize, threads: usize) -> usize {
         let slice = self.group_size as usize * self.params.round_serialized_bytes(round);
-        (self.cache_capacity + 2) * slice
+        if threads <= 1 {
+            (self.cache_capacity + 2) * slice
+        } else {
+            threads * slice
+        }
     }
 
     /// Clone out every owned node sketch, indexed by slot (a full scan
@@ -566,6 +663,78 @@ mod tests {
             // One slice read per group, at most (flush writes are separate).
             assert!(s.io_stats().reads() - before <= 16, "round {round}");
         }
+    }
+
+    #[test]
+    fn parallel_stream_matches_serial_and_counts_reads_exactly() {
+        use crate::boruvka::RoundSink;
+        use gz_gutters::WorkerPool;
+        use parking_lot::Mutex;
+
+        let (s, _t) = make("par", 16, 64, 2); // one node per group
+        assert_eq!(s.num_groups(), 16);
+        for node in 0..16u32 {
+            s.apply_batch(node, &[encode_other((node + 5) % 16, false)]);
+        }
+        s.flush().unwrap();
+        let snap = s.snapshot();
+        let pool = WorkerPool::new(4);
+        let root_of: Vec<u32> = (0..16).collect(); // every node its own supernode
+        let retired = vec![false; 16];
+
+        for round in 0..s.params().rounds() {
+            let sinks: Vec<Mutex<RoundSink<'_, CubeRoundSketch>>> =
+                (0..4).map(|_| Mutex::new(RoundSink::new(&root_of, &retired))).collect();
+            let (reads_before, _, bytes_before, _) = s.io_stats().snapshot();
+            s.stream_round_parallel(round, &|_| true, &pool, &sinks).unwrap();
+            let (reads, _, bytes_read, _) = s.io_stats().snapshot();
+
+            // Four concurrent readers over 16 groups: exactly one read of
+            // exactly the slice's bytes per group — the per-worker local
+            // IoStats merge must neither drop nor double-count.
+            assert_eq!(reads - reads_before, 16, "round {round}");
+            assert_eq!(
+                bytes_read - bytes_before,
+                16 * s.params().round_serialized_bytes(round) as u64,
+                "round {round}"
+            );
+
+            // Each node is its own root, so its accumulator must be
+            // bit-identical to its snapshot round slice, whichever worker
+            // folded it.
+            let mut acc: Vec<Option<CubeRoundSketch>> = (0..16).map(|_| None).collect();
+            for sink in sinks {
+                for (node, folded) in sink.into_inner().accumulators().into_iter().enumerate() {
+                    if let Some(folded) = folded {
+                        assert!(acc[node].replace(folded).is_none(), "node {node} folded twice");
+                    }
+                }
+            }
+            for node in 0..16usize {
+                let (mut got, mut want) = (Vec::new(), Vec::new());
+                acc[node].as_ref().expect("every node folded").serialize_into(&mut got);
+                snap[node].as_ref().unwrap().round(round).serialize_into(&mut want);
+                assert_eq!(got, want, "node {node} round {round}");
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_stream_skips_fully_retired_groups() {
+        use crate::boruvka::RoundSink;
+        use gz_gutters::WorkerPool;
+        use parking_lot::Mutex;
+
+        let (s, _t) = make("par-skip", 16, 64, 2); // one node per group
+        s.flush().unwrap();
+        let pool = WorkerPool::new(3);
+        let root_of: Vec<u32> = (0..16).collect();
+        let retired = vec![false; 16];
+        let sinks: Vec<Mutex<RoundSink<'_, CubeRoundSketch>>> =
+            (0..3).map(|_| Mutex::new(RoundSink::new(&root_of, &retired))).collect();
+        let before = s.io_stats().reads();
+        s.stream_round_parallel(0, &|n| n == 3 || n == 9, &pool, &sinks).unwrap();
+        assert_eq!(s.io_stats().reads() - before, 2, "only live groups may be read");
     }
 
     #[test]

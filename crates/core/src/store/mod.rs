@@ -15,11 +15,13 @@
 pub mod disk;
 pub mod ram;
 
+use crate::boruvka::RoundSink;
 use crate::config::{GzConfig, StoreBackend};
 use crate::error::GzError;
 use crate::node_sketch::{CubeNodeSketch, CubeRoundSketch, NodeSketch, SketchParams};
-use gz_gutters::IoStats;
+use gz_gutters::{IoStats, WorkerPool};
 use gz_sketch::L0Sampler;
+use parking_lot::Mutex;
 use std::sync::Arc;
 
 /// The set of vertices a store holds sketches for, with a dense slot
@@ -190,7 +192,7 @@ impl SketchStore {
     pub fn stream_round(
         &self,
         round: usize,
-        live: &dyn Fn(u32) -> bool,
+        live: &(dyn Fn(u32) -> bool + Sync),
         sink: &mut dyn FnMut(u32, &CubeRoundSketch),
     ) -> Result<(), GzError> {
         match self {
@@ -202,6 +204,27 @@ impl SketchStore {
         }
     }
 
+    /// Stream the round-`round` slice of every owned, still-`live` node
+    /// with the delivery partitioned across the pool's workers, each
+    /// folding into its own sink. RAM stores partition by slot range; disk
+    /// stores have workers claim node groups from a shared cursor, so up to
+    /// `sinks.len()` positioned group reads are in flight at once.
+    pub fn stream_round_parallel(
+        &self,
+        round: usize,
+        live: &(dyn Fn(u32) -> bool + Sync),
+        pool: &WorkerPool,
+        sinks: &[Mutex<RoundSink<'_, CubeRoundSketch>>],
+    ) -> Result<(), GzError> {
+        match self {
+            SketchStore::Ram(s) => {
+                s.stream_round_parallel(round, live, pool, sinks);
+                Ok(())
+            }
+            SketchStore::Disk(s) => Ok(s.stream_round_parallel(round, live, pool, sinks)?),
+        }
+    }
+
     /// Node groups round slices are delivered in (1 for RAM stores).
     pub fn num_groups(&self) -> u32 {
         match self {
@@ -210,12 +233,13 @@ impl SketchStore {
         }
     }
 
-    /// Sketch bytes the streaming round path holds resident at once
-    /// (prefetch buffers; zero for RAM stores, which serve borrows).
-    pub fn round_stream_resident_bytes(&self, round: usize) -> usize {
+    /// Sketch bytes the streaming round path holds resident at once when
+    /// read by `threads` query workers (prefetch or in-flight read buffers;
+    /// zero for RAM stores, which serve borrows).
+    pub fn round_stream_resident_bytes(&self, round: usize, threads: usize) -> usize {
         match self {
             SketchStore::Ram(_) => 0,
-            SketchStore::Disk(s) => s.round_stream_resident_bytes(round),
+            SketchStore::Disk(s) => s.round_stream_resident_bytes(round, threads),
         }
     }
 }
@@ -253,9 +277,28 @@ pub trait SketchSource {
     fn stream_round(
         &mut self,
         round: usize,
-        live: &dyn Fn(u32) -> bool,
+        live: &(dyn Fn(u32) -> bool + Sync),
         sink: &mut dyn FnMut(u32, &Self::Sampler),
     ) -> Result<(), GzError>;
+
+    /// Stream the round-`round` slice of every live node with delivery
+    /// partitioned across `pool`'s workers, each delivering into its own
+    /// sink (`sinks.len() == pool.threads()`). Each node must still be
+    /// delivered exactly once, to *any* sink — the engine XOR-merges the
+    /// sinks, so the partitioning cannot change results. The default
+    /// implementation streams serially into the first sink; sources with a
+    /// parallel delivery path override it.
+    fn stream_round_into(
+        &mut self,
+        round: usize,
+        live: &(dyn Fn(u32) -> bool + Sync),
+        pool: &WorkerPool,
+        sinks: &[Mutex<RoundSink<'_, Self::Sampler>>],
+    ) -> Result<(), GzError> {
+        let _ = pool;
+        let mut sink = sinks[0].lock();
+        self.stream_round(round, live, &mut |node, slice| sink.fold(node, slice))
+    }
 }
 
 /// The snapshot-mode source: a fully materialized `V`-sized sketch vector
@@ -276,7 +319,7 @@ impl<S: L0Sampler> MaterializedSource<S> {
     }
 }
 
-impl<S: L0Sampler + Clone> SketchSource for MaterializedSource<S> {
+impl<S: L0Sampler + Clone + Send + Sync> SketchSource for MaterializedSource<S> {
     type Sampler = S;
 
     fn num_rounds(&self) -> usize {
@@ -290,7 +333,7 @@ impl<S: L0Sampler + Clone> SketchSource for MaterializedSource<S> {
     fn stream_round(
         &mut self,
         round: usize,
-        live: &dyn Fn(u32) -> bool,
+        live: &(dyn Fn(u32) -> bool + Sync),
         sink: &mut dyn FnMut(u32, &Self::Sampler),
     ) -> Result<(), GzError> {
         for (v, stack) in self.sketches.iter().enumerate() {
@@ -303,6 +346,46 @@ impl<S: L0Sampler + Clone> SketchSource for MaterializedSource<S> {
         }
         Ok(())
     }
+
+    fn stream_round_into(
+        &mut self,
+        round: usize,
+        live: &(dyn Fn(u32) -> bool + Sync),
+        pool: &WorkerPool,
+        sinks: &[Mutex<RoundSink<'_, Self::Sampler>>],
+    ) -> Result<(), GzError> {
+        let sketches = &self.sketches;
+        stream_stacks_into(sketches.len(), &|v| sketches[v].as_ref(), round, live, pool, sinks);
+        Ok(())
+    }
+}
+
+/// The partition-and-fold loop shared by the materialized and
+/// borrowed-slice sources: worker `w` folds the live round slices of its
+/// contiguous range of per-vertex stacks (absent stacks are skipped) into
+/// its own sink.
+fn stream_stacks_into<'a, S: L0Sampler + Clone + Send + Sync>(
+    len: usize,
+    stack_at: &(dyn Fn(usize) -> Option<&'a NodeSketch<S>> + Sync),
+    round: usize,
+    live: &(dyn Fn(u32) -> bool + Sync),
+    pool: &WorkerPool,
+    sinks: &[Mutex<RoundSink<'_, S>>],
+) {
+    pool.run(&|w| {
+        let range = pool.partition(len, w);
+        if range.is_empty() {
+            return;
+        }
+        let mut sink = sinks[w].lock();
+        for v in range {
+            let Some(stack) = stack_at(v) else { continue };
+            let v = v as u32;
+            if round < stack.num_rounds() && live(v) {
+                sink.fold(v, stack.round(round));
+            }
+        }
+    });
 }
 
 /// A borrowing source over a caller-owned sketch slice (index = vertex id):
@@ -321,7 +404,7 @@ impl<'a, S: L0Sampler> SliceSource<'a, S> {
     }
 }
 
-impl<S: L0Sampler + Clone> SketchSource for SliceSource<'_, S> {
+impl<S: L0Sampler + Clone + Send + Sync> SketchSource for SliceSource<'_, S> {
     type Sampler = S;
 
     fn num_rounds(&self) -> usize {
@@ -337,7 +420,7 @@ impl<S: L0Sampler + Clone> SketchSource for SliceSource<'_, S> {
     fn stream_round(
         &mut self,
         round: usize,
-        live: &dyn Fn(u32) -> bool,
+        live: &(dyn Fn(u32) -> bool + Sync),
         sink: &mut dyn FnMut(u32, &Self::Sampler),
     ) -> Result<(), GzError> {
         for (v, stack) in self.sketches.iter().enumerate() {
@@ -346,6 +429,18 @@ impl<S: L0Sampler + Clone> SketchSource for SliceSource<'_, S> {
                 sink(v, stack.round(round));
             }
         }
+        Ok(())
+    }
+
+    fn stream_round_into(
+        &mut self,
+        round: usize,
+        live: &(dyn Fn(u32) -> bool + Sync),
+        pool: &WorkerPool,
+        sinks: &[Mutex<RoundSink<'_, Self::Sampler>>],
+    ) -> Result<(), GzError> {
+        let sketches = self.sketches;
+        stream_stacks_into(sketches.len(), &|v| Some(&sketches[v]), round, live, pool, sinks);
         Ok(())
     }
 }
@@ -380,11 +475,29 @@ impl SketchSource for StoreRoundSource<'_> {
     fn stream_round(
         &mut self,
         round: usize,
-        live: &dyn Fn(u32) -> bool,
+        live: &(dyn Fn(u32) -> bool + Sync),
         sink: &mut dyn FnMut(u32, &Self::Sampler),
     ) -> Result<(), GzError> {
-        self.resident = self.store.round_stream_resident_bytes(round);
+        self.resident = self.store.round_stream_resident_bytes(round, 1);
         self.store.stream_round(round, live, sink)
+    }
+
+    fn stream_round_into(
+        &mut self,
+        round: usize,
+        live: &(dyn Fn(u32) -> bool + Sync),
+        pool: &WorkerPool,
+        sinks: &[Mutex<RoundSink<'_, Self::Sampler>>],
+    ) -> Result<(), GzError> {
+        self.resident = self.store.round_stream_resident_bytes(round, sinks.len());
+        if sinks.len() == 1 {
+            // Single-threaded: the disk store's bounded prefetch pipeline
+            // (one reader overlapping the fold) beats a one-worker claim
+            // loop, and the RAM path is identical either way.
+            let mut sink = sinks[0].lock();
+            return self.store.stream_round(round, live, &mut |node, slice| sink.fold(node, slice));
+        }
+        self.store.stream_round_parallel(round, live, pool, sinks)
     }
 }
 

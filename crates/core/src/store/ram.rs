@@ -9,7 +9,7 @@
 //! ablation benchmark.
 
 use crate::config::LockingStrategy;
-use crate::node_sketch::{CubeNodeSketch, SketchParams};
+use crate::node_sketch::{CubeNodeSketch, CubeRoundSketch, SketchParams};
 use crate::store::NodeSet;
 use parking_lot::Mutex;
 use std::sync::Arc;
@@ -107,7 +107,7 @@ impl RamStore {
     pub fn stream_round(
         &self,
         round: usize,
-        live: &dyn Fn(u32) -> bool,
+        live: &(dyn Fn(u32) -> bool + Sync),
         sink: &mut dyn FnMut(u32, &crate::node_sketch::CubeRoundSketch),
     ) {
         for (slot, lock) in self.nodes.iter().enumerate() {
@@ -118,6 +118,35 @@ impl RamStore {
             let sketch = lock.lock();
             sink(node, sketch.round(round));
         }
+    }
+
+    /// Parallel form of [`Self::stream_round`]: slots are partitioned into
+    /// contiguous ranges, one per pool worker, and each worker folds its
+    /// range's borrowed round slices into its own sink. Per-node locks make
+    /// this safe against concurrent ingestion, though the system query path
+    /// quiesces ingestion first anyway.
+    pub fn stream_round_parallel(
+        &self,
+        round: usize,
+        live: &(dyn Fn(u32) -> bool + Sync),
+        pool: &gz_gutters::WorkerPool,
+        sinks: &[parking_lot::Mutex<crate::boruvka::RoundSink<'_, CubeRoundSketch>>],
+    ) {
+        pool.run(&|w| {
+            let range = pool.partition(self.nodes.len(), w);
+            if range.is_empty() {
+                return;
+            }
+            let mut sink = sinks[w].lock();
+            for slot in range {
+                let node = self.node_set.node(slot);
+                if !live(node) {
+                    continue;
+                }
+                let sketch = self.nodes[slot].lock();
+                sink.fold(node, sketch.round(round));
+            }
+        });
     }
 
     /// Clone out every owned node sketch, indexed by slot.

@@ -1,7 +1,7 @@
 //! The [`GraphZeppelin`] facade: the paper's user-facing API
 //! (`edge_update()` / `list_spanning_forest()`, Figures 8–9).
 
-use crate::boruvka::{boruvka_rounds, boruvka_spanning_forest, BoruvkaOutcome};
+use crate::boruvka::{boruvka_rounds_parallel, boruvka_spanning_forest_parallel, BoruvkaOutcome};
 use crate::config::{BufferStrategy, GzConfig, QueryMode, StoreBackend};
 use crate::error::GzError;
 use crate::ingest::{IngestCounters, WorkerPool};
@@ -181,21 +181,41 @@ impl GraphZeppelin {
     }
 
     /// Snapshot-mode query: materialize every node's full sketch stack,
-    /// then run Boruvka over the copy (peak `O(V × full sketch)` RAM).
+    /// then run Boruvka over the copy (peak `O(V × full sketch)` RAM). The
+    /// fold and sampling run on `query_threads` workers.
     pub fn spanning_forest_snapshot(&mut self) -> Result<BoruvkaOutcome, GzError> {
         self.flush();
         let sketches = self.store.snapshot();
-        boruvka_spanning_forest(sketches, self.config.num_nodes, self.params.rounds())
+        boruvka_spanning_forest_parallel(
+            sketches,
+            self.config.num_nodes,
+            self.params.rounds(),
+            self.config.query_threads(),
+        )
     }
 
-    /// Streaming-mode query: fold round slices straight out of the store
-    /// (group-sequential reads with prefetch when disk-backed), keeping
-    /// only per-live-supernode accumulators resident. Bit-identical to
-    /// [`Self::spanning_forest_snapshot`].
+    /// Streaming-mode query: fold round slices straight out of the store,
+    /// keeping only per-live-supernode accumulators resident — partitioned
+    /// across `query_threads` workers (slot ranges in RAM; concurrent
+    /// positioned group reads on disk, single-threaded prefetch pipeline at
+    /// one thread). Bit-identical to [`Self::spanning_forest_snapshot`] at
+    /// any thread count.
     pub fn spanning_forest_streaming(&mut self) -> Result<BoruvkaOutcome, GzError> {
         self.flush();
         let mut source = StoreRoundSource::new(&self.store);
-        boruvka_rounds(&mut source, self.config.num_nodes, self.params.rounds())
+        boruvka_rounds_parallel(
+            &mut source,
+            self.config.num_nodes,
+            self.params.rounds(),
+            self.config.query_threads(),
+        )
+    }
+
+    /// Change the query-thread count (a performance knob: answers are
+    /// bit-identical at any setting — DESIGN.md §10).
+    pub fn set_query_threads(&mut self, query_threads: usize) {
+        assert!(query_threads >= 1, "query_threads must be ≥ 1");
+        self.config.query_threads = Some(query_threads);
     }
 
     /// Compute connected components of the current graph.

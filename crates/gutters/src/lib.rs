@@ -15,16 +15,21 @@
 //!   leaf gutters sized to the node sketch.
 //! - [`stats`] — I/O accounting, the measurable analogue of the paper's
 //!   hybrid-model I/O complexity claims.
+//! - [`worker_pool`] — a persistent fork-join pool for data-parallel phases
+//!   (the streaming Borůvka query engine's per-round fold/sample/read
+//!   dispatch).
 
 pub mod leaf;
 pub mod stats;
 pub mod tree;
 pub mod work_queue;
+pub mod worker_pool;
 
 pub use leaf::LeafGutters;
 pub use stats::IoStats;
 pub use tree::{GutterTree, GutterTreeConfig};
 pub use work_queue::{Batch, WorkQueue};
+pub use worker_pool::WorkerPool;
 
 /// A buffering system: ingests `(destination node, other endpoint)` records
 /// and emits per-node batches into a [`WorkQueue`].

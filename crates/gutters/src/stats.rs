@@ -62,6 +62,17 @@ impl IoStats {
         self.reads() + self.writes()
     }
 
+    /// Fold another counter set into this one (all four counters, one atomic
+    /// add each). The parallel query path accumulates per-worker `IoStats`
+    /// locally and merges once per worker, so concurrent readers neither
+    /// race nor contend on the shared counters per read.
+    pub fn merge_from(&self, other: &IoStats) {
+        self.reads.fetch_add(other.reads(), Ordering::Relaxed);
+        self.writes.fetch_add(other.writes(), Ordering::Relaxed);
+        self.bytes_read.fetch_add(other.bytes_read(), Ordering::Relaxed);
+        self.bytes_written.fetch_add(other.bytes_written(), Ordering::Relaxed);
+    }
+
     /// Reset all counters to zero.
     pub fn reset(&self) {
         self.reads.store(0, Ordering::Relaxed);
@@ -100,6 +111,31 @@ mod tests {
         s.record_write(1);
         s.reset();
         assert_eq!(s.snapshot(), (0, 0, 0, 0));
+    }
+
+    #[test]
+    fn per_worker_merge_sums_exactly() {
+        // The parallel-reader discipline: each worker records into a local
+        // IoStats and merges once; concurrent merges must sum exactly.
+        let shared = std::sync::Arc::new(IoStats::new());
+        std::thread::scope(|scope| {
+            for w in 0..8u64 {
+                let shared = std::sync::Arc::clone(&shared);
+                scope.spawn(move || {
+                    let local = IoStats::new();
+                    for i in 0..500 {
+                        local.record_read(w * 1000 + i);
+                    }
+                    local.record_write(7);
+                    shared.merge_from(&local);
+                });
+            }
+        });
+        assert_eq!(shared.reads(), 8 * 500);
+        assert_eq!(shared.writes(), 8);
+        let expected: u64 = (0..8u64).map(|w| (0..500).map(|i| w * 1000 + i).sum::<u64>()).sum();
+        assert_eq!(shared.bytes_read(), expected);
+        assert_eq!(shared.bytes_written(), 8 * 7);
     }
 
     #[test]

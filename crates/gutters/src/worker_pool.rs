@@ -1,0 +1,359 @@
+//! A persistent fork-join worker pool for data-parallel phases.
+//!
+//! The streaming Borůvka query engine folds every vertex's round slice into
+//! per-supernode accumulators once per round — a data-parallel scan whose
+//! unit of work (one XOR of a round slice) is far too small to pay a thread
+//! spawn per round. [`WorkerPool`] keeps its threads parked between
+//! dispatches, so one [`WorkerPool::run`] round-trip costs a couple of
+//! condvar signals instead of `threads × spawn`, and a multi-round query
+//! reuses the same pool for every fold, sample, and disk-read phase.
+//!
+//! The calling thread participates as worker 0 — a pool of `threads` spawns
+//! only `threads − 1` OS threads, and `WorkerPool::new(1)` spawns none (the
+//! dispatch is then a plain inline call, so a single-threaded query pays
+//! nothing for going through the pool).
+
+use parking_lot::{Condvar, Mutex};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// The lifetime-erased task pointer workers execute. Soundness relies on
+/// [`WorkerPool::run`] not returning until every worker has finished the
+/// task (see the safety comment there).
+type TaskRef = &'static (dyn Fn(usize) + Sync);
+
+struct PoolState {
+    /// Current task, present only while a dispatch is in flight.
+    task: Option<TaskRef>,
+    /// Bumped once per dispatch; workers wait for a new epoch.
+    epoch: u64,
+    /// Spawned workers still running the current task.
+    active: usize,
+    /// True if any worker's task panicked (re-raised by `run`).
+    panicked: bool,
+    shutdown: bool,
+}
+
+struct Shared {
+    state: Mutex<PoolState>,
+    /// Signals parked workers that a new task (or shutdown) is available.
+    task_ready: Condvar,
+    /// Signals the dispatching thread that all workers finished.
+    task_done: Condvar,
+}
+
+/// A fixed-size fork-join pool: [`Self::run`] executes one closure on every
+/// worker concurrently (each receives its worker index) and returns when all
+/// are done.
+pub struct WorkerPool {
+    shared: Arc<Shared>,
+    threads: usize,
+    handles: Vec<JoinHandle<()>>,
+    /// Held for the whole of [`Self::run`]: the pool executes exactly one
+    /// task at a time, and the `unsafe` lifetime erasure in `run` is only
+    /// sound if a second dispatch cannot reset `active`/`epoch` while the
+    /// first task's borrow is still in use (see the safety comment there).
+    /// Concurrent callers queue here; a *nested* dispatch from inside a
+    /// task deadlocks on this lock — never call `run` from a task.
+    dispatch: Mutex<()>,
+}
+
+impl WorkerPool {
+    /// Pool of `threads` workers (clamped to ≥ 1): the calling thread plus
+    /// `threads − 1` parked OS threads.
+    pub fn new(threads: usize) -> Self {
+        let threads = threads.max(1);
+        let shared = Arc::new(Shared {
+            state: Mutex::new(PoolState {
+                task: None,
+                epoch: 0,
+                active: 0,
+                panicked: false,
+                shutdown: false,
+            }),
+            task_ready: Condvar::new(),
+            task_done: Condvar::new(),
+        });
+        let handles = (1..threads)
+            .map(|index| {
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || worker_loop(&shared, index))
+            })
+            .collect();
+        WorkerPool { shared, threads, handles, dispatch: Mutex::new(()) }
+    }
+
+    /// Number of workers (including the calling thread).
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Execute `task(index)` on every worker (`index ∈ 0..threads`)
+    /// concurrently; the caller runs index 0. Returns once every worker has
+    /// finished. Panics (rethrowing) if the caller's task panicked, after
+    /// all workers have still been waited for; a panic in a spawned worker's
+    /// task is converted into a panic here.
+    ///
+    /// The pool executes one task at a time: concurrent `run` calls from
+    /// different threads are serialized (the second waits). A *nested*
+    /// dispatch — a task calling `run` on its own pool — deadlocks; don't.
+    pub fn run(&self, task: &(dyn Fn(usize) + Sync)) {
+        if self.handles.is_empty() {
+            task(0);
+            return;
+        }
+        // One dispatch at a time, enforced (not just documented): without
+        // this, a second `run` from another thread could reset
+        // `active`/`epoch` while a worker is still executing the first
+        // task, letting the first call return — and its task's borrow end —
+        // before every use of it finished. Held until all workers are done.
+        let _one_dispatch = self.dispatch.lock();
+        // SAFETY: the `'static` lifetime is a lie told only to park the
+        // reference in the shared slot. It is sound because this function
+        // does not return until `active == 0`, i.e. every worker has
+        // finished calling the task and will never touch the reference
+        // again (workers copy it out under the lock, call it, then
+        // decrement `active` — they never revisit a finished epoch); the
+        // slot itself is cleared below before returning; and the dispatch
+        // lock above guarantees no other `run` can touch `active`, `epoch`,
+        // or the slot in between. The borrow therefore strictly outlives
+        // every use.
+        let erased: TaskRef =
+            unsafe { std::mem::transmute::<&(dyn Fn(usize) + Sync), TaskRef>(task) };
+        {
+            let mut state = self.shared.state.lock();
+            debug_assert!(state.active == 0 && state.task.is_none(), "dispatch not serialized");
+            state.task = Some(erased);
+            state.epoch += 1;
+            state.active = self.handles.len();
+            state.panicked = false;
+            self.shared.task_ready.notify_all();
+        }
+        // The caller is worker 0. Catch a panic so the workers are always
+        // joined-for before unwinding out (otherwise they could outlive the
+        // borrowed task data).
+        let caller = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| task(0)));
+        let worker_panicked = {
+            let mut state = self.shared.state.lock();
+            while state.active > 0 {
+                self.shared.task_done.wait(&mut state);
+            }
+            state.task = None;
+            state.panicked
+        };
+        if let Err(payload) = caller {
+            std::panic::resume_unwind(payload);
+        }
+        if worker_panicked {
+            panic!("worker pool task panicked");
+        }
+    }
+
+    /// Contiguous partition of `0..len` for worker `index`: the range this
+    /// worker should own in an `len`-item scan. Ranges tile `0..len` in
+    /// worker order (so concatenating per-worker results in index order
+    /// preserves the serial order) and are empty once `len` is exhausted.
+    pub fn partition(&self, len: usize, index: usize) -> std::ops::Range<usize> {
+        partition(len, self.threads, index)
+    }
+}
+
+/// Contiguous slice of `0..len` owned by worker `index` of `parts`.
+pub fn partition(len: usize, parts: usize, index: usize) -> std::ops::Range<usize> {
+    let per = len.div_ceil(parts.max(1)).max(1);
+    let start = (index * per).min(len);
+    let end = ((index + 1) * per).min(len);
+    start..end
+}
+
+fn worker_loop(shared: &Shared, index: usize) {
+    let mut seen_epoch = 0u64;
+    loop {
+        let task = {
+            let mut state = shared.state.lock();
+            loop {
+                if state.shutdown {
+                    return;
+                }
+                if state.epoch != seen_epoch {
+                    seen_epoch = state.epoch;
+                    break state.task.expect("task present while epoch is live");
+                }
+                shared.task_ready.wait(&mut state);
+            }
+        };
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| task(index)));
+        let mut state = shared.state.lock();
+        if result.is_err() {
+            state.panicked = true;
+        }
+        state.active -= 1;
+        if state.active == 0 {
+            shared.task_done.notify_all();
+        }
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        {
+            let mut state = self.shared.state.lock();
+            state.shutdown = true;
+            self.shared.task_ready.notify_all();
+        }
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn every_worker_runs_exactly_once_per_dispatch() {
+        let pool = WorkerPool::new(4);
+        let counts: Vec<AtomicUsize> = (0..4).map(|_| AtomicUsize::new(0)).collect();
+        for _ in 0..50 {
+            pool.run(&|w| {
+                counts[w].fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        for (w, c) in counts.iter().enumerate() {
+            assert_eq!(c.load(Ordering::Relaxed), 50, "worker {w}");
+        }
+    }
+
+    #[test]
+    fn single_thread_pool_runs_inline() {
+        let pool = WorkerPool::new(1);
+        assert_eq!(pool.threads(), 1);
+        // A FnMut-style capture through a Mutex: with one thread the task
+        // runs on the caller, so side effects are immediately visible.
+        let hits = Mutex::new(0);
+        pool.run(&|w| {
+            assert_eq!(w, 0);
+            *hits.lock() += 1;
+        });
+        assert_eq!(hits.into_inner(), 1);
+    }
+
+    #[test]
+    fn zero_threads_clamps_to_one() {
+        let pool = WorkerPool::new(0);
+        assert_eq!(pool.threads(), 1);
+        pool.run(&|_| {});
+    }
+
+    #[test]
+    fn borrows_stack_data_mutably_through_per_worker_locks() {
+        // The engine's usage pattern: per-worker sinks behind Mutexes,
+        // borrowed from the caller's stack.
+        let pool = WorkerPool::new(3);
+        let sinks: Vec<Mutex<Vec<usize>>> = (0..3).map(|_| Mutex::new(Vec::new())).collect();
+        let items = 100usize;
+        pool.run(&|w| {
+            let mut sink = sinks[w].lock();
+            for i in pool.partition(items, w) {
+                sink.push(i);
+            }
+        });
+        let mut all: Vec<usize> = sinks.into_iter().flat_map(|m| m.into_inner()).collect();
+        // Contiguous partitions concatenated in worker order = serial order.
+        assert_eq!(all, (0..items).collect::<Vec<_>>());
+        all.sort_unstable();
+        assert_eq!(all.len(), items);
+    }
+
+    #[test]
+    fn partition_tiles_the_range_in_order() {
+        for len in [0usize, 1, 5, 16, 17, 100] {
+            for parts in [1usize, 2, 3, 8, 50] {
+                let mut covered = Vec::new();
+                for w in 0..parts {
+                    covered.extend(partition(len, parts, w));
+                }
+                assert_eq!(covered, (0..len).collect::<Vec<_>>(), "len={len} parts={parts}");
+            }
+        }
+    }
+
+    #[test]
+    fn pool_survives_many_reuses_with_work_between() {
+        let pool = WorkerPool::new(2);
+        let total = AtomicUsize::new(0);
+        for round in 0..200 {
+            pool.run(&|w| {
+                total.fetch_add(w + round, Ordering::Relaxed);
+            });
+        }
+        let expected: usize = (0..200).map(|r| (r) + (r + 1)).sum();
+        assert_eq!(total.load(Ordering::Relaxed), expected);
+    }
+
+    #[test]
+    fn concurrent_dispatchers_are_serialized_not_interleaved() {
+        // Two threads hammering run() on one shared pool: every dispatch
+        // must see all its workers run exactly once, with no cross-task
+        // interleaving (the soundness property the dispatch lock enforces —
+        // without it a second dispatch could reset the epoch under a
+        // still-running first task).
+        let pool = Arc::new(WorkerPool::new(3));
+        std::thread::scope(|scope| {
+            for _ in 0..2 {
+                let pool = Arc::clone(&pool);
+                scope.spawn(move || {
+                    for _ in 0..100 {
+                        let hits: Vec<AtomicUsize> = (0..3).map(|_| AtomicUsize::new(0)).collect();
+                        pool.run(&|w| {
+                            hits[w].fetch_add(1, Ordering::Relaxed);
+                        });
+                        for (w, h) in hits.iter().enumerate() {
+                            assert_eq!(h.load(Ordering::Relaxed), 1, "worker {w}");
+                        }
+                    }
+                });
+            }
+        });
+    }
+
+    #[test]
+    fn worker_panic_propagates_to_caller() {
+        let pool = WorkerPool::new(2);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.run(&|w| {
+                if w == 1 {
+                    panic!("boom");
+                }
+            });
+        }));
+        assert!(result.is_err());
+        // The pool remains usable afterwards.
+        let ran = AtomicUsize::new(0);
+        pool.run(&|_| {
+            ran.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(ran.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn caller_panic_still_joins_workers_first() {
+        let pool = WorkerPool::new(3);
+        let finished = AtomicUsize::new(0);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.run(&|w| {
+                if w == 0 {
+                    panic!("caller boom");
+                }
+                std::thread::sleep(std::time::Duration::from_millis(10));
+                finished.fetch_add(1, Ordering::Relaxed);
+            });
+        }));
+        assert!(result.is_err());
+        // Both spawned workers must have completed before the panic
+        // propagated (the soundness requirement).
+        assert_eq!(finished.load(Ordering::Relaxed), 2);
+    }
+}

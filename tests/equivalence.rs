@@ -243,7 +243,93 @@ mod streaming_query_proptests {
     }
 
     proptest! {
-        #![proptest_config(ProptestConfig::with_cases(8))]
+        #![proptest_config(ProptestConfig::with_cases(6))]
+
+        /// The parallel query engine is bit-identical to the
+        /// single-threaded one on arbitrary toggle streams: labels, forest
+        /// (with edge order), rounds used, and sketch-failure counts agree
+        /// across query_threads {1, 2, 4} × Ram/Disk stores × shard counts
+        /// {1, 3}. (Peak resident bytes legitimately differ — more workers
+        /// hold more accumulators — so they are deliberately not compared.)
+        #[test]
+        fn parallel_query_bit_identical_across_threads_stores_shards(
+            n in 4u64..28,
+            raw in proptest::collection::vec((any::<u32>(), any::<u32>()), 0..120)
+        ) {
+            let updates = toggles(n, raw);
+
+            let mut ram = GraphZeppelin::new(GzConfig::in_ram(n)).unwrap();
+            for &(u, v, d) in &updates {
+                ram.update(u, v, d);
+            }
+            ram.set_query_threads(1);
+            let reference = ram.spanning_forest_streaming().unwrap();
+
+            let dir = TempDir::new("gz-equiv-parq-prop");
+            let mut disk_cfg = GzConfig::in_ram(n);
+            disk_cfg.store = StoreBackend::Disk {
+                dir: dir.path().to_path_buf(),
+                block_bytes: 512,
+                cache_groups: 2,
+            };
+            let mut disk = GraphZeppelin::new(disk_cfg).unwrap();
+            for &(u, v, d) in &updates {
+                disk.update(u, v, d);
+            }
+
+            let mut shard_systems: Vec<_> = [1u32, 3]
+                .iter()
+                .map(|&shards| {
+                    let mut gz = ShardedGraphZeppelin::in_process(ShardConfig::in_ram(n, shards))
+                        .unwrap();
+                    gz.ingest(updates.iter().copied()).unwrap();
+                    (shards, gz)
+                })
+                .collect();
+
+            for threads in [1usize, 2, 4] {
+                ram.set_query_threads(threads);
+                let got = ram.spanning_forest_streaming().unwrap();
+                prop_assert_eq!(&reference.labels, &got.labels, "ram labels t={}", threads);
+                prop_assert_eq!(&reference.forest, &got.forest, "ram forest t={}", threads);
+                prop_assert_eq!(reference.rounds_used, got.rounds_used, "ram rounds t={}", threads);
+                prop_assert_eq!(
+                    reference.sketch_failures, got.sketch_failures,
+                    "ram failures t={}", threads
+                );
+
+                disk.set_query_threads(threads);
+                let got = disk.spanning_forest_streaming().unwrap();
+                prop_assert_eq!(&reference.labels, &got.labels, "disk labels t={}", threads);
+                prop_assert_eq!(&reference.forest, &got.forest, "disk forest t={}", threads);
+                prop_assert_eq!(reference.rounds_used, got.rounds_used, "disk rounds t={}", threads);
+                prop_assert_eq!(
+                    reference.sketch_failures, got.sketch_failures,
+                    "disk failures t={}", threads
+                );
+
+                for (shards, gz) in shard_systems.iter_mut() {
+                    gz.set_query_threads(threads);
+                    let got = gz.spanning_forest_streaming().unwrap();
+                    prop_assert_eq!(
+                        &reference.labels, &got.labels,
+                        "labels {} shards t={}", shards, threads
+                    );
+                    prop_assert_eq!(
+                        &reference.forest, &got.forest,
+                        "forest {} shards t={}", shards, threads
+                    );
+                    prop_assert_eq!(
+                        reference.rounds_used, got.rounds_used,
+                        "rounds {} shards t={}", shards, threads
+                    );
+                    prop_assert_eq!(
+                        reference.sketch_failures, got.sketch_failures,
+                        "failures {} shards t={}", shards, threads
+                    );
+                }
+            }
+        }
 
         /// Streaming == snapshot, bit for bit, on arbitrary toggle streams
         /// across Ram/Disk stores and shard counts {1, 3}.
