@@ -203,6 +203,70 @@ fn bench_parallel_query_scaling(c: &mut Criterion) {
     }
 }
 
+/// The epoch-versioned concurrent query (DESIGN.md §11): fold a sealed
+/// epoch while a writer thread keeps landing batches at a pinned rate, and
+/// compare against folding the same epoch quiescently. The delta is the
+/// price of copy-on-write captures plus cache pressure from the writer —
+/// not lock contention, since epoch reads never block ingestion.
+fn bench_concurrent_query(c: &mut Criterion) {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    let scale = if smoke() { 6 } else { 8 };
+    let mut gz = loaded_system(scale, 3, StoreBackend::Ram);
+    let num_nodes = gz.params().num_nodes;
+    let epoch = gz.begin_epoch().unwrap();
+    let reference = gz.spanning_forest_streaming().unwrap();
+
+    let mut group = c.benchmark_group("gz_query_concurrent");
+    group.sample_size(10);
+    group.bench_with_input(
+        BenchmarkId::from_parameter(format!("quiescent/kron{scale}")),
+        &(),
+        |b, _| b.iter(|| epoch.spanning_forest().unwrap().num_components()),
+    );
+
+    let stop = AtomicBool::new(false);
+    std::thread::scope(|scope| {
+        let writer = scope.spawn(|| {
+            // ~256 updates per millisecond: enough churn to keep the
+            // copy-on-write path hot without starving the query thread.
+            let mut i = 0u64;
+            let mut batches = 0u64;
+            while !stop.load(Ordering::Relaxed) {
+                for _ in 0..256 {
+                    let u = (i.wrapping_mul(7) % num_nodes) as u32;
+                    let v = (i.wrapping_mul(13).wrapping_add(1) % num_nodes) as u32;
+                    if u != v {
+                        gz.edge_update(u, v);
+                    }
+                    i += 1;
+                }
+                gz.flush();
+                batches += 1;
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            batches
+        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("under-ingest/kron{scale}")),
+            &(),
+            |b, _| b.iter(|| epoch.spanning_forest().unwrap().num_components()),
+        );
+        stop.store(true, Ordering::Relaxed);
+        let batches = writer.join().unwrap();
+        println!(
+            "gz_query_concurrent/kron{scale}: {batches} writer batches landed during the \
+             measured queries; epoch pinned {} captured groups",
+            epoch.captured_groups(),
+        );
+    });
+    group.finish();
+
+    // The epoch must still answer as of its seal, churn notwithstanding.
+    let at_epoch = epoch.spanning_forest().unwrap();
+    assert_eq!(at_epoch.labels, reference.labels, "epoch answer moved under concurrent ingest");
+}
+
 /// Final target: persist every measurement above as the machine-readable
 /// baseline (`BENCH_queries.json`).
 fn emit_bench_json(_c: &mut Criterion) {
@@ -223,6 +287,7 @@ criterion_group! {
     name = benches;
     config = config();
     targets = bench_connected_components, bench_spanning_forest_empty_vs_dense,
-        bench_disk_query_modes, bench_parallel_query_scaling, emit_bench_json
+        bench_disk_query_modes, bench_parallel_query_scaling, bench_concurrent_query,
+        emit_bench_json
 }
 criterion_main!(benches);

@@ -7,7 +7,7 @@
 //! gz components stream.gzs [--workers 4] [--store ram|disk] \
 //!     [--buffering leaf|tree] [--dir /tmp/gzwork] [--forest] \
 //!     [--query-mode snapshot|streaming] [--query-threads N] \
-//!     [--shards K [--connect host:port,host:port,...]]
+//!     [--staleness U] [--shards K [--connect host:port,host:port,...]]
 //! gz checkpoint save ckpt.gzc --from stream.gzs [--workers 4] [--seed S]
 //! gz checkpoint restore ckpt.gzc [--forest] [--query-mode streaming]
 //! gz shard-worker --listen 127.0.0.1:7001 --nodes 1024 --shards 2 --index 0
@@ -110,6 +110,10 @@ pub enum Command {
         query_mode: QueryMode,
         /// Borůvka query-engine threads (`None` = the worker count).
         query_threads: Option<usize>,
+        /// Bounded staleness for streaming queries: reuse a sealed epoch
+        /// while it lags fewer than this many updates (`None` = always
+        /// query fresh state).
+        staleness: Option<u64>,
         /// Shard the system `k` ways (in-process unless `connect` names
         /// remote workers).
         shards: Option<u32>,
@@ -217,6 +221,20 @@ fn parse_num<T: std::str::FromStr>(
         .map_err(|_| format!("bad value for {flag}"))
 }
 
+/// Parse a flag whose value must be a positive count: `0` is refused with
+/// the same error shape as `--query-threads 0`, instead of being silently
+/// clamped downstream.
+fn parse_positive<T: std::str::FromStr + Default + PartialEq>(
+    it: &mut std::slice::Iter<'_, String>,
+    flag: &str,
+) -> Result<T, String> {
+    let n: T = parse_num(it, flag)?;
+    if n == T::default() {
+        return Err(format!("{flag} must be at least 1"));
+    }
+    Ok(n)
+}
+
 /// Parse `--query-threads`: a positive thread count (0 is refused — a query
 /// cannot run on no threads; omit the flag to default to the worker count).
 fn parse_query_threads(it: &mut std::slice::Iter<'_, String>) -> Result<usize, String> {
@@ -229,6 +247,24 @@ fn parse_query_threads(it: &mut std::slice::Iter<'_, String>) -> Result<usize, S
     Ok(n)
 }
 
+/// Set-once guard for flag values: a repeated flag is an explicit error,
+/// never a silent last-one-wins.
+fn set_once<T>(slot: &mut Option<T>, value: T, flag: &str) -> Result<(), String> {
+    if slot.replace(value).is_some() {
+        return Err(format!("duplicate flag {flag}"));
+    }
+    Ok(())
+}
+
+/// Set-once guard for boolean switches (`--forest` twice is a typo worth
+/// flagging, not a no-op).
+fn set_switch(slot: &mut bool, flag: &str) -> Result<(), String> {
+    if std::mem::replace(slot, true) {
+        return Err(format!("duplicate flag {flag}"));
+    }
+    Ok(())
+}
+
 /// Parse a full argument vector (without argv[0]).
 pub fn parse_args(args: &[String]) -> Result<Command, String> {
     let mut it = args.iter();
@@ -238,7 +274,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
     match sub.as_str() {
         "generate" => {
             let mut dataset = None;
-            let mut seed = 42u64;
+            let mut seed = None;
             let mut out = None;
             while let Some(arg) = it.next() {
                 match arg.as_str() {
@@ -248,26 +284,29 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                             .strip_prefix("kron")
                             .and_then(|s| s.parse().ok())
                             .ok_or_else(|| format!("unknown dataset {v} (try kron10)"))?;
-                        dataset = Some(DatasetArg::Kron(scale));
+                        set_once(&mut dataset, DatasetArg::Kron(scale), arg)?;
                     }
                     "--er" => {
                         let v = it.next().ok_or("--er needs NxM")?;
                         let (n, m) = parse_pair(v)?;
-                        dataset = Some(DatasetArg::ErdosRenyi(n, m));
+                        set_once(&mut dataset, DatasetArg::ErdosRenyi(n, m), arg)?;
                     }
                     "--pa" => {
                         let v = it.next().ok_or("--pa needs NxM")?;
                         let (n, m) = parse_pair(v)?;
-                        dataset = Some(DatasetArg::Preferential(n, m));
+                        set_once(&mut dataset, DatasetArg::Preferential(n, m), arg)?;
                     }
-                    "--seed" => seed = parse_num(&mut it, "--seed")?,
-                    "--out" => out = Some(PathBuf::from(it.next().ok_or("--out needs a path")?)),
+                    "--seed" => set_once(&mut seed, parse_num(&mut it, arg)?, arg)?,
+                    "--out" => {
+                        let v = PathBuf::from(it.next().ok_or("--out needs a path")?);
+                        set_once(&mut out, v, arg)?;
+                    }
                     other => return Err(format!("unknown flag {other}")),
                 }
             }
             Ok(Command::Generate {
                 dataset: dataset.ok_or("need one of --dataset/--er/--pa")?,
-                seed,
+                seed: seed.unwrap_or(42),
                 out: out.ok_or("need --out")?,
             })
         }
@@ -277,61 +316,83 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
         }
         "components" => {
             let path = PathBuf::from(it.next().ok_or("components needs a stream file")?);
-            let mut workers = 2usize;
-            let mut store = StoreArg::Ram;
-            let mut buffering = BufferingArg::Leaf;
+            let mut workers = None;
+            let mut store = None;
+            let mut buffering = None;
             let mut dir = None;
             let mut forest = false;
-            let mut query_mode = QueryMode::Snapshot;
+            let mut query_mode = None;
             let mut query_threads = None;
+            let mut staleness = None;
             let mut shards = None;
-            let mut connect = Vec::new();
+            let mut connect = None;
             while let Some(arg) = it.next() {
                 match arg.as_str() {
-                    "--workers" => workers = parse_num(&mut it, "--workers")?,
-                    "--query-threads" => query_threads = Some(parse_query_threads(&mut it)?),
+                    "--workers" => set_once(&mut workers, parse_positive(&mut it, arg)?, arg)?,
+                    "--query-threads" => {
+                        set_once(&mut query_threads, parse_query_threads(&mut it)?, arg)?;
+                    }
                     "--store" => {
-                        store = StoreArg::parse(it.next().ok_or("--store needs ram|disk")?)?;
+                        let v = StoreArg::parse(it.next().ok_or("--store needs ram|disk")?)?;
+                        set_once(&mut store, v, arg)?;
                     }
                     "--buffering" => {
-                        buffering =
+                        let v =
                             BufferingArg::parse(it.next().ok_or("--buffering needs leaf|tree")?)?;
+                        set_once(&mut buffering, v, arg)?;
                     }
-                    "--dir" => dir = Some(PathBuf::from(it.next().ok_or("--dir needs a dir")?)),
+                    "--dir" => {
+                        let v = PathBuf::from(it.next().ok_or("--dir needs a dir")?);
+                        set_once(&mut dir, v, arg)?;
+                    }
                     // Back-compat: `--disk DIR` = the full on-disk deployment.
+                    // It claims --dir/--store/--buffering, so mixing it with
+                    // any of those is reported as a duplicate.
                     "--disk" => {
-                        dir = Some(PathBuf::from(it.next().ok_or("--disk needs a dir")?));
-                        store = StoreArg::Disk;
-                        buffering = BufferingArg::Tree;
+                        let v = PathBuf::from(it.next().ok_or("--disk needs a dir")?);
+                        set_once(&mut dir, v, arg)?;
+                        set_once(&mut store, StoreArg::Disk, arg)?;
+                        set_once(&mut buffering, BufferingArg::Tree, arg)?;
                     }
-                    "--forest" => forest = true,
+                    "--forest" => set_switch(&mut forest, arg)?,
                     "--query-mode" => {
-                        query_mode = parse_query_mode(
+                        let v = parse_query_mode(
                             it.next().ok_or("--query-mode needs snapshot|streaming")?,
                         )?;
+                        set_once(&mut query_mode, v, arg)?;
                     }
-                    "--shards" => shards = Some(parse_num(&mut it, "--shards")?),
+                    // `--staleness 0` is meaningful (reseal on every query),
+                    // so a plain parse — not parse_positive — is correct.
+                    "--staleness" => set_once(&mut staleness, parse_num(&mut it, arg)?, arg)?,
+                    "--shards" => set_once(&mut shards, parse_positive(&mut it, arg)?, arg)?,
                     "--connect" => {
                         let v = it.next().ok_or("--connect needs addr,addr,...")?;
-                        connect = v.split(',').map(|s| s.trim().to_string()).collect();
+                        let addrs: Vec<String> =
+                            v.split(',').map(|s| s.trim().to_string()).collect();
+                        set_once(&mut connect, addrs, arg)?;
                     }
                     other => return Err(format!("unknown flag {other}")),
                 }
             }
-            if !connect.is_empty() && shards.is_none() {
+            if connect.is_some() && shards.is_none() {
                 return Err("--connect requires --shards".into());
+            }
+            let query_mode = query_mode.unwrap_or(QueryMode::Snapshot);
+            if staleness.is_some() && query_mode != QueryMode::Streaming {
+                return Err("--staleness requires --query-mode streaming".into());
             }
             Ok(Command::Components {
                 path,
-                workers,
-                store,
-                buffering,
+                workers: workers.unwrap_or(2),
+                store: store.unwrap_or(StoreArg::Ram),
+                buffering: buffering.unwrap_or(BufferingArg::Leaf),
                 dir,
                 forest,
                 query_mode,
                 query_threads,
+                staleness,
                 shards,
-                connect,
+                connect: connect.unwrap_or_default(),
             })
         }
         "checkpoint" => {
@@ -340,47 +401,55 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                 "save" => {
                     let out = PathBuf::from(it.next().ok_or("checkpoint save needs a path")?);
                     let mut stream = None;
-                    let mut workers = 2usize;
-                    let mut seed = 0x5EED_1E55u64;
+                    let mut workers = None;
+                    let mut seed = None;
                     while let Some(arg) = it.next() {
                         match arg.as_str() {
                             "--from" => {
-                                stream = Some(PathBuf::from(
-                                    it.next().ok_or("--from needs a stream file")?,
-                                ));
+                                let v =
+                                    PathBuf::from(it.next().ok_or("--from needs a stream file")?);
+                                set_once(&mut stream, v, arg)?;
                             }
-                            "--workers" => workers = parse_num(&mut it, "--workers")?,
-                            "--seed" => seed = parse_num(&mut it, "--seed")?,
+                            "--workers" => {
+                                set_once(&mut workers, parse_positive(&mut it, arg)?, arg)?;
+                            }
+                            "--seed" => set_once(&mut seed, parse_num(&mut it, arg)?, arg)?,
                             other => return Err(format!("unknown flag {other}")),
                         }
                     }
                     Ok(Command::CheckpointSave {
                         stream: stream.ok_or("need --from <stream.gzs>")?,
                         out,
-                        workers,
-                        seed,
+                        workers: workers.unwrap_or(2),
+                        seed: seed.unwrap_or(0x5EED_1E55),
                     })
                 }
                 "restore" => {
                     let path = PathBuf::from(it.next().ok_or("checkpoint restore needs a path")?);
                     let mut forest = false;
-                    let mut query_mode = QueryMode::Snapshot;
+                    let mut query_mode = None;
                     let mut query_threads = None;
                     while let Some(arg) = it.next() {
                         match arg.as_str() {
-                            "--forest" => forest = true,
+                            "--forest" => set_switch(&mut forest, arg)?,
                             "--query-mode" => {
-                                query_mode = parse_query_mode(
+                                let v = parse_query_mode(
                                     it.next().ok_or("--query-mode needs snapshot|streaming")?,
                                 )?;
+                                set_once(&mut query_mode, v, arg)?;
                             }
                             "--query-threads" => {
-                                query_threads = Some(parse_query_threads(&mut it)?);
+                                set_once(&mut query_threads, parse_query_threads(&mut it)?, arg)?;
                             }
                             other => return Err(format!("unknown flag {other}")),
                         }
                     }
-                    Ok(Command::CheckpointRestore { path, forest, query_mode, query_threads })
+                    Ok(Command::CheckpointRestore {
+                        path,
+                        forest,
+                        query_mode: query_mode.unwrap_or(QueryMode::Snapshot),
+                        query_threads,
+                    })
                 }
                 other => Err(format!("unknown checkpoint action {other} (want save|restore)")),
             }
@@ -390,24 +459,29 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
             let mut nodes = None;
             let mut shards = None;
             let mut index = None;
-            let mut seed = 0x5EED_1E55u64;
-            let mut workers = 2usize;
-            let mut store = StoreArg::Ram;
+            let mut seed = None;
+            let mut workers = None;
+            let mut store = None;
             let mut dir = None;
             while let Some(arg) = it.next() {
                 match arg.as_str() {
                     "--listen" => {
-                        listen = Some(it.next().ok_or("--listen needs host:port")?.clone());
+                        let v = it.next().ok_or("--listen needs host:port")?.clone();
+                        set_once(&mut listen, v, arg)?;
                     }
-                    "--nodes" => nodes = Some(parse_num(&mut it, "--nodes")?),
-                    "--shards" => shards = Some(parse_num(&mut it, "--shards")?),
-                    "--index" => index = Some(parse_num(&mut it, "--index")?),
-                    "--seed" => seed = parse_num(&mut it, "--seed")?,
-                    "--workers" => workers = parse_num(&mut it, "--workers")?,
+                    "--nodes" => set_once(&mut nodes, parse_num(&mut it, arg)?, arg)?,
+                    "--shards" => set_once(&mut shards, parse_positive(&mut it, arg)?, arg)?,
+                    "--index" => set_once(&mut index, parse_num(&mut it, arg)?, arg)?,
+                    "--seed" => set_once(&mut seed, parse_num(&mut it, arg)?, arg)?,
+                    "--workers" => set_once(&mut workers, parse_positive(&mut it, arg)?, arg)?,
                     "--store" => {
-                        store = StoreArg::parse(it.next().ok_or("--store needs ram|disk")?)?;
+                        let v = StoreArg::parse(it.next().ok_or("--store needs ram|disk")?)?;
+                        set_once(&mut store, v, arg)?;
                     }
-                    "--dir" => dir = Some(PathBuf::from(it.next().ok_or("--dir needs a dir")?)),
+                    "--dir" => {
+                        let v = PathBuf::from(it.next().ok_or("--dir needs a dir")?);
+                        set_once(&mut dir, v, arg)?;
+                    }
                     other => return Err(format!("unknown flag {other}")),
                 }
             }
@@ -416,9 +490,9 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                 nodes: nodes.ok_or("need --nodes")?,
                 shards: shards.ok_or("need --shards")?,
                 index: index.ok_or("need --index")?,
-                seed,
-                workers,
-                store,
+                seed: seed.unwrap_or(0x5EED_1E55),
+                workers: workers.unwrap_or(2),
+                store: store.unwrap_or(StoreArg::Ram),
                 dir,
             })
         }
@@ -453,12 +527,14 @@ fn build_config(
     dir: &Option<PathBuf>,
     query_mode: QueryMode,
     query_threads: Option<usize>,
+    staleness: Option<u64>,
 ) -> Result<GzConfig, String> {
     let mut config = GzConfig::in_ram(num_nodes);
-    config.num_workers = workers.max(1);
+    config.num_workers = workers;
     config.store = store_backend(store, dir)?;
     config.query_mode = query_mode;
     config.query_threads = query_threads;
+    config.query_staleness = staleness;
     config.buffering = match buffering {
         BufferingArg::Leaf => {
             BufferStrategy::LeafOnly { capacity: GutterCapacity::SketchFactor(0.5) }
@@ -506,6 +582,7 @@ fn components_sharded(
     forest: bool,
     query_mode: QueryMode,
     query_threads: Option<usize>,
+    staleness: Option<u64>,
     num_shards: u32,
     connect: &[String],
 ) -> Result<String, String> {
@@ -524,10 +601,11 @@ fn components_sharded(
     let mut reader = StreamReader::open(path).map_err(|e| e.to_string())?;
     let header = reader.header();
     let mut config = ShardConfig::in_ram(header.num_vertices, num_shards);
-    config.workers_per_shard = workers.max(1);
+    config.workers_per_shard = workers;
     config.store = store_backend(store, dir)?;
     config.query_mode = query_mode;
     config.query_threads = query_threads;
+    config.query_staleness = staleness;
 
     let mut gz = if connect.is_empty() {
         ShardedGraphZeppelin::in_process(config).map_err(|e| e.to_string())?
@@ -637,6 +715,7 @@ pub fn execute(cmd: Command) -> Result<String, String> {
             forest,
             query_mode,
             query_threads,
+            staleness,
             shards,
             connect,
         } => {
@@ -650,6 +729,7 @@ pub fn execute(cmd: Command) -> Result<String, String> {
                     forest,
                     query_mode,
                     query_threads,
+                    staleness,
                     num_shards,
                     &connect,
                 );
@@ -664,6 +744,7 @@ pub fn execute(cmd: Command) -> Result<String, String> {
                 &dir,
                 query_mode,
                 query_threads,
+                staleness,
             )?;
             let mut gz = GraphZeppelin::new(config).map_err(|e| e.to_string())?;
             feed_stream(&mut reader, |u, v, d| {
@@ -688,7 +769,7 @@ pub fn execute(cmd: Command) -> Result<String, String> {
             let mut reader = StreamReader::open(&stream).map_err(|e| e.to_string())?;
             let header = reader.header();
             let mut config = GzConfig::in_ram(header.num_vertices);
-            config.num_workers = workers.max(1);
+            config.num_workers = workers;
             config.seed = seed;
             let mut gz = GraphZeppelin::new(config).map_err(|e| e.to_string())?;
             feed_stream(&mut reader, |u, v, d| {
@@ -733,7 +814,7 @@ pub fn execute(cmd: Command) -> Result<String, String> {
         Command::ShardWorker { listen, nodes, shards, index, seed, workers, store, dir } => {
             let mut config = ShardConfig::in_ram(nodes, shards);
             config.seed = seed;
-            config.workers_per_shard = workers.max(1);
+            config.workers_per_shard = workers;
             config.store = store_backend(store, &dir)?;
             run_shard_worker(&listen, config, index)
         }
@@ -922,6 +1003,95 @@ mod tests {
         assert!(err.contains("at least 1"), "{err}");
         assert!(parse_args(&argv("components s.gzs --query-threads lots")).is_err());
         assert!(parse_args(&argv("components s.gzs --query-threads")).is_err());
+    }
+
+    #[test]
+    fn zero_counts_rejected_like_query_threads() {
+        // --workers 0 and --shards 0 fail the same way --query-threads 0
+        // does, instead of being silently clamped to 1 downstream.
+        for argv_s in [
+            "components s.gzs --workers 0",
+            "components s.gzs --shards 0",
+            "checkpoint save c.gzc --from s.gzs --workers 0",
+            "shard-worker --listen 127.0.0.1:0 --nodes 8 --shards 0 --index 0",
+            "shard-worker --listen 127.0.0.1:0 --nodes 8 --shards 2 --index 0 --workers 0",
+        ] {
+            let err = parse_args(&argv(argv_s)).unwrap_err();
+            assert!(err.contains("at least 1"), "{argv_s}: {err}");
+        }
+    }
+
+    #[test]
+    fn duplicate_flags_are_explicit_errors() {
+        for argv_s in [
+            "generate --dataset kron5 --er 10x20 --out o.gzs",
+            "generate --dataset kron5 --seed 1 --seed 2 --out o.gzs",
+            "components s.gzs --workers 2 --workers 3",
+            "components s.gzs --forest --forest",
+            "components s.gzs --store ram --store disk",
+            "components s.gzs --disk /tmp/d --dir /tmp/e",
+            "components s.gzs --query-mode streaming --staleness 5 --staleness 6",
+            "checkpoint save c.gzc --from a.gzs --from b.gzs",
+            "checkpoint restore c.gzc --forest --forest",
+            "shard-worker --listen a:1 --listen b:2 --nodes 8 --shards 2 --index 0",
+        ] {
+            let err = parse_args(&argv(argv_s)).unwrap_err();
+            assert!(err.contains("duplicate flag"), "{argv_s}: {err}");
+        }
+    }
+
+    #[test]
+    fn parses_staleness_flag() {
+        // --staleness needs the streaming query engine (the snapshot path
+        // folds fresh state by construction, so the knob would silently
+        // not take effect).
+        match parse_components("components s.gzs --query-mode streaming --staleness 100") {
+            Command::Components { staleness, query_mode, .. } => {
+                assert_eq!(staleness, Some(100));
+                assert_eq!(query_mode, QueryMode::Streaming);
+            }
+            other => panic!("{other:?}"),
+        }
+        // Zero is meaningful: reseal on every query.
+        match parse_components("components s.gzs --query-mode streaming --staleness 0") {
+            Command::Components { staleness, .. } => assert_eq!(staleness, Some(0)),
+            other => panic!("{other:?}"),
+        }
+        // Default: no epoch reuse at all.
+        match parse_components("components s.gzs") {
+            Command::Components { staleness, .. } => assert_eq!(staleness, None),
+            other => panic!("{other:?}"),
+        }
+        let err = parse_args(&argv("components s.gzs --staleness 5")).unwrap_err();
+        assert!(err.contains("requires --query-mode streaming"), "{err}");
+        let err =
+            parse_args(&argv("components s.gzs --query-mode snapshot --staleness 5")).unwrap_err();
+        assert!(err.contains("requires --query-mode streaming"), "{err}");
+        assert!(parse_args(&argv("components s.gzs --staleness lots")).is_err());
+    }
+
+    #[test]
+    fn staleness_reuses_epochs_end_to_end() {
+        // Through the whole CLI: a huge staleness budget still answers the
+        // full stream correctly, because the epoch is sealed after ingest.
+        let path = tmp("staleness");
+        execute(Command::Generate {
+            dataset: DatasetArg::Kron(5),
+            seed: 21,
+            out: path.to_path_buf(),
+        })
+        .unwrap();
+        let reference = execute(components_cmd(&path, None)).unwrap();
+        let count = |s: &str| s.split_whitespace().next().unwrap().to_string();
+        for shards in [None, Some(2)] {
+            let mut cmd = components_cmd(&path, shards);
+            if let Command::Components { query_mode, staleness, .. } = &mut cmd {
+                *query_mode = QueryMode::Streaming;
+                *staleness = Some(u64::MAX);
+            }
+            let got = execute(cmd).unwrap();
+            assert_eq!(count(&got), count(&reference), "shards={shards:?}");
+        }
     }
 
     #[test]
@@ -1118,6 +1288,7 @@ mod tests {
             forest: false,
             query_mode: QueryMode::Snapshot,
             query_threads: None,
+            staleness: None,
             shards,
             connect: Vec::new(),
         }
@@ -1193,6 +1364,7 @@ mod tests {
             forest: true,
             query_mode: QueryMode::Snapshot,
             query_threads: None,
+            staleness: None,
             shards: None,
             connect: Vec::new(),
         })

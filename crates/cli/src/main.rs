@@ -12,6 +12,7 @@ fn main() {
                  [--workers N] [--store ram|disk] [--buffering leaf|tree] \
                  [--dir DIR] [--forest]\n                \
                  [--query-mode snapshot|streaming] [--query-threads N] \
+                 [--staleness U]\n                \
                  [--shards K [--connect HOST:PORT,...]]\n  gz checkpoint save \
                  FILE --from STREAM [--workers N] [--seed S]\n  gz checkpoint \
                  restore FILE [--forest] [--query-mode snapshot|streaming] \

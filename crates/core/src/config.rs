@@ -129,6 +129,14 @@ pub struct GzConfig {
     /// (`num_workers`). Answers are bit-identical at any thread count —
     /// this is purely a performance knob (DESIGN.md §10).
     pub query_threads: Option<usize>,
+    /// Bounded staleness for streaming queries (DESIGN.md §11). `None`
+    /// (the default) keeps the stop-the-world behavior: every query
+    /// flushes and reads the freshest state. `Some(n)` lets a streaming
+    /// query reuse the last sealed epoch as long as at most `n` updates
+    /// were ingested since its seal — queries then run concurrently with
+    /// ingestion and never stall it, at the cost of answers up to `n`
+    /// updates old.
+    pub query_staleness: Option<u64>,
 }
 
 impl GzConfig {
@@ -147,6 +155,7 @@ impl GzConfig {
             locking: LockingStrategy::DeltaSketch,
             query_mode: QueryMode::default(),
             query_threads: None,
+            query_staleness: None,
         }
     }
 

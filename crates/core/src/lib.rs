@@ -85,7 +85,10 @@ pub use msf::{MsfSketcher, WeightedForest};
 pub use node_sketch::{CubeNodeSketch, NodeSketch};
 pub use sharding::{
     serve_shard_connection, InProcessTransport, ShardConfig, ShardPipeline, ShardRouter,
-    ShardServeStats, ShardTransport, ShardedGraphZeppelin, SocketTransport,
+    ShardServeStats, ShardTransport, ShardedEpoch, ShardedGraphZeppelin, SocketTransport,
 };
-pub use store::{MaterializedSource, NodeSet, SketchSource, SliceSource, StoreRoundSource};
+pub use store::{
+    EpochOverlay, EpochRoundSource, MaterializedSource, NodeSet, SketchEpoch, SketchSource,
+    SliceSource, StoreRoundSource,
+};
 pub use system::{ConnectedComponents, GraphZeppelin};

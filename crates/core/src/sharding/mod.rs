@@ -83,6 +83,13 @@ pub struct ShardConfig {
     /// with; `None` = the per-shard ingestion worker count. Coordinator-side
     /// only — answers are bit-identical at any thread count.
     pub query_threads: Option<usize>,
+    /// Bounded staleness for streaming queries (DESIGN.md §11), mirroring
+    /// [`crate::config::GzConfig::query_staleness`]: `None` (the default)
+    /// keeps the stop-the-world behavior; `Some(n)` lets a streaming query
+    /// reuse the last sealed epoch while at most `n` updates were routed
+    /// since its seal. Coordinator-side only — not part of the parameter
+    /// digest.
+    pub query_staleness: Option<u64>,
 }
 
 impl ShardConfig {
@@ -102,6 +109,7 @@ impl ShardConfig {
             router_capacity: GutterCapacity::SketchFactor(0.5),
             query_mode: QueryMode::default(),
             query_threads: None,
+            query_staleness: None,
         }
     }
 
@@ -160,10 +168,15 @@ impl ShardConfig {
 
 /// A sharded GraphZeppelin: a batching router in front of `k` shard
 /// pipelines behind a pluggable transport, plus a query coordinator.
+///
+/// The transport sits behind a mutex shared with any [`ShardedEpoch`]
+/// handles from [`Self::begin_epoch`]: epoch-pinned gathers and ingestion
+/// batches interleave at message granularity on the same links, so a query
+/// thread folds a sealed snapshot while this system keeps routing updates.
 pub struct ShardedGraphZeppelin {
     params: Arc<SketchParams>,
     router: ShardRouter,
-    transport: Box<dyn ShardTransport>,
+    transport: Arc<parking_lot::Mutex<Box<dyn ShardTransport + Send>>>,
     /// Local worker threads (socket transports spawned in-process); joined
     /// on shutdown.
     local_workers: Vec<JoinHandle<Result<ShardServeStats, GzError>>>,
@@ -171,6 +184,10 @@ pub struct ShardedGraphZeppelin {
     updates: u64,
     query_mode: QueryMode,
     query_threads: usize,
+    /// Last sealed epoch and the update count at its seal — the bounded-
+    /// staleness cache (`ShardConfig::query_staleness`).
+    cached_epoch: Option<(ShardedEpoch, u64)>,
+    query_staleness: Option<u64>,
     shut_down: bool,
 }
 
@@ -206,7 +223,7 @@ impl ShardedGraphZeppelin {
     /// worker processes).
     pub fn with_transport(
         config: ShardConfig,
-        transport: Box<dyn ShardTransport>,
+        transport: Box<dyn ShardTransport + Send>,
     ) -> Result<Self, GzError> {
         config.validate()?;
         if transport.num_shards() != config.num_shards {
@@ -226,12 +243,14 @@ impl ShardedGraphZeppelin {
         Ok(ShardedGraphZeppelin {
             params,
             router,
-            transport,
+            transport: Arc::new(parking_lot::Mutex::new(transport)),
             local_workers: Vec::new(),
             num_nodes: config.num_nodes,
             updates: 0,
             query_mode: config.query_mode,
             query_threads: config.query_threads(),
+            cached_epoch: None,
+            query_staleness: config.query_staleness,
             shut_down: false,
         })
     }
@@ -245,7 +264,7 @@ impl ShardedGraphZeppelin {
 
     /// Number of shards.
     pub fn num_shards(&self) -> u32 {
-        self.transport.num_shards()
+        self.transport.lock().num_shards()
     }
 
     /// The shard owning vertex `v`.
@@ -259,7 +278,7 @@ impl ShardedGraphZeppelin {
     pub fn update(&mut self, u: u32, v: u32, is_delete: bool) -> Result<(), GzError> {
         assert!(u != v, "self-loop");
         assert!((u as u64) < self.num_nodes && (v as u64) < self.num_nodes, "vertex out of range");
-        let transport = &mut self.transport;
+        let mut transport = self.transport.lock();
         self.router.route_update(u, v, is_delete, &mut |shard, batch| {
             transport.send_batch(shard, batch)
         })?;
@@ -281,9 +300,9 @@ impl ShardedGraphZeppelin {
     /// Drain the router and make every batch visible in the shards'
     /// sketches (the distributed `cleanup()`).
     pub fn flush(&mut self) -> Result<(), GzError> {
-        let transport = &mut self.transport;
+        let mut transport = self.transport.lock();
         self.router.flush(&mut |shard, batch| transport.send_batch(shard, batch))?;
-        self.transport.flush()
+        transport.flush()
     }
 
     /// Gather every node's serialized sketch at the coordinator, indexed by
@@ -291,8 +310,9 @@ impl ShardedGraphZeppelin {
     /// [`crate::GraphZeppelin::snapshot_serialized`] on the same stream.
     pub fn gather_serialized(&mut self) -> Result<Vec<Vec<u8>>, GzError> {
         self.flush()?;
+        let gathered = self.transport.lock().gather()?;
         let mut all: Vec<Option<Vec<u8>>> = vec![None; self.num_nodes as usize];
-        for entry in self.transport.gather()? {
+        for entry in gathered {
             let slot = all.get_mut(entry.node as usize).ok_or_else(|| {
                 GzError::Protocol(format!("gathered sketch for out-of-range node {}", entry.node))
             })?;
@@ -349,16 +369,53 @@ impl ShardedGraphZeppelin {
     /// smaller than a full gather), so the coordinator never materializes
     /// the whole universe. Bit-identical to
     /// [`Self::spanning_forest_snapshot`].
+    ///
+    /// With `ShardConfig::query_staleness = Some(n)` the query answers from
+    /// the last sealed epoch while it is at most `n` updates stale,
+    /// resealing only when the budget is blown — the sharded form of
+    /// [`crate::GraphZeppelin::spanning_forest_streaming`]'s knob.
     pub fn spanning_forest_streaming(&mut self) -> Result<BoruvkaOutcome, GzError> {
-        self.flush()?;
-        let params = Arc::clone(&self.params);
-        let mut source = GatherRoundSource {
-            transport: self.transport.as_mut(),
-            params: &params,
-            num_nodes: self.num_nodes,
-            resident: 0,
+        let Some(max_lag) = self.query_staleness else {
+            self.flush()?;
+            let params = Arc::clone(&self.params);
+            let mut source = GatherRoundSource {
+                transport: &self.transport,
+                params: &params,
+                num_nodes: self.num_nodes,
+                epochs: None,
+                resident: 0,
+            };
+            return boruvka_rounds_parallel(
+                &mut source,
+                self.num_nodes,
+                params.rounds(),
+                self.query_threads,
+            );
         };
-        boruvka_rounds_parallel(&mut source, self.num_nodes, params.rounds(), self.query_threads)
+        let fresh_enough = matches!(&self.cached_epoch, Some((_, sealed_at)) if self.updates - sealed_at <= max_lag);
+        if !fresh_enough {
+            let epoch = self.begin_epoch()?;
+            self.cached_epoch = Some((epoch, self.updates));
+        }
+        let (epoch, _) = self.cached_epoch.as_ref().expect("epoch sealed above");
+        epoch.spanning_forest()
+    }
+
+    /// Flush, then seal one epoch on every shard and hand back a query
+    /// handle pinned to it (DESIGN.md §11). The handle answers
+    /// [`ShardedEpoch::spanning_forest`] from the sealed state — bit-
+    /// identical to a stop-the-world query at the seal — while this system
+    /// keeps ingesting; dropping it releases every shard's captures.
+    pub fn begin_epoch(&mut self) -> Result<ShardedEpoch, GzError> {
+        self.flush()?;
+        let epoch_ids = self.transport.lock().seal_epoch()?;
+        Ok(ShardedEpoch {
+            transport: Arc::clone(&self.transport),
+            params: Arc::clone(&self.params),
+            num_nodes: self.num_nodes,
+            query_threads: self.query_threads,
+            epoch_ids,
+        })
     }
 
     /// Component labels.
@@ -392,7 +449,10 @@ impl ShardedGraphZeppelin {
             return Ok(());
         }
         self.shut_down = true;
-        self.transport.shutdown()
+        // Release the cached epoch while the shards still serve — its Drop
+        // sends ReleaseEpoch, which must precede Shutdown on the links.
+        self.cached_epoch = None;
+        self.transport.lock().shutdown()
     }
 }
 
@@ -405,15 +465,77 @@ impl Drop for ShardedGraphZeppelin {
     }
 }
 
+/// A query handle pinned to one sealed epoch across every shard
+/// ([`ShardedGraphZeppelin::begin_epoch`]). The handle shares the
+/// coordinator's transport mutex, so its gathers interleave with ingestion
+/// batches at message granularity — e.g. a `std::thread::scope` can run
+/// [`Self::spanning_forest`] on one thread while the owning system ingests
+/// on another. Dropping the handle sends a best-effort `ReleaseEpoch` to
+/// every shard so their copy-on-write captures are reclaimed.
+pub struct ShardedEpoch {
+    transport: Arc<parking_lot::Mutex<Box<dyn ShardTransport + Send>>>,
+    params: Arc<SketchParams>,
+    num_nodes: u64,
+    query_threads: usize,
+    epoch_ids: Vec<u64>,
+}
+
+impl ShardedEpoch {
+    /// The per-shard epoch ids this handle is pinned to, indexed by shard.
+    pub fn epoch_ids(&self) -> &[u64] {
+        &self.epoch_ids
+    }
+
+    /// Change the handle's query-thread count (answers are bit-identical
+    /// at any setting).
+    pub fn set_query_threads(&mut self, query_threads: usize) {
+        assert!(query_threads >= 1, "query_threads must be ≥ 1");
+        self.query_threads = query_threads;
+    }
+
+    /// Query a spanning forest of the graph as it stood at the seal —
+    /// bit-identical to a stop-the-world streaming query at that instant,
+    /// no matter how much the shards have ingested since (pinned by the
+    /// epoch equivalence suite).
+    pub fn spanning_forest(&self) -> Result<BoruvkaOutcome, GzError> {
+        let mut source = GatherRoundSource {
+            transport: &self.transport,
+            params: &self.params,
+            num_nodes: self.num_nodes,
+            epochs: Some(&self.epoch_ids),
+            resident: 0,
+        };
+        boruvka_rounds_parallel(
+            &mut source,
+            self.num_nodes,
+            self.params.rounds(),
+            self.query_threads,
+        )
+    }
+}
+
+impl Drop for ShardedEpoch {
+    fn drop(&mut self) {
+        // Best-effort: a shard that is already gone (or a link that is
+        // already shut down) must not turn reclamation into a panic.
+        let _ = self.transport.lock().release_epoch(&self.epoch_ids);
+    }
+}
+
 /// Round-slice source over the shard transport: Borůvka round `r` gathers
 /// only round `r`'s column data from every shard, validates that each node
 /// arrived exactly once, and folds the slices straight into the engine's
 /// accumulators. Resident bytes per round are one round of the universe —
 /// the gathered frames — instead of the full `V × sketch` materialization.
+///
+/// The transport is locked per gather, not for the query's lifetime, so an
+/// epoch-pinned source (`epochs = Some`) shares the links with concurrent
+/// ingestion.
 struct GatherRoundSource<'a> {
-    transport: &'a mut dyn ShardTransport,
+    transport: &'a parking_lot::Mutex<Box<dyn ShardTransport + Send>>,
     params: &'a SketchParams,
     num_nodes: u64,
+    epochs: Option<&'a [u64]>,
     resident: usize,
 }
 
@@ -434,7 +556,7 @@ impl SketchSource for GatherRoundSource<'_> {
         live: &(dyn Fn(u32) -> bool + Sync),
         sink: &mut dyn FnMut(u32, &Self::Sampler),
     ) -> Result<(), GzError> {
-        let entries = self.transport.gather_round(round as u32)?;
+        let entries = self.transport.lock().gather_round(round as u32, self.epochs)?;
         self.resident = entries.iter().map(|e| e.bytes.len()).sum();
         let expect_bytes = self.params.round_serialized_bytes(round);
         let mut seen = vec![false; self.num_nodes as usize];
@@ -463,7 +585,7 @@ impl SketchSource for GatherRoundSource<'_> {
         let params = self.params;
         let mut seen = vec![false; self.num_nodes as usize];
         let mut resident = 0usize;
-        self.transport.gather_round_each(round as u32, &mut |entries| {
+        self.transport.lock().gather_round_each(round as u32, self.epochs, &mut |entries| {
             for e in &entries {
                 validate_round_entry(&mut seen, e, round, expect_bytes)?;
             }
@@ -717,6 +839,58 @@ mod tests {
             streaming.connected_components().unwrap(),
             snapshot.connected_components().unwrap()
         );
+    }
+
+    #[test]
+    fn sharded_epoch_pins_the_sealed_answer_across_transports() {
+        let n = 32u64;
+        let updates = demo_updates(n as u32, 200, 17);
+        let more = demo_updates(n as u32, 100, 18);
+        type Maker = fn(ShardConfig) -> Result<ShardedGraphZeppelin, GzError>;
+        let makers: [Maker; 2] =
+            [ShardedGraphZeppelin::in_process, ShardedGraphZeppelin::local_socket];
+        for make in makers {
+            let mut sys = make(ShardConfig::in_ram(n, 3)).unwrap();
+            sys.ingest(updates.iter().copied()).unwrap();
+            let epoch = sys.begin_epoch().unwrap();
+            // Stop-the-world reference taken right after the seal.
+            let reference = sys.spanning_forest_streaming().unwrap();
+            sys.ingest(more.iter().copied()).unwrap();
+            sys.flush().unwrap();
+            // The epoch still answers as of the seal, and repeatably so.
+            for _ in 0..2 {
+                let pinned = epoch.spanning_forest().unwrap();
+                assert_eq!(pinned.labels, reference.labels);
+                assert_eq!(pinned.forest, reference.forest);
+                assert_eq!(pinned.rounds_used, reference.rounds_used);
+            }
+            drop(epoch); // releases every shard's captures over the links
+                         // The system is still fully usable after the release.
+            sys.connected_components().unwrap();
+            sys.shutdown().unwrap();
+        }
+    }
+
+    #[test]
+    fn sharded_staleness_knob_reuses_then_reseals() {
+        let n = 24u64;
+        let mut config = ShardConfig::in_ram(n, 2);
+        config.query_mode = QueryMode::Streaming;
+        config.query_staleness = Some(10);
+        let mut sys = ShardedGraphZeppelin::in_process(config).unwrap();
+        sys.update(0, 1, false).unwrap();
+        let first = sys.connected_components().unwrap();
+        // Within budget: the cached epoch answers, blind to the new edge.
+        sys.update(1, 2, false).unwrap();
+        let stale = sys.connected_components().unwrap();
+        assert_eq!(stale, first);
+        // Blow the budget: the reseal sees everything routed so far.
+        for i in 3..14u32 {
+            sys.update(2, i, false).unwrap();
+        }
+        let fresh = sys.connected_components().unwrap();
+        assert_eq!(fresh[0], fresh[2]);
+        assert_eq!(fresh[0], fresh[13]);
     }
 
     #[test]

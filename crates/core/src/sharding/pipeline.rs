@@ -12,9 +12,11 @@ use crate::error::GzError;
 use crate::ingest::WorkerPool;
 use crate::node_sketch::SketchParams;
 use crate::sharding::ShardConfig;
-use crate::store::{disk::DiskStore, ram::RamStore, NodeSet, SketchStore};
+use crate::store::{disk::DiskStore, ram::RamStore, EpochOverlay, NodeSet, SketchStore};
 use gz_gutters::{Batch, WorkQueue};
 use gz_stream::wire::SketchEntry;
+use parking_lot::Mutex;
+use std::collections::HashMap;
 use std::sync::Arc;
 
 /// One shard: queue → Graph Workers → owned-nodes sketch store.
@@ -25,6 +27,11 @@ pub struct ShardPipeline {
     store: Arc<SketchStore>,
     queue: Arc<WorkQueue>,
     workers: Option<WorkerPool>,
+    /// Epochs sealed on this shard and not yet released, keyed by the
+    /// store-assigned epoch id (DESIGN.md §11). Holding the overlay `Arc`
+    /// here is what keeps the epoch's registry entry alive between the
+    /// coordinator's `SealEpoch` and `ReleaseEpoch`.
+    epochs: Mutex<HashMap<u64, Arc<EpochOverlay>>>,
 }
 
 impl ShardPipeline {
@@ -70,6 +77,7 @@ impl ShardPipeline {
             store,
             queue,
             workers: Some(workers),
+            epochs: Mutex::new(HashMap::new()),
         })
     }
 
@@ -145,6 +153,54 @@ impl ShardPipeline {
             entries.push(SketchEntry { node, bytes });
         })?;
         Ok(entries)
+    }
+
+    /// Flush, then seal the store's open generation (DESIGN.md §11): every
+    /// batch enqueued before this call is in the sealed state, and batches
+    /// applied afterwards copy-on-write around it. Returns the epoch id the
+    /// coordinator quotes in epoch-pinned `GatherRound` requests.
+    pub fn seal_epoch(&self) -> Result<u64, GzError> {
+        self.flush();
+        let (id, overlay) = self.store.begin_epoch()?;
+        self.epochs.lock().insert(id, overlay);
+        Ok(id)
+    }
+
+    /// Serialize round `round` as it stood when `epoch` was sealed — the
+    /// payload of an epoch-pinned `RoundSketches` reply. Unlike
+    /// [`Self::gather_round_serialized`] this does **not** flush: the whole
+    /// point is to answer from the sealed snapshot while ingestion keeps
+    /// running.
+    pub fn gather_round_serialized_at(
+        &self,
+        round: usize,
+        epoch: u64,
+    ) -> Result<Vec<SketchEntry>, GzError> {
+        if round >= self.params.rounds() {
+            return Err(GzError::Protocol(format!(
+                "GatherRound for round {round}, but sketches have {} rounds",
+                self.params.rounds()
+            )));
+        }
+        let overlay =
+            self.epochs.lock().get(&epoch).cloned().ok_or_else(|| {
+                GzError::Protocol(format!("GatherRound for unknown epoch {epoch}"))
+            })?;
+        let mut entries = Vec::with_capacity(self.store.node_set().len());
+        self.store.stream_round_at(round, &|_| true, &overlay, &mut |node, sketch| {
+            let mut bytes = Vec::with_capacity(self.params.round_serialized_bytes(round));
+            sketch.serialize_into(&mut bytes);
+            entries.push(SketchEntry { node, bytes });
+        })?;
+        Ok(entries)
+    }
+
+    /// Drop this shard's handle on `epoch`, letting the store reclaim its
+    /// copy-on-write captures. Releasing an unknown id is not an error —
+    /// release is best-effort on the coordinator side, and a retried
+    /// release must stay idempotent.
+    pub fn release_epoch(&self, epoch: u64) {
+        self.epochs.lock().remove(&epoch);
     }
 
     /// Sketch payload bytes held by this shard (owned nodes only).

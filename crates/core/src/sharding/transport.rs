@@ -41,24 +41,44 @@ pub trait ShardTransport {
     /// Collect only round `round`'s slice of every shard's sketches — the
     /// streaming query's gather unit. Each reply is `rounds`-fold smaller
     /// than a full [`Self::gather`], so the coordinator holds at most one
-    /// round of the universe at a time.
-    fn gather_round(&mut self, round: u32) -> Result<Vec<SketchEntry>, GzError>;
+    /// round of the universe at a time. With `epochs = None` each shard
+    /// flushes and answers from its live sketches; with `Some(ids)` shard
+    /// `i` answers from its sealed epoch `ids[i]` **without** flushing, so
+    /// the gather runs concurrently with ingestion (DESIGN.md §11).
+    fn gather_round(
+        &mut self,
+        round: u32,
+        epochs: Option<&[u64]>,
+    ) -> Result<Vec<SketchEntry>, GzError>;
 
     /// Gather round `round` with overlap: issue the request to every shard
     /// up front, then invoke `on_reply` once per shard's reply *as it
     /// arrives*, so the coordinator folds one shard's slices while the
     /// others are still serializing or transmitting theirs. An error from
     /// `on_reply` stops folding and is returned (remaining shards are still
-    /// drained where the transport needs it for framing sanity). The
-    /// default collects everything first — transports with real concurrency
+    /// drained where the transport needs it for framing sanity). `epochs`
+    /// pins the gather exactly as in [`Self::gather_round`]. The default
+    /// collects everything first — transports with real concurrency
     /// override it.
     fn gather_round_each(
         &mut self,
         round: u32,
+        epochs: Option<&[u64]>,
         on_reply: &mut dyn FnMut(Vec<SketchEntry>) -> Result<(), GzError>,
     ) -> Result<(), GzError> {
-        on_reply(self.gather_round(round)?)
+        on_reply(self.gather_round(round, epochs)?)
     }
+
+    /// Seal one epoch on every shard — each shard flushes its pipeline and
+    /// freezes the sealed state behind copy-on-write — and return the
+    /// per-shard epoch ids, indexed by shard. The ids are what epoch-pinned
+    /// gathers and [`Self::release_epoch`] quote back.
+    fn seal_epoch(&mut self) -> Result<Vec<u64>, GzError>;
+
+    /// Release previously sealed epochs (`epochs[i]` on shard `i`), letting
+    /// each shard reclaim its copy-on-write captures. Idempotent: releasing
+    /// an already-released id is not an error.
+    fn release_epoch(&mut self, epochs: &[u64]) -> Result<(), GzError>;
 
     /// Tear the shards down.
     fn shutdown(&mut self) -> Result<(), GzError>;
@@ -114,10 +134,18 @@ impl ShardTransport for InProcessTransport {
         Ok(entries)
     }
 
-    fn gather_round(&mut self, round: u32) -> Result<Vec<SketchEntry>, GzError> {
+    fn gather_round(
+        &mut self,
+        round: u32,
+        epochs: Option<&[u64]>,
+    ) -> Result<Vec<SketchEntry>, GzError> {
+        check_epochs(epochs, self.shards.len())?;
         let mut entries = Vec::new();
-        for shard in &self.shards {
-            entries.extend(shard.gather_round_serialized(round as usize)?);
+        for (i, shard) in self.shards.iter().enumerate() {
+            entries.extend(match epochs {
+                None => shard.gather_round_serialized(round as usize)?,
+                Some(ids) => shard.gather_round_serialized_at(round as usize, ids[i])?,
+            });
         }
         Ok(entries)
     }
@@ -125,8 +153,10 @@ impl ShardTransport for InProcessTransport {
     fn gather_round_each(
         &mut self,
         round: u32,
+        epochs: Option<&[u64]>,
         on_reply: &mut dyn FnMut(Vec<SketchEntry>) -> Result<(), GzError>,
     ) -> Result<(), GzError> {
+        check_epochs(epochs, self.shards.len())?;
         // Every shard serializes its round slice on its own scoped thread;
         // replies funnel through a queue sized to hold them all (so a
         // failed fold never leaves a producer blocked) and are folded in
@@ -134,7 +164,7 @@ impl ShardTransport for InProcessTransport {
         let queue: WorkQueue<Result<Vec<SketchEntry>, GzError>> =
             WorkQueue::with_capacity(self.shards.len().max(1));
         std::thread::scope(|scope| {
-            for shard in &self.shards {
+            for (i, shard) in self.shards.iter().enumerate() {
                 let queue = &queue;
                 scope.spawn(move || {
                     // A panicking gather must still push *something*: the
@@ -143,9 +173,11 @@ impl ShardTransport for InProcessTransport {
                     // — turning the panic into a silent hang. Push an error
                     // to unblock it, then re-raise so `thread::scope`
                     // propagates the panic as usual.
-                    let reply = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                        shard.gather_round_serialized(round as usize)
-                    }));
+                    let reply =
+                        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| match epochs {
+                            None => shard.gather_round_serialized(round as usize),
+                            Some(ids) => shard.gather_round_serialized_at(round as usize, ids[i]),
+                        }));
                     match reply {
                         Ok(reply) => {
                             queue.push(reply);
@@ -172,9 +204,31 @@ impl ShardTransport for InProcessTransport {
         })
     }
 
+    fn seal_epoch(&mut self) -> Result<Vec<u64>, GzError> {
+        self.shards.iter().map(|shard| shard.seal_epoch()).collect()
+    }
+
+    fn release_epoch(&mut self, epochs: &[u64]) -> Result<(), GzError> {
+        check_epochs(Some(epochs), self.shards.len())?;
+        for (i, shard) in self.shards.iter().enumerate() {
+            shard.release_epoch(epochs[i]);
+        }
+        Ok(())
+    }
+
     fn shutdown(&mut self) -> Result<(), GzError> {
         self.shards.clear(); // Drop closes queues and joins workers.
         Ok(())
+    }
+}
+
+/// An epoch-pinned request must carry exactly one epoch id per shard.
+fn check_epochs(epochs: Option<&[u64]>, num_shards: usize) -> Result<(), GzError> {
+    match epochs {
+        Some(ids) if ids.len() != num_shards => {
+            Err(GzError::Protocol(format!("{} epoch ids for {num_shards} shards", ids.len())))
+        }
+        _ => Ok(()),
     }
 }
 
@@ -284,11 +338,16 @@ impl<S: Read + Write> ShardTransport for SocketTransport<S> {
         Ok(entries)
     }
 
-    fn gather_round(&mut self, round: u32) -> Result<Vec<SketchEntry>, GzError> {
+    fn gather_round(
+        &mut self,
+        round: u32,
+        epochs: Option<&[u64]>,
+    ) -> Result<Vec<SketchEntry>, GzError> {
+        check_epochs(epochs, self.links.len())?;
         // Pipelined like the full gather: all shards serialize their round
         // slice concurrently, then the replies are collected in shard order.
-        for link in &mut self.links {
-            WireMessage::GatherRound { round }.write_to(link)?;
+        for (i, link) in self.links.iter_mut().enumerate() {
+            WireMessage::GatherRound { round, epoch: epochs.map(|ids| ids[i]) }.write_to(link)?;
         }
         let mut entries = Vec::new();
         for (i, link) in self.links.iter_mut().enumerate() {
@@ -317,15 +376,17 @@ impl<S: Read + Write> ShardTransport for SocketTransport<S> {
     fn gather_round_each(
         &mut self,
         round: u32,
+        epochs: Option<&[u64]>,
         on_reply: &mut dyn FnMut(Vec<SketchEntry>) -> Result<(), GzError>,
     ) -> Result<(), GzError> {
+        check_epochs(epochs, self.links.len())?;
         // All requests go out before any reply is read, so every shard
         // serializes its slice concurrently; each reply is then folded as
         // soon as its link delivers it, while later shards are still
         // working. (Replies are read in link order — a shard that finishes
         // early is buffered by the transport until its turn.)
-        for link in &mut self.links {
-            WireMessage::GatherRound { round }.write_to(link)?;
+        for (i, link) in self.links.iter_mut().enumerate() {
+            WireMessage::GatherRound { round, epoch: epochs.map(|ids| ids[i]) }.write_to(link)?;
         }
         let mut result = Ok(());
         for (i, link) in self.links.iter_mut().enumerate() {
@@ -352,6 +413,46 @@ impl<S: Read + Write> ShardTransport for SocketTransport<S> {
             }
         }
         result
+    }
+
+    fn seal_epoch(&mut self) -> Result<Vec<u64>, GzError> {
+        // Pipelined: every shard flushes and seals concurrently, then the
+        // per-shard epoch ids are collected in shard order.
+        for link in &mut self.links {
+            WireMessage::SealEpoch.write_to(link)?;
+        }
+        let mut ids = Vec::with_capacity(self.links.len());
+        for (i, link) in self.links.iter_mut().enumerate() {
+            match WireMessage::read_from(link)? {
+                WireMessage::EpochSealed { epoch } => ids.push(epoch),
+                other => {
+                    return Err(GzError::Protocol(format!(
+                        "shard {i} answered SealEpoch with {}",
+                        other.name()
+                    )));
+                }
+            }
+        }
+        Ok(ids)
+    }
+
+    fn release_epoch(&mut self, epochs: &[u64]) -> Result<(), GzError> {
+        check_epochs(Some(epochs), self.links.len())?;
+        for (i, link) in self.links.iter_mut().enumerate() {
+            WireMessage::ReleaseEpoch { epoch: epochs[i] }.write_to(link)?;
+        }
+        for (i, link) in self.links.iter_mut().enumerate() {
+            match WireMessage::read_from(link)? {
+                WireMessage::EpochReleased => {}
+                other => {
+                    return Err(GzError::Protocol(format!(
+                        "shard {i} answered ReleaseEpoch with {}",
+                        other.name()
+                    )));
+                }
+            }
+        }
+        Ok(())
     }
 
     fn shutdown(&mut self) -> Result<(), GzError> {
@@ -385,8 +486,10 @@ pub struct ShardServeStats {
     pub records: u64,
     /// `Flush` round trips served.
     pub flushes: u64,
-    /// `GatherSketches` round trips served.
+    /// `GatherSketches`/`GatherRound` round trips served.
     pub gathers: u64,
+    /// `SealEpoch` round trips served.
+    pub seals: u64,
 }
 
 /// Drive one coordinator connection over `stream` against `pipeline`:
@@ -425,10 +528,24 @@ pub fn serve_shard_connection<S: Read + Write>(
                 let entries = pipeline.gather_serialized();
                 WireMessage::Sketches { entries }.write_to(stream)?;
             }
-            WireMessage::GatherRound { round } => {
+            WireMessage::GatherRound { round, epoch } => {
                 stats.gathers += 1;
-                let entries = pipeline.gather_round_serialized(round as usize)?;
+                // An epoch-pinned gather must NOT flush — answering from the
+                // sealed snapshot while ingestion runs is the whole point.
+                let entries = match epoch {
+                    None => pipeline.gather_round_serialized(round as usize)?,
+                    Some(id) => pipeline.gather_round_serialized_at(round as usize, id)?,
+                };
                 WireMessage::RoundSketches { round, entries }.write_to(stream)?;
+            }
+            WireMessage::SealEpoch => {
+                stats.seals += 1;
+                let epoch = pipeline.seal_epoch()?;
+                WireMessage::EpochSealed { epoch }.write_to(stream)?;
+            }
+            WireMessage::ReleaseEpoch { epoch } => {
+                pipeline.release_epoch(epoch);
+                WireMessage::EpochReleased.write_to(stream)?;
             }
             WireMessage::Shutdown => return Ok(stats),
             other => {
@@ -545,7 +662,7 @@ mod tests {
         socket.flush().unwrap();
 
         let reference = {
-            let mut v = in_proc.gather_round(1).unwrap();
+            let mut v = in_proc.gather_round(1, None).unwrap();
             v.sort_by_key(|e| e.node);
             v
         };
@@ -553,7 +670,7 @@ mod tests {
             let mut replies = 0usize;
             let mut collected = Vec::new();
             transport
-                .gather_round_each(1, &mut |entries| {
+                .gather_round_each(1, None, &mut |entries| {
                     replies += 1;
                     collected.extend(entries);
                     Ok(())
@@ -576,7 +693,7 @@ mod tests {
         let config = ShardConfig::in_ram(12, 3);
         let mut transport = InProcessTransport::new(&config).unwrap();
         let mut replies = 0usize;
-        let result = transport.gather_round_each(0, &mut |_| {
+        let result = transport.gather_round_each(0, None, &mut |_| {
             replies += 1;
             Err(GzError::Protocol("fold rejected".into()))
         });

@@ -18,6 +18,7 @@
 //! slices sequentially and prefetches ahead on a background thread.
 
 use crate::node_sketch::{CubeNodeSketch, CubeRoundSketch, NodeSketch, SketchParams};
+use crate::store::epoch::{EpochOverlay, EpochRegistry};
 use crate::store::NodeSet;
 use gz_gutters::{IoStats, WorkQueue};
 use parking_lot::Mutex;
@@ -55,6 +56,11 @@ pub struct DiskStore {
     cache_capacity: usize,
     cache: Mutex<CacheState>,
     io: Arc<IoStats>,
+    /// Live sealed epochs. The copy-on-write "group" is the node group:
+    /// captures happen under the cache lock, on the clean→dirty transition
+    /// of a cached group (a clean group's value equals the file's, which is
+    /// the sealed value for every epoch still lacking the group).
+    epochs: EpochRegistry,
 }
 
 impl DiskStore {
@@ -104,7 +110,24 @@ impl DiskStore {
             cache_capacity: cache_groups.max(1),
             cache: Mutex::new(CacheState { groups: std::collections::HashMap::new(), clock: 0 }),
             io: Arc::new(IoStats::new()),
+            epochs: EpochRegistry::new(),
         })
+    }
+
+    /// Seal the current generation: write back every dirty cached group
+    /// (so the file is authoritative for the sealed values), then register
+    /// the epoch — atomically under the cache lock, so no batch can dirty a
+    /// group between the write-back and the registration. The caller must
+    /// have quiesced ingestion first.
+    pub fn begin_epoch(&self) -> std::io::Result<(u64, Arc<EpochOverlay>)> {
+        let mut cache = self.cache.lock();
+        for (&group, entry) in cache.groups.iter_mut() {
+            if entry.dirty {
+                self.write_group(group, &entry.sketches)?;
+                entry.dirty = false;
+            }
+        }
+        Ok(self.epochs.register())
     }
 
     /// Shared sketch parameters.
@@ -213,6 +236,49 @@ impl DiskStore {
         self.read_round_slice_counted(group, round, &self.io)
     }
 
+    /// Deliver `group`'s live round-`round` slices out of a raw file slice.
+    fn emit_group_slice(
+        &self,
+        group: u32,
+        round: usize,
+        bytes: &[u8],
+        live: &(dyn Fn(u32) -> bool + Sync),
+        sink: &mut dyn FnMut(u32, &CubeRoundSketch),
+    ) {
+        let round_bytes = self.params.round_serialized_bytes(round);
+        let start = (group * self.group_size) as usize;
+        for i in 0..self.nodes_in_group(group) as usize {
+            let node = self.node_set.node(start + i);
+            if !live(node) {
+                continue;
+            }
+            let sketch = self
+                .params
+                .deserialize_round(round, &bytes[i * round_bytes..(i + 1) * round_bytes]);
+            sink(node, &sketch);
+        }
+    }
+
+    /// Deliver `group`'s live round-`round` slices out of a sealed
+    /// pre-image (an [`EpochOverlay`] capture, held in RAM).
+    fn emit_group_overlay(
+        &self,
+        group: u32,
+        round: usize,
+        pre: &[CubeNodeSketch],
+        live: &(dyn Fn(u32) -> bool + Sync),
+        sink: &mut dyn FnMut(u32, &CubeRoundSketch),
+    ) {
+        let start = (group * self.group_size) as usize;
+        for (i, sealed) in pre.iter().enumerate().take(self.nodes_in_group(group) as usize) {
+            let node = self.node_set.node(start + i);
+            if !live(node) {
+                continue;
+            }
+            sink(node, sealed.round(round));
+        }
+    }
+
     /// The node groups a round stream must visit: those with at least one
     /// live node, in slot order.
     fn wanted_groups(&self, live: &(dyn Fn(u32) -> bool + Sync)) -> Vec<u32> {
@@ -255,7 +321,18 @@ impl DiskStore {
 
         let entry = cache.groups.get_mut(&group).expect("group just inserted");
         entry.last_used = clock;
-        entry.dirty = true;
+        if !entry.dirty {
+            // Clean→dirty transition: this clean value equals the file's,
+            // which is the sealed value of every live epoch not yet holding
+            // this group (any earlier post-seal mutation would have passed
+            // through here and captured it) — snapshot it before `f` can
+            // mutate. Capturing under the cache lock orders the capture
+            // before any write-back of the mutated group, which is what
+            // lets epoch readers trust the file for non-captured groups.
+            let sketches = &entry.sketches;
+            self.epochs.capture_group(group, &mut || sketches.clone());
+            entry.dirty = true;
+        }
         Ok(f(&mut entry.sketches))
     }
 
@@ -301,7 +378,6 @@ impl DiskStore {
         sink: &mut dyn FnMut(u32, &CubeRoundSketch),
     ) -> std::io::Result<()> {
         self.flush()?;
-        let round_bytes = self.params.round_serialized_bytes(round);
         let wanted = self.wanted_groups(live);
 
         // Bounded prefetch pipeline over the generic work queue: the reader
@@ -342,26 +418,137 @@ impl DiskStore {
                         result = Err(e);
                         break;
                     }
-                    Ok(bytes) => {
-                        let start = (group * self.group_size) as usize;
-                        for i in 0..self.nodes_in_group(group) as usize {
-                            let node = self.node_set.node(start + i);
-                            if !live(node) {
-                                continue;
-                            }
-                            let sketch = self.params.deserialize_round(
-                                round,
-                                &bytes[i * round_bytes..(i + 1) * round_bytes],
-                            );
-                            sink(node, &sketch);
-                        }
-                    }
+                    Ok(bytes) => self.emit_group_slice(group, round, &bytes, live, sink),
                 }
             }
             // The close guard unblocks the prefetcher if the fold bailed
             // early (error or panic).
             result
         })
+    }
+
+    /// [`Self::stream_round`] pinned to a sealed epoch: no flush and no
+    /// quiescing — ingestion keeps writing while this runs. Groups the
+    /// overlay captured are served from their sealed pre-images (no file
+    /// read at all); the rest are read from the file, which holds their
+    /// sealed value because the seal flushed and nothing dirtied them
+    /// since. The overlay is re-checked *after* each file read and always
+    /// wins: a capture landing mid-read means the read may have raced a
+    /// write-back of post-seal state, and the capture happens-before that
+    /// write-back — so a torn or stale read is always masked.
+    pub fn stream_round_at(
+        &self,
+        round: usize,
+        live: &(dyn Fn(u32) -> bool + Sync),
+        overlay: &EpochOverlay,
+        sink: &mut dyn FnMut(u32, &CubeRoundSketch),
+    ) -> std::io::Result<()> {
+        let wanted = self.wanted_groups(live);
+        // `None` in the pipeline = "serve from the overlay" (captures are
+        // never removed, so a hit observed at prefetch time is stable).
+        let queue: WorkQueue<(u32, std::io::Result<Option<Vec<u8>>>)> =
+            WorkQueue::with_capacity(self.cache_capacity);
+        std::thread::scope(|scope| {
+            struct CloseOnExit<'q>(&'q WorkQueue<(u32, std::io::Result<Option<Vec<u8>>>)>);
+            impl Drop for CloseOnExit<'_> {
+                fn drop(&mut self) {
+                    self.0.close();
+                }
+            }
+            let _close_guard = CloseOnExit(&queue);
+
+            scope.spawn(|| {
+                for &g in &wanted {
+                    let item = if overlay.get(g).is_some() {
+                        Ok(None)
+                    } else {
+                        self.read_round_slice(g, round).map(Some)
+                    };
+                    let stop = item.is_err();
+                    if !queue.push((g, item)) || stop {
+                        break;
+                    }
+                }
+            });
+            let mut delivered = 0usize;
+            let mut result = Ok(());
+            while delivered < wanted.len() {
+                let Some((group, item)) = queue.pop() else { break };
+                delivered += 1;
+                match item {
+                    Err(e) => {
+                        result = Err(e);
+                        break;
+                    }
+                    Ok(bytes) => match overlay.get(group) {
+                        Some(pre) => self.emit_group_overlay(group, round, &pre, live, sink),
+                        None => {
+                            let bytes =
+                                bytes.expect("prefetcher reads any group the overlay lacks");
+                            self.emit_group_slice(group, round, &bytes, live, sink);
+                        }
+                    },
+                }
+            }
+            result
+        })
+    }
+
+    /// [`Self::stream_round_parallel`] pinned to a sealed epoch (same
+    /// overlay protocol as [`Self::stream_round_at`], same work-claiming as
+    /// the live parallel path).
+    pub fn stream_round_parallel_at(
+        &self,
+        round: usize,
+        live: &(dyn Fn(u32) -> bool + Sync),
+        overlay: &EpochOverlay,
+        pool: &gz_gutters::WorkerPool,
+        sinks: &[parking_lot::Mutex<crate::boruvka::RoundSink<'_, CubeRoundSketch>>],
+    ) -> std::io::Result<()> {
+        let wanted = self.wanted_groups(live);
+        let next = std::sync::atomic::AtomicUsize::new(0);
+        let failed = std::sync::atomic::AtomicBool::new(false);
+        let first_error: Mutex<Option<std::io::Error>> = Mutex::new(None);
+        pool.run(&|w| {
+            let local_io = IoStats::new();
+            let mut sink = sinks[w].lock();
+            loop {
+                if failed.load(std::sync::atomic::Ordering::Relaxed) {
+                    break;
+                }
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                let Some(&group) = wanted.get(i) else { break };
+                if let Some(pre) = overlay.get(group) {
+                    self.emit_group_overlay(group, round, &pre, live, &mut |n, s| sink.fold(n, s));
+                    continue;
+                }
+                match self.read_round_slice_counted(group, round, &local_io) {
+                    Err(e) => {
+                        failed.store(true, std::sync::atomic::Ordering::Relaxed);
+                        let mut slot = first_error.lock();
+                        if slot.is_none() {
+                            *slot = Some(e);
+                        }
+                        break;
+                    }
+                    Ok(bytes) => match overlay.get(group) {
+                        Some(pre) => {
+                            self.emit_group_overlay(group, round, &pre, live, &mut |n, s| {
+                                sink.fold(n, s)
+                            })
+                        }
+                        None => self.emit_group_slice(group, round, &bytes, live, &mut |n, s| {
+                            sink.fold(n, s)
+                        }),
+                    },
+                }
+            }
+            self.io.merge_from(&local_io);
+        });
+        match first_error.into_inner() {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
     }
 
     /// Stream the round-`round` slice of every owned live node with group
@@ -384,7 +571,6 @@ impl DiskStore {
         sinks: &[parking_lot::Mutex<crate::boruvka::RoundSink<'_, CubeRoundSketch>>],
     ) -> std::io::Result<()> {
         self.flush()?;
-        let round_bytes = self.params.round_serialized_bytes(round);
         let wanted = self.wanted_groups(live);
 
         let next = std::sync::atomic::AtomicUsize::new(0);
@@ -408,20 +594,8 @@ impl DiskStore {
                         }
                         break;
                     }
-                    Ok(bytes) => {
-                        let start = (group * self.group_size) as usize;
-                        for i in 0..self.nodes_in_group(group) as usize {
-                            let node = self.node_set.node(start + i);
-                            if !live(node) {
-                                continue;
-                            }
-                            let sketch = self.params.deserialize_round(
-                                round,
-                                &bytes[i * round_bytes..(i + 1) * round_bytes],
-                            );
-                            sink.fold(node, &sketch);
-                        }
-                    }
+                    Ok(bytes) => self
+                        .emit_group_slice(group, round, &bytes, live, &mut |n, s| sink.fold(n, s)),
                 }
             }
             self.io.merge_from(&local_io);

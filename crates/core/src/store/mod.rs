@@ -13,7 +13,10 @@
 //! work a Graph Worker pops from the queue.
 
 pub mod disk;
+pub mod epoch;
 pub mod ram;
+
+pub use epoch::{EpochOverlay, EpochRoundSource, SketchEpoch};
 
 use crate::boruvka::RoundSink;
 use crate::config::{GzConfig, StoreBackend};
@@ -222,6 +225,60 @@ impl SketchStore {
                 Ok(())
             }
             SketchStore::Disk(s) => Ok(s.stream_round_parallel(round, live, pool, sinks)?),
+        }
+    }
+
+    /// Seal the current generation and return its epoch id and
+    /// copy-on-write overlay. The caller must have quiesced ingestion (a
+    /// flushed buffering system and a drained work queue) so the sealed
+    /// values are well defined; disk stores additionally write back every
+    /// dirty cached group, atomically with the seal, so the file is
+    /// authoritative for the sealed generation.
+    pub fn begin_epoch(&self) -> Result<(u64, Arc<EpochOverlay>), GzError> {
+        match self {
+            SketchStore::Ram(s) => Ok(s.begin_epoch()),
+            SketchStore::Disk(s) => Ok(s.begin_epoch()?),
+        }
+    }
+
+    /// [`Self::stream_round`] pinned to a sealed epoch: captured groups are
+    /// served from `overlay`'s pre-images, untouched groups from the open
+    /// generation (whose value still *is* the sealed value). Does not
+    /// quiesce ingestion — this is the concurrent-query read path.
+    pub fn stream_round_at(
+        &self,
+        round: usize,
+        live: &(dyn Fn(u32) -> bool + Sync),
+        overlay: &EpochOverlay,
+        sink: &mut dyn FnMut(u32, &CubeRoundSketch),
+    ) -> Result<(), GzError> {
+        match self {
+            SketchStore::Ram(s) => {
+                s.stream_round_at(round, live, overlay, sink);
+                Ok(())
+            }
+            SketchStore::Disk(s) => Ok(s.stream_round_at(round, live, overlay, sink)?),
+        }
+    }
+
+    /// [`Self::stream_round_parallel`] pinned to a sealed epoch (see
+    /// [`Self::stream_round_at`]).
+    pub fn stream_round_parallel_at(
+        &self,
+        round: usize,
+        live: &(dyn Fn(u32) -> bool + Sync),
+        overlay: &EpochOverlay,
+        pool: &WorkerPool,
+        sinks: &[Mutex<RoundSink<'_, CubeRoundSketch>>],
+    ) -> Result<(), GzError> {
+        match self {
+            SketchStore::Ram(s) => {
+                s.stream_round_parallel_at(round, live, overlay, pool, sinks);
+                Ok(())
+            }
+            SketchStore::Disk(s) => {
+                Ok(s.stream_round_parallel_at(round, live, overlay, pool, sinks)?)
+            }
         }
     }
 

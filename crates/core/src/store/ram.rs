@@ -10,6 +10,7 @@
 
 use crate::config::LockingStrategy;
 use crate::node_sketch::{CubeNodeSketch, CubeRoundSketch, SketchParams};
+use crate::store::epoch::{EpochOverlay, EpochRegistry};
 use crate::store::NodeSet;
 use parking_lot::Mutex;
 use std::sync::Arc;
@@ -28,6 +29,10 @@ pub struct RamStore {
     /// check one out per batch, so no full node sketch is allocated on the
     /// hot path.
     scratch_pool: Mutex<Vec<CubeNodeSketch>>,
+    /// Live sealed epochs. A RAM store's copy-on-write "group" is a single
+    /// slot: captures happen under the node's lock, right before the first
+    /// post-seal mutation of that node.
+    epochs: EpochRegistry,
 }
 
 impl RamStore {
@@ -47,7 +52,29 @@ impl RamStore {
         node_set: NodeSet,
     ) -> Self {
         let nodes = (0..node_set.len()).map(|_| Mutex::new(params.new_node_sketch())).collect();
-        RamStore { params, node_set, nodes, locking, scratch_pool: Mutex::new(Vec::new()) }
+        RamStore {
+            params,
+            node_set,
+            nodes,
+            locking,
+            scratch_pool: Mutex::new(Vec::new()),
+            epochs: EpochRegistry::new(),
+        }
+    }
+
+    /// Seal the current generation (see [`crate::store::SketchStore::begin_epoch`]).
+    pub fn begin_epoch(&self) -> (u64, Arc<EpochOverlay>) {
+        self.epochs.register()
+    }
+
+    /// Lock `slot`'s sketch for mutation, capturing its pre-image into any
+    /// live epoch that has not seen this slot dirtied yet. Every write to a
+    /// node sketch goes through here — that is what makes the overlay a
+    /// faithful sealed generation.
+    fn with_node<R>(&self, slot: usize, f: impl FnOnce(&mut CubeNodeSketch) -> R) -> R {
+        let mut sketch = self.nodes[slot].lock();
+        self.epochs.capture_group(slot as u32, &mut || vec![(*sketch).clone()]);
+        f(&mut sketch)
     }
 
     /// Shared sketch parameters.
@@ -78,15 +105,16 @@ impl RamStore {
         let slot = self.node_set.slot(node);
         match self.locking {
             LockingStrategy::Direct => {
-                let mut sketch = self.nodes[slot].lock();
-                super::apply_records(&mut sketch, node, records, self.params.num_nodes);
+                self.with_node(slot, |sketch| {
+                    super::apply_records(sketch, node, records, self.params.num_nodes);
+                });
             }
             LockingStrategy::DeltaSketch => {
                 let mut scratch = self.checkout_scratch();
                 // Build the delta without holding the node's lock…
                 super::apply_records(&mut scratch, node, records, self.params.num_nodes);
                 // …lock only for the XOR-merge…
-                self.nodes[slot].lock().merge(&scratch);
+                self.with_node(slot, |sketch| sketch.merge(&scratch));
                 // …and recycle the scratch.
                 self.recycle_scratch(scratch);
             }
@@ -97,7 +125,7 @@ impl RamStore {
     /// entry point for the sketch-level-parallel path in [`crate::ingest`],
     /// which constructs the delta across a thread group first.
     pub fn merge_delta(&self, node: u32, delta: &CubeNodeSketch) {
-        self.nodes[self.node_set.slot(node)].lock().merge(delta);
+        self.with_node(self.node_set.slot(node), |sketch| sketch.merge(delta));
     }
 
     /// Stream the round-`round` slice of every owned, still-`live` node
@@ -149,6 +177,61 @@ impl RamStore {
         });
     }
 
+    /// [`Self::stream_round`] pinned to a sealed epoch: each slot's lock is
+    /// taken, then the overlay is consulted — a captured pre-image wins;
+    /// otherwise the live value is the sealed value (the node lock makes
+    /// the check-then-read atomic against the capture-then-mutate writer,
+    /// which takes the same lock first).
+    pub fn stream_round_at(
+        &self,
+        round: usize,
+        live: &(dyn Fn(u32) -> bool + Sync),
+        overlay: &EpochOverlay,
+        sink: &mut dyn FnMut(u32, &CubeRoundSketch),
+    ) {
+        for (slot, lock) in self.nodes.iter().enumerate() {
+            let node = self.node_set.node(slot);
+            if !live(node) {
+                continue;
+            }
+            let sketch = lock.lock();
+            match overlay.get(slot as u32) {
+                Some(pre) => sink(node, pre[0].round(round)),
+                None => sink(node, sketch.round(round)),
+            }
+        }
+    }
+
+    /// Parallel form of [`Self::stream_round_at`] (see
+    /// [`Self::stream_round_parallel`] for the partitioning).
+    pub fn stream_round_parallel_at(
+        &self,
+        round: usize,
+        live: &(dyn Fn(u32) -> bool + Sync),
+        overlay: &EpochOverlay,
+        pool: &gz_gutters::WorkerPool,
+        sinks: &[parking_lot::Mutex<crate::boruvka::RoundSink<'_, CubeRoundSketch>>],
+    ) {
+        pool.run(&|w| {
+            let range = pool.partition(self.nodes.len(), w);
+            if range.is_empty() {
+                return;
+            }
+            let mut sink = sinks[w].lock();
+            for slot in range {
+                let node = self.node_set.node(slot);
+                if !live(node) {
+                    continue;
+                }
+                let sketch = self.nodes[slot].lock();
+                match overlay.get(slot as u32) {
+                    Some(pre) => sink.fold(node, pre[0].round(round)),
+                    None => sink.fold(node, sketch.round(round)),
+                }
+            }
+        });
+    }
+
     /// Clone out every owned node sketch, indexed by slot.
     pub fn snapshot(&self) -> Vec<Option<CubeNodeSketch>> {
         self.nodes.iter().map(|m| Some(m.lock().clone())).collect()
@@ -166,8 +249,8 @@ impl RamStore {
     /// Replace every node sketch (checkpoint restore), in slot order.
     pub fn load_all(&self, sketches: Vec<CubeNodeSketch>) {
         assert_eq!(sketches.len(), self.nodes.len());
-        for (slot, sketch) in self.nodes.iter().zip(sketches) {
-            *slot.lock() = sketch;
+        for (slot, sketch) in sketches.into_iter().enumerate() {
+            self.with_node(slot, |dst| *dst = sketch);
         }
     }
 

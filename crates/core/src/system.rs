@@ -6,7 +6,7 @@ use crate::config::{BufferStrategy, GzConfig, QueryMode, StoreBackend};
 use crate::error::GzError;
 use crate::ingest::{IngestCounters, WorkerPool};
 use crate::node_sketch::{encode_other, SketchParams};
-use crate::store::{SketchStore, StoreRoundSource};
+use crate::store::{SketchEpoch, SketchStore, StoreRoundSource};
 use gz_graph::Edge;
 use gz_gutters::{BufferingSystem, GutterTree, GutterTreeConfig, IoStats, LeafGutters, WorkQueue};
 use std::sync::Arc;
@@ -63,6 +63,10 @@ pub struct GraphZeppelin {
     updates_ingested: u64,
     gutter_io: Option<Arc<IoStats>>,
     buffer_capacity_bytes: usize,
+    /// The epoch bounded-staleness queries reuse, with the update count at
+    /// its seal (`config.query_staleness`; `None` until the first such
+    /// query).
+    cached_epoch: Option<(SketchEpoch, u64)>,
 }
 
 impl GraphZeppelin {
@@ -127,6 +131,7 @@ impl GraphZeppelin {
             updates_ingested: 0,
             gutter_io,
             buffer_capacity_bytes,
+            cached_epoch: None,
         })
     }
 
@@ -200,15 +205,45 @@ impl GraphZeppelin {
     /// positioned group reads on disk, single-threaded prefetch pipeline at
     /// one thread). Bit-identical to [`Self::spanning_forest_snapshot`] at
     /// any thread count.
+    ///
+    /// With `config.query_staleness = Some(n)`, the query reuses the last
+    /// sealed epoch while it is at most `n` updates old (sealing a fresh
+    /// one otherwise) and folds it through the epoch read path — ingestion
+    /// is never stopped, and the answer reflects the sealed cut.
     pub fn spanning_forest_streaming(&mut self) -> Result<BoruvkaOutcome, GzError> {
+        let Some(max_lag) = self.config.query_staleness else {
+            self.flush();
+            let mut source = StoreRoundSource::new(&self.store);
+            return boruvka_rounds_parallel(
+                &mut source,
+                self.config.num_nodes,
+                self.params.rounds(),
+                self.config.query_threads(),
+            );
+        };
+        let fresh_enough = matches!(
+            &self.cached_epoch,
+            Some((_, sealed_at)) if self.updates_ingested - sealed_at <= max_lag
+        );
+        if !fresh_enough {
+            let epoch = self.begin_epoch()?;
+            self.cached_epoch = Some((epoch, self.updates_ingested));
+        }
+        let (epoch, _) = self.cached_epoch.as_ref().expect("epoch sealed above");
+        epoch.spanning_forest()
+    }
+
+    /// Seal the current sketch state into an epoch: flush buffered updates,
+    /// then hand back a self-contained [`SketchEpoch`] whose queries return
+    /// answers bit-identical to a stop-the-world query right now — even
+    /// while this system keeps ingesting. The handle is `Send + Sync`, so a
+    /// query thread can run `epoch.spanning_forest()` concurrently with
+    /// further [`Self::update`] calls; dropping the handle releases the
+    /// sealed groups it pinned (DESIGN.md §11).
+    pub fn begin_epoch(&mut self) -> Result<SketchEpoch, GzError> {
         self.flush();
-        let mut source = StoreRoundSource::new(&self.store);
-        boruvka_rounds_parallel(
-            &mut source,
-            self.config.num_nodes,
-            self.params.rounds(),
-            self.config.query_threads(),
-        )
+        let (id, overlay) = self.store.begin_epoch()?;
+        Ok(SketchEpoch::new(Arc::clone(&self.store), overlay, id, self.config.query_threads()))
     }
 
     /// Change the query-thread count (a performance knob: answers are
@@ -311,6 +346,9 @@ impl GraphZeppelin {
     ) {
         self.store.load_all(sketches);
         self.updates_ingested = updates_ingested;
+        // A restore rewrites history; a cached staleness epoch would serve
+        // pre-restore answers.
+        self.cached_epoch = None;
     }
 
     /// Shut down: close the queue and join the Graph Workers. Called

@@ -29,8 +29,10 @@ struct PoolState {
     epoch: u64,
     /// Spawned workers still running the current task.
     active: usize,
-    /// True if any worker's task panicked (re-raised by `run`).
-    panicked: bool,
+    /// The first panicking worker's payload, rethrown by `run` on the
+    /// calling thread so `panic::catch_unwind` callers see the original
+    /// payload (message, downcastable type), not a pool-invented one.
+    panic_payload: Option<Box<dyn std::any::Any + Send>>,
     shutdown: bool,
 }
 
@@ -68,7 +70,7 @@ impl WorkerPool {
                 task: None,
                 epoch: 0,
                 active: 0,
-                panicked: false,
+                panic_payload: None,
                 shutdown: false,
             }),
             task_ready: Condvar::new(),
@@ -126,26 +128,30 @@ impl WorkerPool {
             state.task = Some(erased);
             state.epoch += 1;
             state.active = self.handles.len();
-            state.panicked = false;
+            state.panic_payload = None;
             self.shared.task_ready.notify_all();
         }
         // The caller is worker 0. Catch a panic so the workers are always
         // joined-for before unwinding out (otherwise they could outlive the
         // borrowed task data).
         let caller = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| task(0)));
-        let worker_panicked = {
+        let worker_payload = {
             let mut state = self.shared.state.lock();
             while state.active > 0 {
                 self.shared.task_done.wait(&mut state);
             }
             state.task = None;
-            state.panicked
+            state.panic_payload.take()
         };
+        // Exactly one payload is rethrown per dispatch: the caller's panic
+        // wins (its worker-0 task died the same way the workers' did, and it
+        // unwound on *this* thread), else the first worker's original
+        // payload — never a pool-invented substitute.
         if let Err(payload) = caller {
             std::panic::resume_unwind(payload);
         }
-        if worker_panicked {
-            panic!("worker pool task panicked");
+        if let Some(payload) = worker_payload {
+            std::panic::resume_unwind(payload);
         }
     }
 
@@ -184,8 +190,10 @@ fn worker_loop(shared: &Shared, index: usize) {
         };
         let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| task(index)));
         let mut state = shared.state.lock();
-        if result.is_err() {
-            state.panicked = true;
+        if let Err(payload) = result {
+            // First panic wins; later ones are dropped (only one payload
+            // can be rethrown on the calling thread anyway).
+            state.panic_payload.get_or_insert(payload);
         }
         state.active -= 1;
         if state.active == 0 {
@@ -336,6 +344,61 @@ mod tests {
             ran.fetch_add(1, Ordering::Relaxed);
         });
         assert_eq!(ran.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn worker_panic_payload_survives_intact_and_pool_stays_dispatchable() {
+        // The regression this pins: a panicking task must (a) leave the pool
+        // dispatchable and (b) rethrow the *original* payload on the calling
+        // thread, exactly once — not a pool-invented "task panicked" string.
+        #[derive(Debug, PartialEq)]
+        struct Distinctive(u64);
+
+        let pool = WorkerPool::new(3);
+        let rethrows = AtomicUsize::new(0);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.run(&|w| {
+                if w == 2 {
+                    std::panic::panic_any(Distinctive(0xDEAD));
+                }
+            });
+            rethrows.fetch_add(1, Ordering::Relaxed); // unreachable if run panicked
+        }));
+        let payload = result.expect_err("worker panic must propagate");
+        let payload = payload.downcast::<Distinctive>().expect("original payload type");
+        assert_eq!(*payload, Distinctive(0xDEAD));
+        assert_eq!(rethrows.load(Ordering::Relaxed), 0, "run must not return after a panic");
+
+        // (a) the pool dispatches again, and a clean dispatch does not
+        // resurrect the previous payload (rethrown exactly once).
+        let ran = AtomicUsize::new(0);
+        let clean = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.run(&|_| {
+                ran.fetch_add(1, Ordering::Relaxed);
+            });
+        }));
+        assert!(clean.is_ok(), "a clean dispatch after a panic must not rethrow");
+        assert_eq!(ran.load(Ordering::Relaxed), 3);
+    }
+
+    #[test]
+    fn caller_panic_wins_over_worker_panic() {
+        // When both the caller's worker-0 task and a spawned worker panic,
+        // exactly one payload is rethrown — the caller's, since it unwound
+        // on the dispatching thread.
+        let pool = WorkerPool::new(2);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.run(&|w| {
+                if w == 0 {
+                    std::panic::panic_any("caller payload");
+                }
+                std::panic::panic_any("worker payload");
+            });
+        }));
+        let payload = result.expect_err("panic must propagate");
+        let s = payload.downcast::<&str>().expect("payload type");
+        assert_eq!(*s, "caller payload");
+        pool.run(&|_| {}); // still dispatchable
     }
 
     #[test]

@@ -36,8 +36,11 @@ pub const WIRE_MAGIC: [u8; 2] = *b"GZ";
 /// derivation must fail the handshake, not corrupt state.
 /// v2 added the round-sliced gather (`GatherRound` / `RoundSketches`);
 /// v3 marks the single-hash column derivation (DESIGN.md §9), which makes
-/// sketch payloads unmergeable with v2 builds.
-pub const PROTOCOL_VERSION: u8 = 3;
+/// sketch payloads unmergeable with v2 builds;
+/// v4 added epoch sealing (`SealEpoch` / `EpochSealed` / `ReleaseEpoch` /
+/// `EpochReleased`) and the epoch tag on `GatherRound`, so sharded queries
+/// can gather a consistent cut while ingestion continues.
+pub const PROTOCOL_VERSION: u8 = 4;
 
 /// Upper bound on a frame payload (defensive: a corrupt length header must
 /// not trigger a multi-gigabyte allocation).
@@ -53,6 +56,14 @@ const TAG_SKETCHES: u8 = 7;
 const TAG_SHUTDOWN: u8 = 8;
 const TAG_GATHER_ROUND: u8 = 9;
 const TAG_ROUND_SKETCHES: u8 = 10;
+const TAG_SEAL_EPOCH: u8 = 11;
+const TAG_EPOCH_SEALED: u8 = 12;
+const TAG_RELEASE_EPOCH: u8 = 13;
+const TAG_EPOCH_RELEASED: u8 = 14;
+
+/// On-wire sentinel for "no epoch" in [`WireMessage::GatherRound`]: the
+/// gather reads the live (flushed) state, the pre-v4 behavior.
+const EPOCH_LIVE: u64 = u64::MAX;
 
 /// One serialized node sketch, as gathered from a shard: the owning node id
 /// plus the sketch's serialized bytes (opaque at this layer).
@@ -101,15 +112,20 @@ pub enum WireMessage {
         /// One entry per owned node.
         entries: Vec<SketchEntry>,
     },
-    /// Coordinator → worker: flush, then reply [`WireMessage::RoundSketches`]
-    /// with only round `round`'s slice of every owned node's sketch — the
-    /// streaming query's gather unit. A Borůvka query sends one of these per
-    /// round, so each reply frame is a `rounds`-fold smaller than a full
-    /// [`WireMessage::Sketches`] gather and the coordinator never holds more
-    /// than one round of the universe at a time.
+    /// Coordinator → worker: reply [`WireMessage::RoundSketches`] with only
+    /// round `round`'s slice of every owned node's sketch — the streaming
+    /// query's gather unit. A Borůvka query sends one of these per round,
+    /// so each reply frame is a `rounds`-fold smaller than a full
+    /// [`WireMessage::Sketches`] gather and the coordinator never holds
+    /// more than one round of the universe at a time. With `epoch: None`
+    /// the worker flushes and serves the live state; with `Some(id)` it
+    /// serves the sealed generation of a [`WireMessage::SealEpoch`] — no
+    /// flush, no quiescing, consistent across all the query's rounds.
     GatherRound {
         /// Sketch round (0-based) whose column data is requested.
         round: u32,
+        /// Sealed epoch to gather from (`None` = live state).
+        epoch: Option<u64>,
     },
     /// Worker → coordinator: the shard's round-`round` sketch slices.
     RoundSketches {
@@ -118,6 +134,26 @@ pub enum WireMessage {
         /// One entry per owned node; `bytes` is the round slice only.
         entries: Vec<SketchEntry>,
     },
+    /// Coordinator → worker: seal the shard's current sketch state into an
+    /// epoch (flushing first, so the sealed cut includes every batch
+    /// received so far) and reply [`WireMessage::EpochSealed`] with its id.
+    SealEpoch,
+    /// Worker → coordinator: the epoch is sealed and pinned until a
+    /// matching [`WireMessage::ReleaseEpoch`].
+    EpochSealed {
+        /// Shard-assigned epoch id.
+        epoch: u64,
+    },
+    /// Coordinator → worker: drop the sealed epoch `epoch`, freeing its
+    /// copy-on-write captures; replies [`WireMessage::EpochReleased`].
+    /// Releasing an unknown id is not an error (release is best-effort
+    /// cleanup from a dropping handle).
+    ReleaseEpoch {
+        /// Epoch id from [`WireMessage::EpochSealed`].
+        epoch: u64,
+    },
+    /// Worker → coordinator: the epoch is gone.
+    EpochReleased,
     /// Coordinator → worker: close the connection; the worker exits its
     /// event loop.
     Shutdown,
@@ -136,10 +172,20 @@ fn encode_entries(entries: &[SketchEntry], out: &mut Vec<u8>) {
 }
 
 fn decode_entries(cur: &mut Cursor<'_>, count: usize) -> io::Result<Vec<SketchEntry>> {
+    // `count` and every entry length are attacker-controlled. Each entry
+    // occupies at least 8 bytes (node + length header), so a count that
+    // cannot fit in the *remaining* payload is malformed — refuse it before
+    // `Vec::with_capacity` turns the lie into an allocation.
+    if count > cur.remaining() / 8 {
+        return Err(invalid("entry count exceeds remaining payload"));
+    }
     let mut entries = Vec::with_capacity(count);
     for _ in 0..count {
         let node = cur.u32()?;
         let len = cur.u32()? as usize;
+        if len > cur.remaining() {
+            return Err(invalid("entry length exceeds remaining payload"));
+        }
         entries.push(SketchEntry { node, bytes: cur.take(len)?.to_vec() });
     }
     Ok(entries)
@@ -157,6 +203,10 @@ impl WireMessage {
             WireMessage::Sketches { .. } => TAG_SKETCHES,
             WireMessage::GatherRound { .. } => TAG_GATHER_ROUND,
             WireMessage::RoundSketches { .. } => TAG_ROUND_SKETCHES,
+            WireMessage::SealEpoch => TAG_SEAL_EPOCH,
+            WireMessage::EpochSealed { .. } => TAG_EPOCH_SEALED,
+            WireMessage::ReleaseEpoch { .. } => TAG_RELEASE_EPOCH,
+            WireMessage::EpochReleased => TAG_EPOCH_RELEASED,
             WireMessage::Shutdown => TAG_SHUTDOWN,
         }
     }
@@ -167,7 +217,8 @@ impl WireMessage {
         match self {
             WireMessage::Hello { .. } | WireMessage::HelloAck { .. } => 8,
             WireMessage::Batch { records, .. } => 8 + 4 * records.len(),
-            WireMessage::GatherRound { .. } => 4,
+            WireMessage::GatherRound { .. } => 12,
+            WireMessage::EpochSealed { .. } | WireMessage::ReleaseEpoch { .. } => 8,
             WireMessage::Sketches { entries } => {
                 4 + entries.iter().map(|e| 8 + e.bytes.len()).sum::<usize>()
             }
@@ -177,6 +228,8 @@ impl WireMessage {
             WireMessage::Flush
             | WireMessage::FlushAck
             | WireMessage::GatherSketches
+            | WireMessage::SealEpoch
+            | WireMessage::EpochReleased
             | WireMessage::Shutdown => 0,
         }
     }
@@ -197,8 +250,12 @@ impl WireMessage {
                 out.extend_from_slice(&(entries.len() as u32).to_le_bytes());
                 encode_entries(entries, out);
             }
-            WireMessage::GatherRound { round } => {
+            WireMessage::GatherRound { round, epoch } => {
                 out.extend_from_slice(&round.to_le_bytes());
+                out.extend_from_slice(&epoch.unwrap_or(EPOCH_LIVE).to_le_bytes());
+            }
+            WireMessage::EpochSealed { epoch } | WireMessage::ReleaseEpoch { epoch } => {
+                out.extend_from_slice(&epoch.to_le_bytes());
             }
             WireMessage::RoundSketches { round, entries } => {
                 out.extend_from_slice(&round.to_le_bytes());
@@ -208,6 +265,8 @@ impl WireMessage {
             WireMessage::Flush
             | WireMessage::FlushAck
             | WireMessage::GatherSketches
+            | WireMessage::SealEpoch
+            | WireMessage::EpochReleased
             | WireMessage::Shutdown => {}
         }
     }
@@ -272,8 +331,11 @@ impl WireMessage {
             TAG_BATCH => {
                 let node = cur.u32()?;
                 let count = cur.u32()? as usize;
-                if count > payload.len() / 4 {
-                    return Err(invalid("batch record count exceeds payload"));
+                // Count capped against the bytes actually *remaining* (not
+                // the whole payload, which would let the already-consumed
+                // header inflate the bound): records are 4 bytes each.
+                if count > cur.remaining() / 4 {
+                    return Err(invalid("batch record count exceeds remaining payload"));
                 }
                 let records = (0..count).map(|_| cur.u32()).collect::<io::Result<Vec<u32>>>()?;
                 WireMessage::Batch { node, records }
@@ -283,20 +345,25 @@ impl WireMessage {
             TAG_GATHER => WireMessage::GatherSketches,
             TAG_SKETCHES => {
                 let count = cur.u32()? as usize;
-                if count > payload.len() / 8 {
-                    return Err(invalid("sketch entry count exceeds payload"));
-                }
                 WireMessage::Sketches { entries: decode_entries(&mut cur, count)? }
             }
-            TAG_GATHER_ROUND => WireMessage::GatherRound { round: cur.u32()? },
+            TAG_GATHER_ROUND => {
+                let round = cur.u32()?;
+                let epoch = match cur.u64()? {
+                    EPOCH_LIVE => None,
+                    id => Some(id),
+                };
+                WireMessage::GatherRound { round, epoch }
+            }
             TAG_ROUND_SKETCHES => {
                 let round = cur.u32()?;
                 let count = cur.u32()? as usize;
-                if count > payload.len() / 8 {
-                    return Err(invalid("round sketch entry count exceeds payload"));
-                }
                 WireMessage::RoundSketches { round, entries: decode_entries(&mut cur, count)? }
             }
+            TAG_SEAL_EPOCH => WireMessage::SealEpoch,
+            TAG_EPOCH_SEALED => WireMessage::EpochSealed { epoch: cur.u64()? },
+            TAG_RELEASE_EPOCH => WireMessage::ReleaseEpoch { epoch: cur.u64()? },
+            TAG_EPOCH_RELEASED => WireMessage::EpochReleased,
             TAG_SHUTDOWN => WireMessage::Shutdown,
             other => return Err(invalid(format!("unknown message tag {other}"))),
         };
@@ -318,6 +385,10 @@ impl WireMessage {
             WireMessage::Sketches { .. } => "Sketches",
             WireMessage::GatherRound { .. } => "GatherRound",
             WireMessage::RoundSketches { .. } => "RoundSketches",
+            WireMessage::SealEpoch => "SealEpoch",
+            WireMessage::EpochSealed { .. } => "EpochSealed",
+            WireMessage::ReleaseEpoch { .. } => "ReleaseEpoch",
+            WireMessage::EpochReleased => "EpochReleased",
             WireMessage::Shutdown => "Shutdown",
         }
     }
@@ -330,6 +401,12 @@ struct Cursor<'a> {
 }
 
 impl<'a> Cursor<'a> {
+    /// Bytes not yet consumed — the budget any trusted-from-the-wire count
+    /// or length must fit in.
+    fn remaining(&self) -> usize {
+        self.bytes.len() - self.at
+    }
+
     fn take(&mut self, n: usize) -> io::Result<&'a [u8]> {
         let end = self.at.checked_add(n).filter(|&e| e <= self.bytes.len());
         match end {
@@ -380,7 +457,8 @@ mod tests {
                     SketchEntry { node: 10, bytes: vec![] },
                 ],
             },
-            WireMessage::GatherRound { round: 11 },
+            WireMessage::GatherRound { round: 11, epoch: None },
+            WireMessage::GatherRound { round: 3, epoch: Some(17) },
             WireMessage::RoundSketches {
                 round: 11,
                 entries: vec![
@@ -388,6 +466,11 @@ mod tests {
                     SketchEntry { node: 4, bytes: vec![] },
                 ],
             },
+            WireMessage::SealEpoch,
+            WireMessage::EpochSealed { epoch: 0 },
+            WireMessage::EpochSealed { epoch: u64::MAX - 1 },
+            WireMessage::ReleaseEpoch { epoch: 42 },
+            WireMessage::EpochReleased,
             WireMessage::Shutdown,
         ];
         for msg in msgs {
@@ -487,6 +570,51 @@ mod tests {
         buf.extend_from_slice(&(payload.len() as u32).to_le_bytes());
         buf.extend_from_slice(&payload);
         assert!(WireMessage::read_from(&mut &buf[..]).is_err());
+    }
+
+    #[test]
+    fn oversized_counts_fail_against_remaining_payload_not_oom() {
+        // A count can be small enough to pass a whole-payload sanity check
+        // yet still exceed what the *remaining* bytes can encode; the
+        // decoder must refuse it before `Vec::with_capacity` turns an
+        // attacker-controlled u32 into an allocation.
+        fn frame(tag: u8, payload: &[u8]) -> Vec<u8> {
+            let mut buf = Vec::new();
+            buf.extend_from_slice(&WIRE_MAGIC);
+            buf.push(PROTOCOL_VERSION);
+            buf.push(tag);
+            buf.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+            buf.extend_from_slice(payload);
+            buf
+        }
+
+        // RoundSketches: 168-byte payload claims 21 entries, but after the
+        // round and count headers only 160 bytes remain — room for at most
+        // 20 entry headers.
+        let mut payload = Vec::new();
+        payload.extend_from_slice(&0u32.to_le_bytes()); // round
+        payload.extend_from_slice(&21u32.to_le_bytes()); // count
+        payload.resize(168, 0);
+        let buf = frame(10, &payload);
+        let err = WireMessage::read_from(&mut &buf[..]).unwrap_err();
+        assert!(err.to_string().contains("entry count exceeds remaining payload"), "got: {err}");
+
+        // Sketches: one entry whose length field promises u32::MAX bytes.
+        let mut payload = Vec::new();
+        payload.extend_from_slice(&1u32.to_le_bytes()); // count
+        payload.extend_from_slice(&0u32.to_le_bytes()); // node
+        payload.extend_from_slice(&u32::MAX.to_le_bytes()); // entry length
+        let buf = frame(7, &payload);
+        let err = WireMessage::read_from(&mut &buf[..]).unwrap_err();
+        assert!(err.to_string().contains("entry length exceeds remaining payload"), "got: {err}");
+
+        // Batch: count claims more records than the remaining bytes hold.
+        let mut payload = Vec::new();
+        payload.extend_from_slice(&7u32.to_le_bytes()); // node
+        payload.extend_from_slice(&u32::MAX.to_le_bytes()); // count
+        let buf = frame(3, &payload);
+        let err = WireMessage::read_from(&mut &buf[..]).unwrap_err();
+        assert!(err.to_string().contains("record count exceeds remaining payload"), "got: {err}");
     }
 
     #[test]
