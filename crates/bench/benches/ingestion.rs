@@ -146,6 +146,93 @@ fn bench_store_update_kernel(c: &mut Criterion) {
     group.finish();
 }
 
+/// The PR's tentpole measurement: ingest sparse streams (Erdős–Rényi `gnp`
+/// and preferential attachment — the regimes where almost every vertex
+/// stays far below the promotion threshold) through a hybrid store
+/// (τ = 32) vs the always-dense baseline (τ = 0). Reports resident sketch
+/// bytes and the representation census for both, asserts the ≥5× memory
+/// reduction on `gnp` plus answer equality, and records ingest time per
+/// dataset × representation as criterion cases.
+fn bench_ingest_hybrid(c: &mut Criterion) {
+    use gz_stream::{Dataset, GeneratorSpec};
+
+    let (nodes, edges) = if smoke() { (1u64 << 8, 512u64) } else { (1u64 << 10, 2048u64) };
+    let datasets = [
+        Dataset {
+            name: format!("gnp-{nodes}x{edges}"),
+            num_vertices: nodes,
+            nominal_edges: edges,
+            spec: GeneratorSpec::ErdosRenyi { nodes, edges },
+        },
+        Dataset {
+            name: format!("pa-{nodes}x{edges}"),
+            num_vertices: nodes,
+            nominal_edges: edges,
+            spec: GeneratorSpec::Preferential { nodes, edges },
+        },
+    ];
+
+    let mut group = c.benchmark_group("gz_ingest_hybrid");
+    for (idx, dataset) in datasets.iter().enumerate() {
+        let w = gz_bench::harness::dataset_workload(dataset, 9 + idx as u64);
+        group.throughput(Throughput::Elements(w.updates.len() as u64));
+
+        // One-shot memory + equivalence check per dataset.
+        let run = |threshold: u32| -> (GraphZeppelin, usize) {
+            let mut config = GzConfig::in_ram(w.num_nodes);
+            config.sketch_threshold = threshold;
+            let mut gz = GraphZeppelin::new(config).unwrap();
+            ingest(&mut gz, &w.updates);
+            let bytes = gz.sketch_bytes();
+            (gz, bytes)
+        };
+        let (mut dense, dense_bytes) = run(0);
+        let (mut hybrid, hybrid_bytes) = run(32);
+        let rep = hybrid.rep_stats();
+        println!(
+            "gz_ingest_hybrid/{}: dense {} vs hybrid {} ({:.1}x; {} promoted, {} sparse)",
+            w.name,
+            gz_bench::harness::fmt_bytes(dense_bytes as u64),
+            gz_bench::harness::fmt_bytes(hybrid_bytes as u64),
+            dense_bytes as f64 / hybrid_bytes.max(1) as f64,
+            rep.promoted,
+            rep.sparse,
+        );
+        assert_eq!(
+            dense.connected_components().unwrap().labels(),
+            hybrid.connected_components().unwrap().labels(),
+            "{}: hybrid answers diverged from dense",
+            w.name
+        );
+        if idx == 0 {
+            // The ISSUE's acceptance bar: ≥5× resident-memory reduction on
+            // the gnp stream.
+            assert!(
+                hybrid_bytes * 5 <= dense_bytes,
+                "{}: hybrid {hybrid_bytes}B must be ≤ dense {dense_bytes}B / 5",
+                w.name
+            );
+        }
+
+        for (rep_name, threshold) in [("dense", 0u32), ("hybrid", 32)] {
+            group.bench_with_input(
+                BenchmarkId::from_parameter(format!("{}-{rep_name}", w.name)),
+                &w.updates,
+                |b, updates| {
+                    b.iter(|| {
+                        let mut config = GzConfig::in_ram(w.num_nodes);
+                        config.sketch_threshold = threshold;
+                        let mut gz = GraphZeppelin::new(config).unwrap();
+                        ingest(&mut gz, updates);
+                        gz.sketch_bytes()
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
 /// Final target: persist every measurement above as the machine-readable
 /// baseline (`BENCH_ingestion.json`).
 fn emit_bench_json(_c: &mut Criterion) {
@@ -166,6 +253,6 @@ criterion_group! {
     name = benches;
     config = config();
     targets = bench_store_update_kernel, bench_ingest_by_workers, bench_ingest_by_buffering,
-        emit_bench_json
+        bench_ingest_hybrid, emit_bench_json
 }
 criterion_main!(benches);

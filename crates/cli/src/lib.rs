@@ -7,7 +7,8 @@
 //! gz components stream.gzs [--workers 4] [--store ram|disk] \
 //!     [--buffering leaf|tree] [--dir /tmp/gzwork] [--forest] \
 //!     [--query-mode snapshot|streaming] [--query-threads N] \
-//!     [--staleness U] [--shards K [--connect host:port,host:port,...]]
+//!     [--staleness U] [--threshold T] [--stats] \
+//!     [--shards K [--connect host:port,host:port,...]]
 //! gz checkpoint save ckpt.gzc --from stream.gzs [--workers 4] [--seed S]
 //! gz checkpoint restore ckpt.gzc [--forest] [--query-mode streaming]
 //! gz shard-worker --listen 127.0.0.1:7001 --nodes 1024 --shards 2 --index 0
@@ -114,6 +115,13 @@ pub enum Command {
         /// while it lags fewer than this many updates (`None` = always
         /// query fresh state).
         staleness: Option<u64>,
+        /// Hybrid-representation promotion threshold τ: nodes stay exact
+        /// sparse sets until they exceed this many live neighbors (`None`
+        /// or 0 = always-dense sketches).
+        threshold: Option<u32>,
+        /// Print a representation census (sparse/promoted node counts and
+        /// resident bytes) after the query.
+        stats: bool,
         /// Shard the system `k` ways (in-process unless `connect` names
         /// remote workers).
         shards: Option<u32>,
@@ -163,6 +171,9 @@ pub enum Command {
         store: StoreArg,
         /// Directory for an on-disk store.
         dir: Option<PathBuf>,
+        /// Hybrid-representation promotion threshold τ for this shard's
+        /// store (`None` or 0 = always-dense sketches).
+        threshold: Option<u32>,
     },
     /// Test bipartiteness of a stream file.
     Bipartite {
@@ -324,6 +335,8 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
             let mut query_mode = None;
             let mut query_threads = None;
             let mut staleness = None;
+            let mut threshold = None;
+            let mut stats = false;
             let mut shards = None;
             let mut connect = None;
             while let Some(arg) = it.next() {
@@ -364,6 +377,10 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                     // `--staleness 0` is meaningful (reseal on every query),
                     // so a plain parse — not parse_positive — is correct.
                     "--staleness" => set_once(&mut staleness, parse_num(&mut it, arg)?, arg)?,
+                    // `--threshold 0` is meaningful (force always-dense),
+                    // so a plain parse here too.
+                    "--threshold" => set_once(&mut threshold, parse_num(&mut it, arg)?, arg)?,
+                    "--stats" => set_switch(&mut stats, arg)?,
                     "--shards" => set_once(&mut shards, parse_positive(&mut it, arg)?, arg)?,
                     "--connect" => {
                         let v = it.next().ok_or("--connect needs addr,addr,...")?;
@@ -376,6 +393,11 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
             }
             if connect.is_some() && shards.is_none() {
                 return Err("--connect requires --shards".into());
+            }
+            if stats && shards.is_some() {
+                return Err("--stats is not supported with --shards (the census is \
+                     per-store; query each shard worker instead)"
+                    .into());
             }
             let query_mode = query_mode.unwrap_or(QueryMode::Snapshot);
             if staleness.is_some() && query_mode != QueryMode::Streaming {
@@ -391,6 +413,8 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                 query_mode,
                 query_threads,
                 staleness,
+                threshold,
+                stats,
                 shards,
                 connect: connect.unwrap_or_default(),
             })
@@ -463,6 +487,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
             let mut workers = None;
             let mut store = None;
             let mut dir = None;
+            let mut threshold = None;
             while let Some(arg) = it.next() {
                 match arg.as_str() {
                     "--listen" => {
@@ -482,6 +507,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                         let v = PathBuf::from(it.next().ok_or("--dir needs a dir")?);
                         set_once(&mut dir, v, arg)?;
                     }
+                    "--threshold" => set_once(&mut threshold, parse_num(&mut it, arg)?, arg)?,
                     other => return Err(format!("unknown flag {other}")),
                 }
             }
@@ -494,6 +520,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                 workers: workers.unwrap_or(2),
                 store: store.unwrap_or(StoreArg::Ram),
                 dir,
+                threshold,
             })
         }
         "bipartite" => {
@@ -528,6 +555,7 @@ fn build_config(
     query_mode: QueryMode,
     query_threads: Option<usize>,
     staleness: Option<u64>,
+    threshold: Option<u32>,
 ) -> Result<GzConfig, String> {
     let mut config = GzConfig::in_ram(num_nodes);
     config.num_workers = workers;
@@ -535,6 +563,7 @@ fn build_config(
     config.query_mode = query_mode;
     config.query_threads = query_threads;
     config.query_staleness = staleness;
+    config.sketch_threshold = threshold.unwrap_or(0);
     config.buffering = match buffering {
         BufferingArg::Leaf => {
             BufferStrategy::LeafOnly { capacity: GutterCapacity::SketchFactor(0.5) }
@@ -583,6 +612,7 @@ fn components_sharded(
     query_mode: QueryMode,
     query_threads: Option<usize>,
     staleness: Option<u64>,
+    threshold: Option<u32>,
     num_shards: u32,
     connect: &[String],
 ) -> Result<String, String> {
@@ -606,6 +636,7 @@ fn components_sharded(
     config.query_mode = query_mode;
     config.query_threads = query_threads;
     config.query_staleness = staleness;
+    config.sketch_threshold = threshold.unwrap_or(0);
 
     let mut gz = if connect.is_empty() {
         ShardedGraphZeppelin::in_process(config).map_err(|e| e.to_string())?
@@ -716,6 +747,8 @@ pub fn execute(cmd: Command) -> Result<String, String> {
             query_mode,
             query_threads,
             staleness,
+            threshold,
+            stats,
             shards,
             connect,
         } => {
@@ -730,6 +763,7 @@ pub fn execute(cmd: Command) -> Result<String, String> {
                     query_mode,
                     query_threads,
                     staleness,
+                    threshold,
                     num_shards,
                     &connect,
                 );
@@ -745,6 +779,7 @@ pub fn execute(cmd: Command) -> Result<String, String> {
                 query_mode,
                 query_threads,
                 staleness,
+                threshold,
             )?;
             let mut gz = GraphZeppelin::new(config).map_err(|e| e.to_string())?;
             feed_stream(&mut reader, |u, v, d| {
@@ -758,6 +793,18 @@ pub fn execute(cmd: Command) -> Result<String, String> {
                 header.num_vertices,
                 gz.updates_ingested(),
             );
+            if stats {
+                let rep = gz.rep_stats();
+                out.push_str(&format!(
+                    "representation: {} promoted, {} sparse ({} neighbor entries, {} sparse \
+                     bytes); sketch memory {} bytes\n",
+                    rep.promoted,
+                    rep.sparse,
+                    rep.sparse_entries,
+                    rep.sparse_bytes(),
+                    gz.sketch_bytes(),
+                ));
+            }
             if forest {
                 for e in cc.spanning_forest() {
                     out.push_str(&format!("{} {}\n", e.u(), e.v()));
@@ -811,11 +858,22 @@ pub fn execute(cmd: Command) -> Result<String, String> {
             }
             Ok(out)
         }
-        Command::ShardWorker { listen, nodes, shards, index, seed, workers, store, dir } => {
+        Command::ShardWorker {
+            listen,
+            nodes,
+            shards,
+            index,
+            seed,
+            workers,
+            store,
+            dir,
+            threshold,
+        } => {
             let mut config = ShardConfig::in_ram(nodes, shards);
             config.seed = seed;
             config.workers_per_shard = workers;
             config.store = store_backend(store, &dir)?;
+            config.sketch_threshold = threshold.unwrap_or(0);
             run_shard_worker(&listen, config, index)
         }
         Command::Bipartite { path } => {
@@ -1033,7 +1091,10 @@ mod tests {
             "components s.gzs --query-mode streaming --staleness 5 --staleness 6",
             "checkpoint save c.gzc --from a.gzs --from b.gzs",
             "checkpoint restore c.gzc --forest --forest",
+            "components s.gzs --threshold 4 --threshold 8",
+            "components s.gzs --stats --stats",
             "shard-worker --listen a:1 --listen b:2 --nodes 8 --shards 2 --index 0",
+            "shard-worker --listen a:1 --nodes 8 --shards 2 --index 0 --threshold 4 --threshold 8",
         ] {
             let err = parse_args(&argv(argv_s)).unwrap_err();
             assert!(err.contains("duplicate flag"), "{argv_s}: {err}");
@@ -1068,6 +1129,80 @@ mod tests {
             parse_args(&argv("components s.gzs --query-mode snapshot --staleness 5")).unwrap_err();
         assert!(err.contains("requires --query-mode streaming"), "{err}");
         assert!(parse_args(&argv("components s.gzs --staleness lots")).is_err());
+    }
+
+    #[test]
+    fn parses_threshold_and_stats_flags() {
+        match parse_components("components s.gzs --threshold 16 --stats") {
+            Command::Components { threshold, stats, .. } => {
+                assert_eq!(threshold, Some(16));
+                assert!(stats);
+            }
+            other => panic!("{other:?}"),
+        }
+        // Zero is meaningful: force the always-dense representation.
+        match parse_components("components s.gzs --threshold 0") {
+            Command::Components { threshold, .. } => assert_eq!(threshold, Some(0)),
+            other => panic!("{other:?}"),
+        }
+        // Defaults: no threshold (always-dense), no census.
+        match parse_components("components s.gzs") {
+            Command::Components { threshold, stats, .. } => {
+                assert_eq!(threshold, None);
+                assert!(!stats);
+            }
+            other => panic!("{other:?}"),
+        }
+        // Threshold composes with sharding; the census does not (it is a
+        // per-store report and would silently cover nothing).
+        match parse_components("components s.gzs --threshold 8 --shards 2") {
+            Command::Components { threshold, shards, .. } => {
+                assert_eq!(threshold, Some(8));
+                assert_eq!(shards, Some(2));
+            }
+            other => panic!("{other:?}"),
+        }
+        let err = parse_args(&argv("components s.gzs --stats --shards 2")).unwrap_err();
+        assert!(err.contains("--stats"), "{err}");
+        assert!(parse_args(&argv("components s.gzs --threshold lots")).is_err());
+        assert!(parse_args(&argv("components s.gzs --threshold")).is_err());
+    }
+
+    #[test]
+    fn hybrid_threshold_matches_dense_end_to_end() {
+        // Through the whole CLI: a hybrid run answers exactly like a dense
+        // run, and the census reports the representation split.
+        let path = tmp("hybrid");
+        execute(Command::Generate {
+            dataset: DatasetArg::Kron(5),
+            seed: 17,
+            out: path.to_path_buf(),
+        })
+        .unwrap();
+        let dense = execute(components_cmd(&path, None)).unwrap();
+        let count =
+            |s: &str| s.lines().next().unwrap().split_whitespace().next().unwrap().to_string();
+        for (threshold, shards) in [(4u32, None), (64, None), (4, Some(2))] {
+            let mut cmd = components_cmd(&path, shards);
+            if let Command::Components { threshold: t, .. } = &mut cmd {
+                *t = Some(threshold);
+            }
+            let got = execute(cmd).unwrap();
+            assert_eq!(count(&got), count(&dense), "threshold={threshold} shards={shards:?}");
+        }
+        // The census line appears on request and adds up to the universe.
+        let mut cmd = components_cmd(&path, None);
+        if let Command::Components { threshold, stats, .. } = &mut cmd {
+            *threshold = Some(4);
+            *stats = true;
+        }
+        let out = execute(cmd).unwrap();
+        let census = out.lines().find(|l| l.starts_with("representation:")).unwrap();
+        let nums: Vec<u64> = census
+            .split_whitespace()
+            .filter_map(|w| w.trim_start_matches('(').parse().ok())
+            .collect();
+        assert_eq!(nums[0] + nums[1], 32, "promoted + sparse covers kron5: {census}");
     }
 
     #[test]
@@ -1246,8 +1381,16 @@ mod tests {
                 workers: 3,
                 store: StoreArg::Ram,
                 dir: None,
+                threshold: None,
             }
         );
+        assert!(matches!(
+            parse_args(&argv(
+                "shard-worker --listen 127.0.0.1:0 --nodes 8 --shards 2 --index 0 --threshold 16"
+            ))
+            .unwrap(),
+            Command::ShardWorker { threshold: Some(16), .. }
+        ));
         assert!(parse_args(&argv("shard-worker --listen 127.0.0.1:0 --nodes 8")).is_err());
     }
 
@@ -1289,6 +1432,8 @@ mod tests {
             query_mode: QueryMode::Snapshot,
             query_threads: None,
             staleness: None,
+            threshold: None,
+            stats: false,
             shards,
             connect: Vec::new(),
         }
@@ -1365,6 +1510,8 @@ mod tests {
             query_mode: QueryMode::Snapshot,
             query_threads: None,
             staleness: None,
+            threshold: None,
+            stats: false,
             shards: None,
             connect: Vec::new(),
         })

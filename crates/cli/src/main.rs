@@ -12,14 +12,15 @@ fn main() {
                  [--workers N] [--store ram|disk] [--buffering leaf|tree] \
                  [--dir DIR] [--forest]\n                \
                  [--query-mode snapshot|streaming] [--query-threads N] \
-                 [--staleness U]\n                \
+                 [--staleness U] [--threshold T] [--stats]\n                \
                  [--shards K [--connect HOST:PORT,...]]\n  gz checkpoint save \
                  FILE --from STREAM [--workers N] [--seed S]\n  gz checkpoint \
                  restore FILE [--forest] [--query-mode snapshot|streaming] \
                  [--query-threads N]\n  \
                  gz shard-worker --listen HOST:PORT \
                  --nodes N --shards K --index I [--seed S]\n                  \
-                 [--workers N] [--store ram|disk] [--dir DIR]\n  gz bipartite FILE"
+                 [--workers N] [--store ram|disk] [--dir DIR] [--threshold T]\n  \
+                 gz bipartite FILE"
             );
             std::process::exit(2);
         }

@@ -179,6 +179,22 @@ where
     Src::Sampler: Send + Sync,
 {
     let pool = WorkerPool::new(query_threads);
+    boruvka_rounds_with_pool(source, num_vertices, max_rounds, &pool)
+}
+
+/// [`boruvka_rounds_parallel`] against a caller-owned [`WorkerPool`]: the
+/// system query path constructs its pool once and reuses it across queries
+/// (and across the rounds of each query) instead of spawning and joining
+/// `query_threads` OS threads per call.
+pub fn boruvka_rounds_with_pool<Src: SketchSource>(
+    source: &mut Src,
+    num_vertices: u64,
+    max_rounds: usize,
+    pool: &WorkerPool,
+) -> Result<BoruvkaOutcome, GzError>
+where
+    Src::Sampler: Send + Sync,
+{
     let n = num_vertices as usize;
     let mut dsu = Dsu::new(n);
     // Retired components: cut known empty; never query again. A retired
@@ -227,7 +243,7 @@ where
                 let sinks: Vec<Mutex<RoundSink<'_, Src::Sampler>>> = (0..pool.threads())
                     .map(|_| Mutex::new(RoundSink::new(&root_of, &retired)))
                     .collect();
-                source.stream_round_into(round, &live, &pool, &sinks)?;
+                source.stream_round_into(round, &live, pool, &sinks)?;
                 merge_sinks(sinks)
             };
             peak_sketch_bytes = peak_sketch_bytes.max(acc_bytes + source.resident_bytes());
@@ -274,7 +290,12 @@ where
 
         // Phases 2+3: merge endpoint components. No sketch XOR happens here
         // — the next round's fold rebuilds accumulators from the updated
-        // supernode membership, which is the same sum.
+        // supernode membership, which is the same sum. Adjacent components
+        // routinely sample the same cut edge from both sides; dropping the
+        // duplicates up front halves the DSU finds on such rounds, and the
+        // sorted order is deterministic, so outputs stay thread-invariant.
+        found.sort_unstable();
+        found.dedup();
         for edge in found {
             let (ra, rb) = (dsu.find(edge.u()), dsu.find(edge.v()));
             if ra == rb {

@@ -191,6 +191,50 @@ mod tests {
     }
 
     #[test]
+    fn hybrid_checkpoint_bitwise_equals_dense_and_round_trips() {
+        // A hybrid store (sketch_threshold > 0) densifies on save, so its
+        // checkpoint must be byte-for-byte the file an always-dense system
+        // writes for the same stream — and restoring it is lossless.
+        let edges: Vec<(u32, u32)> =
+            vec![(0, 1), (1, 2), (2, 0), (5, 6), (0, 1), (3, 0), (4, 0), (7, 0), (8, 0)];
+
+        let dense_path = tmp("hybrid_dense");
+        let mut dense = GraphZeppelin::new(GzConfig::in_ram(24)).unwrap();
+        for &(a, b) in &edges {
+            dense.update(a, b, false);
+        }
+        dense.save_checkpoint(dense_path.path()).unwrap();
+
+        let hybrid_path = tmp("hybrid");
+        let mut config = GzConfig::in_ram(24);
+        config.sketch_threshold = 3; // node 0 crosses τ mid-stream
+        let mut hybrid = GraphZeppelin::new(config.clone()).unwrap();
+        for &(a, b) in &edges {
+            hybrid.update(a, b, false);
+        }
+        hybrid.flush();
+        assert!(hybrid.rep_stats().promoted >= 1, "node 0 should have promoted");
+        assert!(hybrid.rep_stats().sparse > 0, "most nodes should still be sparse");
+        let expected = hybrid.connected_components().unwrap().labels().to_vec();
+        hybrid.save_checkpoint(hybrid_path.path()).unwrap();
+
+        assert_eq!(
+            std::fs::read(hybrid_path.path()).unwrap(),
+            std::fs::read(dense_path.path()).unwrap(),
+            "hybrid checkpoint must densify to the always-dense byte stream"
+        );
+
+        // Restore back into a hybrid config: state loads dense (sparse sets
+        // are retired), answers are preserved, and streaming continues.
+        let mut restored = GraphZeppelin::restore_with_config(hybrid_path.path(), config).unwrap();
+        assert_eq!(restored.rep_stats().sparse, 0, "restored state is fully dense");
+        assert_eq!(restored.connected_components().unwrap().labels(), &expected[..]);
+        restored.update(5, 6, true);
+        let cc = restored.connected_components().unwrap();
+        assert!(!cc.same_component(5, 6));
+    }
+
+    #[test]
     fn mismatched_config_rejected() {
         let path = tmp("mismatch");
         let mut gz = GraphZeppelin::new(GzConfig::in_ram(16)).unwrap();

@@ -137,6 +137,14 @@ pub struct GzConfig {
     /// ingestion and never stall it, at the cost of answers up to `n`
     /// updates old.
     pub query_staleness: Option<u64>,
+    /// Hybrid sparse/dense threshold `τ` (DESIGN.md §12). A vertex starts
+    /// as an exact toggle set of its live neighbors and is promoted to a
+    /// real sketch stack — by replaying the set through the batch kernel,
+    /// bit-identical to an always-dense run — once its live-set size
+    /// exceeds `τ`. `0` (the default) keeps every vertex dense from the
+    /// start: the exact pre-hybrid behavior, and the equivalence oracle
+    /// the hybrid tests compare against.
+    pub sketch_threshold: u32,
 }
 
 impl GzConfig {
@@ -156,6 +164,7 @@ impl GzConfig {
             query_mode: QueryMode::default(),
             query_threads: None,
             query_staleness: None,
+            sketch_threshold: 0,
         }
     }
 

@@ -38,6 +38,8 @@
 //! - [`node_sketch`] — per-vertex stacks of ℓ0-sketches (one per Boruvka
 //!   round).
 //! - [`store`] — sketch stores: in-RAM and file-backed (the SSD model).
+//! - [`sparse`] — exact small-set vertex representation for the hybrid
+//!   sparse/dense store (promotion-by-replay below `sketch_threshold`).
 //! - [`ingest`] — the parallel ingestion pipeline (Figure 7).
 //! - [`boruvka`] — sketch-space Boruvka query processing (Figure 9).
 //! - [`system`] — the [`GraphZeppelin`] facade tying it all together.
@@ -66,6 +68,7 @@ pub mod msf;
 pub mod node_sketch;
 pub mod sharding;
 pub mod size_model;
+pub mod sparse;
 pub mod store;
 pub mod streaming_cc;
 pub mod system;
@@ -87,8 +90,9 @@ pub use sharding::{
     serve_shard_connection, InProcessTransport, ShardConfig, ShardPipeline, ShardRouter,
     ShardServeStats, ShardTransport, ShardedEpoch, ShardedGraphZeppelin, SocketTransport,
 };
+pub use sparse::SparseSet;
 pub use store::{
-    EpochOverlay, EpochRoundSource, MaterializedSource, NodeSet, SketchEpoch, SketchSource,
-    SliceSource, StoreRoundSource,
+    EpochOverlay, EpochRoundSource, MaterializedSource, NodeSet, RepStats, SketchEpoch,
+    SketchSource, SliceSource, StoreRoundSource,
 };
 pub use system::{ConnectedComponents, GraphZeppelin};

@@ -47,6 +47,7 @@ use crate::boruvka::{boruvka_rounds_parallel, boruvka_spanning_forest_parallel, 
 use crate::config::{GutterCapacity, LockingStrategy, QueryMode, StoreBackend};
 use crate::error::GzError;
 use crate::node_sketch::{CubeNodeSketch, CubeRoundSketch, SketchParams};
+use crate::sparse::SparseSet;
 use crate::store::SketchSource;
 use gz_gutters::WorkerPool;
 use std::sync::Arc;
@@ -73,6 +74,13 @@ pub struct ShardConfig {
     pub locking: LockingStrategy,
     /// Per-shard sketch store placement (RAM or disk).
     pub store: StoreBackend,
+    /// Hybrid-representation promotion threshold τ, mirroring
+    /// [`crate::config::GzConfig::sketch_threshold`]: each owned node keeps
+    /// an exact toggle-set until it exceeds τ live neighbors, then is
+    /// replayed into a dense sketch. 0 = always dense. Not part of the
+    /// parameter digest: promotion-by-replay is bit-identical, so shards
+    /// with different thresholds still gather mergeable state.
+    pub sketch_threshold: u32,
     /// Router gutter capacity (the inter-shard batch size knob).
     pub router_capacity: GutterCapacity,
     /// How the coordinator gathers sketches at query time (coordinator-side
@@ -106,6 +114,7 @@ impl ShardConfig {
             workers_per_shard: 2,
             locking: LockingStrategy::DeltaSketch,
             store: StoreBackend::Ram,
+            sketch_threshold: 0,
             router_capacity: GutterCapacity::SketchFactor(0.5),
             query_mode: QueryMode::default(),
             query_threads: None,
@@ -563,7 +572,7 @@ impl SketchSource for GatherRoundSource<'_> {
         for e in &entries {
             validate_round_entry(&mut seen, e, round, expect_bytes)?;
             if live(e.node) {
-                sink(e.node, &self.params.deserialize_round(round, &e.bytes));
+                sink(e.node, &decode_round_entry(self.params, round, e));
             }
         }
         require_all_gathered(&seen)
@@ -600,7 +609,7 @@ impl SketchSource for GatherRoundSource<'_> {
                 let mut sink = sinks[w].lock();
                 for e in &entries[range] {
                     if live(e.node) {
-                        sink.fold(e.node, &params.deserialize_round(round, &e.bytes));
+                        sink.fold(e.node, &decode_round_entry(params, round, e));
                     }
                 }
             });
@@ -611,8 +620,10 @@ impl SketchSource for GatherRoundSource<'_> {
     }
 }
 
-/// Shared validation for gathered round slices: each in-range node arrives
-/// exactly once with exactly one round's bytes.
+/// Shared validation for gathered round entries: each in-range node arrives
+/// exactly once, with a valid representation tag — `0` followed by exactly
+/// one round's dense bytes, or `1` followed by a well-formed sparse
+/// neighbor-set (wire protocol v5).
 fn validate_round_entry(
     seen: &mut [bool],
     e: &gz_stream::wire::SketchEntry,
@@ -625,14 +636,52 @@ fn validate_round_entry(
     if std::mem::replace(slot, true) {
         return Err(GzError::Protocol(format!("node {} gathered from two shards", e.node)));
     }
-    if e.bytes.len() != expect_bytes {
-        return Err(GzError::Protocol(format!(
-            "round {round} slice for node {} is {} bytes, want {expect_bytes}",
-            e.node,
-            e.bytes.len()
-        )));
+    match e.bytes.first() {
+        Some(0) => {
+            if e.bytes.len() != 1 + expect_bytes {
+                return Err(GzError::Protocol(format!(
+                    "round {round} dense slice for node {} is {} bytes, want {}",
+                    e.node,
+                    e.bytes.len() - 1,
+                    expect_bytes
+                )));
+            }
+        }
+        Some(1) => {
+            if SparseSet::decode_wire(&e.bytes[1..]).is_none() {
+                return Err(GzError::Protocol(format!(
+                    "round {round} sparse set for node {} is malformed",
+                    e.node
+                )));
+            }
+        }
+        tag => {
+            return Err(GzError::Protocol(format!(
+                "round {round} entry for node {} has bad representation tag {tag:?}",
+                e.node
+            )));
+        }
     }
     Ok(())
+}
+
+/// Decode a *validated* v5 round entry into its round slice: tag 0 carries
+/// the dense serialization; tag 1 carries a sparse neighbor-set the
+/// coordinator replays through the batch kernel — bit-identical to the
+/// dense slice the shard would hold had the node been promoted.
+fn decode_round_entry(
+    params: &SketchParams,
+    round: usize,
+    e: &gz_stream::wire::SketchEntry,
+) -> CubeRoundSketch {
+    match e.bytes[0] {
+        0 => params.deserialize_round(round, &e.bytes[1..]),
+        1 => {
+            let set = SparseSet::decode_wire(&e.bytes[1..]).expect("entry validated");
+            set.synthesize_round(e.node, params, round)
+        }
+        tag => unreachable!("entry validated, got tag {tag}"),
+    }
 }
 
 /// Every node of the universe must have been gathered by some shard.
@@ -891,6 +940,73 @@ mod tests {
         let fresh = sys.connected_components().unwrap();
         assert_eq!(fresh[0], fresh[2]);
         assert_eq!(fresh[0], fresh[13]);
+    }
+
+    #[test]
+    fn hybrid_shards_match_dense_shards_bitwise() {
+        let n = 48u64;
+        let updates = demo_updates(n as u32, 400, 21);
+        let dense_cfg = ShardConfig::in_ram(n, 3);
+        let mut hybrid_cfg = ShardConfig::in_ram(n, 3);
+        hybrid_cfg.sketch_threshold = 4;
+        let mut dense = ShardedGraphZeppelin::in_process(dense_cfg).unwrap();
+        let mut hybrid = ShardedGraphZeppelin::in_process(hybrid_cfg).unwrap();
+        dense.ingest(updates.iter().copied()).unwrap();
+        hybrid.ingest(updates.iter().copied()).unwrap();
+        // Full gathers densify by replay: bit-identical serialized state.
+        assert_eq!(dense.gather_serialized().unwrap(), hybrid.gather_serialized().unwrap());
+        // Streaming gathers ship tagged frames (sparse sets for
+        // sub-threshold nodes); answers must still be bit-identical.
+        let a = dense.spanning_forest_streaming().unwrap();
+        let b = hybrid.spanning_forest_streaming().unwrap();
+        assert_eq!(a.labels, b.labels);
+        assert_eq!(a.forest, b.forest);
+        assert_eq!(a.rounds_used, b.rounds_used);
+    }
+
+    #[test]
+    fn hybrid_sharded_epoch_pins_across_promotions() {
+        let n = 32u64;
+        let mut config = ShardConfig::in_ram(n, 2);
+        config.sketch_threshold = 3;
+        let mut sys = ShardedGraphZeppelin::in_process(config).unwrap();
+        // Everything sparse at the seal.
+        for i in 1..4u32 {
+            sys.update(0, i, false).unwrap();
+        }
+        let epoch = sys.begin_epoch().unwrap();
+        let reference = sys.spanning_forest_streaming().unwrap();
+        // Post-seal churn pushes node 0 over τ — the pinned answer must
+        // still serve the sealed sparse sets.
+        for i in 4..12u32 {
+            sys.update(0, i, false).unwrap();
+        }
+        sys.flush().unwrap();
+        let pinned = epoch.spanning_forest().unwrap();
+        assert_eq!(pinned.labels, reference.labels);
+        assert_eq!(pinned.forest, reference.forest);
+    }
+
+    #[test]
+    fn validate_round_entry_rejects_bad_frames() {
+        use gz_stream::wire::SketchEntry;
+        let check = |bytes: Vec<u8>| {
+            let mut seen = vec![false; 4];
+            validate_round_entry(&mut seen, &SketchEntry { node: 1, bytes }, 0, 8)
+        };
+        assert!(check(vec![]).is_err(), "empty entry");
+        assert!(check(vec![7, 0, 0]).is_err(), "unknown tag");
+        assert!(check(vec![0; 8]).is_err(), "dense payload one byte short");
+        assert!(check(vec![0; 9]).is_ok(), "dense tag + 8 payload bytes");
+        assert!(check(vec![1, 2, 0, 0, 0, 5, 0, 0, 0]).is_err(), "sparse count over-claims");
+        assert!(
+            check(vec![1, 1, 0, 0, 0, 5, 0, 0, 0]).is_ok(),
+            "well-formed single-neighbor sparse set"
+        );
+        assert!(
+            check(vec![1, 2, 0, 0, 0, 5, 0, 0, 0, 5, 0, 0, 0]).is_err(),
+            "duplicate neighbors are malformed"
+        );
     }
 
     #[test]

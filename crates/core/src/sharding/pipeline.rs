@@ -47,10 +47,11 @@ impl ShardPipeline {
         let params = Arc::new(config.params());
         let owned = NodeSet::strided(config.num_nodes, index, config.num_shards);
         let store = match &config.store {
-            StoreBackend::Ram => Arc::new(SketchStore::Ram(RamStore::for_nodes(
+            StoreBackend::Ram => Arc::new(SketchStore::Ram(RamStore::for_nodes_with_threshold(
                 Arc::clone(&params),
                 config.locking,
                 owned,
+                config.sketch_threshold,
             ))),
             StoreBackend::Disk { dir, block_bytes, cache_groups } => {
                 let path = dir.join(format!(
@@ -58,12 +59,13 @@ impl ShardPipeline {
                     std::process::id(),
                     config.seed
                 ));
-                Arc::new(SketchStore::Disk(DiskStore::for_nodes(
+                Arc::new(SketchStore::Disk(DiskStore::for_nodes_with_threshold(
                     Arc::clone(&params),
                     owned,
                     path,
                     *block_bytes,
                     *cache_groups,
+                    config.sketch_threshold,
                 )?))
             }
         };
@@ -138,6 +140,11 @@ impl ShardPipeline {
     /// node's sketch — the payload of a `RoundSketches` wire reply. A
     /// disk-backed shard serves this from one contiguous column read per
     /// node group instead of faulting whole groups through its cache.
+    ///
+    /// Entries are tagged (wire protocol v5): promoted nodes ship `0` plus
+    /// the dense round slice; sub-threshold nodes ship `1` plus their exact
+    /// neighbor-set — typically far smaller than the slice — and the
+    /// coordinator replays it, so a sparse shard never densifies to answer.
     pub fn gather_round_serialized(&self, round: usize) -> Result<Vec<SketchEntry>, GzError> {
         if round >= self.params.rounds() {
             return Err(GzError::Protocol(format!(
@@ -147,8 +154,14 @@ impl ShardPipeline {
         }
         self.flush();
         let mut entries = Vec::with_capacity(self.store.node_set().len());
-        self.store.stream_round(round, &|_| true, &mut |node, sketch| {
-            let mut bytes = Vec::with_capacity(self.params.round_serialized_bytes(round));
+        for (node, set) in self.store.sparse_sets(&|_| true) {
+            let mut bytes = vec![1u8];
+            set.encode_wire(&mut bytes);
+            entries.push(SketchEntry { node, bytes });
+        }
+        self.store.stream_round_dense(round, &|_| true, &mut |node, sketch| {
+            let mut bytes = Vec::with_capacity(1 + self.params.round_serialized_bytes(round));
+            bytes.push(0u8);
             sketch.serialize_into(&mut bytes);
             entries.push(SketchEntry { node, bytes });
         })?;
@@ -187,8 +200,14 @@ impl ShardPipeline {
                 GzError::Protocol(format!("GatherRound for unknown epoch {epoch}"))
             })?;
         let mut entries = Vec::with_capacity(self.store.node_set().len());
-        self.store.stream_round_at(round, &|_| true, &overlay, &mut |node, sketch| {
-            let mut bytes = Vec::with_capacity(self.params.round_serialized_bytes(round));
+        for (node, set) in self.store.sparse_sets_at(&|_| true, &overlay) {
+            let mut bytes = vec![1u8];
+            set.encode_wire(&mut bytes);
+            entries.push(SketchEntry { node, bytes });
+        }
+        self.store.stream_round_dense_at(round, &|_| true, &overlay, &mut |node, sketch| {
+            let mut bytes = Vec::with_capacity(1 + self.params.round_serialized_bytes(round));
+            bytes.push(0u8);
             sketch.serialize_into(&mut bytes);
             entries.push(SketchEntry { node, bytes });
         })?;
@@ -206,6 +225,12 @@ impl ShardPipeline {
     /// Sketch payload bytes held by this shard (owned nodes only).
     pub fn sketch_bytes(&self) -> usize {
         self.store.sketch_bytes()
+    }
+
+    /// Representation census of this shard's store (sparse vs promoted
+    /// nodes — the hybrid-representation accounting).
+    pub fn rep_stats(&self) -> crate::store::RepStats {
+        self.store.rep_stats()
     }
 
     fn shutdown_inner(&mut self) {

@@ -1,0 +1,255 @@
+//! Exact small-set vertex representation for the hybrid store (DESIGN.md §12).
+//!
+//! Most vertices of a sparse stream never accumulate enough neighbors to
+//! justify `O(log² V)` of CubeSketch state. Below a configurable threshold
+//! `τ` the store keeps an **exact toggle set** instead: a sorted vector of
+//! non-self-loop neighbor ids, where applying an update is a membership flip
+//! (the Z₂ semantics of the characteristic vector — a second toggle of the
+//! same edge cancels the first, exactly as it would inside a sketch).
+//!
+//! The set is *authoritative*: it records the complete XOR-history of the
+//! vertex, so a sketch promoted from it by replaying the surviving indices
+//! through the batch kernel is **bit-identical** to one maintained densely
+//! from the start. Sketch state is XOR-linear in the toggled index multiset;
+//! cancelled pairs contribute nothing either way; ordering is irrelevant.
+//! That replay argument is what lets promotion happen at any time (and lets
+//! queries synthesize a single round slice on demand) without an equivalence
+//! caveat anywhere in the system.
+
+use crate::node_sketch::{update_index, CubeNodeSketch, CubeRoundSketch, SketchParams};
+
+/// Sorted exact set of a vertex's live (non-cancelled) neighbors.
+///
+/// Stored neighbor ids exclude the vertex itself (self-loops are dropped at
+/// decode time, matching the dense path's `decode_records_into`).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SparseSet {
+    neighbors: Vec<u32>,
+}
+
+impl SparseSet {
+    /// The empty set.
+    pub fn new() -> Self {
+        SparseSet { neighbors: Vec::new() }
+    }
+
+    /// Build from an arbitrary neighbor list (deduplicated, sorted).
+    pub fn from_neighbors(mut neighbors: Vec<u32>) -> Self {
+        neighbors.sort_unstable();
+        neighbors.dedup();
+        SparseSet { neighbors }
+    }
+
+    /// Flip membership of `other` (the Z₂ toggle). Returns the new live-set
+    /// size, which the store compares against `τ` to decide promotion.
+    pub fn toggle(&mut self, other: u32) -> usize {
+        match self.neighbors.binary_search(&other) {
+            Ok(i) => {
+                self.neighbors.remove(i);
+            }
+            Err(i) => self.neighbors.insert(i, other),
+        }
+        self.neighbors.len()
+    }
+
+    /// Number of live neighbors.
+    pub fn len(&self) -> usize {
+        self.neighbors.len()
+    }
+
+    /// True when no neighbor survives (all toggles cancelled).
+    pub fn is_empty(&self) -> bool {
+        self.neighbors.is_empty()
+    }
+
+    /// The sorted live neighbors.
+    pub fn neighbors(&self) -> &[u32] {
+        &self.neighbors
+    }
+
+    /// Characteristic-vector indices of the surviving toggles for vertex
+    /// `node` — the replay batch. Distinct neighbors map to distinct edge
+    /// indices, so no self-cancellation pre-pass is needed.
+    pub fn replay_indices(&self, node: u32, num_nodes: u64) -> Vec<u64> {
+        self.neighbors.iter().map(|&o| update_index(node, o, num_nodes)).collect()
+    }
+
+    /// Materialize the full node sketch this set stands for — the promotion
+    /// step. Bit-identical to an always-dense run (see module docs).
+    pub fn densify(&self, node: u32, params: &SketchParams) -> CubeNodeSketch {
+        let mut sketch = params.new_node_sketch();
+        if !self.neighbors.is_empty() {
+            let indices = self.replay_indices(node, params.num_nodes);
+            sketch.update_batch_prepared(&indices);
+        }
+        sketch
+    }
+
+    /// Synthesize just the round-`round` slice — what a streaming query
+    /// needs from an unpromoted vertex. Replays the set into a fresh sketch
+    /// of that round's family only (`O(set × 1 round)`, not `O(set × log V)`).
+    pub fn synthesize_round(
+        &self,
+        node: u32,
+        params: &SketchParams,
+        round: usize,
+    ) -> CubeRoundSketch {
+        let mut sketch = params.families[round].new_sketch();
+        if !self.neighbors.is_empty() {
+            let indices = self.replay_indices(node, params.num_nodes);
+            sketch.update_batch_prepared(&indices);
+        }
+        sketch
+    }
+
+    /// Resident bytes under the size model: 4 bytes per live neighbor.
+    pub fn resident_bytes(&self) -> usize {
+        self.neighbors.len() * 4
+    }
+
+    /// Append the wire encoding (protocol v5 sparse round entry payload):
+    /// `u32 LE` count followed by the sorted neighbors as `u32 LE`.
+    pub fn encode_wire(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&(self.neighbors.len() as u32).to_le_bytes());
+        for &n in &self.neighbors {
+            out.extend_from_slice(&n.to_le_bytes());
+        }
+    }
+
+    /// Decode a wire payload produced by [`Self::encode_wire`]. Returns
+    /// `None` on truncation, trailing bytes, unsorted or duplicate entries
+    /// (strict, like the rest of the wire layer).
+    pub fn decode_wire(bytes: &[u8]) -> Option<SparseSet> {
+        if bytes.len() < 4 {
+            return None;
+        }
+        let count = u32::from_le_bytes(bytes[0..4].try_into().unwrap()) as usize;
+        if bytes.len() != 4 + count * 4 {
+            return None;
+        }
+        let mut neighbors = Vec::with_capacity(count);
+        for i in 0..count {
+            let off = 4 + i * 4;
+            let n = u32::from_le_bytes(bytes[off..off + 4].try_into().unwrap());
+            if let Some(&last) = neighbors.last() {
+                if n <= last {
+                    return None;
+                }
+            }
+            neighbors.push(n);
+        }
+        Some(SparseSet { neighbors })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node_sketch::assert_rounds_bitwise_equal;
+    use gz_sketch::{L0Sampler, SampleResult};
+
+    fn params(v: u64) -> SketchParams {
+        SketchParams::new(v, 5, 7, 0x5EED)
+    }
+
+    #[test]
+    fn toggle_is_a_membership_flip() {
+        let mut s = SparseSet::new();
+        assert_eq!(s.toggle(7), 1);
+        assert_eq!(s.toggle(3), 2);
+        assert_eq!(s.toggle(7), 1); // second toggle cancels
+        assert_eq!(s.neighbors(), &[3]);
+        assert_eq!(s.toggle(3), 0);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn neighbors_stay_sorted() {
+        let mut s = SparseSet::new();
+        for o in [9u32, 1, 5, 30, 2] {
+            s.toggle(o);
+        }
+        assert_eq!(s.neighbors(), &[1, 2, 5, 9, 30]);
+    }
+
+    #[test]
+    fn densify_matches_incremental_dense_bitwise() {
+        // The promotion bit-identity argument, pinned: toggling a stream of
+        // (insert, delete, re-insert) updates into the set and replaying
+        // equals applying the same stream densely update by update.
+        let p = params(64);
+        let node = 6u32;
+        let stream = [(9u32, 1), (12, 1), (9, 1), (40, 1), (9, 1), (12, 1), (12, 1)];
+        let mut set = SparseSet::new();
+        let mut dense = p.new_node_sketch();
+        for (other, _) in stream {
+            set.toggle(other);
+            dense.update_signed(update_index(node, other, 64), 1);
+        }
+        let promoted = set.densify(node, &p);
+        assert_rounds_bitwise_equal(&promoted, &dense, "replay vs incremental");
+    }
+
+    #[test]
+    fn synthesize_round_matches_densify_slice() {
+        let p = params(64);
+        let mut set = SparseSet::new();
+        for o in [1u32, 17, 33, 50] {
+            set.toggle(o);
+        }
+        let full = set.densify(3, &p);
+        for r in 0..p.rounds() {
+            let slice = set.synthesize_round(3, &p, r);
+            let (mut a, mut b) = (Vec::new(), Vec::new());
+            slice.serialize_into(&mut a);
+            full.round(r).serialize_into(&mut b);
+            assert_eq!(a, b, "round {r}");
+        }
+    }
+
+    #[test]
+    fn empty_set_densifies_to_zero_sketch() {
+        let p = params(32);
+        let promoted = SparseSet::new().densify(0, &p);
+        assert_rounds_bitwise_equal(&promoted, &p.new_node_sketch(), "zero");
+        assert_eq!(SparseSet::new().synthesize_round(0, &p, 0).sample(), SampleResult::Zero);
+    }
+
+    #[test]
+    fn wire_round_trip_and_strictness() {
+        let mut s = SparseSet::new();
+        for o in [4u32, 200, 7] {
+            s.toggle(o);
+        }
+        let mut bytes = Vec::new();
+        s.encode_wire(&mut bytes);
+        assert_eq!(bytes.len(), 4 + 3 * 4);
+        assert_eq!(SparseSet::decode_wire(&bytes).unwrap(), s);
+
+        // Truncated.
+        assert!(SparseSet::decode_wire(&bytes[..bytes.len() - 1]).is_none());
+        // Trailing garbage.
+        let mut long = bytes.clone();
+        long.push(0);
+        assert!(SparseSet::decode_wire(&long).is_none());
+        // Unsorted / duplicate payloads rejected.
+        let mut bad = Vec::new();
+        SparseSet::from_neighbors(vec![1, 2]).encode_wire(&mut bad);
+        bad[4..8].copy_from_slice(&9u32.to_le_bytes()); // now [9, 2]
+        assert!(SparseSet::decode_wire(&bad).is_none());
+        let mut dup = Vec::new();
+        dup.extend_from_slice(&2u32.to_le_bytes());
+        dup.extend_from_slice(&5u32.to_le_bytes());
+        dup.extend_from_slice(&5u32.to_le_bytes());
+        assert!(SparseSet::decode_wire(&dup).is_none());
+    }
+
+    #[test]
+    fn resident_bytes_counts_live_entries() {
+        let mut s = SparseSet::new();
+        s.toggle(1);
+        s.toggle(2);
+        s.toggle(1);
+        assert_eq!(s.resident_bytes(), 4);
+    }
+}

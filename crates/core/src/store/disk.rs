@@ -18,10 +18,12 @@
 //! slices sequentially and prefetches ahead on a background thread.
 
 use crate::node_sketch::{CubeNodeSketch, CubeRoundSketch, NodeSketch, SketchParams};
+use crate::sparse::SparseSet;
 use crate::store::epoch::{EpochOverlay, EpochRegistry};
-use crate::store::NodeSet;
+use crate::store::{NodeSet, RepStats};
 use gz_gutters::{IoStats, WorkQueue};
 use parking_lot::Mutex;
+use std::collections::HashSet;
 use std::fs::File;
 use std::os::unix::fs::FileExt;
 use std::path::PathBuf;
@@ -61,6 +63,14 @@ pub struct DiskStore {
     /// of a cached group (a clean group's value equals the file's, which is
     /// the sealed value for every epoch still lacking the group).
     epochs: EpochRegistry,
+    /// Promotion threshold τ: a node's exact toggle-set is replayed into a
+    /// dense sketch once it exceeds τ live neighbors. 0 = always dense.
+    threshold: u32,
+    /// Per-slot sparse representation; `None` means the slot is dense
+    /// (promoted, or τ = 0). Sparse slots' file bytes stay all-zero and are
+    /// never authoritative — readers must skip them. Lock order: this table
+    /// before the cache lock (promotion holds both).
+    sparse: Mutex<Vec<Option<SparseSet>>>,
 }
 
 impl DiskStore {
@@ -86,6 +96,22 @@ impl DiskStore {
         block_bytes: usize,
         cache_groups: usize,
     ) -> std::io::Result<Self> {
+        Self::for_nodes_with_threshold(params, node_set, path, block_bytes, cache_groups, 0)
+    }
+
+    /// [`Self::for_nodes`] with a promotion threshold τ: every slot starts
+    /// as a compact exact toggle-set and is replayed into a dense sketch in
+    /// the file once it exceeds τ live neighbors. τ = 0 keeps the store
+    /// always-dense (bit-identical behavior and I/O counts to before the
+    /// hybrid representation existed).
+    pub fn for_nodes_with_threshold(
+        params: Arc<SketchParams>,
+        node_set: NodeSet,
+        path: PathBuf,
+        block_bytes: usize,
+        cache_groups: usize,
+        threshold: u32,
+    ) -> std::io::Result<Self> {
         let node_bytes = params.node_sketch_serialized_bytes();
         let num_slots = node_set.len() as u64;
         let group_size =
@@ -100,6 +126,11 @@ impl DiskStore {
             .open(&path)?;
         file.set_len(num_groups as u64 * group_size as u64 * node_bytes as u64)?;
 
+        let sparse = if threshold == 0 {
+            vec![None; num_slots as usize]
+        } else {
+            (0..num_slots).map(|_| Some(SparseSet::new())).collect()
+        };
         Ok(DiskStore {
             params,
             node_set,
@@ -111,6 +142,8 @@ impl DiskStore {
             cache: Mutex::new(CacheState { groups: std::collections::HashMap::new(), clock: 0 }),
             io: Arc::new(IoStats::new()),
             epochs: EpochRegistry::new(),
+            threshold,
+            sparse: Mutex::new(sparse),
         })
     }
 
@@ -236,20 +269,23 @@ impl DiskStore {
         self.read_round_slice_counted(group, round, &self.io)
     }
 
-    /// Deliver `group`'s live round-`round` slices out of a raw file slice.
+    /// Deliver `group`'s live, dense round-`round` slices out of a raw file
+    /// slice. Slots in `skip` (sparse at the relevant instant) are never
+    /// emitted: their file bytes are all-zero padding, not their state.
     fn emit_group_slice(
         &self,
         group: u32,
         round: usize,
         bytes: &[u8],
         live: &(dyn Fn(u32) -> bool + Sync),
+        skip: &HashSet<usize>,
         sink: &mut dyn FnMut(u32, &CubeRoundSketch),
     ) {
         let round_bytes = self.params.round_serialized_bytes(round);
         let start = (group * self.group_size) as usize;
         for i in 0..self.nodes_in_group(group) as usize {
             let node = self.node_set.node(start + i);
-            if !live(node) {
+            if !live(node) || skip.contains(&(start + i)) {
                 continue;
             }
             let sketch = self
@@ -259,33 +295,70 @@ impl DiskStore {
         }
     }
 
-    /// Deliver `group`'s live round-`round` slices out of a sealed
-    /// pre-image (an [`EpochOverlay`] capture, held in RAM).
+    /// Deliver `group`'s live, dense round-`round` slices out of a sealed
+    /// pre-image (an [`EpochOverlay`] capture, held in RAM). Slots in
+    /// `skip` were sparse at the seal: their pre-image entries hold only
+    /// zeros and their sealed state is served by the sparse pass instead.
     fn emit_group_overlay(
         &self,
         group: u32,
         round: usize,
         pre: &[CubeNodeSketch],
         live: &(dyn Fn(u32) -> bool + Sync),
+        skip: &HashSet<usize>,
         sink: &mut dyn FnMut(u32, &CubeRoundSketch),
     ) {
         let start = (group * self.group_size) as usize;
         for (i, sealed) in pre.iter().enumerate().take(self.nodes_in_group(group) as usize) {
             let node = self.node_set.node(start + i);
-            if !live(node) {
+            if !live(node) || skip.contains(&(start + i)) {
                 continue;
             }
             sink(node, sealed.round(round));
         }
     }
 
-    /// The node groups a round stream must visit: those with at least one
-    /// live node, in slot order.
-    fn wanted_groups(&self, live: &(dyn Fn(u32) -> bool + Sync)) -> Vec<u32> {
+    /// Slots currently holding a sparse representation. The snapshot is
+    /// stable for the live query paths (quiesced ingestion), and cheap —
+    /// empty — at τ = 0.
+    fn sparse_slots(&self) -> HashSet<usize> {
+        if self.threshold == 0 {
+            return HashSet::new();
+        }
+        let table = self.sparse.lock();
+        table.iter().enumerate().filter(|(_, s)| s.is_some()).map(|(slot, _)| slot).collect()
+    }
+
+    /// Slots that were sparse when `overlay`'s epoch was sealed: the union
+    /// of overlay-captured sparse pre-images and still-live sparse slots.
+    /// Promotion is monotone and every post-seal sparse mutation captures
+    /// its pre-image *under the table lock* before touching the set, so
+    /// taking that same lock here makes the union exactly "sparse at seal"
+    /// — a stable set, safe to snapshot once per round stream even while
+    /// ingestion keeps promoting.
+    fn sealed_sparse_slots(&self, overlay: &EpochOverlay) -> HashSet<usize> {
+        if self.threshold == 0 {
+            return HashSet::new();
+        }
+        let table = self.sparse.lock();
+        (0..table.len())
+            .filter(|&slot| table[slot].is_some() || overlay.get_sparse(slot as u32).is_some())
+            .collect()
+    }
+
+    /// The node groups a dense round stream must visit: those with at
+    /// least one live node outside `skip`, in slot order. All-sparse
+    /// groups are never read — their file bytes are untouched zeros.
+    fn wanted_groups(
+        &self,
+        live: &(dyn Fn(u32) -> bool + Sync),
+        skip: &HashSet<usize>,
+    ) -> Vec<u32> {
         (0..self.num_groups())
             .filter(|&g| {
                 let start = (g * self.group_size) as usize;
-                (0..self.nodes_in_group(g) as usize).any(|i| live(self.node_set.node(start + i)))
+                (0..self.nodes_in_group(g) as usize)
+                    .any(|i| !skip.contains(&(start + i)) && live(self.node_set.node(start + i)))
             })
             .collect()
     }
@@ -337,8 +410,44 @@ impl DiskStore {
     }
 
     /// Apply a batch of encoded records to `node` (which must be owned).
+    ///
+    /// While the node is sparse the batch only toggles its exact
+    /// neighbor-set — no group fault, no file traffic. Crossing τ promotes:
+    /// the set is replayed through the batch kernel into a dense sketch
+    /// (bit-identical to having been dense all along, because sketch state
+    /// is XOR-linear in the toggled indices) and written into the node's
+    /// group slot. The epoch pre-image is captured under the table lock
+    /// *before* the first toggle, so sealed readers see the pre-batch set.
     pub fn apply_batch(&self, node: u32, records: &[u32]) {
         let slot = self.node_set.slot(node);
+        if self.threshold > 0 {
+            let mut table = self.sparse.lock();
+            if let Some(set) = table[slot].as_mut() {
+                self.epochs.capture_sparse(slot as u32, &mut || set.clone());
+                let mut len = set.len();
+                for &rec in records {
+                    let (other, _) = crate::node_sketch::decode_other(rec);
+                    if other != node {
+                        len = set.toggle(other);
+                    }
+                }
+                if len > self.threshold as usize {
+                    let dense = set.densify(node, &self.params);
+                    table[slot] = None;
+                    let group = self.group_of_slot(slot);
+                    let local = slot % self.group_size as usize;
+                    self.io.record_promotion();
+                    // Table lock held across the group write: readers that
+                    // saw the slot leave the table are ordered after the
+                    // capture above, so the epoch protocol stays airtight.
+                    self.with_group(group, |sketches| {
+                        sketches[local] = dense;
+                    })
+                    .expect("disk store promotion failed");
+                }
+                return;
+            }
+        }
         let group = self.group_of_slot(slot);
         let local = slot % self.group_size as usize;
         let num_nodes = self.params.num_nodes;
@@ -378,7 +487,8 @@ impl DiskStore {
         sink: &mut dyn FnMut(u32, &CubeRoundSketch),
     ) -> std::io::Result<()> {
         self.flush()?;
-        let wanted = self.wanted_groups(live);
+        let skip = self.sparse_slots();
+        let wanted = self.wanted_groups(live, &skip);
 
         // Bounded prefetch pipeline over the generic work queue: the reader
         // blocks once `cache_capacity` slices are in flight, so resident
@@ -418,7 +528,7 @@ impl DiskStore {
                         result = Err(e);
                         break;
                     }
-                    Ok(bytes) => self.emit_group_slice(group, round, &bytes, live, sink),
+                    Ok(bytes) => self.emit_group_slice(group, round, &bytes, live, &skip, sink),
                 }
             }
             // The close guard unblocks the prefetcher if the fold bailed
@@ -443,7 +553,8 @@ impl DiskStore {
         overlay: &EpochOverlay,
         sink: &mut dyn FnMut(u32, &CubeRoundSketch),
     ) -> std::io::Result<()> {
-        let wanted = self.wanted_groups(live);
+        let skip = self.sealed_sparse_slots(overlay);
+        let wanted = self.wanted_groups(live, &skip);
         // `None` in the pipeline = "serve from the overlay" (captures are
         // never removed, so a hit observed at prefetch time is stable).
         let queue: WorkQueue<(u32, std::io::Result<Option<Vec<u8>>>)> =
@@ -481,11 +592,11 @@ impl DiskStore {
                         break;
                     }
                     Ok(bytes) => match overlay.get(group) {
-                        Some(pre) => self.emit_group_overlay(group, round, &pre, live, sink),
+                        Some(pre) => self.emit_group_overlay(group, round, &pre, live, &skip, sink),
                         None => {
                             let bytes =
                                 bytes.expect("prefetcher reads any group the overlay lacks");
-                            self.emit_group_slice(group, round, &bytes, live, sink);
+                            self.emit_group_slice(group, round, &bytes, live, &skip, sink);
                         }
                     },
                 }
@@ -505,7 +616,8 @@ impl DiskStore {
         pool: &gz_gutters::WorkerPool,
         sinks: &[parking_lot::Mutex<crate::boruvka::RoundSink<'_, CubeRoundSketch>>],
     ) -> std::io::Result<()> {
-        let wanted = self.wanted_groups(live);
+        let skip = self.sealed_sparse_slots(overlay);
+        let wanted = self.wanted_groups(live, &skip);
         let next = std::sync::atomic::AtomicUsize::new(0);
         let failed = std::sync::atomic::AtomicBool::new(false);
         let first_error: Mutex<Option<std::io::Error>> = Mutex::new(None);
@@ -519,7 +631,9 @@ impl DiskStore {
                 let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                 let Some(&group) = wanted.get(i) else { break };
                 if let Some(pre) = overlay.get(group) {
-                    self.emit_group_overlay(group, round, &pre, live, &mut |n, s| sink.fold(n, s));
+                    self.emit_group_overlay(group, round, &pre, live, &skip, &mut |n, s| {
+                        sink.fold(n, s)
+                    });
                     continue;
                 }
                 match self.read_round_slice_counted(group, round, &local_io) {
@@ -533,13 +647,15 @@ impl DiskStore {
                     }
                     Ok(bytes) => match overlay.get(group) {
                         Some(pre) => {
-                            self.emit_group_overlay(group, round, &pre, live, &mut |n, s| {
+                            self.emit_group_overlay(group, round, &pre, live, &skip, &mut |n, s| {
                                 sink.fold(n, s)
                             })
                         }
-                        None => self.emit_group_slice(group, round, &bytes, live, &mut |n, s| {
-                            sink.fold(n, s)
-                        }),
+                        None => {
+                            self.emit_group_slice(group, round, &bytes, live, &skip, &mut |n, s| {
+                                sink.fold(n, s)
+                            })
+                        }
                     },
                 }
             }
@@ -571,7 +687,8 @@ impl DiskStore {
         sinks: &[parking_lot::Mutex<crate::boruvka::RoundSink<'_, CubeRoundSketch>>],
     ) -> std::io::Result<()> {
         self.flush()?;
-        let wanted = self.wanted_groups(live);
+        let skip = self.sparse_slots();
+        let wanted = self.wanted_groups(live, &skip);
 
         let next = std::sync::atomic::AtomicUsize::new(0);
         let failed = std::sync::atomic::AtomicBool::new(false);
@@ -594,8 +711,11 @@ impl DiskStore {
                         }
                         break;
                     }
-                    Ok(bytes) => self
-                        .emit_group_slice(group, round, &bytes, live, &mut |n, s| sink.fold(n, s)),
+                    Ok(bytes) => {
+                        self.emit_group_slice(group, round, &bytes, live, &skip, &mut |n, s| {
+                            sink.fold(n, s)
+                        })
+                    }
                 }
             }
             self.io.merge_from(&local_io);
@@ -634,6 +754,16 @@ impl DiskStore {
                 out.push(Some(s));
             }
         }
+        // Sparse slots' file/cached bytes are zeros; their true state is the
+        // toggle-set, densified by replay (bit-identical to always-dense).
+        if self.threshold > 0 {
+            let table = self.sparse.lock();
+            for (slot, set) in table.iter().enumerate() {
+                if let Some(set) = set {
+                    out[slot] = Some(set.densify(self.node_set.node(slot), &self.params));
+                }
+            }
+        }
         out
     }
 
@@ -647,8 +777,19 @@ impl DiskStore {
     }
 
     /// Replace every node sketch (checkpoint restore), in slot order.
+    /// Sparse slots are retired to dense first (checkpoints store dense
+    /// state); their pre-images are captured for any sealed epoch.
     pub fn load_all(&self, sketches: Vec<CubeNodeSketch>) {
         assert_eq!(sketches.len(), self.node_set.len());
+        if self.threshold > 0 {
+            let mut table = self.sparse.lock();
+            for slot in 0..table.len() {
+                if let Some(set) = table[slot].as_mut() {
+                    self.epochs.capture_sparse(slot as u32, &mut || set.clone());
+                    table[slot] = None;
+                }
+            }
+        }
         for (slot, sketch) in sketches.into_iter().enumerate() {
             let group = self.group_of_slot(slot);
             let local = slot % self.group_size as usize;
@@ -662,6 +803,69 @@ impl DiskStore {
     /// Total sketch payload bytes (the on-disk footprint, owned nodes only).
     pub fn sketch_bytes(&self) -> usize {
         self.params.node_sketch_bytes() * self.node_set.len()
+    }
+
+    /// Clone the live sparse sets of `live` nodes, for the dispatch layer's
+    /// sparse synthesis pass. Empty at τ = 0 without touching the table.
+    pub fn sparse_sets(&self, live: &(dyn Fn(u32) -> bool + Sync)) -> Vec<(u32, SparseSet)> {
+        if self.threshold == 0 {
+            return Vec::new();
+        }
+        let table = self.sparse.lock();
+        table
+            .iter()
+            .enumerate()
+            .filter_map(|(slot, set)| {
+                let set = set.as_ref()?;
+                let node = self.node_set.node(slot);
+                live(node).then(|| (node, set.clone()))
+            })
+            .collect()
+    }
+
+    /// [`Self::sparse_sets`] as sealed at `overlay`'s epoch: an overlay
+    /// pre-image outranks the live set (the slot toggled or promoted after
+    /// the seal); a live sparse slot with no capture is unchanged since the
+    /// seal. Taken under the table lock, so a concurrent promotion is seen
+    /// either as still-live or as its (mandatory) capture — never neither.
+    pub fn sparse_sets_at(
+        &self,
+        live: &(dyn Fn(u32) -> bool + Sync),
+        overlay: &EpochOverlay,
+    ) -> Vec<(u32, SparseSet)> {
+        if self.threshold == 0 {
+            return Vec::new();
+        }
+        let table = self.sparse.lock();
+        (0..table.len())
+            .filter_map(|slot| {
+                let node = self.node_set.node(slot);
+                if !live(node) {
+                    return None;
+                }
+                if let Some(pre) = overlay.get_sparse(slot as u32) {
+                    return Some((node, (*pre).clone()));
+                }
+                table[slot].as_ref().map(|set| (node, set.clone()))
+            })
+            .collect()
+    }
+
+    /// Representation census: promoted vs sparse slot counts and total
+    /// sparse entries (for memory accounting and `--stats` reporting).
+    pub fn rep_stats(&self) -> RepStats {
+        let table = self.sparse.lock();
+        let mut stats = RepStats { promoted: 0, sparse: 0, sparse_entries: 0 };
+        for set in table.iter() {
+            match set {
+                Some(set) => {
+                    stats.sparse += 1;
+                    stats.sparse_entries += set.len();
+                }
+                None => stats.promoted += 1,
+            }
+        }
+        stats
     }
 }
 
@@ -950,5 +1154,116 @@ mod tests {
                 );
             }
         }
+    }
+
+    fn make_hybrid(
+        name: &str,
+        num_nodes: u64,
+        block_bytes: usize,
+        cache: usize,
+        threshold: u32,
+    ) -> (DiskStore, gz_testutil::TempPath) {
+        let params = Arc::new(SketchParams::new(num_nodes, 3, 7, 7));
+        let path = tmp(name);
+        let store = DiskStore::for_nodes_with_threshold(
+            params,
+            NodeSet::all(num_nodes),
+            path.to_path_buf(),
+            block_bytes,
+            cache,
+            threshold,
+        )
+        .unwrap();
+        (store, path)
+    }
+
+    #[test]
+    fn sparse_nodes_generate_no_io() {
+        // Below τ every batch is a pure toggle-set mutation: no group ever
+        // faults, the file is never touched.
+        let (s, _t) = make_hybrid("sparse-noio", 16, 64, 1, 8);
+        for node in 0..16u32 {
+            s.apply_batch(node, &[encode_other((node + 1) % 16, false)]);
+            s.apply_batch(node, &[encode_other((node + 2) % 16, false)]);
+        }
+        assert_eq!(s.io_stats().total_ops(), 0, "sparse ingestion must be I/O-free");
+        let stats = s.rep_stats();
+        assert_eq!(stats.sparse, 16);
+        assert_eq!(stats.promoted, 0);
+        assert_eq!(stats.sparse_entries, 32);
+        assert_eq!(s.io_stats().sparse_promotions(), 0);
+    }
+
+    #[test]
+    fn hybrid_snapshot_matches_dense_bitwise_with_promotion() {
+        // Same toggle stream into a τ=3 hybrid store and a τ=0 dense store,
+        // with a cache of 1 forcing evictions; node 0 crosses τ mid-stream
+        // (insert/delete churn included), the rest stay sparse. Snapshots
+        // must be bit-identical.
+        let (hybrid, _t1) = make_hybrid("hyb-vs-dense", 12, 64, 1, 3);
+        let (dense, _t2) = make("hyb-oracle", 12, 64, 1);
+        let stream: Vec<(u32, u32, bool)> = vec![
+            (0, 3, false),
+            (0, 5, false),
+            (1, 2, false),
+            (0, 5, true),
+            (0, 7, false),
+            (0, 5, false),
+            (0, 9, false), // node 0 now has 4 live neighbors > τ=3: promoted
+            (0, 11, false),
+            (2, 6, false),
+            (0, 3, true),
+        ];
+        for &(a, b, del) in &stream {
+            hybrid.apply_batch(a, &[encode_other(b, del)]);
+            dense.apply_batch(a, &[encode_other(b, del)]);
+        }
+        assert_eq!(hybrid.io_stats().sparse_promotions(), 1);
+        let stats = hybrid.rep_stats();
+        assert_eq!(stats.promoted, 1);
+        assert_eq!(stats.sparse, 11);
+        let (sh, sd) = (hybrid.snapshot(), dense.snapshot());
+        for (slot, (h, d)) in sh.iter().zip(sd.iter()).enumerate() {
+            crate::node_sketch::assert_rounds_bitwise_equal(
+                h.as_ref().unwrap(),
+                d.as_ref().unwrap(),
+                &format!("slot {slot}"),
+            );
+        }
+    }
+
+    #[test]
+    fn stream_round_reads_only_promoted_groups() {
+        // One node per group; only node 4 crosses τ. The dense round stream
+        // must emit node 4 alone and read exactly its group.
+        let (s, _t) = make_hybrid("stream-promoted", 16, 64, 2, 2);
+        for other in [1u32, 2, 3] {
+            s.apply_batch(4, &[encode_other(other, false)]);
+        }
+        s.apply_batch(7, &[encode_other(1, false)]); // stays sparse
+        assert_eq!(s.io_stats().sparse_promotions(), 1);
+        let before = s.io_stats().reads();
+        let mut seen = Vec::new();
+        s.stream_round(0, &|_| true, &mut |node, _| seen.push(node)).unwrap();
+        assert_eq!(seen, vec![4], "sparse slots must not be emitted by the dense stream");
+        assert_eq!(s.io_stats().reads() - before, 1, "all-sparse groups must not be read");
+        // The dispatch layer serves sparse nodes; check the raw sets here.
+        let sets = s.sparse_sets(&|_| true);
+        assert!(sets.iter().any(|(n, set)| *n == 7 && set.neighbors() == [1]));
+        assert!(!sets.iter().any(|(n, _)| *n == 4), "promoted node must leave the table");
+    }
+
+    #[test]
+    fn load_all_retires_sparse_slots() {
+        let (s, _t) = make_hybrid("load-retire", 8, 1 << 20, 4, 4);
+        s.apply_batch(0, &[encode_other(3, false)]);
+        let replacement = s.snapshot().into_iter().map(Option::unwrap).collect::<Vec<_>>();
+        s.load_all(replacement);
+        let stats = s.rep_stats();
+        assert_eq!(stats.sparse, 0, "restore must leave every slot dense");
+        assert_eq!(
+            s.snapshot()[0].as_ref().unwrap().sample_round(0),
+            SampleResult::Index(update_index(0, 3, 8))
+        );
     }
 }

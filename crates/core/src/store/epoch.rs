@@ -22,6 +22,7 @@
 use crate::boruvka::{boruvka_rounds_parallel, BoruvkaOutcome, RoundSink};
 use crate::error::GzError;
 use crate::node_sketch::{CubeNodeSketch, CubeRoundSketch};
+use crate::sparse::SparseSet;
 use crate::store::{SketchSource, SketchStore};
 use gz_gutters::WorkerPool;
 use parking_lot::Mutex;
@@ -36,11 +37,18 @@ use std::sync::{Arc, Weak};
 /// [`SketchEpoch`] holding it drops.
 pub struct EpochOverlay {
     map: Mutex<HashMap<u32, Arc<Vec<CubeNodeSketch>>>>,
+    /// Sealed pre-images of vertices that were *sparse* (exact toggle sets,
+    /// DESIGN.md §12) at mutation time, keyed by **slot**. A slot captured
+    /// here outranks any dense group pre-image covering the same slot: a
+    /// sparse vertex has no meaningful dense bytes (its file/slot region is
+    /// all-zero by construction), so the dense capture can only hold
+    /// placeholder zeros or post-promotion state.
+    sparse: Mutex<HashMap<u32, Arc<SparseSet>>>,
 }
 
 impl EpochOverlay {
     fn new() -> Self {
-        EpochOverlay { map: Mutex::new(HashMap::new()) }
+        EpochOverlay { map: Mutex::new(HashMap::new()), sparse: Mutex::new(HashMap::new()) }
     }
 
     /// The sealed pre-image of `group`, if ingestion dirtied it after the
@@ -49,14 +57,30 @@ impl EpochOverlay {
         self.map.lock().get(&group).cloned()
     }
 
-    /// Node groups captured so far.
+    /// The sealed sparse pre-image of `slot`, if the vertex was sparse at
+    /// seal and mutated (or promoted) afterwards.
+    pub(crate) fn get_sparse(&self, slot: u32) -> Option<Arc<SparseSet>> {
+        self.sparse.lock().get(&slot).cloned()
+    }
+
+    /// Node groups captured so far (dense captures only).
     pub fn captured_groups(&self) -> usize {
         self.map.lock().len()
+    }
+
+    /// Sparse vertices captured so far.
+    pub fn captured_sparse(&self) -> usize {
+        self.sparse.lock().len()
     }
 
     /// Node sketches captured so far (groups × nodes per group).
     pub(crate) fn captured_sketches(&self) -> usize {
         self.map.lock().values().map(|g| g.len()).sum()
+    }
+
+    /// Resident bytes of the captured sparse pre-images.
+    pub(crate) fn captured_sparse_bytes(&self) -> usize {
+        self.sparse.lock().values().map(|s| s.resident_bytes()).sum()
     }
 }
 
@@ -123,6 +147,31 @@ impl EpochRegistry {
             }
         }
     }
+
+    /// Sparse twin of [`Self::capture_group`]: called right before the
+    /// first mutation (toggle or promotion) of a *sparse* vertex at `slot`
+    /// since the seal. The caller must hold the lock that guards the
+    /// vertex's sparse state, so readers checking overlay-then-live under
+    /// the same lock see either the pre-image or the unmutated live set.
+    pub(crate) fn capture_sparse(&self, slot: u32, make: &mut dyn FnMut() -> SparseSet) {
+        if !self.maybe_live.load(Ordering::Acquire) {
+            return;
+        }
+        let mut inner = self.inner.lock();
+        inner.live.retain(|(_, weak)| weak.strong_count() > 0);
+        if inner.live.is_empty() {
+            self.maybe_live.store(false, Ordering::Release);
+            return;
+        }
+        let mut pre_image: Option<Arc<SparseSet>> = None;
+        for (_, weak) in &inner.live {
+            let Some(overlay) = weak.upgrade() else { continue };
+            let mut map = overlay.sparse.lock();
+            if let std::collections::hash_map::Entry::Vacant(entry) = map.entry(slot) {
+                entry.insert(Arc::clone(pre_image.get_or_insert_with(|| Arc::new(make()))));
+            }
+        }
+    }
 }
 
 /// A handle pinning one sealed generation of a [`SketchStore`]: queries
@@ -171,6 +220,7 @@ impl SketchEpoch {
     /// until ingestion dirties something the epoch covers.
     pub fn overlay_resident_bytes(&self) -> usize {
         self.overlay.captured_sketches() * self.store.params().node_sketch_bytes()
+            + self.overlay.captured_sparse_bytes()
     }
 
     /// Compute a spanning forest of the sealed generation — bit-identical
@@ -181,6 +231,17 @@ impl SketchEpoch {
         let (num_nodes, rounds) = (params.num_nodes, params.rounds());
         let mut source = EpochRoundSource::new(&self.store, &self.overlay);
         boruvka_rounds_parallel(&mut source, num_nodes, rounds, self.query_threads)
+    }
+
+    /// [`Self::spanning_forest`] folding with a caller-provided pool — the
+    /// hot path for repeated staleness-bounded queries, which reuse
+    /// [`crate::GraphZeppelin`]'s cached pool instead of spawning one per
+    /// query.
+    pub fn spanning_forest_with_pool(&self, pool: &WorkerPool) -> Result<BoruvkaOutcome, GzError> {
+        let params = self.store.params();
+        let (num_nodes, rounds) = (params.num_nodes, params.rounds());
+        let mut source = EpochRoundSource::new(&self.store, &self.overlay);
+        crate::boruvka::boruvka_rounds_with_pool(&mut source, num_nodes, rounds, pool)
     }
 }
 

@@ -22,10 +22,31 @@ use crate::boruvka::RoundSink;
 use crate::config::{GzConfig, StoreBackend};
 use crate::error::GzError;
 use crate::node_sketch::{CubeNodeSketch, CubeRoundSketch, NodeSketch, SketchParams};
+use crate::sparse::SparseSet;
 use gz_gutters::{IoStats, WorkerPool};
 use gz_sketch::L0Sampler;
 use parking_lot::Mutex;
 use std::sync::Arc;
+
+/// Census of the hybrid representation (DESIGN.md §12): how many owned
+/// vertices are promoted (dense sketch stacks) vs still sparse (exact
+/// toggle sets), and the total live entries across the sparse sets.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RepStats {
+    /// Vertices holding a dense sketch stack.
+    pub promoted: usize,
+    /// Vertices still represented by an exact toggle set.
+    pub sparse: usize,
+    /// Live neighbor entries summed across all sparse sets.
+    pub sparse_entries: usize,
+}
+
+impl RepStats {
+    /// Resident bytes of the sparse side (4 bytes per live entry).
+    pub fn sparse_bytes(&self) -> usize {
+        self.sparse_entries * 4
+    }
+}
 
 /// The set of vertices a store holds sketches for, with a dense slot
 /// numbering.
@@ -106,16 +127,24 @@ pub enum SketchStore {
 impl SketchStore {
     /// Build the store selected by `config`.
     pub fn build(config: &GzConfig, params: Arc<SketchParams>) -> Result<Self, GzError> {
+        let node_set = NodeSet::all(params.num_nodes);
         match &config.store {
-            StoreBackend::Ram => Ok(SketchStore::Ram(ram::RamStore::new(params, config.locking))),
+            StoreBackend::Ram => Ok(SketchStore::Ram(ram::RamStore::for_nodes_with_threshold(
+                params,
+                config.locking,
+                node_set,
+                config.sketch_threshold,
+            ))),
             StoreBackend::Disk { dir, block_bytes, cache_groups } => {
                 let path =
                     dir.join(format!("gz_sketches_{}_{}.bin", std::process::id(), config.seed));
-                Ok(SketchStore::Disk(disk::DiskStore::new(
+                Ok(SketchStore::Disk(disk::DiskStore::for_nodes_with_threshold(
                     params,
+                    node_set,
                     path,
                     *block_bytes,
                     *cache_groups,
+                    config.sketch_threshold,
                 )?))
             }
         }
@@ -191,8 +220,25 @@ impl SketchStore {
     /// Stream the round-`round` slice of every owned, still-`live` node
     /// into `sink` — the storage-friendly query path. Disk stores read one
     /// contiguous round slice per group with background prefetch; RAM
-    /// stores serve borrowed slices under per-node locks.
+    /// stores serve borrowed slices under per-node locks. Sparse vertices
+    /// (hybrid representation) have their slices synthesized on demand by
+    /// replaying their exact sets — bit-identical to dense state, so the
+    /// query engine cannot tell the difference.
     pub fn stream_round(
+        &self,
+        round: usize,
+        live: &(dyn Fn(u32) -> bool + Sync),
+        sink: &mut dyn FnMut(u32, &CubeRoundSketch),
+    ) -> Result<(), GzError> {
+        self.synthesize_sparse(round, self.sparse_sets(live), sink);
+        self.stream_round_dense(round, live, sink)
+    }
+
+    /// The dense half of [`Self::stream_round`]: resident sketch slices
+    /// only, sparse vertices skipped. Used directly by the sharded gather
+    /// path, which ships sparse sets in their exact form (wire tag 1)
+    /// instead of synthesizing locally.
+    pub fn stream_round_dense(
         &self,
         round: usize,
         live: &(dyn Fn(u32) -> bool + Sync),
@@ -207,11 +253,36 @@ impl SketchStore {
         }
     }
 
+    /// Synthesize round-`round` slices for cloned-out sparse sets and emit
+    /// them into `sink` (counted in [`IoStats::rounds_synthesized`] for
+    /// disk stores).
+    fn synthesize_sparse(
+        &self,
+        round: usize,
+        sets: Vec<(u32, SparseSet)>,
+        sink: &mut dyn FnMut(u32, &CubeRoundSketch),
+    ) {
+        if sets.is_empty() {
+            return;
+        }
+        if let Some(io) = self.io_stats() {
+            io.record_synthesized(sets.len() as u64);
+        }
+        let params = self.params();
+        for (node, set) in sets {
+            let slice = set.synthesize_round(node, params, round);
+            sink(node, &slice);
+        }
+    }
+
     /// Stream the round-`round` slice of every owned, still-`live` node
     /// with the delivery partitioned across the pool's workers, each
     /// folding into its own sink. RAM stores partition by slot range; disk
     /// stores have workers claim node groups from a shared cursor, so up to
-    /// `sinks.len()` positioned group reads are in flight at once.
+    /// `sinks.len()` positioned group reads are in flight at once. Sparse
+    /// vertices are synthesized serially into the first sink before the
+    /// dense fan-out (delivery order cannot change results — folding is
+    /// XOR).
     pub fn stream_round_parallel(
         &self,
         round: usize,
@@ -219,6 +290,11 @@ impl SketchStore {
         pool: &WorkerPool,
         sinks: &[Mutex<RoundSink<'_, CubeRoundSketch>>],
     ) -> Result<(), GzError> {
+        let sets = self.sparse_sets(live);
+        {
+            let mut sink0 = sinks[0].lock();
+            self.synthesize_sparse(round, sets, &mut |node, slice| sink0.fold(node, slice));
+        }
         match self {
             SketchStore::Ram(s) => {
                 s.stream_round_parallel(round, live, pool, sinks);
@@ -252,6 +328,19 @@ impl SketchStore {
         overlay: &EpochOverlay,
         sink: &mut dyn FnMut(u32, &CubeRoundSketch),
     ) -> Result<(), GzError> {
+        self.synthesize_sparse(round, self.sparse_sets_at(live, overlay), sink);
+        self.stream_round_dense_at(round, live, overlay, sink)
+    }
+
+    /// The dense half of [`Self::stream_round_at`] — sealed-sparse
+    /// vertices skipped (see [`Self::stream_round_dense`]).
+    pub fn stream_round_dense_at(
+        &self,
+        round: usize,
+        live: &(dyn Fn(u32) -> bool + Sync),
+        overlay: &EpochOverlay,
+        sink: &mut dyn FnMut(u32, &CubeRoundSketch),
+    ) -> Result<(), GzError> {
         match self {
             SketchStore::Ram(s) => {
                 s.stream_round_at(round, live, overlay, sink);
@@ -271,6 +360,11 @@ impl SketchStore {
         pool: &WorkerPool,
         sinks: &[Mutex<RoundSink<'_, CubeRoundSketch>>],
     ) -> Result<(), GzError> {
+        let sets = self.sparse_sets_at(live, overlay);
+        {
+            let mut sink0 = sinks[0].lock();
+            self.synthesize_sparse(round, sets, &mut |node, slice| sink0.fold(node, slice));
+        }
         match self {
             SketchStore::Ram(s) => {
                 s.stream_round_parallel_at(round, live, overlay, pool, sinks);
@@ -279,6 +373,37 @@ impl SketchStore {
             SketchStore::Disk(s) => {
                 Ok(s.stream_round_parallel_at(round, live, overlay, pool, sinks)?)
             }
+        }
+    }
+
+    /// Clone out the live sparse sets of still-`live` vertices (hybrid
+    /// representation; empty for always-dense stores).
+    pub fn sparse_sets(&self, live: &(dyn Fn(u32) -> bool + Sync)) -> Vec<(u32, SparseSet)> {
+        match self {
+            SketchStore::Ram(s) => s.sparse_sets(live),
+            SketchStore::Disk(s) => s.sparse_sets(live),
+        }
+    }
+
+    /// The sealed sparse view of an epoch: every vertex that was sparse at
+    /// the seal, with its sealed set (overlay pre-image if mutated or
+    /// promoted post-seal, live set otherwise).
+    pub fn sparse_sets_at(
+        &self,
+        live: &(dyn Fn(u32) -> bool + Sync),
+        overlay: &EpochOverlay,
+    ) -> Vec<(u32, SparseSet)> {
+        match self {
+            SketchStore::Ram(s) => s.sparse_sets_at(live, overlay),
+            SketchStore::Disk(s) => s.sparse_sets_at(live, overlay),
+        }
+    }
+
+    /// Representation census (promoted vs sparse vertices).
+    pub fn rep_stats(&self) -> RepStats {
+        match self {
+            SketchStore::Ram(s) => s.rep_stats(),
+            SketchStore::Disk(s) => s.rep_stats(),
         }
     }
 

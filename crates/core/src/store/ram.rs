@@ -10,10 +10,24 @@
 
 use crate::config::LockingStrategy;
 use crate::node_sketch::{CubeNodeSketch, CubeRoundSketch, SketchParams};
+use crate::sparse::SparseSet;
 use crate::store::epoch::{EpochOverlay, EpochRegistry};
-use crate::store::NodeSet;
+use crate::store::{NodeSet, RepStats};
 use parking_lot::Mutex;
 use std::sync::Arc;
+
+/// One vertex's current representation (DESIGN.md §12).
+///
+/// Every vertex starts [`NodeRep::Sparse`] when the store's threshold `τ`
+/// is non-zero and is promoted to [`NodeRep::Dense`] — by replaying its
+/// exact toggle set through the batch kernel, bit-identical to an
+/// always-dense run — once its live-set size exceeds `τ`. Promotion is
+/// monotone: a vertex never demotes, which is what makes lock-free peeks
+/// of "is this vertex dense?" race-safe.
+enum NodeRep {
+    Sparse(SparseSet),
+    Dense(CubeNodeSketch),
+}
 
 /// Node sketches in memory, one lock per owned node.
 ///
@@ -23,8 +37,10 @@ use std::sync::Arc;
 pub struct RamStore {
     params: Arc<SketchParams>,
     node_set: NodeSet,
-    nodes: Vec<Mutex<CubeNodeSketch>>,
+    nodes: Vec<Mutex<NodeRep>>,
     locking: LockingStrategy,
+    /// Hybrid sparse/dense threshold `τ`; `0` = always dense.
+    threshold: u32,
     /// Reusable scratch sketches for the delta-sketch discipline: workers
     /// check one out per batch, so no full node sketch is allocated on the
     /// hot path.
@@ -36,27 +52,49 @@ pub struct RamStore {
 }
 
 impl RamStore {
-    /// Allocate fresh (all-zero) sketches for every node.
+    /// Allocate fresh (all-zero) sketches for every node (always-dense).
     pub fn new(params: Arc<SketchParams>, locking: LockingStrategy) -> Self {
         let node_set = NodeSet::all(params.num_nodes);
         Self::for_nodes(params, locking, node_set)
     }
 
     /// Allocate fresh sketches for the nodes of `node_set` only (a shard's
-    /// residue class). Sketches still hash over the *full* characteristic
-    /// vector — ownership restricts which vertices live here, not the edge
-    /// universe.
+    /// residue class), always-dense. Sketches still hash over the *full*
+    /// characteristic vector — ownership restricts which vertices live
+    /// here, not the edge universe.
     pub fn for_nodes(
         params: Arc<SketchParams>,
         locking: LockingStrategy,
         node_set: NodeSet,
     ) -> Self {
-        let nodes = (0..node_set.len()).map(|_| Mutex::new(params.new_node_sketch())).collect();
+        Self::for_nodes_with_threshold(params, locking, node_set, 0)
+    }
+
+    /// Hybrid store over `node_set`: with `threshold > 0` every vertex
+    /// starts as an exact sparse toggle set and densifies past `threshold`
+    /// live neighbors; `0` allocates dense sketches up front (the exact
+    /// pre-hybrid behavior).
+    pub fn for_nodes_with_threshold(
+        params: Arc<SketchParams>,
+        locking: LockingStrategy,
+        node_set: NodeSet,
+        threshold: u32,
+    ) -> Self {
+        let nodes = (0..node_set.len())
+            .map(|_| {
+                Mutex::new(if threshold == 0 {
+                    NodeRep::Dense(params.new_node_sketch())
+                } else {
+                    NodeRep::Sparse(SparseSet::new())
+                })
+            })
+            .collect();
         RamStore {
             params,
             node_set,
             nodes,
             locking,
+            threshold,
             scratch_pool: Mutex::new(Vec::new()),
             epochs: EpochRegistry::new(),
         }
@@ -70,11 +108,24 @@ impl RamStore {
     /// Lock `slot`'s sketch for mutation, capturing its pre-image into any
     /// live epoch that has not seen this slot dirtied yet. Every write to a
     /// node sketch goes through here — that is what makes the overlay a
-    /// faithful sealed generation.
+    /// faithful sealed generation. A still-sparse vertex is promoted first
+    /// (capture its sparse pre-image, replay the set into a dense sketch,
+    /// then mutate) — bit-identical because the set is authoritative.
     fn with_node<R>(&self, slot: usize, f: impl FnOnce(&mut CubeNodeSketch) -> R) -> R {
-        let mut sketch = self.nodes[slot].lock();
-        self.epochs.capture_group(slot as u32, &mut || vec![(*sketch).clone()]);
-        f(&mut sketch)
+        let mut rep = self.nodes[slot].lock();
+        match &mut *rep {
+            NodeRep::Dense(sketch) => {
+                self.epochs.capture_group(slot as u32, &mut || vec![sketch.clone()]);
+                f(sketch)
+            }
+            NodeRep::Sparse(set) => {
+                self.epochs.capture_sparse(slot as u32, &mut || set.clone());
+                let mut dense = set.densify(self.node_set.node(slot), &self.params);
+                let out = f(&mut dense);
+                *rep = NodeRep::Dense(dense);
+                out
+            }
+        }
     }
 
     /// Shared sketch parameters.
@@ -103,6 +154,29 @@ impl RamStore {
     /// Apply a batch of encoded records to `node` (which must be owned).
     pub fn apply_batch(&self, node: u32, records: &[u32]) {
         let slot = self.node_set.slot(node);
+        // Sparse fast path: toggle the exact set under the slot lock —
+        // no hashing, no scratch, no delta. Promote (replay through the
+        // batch kernel) once the live set outgrows `τ`. A vertex observed
+        // dense here stays dense (promotion is monotone), so falling
+        // through to the dense disciplines below is race-free.
+        {
+            let mut rep = self.nodes[slot].lock();
+            if let NodeRep::Sparse(set) = &mut *rep {
+                self.epochs.capture_sparse(slot as u32, &mut || set.clone());
+                let mut len = set.len();
+                for &rec in records {
+                    let (other, _) = crate::node_sketch::decode_other(rec);
+                    if other != node {
+                        len = set.toggle(other);
+                    }
+                }
+                if len > self.threshold as usize {
+                    let dense = set.densify(node, &self.params);
+                    *rep = NodeRep::Dense(dense);
+                }
+                return;
+            }
+        }
         match self.locking {
             LockingStrategy::Direct => {
                 self.with_node(slot, |sketch| {
@@ -128,10 +202,13 @@ impl RamStore {
         self.with_node(self.node_set.slot(node), |sketch| sketch.merge(delta));
     }
 
-    /// Stream the round-`round` slice of every owned, still-`live` node
-    /// into `sink` in slot order. Each node's lock is held only for its own
-    /// sink call, and nothing is cloned — the streaming query borrows the
-    /// resident sketches in place.
+    /// Stream the round-`round` slice of every owned, still-`live` **dense**
+    /// node into `sink` in slot order. Each node's lock is held only for its
+    /// own sink call, and nothing is cloned — the streaming query borrows
+    /// the resident sketches in place. Sparse vertices are skipped: the
+    /// [`crate::store::SketchStore`] dispatch synthesizes their slices from
+    /// the exact sets (see [`Self::sparse_sets`]) so each vertex is emitted
+    /// exactly once.
     pub fn stream_round(
         &self,
         round: usize,
@@ -143,8 +220,10 @@ impl RamStore {
             if !live(node) {
                 continue;
             }
-            let sketch = lock.lock();
-            sink(node, sketch.round(round));
+            let rep = lock.lock();
+            if let NodeRep::Dense(sketch) = &*rep {
+                sink(node, sketch.round(round));
+            }
         }
     }
 
@@ -171,8 +250,10 @@ impl RamStore {
                 if !live(node) {
                     continue;
                 }
-                let sketch = self.nodes[slot].lock();
-                sink.fold(node, sketch.round(round));
+                let rep = self.nodes[slot].lock();
+                if let NodeRep::Dense(sketch) = &*rep {
+                    sink.fold(node, sketch.round(round));
+                }
             }
         });
     }
@@ -181,7 +262,10 @@ impl RamStore {
     /// taken, then the overlay is consulted — a captured pre-image wins;
     /// otherwise the live value is the sealed value (the node lock makes
     /// the check-then-read atomic against the capture-then-mutate writer,
-    /// which takes the same lock first).
+    /// which takes the same lock first). Vertices that were sparse at the
+    /// seal (sparse pre-image in the overlay, or still sparse live) are
+    /// skipped — the dispatch layer synthesizes them from
+    /// [`Self::sparse_sets_at`].
     pub fn stream_round_at(
         &self,
         round: usize,
@@ -194,10 +278,14 @@ impl RamStore {
             if !live(node) {
                 continue;
             }
-            let sketch = lock.lock();
-            match overlay.get(slot as u32) {
-                Some(pre) => sink(node, pre[0].round(round)),
-                None => sink(node, sketch.round(round)),
+            let rep = lock.lock();
+            if overlay.get_sparse(slot as u32).is_some() {
+                continue;
+            }
+            match (overlay.get(slot as u32), &*rep) {
+                (Some(pre), _) => sink(node, pre[0].round(round)),
+                (None, NodeRep::Dense(sketch)) => sink(node, sketch.round(round)),
+                (None, NodeRep::Sparse(_)) => {} // sealed-sparse: synthesized elsewhere
             }
         }
     }
@@ -223,30 +311,56 @@ impl RamStore {
                 if !live(node) {
                     continue;
                 }
-                let sketch = self.nodes[slot].lock();
-                match overlay.get(slot as u32) {
-                    Some(pre) => sink.fold(node, pre[0].round(round)),
-                    None => sink.fold(node, sketch.round(round)),
+                let rep = self.nodes[slot].lock();
+                if overlay.get_sparse(slot as u32).is_some() {
+                    continue;
+                }
+                match (overlay.get(slot as u32), &*rep) {
+                    (Some(pre), _) => sink.fold(node, pre[0].round(round)),
+                    (None, NodeRep::Dense(sketch)) => sink.fold(node, sketch.round(round)),
+                    (None, NodeRep::Sparse(_)) => {}
                 }
             }
         });
     }
 
-    /// Clone out every owned node sketch, indexed by slot.
+    /// Clone out every owned node sketch, indexed by slot. Sparse vertices
+    /// are densified by replay — the snapshot is bit-identical to an
+    /// always-dense store's (the serialized-state equivalence oracle).
     pub fn snapshot(&self) -> Vec<Option<CubeNodeSketch>> {
-        self.nodes.iter().map(|m| Some(m.lock().clone())).collect()
+        self.nodes
+            .iter()
+            .enumerate()
+            .map(|(slot, m)| {
+                let rep = m.lock();
+                Some(match &*rep {
+                    NodeRep::Dense(sketch) => sketch.clone(),
+                    NodeRep::Sparse(set) => set.densify(self.node_set.node(slot), &self.params),
+                })
+            })
+            .collect()
     }
 
-    /// Clone out every owned node sketch as `(node, sketch)` pairs.
+    /// Clone out every owned node sketch as `(node, sketch)` pairs
+    /// (sparse vertices densified by replay).
     pub fn snapshot_owned(&self) -> Vec<(u32, CubeNodeSketch)> {
         self.nodes
             .iter()
             .enumerate()
-            .map(|(slot, m)| (self.node_set.node(slot), m.lock().clone()))
+            .map(|(slot, m)| {
+                let node = self.node_set.node(slot);
+                let rep = m.lock();
+                let sketch = match &*rep {
+                    NodeRep::Dense(sketch) => sketch.clone(),
+                    NodeRep::Sparse(set) => set.densify(node, &self.params),
+                };
+                (node, sketch)
+            })
             .collect()
     }
 
     /// Replace every node sketch (checkpoint restore), in slot order.
+    /// Restored vertices are dense regardless of the threshold.
     pub fn load_all(&self, sketches: Vec<CubeNodeSketch>) {
         assert_eq!(sketches.len(), self.nodes.len());
         for (slot, sketch) in sketches.into_iter().enumerate() {
@@ -254,9 +368,71 @@ impl RamStore {
         }
     }
 
-    /// Total sketch payload bytes (owned nodes only).
+    /// Resident sketch payload bytes (owned nodes only): dense vertices at
+    /// the paper's per-sketch accounting, sparse vertices at 4 bytes per
+    /// live neighbor. With `τ = 0` this is exactly the dense formula.
     pub fn sketch_bytes(&self) -> usize {
-        self.params.node_sketch_bytes() * self.nodes.len()
+        let stats = self.rep_stats();
+        self.params.node_sketch_bytes() * stats.promoted + stats.sparse_entries * 4
+    }
+
+    /// Representation census: how many vertices are promoted vs still
+    /// sparse, and the total live entries across sparse sets.
+    pub fn rep_stats(&self) -> RepStats {
+        let mut stats = RepStats::default();
+        for m in &self.nodes {
+            match &*m.lock() {
+                NodeRep::Dense(_) => stats.promoted += 1,
+                NodeRep::Sparse(set) => {
+                    stats.sparse += 1;
+                    stats.sparse_entries += set.len();
+                }
+            }
+        }
+        stats
+    }
+
+    /// Clone out the live sparse sets of still-`live` vertices — the
+    /// dispatch layer's synthesis input for [`Self::stream_round`].
+    pub fn sparse_sets(&self, live: &(dyn Fn(u32) -> bool + Sync)) -> Vec<(u32, SparseSet)> {
+        let mut out = Vec::new();
+        for (slot, m) in self.nodes.iter().enumerate() {
+            let node = self.node_set.node(slot);
+            if !live(node) {
+                continue;
+            }
+            let rep = m.lock();
+            if let NodeRep::Sparse(set) = &*rep {
+                out.push((node, set.clone()));
+            }
+        }
+        out
+    }
+
+    /// The sealed sparse view for an epoch: a vertex that was sparse at the
+    /// seal is returned with its sealed set — the overlay pre-image if it
+    /// was mutated (or promoted) post-seal, the live set otherwise. The
+    /// slot lock makes the overlay-then-live check atomic against the
+    /// capture-then-mutate writer.
+    pub fn sparse_sets_at(
+        &self,
+        live: &(dyn Fn(u32) -> bool + Sync),
+        overlay: &EpochOverlay,
+    ) -> Vec<(u32, SparseSet)> {
+        let mut out = Vec::new();
+        for (slot, m) in self.nodes.iter().enumerate() {
+            let node = self.node_set.node(slot);
+            if !live(node) {
+                continue;
+            }
+            let rep = m.lock();
+            if let Some(pre) = overlay.get_sparse(slot as u32) {
+                out.push((node, (*pre).clone()));
+            } else if let NodeRep::Sparse(set) = &*rep {
+                out.push((node, set.clone()));
+            }
+        }
+        out
     }
 
     /// Scratch sketches currently parked in the pool (test instrumentation

@@ -1,12 +1,12 @@
 //! The [`GraphZeppelin`] facade: the paper's user-facing API
 //! (`edge_update()` / `list_spanning_forest()`, Figures 8–9).
 
-use crate::boruvka::{boruvka_rounds_parallel, boruvka_spanning_forest_parallel, BoruvkaOutcome};
+use crate::boruvka::{boruvka_rounds_with_pool, BoruvkaOutcome};
 use crate::config::{BufferStrategy, GzConfig, QueryMode, StoreBackend};
 use crate::error::GzError;
 use crate::ingest::{IngestCounters, WorkerPool};
 use crate::node_sketch::{encode_other, SketchParams};
-use crate::store::{SketchEpoch, SketchStore, StoreRoundSource};
+use crate::store::{MaterializedSource, RepStats, SketchEpoch, SketchStore, StoreRoundSource};
 use gz_graph::Edge;
 use gz_gutters::{BufferingSystem, GutterTree, GutterTreeConfig, IoStats, LeafGutters, WorkQueue};
 use std::sync::Arc;
@@ -67,6 +67,11 @@ pub struct GraphZeppelin {
     /// its seal (`config.query_staleness`; `None` until the first such
     /// query).
     cached_epoch: Option<(SketchEpoch, u64)>,
+    /// The query worker pool, built lazily for the resolved thread count
+    /// and reused across queries (and across the rounds of each query)
+    /// instead of spawning `query_threads` OS threads per call. Rebuilt
+    /// when [`Self::set_query_threads`] changes the count.
+    query_pool: Option<(usize, gz_gutters::WorkerPool)>,
 }
 
 impl GraphZeppelin {
@@ -132,7 +137,23 @@ impl GraphZeppelin {
             gutter_io,
             buffer_capacity_bytes,
             cached_epoch: None,
+            query_pool: None,
         })
+    }
+
+    /// Make sure `query_pool` holds a pool for the currently-resolved
+    /// thread count, building (or rebuilding) it if not.
+    fn ensure_query_pool(&mut self) {
+        let threads = self.config.query_threads();
+        if self.query_pool.as_ref().map(|(t, _)| *t) != Some(threads) {
+            self.query_pool = Some((threads, gz_gutters::WorkerPool::new(threads)));
+        }
+    }
+
+    /// The cached query pool for the resolved thread count.
+    fn query_pool(&mut self) -> &gz_gutters::WorkerPool {
+        self.ensure_query_pool();
+        &self.query_pool.as_ref().expect("pool ensured above").1
     }
 
     /// Ingest one stream update — a *toggle* of edge `(u, v)` (paper
@@ -191,12 +212,10 @@ impl GraphZeppelin {
     pub fn spanning_forest_snapshot(&mut self) -> Result<BoruvkaOutcome, GzError> {
         self.flush();
         let sketches = self.store.snapshot();
-        boruvka_spanning_forest_parallel(
-            sketches,
-            self.config.num_nodes,
-            self.params.rounds(),
-            self.config.query_threads(),
-        )
+        let (num_nodes, rounds) = (self.config.num_nodes, self.params.rounds());
+        let pool = self.query_pool();
+        let mut source = MaterializedSource::new(sketches);
+        boruvka_rounds_with_pool(&mut source, num_nodes, rounds, pool)
     }
 
     /// Streaming-mode query: fold round slices straight out of the store,
@@ -213,13 +232,11 @@ impl GraphZeppelin {
     pub fn spanning_forest_streaming(&mut self) -> Result<BoruvkaOutcome, GzError> {
         let Some(max_lag) = self.config.query_staleness else {
             self.flush();
-            let mut source = StoreRoundSource::new(&self.store);
-            return boruvka_rounds_parallel(
-                &mut source,
-                self.config.num_nodes,
-                self.params.rounds(),
-                self.config.query_threads(),
-            );
+            let (num_nodes, rounds) = (self.config.num_nodes, self.params.rounds());
+            let store = Arc::clone(&self.store);
+            let pool = self.query_pool();
+            let mut source = StoreRoundSource::new(&store);
+            return boruvka_rounds_with_pool(&mut source, num_nodes, rounds, pool);
         };
         let fresh_enough = matches!(
             &self.cached_epoch,
@@ -229,8 +246,10 @@ impl GraphZeppelin {
             let epoch = self.begin_epoch()?;
             self.cached_epoch = Some((epoch, self.updates_ingested));
         }
+        self.ensure_query_pool();
+        let pool = &self.query_pool.as_ref().expect("pool ensured above").1;
         let (epoch, _) = self.cached_epoch.as_ref().expect("epoch sealed above");
-        epoch.spanning_forest()
+        epoch.spanning_forest_with_pool(pool)
     }
 
     /// Seal the current sketch state into an epoch: flush buffered updates,
@@ -247,10 +266,12 @@ impl GraphZeppelin {
     }
 
     /// Change the query-thread count (a performance knob: answers are
-    /// bit-identical at any setting — DESIGN.md §10).
+    /// bit-identical at any setting — DESIGN.md §10). Drops the cached
+    /// query pool; the next query rebuilds it at the new width.
     pub fn set_query_threads(&mut self, query_threads: usize) {
         assert!(query_threads >= 1, "query_threads must be ≥ 1");
         self.config.query_threads = Some(query_threads);
+        self.query_pool = None;
     }
 
     /// Compute connected components of the current graph.
@@ -268,17 +289,27 @@ impl GraphZeppelin {
         self.counters.batches.load(std::sync::atomic::Ordering::Relaxed)
     }
 
-    /// Total sketch bytes (the paper's Figure 11 memory accounting).
+    /// Total sketch bytes (the paper's Figure 11 memory accounting). With a
+    /// hybrid store (`config.sketch_threshold > 0`) this is the *resident*
+    /// payload: dense bytes for promoted nodes plus the exact toggle-sets
+    /// of the still-sparse ones.
     pub fn sketch_bytes(&self) -> usize {
         self.store.sketch_bytes()
     }
 
+    /// Representation census of the store: promoted vs sparse node counts
+    /// and sparse entries (`gz components --stats`, memory accounting).
+    pub fn rep_stats(&self) -> RepStats {
+        self.store.rep_stats()
+    }
+
     /// Approximate total memory footprint: sketches (when in RAM) plus
-    /// buffering capacity.
+    /// buffering capacity. The disk backend keeps dense sketches on disk,
+    /// but its sparse toggle-sets live in RAM and are counted here.
     pub fn memory_bytes(&self) -> usize {
         let sketch_ram = match self.config.store {
             StoreBackend::Ram => self.store.sketch_bytes(),
-            StoreBackend::Disk { .. } => 0, // sketches live on disk
+            StoreBackend::Disk { .. } => self.store.rep_stats().sparse_bytes(),
         };
         sketch_ram + self.buffer_capacity_bytes
     }
@@ -531,6 +562,49 @@ mod tests {
         let gz = GraphZeppelin::new(tiny_config(32)).unwrap();
         assert!(gz.sketch_bytes() > 0);
         assert!(gz.memory_bytes() >= gz.sketch_bytes());
+    }
+
+    #[test]
+    fn hybrid_store_matches_dense_and_shrinks_memory() {
+        // τ=4 hybrid vs τ=0 dense on a sparse star: identical serialized
+        // state (promotion-by-replay), answers, and a strictly smaller
+        // resident sketch footprint while most nodes stay sparse.
+        let mut dense_cfg = tiny_config(64);
+        dense_cfg.sketch_threshold = 0;
+        let mut hybrid_cfg = tiny_config(64);
+        hybrid_cfg.sketch_threshold = 4;
+        let mut dense = GraphZeppelin::new(dense_cfg).unwrap();
+        let mut hybrid = GraphZeppelin::new(hybrid_cfg).unwrap();
+        for i in 1..20u32 {
+            dense.edge_update(0, i); // hub 0 crosses τ, leaves stay sparse
+            hybrid.edge_update(0, i);
+        }
+        assert_eq!(dense.snapshot_serialized(), hybrid.snapshot_serialized());
+        let (a, b) =
+            (dense.connected_components().unwrap(), hybrid.connected_components().unwrap());
+        assert_eq!(a.labels(), b.labels());
+        let stats = hybrid.rep_stats();
+        assert_eq!(stats.promoted, 1, "only the hub crosses τ");
+        assert_eq!(stats.sparse, 63);
+        assert!(hybrid.sketch_bytes() * 5 <= dense.sketch_bytes(), "≥5× resident reduction");
+        // Streaming queries synthesize sparse nodes' slices by replay.
+        let snap = hybrid.spanning_forest_snapshot().unwrap();
+        let stream = hybrid.spanning_forest_streaming().unwrap();
+        assert_eq!(snap.labels, stream.labels);
+        assert_eq!(snap.forest, stream.forest);
+    }
+
+    #[test]
+    fn query_pool_survives_thread_count_changes() {
+        let mut gz = GraphZeppelin::new(tiny_config(16)).unwrap();
+        gz.edge_update(0, 1);
+        let a = gz.connected_components().unwrap();
+        gz.set_query_threads(3);
+        let b = gz.connected_components().unwrap();
+        gz.set_query_threads(1);
+        let c = gz.connected_components().unwrap();
+        assert_eq!(a.labels(), b.labels());
+        assert_eq!(a.labels(), c.labels());
     }
 
     #[test]

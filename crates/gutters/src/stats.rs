@@ -15,6 +15,8 @@ pub struct IoStats {
     writes: AtomicU64,
     bytes_read: AtomicU64,
     bytes_written: AtomicU64,
+    sparse_promotions: AtomicU64,
+    rounds_synthesized: AtomicU64,
 }
 
 impl IoStats {
@@ -62,6 +64,29 @@ impl IoStats {
         self.reads() + self.writes()
     }
 
+    /// Record one sparse→dense promotion (hybrid representation).
+    #[inline]
+    pub fn record_promotion(&self) {
+        self.sparse_promotions.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record `n` round slices synthesized by replaying sparse sets
+    /// (hybrid representation query cost).
+    #[inline]
+    pub fn record_synthesized(&self, n: u64) {
+        self.rounds_synthesized.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Sparse→dense promotions performed.
+    pub fn sparse_promotions(&self) -> u64 {
+        self.sparse_promotions.load(Ordering::Relaxed)
+    }
+
+    /// Round slices synthesized from sparse sets.
+    pub fn rounds_synthesized(&self) -> u64 {
+        self.rounds_synthesized.load(Ordering::Relaxed)
+    }
+
     /// Fold another counter set into this one (all four counters, one atomic
     /// add each). The parallel query path accumulates per-worker `IoStats`
     /// locally and merges once per worker, so concurrent readers neither
@@ -71,6 +96,8 @@ impl IoStats {
         self.writes.fetch_add(other.writes(), Ordering::Relaxed);
         self.bytes_read.fetch_add(other.bytes_read(), Ordering::Relaxed);
         self.bytes_written.fetch_add(other.bytes_written(), Ordering::Relaxed);
+        self.sparse_promotions.fetch_add(other.sparse_promotions(), Ordering::Relaxed);
+        self.rounds_synthesized.fetch_add(other.rounds_synthesized(), Ordering::Relaxed);
     }
 
     /// Reset all counters to zero.
@@ -79,6 +106,8 @@ impl IoStats {
         self.writes.store(0, Ordering::Relaxed);
         self.bytes_read.store(0, Ordering::Relaxed);
         self.bytes_written.store(0, Ordering::Relaxed);
+        self.sparse_promotions.store(0, Ordering::Relaxed);
+        self.rounds_synthesized.store(0, Ordering::Relaxed);
     }
 
     /// Snapshot of all four counters (reads, writes, bytes_read,
@@ -103,6 +132,23 @@ mod tests {
         assert_eq!(s.bytes_read(), 150);
         assert_eq!(s.bytes_written(), 16_384);
         assert_eq!(s.total_ops(), 3);
+    }
+
+    #[test]
+    fn hybrid_counters_accumulate_merge_and_reset() {
+        let s = IoStats::new();
+        s.record_promotion();
+        s.record_promotion();
+        s.record_synthesized(5);
+        assert_eq!(s.sparse_promotions(), 2);
+        assert_eq!(s.rounds_synthesized(), 5);
+        let t = IoStats::new();
+        t.merge_from(&s);
+        assert_eq!(t.sparse_promotions(), 2);
+        assert_eq!(t.rounds_synthesized(), 5);
+        t.reset();
+        assert_eq!(t.sparse_promotions(), 0);
+        assert_eq!(t.rounds_synthesized(), 0);
     }
 
     #[test]

@@ -39,8 +39,13 @@ pub const WIRE_MAGIC: [u8; 2] = *b"GZ";
 /// sketch payloads unmergeable with v2 builds;
 /// v4 added epoch sealing (`SealEpoch` / `EpochSealed` / `ReleaseEpoch` /
 /// `EpochReleased`) and the epoch tag on `GatherRound`, so sharded queries
-/// can gather a consistent cut while ingestion continues.
-pub const PROTOCOL_VERSION: u8 = 4;
+/// can gather a consistent cut while ingestion continues;
+/// v5 added the hybrid-representation tag byte on `RoundSketches` entries:
+/// each entry's bytes now start with `0` (a dense round slice follows) or
+/// `1` (a sparse exact neighbor-set follows — count + sorted u32 ids — that
+/// the coordinator replays into the round slice), so shards never densify
+/// sub-threshold nodes just to answer a gather.
+pub const PROTOCOL_VERSION: u8 = 5;
 
 /// Upper bound on a frame payload (defensive: a corrupt length header must
 /// not trigger a multi-gigabyte allocation).

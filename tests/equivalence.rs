@@ -470,6 +470,157 @@ mod batch_kernel_proptests {
     }
 }
 
+mod hybrid_representation_proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// Insert/optional-delete pairs: deletions shrink live neighbor sets,
+    /// so sparse nodes hover around the promotion threshold instead of
+    /// growing monotonically — the adversarial regime for the hybrid
+    /// representation.
+    fn churny_stream(n: u64, raw: Vec<(u32, u32, bool)>) -> Vec<(u32, u32, bool)> {
+        let mut updates = Vec::new();
+        for (a, b, pair) in raw {
+            let (a, b) = ((a as u64 % n) as u32, (b as u64 % n) as u32);
+            if a == b {
+                continue;
+            }
+            updates.push((a, b, false));
+            if pair {
+                updates.push((a, b, true));
+            }
+        }
+        updates
+    }
+
+    fn ingest(gz: &mut GraphZeppelin, updates: &[(u32, u32, bool)]) {
+        for &(u, v, d) in updates {
+            gz.update(u, v, d);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(6))]
+
+        /// The tentpole equivalence oracle: a hybrid system (τ ∈ {4, 16, 64},
+        /// promotion by replay) is *bit-identical* to the always-dense
+        /// system (τ = 0) on arbitrary churny streams — serialized sketch
+        /// state, streaming labels, and forest — across Ram/Disk stores and
+        /// shard counts {1, 3}. Small universes with many updates force
+        /// mid-stream promotions; delete pairs keep other nodes sparse.
+        #[test]
+        fn hybrid_bit_identical_to_dense_everywhere(
+            n in 4u64..28,
+            raw in proptest::collection::vec((any::<u32>(), any::<u32>(), any::<bool>()), 0..120)
+        ) {
+            let updates = churny_stream(n, raw);
+
+            let mut dense = GraphZeppelin::new(GzConfig::in_ram(n)).unwrap();
+            ingest(&mut dense, &updates);
+            let ref_state = dense.snapshot_serialized();
+            let reference = dense.spanning_forest_streaming().unwrap();
+
+            for tau in [4u32, 16, 64] {
+                let mut ram_cfg = GzConfig::in_ram(n);
+                ram_cfg.sketch_threshold = tau;
+                let mut ram = GraphZeppelin::new(ram_cfg).unwrap();
+                ingest(&mut ram, &updates);
+                prop_assert_eq!(&ram.snapshot_serialized(), &ref_state, "ram state τ={}", tau);
+                let got = ram.spanning_forest_streaming().unwrap();
+                prop_assert_eq!(&reference.labels, &got.labels, "ram labels τ={}", tau);
+                prop_assert_eq!(&reference.forest, &got.forest, "ram forest τ={}", tau);
+
+                let dir = TempDir::new("gz-equiv-hybrid-prop");
+                let mut disk_cfg = GzConfig::in_ram(n);
+                disk_cfg.sketch_threshold = tau;
+                disk_cfg.store = StoreBackend::Disk {
+                    dir: dir.path().to_path_buf(),
+                    block_bytes: 512,
+                    cache_groups: 2,
+                };
+                let mut disk = GraphZeppelin::new(disk_cfg).unwrap();
+                ingest(&mut disk, &updates);
+                prop_assert_eq!(&disk.snapshot_serialized(), &ref_state, "disk state τ={}", tau);
+                let got = disk.spanning_forest_streaming().unwrap();
+                prop_assert_eq!(&reference.labels, &got.labels, "disk labels τ={}", tau);
+                prop_assert_eq!(&reference.forest, &got.forest, "disk forest τ={}", tau);
+
+                for shards in [1u32, 3] {
+                    let mut cfg = ShardConfig::in_ram(n, shards);
+                    cfg.sketch_threshold = tau;
+                    let mut gz = ShardedGraphZeppelin::in_process(cfg).unwrap();
+                    for &(u, v, d) in &updates {
+                        gz.update(u, v, d).unwrap();
+                    }
+                    prop_assert_eq!(
+                        &gz.gather_serialized().unwrap(), &ref_state,
+                        "sharded state τ={} shards={}", tau, shards
+                    );
+                    let got = gz.spanning_forest_streaming().unwrap();
+                    prop_assert_eq!(
+                        &reference.labels, &got.labels,
+                        "sharded labels τ={} shards={}", tau, shards
+                    );
+                    prop_assert_eq!(
+                        &reference.forest, &got.forest,
+                        "sharded forest τ={} shards={}", tau, shards
+                    );
+                    gz.shutdown().unwrap();
+                }
+            }
+        }
+
+        /// Epoch-pinned queries over *mixed* sparse/promoted state: seal
+        /// mid-stream, keep ingesting the suffix (promoting more nodes),
+        /// and the pinned answer must still be bit-identical to a dense
+        /// system fed only the prefix — on single-node Ram and a 3-shard
+        /// fleet.
+        #[test]
+        fn hybrid_epoch_pins_match_dense_prefix(
+            n in 4u64..24,
+            raw in proptest::collection::vec((any::<u32>(), any::<u32>(), any::<bool>()), 4..100),
+            split_pct in 20u32..80
+        ) {
+            let updates = churny_stream(n, raw);
+            let split = updates.len() * split_pct as usize / 100;
+            let (prefix, suffix) = updates.split_at(split);
+
+            let mut dense = GraphZeppelin::new(GzConfig::in_ram(n)).unwrap();
+            ingest(&mut dense, prefix);
+            let reference = dense.spanning_forest_streaming().unwrap();
+
+            let mut hybrid_cfg = GzConfig::in_ram(n);
+            hybrid_cfg.sketch_threshold = 4;
+            let mut hybrid = GraphZeppelin::new(hybrid_cfg).unwrap();
+            ingest(&mut hybrid, prefix);
+            hybrid.flush();
+            let epoch = hybrid.begin_epoch().unwrap();
+            ingest(&mut hybrid, suffix);
+            hybrid.flush();
+            let pinned = epoch.spanning_forest().unwrap();
+            prop_assert_eq!(&reference.labels, &pinned.labels, "pinned ram labels");
+            prop_assert_eq!(&reference.forest, &pinned.forest, "pinned ram forest");
+
+            let mut cfg = ShardConfig::in_ram(n, 3);
+            cfg.sketch_threshold = 4;
+            let mut sharded = ShardedGraphZeppelin::in_process(cfg).unwrap();
+            for &(u, v, d) in prefix {
+                sharded.update(u, v, d).unwrap();
+            }
+            let epoch = sharded.begin_epoch().unwrap();
+            for &(u, v, d) in suffix {
+                sharded.update(u, v, d).unwrap();
+            }
+            sharded.flush().unwrap();
+            let pinned = epoch.spanning_forest().unwrap();
+            prop_assert_eq!(&reference.labels, &pinned.labels, "pinned sharded labels");
+            prop_assert_eq!(&reference.forest, &pinned.forest, "pinned sharded forest");
+            drop(epoch);
+            sharded.shutdown().unwrap();
+        }
+    }
+}
+
 #[test]
 fn streaming_cc_baseline_agrees_with_graphzeppelin() {
     // The prior-art system and GraphZeppelin implement the same abstract
