@@ -7,8 +7,8 @@
 //! gz components stream.gzs [--workers 4] [--store ram|disk] \
 //!     [--buffering leaf|tree] [--dir /tmp/gzwork] [--forest] \
 //!     [--query-mode snapshot|streaming] [--query-threads N] \
-//!     [--staleness U] [--threshold T] [--stats] \
-//!     [--shards K [--connect host:port,host:port,...]]
+//!     [--staleness U] [--threshold T] [--io-backend auto|pread|uring] \
+//!     [--stats] [--shards K [--connect host:port,host:port,...]]
 //! gz checkpoint save ckpt.gzc --from stream.gzs [--workers 4] [--seed S]
 //! gz checkpoint restore ckpt.gzc [--forest] [--query-mode streaming]
 //! gz shard-worker --listen 127.0.0.1:7001 --nodes 1024 --shards 2 --index 0
@@ -20,8 +20,8 @@
 
 use graph_zeppelin::{
     serve_shard_connection, BipartitenessTester, BufferStrategy, GraphZeppelin, GutterCapacity,
-    GzConfig, QueryMode, ShardConfig, ShardPipeline, ShardedGraphZeppelin, SocketTransport,
-    StoreBackend,
+    GzConfig, IoBackendKind, QueryMode, ShardConfig, ShardPipeline, ShardedGraphZeppelin,
+    SocketTransport, StoreBackend,
 };
 use gz_stream::format::{StreamReader, StreamWriter};
 use gz_stream::{Dataset, GeneratorSpec, StreamifyConfig, UpdateKind};
@@ -55,6 +55,12 @@ fn parse_query_mode(s: &str) -> Result<QueryMode, String> {
         "streaming" => Ok(QueryMode::Streaming),
         other => Err(format!("unknown query mode {other} (want snapshot|streaming)")),
     }
+}
+
+/// Parse an `--io-backend` value straight into the config type, mirroring
+/// [`parse_query_mode`]: auto/pread/uring map 1:1 onto [`IoBackendKind`].
+fn parse_io_backend(s: &str) -> Result<IoBackendKind, String> {
+    IoBackendKind::parse(s).ok_or_else(|| format!("unknown io backend {s} (want auto|pread|uring)"))
 }
 
 /// Buffering system selected on the command line.
@@ -119,6 +125,9 @@ pub enum Command {
         /// sparse sets until they exceed this many live neighbors (`None`
         /// or 0 = always-dense sketches).
         threshold: Option<u32>,
+        /// Disk-store I/O backend (`None` = auto: probe io_uring, fall
+        /// back to pread). Ignored by RAM stores.
+        io_backend: Option<IoBackendKind>,
         /// Print a representation census (sparse/promoted node counts and
         /// resident bytes) after the query.
         stats: bool,
@@ -151,6 +160,11 @@ pub enum Command {
         query_mode: QueryMode,
         /// Borůvka query-engine threads (`None` = the worker count).
         query_threads: Option<usize>,
+        /// Disk-store I/O backend for the restored system (`None` = auto).
+        /// Accepted for flag parity with `components`; the restored store
+        /// is RAM-resident today, so this only takes effect if restore
+        /// grows a disk mode.
+        io_backend: Option<IoBackendKind>,
     },
     /// Serve one shard over TCP: bind, accept one coordinator connection,
     /// run the shard-worker event loop until `Shutdown`.
@@ -174,6 +188,8 @@ pub enum Command {
         /// Hybrid-representation promotion threshold τ for this shard's
         /// store (`None` or 0 = always-dense sketches).
         threshold: Option<u32>,
+        /// Disk-store I/O backend for this shard's store (`None` = auto).
+        io_backend: Option<IoBackendKind>,
     },
     /// Test bipartiteness of a stream file.
     Bipartite {
@@ -336,6 +352,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
             let mut query_threads = None;
             let mut staleness = None;
             let mut threshold = None;
+            let mut io_backend = None;
             let mut stats = false;
             let mut shards = None;
             let mut connect = None;
@@ -380,6 +397,10 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                     // `--threshold 0` is meaningful (force always-dense),
                     // so a plain parse here too.
                     "--threshold" => set_once(&mut threshold, parse_num(&mut it, arg)?, arg)?,
+                    "--io-backend" => {
+                        let v = parse_io_backend(it.next().ok_or("--io-backend needs a value")?)?;
+                        set_once(&mut io_backend, v, arg)?;
+                    }
                     "--stats" => set_switch(&mut stats, arg)?,
                     "--shards" => set_once(&mut shards, parse_positive(&mut it, arg)?, arg)?,
                     "--connect" => {
@@ -414,6 +435,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                 query_threads,
                 staleness,
                 threshold,
+                io_backend,
                 stats,
                 shards,
                 connect: connect.unwrap_or_default(),
@@ -453,6 +475,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                     let mut forest = false;
                     let mut query_mode = None;
                     let mut query_threads = None;
+                    let mut io_backend = None;
                     while let Some(arg) = it.next() {
                         match arg.as_str() {
                             "--forest" => set_switch(&mut forest, arg)?,
@@ -465,6 +488,12 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                             "--query-threads" => {
                                 set_once(&mut query_threads, parse_query_threads(&mut it)?, arg)?;
                             }
+                            "--io-backend" => {
+                                let v = parse_io_backend(
+                                    it.next().ok_or("--io-backend needs a value")?,
+                                )?;
+                                set_once(&mut io_backend, v, arg)?;
+                            }
                             other => return Err(format!("unknown flag {other}")),
                         }
                     }
@@ -473,6 +502,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                         forest,
                         query_mode: query_mode.unwrap_or(QueryMode::Snapshot),
                         query_threads,
+                        io_backend,
                     })
                 }
                 other => Err(format!("unknown checkpoint action {other} (want save|restore)")),
@@ -488,6 +518,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
             let mut store = None;
             let mut dir = None;
             let mut threshold = None;
+            let mut io_backend = None;
             while let Some(arg) = it.next() {
                 match arg.as_str() {
                     "--listen" => {
@@ -508,6 +539,10 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                         set_once(&mut dir, v, arg)?;
                     }
                     "--threshold" => set_once(&mut threshold, parse_num(&mut it, arg)?, arg)?,
+                    "--io-backend" => {
+                        let v = parse_io_backend(it.next().ok_or("--io-backend needs a value")?)?;
+                        set_once(&mut io_backend, v, arg)?;
+                    }
                     other => return Err(format!("unknown flag {other}")),
                 }
             }
@@ -521,6 +556,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                 store: store.unwrap_or(StoreArg::Ram),
                 dir,
                 threshold,
+                io_backend,
             })
         }
         "bipartite" => {
@@ -556,6 +592,7 @@ fn build_config(
     query_threads: Option<usize>,
     staleness: Option<u64>,
     threshold: Option<u32>,
+    io_backend: Option<IoBackendKind>,
 ) -> Result<GzConfig, String> {
     let mut config = GzConfig::in_ram(num_nodes);
     config.num_workers = workers;
@@ -564,6 +601,7 @@ fn build_config(
     config.query_threads = query_threads;
     config.query_staleness = staleness;
     config.sketch_threshold = threshold.unwrap_or(0);
+    config.io.kind = io_backend.unwrap_or_default();
     config.buffering = match buffering {
         BufferingArg::Leaf => {
             BufferStrategy::LeafOnly { capacity: GutterCapacity::SketchFactor(0.5) }
@@ -613,6 +651,7 @@ fn components_sharded(
     query_threads: Option<usize>,
     staleness: Option<u64>,
     threshold: Option<u32>,
+    io_backend: Option<IoBackendKind>,
     num_shards: u32,
     connect: &[String],
 ) -> Result<String, String> {
@@ -627,6 +666,11 @@ fn components_sharded(
              --store/--dir to each `gz shard-worker` instead"
             .into());
     }
+    if !connect.is_empty() && io_backend.is_some() {
+        return Err("with --connect, sketch stores live in the shard workers; pass \
+             --io-backend to each `gz shard-worker` instead"
+            .into());
+    }
 
     let mut reader = StreamReader::open(path).map_err(|e| e.to_string())?;
     let header = reader.header();
@@ -637,6 +681,7 @@ fn components_sharded(
     config.query_threads = query_threads;
     config.query_staleness = staleness;
     config.sketch_threshold = threshold.unwrap_or(0);
+    config.io.kind = io_backend.unwrap_or_default();
 
     let mut gz = if connect.is_empty() {
         ShardedGraphZeppelin::in_process(config).map_err(|e| e.to_string())?
@@ -748,6 +793,7 @@ pub fn execute(cmd: Command) -> Result<String, String> {
             query_threads,
             staleness,
             threshold,
+            io_backend,
             stats,
             shards,
             connect,
@@ -764,6 +810,7 @@ pub fn execute(cmd: Command) -> Result<String, String> {
                     query_threads,
                     staleness,
                     threshold,
+                    io_backend,
                     num_shards,
                     &connect,
                 );
@@ -780,6 +827,7 @@ pub fn execute(cmd: Command) -> Result<String, String> {
                 query_threads,
                 staleness,
                 threshold,
+                io_backend,
             )?;
             let mut gz = GraphZeppelin::new(config).map_err(|e| e.to_string())?;
             feed_stream(&mut reader, |u, v, d| {
@@ -804,6 +852,20 @@ pub fn execute(cmd: Command) -> Result<String, String> {
                     rep.sparse_bytes(),
                     gz.sketch_bytes(),
                 ));
+                if let (Some(io), Some(name)) = (gz.store_io(), gz.io_backend_name()) {
+                    out.push_str(&format!(
+                        "io backend {name}: {} reads ({} bytes), {} writes ({} bytes), \
+                         {} submissions, {} completions, batch depth max {} mean {:.2}\n",
+                        io.reads(),
+                        io.bytes_read(),
+                        io.writes(),
+                        io.bytes_written(),
+                        io.submissions(),
+                        io.completions(),
+                        io.max_depth(),
+                        io.mean_depth(),
+                    ));
+                }
             }
             if forest {
                 for e in cc.spanning_forest() {
@@ -833,7 +895,7 @@ pub fn execute(cmd: Command) -> Result<String, String> {
                 ckpt.seed,
             ))
         }
-        Command::CheckpointRestore { path, forest, query_mode, query_threads } => {
+        Command::CheckpointRestore { path, forest, query_mode, query_threads, io_backend } => {
             let header = GraphZeppelin::checkpoint_header(&path).map_err(|e| e.to_string())?;
             let mut config = GzConfig::in_ram(header.num_nodes);
             config.seed = header.seed;
@@ -841,6 +903,7 @@ pub fn execute(cmd: Command) -> Result<String, String> {
             config.num_columns = header.columns;
             config.query_mode = query_mode;
             config.query_threads = query_threads;
+            config.io.kind = io_backend.unwrap_or_default();
             let mut gz =
                 GraphZeppelin::restore_with_config(&path, config).map_err(|e| e.to_string())?;
             let cc = gz.connected_components().map_err(|e| e.to_string())?;
@@ -868,12 +931,14 @@ pub fn execute(cmd: Command) -> Result<String, String> {
             store,
             dir,
             threshold,
+            io_backend,
         } => {
             let mut config = ShardConfig::in_ram(nodes, shards);
             config.seed = seed;
             config.workers_per_shard = workers;
             config.store = store_backend(store, &dir)?;
             config.sketch_threshold = threshold.unwrap_or(0);
+            config.io.kind = io_backend.unwrap_or_default();
             run_shard_worker(&listen, config, index)
         }
         Command::Bipartite { path } => {
@@ -1064,6 +1129,55 @@ mod tests {
     }
 
     #[test]
+    fn parses_io_backend_flag() {
+        use graph_zeppelin::IoBackendKind;
+        for (value, kind) in [
+            ("auto", IoBackendKind::Auto),
+            ("pread", IoBackendKind::Pread),
+            ("uring", IoBackendKind::Uring),
+        ] {
+            match parse_components(&format!("components s.gzs --io-backend {value}")) {
+                Command::Components { io_backend, .. } => assert_eq!(io_backend, Some(kind)),
+                other => panic!("{other:?}"),
+            }
+        }
+        // Default: auto-probe downstream.
+        match parse_components("components s.gzs") {
+            Command::Components { io_backend, .. } => assert_eq!(io_backend, None),
+            other => panic!("{other:?}"),
+        }
+        // Composes with the disk store and sharding flags.
+        match parse_components("components s.gzs --store disk --dir /tmp/d --io-backend uring") {
+            Command::Components { store, io_backend, .. } => {
+                assert_eq!(store, StoreArg::Disk);
+                assert_eq!(io_backend, Some(IoBackendKind::Uring));
+            }
+            other => panic!("{other:?}"),
+        }
+        // And on checkpoint restore and shard-worker, like --query-threads.
+        assert!(matches!(
+            parse_args(&argv("checkpoint restore c.gzc --io-backend pread")).unwrap(),
+            Command::CheckpointRestore { io_backend: Some(IoBackendKind::Pread), .. }
+        ));
+        assert!(matches!(
+            parse_args(&argv(
+                "shard-worker --listen 127.0.0.1:0 --nodes 8 --shards 2 --index 0 \
+                 --io-backend uring"
+            ))
+            .unwrap(),
+            Command::ShardWorker { io_backend: Some(IoBackendKind::Uring), .. }
+        ));
+        // Unknown values and a missing value are refused with a pointed
+        // message, like --query-threads.
+        let err = parse_args(&argv("components s.gzs --io-backend rdma")).unwrap_err();
+        assert!(err.contains("unknown io backend rdma"), "{err}");
+        assert!(err.contains("auto|pread|uring"), "{err}");
+        let err = parse_args(&argv("checkpoint restore c.gzc --io-backend sync")).unwrap_err();
+        assert!(err.contains("unknown io backend"), "{err}");
+        assert!(parse_args(&argv("components s.gzs --io-backend")).is_err());
+    }
+
+    #[test]
     fn zero_counts_rejected_like_query_threads() {
         // --workers 0 and --shards 0 fail the same way --query-threads 0
         // does, instead of being silently clamped to 1 downstream.
@@ -1095,6 +1209,10 @@ mod tests {
             "components s.gzs --stats --stats",
             "shard-worker --listen a:1 --listen b:2 --nodes 8 --shards 2 --index 0",
             "shard-worker --listen a:1 --nodes 8 --shards 2 --index 0 --threshold 4 --threshold 8",
+            "components s.gzs --io-backend pread --io-backend uring",
+            "checkpoint restore c.gzc --io-backend auto --io-backend auto",
+            "shard-worker --listen a:1 --nodes 8 --shards 2 --index 0 --io-backend uring \
+             --io-backend pread",
         ] {
             let err = parse_args(&argv(argv_s)).unwrap_err();
             assert!(err.contains("duplicate flag"), "{argv_s}: {err}");
@@ -1273,6 +1391,7 @@ mod tests {
                 forest: true,
                 query_mode: QueryMode::Streaming,
                 query_threads: None,
+                io_backend: None,
             }
         );
         // Defaults.
@@ -1318,6 +1437,7 @@ mod tests {
                 forest: false,
                 query_mode,
                 query_threads: None,
+                io_backend: None,
             })
             .unwrap();
             assert_eq!(count(&restored), count(&direct), "{query_mode:?}");
@@ -1382,6 +1502,7 @@ mod tests {
                 store: StoreArg::Ram,
                 dir: None,
                 threshold: None,
+                io_backend: None,
             }
         );
         assert!(matches!(
@@ -1433,6 +1554,7 @@ mod tests {
             query_threads: None,
             staleness: None,
             threshold: None,
+            io_backend: None,
             stats: false,
             shards,
             connect: Vec::new(),
@@ -1481,6 +1603,82 @@ mod tests {
             *connect = vec!["127.0.0.1:1".into()];
         }
         assert!(execute(cmd).unwrap_err().contains("shard-worker"));
+        // --io-backend with --connect configures nothing on the remote
+        // workers either: must be refused the same way.
+        let mut cmd = components_cmd(&path, Some(1));
+        if let Command::Components { io_backend, connect, .. } = &mut cmd {
+            *io_backend = Some(graph_zeppelin::IoBackendKind::Pread);
+            *connect = vec!["127.0.0.1:1".into()];
+        }
+        let err = execute(cmd).unwrap_err();
+        assert!(err.contains("--io-backend") && err.contains("shard-worker"), "{err}");
+    }
+
+    #[test]
+    fn io_backend_is_a_performance_knob_end_to_end() {
+        // Through the whole CLI: every backend answers a disk-store query
+        // identically, and --stats reports which backend actually ran with
+        // its batch-depth counters.
+        use graph_zeppelin::IoBackendKind;
+        let path = tmp("io-backend");
+        execute(Command::Generate {
+            dataset: DatasetArg::Kron(5),
+            seed: 23,
+            out: path.to_path_buf(),
+        })
+        .unwrap();
+        let reference = execute(components_cmd(&path, None)).unwrap();
+        let count = |s: &str| s.split_whitespace().next().unwrap().to_string();
+        let kinds: &[IoBackendKind] = if graph_zeppelin::uring_available() {
+            &[IoBackendKind::Auto, IoBackendKind::Pread, IoBackendKind::Uring]
+        } else {
+            eprintln!("skipping uring lane: io_uring unavailable on this host");
+            &[IoBackendKind::Auto, IoBackendKind::Pread]
+        };
+        for &kind in kinds {
+            let workdir = gz_testutil::TempPath::new("gz-cli-io-backend", ".d");
+            let mut cmd = components_cmd(&path, None);
+            if let Command::Components { store, dir, io_backend, stats, query_mode, .. } = &mut cmd
+            {
+                *store = StoreArg::Disk;
+                *dir = Some(workdir.to_path_buf());
+                *io_backend = Some(kind);
+                *stats = true;
+                *query_mode = QueryMode::Streaming;
+            }
+            let out = execute(cmd).unwrap();
+            assert_eq!(count(&out), count(&reference), "{kind:?}");
+            let io_line = out
+                .lines()
+                .find(|l| l.starts_with("io backend "))
+                .unwrap_or_else(|| panic!("no io line for {kind:?}: {out}"));
+            if kind == IoBackendKind::Pread {
+                assert!(io_line.contains("io backend pread"), "{io_line}");
+            }
+            if kind == IoBackendKind::Uring {
+                assert!(io_line.contains("io backend uring"), "{io_line}");
+            }
+            assert!(io_line.contains("submissions"), "{io_line}");
+        }
+        // The flag parses and runs on checkpoint restore too (the restored
+        // store is RAM-resident, so it is accepted for parity and ignored).
+        let ckpt = gz_testutil::TempPath::new("gz-cli-io-ckpt", ".gzc");
+        execute(Command::CheckpointSave {
+            stream: path.to_path_buf(),
+            out: ckpt.to_path_buf(),
+            workers: 2,
+            seed: 0x5EED_1E55,
+        })
+        .unwrap();
+        let restored = execute(Command::CheckpointRestore {
+            path: ckpt.to_path_buf(),
+            forest: false,
+            query_mode: QueryMode::Snapshot,
+            query_threads: None,
+            io_backend: Some(IoBackendKind::Pread),
+        })
+        .unwrap();
+        assert_eq!(count(&restored), count(&reference));
     }
 
     #[test]
@@ -1511,6 +1709,7 @@ mod tests {
             query_threads: None,
             staleness: None,
             threshold: None,
+            io_backend: None,
             stats: false,
             shards: None,
             connect: Vec::new(),

@@ -12,14 +12,16 @@ fn main() {
                  [--workers N] [--store ram|disk] [--buffering leaf|tree] \
                  [--dir DIR] [--forest]\n                \
                  [--query-mode snapshot|streaming] [--query-threads N] \
-                 [--staleness U] [--threshold T] [--stats]\n                \
+                 [--staleness U] [--threshold T] \
+                 [--io-backend auto|pread|uring] [--stats]\n                \
                  [--shards K [--connect HOST:PORT,...]]\n  gz checkpoint save \
                  FILE --from STREAM [--workers N] [--seed S]\n  gz checkpoint \
                  restore FILE [--forest] [--query-mode snapshot|streaming] \
-                 [--query-threads N]\n  \
+                 [--query-threads N] [--io-backend auto|pread|uring]\n  \
                  gz shard-worker --listen HOST:PORT \
                  --nodes N --shards K --index I [--seed S]\n                  \
-                 [--workers N] [--store ram|disk] [--dir DIR] [--threshold T]\n  \
+                 [--workers N] [--store ram|disk] [--dir DIR] [--threshold T] \
+                 [--io-backend auto|pread|uring]\n  \
                  gz bipartite FILE"
             );
             std::process::exit(2);

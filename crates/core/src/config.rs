@@ -6,6 +6,7 @@
 //! (RAM vs SSD), and the batch-level locking discipline (§5.1).
 
 use crate::error::GzError;
+use crate::store::io_backend::IoBackendConfig;
 use std::path::PathBuf;
 
 /// How large each leaf gutter is.
@@ -145,6 +146,11 @@ pub struct GzConfig {
     /// start: the exact pre-hybrid behavior, and the equivalence oracle
     /// the hybrid tests compare against.
     pub sketch_threshold: u32,
+    /// Disk-store I/O backend tunables (DESIGN.md §13): pread vs io_uring,
+    /// submission queue depth, O_DIRECT mode. Ignored by RAM stores, and
+    /// deliberately excluded from parameter digests — the backend changes
+    /// how bytes move, never which bytes exist.
+    pub io: IoBackendConfig,
 }
 
 impl GzConfig {
@@ -165,6 +171,7 @@ impl GzConfig {
             query_threads: None,
             query_staleness: None,
             sketch_threshold: 0,
+            io: IoBackendConfig::default(),
         }
     }
 
@@ -221,6 +228,9 @@ impl GzConfig {
         if self.rounds() == 0 {
             return Err(GzError::InvalidConfig("need at least one Boruvka round".into()));
         }
+        if self.io.queue_depth == 0 {
+            return Err(GzError::InvalidConfig("io queue_depth must be ≥ 1".into()));
+        }
         Ok(())
     }
 }
@@ -263,6 +273,9 @@ mod tests {
         assert!(c.validate().is_err());
         let mut c = GzConfig::in_ram(64);
         c.num_columns = 0;
+        assert!(c.validate().is_err());
+        let mut c = GzConfig::in_ram(64);
+        c.io.queue_depth = 0;
         assert!(c.validate().is_err());
     }
 

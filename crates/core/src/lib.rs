@@ -92,7 +92,8 @@ pub use sharding::{
 };
 pub use sparse::SparseSet;
 pub use store::{
-    EpochOverlay, EpochRoundSource, MaterializedSource, NodeSet, RepStats, SketchEpoch,
-    SketchSource, SliceSource, StoreRoundSource,
+    uring_available, EpochOverlay, EpochRoundSource, IoBackendConfig, IoBackendKind,
+    MaterializedSource, NodeSet, RepStats, SketchEpoch, SketchSource, SliceSource,
+    StoreRoundSource,
 };
 pub use system::{ConnectedComponents, GraphZeppelin};

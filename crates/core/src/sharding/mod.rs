@@ -48,6 +48,7 @@ use crate::config::{GutterCapacity, LockingStrategy, QueryMode, StoreBackend};
 use crate::error::GzError;
 use crate::node_sketch::{CubeNodeSketch, CubeRoundSketch, SketchParams};
 use crate::sparse::SparseSet;
+use crate::store::io_backend::IoBackendConfig;
 use crate::store::SketchSource;
 use gz_gutters::WorkerPool;
 use std::sync::Arc;
@@ -98,6 +99,12 @@ pub struct ShardConfig {
     /// since its seal. Coordinator-side only — not part of the parameter
     /// digest.
     pub query_staleness: Option<u64>,
+    /// Disk-store I/O backend tunables for each shard's store, mirroring
+    /// [`crate::config::GzConfig::io`]. Ignored by RAM stores and not part
+    /// of the parameter digest — the backend changes how bytes move, never
+    /// which bytes exist, so shards with different backends still gather
+    /// mergeable state.
+    pub io: IoBackendConfig,
 }
 
 impl ShardConfig {
@@ -119,6 +126,7 @@ impl ShardConfig {
             query_mode: QueryMode::default(),
             query_threads: None,
             query_staleness: None,
+            io: IoBackendConfig::default(),
         }
     }
 
@@ -170,6 +178,9 @@ impl ShardConfig {
         }
         if self.num_columns == 0 {
             return Err(GzError::InvalidConfig("need at least one sketch column".into()));
+        }
+        if self.io.queue_depth == 0 {
+            return Err(GzError::InvalidConfig("io queue_depth must be ≥ 1".into()));
         }
         Ok(())
     }

@@ -59,13 +59,14 @@ impl ShardPipeline {
                     std::process::id(),
                     config.seed
                 ));
-                Arc::new(SketchStore::Disk(DiskStore::for_nodes_with_threshold(
+                Arc::new(SketchStore::Disk(DiskStore::for_nodes_with_options(
                     Arc::clone(&params),
                     owned,
                     path,
                     *block_bytes,
                     *cache_groups,
                     config.sketch_threshold,
+                    config.io,
                 )?))
             }
         };

@@ -20,12 +20,12 @@
 use crate::node_sketch::{CubeNodeSketch, CubeRoundSketch, NodeSketch, SketchParams};
 use crate::sparse::SparseSet;
 use crate::store::epoch::{EpochOverlay, EpochRegistry};
+use crate::store::io_backend::{IoBackendConfig, IoBackendImpl, ReadReq, O_DIRECT};
 use crate::store::{NodeSet, RepStats};
 use gz_gutters::{IoStats, WorkQueue};
 use parking_lot::Mutex;
 use std::collections::HashSet;
 use std::fs::File;
-use std::os::unix::fs::FileExt;
 use std::path::PathBuf;
 use std::sync::Arc;
 
@@ -58,6 +58,15 @@ pub struct DiskStore {
     cache_capacity: usize,
     cache: Mutex<CacheState>,
     io: Arc<IoStats>,
+    /// How file regions become syscalls: blocking preads, or batched
+    /// io_uring submissions (DESIGN.md §13). Selected by
+    /// [`IoBackendConfig::kind`]; `Auto` probes at open and falls back.
+    backend: IoBackendImpl,
+    /// A second, `O_DIRECT` handle on the backing file for the read paths
+    /// when direct mode is on (`None` = buffered reads). Writes always go
+    /// through the buffered `file` handle: write-back traffic is small and
+    /// unaligned, and the kernel keeps the two views coherent.
+    read_file: Option<File>,
     /// Live sealed epochs. The copy-on-write "group" is the node group:
     /// captures happen under the cache lock, on the clean→dirty transition
     /// of a cached group (a clean group's value equals the file's, which is
@@ -112,6 +121,29 @@ impl DiskStore {
         cache_groups: usize,
         threshold: u32,
     ) -> std::io::Result<Self> {
+        Self::for_nodes_with_options(
+            params,
+            node_set,
+            path,
+            block_bytes,
+            cache_groups,
+            threshold,
+            IoBackendConfig::default(),
+        )
+    }
+
+    /// [`Self::for_nodes_with_threshold`] with explicit I/O tunables:
+    /// backend selection, submission queue depth, and O_DIRECT mode
+    /// (DESIGN.md §13).
+    pub fn for_nodes_with_options(
+        params: Arc<SketchParams>,
+        node_set: NodeSet,
+        path: PathBuf,
+        block_bytes: usize,
+        cache_groups: usize,
+        threshold: u32,
+        io: IoBackendConfig,
+    ) -> std::io::Result<Self> {
         let node_bytes = params.node_sketch_serialized_bytes();
         let num_slots = node_set.len() as u64;
         let group_size =
@@ -125,6 +157,16 @@ impl DiskStore {
             .truncate(true)
             .open(&path)?;
         file.set_len(num_groups as u64 * group_size as u64 * node_bytes as u64)?;
+
+        // Direct mode is best-effort: some filesystems (notably tmpfs)
+        // refuse O_DIRECT, in which case reads stay buffered.
+        let read_file = if io.direct {
+            use std::os::unix::fs::OpenOptionsExt;
+            std::fs::OpenOptions::new().read(true).custom_flags(O_DIRECT).open(&path).ok()
+        } else {
+            None
+        };
+        let backend = IoBackendImpl::resolve(io.kind, io.queue_depth, read_file.is_some())?;
 
         let sparse = if threshold == 0 {
             vec![None; num_slots as usize]
@@ -141,10 +183,25 @@ impl DiskStore {
             cache_capacity: cache_groups.max(1),
             cache: Mutex::new(CacheState { groups: std::collections::HashMap::new(), clock: 0 }),
             io: Arc::new(IoStats::new()),
+            backend,
+            read_file,
             epochs: EpochRegistry::new(),
             threshold,
             sparse: Mutex::new(sparse),
         })
+    }
+
+    /// The file handle read paths use: the O_DIRECT handle in direct mode,
+    /// the ordinary buffered handle otherwise.
+    fn read_handle(&self) -> &File {
+        self.read_file.as_ref().unwrap_or(&self.file)
+    }
+
+    /// Resolved backend description, e.g. `"uring"` or `"pread+direct"`
+    /// (for `--stats` output and test logs).
+    pub fn io_backend_name(&self) -> String {
+        let direct = if self.read_file.is_some() { "+direct" } else { "" };
+        format!("{}{direct}", self.backend.name())
     }
 
     /// Seal the current generation: write back every dirty cached group
@@ -154,13 +211,40 @@ impl DiskStore {
     /// have quiesced ingestion first.
     pub fn begin_epoch(&self) -> std::io::Result<(u64, Arc<EpochOverlay>)> {
         let mut cache = self.cache.lock();
-        for (&group, entry) in cache.groups.iter_mut() {
-            if entry.dirty {
-                self.write_group(group, &entry.sketches)?;
-                entry.dirty = false;
+        self.writeback_dirty(&mut cache)?;
+        Ok(self.epochs.register())
+    }
+
+    /// Write every dirty cached group back to the file, coalescing runs of
+    /// *adjacent* dirty group ids into single contiguous writes (their file
+    /// regions abut, so one larger write is equivalent) and batching all
+    /// resulting regions into one submission window on the uring backend.
+    /// Shared by [`Self::flush`] and [`Self::begin_epoch`].
+    fn writeback_dirty(&self, cache: &mut CacheState) -> std::io::Result<()> {
+        let mut dirty: Vec<u32> =
+            cache.groups.iter().filter(|(_, e)| e.dirty).map(|(&g, _)| g).collect();
+        if dirty.is_empty() {
+            return Ok(());
+        }
+        dirty.sort_unstable();
+        let mut regions: Vec<(u64, Vec<u8>)> = Vec::new();
+        for &group in &dirty {
+            let bytes = self.encode_group(&cache.groups[&group].sketches);
+            match regions.last_mut() {
+                // Adjacent in the file iff the previous run ends exactly at
+                // this group's offset (every non-final group encodes to the
+                // full `group_size × node_bytes` region).
+                Some((offset, run)) if *offset + run.len() as u64 == self.group_offset(group) => {
+                    run.extend_from_slice(&bytes);
+                }
+                _ => regions.push((self.group_offset(group), bytes)),
             }
         }
-        Ok(self.epochs.register())
+        self.backend.write_regions(&self.file, &regions, &self.io)?;
+        for group in dirty {
+            cache.groups.get_mut(&group).expect("dirty group cached").dirty = false;
+        }
+        Ok(())
     }
 
     /// Shared sketch parameters.
@@ -229,44 +313,42 @@ impl DiskStore {
     fn load_group(&self, group: u32) -> std::io::Result<Vec<CubeNodeSketch>> {
         let n = self.nodes_in_group(group) as usize;
         let mut bytes = vec![0u8; n * self.node_bytes];
-        self.file.read_exact_at(&mut bytes, self.group_offset(group))?;
-        self.io.record_read(bytes.len() as u64);
+        self.backend.read_into(
+            self.read_handle(),
+            self.group_offset(group),
+            &mut bytes,
+            &self.io,
+        )?;
         Ok(self.decode_group(&bytes, n))
     }
 
     fn write_group(&self, group: u32, sketches: &[CubeNodeSketch]) -> std::io::Result<()> {
         let bytes = self.encode_group(sketches);
-        self.file.write_all_at(&bytes, self.group_offset(group))?;
-        self.io.record_write(bytes.len() as u64);
-        Ok(())
+        self.backend.write_regions(&self.file, &[(self.group_offset(group), bytes)], &self.io)
     }
 
-    /// Read the round-`round` slice of `group`: one contiguous *positioned*
-    /// read (`FileExt::read_exact_at`) of the group's `k × round_bytes`
-    /// column data. Positioned reads carry their own offset, so any number
-    /// of query workers can fetch different groups through the shared
-    /// `&File` concurrently without a seek cursor to race on. The read is
-    /// counted in `stats` — the caller's [`IoStats`], which parallel
-    /// readers keep thread-local and merge once per worker.
-    fn read_round_slice_counted(
-        &self,
-        group: u32,
-        round: usize,
-        stats: &IoStats,
-    ) -> std::io::Result<Vec<u8>> {
+    /// The file region holding `group`'s round-`round` slice: one
+    /// contiguous span of the group's `k × round_bytes` column data
+    /// (round-major layout). Regions carry their own offsets, so any
+    /// number of query workers can have reads of different groups in
+    /// flight on the shared `&File` concurrently — there is no seek cursor
+    /// to race on. Reads are counted in the caller's [`IoStats`], which
+    /// parallel readers keep thread-local and merge once per worker.
+    fn round_slice_req(&self, group: u32, round: usize) -> ReadReq {
         let k = self.nodes_in_group(group) as usize;
-        let mut bytes = vec![0u8; k * self.params.round_serialized_bytes(round)];
-        let offset =
-            self.group_offset(group) + (k * self.params.round_serialized_offset(round)) as u64;
-        self.file.read_exact_at(&mut bytes, offset)?;
-        stats.record_read(bytes.len() as u64);
-        Ok(bytes)
+        ReadReq {
+            offset: self.group_offset(group)
+                + (k * self.params.round_serialized_offset(round)) as u64,
+            len: k * self.params.round_serialized_bytes(round),
+        }
     }
 
-    /// [`Self::read_round_slice_counted`] against the store's shared
-    /// counters (the single-reader paths).
+    #[cfg(test)]
     fn read_round_slice(&self, group: u32, round: usize) -> std::io::Result<Vec<u8>> {
-        self.read_round_slice_counted(group, round, &self.io)
+        let req = self.round_slice_req(group, round);
+        let mut bytes = vec![0u8; req.len];
+        self.backend.read_into(self.read_handle(), req.offset, &mut bytes, &self.io)?;
+        Ok(bytes)
     }
 
     /// Deliver `group`'s live, dense round-`round` slices out of a raw file
@@ -457,16 +539,19 @@ impl DiskStore {
         .expect("disk store batch application failed");
     }
 
-    /// Flush every dirty cached group back to the file.
+    /// Flush every dirty cached group back to the file (adjacent dirty
+    /// groups coalesce into single contiguous writes; see
+    /// [`Self::writeback_dirty`]).
     pub fn flush(&self) -> std::io::Result<()> {
         let mut cache = self.cache.lock();
-        for (&group, entry) in cache.groups.iter_mut() {
-            if entry.dirty {
-                self.write_group(group, &entry.sketches)?;
-                entry.dirty = false;
-            }
-        }
-        Ok(())
+        self.writeback_dirty(&mut cache)
+    }
+
+    /// Groups a stream-path reader claims per batch: the backend's natural
+    /// submission window, bounded by the cache budget (the prefetch queue
+    /// must be able to absorb a whole window without exceeding `M`).
+    fn stream_window(&self) -> usize {
+        self.backend.read_window().min(self.cache_capacity).max(1)
     }
 
     /// Stream the round-`round` slice of every owned node whose component
@@ -510,10 +595,28 @@ impl DiskStore {
             let _close_guard = CloseOnExit(&queue);
 
             scope.spawn(|| {
-                for &g in &wanted {
-                    let slice = self.read_round_slice(g, round);
-                    let stop = slice.is_err();
-                    if !queue.push((g, slice)) || stop {
+                // Reads go down in windows of up to `stream_window` groups
+                // per backend submission (1 on pread — the original
+                // one-read-ahead pipeline — up to the queue depth on
+                // uring); completed slices may arrive out of request order.
+                for chunk in wanted.chunks(self.stream_window()) {
+                    let reqs: Vec<ReadReq> =
+                        chunk.iter().map(|&g| self.round_slice_req(g, round)).collect();
+                    let mut open = true;
+                    let read = self.backend.read_regions(
+                        self.read_handle(),
+                        &reqs,
+                        &self.io,
+                        &mut |i, bytes| {
+                            open = queue.push((chunk[i], Ok(bytes.to_vec())));
+                            open
+                        },
+                    );
+                    if let Err(e) = read {
+                        queue.push((chunk[0], Err(e)));
+                        break;
+                    }
+                    if !open {
                         break;
                     }
                 }
@@ -569,14 +672,37 @@ impl DiskStore {
             let _close_guard = CloseOnExit(&queue);
 
             scope.spawn(|| {
-                for &g in &wanted {
-                    let item = if overlay.get(g).is_some() {
-                        Ok(None)
-                    } else {
-                        self.read_round_slice(g, round).map(Some)
-                    };
-                    let stop = item.is_err();
-                    if !queue.push((g, item)) || stop {
+                // Same windowed submission as the live path, except groups
+                // the overlay captured are served inline (`Ok(None)`) and
+                // only the misses join the read batch.
+                'chunks: for chunk in wanted.chunks(self.stream_window()) {
+                    let mut misses: Vec<u32> = Vec::with_capacity(chunk.len());
+                    for &g in chunk {
+                        if overlay.get(g).is_some() {
+                            if !queue.push((g, Ok(None))) {
+                                break 'chunks;
+                            }
+                        } else {
+                            misses.push(g);
+                        }
+                    }
+                    let reqs: Vec<ReadReq> =
+                        misses.iter().map(|&g| self.round_slice_req(g, round)).collect();
+                    let mut open = true;
+                    let read = self.backend.read_regions(
+                        self.read_handle(),
+                        &reqs,
+                        &self.io,
+                        &mut |i, bytes| {
+                            open = queue.push((misses[i], Ok(Some(bytes.to_vec()))));
+                            open
+                        },
+                    );
+                    if let Err(e) = read {
+                        queue.push((chunk[0], Err(e)));
+                        break;
+                    }
+                    if !open {
                         break;
                     }
                 }
@@ -618,6 +744,7 @@ impl DiskStore {
     ) -> std::io::Result<()> {
         let skip = self.sealed_sparse_slots(overlay);
         let wanted = self.wanted_groups(live, &skip);
+        let window = self.stream_window();
         let next = std::sync::atomic::AtomicUsize::new(0);
         let failed = std::sync::atomic::AtomicBool::new(false);
         let first_error: Mutex<Option<std::io::Error>> = Mutex::new(None);
@@ -628,35 +755,69 @@ impl DiskStore {
                 if failed.load(std::sync::atomic::Ordering::Relaxed) {
                     break;
                 }
-                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                let Some(&group) = wanted.get(i) else { break };
-                if let Some(pre) = overlay.get(group) {
-                    self.emit_group_overlay(group, round, &pre, live, &skip, &mut |n, s| {
-                        sink.fold(n, s)
-                    });
-                    continue;
+                let start = next.fetch_add(window, std::sync::atomic::Ordering::Relaxed);
+                if start >= wanted.len() {
+                    break;
                 }
-                match self.read_round_slice_counted(group, round, &local_io) {
-                    Err(e) => {
-                        failed.store(true, std::sync::atomic::Ordering::Relaxed);
-                        let mut slot = first_error.lock();
-                        if slot.is_none() {
-                            *slot = Some(e);
-                        }
-                        break;
-                    }
-                    Ok(bytes) => match overlay.get(group) {
+                let chunk = &wanted[start..wanted.len().min(start + window)];
+                // Overlay-captured groups are served from their sealed
+                // pre-images inline; only the misses join the read batch.
+                let mut misses: Vec<u32> = Vec::with_capacity(chunk.len());
+                for &group in chunk {
+                    match overlay.get(group) {
                         Some(pre) => {
-                            self.emit_group_overlay(group, round, &pre, live, &skip, &mut |n, s| {
-                                sink.fold(n, s)
-                            })
+                            self.emit_group_overlay(
+                                group,
+                                round,
+                                &pre,
+                                live,
+                                &skip,
+                                &mut |n, s| sink.fold(n, s),
+                            );
                         }
-                        None => {
-                            self.emit_group_slice(group, round, &bytes, live, &skip, &mut |n, s| {
-                                sink.fold(n, s)
-                            })
+                        None => misses.push(group),
+                    }
+                }
+                let reqs: Vec<ReadReq> =
+                    misses.iter().map(|&g| self.round_slice_req(g, round)).collect();
+                let read = self.backend.read_regions(
+                    self.read_handle(),
+                    &reqs,
+                    &local_io,
+                    &mut |i, bytes| {
+                        // The overlay is re-checked after the read and
+                        // always wins: a capture landing mid-read means the
+                        // read may have raced a write-back of post-seal
+                        // state, and the capture happens-before it.
+                        let group = misses[i];
+                        match overlay.get(group) {
+                            Some(pre) => self.emit_group_overlay(
+                                group,
+                                round,
+                                &pre,
+                                live,
+                                &skip,
+                                &mut |n, s| sink.fold(n, s),
+                            ),
+                            None => self.emit_group_slice(
+                                group,
+                                round,
+                                bytes,
+                                live,
+                                &skip,
+                                &mut |n, s| sink.fold(n, s),
+                            ),
                         }
+                        !failed.load(std::sync::atomic::Ordering::Relaxed)
                     },
+                );
+                if let Err(e) = read {
+                    failed.store(true, std::sync::atomic::Ordering::Relaxed);
+                    let mut slot = first_error.lock();
+                    if slot.is_none() {
+                        *slot = Some(e);
+                    }
+                    break;
                 }
             }
             self.io.merge_from(&local_io);
@@ -690,6 +851,7 @@ impl DiskStore {
         let skip = self.sparse_slots();
         let wanted = self.wanted_groups(live, &skip);
 
+        let window = self.stream_window();
         let next = std::sync::atomic::AtomicUsize::new(0);
         let failed = std::sync::atomic::AtomicBool::new(false);
         let first_error: Mutex<Option<std::io::Error>> = Mutex::new(None);
@@ -700,22 +862,37 @@ impl DiskStore {
                 if failed.load(std::sync::atomic::Ordering::Relaxed) {
                     break;
                 }
-                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                let Some(&group) = wanted.get(i) else { break };
-                match self.read_round_slice_counted(group, round, &local_io) {
-                    Err(e) => {
-                        failed.store(true, std::sync::atomic::Ordering::Relaxed);
-                        let mut slot = first_error.lock();
-                        if slot.is_none() {
-                            *slot = Some(e);
-                        }
-                        break;
-                    }
-                    Ok(bytes) => {
-                        self.emit_group_slice(group, round, &bytes, live, &skip, &mut |n, s| {
+                // Claim a whole submission window of groups per trip to the
+                // shared cursor: one group at a time on pread (exactly the
+                // old claim granularity), `queue_depth` at a time on uring,
+                // where the batch goes down in a single `io_uring_enter`
+                // and completions fold in whatever order they surface —
+                // folding is XOR, so results stay bit-identical.
+                let start = next.fetch_add(window, std::sync::atomic::Ordering::Relaxed);
+                if start >= wanted.len() {
+                    break;
+                }
+                let chunk = &wanted[start..wanted.len().min(start + window)];
+                let reqs: Vec<ReadReq> =
+                    chunk.iter().map(|&g| self.round_slice_req(g, round)).collect();
+                let read = self.backend.read_regions(
+                    self.read_handle(),
+                    &reqs,
+                    &local_io,
+                    &mut |i, bytes| {
+                        self.emit_group_slice(chunk[i], round, bytes, live, &skip, &mut |n, s| {
                             sink.fold(n, s)
-                        })
+                        });
+                        !failed.load(std::sync::atomic::Ordering::Relaxed)
+                    },
+                );
+                if let Err(e) = read {
+                    failed.store(true, std::sync::atomic::Ordering::Relaxed);
+                    let mut slot = first_error.lock();
+                    if slot.is_none() {
+                        *slot = Some(e);
                     }
+                    break;
                 }
             }
             self.io.merge_from(&local_io);
@@ -729,15 +906,18 @@ impl DiskStore {
     /// Upper bound on sketch bytes the round stream holds resident at once
     /// when read by `threads` query workers. Single-threaded, that is the
     /// prefetch pipeline: the queue (`cache_groups` slices), the slice
-    /// being folded, and one more the prefetcher may hold while blocked in
-    /// `push`. With `threads > 1` workers read for themselves — each holds
-    /// at most one slice.
+    /// being folded, and up to one submission window the prefetcher may
+    /// hold in flight while blocked in `push`. With `threads > 1` workers
+    /// read for themselves — each holds at most one window of slices. The
+    /// window never exceeds the cache budget (see [`Self::stream_window`]),
+    /// so batching deepens the pipeline without forfeiting the `M` bound.
     pub fn round_stream_resident_bytes(&self, round: usize, threads: usize) -> usize {
         let slice = self.group_size as usize * self.params.round_serialized_bytes(round);
+        let window = self.stream_window();
         if threads <= 1 {
-            (self.cache_capacity + 2) * slice
+            (self.cache_capacity + 1 + window) * slice
         } else {
-            threads * slice
+            threads * window * slice
         }
     }
 
@@ -1251,6 +1431,198 @@ mod tests {
         let sets = s.sparse_sets(&|_| true);
         assert!(sets.iter().any(|(n, set)| *n == 7 && set.neighbors() == [1]));
         assert!(!sets.iter().any(|(n, _)| *n == 4), "promoted node must leave the table");
+    }
+
+    fn make_io(
+        name: &str,
+        num_nodes: u64,
+        block_bytes: usize,
+        cache: usize,
+        io: IoBackendConfig,
+    ) -> (DiskStore, gz_testutil::TempPath) {
+        let params = Arc::new(SketchParams::new(num_nodes, 3, 7, 7));
+        let path = tmp(name);
+        let store = DiskStore::for_nodes_with_options(
+            params,
+            NodeSet::all(num_nodes),
+            path.to_path_buf(),
+            block_bytes,
+            cache,
+            0,
+            io,
+        )
+        .unwrap();
+        (store, path)
+    }
+
+    fn pread_config() -> IoBackendConfig {
+        IoBackendConfig {
+            kind: crate::store::io_backend::IoBackendKind::Pread,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn flush_coalesces_adjacent_dirty_groups() {
+        // One node per group, cache big enough that nothing evicts: after
+        // touching nodes 0..8, eight adjacent groups are dirty and flush
+        // must write them back as ONE contiguous write — strictly fewer
+        // write ops than the eight per-group writes of the uncoalesced
+        // path.
+        let (s, _t) = make_io("coalesce", 16, 64, 16, pread_config());
+        assert_eq!(s.group_size(), 1);
+        for node in 0..8u32 {
+            s.apply_batch(node, &[encode_other(node + 8, false)]);
+        }
+        let node_bytes = s.params().node_sketch_serialized_bytes() as u64;
+        let (_, writes_before, _, bytes_before) = s.io_stats().snapshot();
+        s.flush().unwrap();
+        let (_, writes, _, bytes_written) = s.io_stats().snapshot();
+        assert_eq!(writes - writes_before, 1, "8 adjacent dirty groups must coalesce to 1 write");
+        assert!(writes - writes_before < 8, "coalescing must reduce the write count");
+        assert_eq!(bytes_written - bytes_before, 8 * node_bytes, "payload is exact");
+
+        // Non-adjacent dirty groups (0, 2, 4) cannot coalesce: three runs.
+        for node in [0u32, 2, 4] {
+            s.apply_batch(node, &[encode_other(node + 1, false)]);
+        }
+        let (_, writes_before, _, _) = s.io_stats().snapshot();
+        s.flush().unwrap();
+        let (_, writes, _, _) = s.io_stats().snapshot();
+        assert_eq!(writes - writes_before, 3, "gaps break runs");
+
+        // Nothing dirty: flush must be free.
+        let (_, writes_before, _, _) = s.io_stats().snapshot();
+        s.flush().unwrap();
+        assert_eq!(s.io_stats().writes(), writes_before);
+    }
+
+    #[test]
+    fn epoch_seal_writeback_coalesces_too() {
+        let (s, _t) = make_io("epoch-coalesce", 12, 64, 16, pread_config());
+        assert_eq!(s.group_size(), 1);
+        for node in 4..9u32 {
+            s.apply_batch(node, &[encode_other(1, false)]);
+        }
+        let (_, writes_before, _, _) = s.io_stats().snapshot();
+        let _epoch = s.begin_epoch().unwrap();
+        let (_, writes, _, _) = s.io_stats().snapshot();
+        assert_eq!(writes - writes_before, 1, "seal write-back of groups 4..9 is one run");
+    }
+
+    #[test]
+    fn uring_store_matches_pread_bitwise() {
+        use crate::boruvka::RoundSink;
+        use crate::store::uring::uring_available;
+        use gz_gutters::WorkerPool;
+
+        if !uring_available() {
+            eprintln!("skipping: io_uring unavailable on this host");
+            return;
+        }
+        let uring_config = IoBackendConfig {
+            kind: crate::store::io_backend::IoBackendKind::Uring,
+            queue_depth: 4,
+            direct: false,
+        };
+        let (a, _t1) = make_io("eq-pread", 24, 64, 2, pread_config());
+        let (b, _t2) = make_io("eq-uring", 24, 64, 2, uring_config);
+        assert_eq!(b.io_backend_name(), "uring");
+        for i in 0..80u32 {
+            let (x, y) = (i % 24, (i * 7 + 1) % 24);
+            if x == y {
+                continue;
+            }
+            a.apply_batch(x, &[encode_other(y, false)]);
+            b.apply_batch(x, &[encode_other(y, false)]);
+        }
+
+        // Serial stream: same slices, and the same exact logical read
+        // counts, whatever order uring completes in.
+        for round in 0..a.params().rounds() {
+            let (ar, _, ab, _) = a.io_stats().snapshot();
+            let (br, _, bb, _) = b.io_stats().snapshot();
+            let mut got_a: Vec<(u32, Vec<u8>)> = Vec::new();
+            let mut got_b: Vec<(u32, Vec<u8>)> = Vec::new();
+            a.stream_round(round, &|_| true, &mut |n, s| {
+                let mut bytes = Vec::new();
+                s.serialize_into(&mut bytes);
+                got_a.push((n, bytes));
+            })
+            .unwrap();
+            b.stream_round(round, &|_| true, &mut |n, s| {
+                let mut bytes = Vec::new();
+                s.serialize_into(&mut bytes);
+                got_b.push((n, bytes));
+            })
+            .unwrap();
+            got_a.sort();
+            got_b.sort();
+            assert_eq!(got_a, got_b, "round {round}");
+            let (ar2, _, ab2, _) = a.io_stats().snapshot();
+            let (br2, _, bb2, _) = b.io_stats().snapshot();
+            assert_eq!(ar2 - ar, br2 - br, "logical read counts agree (round {round})");
+            assert_eq!(ab2 - ab, bb2 - bb, "logical read bytes agree (round {round})");
+        }
+
+        // Parallel stream on the uring store folds bit-identically to the
+        // pread snapshot, across out-of-order windowed completions.
+        let snap = a.snapshot();
+        let pool = WorkerPool::new(4);
+        let root_of: Vec<u32> = (0..24).collect();
+        let retired = vec![false; 24];
+        for round in 0..b.params().rounds() {
+            let sinks: Vec<Mutex<RoundSink<'_, CubeRoundSketch>>> =
+                (0..4).map(|_| Mutex::new(RoundSink::new(&root_of, &retired))).collect();
+            b.stream_round_parallel(round, &|_| true, &pool, &sinks).unwrap();
+            let mut acc: Vec<Option<CubeRoundSketch>> = (0..24).map(|_| None).collect();
+            for sink in sinks {
+                for (node, folded) in sink.into_inner().accumulators().into_iter().enumerate() {
+                    if let Some(folded) = folded {
+                        assert!(acc[node].replace(folded).is_none(), "node {node} folded twice");
+                    }
+                }
+            }
+            for node in 0..24usize {
+                let (mut got, mut want) = (Vec::new(), Vec::new());
+                acc[node].as_ref().expect("every node folded").serialize_into(&mut got);
+                snap[node].as_ref().unwrap().round(round).serialize_into(&mut want);
+                assert_eq!(got, want, "node {node} round {round}");
+            }
+        }
+        assert!(b.io_stats().submissions() > 0);
+        assert!(
+            b.io_stats().completions() >= b.io_stats().reads(),
+            "every logical read rode a completion"
+        );
+    }
+
+    #[test]
+    fn direct_mode_matches_buffered() {
+        // O_DIRECT is best-effort (tmpfs refuses it); whatever the open
+        // resolves to, results must be bit-identical to the buffered store.
+        let direct_config = IoBackendConfig { direct: true, ..pread_config() };
+        let (d, _t1) = make_io("direct", 16, 64, 2, direct_config);
+        let (o, _t2) = make_io("direct-oracle", 16, 64, 2, pread_config());
+        if !d.io_backend_name().ends_with("+direct") {
+            eprintln!("note: O_DIRECT unavailable on temp filesystem, exercising fallback");
+        }
+        for node in 0..16u32 {
+            d.apply_batch(node, &[encode_other((node + 3) % 16, false)]);
+            o.apply_batch(node, &[encode_other((node + 3) % 16, false)]);
+        }
+        let (sd, so) = (d.snapshot(), o.snapshot());
+        for (slot, (x, y)) in sd.iter().zip(so.iter()).enumerate() {
+            crate::node_sketch::assert_rounds_bitwise_equal(
+                x.as_ref().unwrap(),
+                y.as_ref().unwrap(),
+                &format!("slot {slot}"),
+            );
+        }
+        let mut got = Vec::new();
+        d.stream_round(0, &|_| true, &mut |n, _| got.push(n)).unwrap();
+        got.sort_unstable();
+        assert_eq!(got, (0..16u32).collect::<Vec<_>>());
     }
 
     #[test]

@@ -14,9 +14,13 @@
 
 pub mod disk;
 pub mod epoch;
+pub mod io_backend;
 pub mod ram;
+pub mod uring;
 
 pub use epoch::{EpochOverlay, EpochRoundSource, SketchEpoch};
+pub use io_backend::{IoBackendConfig, IoBackendKind};
+pub use uring::uring_available;
 
 use crate::boruvka::RoundSink;
 use crate::config::{GzConfig, StoreBackend};
@@ -138,13 +142,14 @@ impl SketchStore {
             StoreBackend::Disk { dir, block_bytes, cache_groups } => {
                 let path =
                     dir.join(format!("gz_sketches_{}_{}.bin", std::process::id(), config.seed));
-                Ok(SketchStore::Disk(disk::DiskStore::for_nodes_with_threshold(
+                Ok(SketchStore::Disk(disk::DiskStore::for_nodes_with_options(
                     params,
                     node_set,
                     path,
                     *block_bytes,
                     *cache_groups,
                     config.sketch_threshold,
+                    config.io,
                 )?))
             }
         }
@@ -206,6 +211,15 @@ impl SketchStore {
         match self {
             SketchStore::Ram(_) => None,
             SketchStore::Disk(s) => Some(s.io_stats()),
+        }
+    }
+
+    /// The resolved I/O backend name (`"pread"`, `"uring"`, optionally
+    /// `"+direct"`), if this store touches disk.
+    pub fn io_backend_name(&self) -> Option<String> {
+        match self {
+            SketchStore::Ram(_) => None,
+            SketchStore::Disk(s) => Some(s.io_backend_name()),
         }
     }
 

@@ -319,6 +319,13 @@ impl GraphZeppelin {
         self.store.io_stats()
     }
 
+    /// Name of the disk store's resolved I/O backend (`"pread"`,
+    /// `"uring"`, with `"+direct"` when O_DIRECT reads are live); `None`
+    /// for RAM stores.
+    pub fn io_backend_name(&self) -> Option<String> {
+        self.store.io_backend_name()
+    }
+
     /// The sketch store (group layout, I/O accounting — the experiment
     /// suite inspects it to verify the streaming query's I/O bounds).
     pub fn store(&self) -> &SketchStore {

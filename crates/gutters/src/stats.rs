@@ -17,6 +17,10 @@ pub struct IoStats {
     bytes_written: AtomicU64,
     sparse_promotions: AtomicU64,
     rounds_synthesized: AtomicU64,
+    submissions: AtomicU64,
+    completions: AtomicU64,
+    depth_sum: AtomicU64,
+    depth_max: AtomicU64,
 }
 
 impl IoStats {
@@ -77,6 +81,50 @@ impl IoStats {
         self.rounds_synthesized.fetch_add(n, Ordering::Relaxed);
     }
 
+    /// Record one submission batch handed to the kernel (an
+    /// `io_uring_enter`, or a single positioned syscall on the pread path)
+    /// with `in_flight` operations pending once it returned. Tracks how
+    /// deep the I/O pipeline actually runs: `submissions` counts batches,
+    /// `depth_sum / submissions` is the mean post-submit depth, and
+    /// `depth_max` the deepest point observed.
+    #[inline]
+    pub fn record_batch(&self, in_flight: u64) {
+        self.submissions.fetch_add(1, Ordering::Relaxed);
+        self.depth_sum.fetch_add(in_flight, Ordering::Relaxed);
+        self.depth_max.fetch_max(in_flight, Ordering::Relaxed);
+    }
+
+    /// Record `n` operation completions reaped from the kernel.
+    #[inline]
+    pub fn record_completions(&self, n: u64) {
+        self.completions.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Submission batches handed to the kernel.
+    pub fn submissions(&self) -> u64 {
+        self.submissions.load(Ordering::Relaxed)
+    }
+
+    /// Operation completions reaped.
+    pub fn completions(&self) -> u64 {
+        self.completions.load(Ordering::Relaxed)
+    }
+
+    /// Deepest in-flight depth observed right after a submission batch.
+    pub fn max_depth(&self) -> u64 {
+        self.depth_max.load(Ordering::Relaxed)
+    }
+
+    /// Mean in-flight depth right after a submission batch (0.0 before any
+    /// batch was recorded).
+    pub fn mean_depth(&self) -> f64 {
+        let subs = self.submissions();
+        if subs == 0 {
+            return 0.0;
+        }
+        self.depth_sum.load(Ordering::Relaxed) as f64 / subs as f64
+    }
+
     /// Sparse→dense promotions performed.
     pub fn sparse_promotions(&self) -> u64 {
         self.sparse_promotions.load(Ordering::Relaxed)
@@ -98,6 +146,12 @@ impl IoStats {
         self.bytes_written.fetch_add(other.bytes_written(), Ordering::Relaxed);
         self.sparse_promotions.fetch_add(other.sparse_promotions(), Ordering::Relaxed);
         self.rounds_synthesized.fetch_add(other.rounds_synthesized(), Ordering::Relaxed);
+        self.submissions.fetch_add(other.submissions(), Ordering::Relaxed);
+        self.completions.fetch_add(other.completions(), Ordering::Relaxed);
+        self.depth_sum.fetch_add(other.depth_sum.load(Ordering::Relaxed), Ordering::Relaxed);
+        // Depth is a high-water mark, not a flow: the merged maximum is the
+        // max over workers, while sums and counts add exactly.
+        self.depth_max.fetch_max(other.max_depth(), Ordering::Relaxed);
     }
 
     /// Reset all counters to zero.
@@ -108,6 +162,10 @@ impl IoStats {
         self.bytes_written.store(0, Ordering::Relaxed);
         self.sparse_promotions.store(0, Ordering::Relaxed);
         self.rounds_synthesized.store(0, Ordering::Relaxed);
+        self.submissions.store(0, Ordering::Relaxed);
+        self.completions.store(0, Ordering::Relaxed);
+        self.depth_sum.store(0, Ordering::Relaxed);
+        self.depth_max.store(0, Ordering::Relaxed);
     }
 
     /// Snapshot of all four counters (reads, writes, bytes_read,
@@ -182,6 +240,54 @@ mod tests {
         let expected: u64 = (0..8u64).map(|w| (0..500).map(|i| w * 1000 + i).sum::<u64>()).sum();
         assert_eq!(shared.bytes_read(), expected);
         assert_eq!(shared.bytes_written(), 8 * 7);
+    }
+
+    #[test]
+    fn batch_depth_accumulates_and_resets() {
+        let s = IoStats::new();
+        assert_eq!(s.mean_depth(), 0.0, "no batches yet");
+        s.record_batch(4);
+        s.record_batch(8);
+        s.record_batch(2);
+        s.record_completions(14);
+        assert_eq!(s.submissions(), 3);
+        assert_eq!(s.completions(), 14);
+        assert_eq!(s.max_depth(), 8);
+        assert!((s.mean_depth() - 14.0 / 3.0).abs() < 1e-9);
+        s.reset();
+        assert_eq!(s.submissions(), 0);
+        assert_eq!(s.completions(), 0);
+        assert_eq!(s.max_depth(), 0);
+        assert_eq!(s.mean_depth(), 0.0);
+    }
+
+    #[test]
+    fn per_worker_batch_merge_sums_exactly() {
+        // The batch-depth counters obey the same per-worker merge
+        // discipline as reads/writes: every worker records into a local
+        // IoStats and merges once, and concurrent merges must sum exactly
+        // (max_depth takes the max over workers instead).
+        let shared = std::sync::Arc::new(IoStats::new());
+        std::thread::scope(|scope| {
+            for w in 0..8u64 {
+                let shared = std::sync::Arc::clone(&shared);
+                scope.spawn(move || {
+                    let local = IoStats::new();
+                    for i in 0..100 {
+                        local.record_batch(w + 1 + (i % 3));
+                        local.record_completions(w + 1 + (i % 3));
+                    }
+                    shared.merge_from(&local);
+                });
+            }
+        });
+        assert_eq!(shared.submissions(), 8 * 100);
+        let expected: u64 =
+            (0..8u64).map(|w| (0..100u64).map(|i| w + 1 + (i % 3)).sum::<u64>()).sum();
+        assert_eq!(shared.completions(), expected);
+        // Deepest batch across all workers: w = 7, i % 3 = 2 → 10.
+        assert_eq!(shared.max_depth(), 10);
+        assert!((shared.mean_depth() - expected as f64 / 800.0).abs() < 1e-9);
     }
 
     #[test]

@@ -1,0 +1,258 @@
+//! I/O backend equivalence: the disk store's pread and io_uring backends
+//! must be *bit-for-bit* interchangeable — labels, spanning forest (with
+//! edge order), and the serialized sketch state all agree, because a
+//! backend only changes how bytes move, never which bytes exist. The uring
+//! lanes skip with a logged reason on hosts without io_uring (seccomp'd
+//! containers, old kernels); the pread lanes always run.
+
+use graph_zeppelin::{
+    uring_available, GraphZeppelin, GzConfig, IoBackendKind, QueryMode, ShardConfig,
+    ShardedGraphZeppelin, StoreBackend,
+};
+use gz_stream::{Dataset, StreamifyConfig, UpdateKind};
+use gz_testutil::TempDir;
+
+/// A deliberately cache-starved disk config so queries actually stream
+/// groups through the chosen backend instead of hitting the LRU.
+fn disk_config(n: u64, dir: &TempDir, kind: IoBackendKind) -> GzConfig {
+    let mut config = GzConfig::in_ram(n);
+    config.store =
+        StoreBackend::Disk { dir: dir.path().to_path_buf(), block_bytes: 512, cache_groups: 2 };
+    config.query_mode = QueryMode::Streaming;
+    config.io.kind = kind;
+    config.io.queue_depth = 8;
+    config
+}
+
+fn ingested(config: GzConfig, updates: &[(u32, u32, bool)]) -> GraphZeppelin {
+    let mut gz = GraphZeppelin::new(config).expect("valid config");
+    for &(u, v, d) in updates {
+        gz.update(u, v, d);
+    }
+    gz
+}
+
+fn shared_stream() -> (u64, Vec<(u32, u32, bool)>) {
+    let dataset = Dataset::kron(7);
+    let stream = dataset.stream(31, &StreamifyConfig::default());
+    let updates = stream.updates.iter().map(|u| (u.u, u.v, u.kind == UpdateKind::Delete)).collect();
+    (dataset.num_vertices, updates)
+}
+
+/// Skip guard for uring lanes: false (with the reason on stderr) when the
+/// host cannot run io_uring, so CI on locked-down runners stays green
+/// without a silent pass.
+fn uring_or_skip(test: &str) -> bool {
+    if uring_available() {
+        return true;
+    }
+    eprintln!("skipping {test}: io_uring unavailable on this host (probe failed)");
+    false
+}
+
+/// The disk-query suite under both backends: identical answers and
+/// identical serialized sketch state on a cache-constrained store, in both
+/// query modes, with O_DIRECT layered on top of each backend.
+#[test]
+fn disk_queries_agree_across_backends_and_direct_mode() {
+    let (n, updates) = shared_stream();
+
+    let pread_dir = TempDir::new("gz-iobe-pread");
+    let mut pread = ingested(disk_config(n, &pread_dir, IoBackendKind::Pread), &updates);
+    let reference = pread.spanning_forest_streaming().expect("pread streaming query");
+    let reference_state = pread.snapshot_serialized();
+    let snapshot = pread.spanning_forest_snapshot().expect("pread snapshot query");
+    assert_eq!(reference.labels, snapshot.labels, "pread streaming vs snapshot");
+
+    let mut lanes: Vec<(IoBackendKind, bool, &str)> =
+        vec![(IoBackendKind::Pread, true, "pread+direct")];
+    if uring_or_skip("uring lanes of disk_queries_agree_across_backends_and_direct_mode") {
+        lanes.push((IoBackendKind::Uring, false, "uring"));
+        lanes.push((IoBackendKind::Uring, true, "uring+direct"));
+    }
+    for (kind, direct, label) in lanes {
+        let dir = TempDir::new("gz-iobe-lane");
+        let mut config = disk_config(n, &dir, kind);
+        config.io.direct = direct;
+        let mut gz = ingested(config, &updates);
+        let got = gz.spanning_forest_streaming().expect("lane streaming query");
+        assert_eq!(reference.labels, got.labels, "{label} labels");
+        assert_eq!(reference.forest, got.forest, "{label} forest");
+        assert_eq!(reference.rounds_used, got.rounds_used, "{label} rounds");
+        assert_eq!(reference_state, gz.snapshot_serialized(), "{label} serialized state");
+        let io = gz.store_io().expect("disk store has I/O counters");
+        assert!(io.reads() > 0, "{label} must have streamed groups off disk");
+        assert_eq!(io.submissions() > 0, io.completions() > 0, "{label} batch accounting");
+    }
+}
+
+/// Batch-depth accounting through a real query: the uring backend submits
+/// multi-entry batches (depth up to the configured queue depth), while
+/// pread stays at depth 1 — and both deliver the same logical read count.
+#[test]
+fn uring_batches_where_pread_iterates() {
+    if !uring_or_skip("uring_batches_where_pread_iterates") {
+        return;
+    }
+    let (n, updates) = shared_stream();
+
+    let pread_dir = TempDir::new("gz-iobe-depth-p");
+    let mut pread = ingested(disk_config(n, &pread_dir, IoBackendKind::Pread), &updates);
+    pread.spanning_forest_streaming().expect("pread query");
+    let pread_io = pread.store_io().expect("pread counters");
+
+    let uring_dir = TempDir::new("gz-iobe-depth-u");
+    let mut uring = ingested(disk_config(n, &uring_dir, IoBackendKind::Uring), &updates);
+    uring.spanning_forest_streaming().expect("uring query");
+    let uring_io = uring.store_io().expect("uring counters");
+
+    assert_eq!(pread.io_backend_name().as_deref(), Some("pread"));
+    assert_eq!(uring.io_backend_name().as_deref(), Some("uring"));
+    assert_eq!(
+        (pread_io.reads(), pread_io.bytes_read()),
+        (uring_io.reads(), uring_io.bytes_read()),
+        "logical read accounting is backend-independent"
+    );
+    assert_eq!(pread_io.max_depth(), 1, "pread is one-op-per-batch by construction");
+    assert!(
+        uring_io.max_depth() > 1,
+        "uring must batch (max depth {}, {} submissions for {} reads)",
+        uring_io.max_depth(),
+        uring_io.submissions(),
+        uring_io.reads()
+    );
+    assert!(
+        uring_io.submissions() < uring_io.reads(),
+        "batching must need fewer ring enters than reads"
+    );
+}
+
+/// `auto` resolves to a real backend on every host: uring where the probe
+/// passes, pread elsewhere — never an error.
+#[test]
+fn auto_backend_resolves_and_answers() {
+    let (n, updates) = shared_stream();
+    let dir = TempDir::new("gz-iobe-auto");
+    let mut auto = ingested(disk_config(n, &dir, IoBackendKind::Auto), &updates);
+    let got = auto.spanning_forest_streaming().expect("auto query");
+
+    let pread_dir = TempDir::new("gz-iobe-auto-ref");
+    let mut pread = ingested(disk_config(n, &pread_dir, IoBackendKind::Pread), &updates);
+    let reference = pread.spanning_forest_streaming().expect("pread query");
+    assert_eq!(reference.labels, got.labels);
+
+    let name = auto.io_backend_name().expect("disk store names its backend");
+    let expect = if uring_available() { "uring" } else { "pread" };
+    assert_eq!(name, expect, "auto must resolve to the probed backend");
+}
+
+mod backend_equivalence_proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn toggles(n: u64, raw: Vec<(u32, u32)>) -> Vec<(u32, u32, bool)> {
+        raw.into_iter()
+            .map(|(a, b)| ((a as u64 % n) as u32, (b as u64 % n) as u32))
+            .filter(|(a, b)| a != b)
+            .map(|(a, b)| (a, b, false))
+            .collect()
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(6))]
+
+        /// The pinning property: on arbitrary toggle streams, a uring-backed
+        /// deployment is bit-identical to a pread-backed one — labels,
+        /// forest (with edge order), and serialized store state — across
+        /// query_threads {1, 4} × shard counts {1, 3} × epoch-pinned
+        /// queries issued while ingestion continues past the seal.
+        #[test]
+        fn uring_bit_identical_to_pread(
+            n in 4u64..28,
+            raw in proptest::collection::vec((any::<u32>(), any::<u32>()), 0..120),
+            extra in proptest::collection::vec((any::<u32>(), any::<u32>()), 0..40)
+        ) {
+            if !uring_or_skip("uring_bit_identical_to_pread") {
+                return;
+            }
+            let updates = toggles(n, raw);
+            let tail = toggles(n, extra);
+
+            // Single-node: both backends over the same stream.
+            let pread_dir = TempDir::new("gz-iobe-prop-p");
+            let mut pread = ingested(disk_config(n, &pread_dir, IoBackendKind::Pread), &updates);
+            let uring_dir = TempDir::new("gz-iobe-prop-u");
+            let mut uring = ingested(disk_config(n, &uring_dir, IoBackendKind::Uring), &updates);
+
+            pread.set_query_threads(1);
+            let reference = pread.spanning_forest_streaming().unwrap();
+            for threads in [1usize, 4] {
+                uring.set_query_threads(threads);
+                let got = uring.spanning_forest_streaming().unwrap();
+                prop_assert_eq!(&reference.labels, &got.labels, "labels t={}", threads);
+                prop_assert_eq!(&reference.forest, &got.forest, "forest t={}", threads);
+                prop_assert_eq!(
+                    reference.sketch_failures, got.sketch_failures,
+                    "failures t={}", threads
+                );
+            }
+            prop_assert_eq!(
+                pread.snapshot_serialized(),
+                uring.snapshot_serialized(),
+                "serialized store state"
+            );
+
+            // Epoch-pinned: seal both, keep ingesting, and the pinned
+            // queries still agree (capture-always-wins is backend-free).
+            let pread_epoch = pread.begin_epoch().unwrap();
+            let uring_epoch = uring.begin_epoch().unwrap();
+            for &(u, v, d) in &tail {
+                pread.update(u, v, d);
+                uring.update(u, v, d);
+            }
+            pread.flush();
+            uring.flush();
+            let a = pread_epoch.spanning_forest().unwrap();
+            let b = uring_epoch.spanning_forest().unwrap();
+            prop_assert_eq!(&a.labels, &b.labels, "epoch labels");
+            prop_assert_eq!(&a.forest, &b.forest, "epoch forest");
+            drop(pread_epoch);
+            drop(uring_epoch);
+
+            // And the post-tail live state still matches bit for bit.
+            let live_p = pread.spanning_forest_streaming().unwrap();
+            let live_u = uring.spanning_forest_streaming().unwrap();
+            prop_assert_eq!(&live_p.labels, &live_u.labels, "post-tail labels");
+            prop_assert_eq!(
+                pread.snapshot_serialized(),
+                uring.snapshot_serialized(),
+                "post-tail serialized state"
+            );
+
+            // Sharded: per-shard disk stores under each backend agree too.
+            for shards in [1u32, 3] {
+                let mut answers = Vec::new();
+                for kind in [IoBackendKind::Pread, IoBackendKind::Uring] {
+                    let dir = TempDir::new("gz-iobe-prop-shard");
+                    let mut config = ShardConfig::in_ram(n, shards);
+                    config.store = StoreBackend::Disk {
+                        dir: dir.path().to_path_buf(),
+                        block_bytes: 512,
+                        cache_groups: 2,
+                    };
+                    config.io.kind = kind;
+                    config.io.queue_depth = 8;
+                    let mut gz = ShardedGraphZeppelin::in_process(config).unwrap();
+                    gz.ingest(updates.iter().copied()).unwrap();
+                    let got = gz.spanning_forest().unwrap();
+                    answers.push((kind, got));
+                    gz.shutdown().unwrap();
+                }
+                let (_, ref p) = answers[0];
+                let (_, ref u) = answers[1];
+                prop_assert_eq!(&p.labels, &u.labels, "sharded labels k={}", shards);
+                prop_assert_eq!(&p.forest, &u.forest, "sharded forest k={}", shards);
+            }
+        }
+    }
+}
