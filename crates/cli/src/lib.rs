@@ -8,20 +8,31 @@
 //!     [--buffering leaf|tree] [--dir /tmp/gzwork] [--forest] \
 //!     [--query-mode snapshot|streaming] [--query-threads N] \
 //!     [--staleness U] [--threshold T] [--io-backend auto|pread|uring] \
-//!     [--stats] [--shards K [--connect host:port,host:port,...]]
+//!     [--stats] [--shards K [--connect host:port,host:port,...]] \
+//!     [--checkpoint-every N] [--batch-updates N] [--respawn]
 //! gz checkpoint save ckpt.gzc --from stream.gzs [--workers 4] [--seed S]
 //! gz checkpoint restore ckpt.gzc [--forest] [--query-mode streaming]
-//! gz shard-worker --listen 127.0.0.1:7001 --nodes 1024 --shards 2 --index 0
+//! gz shard-worker --listen 127.0.0.1:7001 --nodes 1024 --shards 2 --index 0 \
+//!     [--checkpoint shard.ckpt | --resume shard.ckpt]
 //! gz bipartite stream.gzs
 //! ```
+//!
+//! Fault tolerance (DESIGN.md §14): `--checkpoint-every N` makes the
+//! sharded coordinator ask every shard for a durable checkpoint each `N`
+//! routed batches; `--respawn` (with `--connect`) keeps a replay log and,
+//! when a worker dies, reconnects with bounded backoff, resyncs from the
+//! worker's restored checkpoint, and replays the missing batches. A killed
+//! worker is restarted (by its supervisor) as
+//! `gz shard-worker --resume <ckpt>`.
 //!
 //! All logic lives in this library so it is unit-testable; `main.rs` is a
 //! thin shell.
 
 use graph_zeppelin::{
-    serve_shard_connection, BipartitenessTester, BufferStrategy, GraphZeppelin, GutterCapacity,
-    GzConfig, IoBackendKind, QueryMode, ShardConfig, ShardPipeline, ShardedGraphZeppelin,
-    SocketTransport, StoreBackend,
+    connect_shard_tcp, serve_shard_connection, BipartitenessTester, BufferStrategy, GraphZeppelin,
+    GutterCapacity, GzConfig, IoBackendKind, QueryMode, RecoveringTransport, RetryPolicy,
+    ShardConfig, ShardPipeline, ShardedGraphZeppelin, SocketTransport, StoreBackend,
+    TransportTimeouts,
 };
 use gz_stream::format::{StreamReader, StreamWriter};
 use gz_stream::{Dataset, GeneratorSpec, StreamifyConfig, UpdateKind};
@@ -137,6 +148,16 @@ pub enum Command {
         /// `host:port` shard-worker addresses, one per shard in shard
         /// order; empty = in-process shards.
         connect: Vec<String>,
+        /// Ask every shard for a durable checkpoint each `N` routed
+        /// batches (`None` = never checkpoint mid-stream).
+        checkpoint_every: Option<u64>,
+        /// Absolute router batch size in updates (`None` = the paper's
+        /// sketch-factor default). Small batches tighten the recovery
+        /// replay bound at the cost of more wire round trips.
+        batch_updates: Option<usize>,
+        /// On worker death, reconnect with bounded backoff and replay the
+        /// batches the worker lost (requires `--connect`).
+        respawn: bool,
     },
     /// Ingest a stream, then persist the whole sketch state to a file.
     CheckpointSave {
@@ -190,6 +211,11 @@ pub enum Command {
         threshold: Option<u32>,
         /// Disk-store I/O backend for this shard's store (`None` = auto).
         io_backend: Option<IoBackendKind>,
+        /// Write coordinator-requested checkpoints to this file.
+        checkpoint: Option<PathBuf>,
+        /// Restore state from this checkpoint before serving; later
+        /// checkpoints overwrite the same file.
+        resume: Option<PathBuf>,
     },
     /// Test bipartiteness of a stream file.
     Bipartite {
@@ -356,6 +382,9 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
             let mut stats = false;
             let mut shards = None;
             let mut connect = None;
+            let mut checkpoint_every = None;
+            let mut batch_updates = None;
+            let mut respawn = false;
             while let Some(arg) = it.next() {
                 match arg.as_str() {
                     "--workers" => set_once(&mut workers, parse_positive(&mut it, arg)?, arg)?,
@@ -409,15 +438,30 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                             v.split(',').map(|s| s.trim().to_string()).collect();
                         set_once(&mut connect, addrs, arg)?;
                     }
+                    "--checkpoint-every" => {
+                        set_once(&mut checkpoint_every, parse_positive(&mut it, arg)?, arg)?;
+                    }
+                    "--batch-updates" => {
+                        set_once(&mut batch_updates, parse_positive(&mut it, arg)?, arg)?;
+                    }
+                    "--respawn" => set_switch(&mut respawn, arg)?,
                     other => return Err(format!("unknown flag {other}")),
                 }
             }
             if connect.is_some() && shards.is_none() {
                 return Err("--connect requires --shards".into());
             }
-            if stats && shards.is_some() {
-                return Err("--stats is not supported with --shards (the census is \
-                     per-store; query each shard worker instead)"
+            if checkpoint_every.is_some() && shards.is_none() {
+                return Err("--checkpoint-every requires --shards".into());
+            }
+            if batch_updates.is_some() && shards.is_none() {
+                return Err("--batch-updates requires --shards (single-node gutters are \
+                     sized by the paper's sketch-factor knob)"
+                    .into());
+            }
+            if respawn && connect.is_none() {
+                return Err("--respawn requires --connect (in-process shards share the \
+                     coordinator's fate; there is nothing to reconnect to)"
                     .into());
             }
             let query_mode = query_mode.unwrap_or(QueryMode::Snapshot);
@@ -439,6 +483,9 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                 stats,
                 shards,
                 connect: connect.unwrap_or_default(),
+                checkpoint_every,
+                batch_updates,
+                respawn,
             })
         }
         "checkpoint" => {
@@ -519,6 +566,8 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
             let mut dir = None;
             let mut threshold = None;
             let mut io_backend = None;
+            let mut checkpoint = None;
+            let mut resume = None;
             while let Some(arg) = it.next() {
                 match arg.as_str() {
                     "--listen" => {
@@ -543,8 +592,21 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                         let v = parse_io_backend(it.next().ok_or("--io-backend needs a value")?)?;
                         set_once(&mut io_backend, v, arg)?;
                     }
+                    "--checkpoint" => {
+                        let v = PathBuf::from(it.next().ok_or("--checkpoint needs a path")?);
+                        set_once(&mut checkpoint, v, arg)?;
+                    }
+                    "--resume" => {
+                        let v = PathBuf::from(it.next().ok_or("--resume needs a path")?);
+                        set_once(&mut resume, v, arg)?;
+                    }
                     other => return Err(format!("unknown flag {other}")),
                 }
+            }
+            if checkpoint.is_some() && resume.is_some() {
+                return Err("--resume already names the checkpoint file (later \
+                     checkpoints overwrite it); drop --checkpoint"
+                    .into());
             }
             Ok(Command::ShardWorker {
                 listen: listen.ok_or("need --listen")?,
@@ -557,6 +619,8 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                 dir,
                 threshold,
                 io_backend,
+                checkpoint,
+                resume,
             })
         }
         "bipartite" => {
@@ -652,8 +716,12 @@ fn components_sharded(
     staleness: Option<u64>,
     threshold: Option<u32>,
     io_backend: Option<IoBackendKind>,
+    stats: bool,
     num_shards: u32,
     connect: &[String],
+    checkpoint_every: Option<u64>,
+    batch_updates: Option<usize>,
+    respawn: bool,
 ) -> Result<String, String> {
     // Refuse flag combinations that would silently not take effect.
     if buffering == BufferingArg::Tree {
@@ -671,6 +739,11 @@ fn components_sharded(
              --io-backend to each `gz shard-worker` instead"
             .into());
     }
+    if checkpoint_every.is_some() && connect.is_empty() && dir.is_none() {
+        return Err("--checkpoint-every with in-process shards needs --dir for the \
+             checkpoint files (remote workers use their own --checkpoint paths)"
+            .into());
+    }
 
     let mut reader = StreamReader::open(path).map_err(|e| e.to_string())?;
     let header = reader.header();
@@ -682,6 +755,13 @@ fn components_sharded(
     config.query_staleness = staleness;
     config.sketch_threshold = threshold.unwrap_or(0);
     config.io.kind = io_backend.unwrap_or_default();
+    config.checkpoint_every = checkpoint_every;
+    if checkpoint_every.is_some() && connect.is_empty() {
+        config.checkpoint_dir = dir.clone();
+    }
+    if let Some(n) = batch_updates {
+        config.router_capacity = GutterCapacity::Updates(n);
+    }
 
     let mut gz = if connect.is_empty() {
         ShardedGraphZeppelin::in_process(config).map_err(|e| e.to_string())?
@@ -693,12 +773,49 @@ fn components_sharded(
             ));
         }
         let digest = config.params_digest();
-        let transport = SocketTransport::connect_tcp(connect, digest).map_err(|e| e.to_string())?;
-        ShardedGraphZeppelin::with_transport(config, Box::new(transport))
-            .map_err(|e| e.to_string())?
+        if respawn {
+            // Detect dead peers instead of hanging on them, and give an
+            // externally restarted worker a few seconds to come back up.
+            let timeouts = TransportTimeouts {
+                connect: Some(std::time::Duration::from_secs(5)),
+                read: Some(std::time::Duration::from_secs(30)),
+                write: Some(std::time::Duration::from_secs(30)),
+            };
+            let retry = RetryPolicy {
+                attempts: 10,
+                base: std::time::Duration::from_millis(100),
+                ..RetryPolicy::default()
+            };
+            let inner = SocketTransport::connect_tcp_with(connect, digest, &timeouts, &retry)
+                .map_err(|e| e.to_string())?;
+            let addrs: Vec<String> = connect.to_vec();
+            let (dial_timeouts, dial_retry) = (timeouts, retry);
+            let transport = RecoveringTransport::new(
+                inner,
+                digest,
+                timeouts,
+                retry,
+                Box::new(move |shard| {
+                    connect_shard_tcp(&addrs[shard as usize], shard, &dial_timeouts, &dial_retry)
+                }),
+            )
+            .map_err(|e| e.to_string())?;
+            ShardedGraphZeppelin::with_transport(config, Box::new(transport))
+                .map_err(|e| e.to_string())?
+        } else {
+            let transport =
+                SocketTransport::connect_tcp(connect, digest).map_err(|e| e.to_string())?;
+            ShardedGraphZeppelin::with_transport(config, Box::new(transport))
+                .map_err(|e| e.to_string())?
+        }
     };
 
     feed_stream(&mut reader, |u, v, d| gz.update(u, v, d).map_err(|e| e.to_string()))?;
+    // A checkpointing run always ends with one final checkpoint round, so
+    // the end-of-stream state is durable regardless of cadence alignment.
+    if checkpoint_every.is_some() {
+        gz.checkpoint_shards().map_err(|e| e.to_string())?;
+    }
     let outcome = gz.spanning_forest().map_err(|e| e.to_string())?;
     let mut out = format!(
         "{} components over {} nodes ({} updates ingested, {} shards, {} batches shipped)\n",
@@ -708,6 +825,22 @@ fn components_sharded(
         num_shards,
         gz.batches_shipped(),
     );
+    if stats {
+        match gz.recovery_stats() {
+            Some(rs) => out.push_str(&format!(
+                "recovery: {} checkpoints, {} replays ({} batches replayed), \
+                 {} reconnect attempts\n",
+                rs.checkpoints(),
+                rs.replays(),
+                rs.batches_replayed(),
+                rs.reconnect_attempts(),
+            )),
+            None => out.push_str(
+                "recovery: counters require --connect with --respawn (the census \
+                 is per-store; query each shard worker for representation stats)\n",
+            ),
+        }
+    }
     if forest {
         for e in &outcome.forest {
             out.push_str(&format!("{} {}\n", e.u(), e.v()));
@@ -717,9 +850,32 @@ fn components_sharded(
     Ok(out)
 }
 
-fn run_shard_worker(listen: &str, config: ShardConfig, index: u32) -> Result<String, String> {
+fn run_shard_worker(
+    listen: &str,
+    config: ShardConfig,
+    index: u32,
+    checkpoint: Option<PathBuf>,
+    resume: Option<PathBuf>,
+) -> Result<String, String> {
     let shards = config.num_shards;
     let pipeline = ShardPipeline::new(&config, index).map_err(|e| e.to_string())?;
+    if let Some(path) = resume {
+        // A worker killed before its first checkpoint has nothing to
+        // restore; starting empty is correct (the coordinator's replay log
+        // covers everything since seq 0), so a missing file is not fatal.
+        if path.exists() {
+            let seq = pipeline.resume_from(&path).map_err(|e| e.to_string())?;
+            println!("shard-worker {index}/{shards} resumed {} at batch seq {seq}", path.display());
+        } else {
+            println!(
+                "shard-worker {index}/{shards} found no checkpoint at {}; starting empty",
+                path.display()
+            );
+            pipeline.set_checkpoint_path(path);
+        }
+    } else if let Some(path) = checkpoint {
+        pipeline.set_checkpoint_path(path);
+    }
 
     let listener = std::net::TcpListener::bind(listen).map_err(|e| e.to_string())?;
     let addr = listener.local_addr().map_err(|e| e.to_string())?;
@@ -733,8 +889,9 @@ fn run_shard_worker(listen: &str, config: ShardConfig, index: u32) -> Result<Str
     let stats = serve_shard_connection(&mut stream, &pipeline, config.params_digest())
         .map_err(|e| e.to_string())?;
     Ok(format!(
-        "shard {index}/{shards}: served {peer} — {} batches, {} records, {} flushes, {} gathers",
-        stats.batches, stats.records, stats.flushes, stats.gathers
+        "shard {index}/{shards}: served {peer} — {} batches, {} records, {} flushes, \
+         {} gathers, {} checkpoints",
+        stats.batches, stats.records, stats.flushes, stats.gathers, stats.checkpoints
     ))
 }
 
@@ -797,6 +954,9 @@ pub fn execute(cmd: Command) -> Result<String, String> {
             stats,
             shards,
             connect,
+            checkpoint_every,
+            batch_updates,
+            respawn,
         } => {
             if let Some(num_shards) = shards {
                 return components_sharded(
@@ -811,8 +971,12 @@ pub fn execute(cmd: Command) -> Result<String, String> {
                     staleness,
                     threshold,
                     io_backend,
+                    stats,
                     num_shards,
                     &connect,
+                    checkpoint_every,
+                    batch_updates,
+                    respawn,
                 );
             }
             let mut reader = StreamReader::open(&path).map_err(|e| e.to_string())?;
@@ -932,6 +1096,8 @@ pub fn execute(cmd: Command) -> Result<String, String> {
             dir,
             threshold,
             io_backend,
+            checkpoint,
+            resume,
         } => {
             let mut config = ShardConfig::in_ram(nodes, shards);
             config.seed = seed;
@@ -939,7 +1105,7 @@ pub fn execute(cmd: Command) -> Result<String, String> {
             config.store = store_backend(store, &dir)?;
             config.sketch_threshold = threshold.unwrap_or(0);
             config.io.kind = io_backend.unwrap_or_default();
-            run_shard_worker(&listen, config, index)
+            run_shard_worker(&listen, config, index, checkpoint, resume)
         }
         Command::Bipartite { path } => {
             let mut reader = StreamReader::open(&path).map_err(|e| e.to_string())?;
@@ -1187,6 +1353,8 @@ mod tests {
             "checkpoint save c.gzc --from s.gzs --workers 0",
             "shard-worker --listen 127.0.0.1:0 --nodes 8 --shards 0 --index 0",
             "shard-worker --listen 127.0.0.1:0 --nodes 8 --shards 2 --index 0 --workers 0",
+            "components s.gzs --shards 2 --checkpoint-every 0",
+            "components s.gzs --shards 2 --batch-updates 0",
         ] {
             let err = parse_args(&argv(argv_s)).unwrap_err();
             assert!(err.contains("at least 1"), "{argv_s}: {err}");
@@ -1213,6 +1381,13 @@ mod tests {
             "checkpoint restore c.gzc --io-backend auto --io-backend auto",
             "shard-worker --listen a:1 --nodes 8 --shards 2 --index 0 --io-backend uring \
              --io-backend pread",
+            "components s.gzs --shards 2 --checkpoint-every 4 --checkpoint-every 8",
+            "components s.gzs --shards 2 --batch-updates 64 --batch-updates 128",
+            "components s.gzs --shards 2 --connect a:1,b:2 --respawn --respawn",
+            "shard-worker --listen a:1 --nodes 8 --shards 2 --index 0 --checkpoint a.ckpt \
+             --checkpoint b.ckpt",
+            "shard-worker --listen a:1 --nodes 8 --shards 2 --index 0 --resume a.ckpt \
+             --resume b.ckpt",
         ] {
             let err = parse_args(&argv(argv_s)).unwrap_err();
             assert!(err.contains("duplicate flag"), "{argv_s}: {err}");
@@ -1271,19 +1446,91 @@ mod tests {
             }
             other => panic!("{other:?}"),
         }
-        // Threshold composes with sharding; the census does not (it is a
-        // per-store report and would silently cover nothing).
-        match parse_components("components s.gzs --threshold 8 --shards 2") {
-            Command::Components { threshold, shards, .. } => {
+        // Threshold composes with sharding, and so does --stats (sharded
+        // runs report the recovery counters instead of the store census).
+        match parse_components("components s.gzs --threshold 8 --stats --shards 2") {
+            Command::Components { threshold, stats, shards, .. } => {
                 assert_eq!(threshold, Some(8));
+                assert!(stats);
                 assert_eq!(shards, Some(2));
             }
             other => panic!("{other:?}"),
         }
-        let err = parse_args(&argv("components s.gzs --stats --shards 2")).unwrap_err();
-        assert!(err.contains("--stats"), "{err}");
         assert!(parse_args(&argv("components s.gzs --threshold lots")).is_err());
         assert!(parse_args(&argv("components s.gzs --threshold")).is_err());
+    }
+
+    #[test]
+    fn parses_fault_tolerance_flags() {
+        match parse_components(
+            "components s.gzs --shards 2 --connect a:1,b:2 --checkpoint-every 64 \
+             --batch-updates 128 --respawn",
+        ) {
+            Command::Components {
+                shards,
+                connect,
+                checkpoint_every,
+                batch_updates,
+                respawn,
+                ..
+            } => {
+                assert_eq!(shards, Some(2));
+                assert_eq!(connect.len(), 2);
+                assert_eq!(checkpoint_every, Some(64));
+                assert_eq!(batch_updates, Some(128));
+                assert!(respawn);
+            }
+            other => panic!("{other:?}"),
+        }
+        // Defaults: no mid-stream checkpoints, no reconnect policy.
+        match parse_components("components s.gzs --shards 2") {
+            Command::Components { checkpoint_every, batch_updates, respawn, .. } => {
+                assert_eq!(checkpoint_every, None);
+                assert_eq!(batch_updates, None);
+                assert!(!respawn);
+            }
+            other => panic!("{other:?}"),
+        }
+        // These knobs only make sense where they can take effect.
+        let err = parse_args(&argv("components s.gzs --checkpoint-every 8")).unwrap_err();
+        assert!(err.contains("requires --shards"), "{err}");
+        let err = parse_args(&argv("components s.gzs --batch-updates 64")).unwrap_err();
+        assert!(err.contains("requires --shards"), "{err}");
+        let err = parse_args(&argv("components s.gzs --shards 2 --respawn")).unwrap_err();
+        assert!(err.contains("requires --connect"), "{err}");
+
+        // Worker side: --checkpoint / --resume are paths, mutually exclusive.
+        match parse_args(&argv(
+            "shard-worker --listen 127.0.0.1:0 --nodes 8 --shards 2 --index 1 \
+             --checkpoint /tmp/s1.ckpt",
+        ))
+        .unwrap()
+        {
+            Command::ShardWorker { checkpoint, resume, .. } => {
+                assert_eq!(checkpoint, Some(PathBuf::from("/tmp/s1.ckpt")));
+                assert_eq!(resume, None);
+            }
+            other => panic!("{other:?}"),
+        }
+        match parse_args(&argv(
+            "shard-worker --listen 127.0.0.1:0 --nodes 8 --shards 2 --index 1 \
+             --resume /tmp/s1.ckpt",
+        ))
+        .unwrap()
+        {
+            Command::ShardWorker { checkpoint, resume, .. } => {
+                assert_eq!(checkpoint, None);
+                assert_eq!(resume, Some(PathBuf::from("/tmp/s1.ckpt")));
+            }
+            other => panic!("{other:?}"),
+        }
+        let err = parse_args(&argv(
+            "shard-worker --listen 127.0.0.1:0 --nodes 8 --shards 2 --index 1 \
+             --checkpoint a.ckpt --resume a.ckpt",
+        ))
+        .unwrap_err();
+        assert!(err.contains("drop --checkpoint"), "{err}");
+        assert!(parse_args(&argv("components s.gzs --shards 2 --checkpoint-every")).is_err());
     }
 
     #[test]
@@ -1503,6 +1750,8 @@ mod tests {
                 dir: None,
                 threshold: None,
                 io_backend: None,
+                checkpoint: None,
+                resume: None,
             }
         );
         assert!(matches!(
@@ -1558,6 +1807,9 @@ mod tests {
             stats: false,
             shards,
             connect: Vec::new(),
+            checkpoint_every: None,
+            batch_updates: None,
+            respawn: false,
         }
     }
 
@@ -1575,6 +1827,46 @@ mod tests {
         let count = |s: &str| s.split_whitespace().next().unwrap().to_string();
         assert_eq!(count(&single), count(&sharded), "single={single} sharded={sharded}");
         assert!(sharded.contains("3 shards"), "{sharded}");
+    }
+
+    #[test]
+    fn sharded_checkpoint_cadence_end_to_end() {
+        let path = tmp("ckpt-cadence");
+        execute(Command::Generate {
+            dataset: DatasetArg::Kron(5),
+            seed: 11,
+            out: path.to_path_buf(),
+        })
+        .unwrap();
+        let reference = execute(components_cmd(&path, Some(2))).unwrap();
+
+        // --checkpoint-every with in-process shards needs a directory.
+        let mut cmd = components_cmd(&path, Some(2));
+        if let Command::Components { checkpoint_every, .. } = &mut cmd {
+            *checkpoint_every = Some(4);
+        }
+        assert!(execute(cmd).unwrap_err().contains("--dir"), "cadence without --dir");
+
+        let ckpt_dir = gz_testutil::TempDir::new("gz-cli-ckpt-cadence");
+        let mut cmd = components_cmd(&path, Some(2));
+        if let Command::Components { checkpoint_every, dir, stats, .. } = &mut cmd {
+            *checkpoint_every = Some(4);
+            *dir = Some(ckpt_dir.path().to_path_buf());
+            *stats = true;
+        }
+        let out = execute(cmd).unwrap();
+        let count = |s: &str| s.split_whitespace().next().unwrap().to_string();
+        assert_eq!(count(&reference), count(&out), "reference={reference} out={out}");
+        // In-process shards have no recovering transport; --stats says so
+        // instead of silently printing nothing.
+        assert!(out.contains("recovery: counters require --connect"), "{out}");
+        // The cadence actually wrote per-shard checkpoint files.
+        let files = std::fs::read_dir(ckpt_dir.path())
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().ends_with(".ckpt"))
+            .count();
+        assert_eq!(files, 2, "one checkpoint file per shard");
     }
 
     #[test]
@@ -1713,6 +2005,9 @@ mod tests {
             stats: false,
             shards: None,
             connect: Vec::new(),
+            checkpoint_every: None,
+            batch_updates: None,
+            respawn: false,
         })
         .unwrap();
         assert!(out.lines().count() >= 3, "{out}");

@@ -14,14 +14,17 @@ fn main() {
                  [--query-mode snapshot|streaming] [--query-threads N] \
                  [--staleness U] [--threshold T] \
                  [--io-backend auto|pread|uring] [--stats]\n                \
-                 [--shards K [--connect HOST:PORT,...]]\n  gz checkpoint save \
+                 [--shards K [--connect HOST:PORT,...]]\n                \
+                 [--checkpoint-every N] [--batch-updates N] [--respawn]\n  \
+                 gz checkpoint save \
                  FILE --from STREAM [--workers N] [--seed S]\n  gz checkpoint \
                  restore FILE [--forest] [--query-mode snapshot|streaming] \
                  [--query-threads N] [--io-backend auto|pread|uring]\n  \
                  gz shard-worker --listen HOST:PORT \
                  --nodes N --shards K --index I [--seed S]\n                  \
                  [--workers N] [--store ram|disk] [--dir DIR] [--threshold T] \
-                 [--io-backend auto|pread|uring]\n  \
+                 [--io-backend auto|pread|uring]\n                  \
+                 [--checkpoint shard.ckpt | --resume shard.ckpt]\n  \
                  gz bipartite FILE"
             );
             std::process::exit(2);

@@ -14,19 +14,84 @@
 //! updates   u64      — updates ingested so far (informational)
 //! payload   num_nodes × node_sketch_serialized_bytes
 //! ```
+//!
+//! A second format, `GZS2`, checkpoints a *single shard* of the sharded
+//! system (DESIGN.md §14): the same per-node payload but restricted to the
+//! shard's owned vertices (in owned-slot order), plus the shard topology
+//! and the batch sequence number the state covers — the durable point the
+//! coordinator's replay log resumes from after a worker dies:
+//!
+//! ```text
+//! magic    [u8;4] = b"GZS2"
+//! num_nodes u64, seed u64, rounds u32, columns u32
+//! shard_index u32, num_shards u32
+//! seq        u64  — coordinator batches absorbed when the checkpoint was cut
+//! owned      u64  — sketches that follow
+//! payload    owned × node_sketch_serialized_bytes (owned-slot order)
+//! ```
+//!
+//! Both readers validate the *exact* file length against the header before
+//! allocating or deserializing anything: a truncated file, a short sketch
+//! payload, and trailing garbage all surface as a clean
+//! [`GzError::InvalidConfig`], never a panic or a partial restore. Shard
+//! checkpoints are written to a temp file and atomically renamed into
+//! place, so a crash mid-write can never regress the durable state a prior
+//! `CheckpointAck` promised.
 
 use crate::config::GzConfig;
 use crate::error::GzError;
-use crate::node_sketch::SketchParams;
+use crate::node_sketch::{CubeNodeSketch, SketchParams};
 use crate::system::GraphZeppelin;
 use std::io::{BufReader, BufWriter, Read, Write};
-use std::path::Path;
+use std::path::{Path, PathBuf};
 
 // v1 checkpoints ("GZC1") predate the single-hash column derivation
 // (DESIGN.md §9): their bucket payloads were built from the old `h1`/`h2`
 // pair and cannot merge with sketches hashed under the current scheme, so
 // the magic refuses them instead of silently restoring corrupt state.
 const MAGIC: [u8; 4] = *b"GZC2";
+const SHARD_MAGIC: [u8; 4] = *b"GZS2";
+
+/// Byte size of the fixed GZC2 header.
+const HEADER_BYTES: u64 = 4 + 8 + 8 + 4 + 4 + 8;
+/// Byte size of the fixed GZS2 header.
+const SHARD_HEADER_BYTES: u64 = 4 + 8 + 8 + 4 + 4 + 4 + 4 + 8 + 8;
+
+/// Sanity caps on header fields: real configs sit orders of magnitude
+/// below these, so anything larger is a corrupt or hostile file — refuse
+/// it before a `Vec::with_capacity` turns the lie into an allocation.
+const MAX_ROUNDS: u32 = 1 << 12;
+const MAX_COLUMNS: u32 = 1 << 20;
+
+fn corrupt(path: &Path, what: impl std::fmt::Display) -> GzError {
+    GzError::InvalidConfig(format!("corrupt checkpoint {}: {what}", path.display()))
+}
+
+/// Check that `path`'s length is exactly `header + count × node_bytes`.
+/// Catches truncation (short sketch payloads) and trailing garbage alike,
+/// before anything is allocated from untrusted counts.
+fn check_payload_len(
+    path: &Path,
+    header_bytes: u64,
+    count: u64,
+    node_bytes: usize,
+) -> Result<(), GzError> {
+    let expected = count
+        .checked_mul(node_bytes as u64)
+        .and_then(|p| p.checked_add(header_bytes))
+        .ok_or_else(|| corrupt(path, "node count overflows the payload size"))?;
+    let actual = std::fs::metadata(path)?.len();
+    if actual != expected {
+        return Err(corrupt(
+            path,
+            format!(
+                "file is {actual} bytes, expected {expected} \
+                 ({count} sketches of {node_bytes} bytes)"
+            ),
+        ));
+    }
+    Ok(())
+}
 
 /// Header of a checkpoint file.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -111,14 +176,16 @@ impl GraphZeppelin {
             )));
         }
 
-        let mut gz = GraphZeppelin::new(config)?;
         let params =
             SketchParams::new(header.num_nodes, header.rounds, header.columns, header.seed);
         let node_bytes = params.node_sketch_serialized_bytes();
+        check_payload_len(path, HEADER_BYTES, header.num_nodes, node_bytes)?;
+
+        let mut gz = GraphZeppelin::new(config)?;
         let mut buf = vec![0u8; node_bytes];
         let mut sketches = Vec::with_capacity(header.num_nodes as usize);
         for _ in 0..header.num_nodes {
-            r.read_exact(&mut buf)?;
+            r.read_exact(&mut buf).map_err(|e| corrupt(path, format!("short payload: {e}")))?;
             sketches.push(params.deserialize_node_sketch(&buf));
         }
         gz.load_sketches(sketches, header.updates_ingested);
@@ -126,25 +193,218 @@ impl GraphZeppelin {
     }
 }
 
+/// Reader helpers that turn a short read into a clean "truncated" error
+/// rather than a bare `UnexpectedEof`.
+struct HeaderReader<'a, R: Read> {
+    r: &'a mut R,
+}
+
+impl<R: Read> HeaderReader<'_, R> {
+    fn u32(&mut self) -> Result<u32, GzError> {
+        let mut buf = [0u8; 4];
+        self.r.read_exact(&mut buf).map_err(truncated_header)?;
+        Ok(u32::from_le_bytes(buf))
+    }
+
+    fn u64(&mut self) -> Result<u64, GzError> {
+        let mut buf = [0u8; 8];
+        self.r.read_exact(&mut buf).map_err(truncated_header)?;
+        Ok(u64::from_le_bytes(buf))
+    }
+}
+
+fn truncated_header(e: std::io::Error) -> GzError {
+    if e.kind() == std::io::ErrorKind::UnexpectedEof {
+        GzError::InvalidConfig("truncated checkpoint header".into())
+    } else {
+        GzError::Io(e)
+    }
+}
+
+/// Bounds-check the sketch-defining header fields shared by both formats.
+fn check_header_fields(num_nodes: u64, rounds: u32, columns: u32) -> Result<(), GzError> {
+    if num_nodes < 2 || num_nodes > u64::from(u32::MAX) {
+        return Err(GzError::InvalidConfig(format!(
+            "checkpoint num_nodes {num_nodes} outside [2, 2^32)"
+        )));
+    }
+    if rounds == 0 || rounds > MAX_ROUNDS {
+        return Err(GzError::InvalidConfig(format!(
+            "checkpoint rounds {rounds} outside [1, {MAX_ROUNDS}]"
+        )));
+    }
+    if columns == 0 || columns > MAX_COLUMNS {
+        return Err(GzError::InvalidConfig(format!(
+            "checkpoint columns {columns} outside [1, {MAX_COLUMNS}]"
+        )));
+    }
+    Ok(())
+}
+
 fn read_header(r: &mut impl Read) -> Result<CheckpointHeader, GzError> {
     let mut magic = [0u8; 4];
-    r.read_exact(&mut magic)?;
+    r.read_exact(&mut magic).map_err(truncated_header)?;
     if magic != MAGIC {
         return Err(GzError::InvalidConfig("not a GraphZeppelin checkpoint".into()));
     }
-    let mut u64buf = [0u8; 8];
-    let mut u32buf = [0u8; 4];
-    r.read_exact(&mut u64buf)?;
-    let num_nodes = u64::from_le_bytes(u64buf);
-    r.read_exact(&mut u64buf)?;
-    let seed = u64::from_le_bytes(u64buf);
-    r.read_exact(&mut u32buf)?;
-    let rounds = u32::from_le_bytes(u32buf);
-    r.read_exact(&mut u32buf)?;
-    let columns = u32::from_le_bytes(u32buf);
-    r.read_exact(&mut u64buf)?;
-    let updates_ingested = u64::from_le_bytes(u64buf);
+    let mut hr = HeaderReader { r };
+    let num_nodes = hr.u64()?;
+    let seed = hr.u64()?;
+    let rounds = hr.u32()?;
+    let columns = hr.u32()?;
+    let updates_ingested = hr.u64()?;
+    check_header_fields(num_nodes, rounds, columns)?;
     Ok(CheckpointHeader { num_nodes, seed, rounds, columns, updates_ingested })
+}
+
+/// Header of a per-shard (`GZS2`) checkpoint file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardCheckpointHeader {
+    /// Vertex universe size (the whole graph's, not the shard's).
+    pub num_nodes: u64,
+    /// Master seed.
+    pub seed: u64,
+    /// Rounds per node sketch.
+    pub rounds: u32,
+    /// Sketch columns.
+    pub columns: u32,
+    /// Which shard this state belongs to.
+    pub shard_index: u32,
+    /// Fleet size the shard was partitioned for.
+    pub num_shards: u32,
+    /// Coordinator batches the state covers — the replay log resumes
+    /// strictly after this point.
+    pub seq: u64,
+    /// Owned sketches in the payload.
+    pub owned_count: u64,
+}
+
+fn read_shard_header(r: &mut impl Read) -> Result<ShardCheckpointHeader, GzError> {
+    let mut magic = [0u8; 4];
+    r.read_exact(&mut magic).map_err(truncated_header)?;
+    if magic != SHARD_MAGIC {
+        return Err(GzError::InvalidConfig("not a GraphZeppelin shard checkpoint".into()));
+    }
+    let mut hr = HeaderReader { r };
+    let num_nodes = hr.u64()?;
+    let seed = hr.u64()?;
+    let rounds = hr.u32()?;
+    let columns = hr.u32()?;
+    let shard_index = hr.u32()?;
+    let num_shards = hr.u32()?;
+    let seq = hr.u64()?;
+    let owned_count = hr.u64()?;
+    check_header_fields(num_nodes, rounds, columns)?;
+    if num_shards == 0 || shard_index >= num_shards {
+        return Err(GzError::InvalidConfig(format!(
+            "shard checkpoint names shard {shard_index} of {num_shards}"
+        )));
+    }
+    if owned_count > num_nodes {
+        return Err(GzError::InvalidConfig(format!(
+            "shard checkpoint owns {owned_count} of {num_nodes} nodes"
+        )));
+    }
+    Ok(ShardCheckpointHeader {
+        num_nodes,
+        seed,
+        rounds,
+        columns,
+        shard_index,
+        num_shards,
+        seq,
+        owned_count,
+    })
+}
+
+/// Read just the header of a shard checkpoint file.
+pub fn read_shard_checkpoint_header(path: &Path) -> Result<ShardCheckpointHeader, GzError> {
+    let file = std::fs::File::open(path)?;
+    let mut r = BufReader::new(file);
+    read_shard_header(&mut r)
+}
+
+/// Persist a shard's owned sketch state (already densified by
+/// `snapshot_owned`) to `path`, atomically: the bytes land in a sibling
+/// temp file, are fsynced, and only then renamed over `path`. A crash at
+/// any point leaves either the old checkpoint or the new one — never a
+/// torn file that would silently regress the durable `seq`.
+pub fn save_shard_checkpoint(
+    path: &Path,
+    header: &ShardCheckpointHeader,
+    params: &SketchParams,
+    sketches: &[(u32, CubeNodeSketch)],
+) -> Result<(), GzError> {
+    debug_assert_eq!(sketches.len() as u64, header.owned_count);
+    let tmp: PathBuf = {
+        let mut os = path.as_os_str().to_os_string();
+        os.push(".tmp");
+        os.into()
+    };
+    let file = std::fs::File::create(&tmp)?;
+    let mut w = BufWriter::with_capacity(1 << 20, file);
+    w.write_all(&SHARD_MAGIC)?;
+    w.write_all(&header.num_nodes.to_le_bytes())?;
+    w.write_all(&header.seed.to_le_bytes())?;
+    w.write_all(&header.rounds.to_le_bytes())?;
+    w.write_all(&header.columns.to_le_bytes())?;
+    w.write_all(&header.shard_index.to_le_bytes())?;
+    w.write_all(&header.num_shards.to_le_bytes())?;
+    w.write_all(&header.seq.to_le_bytes())?;
+    w.write_all(&header.owned_count.to_le_bytes())?;
+
+    let mut buf = Vec::with_capacity(params.node_sketch_serialized_bytes());
+    for (_, sketch) in sketches {
+        buf.clear();
+        params.serialize_node_sketch(sketch, &mut buf);
+        w.write_all(&buf)?;
+    }
+    w.flush()?;
+    let file = w.into_inner().map_err(|e| GzError::Io(e.into_error()))?;
+    file.sync_all()?;
+    drop(file);
+    std::fs::rename(&tmp, path)?;
+    Ok(())
+}
+
+/// Load a shard checkpoint, validating every identity field against
+/// `expect` (whose `seq` is ignored — that is the answer, not a
+/// precondition). Returns the owned sketches in owned-slot order plus the
+/// sequence number the state covers.
+pub fn load_shard_checkpoint(
+    path: &Path,
+    params: &SketchParams,
+    expect: &ShardCheckpointHeader,
+) -> Result<(Vec<CubeNodeSketch>, u64), GzError> {
+    let file = std::fs::File::open(path)?;
+    let mut r = BufReader::with_capacity(1 << 20, file);
+    let header = read_shard_header(&mut r)?;
+
+    if header.num_nodes != expect.num_nodes
+        || header.seed != expect.seed
+        || header.rounds != expect.rounds
+        || header.columns != expect.columns
+        || header.shard_index != expect.shard_index
+        || header.num_shards != expect.num_shards
+        || header.owned_count != expect.owned_count
+    {
+        return Err(GzError::InvalidConfig(format!(
+            "shard checkpoint {} does not match this shard's parameters: \
+             file has {header:?}, expected {expect:?}",
+            path.display()
+        )));
+    }
+
+    let node_bytes = params.node_sketch_serialized_bytes();
+    check_payload_len(path, SHARD_HEADER_BYTES, header.owned_count, node_bytes)?;
+
+    let mut buf = vec![0u8; node_bytes];
+    let mut sketches = Vec::with_capacity(header.owned_count as usize);
+    for _ in 0..header.owned_count {
+        r.read_exact(&mut buf).map_err(|e| corrupt(path, format!("short payload: {e}")))?;
+        sketches.push(params.deserialize_node_sketch(&buf));
+    }
+    Ok((sketches, header.seq))
 }
 
 #[cfg(test)]
@@ -265,5 +525,143 @@ mod tests {
         let h = GraphZeppelin::checkpoint_header(path.path()).unwrap();
         assert_eq!(h.num_nodes, 64);
         assert_eq!(h.updates_ingested, 1);
+    }
+
+    /// Write a valid checkpoint and return its bytes.
+    fn valid_checkpoint_bytes(path: &Path) -> Vec<u8> {
+        let mut gz = GraphZeppelin::new(GzConfig::in_ram(16)).unwrap();
+        gz.edge_update(0, 1);
+        gz.edge_update(2, 3);
+        gz.save_checkpoint(path).unwrap();
+        std::fs::read(path).unwrap()
+    }
+
+    #[test]
+    fn truncated_header_is_a_clean_error() {
+        let path = tmp("trunc_header");
+        let bytes = valid_checkpoint_bytes(path.path());
+        // Every prefix of the header must fail cleanly — magic-only,
+        // mid-field, and the full-header-no-payload boundary.
+        for cut in [0usize, 3, 4, 11, 20, 35] {
+            std::fs::write(path.path(), &bytes[..cut]).unwrap();
+            let err = GraphZeppelin::restore(path.path()).err().expect("must fail");
+            assert!(matches!(err, GzError::InvalidConfig(_)), "cut {cut}: {err}");
+        }
+    }
+
+    #[test]
+    fn short_sketch_payload_is_a_clean_error() {
+        let path = tmp("trunc_payload");
+        let bytes = valid_checkpoint_bytes(path.path());
+        // Cut mid-payload: header parses, the length check must refuse.
+        let cut = 36 + (bytes.len() - 36) / 2;
+        std::fs::write(path.path(), &bytes[..cut]).unwrap();
+        let err = GraphZeppelin::restore(path.path()).err().expect("must fail");
+        assert!(matches!(err, GzError::InvalidConfig(_)), "{err}");
+        assert!(err.to_string().contains("bytes"), "should name the size mismatch: {err}");
+    }
+
+    #[test]
+    fn trailing_garbage_is_a_clean_error() {
+        let path = tmp("trailing");
+        let mut bytes = valid_checkpoint_bytes(path.path());
+        bytes.extend_from_slice(b"junk");
+        std::fs::write(path.path(), &bytes).unwrap();
+        let err = GraphZeppelin::restore(path.path()).err().expect("must fail");
+        assert!(matches!(err, GzError::InvalidConfig(_)), "{err}");
+    }
+
+    #[test]
+    fn absurd_header_fields_are_refused_before_allocation() {
+        let path = tmp("absurd");
+        let bytes = valid_checkpoint_bytes(path.path());
+        // num_nodes = u64::MAX: must fail on the bounds check, not OOM.
+        let mut huge = bytes.clone();
+        huge[4..12].copy_from_slice(&u64::MAX.to_le_bytes());
+        std::fs::write(path.path(), &huge).unwrap();
+        assert!(matches!(GraphZeppelin::restore(path.path()), Err(GzError::InvalidConfig(_))));
+        // rounds = u32::MAX likewise.
+        let mut huge = bytes;
+        huge[20..24].copy_from_slice(&u32::MAX.to_le_bytes());
+        std::fs::write(path.path(), &huge).unwrap();
+        assert!(matches!(GraphZeppelin::restore(path.path()), Err(GzError::InvalidConfig(_))));
+    }
+
+    fn shard_fixture() -> (SketchParams, ShardCheckpointHeader, Vec<(u32, CubeNodeSketch)>) {
+        let params = SketchParams::new(32, 6, 3, 0xABCD);
+        // Shard 1 of 2 owns the odd nodes.
+        let sketches: Vec<(u32, CubeNodeSketch)> =
+            (0..16u32).map(|i| (2 * i + 1, params.new_node_sketch())).collect();
+        let header = ShardCheckpointHeader {
+            num_nodes: 32,
+            seed: 0xABCD,
+            rounds: 6,
+            columns: 3,
+            shard_index: 1,
+            num_shards: 2,
+            seq: 41,
+            owned_count: sketches.len() as u64,
+        };
+        (params, header, sketches)
+    }
+
+    #[test]
+    fn shard_checkpoint_round_trips_and_reports_seq() {
+        let path = tmp("shard_rt");
+        let (params, header, sketches) = shard_fixture();
+        save_shard_checkpoint(path.path(), &header, &params, &sketches).unwrap();
+
+        assert_eq!(read_shard_checkpoint_header(path.path()).unwrap(), header);
+        let (restored, seq) = load_shard_checkpoint(path.path(), &params, &header).unwrap();
+        assert_eq!(seq, 41);
+        assert_eq!(restored.len(), sketches.len());
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        for (got, (_, want)) in restored.iter().zip(&sketches) {
+            a.clear();
+            b.clear();
+            params.serialize_node_sketch(got, &mut a);
+            params.serialize_node_sketch(want, &mut b);
+            assert_eq!(a, b, "restored sketch must be bit-identical");
+        }
+        // The atomic-rename temp file must not linger.
+        let mut tmp_os = path.path().as_os_str().to_os_string();
+        tmp_os.push(".tmp");
+        assert!(!PathBuf::from(tmp_os).exists());
+    }
+
+    #[test]
+    fn shard_checkpoint_rejects_wrong_shard_and_malformed_files() {
+        let path = tmp("shard_bad");
+        let (params, header, sketches) = shard_fixture();
+        save_shard_checkpoint(path.path(), &header, &params, &sketches).unwrap();
+
+        // Wrong shard identity: same file, different expectation.
+        let mut other = header;
+        other.shard_index = 0;
+        assert!(matches!(
+            load_shard_checkpoint(path.path(), &params, &other),
+            Err(GzError::InvalidConfig(_))
+        ));
+
+        // GZC2 magic on a shard-restore path is refused.
+        let gzc2 = tmp("shard_bad_gzc2");
+        valid_checkpoint_bytes(gzc2.path());
+        assert!(read_shard_checkpoint_header(gzc2.path()).is_err());
+
+        // Truncation and trailing garbage are clean errors.
+        let bytes = std::fs::read(path.path()).unwrap();
+        for cut in [0usize, 7, 30, 51, bytes.len() - 5] {
+            std::fs::write(path.path(), &bytes[..cut]).unwrap();
+            let err = load_shard_checkpoint(path.path(), &params, &header).unwrap_err();
+            assert!(matches!(err, GzError::InvalidConfig(_)), "cut {cut}: {err}");
+        }
+        let mut garbage = bytes.clone();
+        garbage.push(0xFF);
+        std::fs::write(path.path(), &garbage).unwrap();
+        assert!(matches!(
+            load_shard_checkpoint(path.path(), &params, &header),
+            Err(GzError::InvalidConfig(_))
+        ));
     }
 }

@@ -22,6 +22,80 @@ pub enum GzError {
     /// A shard-protocol violation: mismatched parameter digests, a batch
     /// routed to the wrong shard, or an unexpected wire message.
     Protocol(String),
+    /// A shard link failed in a classified way — the taxonomy recovery
+    /// logic keys on (a timeout or dead peer is retryable; malformed
+    /// traffic is not).
+    Transport(TransportError),
+}
+
+/// What went wrong on a shard link, coarsely — the axis the coordinator's
+/// recovery policy branches on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TransportErrorKind {
+    /// The peer did not answer within the configured deadline. The peer
+    /// may still be alive (e.g. a long flush); retry or reconnect.
+    Timeout,
+    /// The connection is gone: EOF, reset, broken pipe, refused. The
+    /// worker process likely died; reconnect/re-spawn is the only cure.
+    PeerGone,
+    /// The peer sent bytes that violate the wire protocol. Retrying
+    /// cannot help — the build or the stream is corrupt.
+    Malformed,
+}
+
+impl TransportErrorKind {
+    /// Whether reconnect-and-replay can plausibly cure this failure.
+    pub fn is_recoverable(self) -> bool {
+        matches!(self, TransportErrorKind::Timeout | TransportErrorKind::PeerGone)
+    }
+}
+
+impl fmt::Display for TransportErrorKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            TransportErrorKind::Timeout => "timeout",
+            TransportErrorKind::PeerGone => "peer gone",
+            TransportErrorKind::Malformed => "malformed",
+        })
+    }
+}
+
+/// A classified shard-link failure: which shard, what kind, and the
+/// underlying detail.
+#[derive(Debug)]
+pub struct TransportError {
+    /// Shard index whose link failed.
+    pub shard: u32,
+    /// Failure class (see [`TransportErrorKind`]).
+    pub kind: TransportErrorKind,
+    /// Human-readable detail from the underlying failure.
+    pub detail: String,
+}
+
+impl TransportError {
+    /// Classify a raw I/O error from shard `shard`'s link.
+    ///
+    /// `InvalidData` is what the wire codec returns for protocol
+    /// violations; timeouts surface as `TimedOut` (or `WouldBlock` on
+    /// platforms where `SO_RCVTIMEO` expiry reports EAGAIN). Everything
+    /// else that names a dead connection maps to `PeerGone` — including
+    /// `ConnectionRefused`, which is what a not-yet-respawned worker
+    /// looks like to a reconnect attempt.
+    pub fn from_io(shard: u32, err: &std::io::Error) -> Self {
+        use std::io::ErrorKind;
+        let kind = match err.kind() {
+            ErrorKind::TimedOut | ErrorKind::WouldBlock => TransportErrorKind::Timeout,
+            ErrorKind::InvalidData => TransportErrorKind::Malformed,
+            _ => TransportErrorKind::PeerGone,
+        };
+        TransportError { shard, kind, detail: err.to_string() }
+    }
+}
+
+impl fmt::Display for TransportError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "shard {} link failed ({}): {}", self.shard, self.kind, self.detail)
+    }
 }
 
 impl fmt::Display for GzError {
@@ -35,6 +109,7 @@ impl fmt::Display for GzError {
             GzError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
             GzError::Io(e) => write!(f, "I/O error: {e}"),
             GzError::Protocol(msg) => write!(f, "shard protocol violation: {msg}"),
+            GzError::Transport(e) => write!(f, "shard transport failure: {e}"),
         }
     }
 }
@@ -71,5 +146,39 @@ mod tests {
     fn io_conversion_preserves_source() {
         let e: GzError = std::io::Error::other("boom").into();
         assert!(std::error::Error::source(&e).is_some());
+    }
+
+    #[test]
+    fn transport_errors_classify_io_kinds() {
+        use std::io::{Error, ErrorKind};
+        let cases = [
+            (ErrorKind::TimedOut, TransportErrorKind::Timeout),
+            (ErrorKind::WouldBlock, TransportErrorKind::Timeout),
+            (ErrorKind::UnexpectedEof, TransportErrorKind::PeerGone),
+            (ErrorKind::ConnectionReset, TransportErrorKind::PeerGone),
+            (ErrorKind::ConnectionAborted, TransportErrorKind::PeerGone),
+            (ErrorKind::BrokenPipe, TransportErrorKind::PeerGone),
+            (ErrorKind::ConnectionRefused, TransportErrorKind::PeerGone),
+            (ErrorKind::InvalidData, TransportErrorKind::Malformed),
+        ];
+        for (io_kind, want) in cases {
+            let te = TransportError::from_io(3, &Error::new(io_kind, "x"));
+            assert_eq!(te.kind, want, "{io_kind:?}");
+            assert_eq!(te.shard, 3);
+        }
+    }
+
+    #[test]
+    fn transport_recoverability_and_display() {
+        assert!(TransportErrorKind::Timeout.is_recoverable());
+        assert!(TransportErrorKind::PeerGone.is_recoverable());
+        assert!(!TransportErrorKind::Malformed.is_recoverable());
+        let e = GzError::Transport(TransportError {
+            shard: 2,
+            kind: TransportErrorKind::PeerGone,
+            detail: "broken pipe".into(),
+        });
+        let s = e.to_string();
+        assert!(s.contains("shard 2") && s.contains("peer gone") && s.contains("broken pipe"));
     }
 }

@@ -78,17 +78,19 @@ pub use boruvka::{
     boruvka_rounds, boruvka_rounds_parallel, boruvka_spanning_forest,
     boruvka_spanning_forest_parallel, BoruvkaOutcome, RoundSink,
 };
-pub use checkpoint::CheckpointHeader;
+pub use checkpoint::{CheckpointHeader, ShardCheckpointHeader};
 pub use config::{
     BufferStrategy, GutterCapacity, GzConfig, LockingStrategy, QueryMode, StoreBackend,
 };
 pub use edge_connectivity::{ForestCertificate, KForestSketcher};
-pub use error::GzError;
+pub use error::{GzError, TransportError, TransportErrorKind};
 pub use msf::{MsfSketcher, WeightedForest};
 pub use node_sketch::{CubeNodeSketch, NodeSketch};
 pub use sharding::{
-    serve_shard_connection, InProcessTransport, ShardConfig, ShardPipeline, ShardRouter,
-    ShardServeStats, ShardTransport, ShardedEpoch, ShardedGraphZeppelin, SocketTransport,
+    connect_shard_tcp, new_pipeline_resuming, serve_shard_connection, shard_checkpoint_file_name,
+    InProcessTransport, RecoveringTransport, ReplayLog, RetryPolicy, ShardConfig, ShardLink,
+    ShardPipeline, ShardRouter, ShardServeStats, ShardTransport, ShardedEpoch,
+    ShardedGraphZeppelin, SocketTransport, TransportTimeouts,
 };
 pub use sparse::SparseSet;
 pub use store::{

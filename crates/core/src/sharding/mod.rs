@@ -36,11 +36,12 @@ mod pipeline;
 mod router;
 mod transport;
 
-pub use pipeline::ShardPipeline;
-pub use router::ShardRouter;
+pub use pipeline::{shard_checkpoint_file_name, ShardPipeline};
+pub use router::{ReplayLog, ShardRouter};
 pub use transport::{
-    serve_shard_connection, spawn_local_socket_workers, InProcessTransport, ShardServeStats,
-    ShardTransport, SocketTransport,
+    connect_shard_tcp, new_pipeline_resuming, serve_shard_connection, spawn_local_socket_workers,
+    InProcessTransport, RecoveringTransport, RetryPolicy, ShardLink, ShardServeStats,
+    ShardTransport, SocketTransport, TransportTimeouts,
 };
 
 use crate::boruvka::{boruvka_rounds_parallel, boruvka_spanning_forest_parallel, BoruvkaOutcome};
@@ -105,6 +106,17 @@ pub struct ShardConfig {
     /// which bytes exist, so shards with different backends still gather
     /// mergeable state.
     pub io: IoBackendConfig,
+    /// Directory where each shard persists its `GZS2` checkpoint
+    /// (DESIGN.md §14). `None` disables checkpointing. Worker-side (and
+    /// used by in-process pipelines); not part of the parameter digest —
+    /// where durable state lands cannot change the sketch bytes.
+    pub checkpoint_dir: Option<std::path::PathBuf>,
+    /// Coordinator-side checkpoint cadence: after every `n` routed batches
+    /// the coordinator asks all shards to checkpoint, which prunes the
+    /// recovery replay log. `None` = only explicit
+    /// [`ShardedGraphZeppelin::checkpoint_shards`] calls. Not part of the
+    /// parameter digest.
+    pub checkpoint_every: Option<u64>,
 }
 
 impl ShardConfig {
@@ -127,6 +139,8 @@ impl ShardConfig {
             query_threads: None,
             query_staleness: None,
             io: IoBackendConfig::default(),
+            checkpoint_dir: None,
+            checkpoint_every: None,
         }
     }
 
@@ -182,6 +196,9 @@ impl ShardConfig {
         if self.io.queue_depth == 0 {
             return Err(GzError::InvalidConfig("io queue_depth must be ≥ 1".into()));
         }
+        if self.checkpoint_every == Some(0) {
+            return Err(GzError::InvalidConfig("checkpoint_every must be ≥ 1".into()));
+        }
         Ok(())
     }
 }
@@ -208,6 +225,10 @@ pub struct ShardedGraphZeppelin {
     /// staleness cache (`ShardConfig::query_staleness`).
     cached_epoch: Option<(ShardedEpoch, u64)>,
     query_staleness: Option<u64>,
+    /// Checkpoint cadence in routed batches (`ShardConfig::checkpoint_every`).
+    checkpoint_every: Option<u64>,
+    /// Router batch count at the last fleet checkpoint.
+    last_checkpoint_batches: u64,
     shut_down: bool,
 }
 
@@ -271,6 +292,8 @@ impl ShardedGraphZeppelin {
             query_threads: config.query_threads(),
             cached_epoch: None,
             query_staleness: config.query_staleness,
+            checkpoint_every: config.checkpoint_every,
+            last_checkpoint_batches: 0,
             shut_down: false,
         })
     }
@@ -298,12 +321,37 @@ impl ShardedGraphZeppelin {
     pub fn update(&mut self, u: u32, v: u32, is_delete: bool) -> Result<(), GzError> {
         assert!(u != v, "self-loop");
         assert!((u as u64) < self.num_nodes && (v as u64) < self.num_nodes, "vertex out of range");
-        let mut transport = self.transport.lock();
-        self.router.route_update(u, v, is_delete, &mut |shard, batch| {
-            transport.send_batch(shard, batch)
-        })?;
+        {
+            let mut transport = self.transport.lock();
+            self.router.route_update(u, v, is_delete, &mut |shard, batch| {
+                transport.send_batch(shard, batch)
+            })?;
+        }
         self.updates += 1;
+        if let Some(every) = self.checkpoint_every {
+            if self.router.batches_emitted() - self.last_checkpoint_batches >= every {
+                self.checkpoint_shards()?;
+            }
+        }
         Ok(())
+    }
+
+    /// Flush, then persist every shard's owned state to its checkpoint
+    /// path, pruning the transport's replay log (DESIGN.md §14). Returns
+    /// the per-shard sequence numbers the checkpoints cover. Runs
+    /// automatically every `ShardConfig::checkpoint_every` routed batches.
+    pub fn checkpoint_shards(&mut self) -> Result<Vec<u64>, GzError> {
+        self.flush()?;
+        let seqs = self.transport.lock().checkpoint_shards()?;
+        self.last_checkpoint_batches = self.router.batches_emitted();
+        Ok(seqs)
+    }
+
+    /// Recovery counters (checkpoints, replays, reconnects), if the
+    /// transport tracks them ([`transport::RecoveringTransport`] does;
+    /// plain transports return `None`).
+    pub fn recovery_stats(&self) -> Option<Arc<gz_gutters::IoStats>> {
+        self.transport.lock().recovery_stats()
     }
 
     /// Ingest a whole stream of `(u, v, is_delete)` updates.
@@ -754,6 +802,44 @@ mod tests {
             sharded.connected_components().unwrap(),
             single_node_labels(n as u64, seed, &updates)
         );
+    }
+
+    #[test]
+    fn checkpoint_cadence_fires_midstream_and_a_fresh_system_resumes_the_state() {
+        let dir = gz_testutil::TempDir::new("gz-cadence");
+        let n = 32u64;
+        let updates = demo_updates(32, 240, 5);
+        let mut config = ShardConfig::in_ram(n, 2);
+        config.checkpoint_dir = Some(dir.path().to_path_buf());
+        config.checkpoint_every = Some(8);
+        // Tiny gutters so batches (the cadence's unit) actually flow
+        // mid-stream instead of pooling until the final flush.
+        config.router_capacity = GutterCapacity::Updates(2);
+
+        let mut sharded = ShardedGraphZeppelin::in_process(config.clone()).unwrap();
+        let file0 = dir.path().join(shard_checkpoint_file_name(0, 2, config.seed));
+        let mut fired_midstream = false;
+        for &(u, v, d) in &updates {
+            sharded.update(u, v, d).unwrap();
+            fired_midstream |= file0.exists();
+        }
+        assert!(fired_midstream, "the cadence must checkpoint during ingest, not only at the end");
+        // Checkpointing is transparent: answers match the single-node system.
+        assert_eq!(
+            sharded.connected_components().unwrap(),
+            single_node_labels(n, config.seed, &updates)
+        );
+        let want = sharded.gather_serialized().unwrap();
+        let seqs = sharded.checkpoint_shards().unwrap();
+        assert_eq!(seqs.iter().sum::<u64>(), sharded.batches_shipped());
+        sharded.shutdown().unwrap();
+
+        // A fresh local-socket deployment over the same checkpoint dir
+        // auto-resumes every shard (the thread-level `--resume` path) and
+        // reports the exact pre-shutdown state.
+        let mut resumed = ShardedGraphZeppelin::local_socket(config).unwrap();
+        assert_eq!(resumed.gather_serialized().unwrap(), want);
+        resumed.shutdown().unwrap();
     }
 
     #[test]

@@ -7,6 +7,7 @@
 //! only the shard's residue class — sketch memory is
 //! `owned_nodes × node_sketch_bytes`, not `V × node_sketch_bytes`.
 
+use crate::checkpoint::{load_shard_checkpoint, save_shard_checkpoint, ShardCheckpointHeader};
 use crate::config::StoreBackend;
 use crate::error::GzError;
 use crate::ingest::WorkerPool;
@@ -17,16 +18,29 @@ use gz_gutters::{Batch, WorkQueue};
 use gz_stream::wire::SketchEntry;
 use parking_lot::Mutex;
 use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// One shard: queue → Graph Workers → owned-nodes sketch store.
 pub struct ShardPipeline {
     index: u32,
     num_shards: u32,
+    seed: u64,
+    columns: u32,
     params: Arc<SketchParams>,
     store: Arc<SketchStore>,
     queue: Arc<WorkQueue>,
     workers: Option<WorkerPool>,
+    /// Batches accepted by [`Self::enqueue`] — the shard's sequence number.
+    /// The link is ordered, so "batches received" is an exact cut: a
+    /// checkpoint taken now covers precisely these batches, and a
+    /// coordinator replaying after a crash resumes strictly after this
+    /// count (DESIGN.md §14).
+    batches_enqueued: AtomicU64,
+    /// Where [`Self::save_checkpoint`] persists the owned state, if
+    /// checkpointing is configured.
+    checkpoint_path: Mutex<Option<PathBuf>>,
     /// Epochs sealed on this shard and not yet released, keyed by the
     /// store-assigned epoch id (DESIGN.md §11). Holding the overlay `Arc`
     /// here is what keeps the epoch's registry entry alive between the
@@ -73,13 +87,21 @@ impl ShardPipeline {
         let queue = Arc::new(WorkQueue::for_workers(config.workers_per_shard));
         let workers =
             WorkerPool::spawn(config.workers_per_shard, 1, Arc::clone(&queue), Arc::clone(&store));
+        let checkpoint_path = config
+            .checkpoint_dir
+            .as_ref()
+            .map(|dir| dir.join(shard_checkpoint_file_name(index, config.num_shards, config.seed)));
         Ok(ShardPipeline {
             index,
             num_shards: config.num_shards,
+            seed: config.seed,
+            columns: config.num_columns,
             params,
             store,
             queue,
             workers: Some(workers),
+            batches_enqueued: AtomicU64::new(0),
+            checkpoint_path: Mutex::new(checkpoint_path),
             epochs: Mutex::new(HashMap::new()),
         })
     }
@@ -112,7 +134,79 @@ impl ShardPipeline {
             )));
         }
         self.queue.push(Batch { node, others: records });
+        self.batches_enqueued.fetch_add(1, Ordering::Relaxed);
         Ok(())
+    }
+
+    /// Batches accepted so far — the sequence number a checkpoint of the
+    /// current state covers (after a flush).
+    pub fn seq(&self) -> u64 {
+        self.batches_enqueued.load(Ordering::Relaxed)
+    }
+
+    /// Where this shard persists checkpoints (if configured).
+    pub fn checkpoint_path(&self) -> Option<PathBuf> {
+        self.checkpoint_path.lock().clone()
+    }
+
+    /// Point this shard's checkpoints at an explicit file.
+    pub fn set_checkpoint_path(&self, path: PathBuf) {
+        *self.checkpoint_path.lock() = Some(path);
+    }
+
+    /// Flush, then atomically persist the owned sketch state (densified —
+    /// hybrid sparse nodes are serialized through the same snapshot path
+    /// the full-system checkpoint uses) to the configured checkpoint path.
+    /// Returns the batch sequence number the checkpoint covers.
+    pub fn save_checkpoint(&self) -> Result<u64, GzError> {
+        let path = self.checkpoint_path().ok_or_else(|| {
+            GzError::InvalidConfig(format!(
+                "shard {} asked to checkpoint but no checkpoint path is configured",
+                self.index
+            ))
+        })?;
+        self.flush();
+        // `seq` is read *after* the flush: enqueue happens on the serve
+        // thread that also called us, so no new batches can slip in between
+        // — the snapshot covers exactly `seq` batches.
+        let seq = self.seq();
+        let sketches = self.store.snapshot_owned();
+        let header = ShardCheckpointHeader {
+            num_nodes: self.params.num_nodes,
+            seed: self.seed,
+            rounds: self.params.rounds() as u32,
+            columns: self.columns,
+            shard_index: self.index,
+            num_shards: self.num_shards,
+            seq,
+            owned_count: sketches.len() as u64,
+        };
+        save_shard_checkpoint(&path, &header, &self.params, &sketches)?;
+        Ok(seq)
+    }
+
+    /// Replace this shard's sketch state with a checkpoint's (validated
+    /// against this shard's parameters and topology) and adopt its sequence
+    /// number. Future checkpoints overwrite the same file. Returns the
+    /// sequence number the restored state covers — what the worker reports
+    /// in `ResyncFrom`.
+    pub fn resume_from(&self, path: &Path) -> Result<u64, GzError> {
+        let expect = ShardCheckpointHeader {
+            num_nodes: self.params.num_nodes,
+            seed: self.seed,
+            rounds: self.params.rounds() as u32,
+            columns: self.columns,
+            shard_index: self.index,
+            num_shards: self.num_shards,
+            seq: 0, // ignored by the match — the file tells us
+            owned_count: self.store.node_set().len() as u64,
+        };
+        let (sketches, seq) = load_shard_checkpoint(path, &self.params, &expect)?;
+        self.flush();
+        self.store.load_all(sketches);
+        self.batches_enqueued.store(seq, Ordering::Relaxed);
+        self.set_checkpoint_path(path.to_path_buf());
+        Ok(seq)
     }
 
     /// Block until every enqueued batch has been applied to the sketches.
@@ -248,6 +342,13 @@ impl Drop for ShardPipeline {
     }
 }
 
+/// Canonical checkpoint file name for shard `index` of `num_shards` —
+/// deliberately free of the process id, so a *respawned* worker (a new
+/// process) resolves the same file its predecessor wrote.
+pub fn shard_checkpoint_file_name(index: u32, num_shards: u32, seed: u64) -> String {
+    format!("gz_shard{index}of{num_shards}_{seed:x}.ckpt")
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -295,6 +396,75 @@ mod tests {
         }
         let total: usize = shards.iter().map(|s| s.sketch_bytes()).sum();
         assert_eq!(total, per_node * 64, "shards together hold one universe");
+    }
+
+    #[test]
+    fn checkpoint_resume_round_trips_state_and_seq() {
+        let dir = gz_testutil::TempDir::new("gz-shard-ckpt");
+        let mut config = ShardConfig::in_ram(16, 2);
+        config.checkpoint_dir = Some(dir.path().to_path_buf());
+        let shard = ShardPipeline::new(&config, 0).unwrap();
+        shard.enqueue(4, vec![encode_other(1, false)]).unwrap();
+        shard.enqueue(6, vec![encode_other(3, false)]).unwrap();
+        assert_eq!(shard.seq(), 2);
+        let before = shard.gather_serialized();
+        assert_eq!(shard.save_checkpoint().unwrap(), 2);
+        let path = shard.checkpoint_path().unwrap();
+        drop(shard);
+
+        // A fresh pipeline (as a respawned worker would build) resumes the
+        // state bit-identically and adopts the sequence number.
+        let respawn = ShardPipeline::new(&config, 0).unwrap();
+        assert_eq!(respawn.seq(), 0);
+        assert_eq!(respawn.resume_from(&path).unwrap(), 2);
+        assert_eq!(respawn.seq(), 2);
+        assert_eq!(respawn.gather_serialized(), before);
+
+        // Streaming continues from the restored state.
+        respawn.enqueue(4, vec![encode_other(1, true)]).unwrap();
+        assert_eq!(respawn.seq(), 3);
+    }
+
+    #[test]
+    fn hybrid_checkpoint_resume_is_bit_identical_to_uninterrupted() {
+        // A hybrid shard (τ > 0) checkpoints densified state; resuming and
+        // continuing the stream must gather bit-identically to a shard that
+        // ingested the whole stream without interruption.
+        let dir = gz_testutil::TempDir::new("gz-shard-ckpt-hybrid");
+        let mut config = ShardConfig::in_ram(16, 2);
+        config.sketch_threshold = 2;
+        config.checkpoint_dir = Some(dir.path().to_path_buf());
+
+        let first = [(4u32, 1u32), (6, 3), (4, 3)];
+        let second = [(8u32, 5u32), (4, 7), (10, 1)];
+
+        let uninterrupted = ShardPipeline::new(&config, 0).unwrap();
+        for &(n, o) in first.iter().chain(&second) {
+            uninterrupted.enqueue(n, vec![encode_other(o, false)]).unwrap();
+        }
+        let want = uninterrupted.gather_serialized();
+
+        let shard = ShardPipeline::new(&config, 0).unwrap();
+        for &(n, o) in &first {
+            shard.enqueue(n, vec![encode_other(o, false)]).unwrap();
+        }
+        shard.save_checkpoint().unwrap();
+        let path = shard.checkpoint_path().unwrap();
+        drop(shard);
+
+        let respawn = ShardPipeline::new(&config, 0).unwrap();
+        respawn.resume_from(&path).unwrap();
+        for &(n, o) in &second {
+            respawn.enqueue(n, vec![encode_other(o, false)]).unwrap();
+        }
+        assert_eq!(respawn.gather_serialized(), want);
+    }
+
+    #[test]
+    fn checkpoint_without_a_path_is_refused() {
+        let config = ShardConfig::in_ram(16, 2);
+        let shard = ShardPipeline::new(&config, 0).unwrap();
+        assert!(matches!(shard.save_checkpoint(), Err(GzError::InvalidConfig(_))));
     }
 
     #[test]

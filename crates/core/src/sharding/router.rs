@@ -18,7 +18,80 @@ use crate::config::GutterCapacity;
 use crate::error::GzError;
 use crate::store::NodeSet;
 use gz_gutters::{Batch, BufferingSystem, LeafGutters, WorkQueue};
+use std::collections::VecDeque;
 use std::sync::Arc;
+
+/// The coordinator's per-shard recovery buffer (DESIGN.md §14): every batch
+/// shipped to a shard since its last durable checkpoint, indexed by the
+/// shard's batch sequence number. Because XOR updates commute and the link
+/// is ordered, replaying `log.iter_from(seq)` into a worker restored at
+/// `seq` reproduces the dead worker's state exactly; entries at or before
+/// `seq` must never be replayed (the restored state already absorbed them —
+/// XOR-ing them again would cancel them out).
+#[derive(Default)]
+pub struct ReplayLog {
+    /// Batches `first_seq..first_seq + entries.len()`, in ship order.
+    entries: VecDeque<Batch>,
+    /// Sequence number of the first retained entry (= batches already
+    /// covered by the shard's last acknowledged checkpoint).
+    first_seq: u64,
+}
+
+impl ReplayLog {
+    /// An empty log starting at sequence 0 (a fresh worker).
+    pub fn new() -> Self {
+        ReplayLog::default()
+    }
+
+    /// Record a shipped batch; returns its sequence number (the count of
+    /// batches shipped *after* this one is appended).
+    pub fn append(&mut self, batch: Batch) -> u64 {
+        self.entries.push_back(batch);
+        self.first_seq + self.entries.len() as u64
+    }
+
+    /// Sequence number the next appended batch will complete.
+    pub fn next_seq(&self) -> u64 {
+        self.first_seq + self.entries.len() as u64
+    }
+
+    /// Drop every entry covered by a checkpoint at `seq` (from a
+    /// `CheckpointAck`). A stale ack — below the current floor — is a
+    /// no-op; an ack beyond what was shipped is a protocol violation the
+    /// caller detects via [`Self::covers`].
+    pub fn prune_through(&mut self, seq: u64) {
+        while self.first_seq < seq {
+            if self.entries.pop_front().is_none() {
+                break;
+            }
+            self.first_seq += 1;
+        }
+    }
+
+    /// Whether a worker restored at `seq` can be caught up from this log:
+    /// the log must retain every batch after `seq`, and `seq` must not
+    /// exceed what was ever shipped.
+    pub fn covers(&self, seq: u64) -> bool {
+        seq >= self.first_seq && seq <= self.next_seq()
+    }
+
+    /// The batches a worker restored at `seq` is missing, in ship order.
+    /// Call only when [`Self::covers`] holds.
+    pub fn iter_from(&self, seq: u64) -> impl Iterator<Item = &Batch> {
+        debug_assert!(self.covers(seq));
+        self.entries.iter().skip((seq - self.first_seq) as usize)
+    }
+
+    /// Retained entries (bounded by the checkpoint cadence).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if nothing is retained.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
 
 /// Per-destination-shard buffering lane: leaf gutters (local node indexing)
 /// plus the staging queue they emit into. The queue is drained inline after
@@ -243,5 +316,42 @@ mod tests {
         let per_shard = collect(4, 1, 100, &updates);
         assert_eq!(per_shard.len(), 1);
         assert!(per_shard.contains_key(&0));
+    }
+
+    fn batch(node: u32, rec: u32) -> Batch {
+        Batch { node, others: vec![rec] }
+    }
+
+    #[test]
+    fn replay_log_appends_prunes_and_replays_the_exact_tail() {
+        let mut log = ReplayLog::new();
+        assert!(log.is_empty());
+        assert_eq!(log.append(batch(0, 10)), 1);
+        assert_eq!(log.append(batch(2, 20)), 2);
+        assert_eq!(log.append(batch(4, 30)), 3);
+        assert_eq!(log.next_seq(), 3);
+
+        // A worker restored from a checkpoint at seq 1 needs batches 2..3.
+        assert!(log.covers(1));
+        let tail: Vec<u32> = log.iter_from(1).map(|b| b.node).collect();
+        assert_eq!(tail, vec![2, 4]);
+        // A live worker that absorbed everything needs nothing.
+        assert!(log.iter_from(3).next().is_none());
+
+        // CheckpointAck at 2 prunes entries 1..=2 and keeps 3.
+        log.prune_through(2);
+        assert_eq!(log.len(), 1);
+        assert!(log.covers(2) && log.covers(3));
+        assert!(!log.covers(1), "pruned history is unrecoverable");
+        let tail: Vec<u32> = log.iter_from(2).map(|b| b.node).collect();
+        assert_eq!(tail, vec![4]);
+
+        // Stale and over-eager acks are tolerated without panicking.
+        log.prune_through(1);
+        assert_eq!(log.len(), 1);
+        log.prune_through(100);
+        assert!(log.is_empty());
+        assert_eq!(log.next_seq(), 3, "pruning never rewinds the sequence");
+        assert!(!log.covers(100), "an ack beyond shipped batches is detectable");
     }
 }

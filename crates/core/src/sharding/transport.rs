@@ -15,13 +15,150 @@
 //! Every transport starts with a `Hello`/`HelloAck` digest handshake: two
 //! sides whose sketch parameters differ would produce unmergeable sketches,
 //! so mismatches are refused before any batch flows.
+//!
+//! Fault tolerance (DESIGN.md §14) layers on top: [`RecoveringTransport`]
+//! wraps a [`SocketTransport`], keeps a bounded [`ReplayLog`] of batches per
+//! shard, and when a link fails with a *recoverable* [`TransportError`]
+//! (timeout or peer-gone) it respawns the worker, resyncs from the worker's
+//! last checkpoint sequence, and replays the missing tail. Because the
+//! sketches are linear (XOR), replaying exactly the un-absorbed batches
+//! reproduces the lost state bit-for-bit.
 
-use crate::error::GzError;
+use crate::error::{GzError, TransportError};
+use crate::sharding::router::ReplayLog;
 use crate::sharding::{ShardConfig, ShardPipeline};
-use gz_gutters::{Batch, WorkQueue};
+use gz_gutters::{Batch, IoStats, WorkQueue};
+use gz_hash::SplitMix64;
 use gz_stream::wire::{SketchEntry, WireMessage};
 use std::io::{Read, Write};
 use std::net::TcpStream;
+use std::os::unix::net::UnixStream;
+use std::sync::Arc;
+use std::time::Duration;
+
+// ---------------------------------------------------------------------------
+// Link hardening: timeouts, retry policy, classified errors
+// ---------------------------------------------------------------------------
+
+/// Socket deadlines for a shard link. `None` means block forever — the
+/// default, and the right call for in-process `UnixStream` pairs where the
+/// peer cannot silently vanish. Multi-process deployments set `read` (and
+/// usually `write`) so a SIGKILLed worker surfaces as a
+/// [`TransportErrorKind::Timeout`](crate::error::TransportErrorKind) instead
+/// of a hang.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TransportTimeouts {
+    /// Deadline for establishing a TCP connection.
+    pub connect: Option<Duration>,
+    /// Deadline for each blocking read on an established link.
+    pub read: Option<Duration>,
+    /// Deadline for each blocking write on an established link.
+    pub write: Option<Duration>,
+}
+
+impl TransportTimeouts {
+    /// One deadline for everything — the common case.
+    pub fn all(d: Duration) -> Self {
+        TransportTimeouts { connect: Some(d), read: Some(d), write: Some(d) }
+    }
+}
+
+/// Bounded exponential backoff with deterministic jitter for reconnect /
+/// respawn attempts. Jitter comes from [`SplitMix64`] keyed by
+/// `jitter_seed`, the shard index, and the attempt number, so retry timing
+/// is reproducible run-to-run (the same discipline as every other use of
+/// randomness in this codebase).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts before giving up (at least 1 is always made).
+    pub attempts: u32,
+    /// Backoff before the second attempt; doubles each retry.
+    pub base: Duration,
+    /// Ceiling on any single backoff.
+    pub max: Duration,
+    /// Seed for the deterministic jitter stream.
+    pub jitter_seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            attempts: 5,
+            base: Duration::from_millis(50),
+            max: Duration::from_secs(2),
+            jitter_seed: 0x9e37_79b9_7f4a_7c15,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Sleep before attempt `attempt` (0-based; attempt 0 never sleeps).
+    /// The delay is `base * 2^(attempt-1)` capped at `max`, then jittered
+    /// into `[delay/2, delay]` so a fleet of recovering coordinators does
+    /// not stampede a respawning worker in lockstep.
+    pub fn backoff(&self, attempt: u32, salt: u64) -> Duration {
+        if attempt == 0 {
+            return Duration::ZERO;
+        }
+        let shift = (attempt - 1).min(16);
+        let delay = self.base.saturating_mul(1u32 << shift).min(self.max);
+        let half = delay / 2;
+        let span_ms = half.as_millis().max(1) as u64;
+        let jitter = SplitMix64::derive(self.jitter_seed ^ salt, attempt as u64) % span_ms;
+        half + Duration::from_millis(jitter)
+    }
+}
+
+/// A byte stream that can carry shard traffic and (where the OS supports
+/// it) enforce [`TransportTimeouts`]. The default `apply_timeouts` is a
+/// no-op so in-memory test streams qualify without ceremony.
+pub trait ShardLink: Read + Write + Send {
+    /// Install socket deadlines. Streams without kernel timeout support
+    /// accept and ignore them.
+    fn apply_timeouts(&mut self, _timeouts: &TransportTimeouts) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+impl ShardLink for TcpStream {
+    fn apply_timeouts(&mut self, timeouts: &TransportTimeouts) -> std::io::Result<()> {
+        self.set_read_timeout(timeouts.read)?;
+        self.set_write_timeout(timeouts.write)
+    }
+}
+
+impl ShardLink for UnixStream {
+    fn apply_timeouts(&mut self, timeouts: &TransportTimeouts) -> std::io::Result<()> {
+        self.set_read_timeout(timeouts.read)?;
+        self.set_write_timeout(timeouts.write)
+    }
+}
+
+impl<T: ShardLink + ?Sized> ShardLink for &mut T {
+    fn apply_timeouts(&mut self, timeouts: &TransportTimeouts) -> std::io::Result<()> {
+        (**self).apply_timeouts(timeouts)
+    }
+}
+
+/// Write `msg` on shard `shard`'s link, classifying any I/O failure into a
+/// typed [`TransportError`] carrying the shard index.
+fn send_msg<S: Read + Write>(link: &mut S, shard: u32, msg: &WireMessage) -> Result<(), GzError> {
+    msg.write_to(link).map_err(|e| GzError::Transport(TransportError::from_io(shard, &e)))
+}
+
+/// Read one frame from shard `shard`'s link, classifying failures the same
+/// way (`UnexpectedEof` → peer gone, `TimedOut`/`WouldBlock` → timeout,
+/// `InvalidData` → malformed).
+fn recv_msg<S: Read + Write>(link: &mut S, shard: u32) -> Result<WireMessage, GzError> {
+    WireMessage::read_from(link).map_err(|e| GzError::Transport(TransportError::from_io(shard, &e)))
+}
+
+/// True for errors a [`RecoveringTransport`] may heal by respawning the
+/// worker: timeouts and dead peers. Malformed frames and protocol
+/// violations are bugs, not outages — they propagate.
+fn recoverable(err: &GzError) -> bool {
+    matches!(err, GzError::Transport(te) if te.kind.is_recoverable())
+}
 
 /// A coordinator's view of its shards.
 pub trait ShardTransport {
@@ -79,6 +216,20 @@ pub trait ShardTransport {
     /// each shard reclaim its copy-on-write captures. Idempotent: releasing
     /// an already-released id is not an error.
     fn release_epoch(&mut self, epochs: &[u64]) -> Result<(), GzError>;
+
+    /// Ask every shard to durably checkpoint its owned sketch state, and
+    /// return the per-shard batch sequence numbers the checkpoints cover
+    /// (indexed by shard). Transports that track a replay log prune it
+    /// here. The default refuses: a transport must opt in to durability.
+    fn checkpoint_shards(&mut self) -> Result<Vec<u64>, GzError> {
+        Err(GzError::InvalidConfig("this transport does not support shard checkpoints".into()))
+    }
+
+    /// Recovery counters, if this transport keeps them
+    /// ([`RecoveringTransport`] does; plain transports return `None`).
+    fn recovery_stats(&self) -> Option<Arc<IoStats>> {
+        None
+    }
 
     /// Tear the shards down.
     fn shutdown(&mut self) -> Result<(), GzError>;
@@ -216,6 +367,10 @@ impl ShardTransport for InProcessTransport {
         Ok(())
     }
 
+    fn checkpoint_shards(&mut self) -> Result<Vec<u64>, GzError> {
+        self.shards.iter().map(|shard| shard.save_checkpoint()).collect()
+    }
+
     fn shutdown(&mut self) -> Result<(), GzError> {
         self.shards.clear(); // Drop closes queues and joins workers.
         Ok(())
@@ -244,18 +399,89 @@ pub struct SocketTransport<S: Read + Write> {
 
 impl SocketTransport<TcpStream> {
     /// Connect to TCP shard workers at `addrs` (one per shard, in shard
-    /// order) and run the parameter handshake.
+    /// order) and run the parameter handshake. No deadlines, default retry
+    /// — see [`Self::connect_tcp_with`] for the hardened form.
     pub fn connect_tcp(addrs: &[String], params_digest: u64) -> Result<Self, GzError> {
+        Self::connect_tcp_with(
+            addrs,
+            params_digest,
+            &TransportTimeouts::default(),
+            &RetryPolicy::default(),
+        )
+    }
+
+    /// Connect with explicit deadlines and a bounded retry policy: each
+    /// link gets up to `retry.attempts` connection attempts with
+    /// exponential backoff (a worker still binding its listener looks like
+    /// `ConnectionRefused`), and the configured read/write timeouts are
+    /// installed before the handshake.
+    pub fn connect_tcp_with(
+        addrs: &[String],
+        params_digest: u64,
+        timeouts: &TransportTimeouts,
+        retry: &RetryPolicy,
+    ) -> Result<Self, GzError> {
         let mut links = Vec::with_capacity(addrs.len());
-        for addr in addrs {
-            let stream = TcpStream::connect(addr.as_str())?;
-            // Frames are written whole; disabling Nagle keeps the
-            // request/reply turns (Flush, Gather) from stalling on
-            // delayed ACKs.
-            stream.set_nodelay(true)?;
-            links.push(stream);
+        for (i, addr) in addrs.iter().enumerate() {
+            links.push(connect_shard_tcp(addr, i as u32, timeouts, retry)?);
         }
         Self::handshake(links, params_digest)
+    }
+}
+
+/// Dial one shard worker over TCP with deadlines and bounded retry. Public
+/// because respawn closures (the CLI's `--respawn` policy) dial single
+/// shards the same way the initial [`SocketTransport::connect_tcp_with`]
+/// does.
+pub fn connect_shard_tcp(
+    addr: &str,
+    shard: u32,
+    timeouts: &TransportTimeouts,
+    retry: &RetryPolicy,
+) -> Result<TcpStream, GzError> {
+    let mut last: Option<GzError> = None;
+    for attempt in 0..retry.attempts.max(1) {
+        let pause = retry.backoff(attempt, shard as u64);
+        if !pause.is_zero() {
+            std::thread::sleep(pause);
+        }
+        match tcp_connect_once(addr, timeouts.connect) {
+            Ok(mut stream) => {
+                // Frames are written whole; disabling Nagle keeps the
+                // request/reply turns (Flush, Gather) from stalling on
+                // delayed ACKs.
+                let setup = stream.set_nodelay(true).and_then(|()| stream.apply_timeouts(timeouts));
+                match setup {
+                    Ok(()) => return Ok(stream),
+                    Err(e) => last = Some(GzError::Transport(TransportError::from_io(shard, &e))),
+                }
+            }
+            Err(e) => last = Some(GzError::Transport(TransportError::from_io(shard, &e))),
+        }
+    }
+    Err(last.expect("at least one connection attempt is always made"))
+}
+
+/// One connection attempt, honoring the connect deadline when set
+/// (`TcpStream::connect_timeout` needs resolved addresses, so the deadline
+/// applies per resolved candidate).
+fn tcp_connect_once(addr: &str, deadline: Option<Duration>) -> std::io::Result<TcpStream> {
+    use std::net::ToSocketAddrs;
+    match deadline {
+        None => TcpStream::connect(addr),
+        Some(d) => {
+            let mut last = std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                format!("{addr} resolved to no addresses"),
+            );
+            for candidate in addr.to_socket_addrs()? {
+                match TcpStream::connect_timeout(&candidate, d) {
+                    Ok(stream) => return Ok(stream),
+                    Err(e) => last = e,
+                }
+            }
+            Err(last)
+        }
     }
 }
 
@@ -293,18 +519,20 @@ impl<S: Read + Write> ShardTransport for SocketTransport<S> {
     }
 
     fn send_batch(&mut self, shard: u32, batch: Batch) -> Result<(), GzError> {
-        WireMessage::Batch { node: batch.node, records: batch.others }
-            .write_to(&mut self.links[shard as usize])?;
-        Ok(())
+        send_msg(
+            &mut self.links[shard as usize],
+            shard,
+            &WireMessage::Batch { node: batch.node, records: batch.others },
+        )
     }
 
     fn flush(&mut self) -> Result<(), GzError> {
         // Pipelined: all shards flush concurrently, then all acks collected.
-        for link in &mut self.links {
-            WireMessage::Flush.write_to(link)?;
+        for (i, link) in self.links.iter_mut().enumerate() {
+            send_msg(link, i as u32, &WireMessage::Flush)?;
         }
         for (i, link) in self.links.iter_mut().enumerate() {
-            match WireMessage::read_from(link)? {
+            match recv_msg(link, i as u32)? {
                 WireMessage::FlushAck => {}
                 other => {
                     return Err(GzError::Protocol(format!(
@@ -318,12 +546,12 @@ impl<S: Read + Write> ShardTransport for SocketTransport<S> {
     }
 
     fn gather(&mut self) -> Result<Vec<SketchEntry>, GzError> {
-        for link in &mut self.links {
-            WireMessage::GatherSketches.write_to(link)?;
+        for (i, link) in self.links.iter_mut().enumerate() {
+            send_msg(link, i as u32, &WireMessage::GatherSketches)?;
         }
         let mut entries = Vec::new();
         for (i, link) in self.links.iter_mut().enumerate() {
-            match WireMessage::read_from(link)? {
+            match recv_msg(link, i as u32)? {
                 WireMessage::Sketches { entries: shard_entries } => {
                     entries.extend(shard_entries);
                 }
@@ -347,11 +575,12 @@ impl<S: Read + Write> ShardTransport for SocketTransport<S> {
         // Pipelined like the full gather: all shards serialize their round
         // slice concurrently, then the replies are collected in shard order.
         for (i, link) in self.links.iter_mut().enumerate() {
-            WireMessage::GatherRound { round, epoch: epochs.map(|ids| ids[i]) }.write_to(link)?;
+            let msg = WireMessage::GatherRound { round, epoch: epochs.map(|ids| ids[i]) };
+            send_msg(link, i as u32, &msg)?;
         }
         let mut entries = Vec::new();
         for (i, link) in self.links.iter_mut().enumerate() {
-            match WireMessage::read_from(link)? {
+            match recv_msg(link, i as u32)? {
                 WireMessage::RoundSketches { round: theirs, entries: shard_entries }
                     if theirs == round =>
                 {
@@ -386,14 +615,15 @@ impl<S: Read + Write> ShardTransport for SocketTransport<S> {
         // working. (Replies are read in link order — a shard that finishes
         // early is buffered by the transport until its turn.)
         for (i, link) in self.links.iter_mut().enumerate() {
-            WireMessage::GatherRound { round, epoch: epochs.map(|ids| ids[i]) }.write_to(link)?;
+            let msg = WireMessage::GatherRound { round, epoch: epochs.map(|ids| ids[i]) };
+            send_msg(link, i as u32, &msg)?;
         }
         let mut result = Ok(());
         for (i, link) in self.links.iter_mut().enumerate() {
             // Keep reading even after a fold error: every link owes exactly
             // one reply, and leaving it unread would desynchronize the
             // framing for whatever the coordinator does next.
-            match WireMessage::read_from(link)? {
+            match recv_msg(link, i as u32)? {
                 WireMessage::RoundSketches { round: theirs, entries } if theirs == round => {
                     if result.is_ok() {
                         result = on_reply(entries);
@@ -418,12 +648,12 @@ impl<S: Read + Write> ShardTransport for SocketTransport<S> {
     fn seal_epoch(&mut self) -> Result<Vec<u64>, GzError> {
         // Pipelined: every shard flushes and seals concurrently, then the
         // per-shard epoch ids are collected in shard order.
-        for link in &mut self.links {
-            WireMessage::SealEpoch.write_to(link)?;
+        for (i, link) in self.links.iter_mut().enumerate() {
+            send_msg(link, i as u32, &WireMessage::SealEpoch)?;
         }
         let mut ids = Vec::with_capacity(self.links.len());
         for (i, link) in self.links.iter_mut().enumerate() {
-            match WireMessage::read_from(link)? {
+            match recv_msg(link, i as u32)? {
                 WireMessage::EpochSealed { epoch } => ids.push(epoch),
                 other => {
                     return Err(GzError::Protocol(format!(
@@ -439,10 +669,10 @@ impl<S: Read + Write> ShardTransport for SocketTransport<S> {
     fn release_epoch(&mut self, epochs: &[u64]) -> Result<(), GzError> {
         check_epochs(Some(epochs), self.links.len())?;
         for (i, link) in self.links.iter_mut().enumerate() {
-            WireMessage::ReleaseEpoch { epoch: epochs[i] }.write_to(link)?;
+            send_msg(link, i as u32, &WireMessage::ReleaseEpoch { epoch: epochs[i] })?;
         }
         for (i, link) in self.links.iter_mut().enumerate() {
-            match WireMessage::read_from(link)? {
+            match recv_msg(link, i as u32)? {
                 WireMessage::EpochReleased => {}
                 other => {
                     return Err(GzError::Protocol(format!(
@@ -455,21 +685,444 @@ impl<S: Read + Write> ShardTransport for SocketTransport<S> {
         Ok(())
     }
 
+    fn checkpoint_shards(&mut self) -> Result<Vec<u64>, GzError> {
+        // Pipelined: `CheckpointShard` is an in-stream frame, so each
+        // shard's checkpoint covers exactly the batches framed before it —
+        // no coordinator-side flush or barrier needed.
+        for (i, link) in self.links.iter_mut().enumerate() {
+            send_msg(link, i as u32, &WireMessage::CheckpointShard)?;
+        }
+        let mut seqs = Vec::with_capacity(self.links.len());
+        for (i, link) in self.links.iter_mut().enumerate() {
+            match recv_msg(link, i as u32)? {
+                WireMessage::CheckpointAck { seq } => seqs.push(seq),
+                other => {
+                    return Err(GzError::Protocol(format!(
+                        "shard {i} answered CheckpointShard with {}",
+                        other.name()
+                    )));
+                }
+            }
+        }
+        Ok(seqs)
+    }
+
     fn shutdown(&mut self) -> Result<(), GzError> {
         // Attempt every link even if some fail: a dead shard must not leave
         // its siblings waiting for a Shutdown that never arrives (their
         // serve loops block in read, and a coordinator joining worker
         // threads would hang forever).
         let mut first_err = None;
-        for link in &mut self.links {
-            if let Err(e) = WireMessage::Shutdown.write_to(link) {
+        for (i, link) in self.links.iter_mut().enumerate() {
+            if let Err(e) = send_msg(link, i as u32, &WireMessage::Shutdown) {
                 first_err.get_or_insert(e);
             }
         }
         match first_err {
             None => Ok(()),
-            Some(e) => Err(e.into()),
+            Some(e) => Err(e),
         }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Recovering transport: replay log + worker respawn
+// ---------------------------------------------------------------------------
+
+/// A [`SocketTransport`] that survives worker death (DESIGN.md §14).
+///
+/// Every batch shipped to a shard is also appended to that shard's
+/// [`ReplayLog`]; the log is pruned when the shard acknowledges a durable
+/// checkpoint. When an operation fails with a recoverable
+/// [`TransportError`] (timeout, peer gone), the transport calls the
+/// `respawn` closure to obtain a fresh link to a restarted worker, runs the
+/// `Hello` handshake, asks `Resync` — the worker answers with the batch
+/// sequence its restored checkpoint covers — and replays exactly the logged
+/// batches after that sequence. Linearity makes this sound: XOR updates
+/// commute, and replaying only the un-absorbed tail reproduces the lost
+/// state bit-for-bit. The interrupted operation is then re-issued on the
+/// fresh link (once; a second failure propagates).
+///
+/// What recovery does **not** preserve: epochs sealed on a worker die with
+/// it. An epoch-pinned gather that names a lost epoch fails on the respawned
+/// worker too, so long-running epoch readers must tolerate
+/// re-sealing after a crash.
+pub struct RecoveringTransport<S: ShardLink> {
+    inner: SocketTransport<S>,
+    /// Per-shard batches since the last acknowledged checkpoint.
+    logs: Vec<ReplayLog>,
+    /// Produces a fresh, connected (but un-handshaken) link to shard `i` —
+    /// respawning the worker process first if the deployment needs that.
+    respawn: Box<dyn FnMut(u32) -> Result<S, GzError> + Send>,
+    timeouts: TransportTimeouts,
+    retry: RetryPolicy,
+    params_digest: u64,
+    stats: Arc<IoStats>,
+    /// Per-shard replay-log entry bound; exceeding it forces a checkpoint
+    /// round so coordinator memory stays proportional to the checkpoint
+    /// cadence, never the stream length.
+    replay_log_cap: Option<usize>,
+}
+
+impl<S: ShardLink> RecoveringTransport<S> {
+    /// Wrap an already-handshaken transport. `respawn(i)` must return a
+    /// fresh connected link to a live worker for shard `i` (the transport
+    /// runs the handshake and resync itself). The configured `timeouts`
+    /// are installed on the existing links immediately — a transport that
+    /// can't detect a dead peer can't recover from one.
+    pub fn new(
+        mut inner: SocketTransport<S>,
+        params_digest: u64,
+        timeouts: TransportTimeouts,
+        retry: RetryPolicy,
+        respawn: Box<dyn FnMut(u32) -> Result<S, GzError> + Send>,
+    ) -> Result<Self, GzError> {
+        for (i, link) in inner.links.iter_mut().enumerate() {
+            link.apply_timeouts(&timeouts)
+                .map_err(|e| GzError::Transport(TransportError::from_io(i as u32, &e)))?;
+        }
+        let logs = (0..inner.links.len()).map(|_| ReplayLog::new()).collect();
+        Ok(RecoveringTransport {
+            inner,
+            logs,
+            respawn,
+            timeouts,
+            retry,
+            params_digest,
+            stats: Arc::new(IoStats::default()),
+            replay_log_cap: None,
+        })
+    }
+
+    /// Bound each shard's replay log to `cap` entries; exceeding the bound
+    /// triggers an inline checkpoint round (which prunes the logs).
+    pub fn with_replay_log_cap(mut self, cap: usize) -> Self {
+        self.replay_log_cap = Some(cap.max(1));
+        self
+    }
+
+    /// Recovery counters: checkpoints acknowledged, replays performed,
+    /// batches replayed, reconnect attempts.
+    pub fn stats(&self) -> Arc<IoStats> {
+        Arc::clone(&self.stats)
+    }
+
+    /// Replace shard `shard`'s dead link: respawn (with bounded, jittered
+    /// backoff), handshake, resync, replay the missing tail. `cause` is
+    /// returned if every attempt fails.
+    fn recover(&mut self, shard: u32, cause: GzError) -> Result<(), GzError> {
+        let mut last_err = cause;
+        for attempt in 0..self.retry.attempts.max(1) {
+            let pause = self.retry.backoff(attempt, shard as u64);
+            if !pause.is_zero() {
+                std::thread::sleep(pause);
+            }
+            self.stats.record_reconnect_attempt();
+            let mut link = match (self.respawn)(shard) {
+                Ok(link) => link,
+                Err(e) => {
+                    last_err = e;
+                    continue;
+                }
+            };
+            match self.resync(shard, &mut link) {
+                Ok(()) => {
+                    self.inner.links[shard as usize] = link;
+                    return Ok(());
+                }
+                // A protocol violation (digest mismatch, resync gap) will
+                // not heal by retrying — the deployment is misconfigured.
+                Err(e @ GzError::Protocol(_)) => return Err(e),
+                Err(e) => last_err = e,
+            }
+        }
+        Err(last_err)
+    }
+
+    /// Handshake + resync + replay on a fresh link (not yet installed).
+    fn resync(&mut self, shard: u32, link: &mut S) -> Result<(), GzError> {
+        link.apply_timeouts(&self.timeouts)
+            .map_err(|e| GzError::Transport(TransportError::from_io(shard, &e)))?;
+        send_msg(link, shard, &WireMessage::Hello { params_digest: self.params_digest })?;
+        match recv_msg(link, shard)? {
+            WireMessage::HelloAck { params_digest: theirs } if theirs == self.params_digest => {}
+            WireMessage::HelloAck { params_digest: theirs } => {
+                return Err(GzError::Protocol(format!(
+                    "respawned shard {shard} parameter digest {theirs:#x} != coordinator {:#x}",
+                    self.params_digest
+                )));
+            }
+            other => {
+                return Err(GzError::Protocol(format!(
+                    "respawned shard {shard} answered Hello with {}",
+                    other.name()
+                )));
+            }
+        }
+        send_msg(link, shard, &WireMessage::Resync)?;
+        let seq = match recv_msg(link, shard)? {
+            WireMessage::ResyncFrom { seq } => seq,
+            other => {
+                return Err(GzError::Protocol(format!(
+                    "respawned shard {shard} answered Resync with {}",
+                    other.name()
+                )));
+            }
+        };
+        let log = &self.logs[shard as usize];
+        if !log.covers(seq) {
+            return Err(GzError::Protocol(format!(
+                "shard {shard} resumed at seq {seq}, outside the replay log \
+                 [{}, {}] — its checkpoint predates the last acknowledged one",
+                log.next_seq() - log.len() as u64,
+                log.next_seq()
+            )));
+        }
+        let missing = log.next_seq() - seq;
+        for batch in log.iter_from(seq) {
+            send_msg(
+                link,
+                shard,
+                &WireMessage::Batch { node: batch.node, records: batch.others.clone() },
+            )?;
+        }
+        self.stats.record_replay(missing);
+        Ok(())
+    }
+
+    /// Write `msg` to `shard`, recovering once. A fresh link has no pending
+    /// requests, so the write is simply re-issued after recovery.
+    fn send_recovering(&mut self, shard: u32, msg: &WireMessage) -> Result<(), GzError> {
+        match send_msg(&mut self.inner.links[shard as usize], shard, msg) {
+            Err(e) if recoverable(&e) => {
+                self.recover(shard, e)?;
+                send_msg(&mut self.inner.links[shard as usize], shard, msg)
+            }
+            other => other,
+        }
+    }
+
+    /// Read `shard`'s reply to `request`, recovering once. Recovery
+    /// replaces the link wholesale, so the fresh worker never saw the
+    /// request — it is re-sent before the reply is read again.
+    fn recv_recovering(
+        &mut self,
+        shard: u32,
+        request: &WireMessage,
+    ) -> Result<WireMessage, GzError> {
+        match recv_msg(&mut self.inner.links[shard as usize], shard) {
+            Err(e) if recoverable(&e) => {
+                self.recover(shard, e)?;
+                let link = &mut self.inner.links[shard as usize];
+                send_msg(link, shard, request)?;
+                recv_msg(link, shard)
+            }
+            other => other,
+        }
+    }
+}
+
+impl<S: ShardLink> ShardTransport for RecoveringTransport<S> {
+    fn num_shards(&self) -> u32 {
+        self.inner.links.len() as u32
+    }
+
+    fn send_batch(&mut self, shard: u32, batch: Batch) -> Result<(), GzError> {
+        // Log first: if the write fails, recovery's replay delivers the
+        // batch (it is part of the tail), so no explicit retry is needed.
+        // A "successful" write only proves the bytes entered a socket
+        // buffer — the log keeps the batch until a checkpoint proves the
+        // worker absorbed it durably.
+        let msg = WireMessage::Batch { node: batch.node, records: batch.others.clone() };
+        self.logs[shard as usize].append(batch);
+        match send_msg(&mut self.inner.links[shard as usize], shard, &msg) {
+            Ok(()) => {}
+            Err(e) if recoverable(&e) => self.recover(shard, e)?,
+            Err(e) => return Err(e),
+        }
+        if let Some(cap) = self.replay_log_cap {
+            if self.logs[shard as usize].len() >= cap {
+                self.checkpoint_shards()?;
+            }
+        }
+        Ok(())
+    }
+
+    fn flush(&mut self) -> Result<(), GzError> {
+        let n = self.inner.links.len();
+        for i in 0..n {
+            self.send_recovering(i as u32, &WireMessage::Flush)?;
+        }
+        for i in 0..n {
+            match self.recv_recovering(i as u32, &WireMessage::Flush)? {
+                WireMessage::FlushAck => {}
+                other => {
+                    return Err(GzError::Protocol(format!(
+                        "shard {i} answered Flush with {}",
+                        other.name()
+                    )));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn gather(&mut self) -> Result<Vec<SketchEntry>, GzError> {
+        let n = self.inner.links.len();
+        for i in 0..n {
+            self.send_recovering(i as u32, &WireMessage::GatherSketches)?;
+        }
+        let mut entries = Vec::new();
+        for i in 0..n {
+            match self.recv_recovering(i as u32, &WireMessage::GatherSketches)? {
+                WireMessage::Sketches { entries: shard_entries } => entries.extend(shard_entries),
+                other => {
+                    return Err(GzError::Protocol(format!(
+                        "shard {i} answered GatherSketches with {}",
+                        other.name()
+                    )));
+                }
+            }
+        }
+        Ok(entries)
+    }
+
+    fn gather_round(
+        &mut self,
+        round: u32,
+        epochs: Option<&[u64]>,
+    ) -> Result<Vec<SketchEntry>, GzError> {
+        check_epochs(epochs, self.inner.links.len())?;
+        let n = self.inner.links.len();
+        let request =
+            |i: usize| WireMessage::GatherRound { round, epoch: epochs.map(|ids| ids[i]) };
+        for i in 0..n {
+            self.send_recovering(i as u32, &request(i))?;
+        }
+        let mut entries = Vec::new();
+        for i in 0..n {
+            match self.recv_recovering(i as u32, &request(i))? {
+                WireMessage::RoundSketches { round: theirs, entries: shard_entries }
+                    if theirs == round =>
+                {
+                    entries.extend(shard_entries);
+                }
+                WireMessage::RoundSketches { round: theirs, .. } => {
+                    return Err(GzError::Protocol(format!(
+                        "shard {i} answered GatherRound({round}) with round {theirs}"
+                    )));
+                }
+                other => {
+                    return Err(GzError::Protocol(format!(
+                        "shard {i} answered GatherRound with {}",
+                        other.name()
+                    )));
+                }
+            }
+        }
+        Ok(entries)
+    }
+
+    fn gather_round_each(
+        &mut self,
+        round: u32,
+        epochs: Option<&[u64]>,
+        on_reply: &mut dyn FnMut(Vec<SketchEntry>) -> Result<(), GzError>,
+    ) -> Result<(), GzError> {
+        check_epochs(epochs, self.inner.links.len())?;
+        let n = self.inner.links.len();
+        let request =
+            |i: usize| WireMessage::GatherRound { round, epoch: epochs.map(|ids| ids[i]) };
+        for i in 0..n {
+            self.send_recovering(i as u32, &request(i))?;
+        }
+        let mut result = Ok(());
+        for i in 0..n {
+            // As in SocketTransport: every link owes one reply; keep
+            // draining after a fold error to preserve framing.
+            match self.recv_recovering(i as u32, &request(i))? {
+                WireMessage::RoundSketches { round: theirs, entries } if theirs == round => {
+                    if result.is_ok() {
+                        result = on_reply(entries);
+                    }
+                }
+                WireMessage::RoundSketches { round: theirs, .. } => {
+                    return Err(GzError::Protocol(format!(
+                        "shard {i} answered GatherRound({round}) with round {theirs}"
+                    )));
+                }
+                other => {
+                    return Err(GzError::Protocol(format!(
+                        "shard {i} answered GatherRound with {}",
+                        other.name()
+                    )));
+                }
+            }
+        }
+        result
+    }
+
+    fn seal_epoch(&mut self) -> Result<Vec<u64>, GzError> {
+        let n = self.inner.links.len();
+        for i in 0..n {
+            self.send_recovering(i as u32, &WireMessage::SealEpoch)?;
+        }
+        let mut ids = Vec::with_capacity(n);
+        for i in 0..n {
+            match self.recv_recovering(i as u32, &WireMessage::SealEpoch)? {
+                WireMessage::EpochSealed { epoch } => ids.push(epoch),
+                other => {
+                    return Err(GzError::Protocol(format!(
+                        "shard {i} answered SealEpoch with {}",
+                        other.name()
+                    )));
+                }
+            }
+        }
+        Ok(ids)
+    }
+
+    fn release_epoch(&mut self, epochs: &[u64]) -> Result<(), GzError> {
+        // No recovery: a worker that died since sealing has already lost
+        // the epoch, and respawning one just to release nothing would turn
+        // every post-crash cleanup into a reconnect storm.
+        self.inner.release_epoch(epochs)
+    }
+
+    fn checkpoint_shards(&mut self) -> Result<Vec<u64>, GzError> {
+        let n = self.inner.links.len();
+        for i in 0..n {
+            self.send_recovering(i as u32, &WireMessage::CheckpointShard)?;
+        }
+        let mut seqs = Vec::with_capacity(n);
+        for i in 0..n {
+            match self.recv_recovering(i as u32, &WireMessage::CheckpointShard)? {
+                WireMessage::CheckpointAck { seq } => {
+                    // The checkpoint durably covers batches `..seq`; the
+                    // replay log no longer needs them.
+                    self.logs[i].prune_through(seq);
+                    self.stats.record_checkpoint();
+                    seqs.push(seq);
+                }
+                other => {
+                    return Err(GzError::Protocol(format!(
+                        "shard {i} answered CheckpointShard with {}",
+                        other.name()
+                    )));
+                }
+            }
+        }
+        Ok(seqs)
+    }
+
+    fn recovery_stats(&self) -> Option<Arc<IoStats>> {
+        Some(Arc::clone(&self.stats))
+    }
+
+    fn shutdown(&mut self) -> Result<(), GzError> {
+        // No recovery on the way out: respawning a worker to tell it to
+        // shut down is pure churn.
+        self.inner.shutdown()
     }
 }
 
@@ -490,6 +1143,8 @@ pub struct ShardServeStats {
     pub gathers: u64,
     /// `SealEpoch` round trips served.
     pub seals: u64,
+    /// `CheckpointShard` round trips served (durable checkpoints written).
+    pub checkpoints: u64,
 }
 
 /// Drive one coordinator connection over `stream` against `pipeline`:
@@ -543,6 +1198,23 @@ pub fn serve_shard_connection<S: Read + Write>(
                 let epoch = pipeline.seal_epoch()?;
                 WireMessage::EpochSealed { epoch }.write_to(stream)?;
             }
+            WireMessage::CheckpointShard => {
+                stats.checkpoints += 1;
+                // Flushes, then persists atomically; the returned sequence
+                // number tells the coordinator which replay-log prefix the
+                // checkpoint makes redundant. A worker started without a
+                // checkpoint path fails here — the coordinator should not
+                // have asked.
+                let seq = pipeline.save_checkpoint()?;
+                WireMessage::CheckpointAck { seq }.write_to(stream)?;
+            }
+            WireMessage::Resync => {
+                // A recovering coordinator asks where we stand; we answer
+                // with the batch count our restored state already covers so
+                // it replays strictly after (replaying an absorbed batch
+                // would XOR it out again).
+                WireMessage::ResyncFrom { seq: pipeline.seq() }.write_to(stream)?;
+            }
             WireMessage::ReleaseEpoch { epoch } => {
                 pipeline.release_epoch(epoch);
                 WireMessage::EpochReleased.write_to(stream)?;
@@ -567,18 +1239,22 @@ pub type LocalWorkerHandle = std::thread::JoinHandle<Result<ShardServeStats, GzE
 /// handshake, event loop) without OS processes — the form the equivalence
 /// suite uses; the multi-process example does the same over TCP with real
 /// processes.
+///
+/// When `config.checkpoint_dir` is set and a shard's checkpoint file
+/// already exists, the worker resumes from it before serving — the
+/// thread-level analogue of `gz shard-worker --resume`.
 pub fn spawn_local_socket_workers(
     config: &ShardConfig,
-) -> Result<(SocketTransport<std::os::unix::net::UnixStream>, Vec<LocalWorkerHandle>), GzError> {
+) -> Result<(SocketTransport<UnixStream>, Vec<LocalWorkerHandle>), GzError> {
     let digest = config.params_digest();
     let mut coordinator_ends = Vec::with_capacity(config.num_shards as usize);
     let mut handles = Vec::with_capacity(config.num_shards as usize);
     for index in 0..config.num_shards {
-        let (ours, theirs) = std::os::unix::net::UnixStream::pair()?;
+        let (ours, theirs) = UnixStream::pair()?;
         coordinator_ends.push(ours);
         let worker_config = config.clone();
         handles.push(std::thread::spawn(move || {
-            let pipeline = ShardPipeline::new(&worker_config, index)?;
+            let pipeline = new_pipeline_resuming(&worker_config, index)?;
             let mut stream = theirs;
             serve_shard_connection(&mut stream, &pipeline, worker_config.params_digest())
         }));
@@ -587,9 +1263,23 @@ pub fn spawn_local_socket_workers(
     Ok((transport, handles))
 }
 
+/// Build shard `index`'s pipeline, resuming from its configured checkpoint
+/// file when one exists on disk. A missing file is a fresh start, not an
+/// error; a present-but-corrupt file is.
+pub fn new_pipeline_resuming(config: &ShardConfig, index: u32) -> Result<ShardPipeline, GzError> {
+    let pipeline = ShardPipeline::new(config, index)?;
+    if let Some(path) = pipeline.checkpoint_path() {
+        if path.exists() {
+            pipeline.resume_from(&path)?;
+        }
+    }
+    Ok(pipeline)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::error::TransportErrorKind;
     use crate::node_sketch::encode_other;
 
     #[test]
@@ -748,6 +1438,397 @@ mod tests {
             serve_shard_connection(&mut stream, &pipeline, config.params_digest()),
             Err(GzError::Protocol(_))
         ));
+    }
+
+    // -- link hardening: typed errors at every protocol state ---------------
+
+    /// Spawn a thread that answers the `Hello` handshake, then hands the
+    /// stream to `after` (which decides how the "worker" misbehaves).
+    fn handshake_then<F>(theirs: UnixStream, after: F) -> std::thread::JoinHandle<()>
+    where
+        F: FnOnce(UnixStream) + Send + 'static,
+    {
+        std::thread::spawn(move || {
+            let mut stream = theirs;
+            match WireMessage::read_from(&mut stream).unwrap() {
+                WireMessage::Hello { params_digest } => {
+                    WireMessage::HelloAck { params_digest }.write_to(&mut stream).unwrap();
+                }
+                other => panic!("expected Hello, got {}", other.name()),
+            }
+            after(stream);
+        })
+    }
+
+    fn assert_kind(err: GzError, want: crate::error::TransportErrorKind, ctx: &str) {
+        match err {
+            GzError::Transport(te) => {
+                assert_eq!(te.kind, want, "{ctx}: {te}");
+                assert_eq!(te.shard, 0, "{ctx}: wrong shard index");
+            }
+            other => panic!("{ctx}: expected a transport error, got {other}"),
+        }
+    }
+
+    #[test]
+    fn peer_disconnect_mid_batch_is_typed_peer_gone() {
+        let config = ShardConfig::in_ram(16, 1);
+        let digest = config.params_digest();
+        let (ours, theirs) = UnixStream::pair().unwrap();
+        let worker = handshake_then(theirs, drop); // dies right after Hello
+        let mut transport = SocketTransport::handshake(vec![ours], digest).unwrap();
+        worker.join().unwrap();
+        // Writes land in the socket buffer until the kernel notices the
+        // peer closed; keep sending until the failure surfaces. It must be
+        // a typed PeerGone, never a panic or hang.
+        let mut failure = None;
+        for i in 0..100_000u32 {
+            let batch = Batch { node: i % 16, others: vec![encode_other((i + 1) % 16, false)] };
+            if let Err(e) = transport.send_batch(0, batch) {
+                failure = Some(e);
+                break;
+            }
+        }
+        assert_kind(
+            failure.expect("a dead peer must fail sends"),
+            TransportErrorKind::PeerGone,
+            "mid-batch",
+        );
+    }
+
+    #[test]
+    fn peer_disconnect_awaiting_flush_ack_is_typed_peer_gone() {
+        let config = ShardConfig::in_ram(16, 1);
+        let digest = config.params_digest();
+        let (ours, theirs) = UnixStream::pair().unwrap();
+        // Worker reads the Flush, then dies without acking.
+        let worker = handshake_then(theirs, |mut stream| {
+            assert!(matches!(WireMessage::read_from(&mut stream).unwrap(), WireMessage::Flush));
+        });
+        let mut transport = SocketTransport::handshake(vec![ours], digest).unwrap();
+        let err = transport.flush().expect_err("no ack is coming");
+        assert_kind(err, TransportErrorKind::PeerGone, "awaiting FlushAck");
+        worker.join().unwrap();
+    }
+
+    #[test]
+    fn peer_disconnect_mid_gather_round_reply_is_typed_peer_gone() {
+        let config = ShardConfig::in_ram(16, 1);
+        let digest = config.params_digest();
+        let (ours, theirs) = UnixStream::pair().unwrap();
+        // Worker starts a RoundSketches reply but dies mid-frame: the
+        // coordinator sees EOF inside a frame body, which must classify as
+        // peer-gone (connection truncation), not a protocol parse error.
+        let worker = handshake_then(theirs, |mut stream| {
+            assert!(matches!(
+                WireMessage::read_from(&mut stream).unwrap(),
+                WireMessage::GatherRound { .. }
+            ));
+            let mut frame = Vec::new();
+            WireMessage::RoundSketches { round: 0, entries: vec![] }.write_to(&mut frame).unwrap();
+            use std::io::Write as _;
+            stream.write_all(&frame[..frame.len() - 1]).unwrap();
+        });
+        let mut transport = SocketTransport::handshake(vec![ours], digest).unwrap();
+        let err = transport.gather_round(0, None).expect_err("truncated reply");
+        assert_kind(err, TransportErrorKind::PeerGone, "mid-GatherRound");
+        worker.join().unwrap();
+    }
+
+    #[test]
+    fn stalled_worker_surfaces_as_timeout_not_hang() {
+        let config = ShardConfig::in_ram(16, 1);
+        let digest = config.params_digest();
+        let (mut ours, theirs) = UnixStream::pair().unwrap();
+        // Worker swallows every request without answering, until EOF.
+        let worker = handshake_then(
+            theirs,
+            |mut stream| {
+                while WireMessage::read_from(&mut stream).is_ok() {}
+            },
+        );
+        ours.apply_timeouts(&TransportTimeouts {
+            connect: None,
+            read: Some(Duration::from_millis(50)),
+            write: Some(Duration::from_millis(50)),
+        })
+        .unwrap();
+        let mut transport = SocketTransport::handshake(vec![ours], digest).unwrap();
+        let err = transport.flush().expect_err("worker never acks");
+        assert_kind(err, TransportErrorKind::Timeout, "stalled worker");
+        drop(transport); // EOF ends the worker's swallow loop
+        worker.join().unwrap();
+    }
+
+    #[test]
+    fn retry_backoff_is_deterministic_bounded_and_jittered() {
+        let policy = RetryPolicy::default();
+        assert_eq!(policy.backoff(0, 3), Duration::ZERO, "first attempt is immediate");
+        for attempt in 1..12 {
+            for salt in 0..4 {
+                let d = policy.backoff(attempt, salt);
+                assert_eq!(d, policy.backoff(attempt, salt), "jitter must be deterministic");
+                assert!(d <= policy.max, "backoff {d:?} exceeds cap");
+                assert!(d >= policy.base / 2, "backoff {d:?} below half the base");
+            }
+        }
+        // Jitter separates shards retrying in lockstep.
+        assert_ne!(policy.backoff(3, 0), policy.backoff(3, 1));
+    }
+
+    // -- checkpoints over the wire ------------------------------------------
+
+    #[test]
+    fn checkpoint_over_sockets_acks_seq_and_writes_files() {
+        let dir = gz_testutil::TempDir::new("gz-wire-ckpt");
+        let mut config = ShardConfig::in_ram(16, 2);
+        config.checkpoint_dir = Some(dir.path().to_path_buf());
+        let (mut socket, handles) = spawn_local_socket_workers(&config).unwrap();
+        for node in 0..16u32 {
+            let batch = Batch { node, others: vec![encode_other((node + 1) % 16, false)] };
+            socket.send_batch(node % 2, batch).unwrap();
+        }
+        let seqs = socket.checkpoint_shards().unwrap();
+        assert_eq!(seqs, vec![8, 8], "each shard acked its own batch count");
+        for index in 0..2u32 {
+            let path =
+                dir.path().join(crate::sharding::shard_checkpoint_file_name(index, 2, config.seed));
+            assert!(path.exists(), "shard {index} checkpoint file missing");
+        }
+        socket.shutdown().unwrap();
+        for h in handles {
+            assert_eq!(h.join().unwrap().unwrap().checkpoints, 1);
+        }
+    }
+
+    // -- recovery: respawn, resync, replay ----------------------------------
+
+    /// A stream that injects a worker crash: after `budget` bytes have been
+    /// read, every read fails. Dropping the stream (when the serve loop
+    /// errors out) closes the socket — exactly what a SIGKILLed process
+    /// does, minus the process.
+    struct DyingStream {
+        inner: UnixStream,
+        budget: std::sync::Arc<std::sync::atomic::AtomicUsize>,
+    }
+
+    impl Read for DyingStream {
+        fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+            use std::sync::atomic::Ordering;
+            let left = self.budget.load(Ordering::SeqCst);
+            if left == 0 {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::ConnectionReset,
+                    "injected worker crash",
+                ));
+            }
+            let want = buf.len().min(left);
+            let n = self.inner.read(&mut buf[..want])?;
+            self.budget.fetch_sub(n, Ordering::SeqCst);
+            Ok(n)
+        }
+    }
+
+    impl Write for DyingStream {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            self.inner.write(buf)
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            self.inner.flush()
+        }
+    }
+
+    #[test]
+    fn recovering_transport_replays_after_worker_death() {
+        use std::sync::atomic::AtomicUsize;
+        use std::sync::{Arc, Mutex};
+
+        let dir = gz_testutil::TempDir::new("gz-recover");
+        let mut config = ShardConfig::in_ram(16, 2);
+        config.checkpoint_dir = Some(dir.path().to_path_buf());
+        let digest = config.params_digest();
+
+        fn spawn_worker(
+            config: &ShardConfig,
+            index: u32,
+            budget: Arc<AtomicUsize>,
+        ) -> (UnixStream, LocalWorkerHandle) {
+            let (ours, theirs) = UnixStream::pair().unwrap();
+            let cfg = config.clone();
+            let handle = std::thread::spawn(move || {
+                let pipeline = new_pipeline_resuming(&cfg, index)?;
+                let mut stream = DyingStream { inner: theirs, budget };
+                serve_shard_connection(&mut stream, &pipeline, cfg.params_digest())
+            });
+            (ours, handle)
+        }
+
+        let unlimited = || Arc::new(AtomicUsize::new(usize::MAX));
+        let shard0_budget = Arc::new(AtomicUsize::new(usize::MAX));
+        let (ours0, doomed_handle) = spawn_worker(&config, 0, Arc::clone(&shard0_budget));
+        let (ours1, handle1) = spawn_worker(&config, 1, unlimited());
+        let respawned: Arc<Mutex<Vec<LocalWorkerHandle>>> = Arc::new(Mutex::new(Vec::new()));
+
+        let inner = SocketTransport::handshake(vec![ours0, ours1], digest).unwrap();
+        let respawned_for_closure = Arc::clone(&respawned);
+        let respawn_config = config.clone();
+        let mut transport = RecoveringTransport::new(
+            inner,
+            digest,
+            TransportTimeouts {
+                connect: None,
+                read: Some(Duration::from_secs(5)),
+                write: Some(Duration::from_secs(5)),
+            },
+            RetryPolicy {
+                attempts: 3,
+                base: Duration::from_millis(1),
+                max: Duration::from_millis(10),
+                jitter_seed: 7,
+            },
+            Box::new(move |index| {
+                let budget = Arc::new(AtomicUsize::new(usize::MAX));
+                let (ours, handle) = spawn_worker(&respawn_config, index, budget);
+                respawned_for_closure.lock().unwrap().push(handle);
+                Ok(ours)
+            }),
+        )
+        .unwrap();
+        let stats = transport.stats();
+
+        // Reference: the same batches through an uninterrupted transport.
+        let phase1: Vec<(u32, u32)> = (0..16u32).map(|n| (n, (n + 1) % 16)).collect();
+        let phase2: Vec<(u32, u32)> = (0..16u32).map(|n| (n, (n + 5) % 16)).collect();
+        let mut reference = InProcessTransport::new(&ShardConfig::in_ram(16, 2)).unwrap();
+        for &(node, other) in phase1.iter().chain(&phase2) {
+            let batch = Batch { node, others: vec![encode_other(other, false)] };
+            reference.send_batch(node % 2, batch).unwrap();
+        }
+        reference.flush().unwrap();
+
+        // Phase 1, then a checkpoint round (prunes both replay logs).
+        for &(node, other) in &phase1 {
+            let batch = Batch { node, others: vec![encode_other(other, false)] };
+            transport.send_batch(node % 2, batch).unwrap();
+        }
+        assert_eq!(transport.checkpoint_shards().unwrap(), vec![8, 8]);
+        assert_eq!(stats.checkpoints(), 2);
+
+        // Kill shard 0's worker a few dozen bytes into phase 2.
+        shard0_budget.store(64, std::sync::atomic::Ordering::SeqCst);
+        for &(node, other) in &phase2 {
+            let batch = Batch { node, others: vec![encode_other(other, false)] };
+            transport.send_batch(node % 2, batch).unwrap();
+        }
+        transport.flush().unwrap();
+
+        // The recovered state must be bit-identical to the uninterrupted run.
+        let sort = |mut v: Vec<SketchEntry>| {
+            v.sort_by_key(|e| e.node);
+            v
+        };
+        assert_eq!(
+            sort(transport.gather().unwrap()),
+            sort(reference.gather().unwrap()),
+            "post-recovery sketches must match an uninterrupted run exactly"
+        );
+
+        // Exactly one death: one replay, one reconnect attempt, and the
+        // replayed tail is bounded by phase 2's shard-0 share.
+        assert_eq!(stats.replays(), 1);
+        assert_eq!(stats.reconnect_attempts(), 1);
+        assert!(
+            (1..=8).contains(&stats.batches_replayed()),
+            "replayed {} batches, expected within phase 2's shard-0 share",
+            stats.batches_replayed()
+        );
+
+        transport.shutdown().unwrap();
+        reference.shutdown().unwrap();
+        assert!(
+            doomed_handle.join().unwrap().is_err(),
+            "the doomed worker dies of its injected crash"
+        );
+        handle1.join().unwrap().unwrap();
+        let handles: Vec<LocalWorkerHandle> = respawned.lock().unwrap().drain(..).collect();
+        for h in handles {
+            h.join().unwrap().unwrap();
+        }
+    }
+
+    #[test]
+    fn recovery_gives_up_after_the_retry_budget() {
+        let config = ShardConfig::in_ram(16, 1);
+        let digest = config.params_digest();
+        let (ours, theirs) = UnixStream::pair().unwrap();
+        let worker = handshake_then(theirs, drop);
+        let inner = SocketTransport::handshake(vec![ours], digest).unwrap();
+        let mut transport = RecoveringTransport::new(
+            inner,
+            digest,
+            TransportTimeouts::default(),
+            RetryPolicy {
+                attempts: 2,
+                base: Duration::from_millis(1),
+                max: Duration::from_millis(2),
+                jitter_seed: 1,
+            },
+            Box::new(|_| Err(GzError::InvalidConfig("respawn disabled".into()))),
+        )
+        .unwrap();
+        let stats = transport.stats();
+        worker.join().unwrap();
+
+        let mut failure = None;
+        for i in 0..100_000u32 {
+            let batch = Batch { node: i % 16, others: vec![encode_other((i + 1) % 16, false)] };
+            if let Err(e) = transport.send_batch(0, batch) {
+                failure = Some(e);
+                break;
+            }
+        }
+        assert!(
+            matches!(failure, Some(GzError::InvalidConfig(_))),
+            "the respawn closure's refusal is the final error"
+        );
+        assert_eq!(stats.reconnect_attempts(), 2, "both budgeted attempts were spent");
+        assert_eq!(stats.replays(), 0);
+    }
+
+    #[test]
+    fn replay_log_cap_forces_inline_checkpoints() {
+        let dir = gz_testutil::TempDir::new("gz-cap");
+        let mut config = ShardConfig::in_ram(16, 1);
+        config.checkpoint_dir = Some(dir.path().to_path_buf());
+        let digest = config.params_digest();
+        let (ours, theirs) = UnixStream::pair().unwrap();
+        let cfg = config.clone();
+        let worker = std::thread::spawn(move || {
+            let pipeline = new_pipeline_resuming(&cfg, 0)?;
+            let mut stream = theirs;
+            serve_shard_connection(&mut stream, &pipeline, cfg.params_digest())
+        });
+        let inner = SocketTransport::handshake(vec![ours], digest).unwrap();
+        let mut transport = RecoveringTransport::new(
+            inner,
+            digest,
+            TransportTimeouts::default(),
+            RetryPolicy::default(),
+            Box::new(|_| Err(GzError::InvalidConfig("no respawn in this test".into()))),
+        )
+        .unwrap()
+        .with_replay_log_cap(4);
+        let stats = transport.stats();
+
+        for i in 0..12u32 {
+            let batch = Batch { node: i % 16, others: vec![encode_other((i + 1) % 16, false)] };
+            transport.send_batch(0, batch).unwrap();
+        }
+        // 12 batches with a cap of 4: the log hit the cap three times, each
+        // forcing a checkpoint round that pruned it.
+        assert_eq!(stats.checkpoints(), 3);
+        transport.shutdown().unwrap();
+        worker.join().unwrap().unwrap();
     }
 
     /// An in-memory Read + Write stream for driving the serve loop directly.

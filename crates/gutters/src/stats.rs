@@ -21,6 +21,11 @@ pub struct IoStats {
     completions: AtomicU64,
     depth_sum: AtomicU64,
     depth_max: AtomicU64,
+    // Fault-tolerance accounting (sharded recovery, DESIGN.md §14).
+    checkpoints: AtomicU64,
+    replays: AtomicU64,
+    batches_replayed: AtomicU64,
+    reconnect_attempts: AtomicU64,
 }
 
 impl IoStats {
@@ -135,6 +140,46 @@ impl IoStats {
         self.rounds_synthesized.load(Ordering::Relaxed)
     }
 
+    /// Record one durable shard checkpoint written (a `CheckpointAck`).
+    #[inline]
+    pub fn record_checkpoint(&self) {
+        self.checkpoints.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record one recovery replay of `batches` logged batches into a
+    /// restarted worker.
+    #[inline]
+    pub fn record_replay(&self, batches: u64) {
+        self.replays.fetch_add(1, Ordering::Relaxed);
+        self.batches_replayed.fetch_add(batches, Ordering::Relaxed);
+    }
+
+    /// Record one reconnect/re-spawn attempt toward a dead worker.
+    #[inline]
+    pub fn record_reconnect_attempt(&self) {
+        self.reconnect_attempts.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Durable shard checkpoints written.
+    pub fn checkpoints(&self) -> u64 {
+        self.checkpoints.load(Ordering::Relaxed)
+    }
+
+    /// Recovery replays performed (one per revived worker).
+    pub fn replays(&self) -> u64 {
+        self.replays.load(Ordering::Relaxed)
+    }
+
+    /// Batches re-shipped from the replay log across all replays.
+    pub fn batches_replayed(&self) -> u64 {
+        self.batches_replayed.load(Ordering::Relaxed)
+    }
+
+    /// Reconnect/re-spawn attempts toward dead workers.
+    pub fn reconnect_attempts(&self) -> u64 {
+        self.reconnect_attempts.load(Ordering::Relaxed)
+    }
+
     /// Fold another counter set into this one (all four counters, one atomic
     /// add each). The parallel query path accumulates per-worker `IoStats`
     /// locally and merges once per worker, so concurrent readers neither
@@ -152,6 +197,10 @@ impl IoStats {
         // Depth is a high-water mark, not a flow: the merged maximum is the
         // max over workers, while sums and counts add exactly.
         self.depth_max.fetch_max(other.max_depth(), Ordering::Relaxed);
+        self.checkpoints.fetch_add(other.checkpoints(), Ordering::Relaxed);
+        self.replays.fetch_add(other.replays(), Ordering::Relaxed);
+        self.batches_replayed.fetch_add(other.batches_replayed(), Ordering::Relaxed);
+        self.reconnect_attempts.fetch_add(other.reconnect_attempts(), Ordering::Relaxed);
     }
 
     /// Reset all counters to zero.
@@ -166,6 +215,10 @@ impl IoStats {
         self.completions.store(0, Ordering::Relaxed);
         self.depth_sum.store(0, Ordering::Relaxed);
         self.depth_max.store(0, Ordering::Relaxed);
+        self.checkpoints.store(0, Ordering::Relaxed);
+        self.replays.store(0, Ordering::Relaxed);
+        self.batches_replayed.store(0, Ordering::Relaxed);
+        self.reconnect_attempts.store(0, Ordering::Relaxed);
     }
 
     /// Snapshot of all four counters (reads, writes, bytes_read,
@@ -207,6 +260,32 @@ mod tests {
         t.reset();
         assert_eq!(t.sparse_promotions(), 0);
         assert_eq!(t.rounds_synthesized(), 0);
+    }
+
+    #[test]
+    fn recovery_counters_accumulate_merge_and_reset() {
+        let s = IoStats::new();
+        s.record_checkpoint();
+        s.record_checkpoint();
+        s.record_replay(5);
+        s.record_replay(0);
+        s.record_reconnect_attempt();
+        assert_eq!(s.checkpoints(), 2);
+        assert_eq!(s.replays(), 2);
+        assert_eq!(s.batches_replayed(), 5);
+        assert_eq!(s.reconnect_attempts(), 1);
+        let t = IoStats::new();
+        t.record_replay(3);
+        t.merge_from(&s);
+        assert_eq!(t.checkpoints(), 2);
+        assert_eq!(t.replays(), 3);
+        assert_eq!(t.batches_replayed(), 8);
+        assert_eq!(t.reconnect_attempts(), 1);
+        t.reset();
+        assert_eq!(
+            (t.checkpoints(), t.replays(), t.batches_replayed(), t.reconnect_attempts()),
+            (0, 0, 0, 0)
+        );
     }
 
     #[test]

@@ -44,8 +44,13 @@ pub const WIRE_MAGIC: [u8; 2] = *b"GZ";
 /// each entry's bytes now start with `0` (a dense round slice follows) or
 /// `1` (a sparse exact neighbor-set follows — count + sorted u32 ids — that
 /// the coordinator replays into the round slice), so shards never densify
-/// sub-threshold nodes just to answer a gather.
-pub const PROTOCOL_VERSION: u8 = 5;
+/// sub-threshold nodes just to answer a gather;
+/// v6 added the fault-tolerance frames: `CheckpointShard` / `CheckpointAck`
+/// (persist the shard's owned state, acknowledging with the durable batch
+/// sequence number) and `Resync` / `ResyncFrom` (a restarted worker reports
+/// the sequence number its restored state covers, so the coordinator
+/// replays exactly the un-checkpointed tail).
+pub const PROTOCOL_VERSION: u8 = 6;
 
 /// Upper bound on a frame payload (defensive: a corrupt length header must
 /// not trigger a multi-gigabyte allocation).
@@ -65,6 +70,10 @@ const TAG_SEAL_EPOCH: u8 = 11;
 const TAG_EPOCH_SEALED: u8 = 12;
 const TAG_RELEASE_EPOCH: u8 = 13;
 const TAG_EPOCH_RELEASED: u8 = 14;
+const TAG_CHECKPOINT_SHARD: u8 = 15;
+const TAG_CHECKPOINT_ACK: u8 = 16;
+const TAG_RESYNC: u8 = 17;
+const TAG_RESYNC_FROM: u8 = 18;
 
 /// On-wire sentinel for "no epoch" in [`WireMessage::GatherRound`]: the
 /// gather reads the live (flushed) state, the pre-v4 behavior.
@@ -159,6 +168,32 @@ pub enum WireMessage {
     },
     /// Worker → coordinator: the epoch is gone.
     EpochReleased,
+    /// Coordinator → worker: flush, then persist the shard's owned sketch
+    /// state to the worker's checkpoint path and reply
+    /// [`WireMessage::CheckpointAck`]. Sent in-stream, so the checkpoint
+    /// covers exactly the batches framed before it — no separate sequence
+    /// negotiation is needed on an ordered link.
+    CheckpointShard,
+    /// Worker → coordinator: the checkpoint is durable. `seq` is the count
+    /// of [`WireMessage::Batch`] frames the worker had received when it
+    /// took the checkpoint; the coordinator may prune its replay log
+    /// through that point.
+    CheckpointAck {
+        /// Batches covered by the durable checkpoint.
+        seq: u64,
+    },
+    /// Coordinator → worker: asks where the worker's state begins — sent
+    /// after reconnecting to a restarted worker, before any replay. The
+    /// worker replies [`WireMessage::ResyncFrom`].
+    Resync,
+    /// Worker → coordinator: the worker's state (fresh, or restored from a
+    /// checkpoint) covers the first `seq` batches; the coordinator must
+    /// replay batches `seq..` and nothing earlier — replaying a batch the
+    /// state already absorbed would XOR it in twice and cancel it.
+    ResyncFrom {
+        /// Batches already reflected in the worker's sketch state.
+        seq: u64,
+    },
     /// Coordinator → worker: close the connection; the worker exits its
     /// event loop.
     Shutdown,
@@ -212,6 +247,10 @@ impl WireMessage {
             WireMessage::EpochSealed { .. } => TAG_EPOCH_SEALED,
             WireMessage::ReleaseEpoch { .. } => TAG_RELEASE_EPOCH,
             WireMessage::EpochReleased => TAG_EPOCH_RELEASED,
+            WireMessage::CheckpointShard => TAG_CHECKPOINT_SHARD,
+            WireMessage::CheckpointAck { .. } => TAG_CHECKPOINT_ACK,
+            WireMessage::Resync => TAG_RESYNC,
+            WireMessage::ResyncFrom { .. } => TAG_RESYNC_FROM,
             WireMessage::Shutdown => TAG_SHUTDOWN,
         }
     }
@@ -223,7 +262,10 @@ impl WireMessage {
             WireMessage::Hello { .. } | WireMessage::HelloAck { .. } => 8,
             WireMessage::Batch { records, .. } => 8 + 4 * records.len(),
             WireMessage::GatherRound { .. } => 12,
-            WireMessage::EpochSealed { .. } | WireMessage::ReleaseEpoch { .. } => 8,
+            WireMessage::EpochSealed { .. }
+            | WireMessage::ReleaseEpoch { .. }
+            | WireMessage::CheckpointAck { .. }
+            | WireMessage::ResyncFrom { .. } => 8,
             WireMessage::Sketches { entries } => {
                 4 + entries.iter().map(|e| 8 + e.bytes.len()).sum::<usize>()
             }
@@ -235,6 +277,8 @@ impl WireMessage {
             | WireMessage::GatherSketches
             | WireMessage::SealEpoch
             | WireMessage::EpochReleased
+            | WireMessage::CheckpointShard
+            | WireMessage::Resync
             | WireMessage::Shutdown => 0,
         }
     }
@@ -262,6 +306,9 @@ impl WireMessage {
             WireMessage::EpochSealed { epoch } | WireMessage::ReleaseEpoch { epoch } => {
                 out.extend_from_slice(&epoch.to_le_bytes());
             }
+            WireMessage::CheckpointAck { seq } | WireMessage::ResyncFrom { seq } => {
+                out.extend_from_slice(&seq.to_le_bytes());
+            }
             WireMessage::RoundSketches { round, entries } => {
                 out.extend_from_slice(&round.to_le_bytes());
                 out.extend_from_slice(&(entries.len() as u32).to_le_bytes());
@@ -272,6 +319,8 @@ impl WireMessage {
             | WireMessage::GatherSketches
             | WireMessage::SealEpoch
             | WireMessage::EpochReleased
+            | WireMessage::CheckpointShard
+            | WireMessage::Resync
             | WireMessage::Shutdown => {}
         }
     }
@@ -369,6 +418,10 @@ impl WireMessage {
             TAG_EPOCH_SEALED => WireMessage::EpochSealed { epoch: cur.u64()? },
             TAG_RELEASE_EPOCH => WireMessage::ReleaseEpoch { epoch: cur.u64()? },
             TAG_EPOCH_RELEASED => WireMessage::EpochReleased,
+            TAG_CHECKPOINT_SHARD => WireMessage::CheckpointShard,
+            TAG_CHECKPOINT_ACK => WireMessage::CheckpointAck { seq: cur.u64()? },
+            TAG_RESYNC => WireMessage::Resync,
+            TAG_RESYNC_FROM => WireMessage::ResyncFrom { seq: cur.u64()? },
             TAG_SHUTDOWN => WireMessage::Shutdown,
             other => return Err(invalid(format!("unknown message tag {other}"))),
         };
@@ -394,6 +447,10 @@ impl WireMessage {
             WireMessage::EpochSealed { .. } => "EpochSealed",
             WireMessage::ReleaseEpoch { .. } => "ReleaseEpoch",
             WireMessage::EpochReleased => "EpochReleased",
+            WireMessage::CheckpointShard => "CheckpointShard",
+            WireMessage::CheckpointAck { .. } => "CheckpointAck",
+            WireMessage::Resync => "Resync",
+            WireMessage::ResyncFrom { .. } => "ResyncFrom",
             WireMessage::Shutdown => "Shutdown",
         }
     }
@@ -476,6 +533,11 @@ mod tests {
             WireMessage::EpochSealed { epoch: u64::MAX - 1 },
             WireMessage::ReleaseEpoch { epoch: 42 },
             WireMessage::EpochReleased,
+            WireMessage::CheckpointShard,
+            WireMessage::CheckpointAck { seq: 0 },
+            WireMessage::CheckpointAck { seq: u64::MAX },
+            WireMessage::Resync,
+            WireMessage::ResyncFrom { seq: 12345 },
             WireMessage::Shutdown,
         ];
         for msg in msgs {
@@ -639,5 +701,48 @@ mod tests {
         // The coordinator never sends these, but the codec must not choke.
         let msg = round_trip(WireMessage::Batch { node: 9, records: vec![] });
         assert_eq!(msg, WireMessage::Batch { node: 9, records: vec![] });
+    }
+
+    #[test]
+    fn version_mismatch_reports_both_versions() {
+        // A mixed-version fleet must be diagnosable from the error text
+        // alone: both the peer's version and ours belong in the message.
+        let mut buf = Vec::new();
+        WireMessage::Flush.write_to(&mut buf).unwrap();
+        buf[2] = PROTOCOL_VERSION + 1;
+        let err = WireMessage::read_from(&mut &buf[..]).unwrap_err();
+        let msg = err.to_string();
+        assert!(
+            msg.contains(&format!("got {}", PROTOCOL_VERSION + 1))
+                && msg.contains(&format!("want {PROTOCOL_VERSION}")),
+            "got: {msg}"
+        );
+    }
+
+    #[test]
+    fn checkpoint_and_resync_frames_reject_malformed_payloads() {
+        fn frame(tag: u8, payload: &[u8]) -> Vec<u8> {
+            let mut buf = Vec::new();
+            buf.extend_from_slice(&WIRE_MAGIC);
+            buf.push(PROTOCOL_VERSION);
+            buf.push(tag);
+            buf.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+            buf.extend_from_slice(payload);
+            buf
+        }
+        // CheckpointShard / Resync carry no payload; trailing bytes are
+        // garbage.
+        for tag in [15u8, 17] {
+            let buf = frame(tag, &[0]);
+            assert!(WireMessage::read_from(&mut &buf[..]).is_err(), "tag {tag}");
+        }
+        // CheckpointAck / ResyncFrom carry exactly a u64: short payloads
+        // truncate, long ones trail.
+        for tag in [16u8, 18] {
+            let short = frame(tag, &[0u8; 4]);
+            assert!(WireMessage::read_from(&mut &short[..]).is_err(), "tag {tag} short");
+            let long = frame(tag, &[0u8; 12]);
+            assert!(WireMessage::read_from(&mut &long[..]).is_err(), "tag {tag} long");
+        }
     }
 }
