@@ -1,0 +1,148 @@
+//! `gz serve` load benchmark (DESIGN.md §15): query latency under
+//! concurrent ingest, measured through real sockets against an in-process
+//! daemon.
+//!
+//! Writer clients stream update batches at the daemon continuously while
+//! the measured client works:
+//!
+//! - `update_rtt_b64` — criterion-timed round trip for one 64-update
+//!   batch (frame encode, socket hop, gutter ingest, ack) with the other
+//!   writers running.
+//! - `query_components_p50` / `_p99` — latency percentiles across many
+//!   `Components` queries, each sealing a fresh epoch while ingest keeps
+//!   moving (staleness 0, the worst case for a query). Percentiles are
+//!   computed here and recorded via `record_custom`: tail latency under
+//!   load is exactly what a mean-of-samples loop would hide.
+//!
+//! Results land in `BENCH_serve.json` with the other baselines.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use graph_zeppelin::TransportTimeouts;
+use gz_bench::harness::smoke;
+use gz_cli::client::ServeClient;
+use gz_cli::serve::{serve_start, ServeListen, ServeOptions};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const BATCH: usize = 64;
+
+fn client_timeouts() -> TransportTimeouts {
+    let d = Some(Duration::from_secs(30));
+    TransportTimeouts { connect: d, read: d, write: d }
+}
+
+/// Deterministic pseudo-random insert stream over `n` nodes.
+fn edge_stream(n: u32, count: usize, salt: u64) -> Vec<(u32, u32, bool)> {
+    let mut x = salt | 1;
+    let mut out = Vec::with_capacity(count);
+    while out.len() < count {
+        x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        let u = ((x >> 33) % n as u64) as u32;
+        let v = ((x >> 13) % n as u64) as u32;
+        if u != v {
+            out.push((u, v, false));
+        }
+    }
+    out
+}
+
+fn percentile_ns(sorted: &[f64], q: f64) -> f64 {
+    let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+    sorted[idx]
+}
+
+fn bench_serve_load(c: &mut Criterion) {
+    let nodes: u64 = if smoke() { 512 } else { 4096 };
+    let writers = if smoke() { 2 } else { 4 };
+    let queries = if smoke() { 40 } else { 300 };
+
+    let mut options = ServeOptions::new(ServeListen::Tcp("127.0.0.1:0".into()), nodes);
+    options.timeout_ms = Some(30_000);
+    options.max_clients = (writers + 4) as u32;
+    let handle = serve_start(&options).expect("start daemon");
+    let addr = handle.addr().to_string();
+
+    // Background load: `writers` clients each streaming 64-update batches
+    // as fast as their acks come back, for the whole benchmark.
+    let stop = Arc::new(AtomicBool::new(false));
+    let pushed = Arc::new(AtomicU64::new(0));
+    let writer_threads: Vec<_> = (0..writers)
+        .map(|i| {
+            let addr = addr.clone();
+            let stop = Arc::clone(&stop);
+            let pushed = Arc::clone(&pushed);
+            std::thread::spawn(move || {
+                let mut client =
+                    ServeClient::connect_tcp(&addr, &client_timeouts()).expect("writer connect");
+                let stream = edge_stream(nodes as u32, 100_000, 1 + i as u64);
+                let mut at = 0;
+                while !stop.load(Ordering::Relaxed) {
+                    let end = (at + BATCH).min(stream.len());
+                    client.send_updates(&stream[at..end]).expect("writer batch");
+                    pushed.fetch_add((end - at) as u64, Ordering::Relaxed);
+                    at = if end == stream.len() { 0 } else { end };
+                }
+                client.shutdown().expect("writer goodbye");
+            })
+        })
+        .collect();
+
+    // Measured batch round trip, with the writers running underneath.
+    let mut rtt_client = ServeClient::connect_tcp(&addr, &client_timeouts()).expect("rtt connect");
+    let batch = &edge_stream(nodes as u32, BATCH, 99)[..];
+    c.bench_function("gz_serve_load/update_rtt_b64", |b| {
+        b.iter(|| rtt_client.send_updates(batch).expect("rtt batch"))
+    });
+
+    // Query latency percentiles: every query seals a fresh epoch while
+    // ingest keeps moving.
+    let mut query_client =
+        ServeClient::connect_tcp(&addr, &client_timeouts()).expect("query connect");
+    let mut lat_ns: Vec<f64> = Vec::with_capacity(queries);
+    for _ in 0..queries {
+        let t = Instant::now();
+        let labels = query_client.query_components().expect("query under load");
+        lat_ns.push(t.elapsed().as_secs_f64() * 1e9);
+        assert_eq!(labels.len(), nodes as usize);
+    }
+    lat_ns.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    criterion::record_custom("gz_serve_load/query_components_p50", percentile_ns(&lat_ns, 0.50));
+    criterion::record_custom("gz_serve_load/query_components_p99", percentile_ns(&lat_ns, 0.99));
+
+    stop.store(true, Ordering::Relaxed);
+    for t in writer_threads {
+        t.join().expect("writer thread");
+    }
+    rtt_client.shutdown().expect("rtt goodbye");
+    query_client.shutdown().expect("query goodbye");
+    println!(
+        "gz_serve_load: {} updates acked across {writers} writers during {queries} queries",
+        handle.acked(),
+    );
+    assert!(pushed.load(Ordering::Relaxed) > 0, "writers never pushed a batch");
+    handle.shutdown().expect("daemon shutdown");
+}
+
+/// Final target: persist every measurement above as the machine-readable
+/// baseline (`BENCH_serve.json`).
+fn emit_bench_json(_c: &mut Criterion) {
+    match gz_bench::harness::write_bench_json("serve") {
+        Ok(path) => println!("bench baseline written to {}", path.display()),
+        Err(e) => eprintln!("could not write BENCH_serve.json: {e}"),
+    }
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(300))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_serve_load, emit_bench_json
+}
+criterion_main!(benches);

@@ -14,6 +14,9 @@
 //! gz checkpoint restore ckpt.gzc [--forest] [--query-mode streaming]
 //! gz shard-worker --listen 127.0.0.1:7001 --nodes 1024 --shards 2 --index 0 \
 //!     [--checkpoint shard.ckpt | --resume shard.ckpt]
+//! gz serve (--listen host:port | --unix sock.path) --nodes 1024 \
+//!     [--shards K] [--workers N] [--max-clients C] [--dir state/ [--resume]] \
+//!     [--checkpoint-ms MS] [--timeout-ms MS] [--staleness U] [--stats]
 //! gz bipartite stream.gzs
 //! ```
 //!
@@ -25,8 +28,17 @@
 //! worker is restarted (by its supervisor) as
 //! `gz shard-worker --resume <ckpt>`.
 //!
+//! `gz serve` (DESIGN.md §15) keeps one resident sharded system alive and
+//! serves many concurrent clients over the wire protocol's front-door
+//! dialect, with WAL-backed acks, periodic checkpoint rounds, overload
+//! shedding, and graceful signal-driven shutdown; see [`serve`] and the
+//! [`client`] library.
+//!
 //! All logic lives in this library so it is unit-testable; `main.rs` is a
 //! thin shell.
+
+pub mod client;
+pub mod serve;
 
 use graph_zeppelin::{
     connect_shard_tcp, serve_shard_connection, BipartitenessTester, BufferStrategy, GraphZeppelin,
@@ -217,6 +229,11 @@ pub enum Command {
         /// checkpoints overwrite the same file.
         resume: Option<PathBuf>,
     },
+    /// Run the long-lived serve daemon (DESIGN.md §15).
+    Serve {
+        /// Everything the daemon needs; see [`serve::ServeOptions`].
+        options: serve::ServeOptions,
+    },
     /// Test bipartiteness of a stream file.
     Bipartite {
         /// Stream file.
@@ -321,9 +338,9 @@ fn set_switch(slot: &mut bool, flag: &str) -> Result<(), String> {
 /// Parse a full argument vector (without argv[0]).
 pub fn parse_args(args: &[String]) -> Result<Command, String> {
     let mut it = args.iter();
-    let sub = it
-        .next()
-        .ok_or("missing subcommand (generate|info|components|checkpoint|shard-worker|bipartite)")?;
+    let sub = it.next().ok_or(
+        "missing subcommand (generate|info|components|checkpoint|shard-worker|serve|bipartite)",
+    )?;
     match sub.as_str() {
         "generate" => {
             let mut dataset = None;
@@ -622,6 +639,77 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                 checkpoint,
                 resume,
             })
+        }
+        "serve" => {
+            let mut listen = None;
+            let mut unix = None;
+            let mut nodes = None;
+            let mut shards = None;
+            let mut seed = None;
+            let mut workers = None;
+            let mut max_clients = None;
+            let mut dir = None;
+            let mut resume = false;
+            let mut checkpoint_ms = None;
+            let mut timeout_ms = None;
+            let mut staleness = None;
+            let mut stats = false;
+            while let Some(arg) = it.next() {
+                match arg.as_str() {
+                    "--listen" => {
+                        let v = it.next().ok_or("--listen needs host:port")?.clone();
+                        set_once(&mut listen, v, arg)?;
+                    }
+                    "--unix" => {
+                        let v = PathBuf::from(it.next().ok_or("--unix needs a socket path")?);
+                        set_once(&mut unix, v, arg)?;
+                    }
+                    "--nodes" => set_once(&mut nodes, parse_num(&mut it, arg)?, arg)?,
+                    "--shards" => set_once(&mut shards, parse_positive(&mut it, arg)?, arg)?,
+                    "--seed" => set_once(&mut seed, parse_num(&mut it, arg)?, arg)?,
+                    "--workers" => set_once(&mut workers, parse_positive(&mut it, arg)?, arg)?,
+                    "--max-clients" => {
+                        set_once(&mut max_clients, parse_positive(&mut it, arg)?, arg)?
+                    }
+                    "--dir" => {
+                        let v = PathBuf::from(it.next().ok_or("--dir needs a dir")?);
+                        set_once(&mut dir, v, arg)?;
+                    }
+                    "--resume" => set_switch(&mut resume, arg)?,
+                    "--checkpoint-ms" => {
+                        set_once(&mut checkpoint_ms, parse_positive(&mut it, arg)?, arg)?
+                    }
+                    // 0 disables the deadline entirely (block forever).
+                    "--timeout-ms" => set_once(&mut timeout_ms, parse_num(&mut it, arg)?, arg)?,
+                    "--staleness" => set_once(&mut staleness, parse_num(&mut it, arg)?, arg)?,
+                    "--stats" => set_switch(&mut stats, arg)?,
+                    other => return Err(format!("unknown flag {other}")),
+                }
+            }
+            let listen = match (listen, unix) {
+                (Some(addr), None) => serve::ServeListen::Tcp(addr),
+                (None, Some(path)) => serve::ServeListen::Unix(path),
+                (None, None) => return Err("need --listen host:port or --unix path".into()),
+                (Some(_), Some(_)) => {
+                    return Err("pick one of --listen and --unix, not both".into());
+                }
+            };
+            if resume && dir.is_none() {
+                return Err("--resume needs --dir (there is no state to resume without one)".into());
+            }
+            let mut options = serve::ServeOptions::new(listen, nodes.ok_or("need --nodes")?);
+            options.shards = shards.unwrap_or(1);
+            options.seed = seed.unwrap_or(0x5EED_1E55);
+            options.workers = workers.unwrap_or(2);
+            options.max_clients = max_clients.unwrap_or(64);
+            options.dir = dir;
+            options.resume = resume;
+            options.checkpoint_ms = checkpoint_ms.unwrap_or(1000);
+            // Some(0) is the typed spelling of "no deadline".
+            options.timeout_ms = Some(timeout_ms.unwrap_or(30_000));
+            options.staleness = staleness.unwrap_or(0);
+            options.stats = stats;
+            Ok(Command::Serve { options })
         }
         "bipartite" => {
             let path = it.next().ok_or("bipartite needs a stream file")?;
@@ -1107,6 +1195,7 @@ pub fn execute(cmd: Command) -> Result<String, String> {
             config.io.kind = io_backend.unwrap_or_default();
             run_shard_worker(&listen, config, index, checkpoint, resume)
         }
+        Command::Serve { options } => serve::run_serve(options),
         Command::Bipartite { path } => {
             let mut reader = StreamReader::open(&path).map_err(|e| e.to_string())?;
             let header = reader.header();
@@ -1762,6 +1851,58 @@ mod tests {
             Command::ShardWorker { threshold: Some(16), .. }
         ));
         assert!(parse_args(&argv("shard-worker --listen 127.0.0.1:0 --nodes 8")).is_err());
+    }
+
+    #[test]
+    fn parses_serve() {
+        // Full flag set.
+        let cmd = parse_args(&argv(
+            "serve --listen 127.0.0.1:7070 --nodes 1024 --shards 2 --seed 9 --workers 3 \
+             --max-clients 8 --dir /tmp/state --resume --checkpoint-ms 250 --timeout-ms 0 \
+             --staleness 64 --stats",
+        ))
+        .unwrap();
+        let mut expected =
+            serve::ServeOptions::new(serve::ServeListen::Tcp("127.0.0.1:7070".into()), 1024);
+        expected.shards = 2;
+        expected.seed = 9;
+        expected.workers = 3;
+        expected.max_clients = 8;
+        expected.dir = Some(PathBuf::from("/tmp/state"));
+        expected.resume = true;
+        expected.checkpoint_ms = 250;
+        expected.timeout_ms = Some(0); // 0 = no deadline, typed as Some(0)
+        expected.staleness = 64;
+        expected.stats = true;
+        assert_eq!(cmd, Command::Serve { options: expected });
+
+        // Defaults and the unix listener.
+        match parse_args(&argv("serve --unix /tmp/gz.sock --nodes 64")).unwrap() {
+            Command::Serve { options } => {
+                assert_eq!(options.listen, serve::ServeListen::Unix(PathBuf::from("/tmp/gz.sock")));
+                assert_eq!(options.shards, 1);
+                assert_eq!(options.max_clients, 64);
+                assert_eq!(options.checkpoint_ms, 1000);
+                assert_eq!(options.timeout_ms, Some(30_000));
+                assert!(!options.resume && !options.stats);
+            }
+            other => panic!("{other:?}"),
+        }
+
+        // Typed refusals.
+        let err = parse_args(&argv("serve --nodes 64")).unwrap_err();
+        assert!(err.contains("--listen host:port or --unix"), "{err}");
+        let err = parse_args(&argv("serve --listen 127.0.0.1:0 --unix /tmp/gz.sock --nodes 64"))
+            .unwrap_err();
+        assert!(err.contains("not both"), "{err}");
+        let err = parse_args(&argv("serve --listen 127.0.0.1:0 --nodes 64 --resume")).unwrap_err();
+        assert!(err.contains("--resume needs --dir"), "{err}");
+        assert!(parse_args(&argv("serve --listen 127.0.0.1:0")).is_err(), "missing --nodes");
+        let err =
+            parse_args(&argv("serve --listen 127.0.0.1:0 --nodes 64 --max-clients 0")).unwrap_err();
+        assert!(err.contains("at least 1"), "{err}");
+        let err = parse_args(&argv("serve --listen a --listen b --nodes 64")).unwrap_err();
+        assert!(err.contains("duplicate flag"), "{err}");
     }
 
     #[test]

@@ -25,6 +25,11 @@ fn main() {
                  [--workers N] [--store ram|disk] [--dir DIR] [--threshold T] \
                  [--io-backend auto|pread|uring]\n                  \
                  [--checkpoint shard.ckpt | --resume shard.ckpt]\n  \
+                 gz serve (--listen HOST:PORT | --unix SOCK) --nodes N \
+                 [--shards K] [--seed S]\n           \
+                 [--workers N] [--max-clients C] [--dir DIR [--resume]]\n           \
+                 [--checkpoint-ms MS] [--timeout-ms MS] [--staleness U] \
+                 [--stats]\n  \
                  gz bipartite FILE"
             );
             std::process::exit(2);

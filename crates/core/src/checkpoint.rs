@@ -42,7 +42,8 @@ use crate::config::GzConfig;
 use crate::error::GzError;
 use crate::node_sketch::{CubeNodeSketch, SketchParams};
 use crate::system::GraphZeppelin;
-use std::io::{BufReader, BufWriter, Read, Write};
+use gz_hash::xxh64;
+use std::io::{BufReader, BufWriter, Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
 
 // v1 checkpoints ("GZC1") predate the single-hash column derivation
@@ -407,6 +408,206 @@ pub fn load_shard_checkpoint(
     Ok((sketches, header.seq))
 }
 
+// ---------------------------------------------------------------------------
+// Serve durability: update WAL + round manifest
+// ---------------------------------------------------------------------------
+
+const WAL_MAGIC: [u8; 4] = *b"GZW1";
+const MANIFEST_MAGIC: [u8; 4] = *b"GZSM";
+
+/// Bytes one WAL update occupies: `u` + `v` + the delete flag.
+const WAL_UPDATE_BYTES: usize = 9;
+/// Bytes of a WAL record header: update count + payload checksum.
+const WAL_RECORD_HEADER_BYTES: usize = 4 + 8;
+
+/// Append-only write-ahead log of client edge updates, the durability layer
+/// `gz serve` acks against (DESIGN.md §15). Each append is one record:
+///
+/// ```text
+/// count    u32  — updates in this record
+/// checksum u64  — xxh64 of the payload, seeded with `count`
+/// payload  count × (u u32, v u32, is_delete u8)
+/// ```
+///
+/// and is fsynced before the daemon acks the batch, so an acked update is
+/// durable by definition. Recovery replays records until the first torn or
+/// corrupt one — a crash mid-append — truncates the tail there, and leaves
+/// the file positioned for further appends. Because the WAL is replayed in
+/// append order on top of a checkpoint that covers everything before it,
+/// the recovered stream is a prefix-preserving superset of the acked
+/// prefix: acked updates are always recovered, unacked in-flight ones may
+/// be.
+#[derive(Debug)]
+pub struct UpdateWal {
+    file: std::fs::File,
+    buf: Vec<u8>,
+}
+
+impl UpdateWal {
+    /// Create (or truncate) the WAL at `path`, writing and syncing the
+    /// magic so recovery can tell "fresh log" from "not a log".
+    pub fn create(path: &Path) -> Result<UpdateWal, GzError> {
+        let mut file = std::fs::File::create(path)?;
+        file.write_all(&WAL_MAGIC)?;
+        file.sync_data()?;
+        Ok(UpdateWal { file, buf: Vec::new() })
+    }
+
+    /// Durably append one batch of updates: a single `write_all` followed
+    /// by `sync_data`. After this returns the batch may be acked.
+    pub fn append(&mut self, updates: &[(u32, u32, bool)]) -> Result<(), GzError> {
+        let mut payload = std::mem::take(&mut self.buf);
+        payload.clear();
+        payload.reserve(WAL_RECORD_HEADER_BYTES + updates.len() * WAL_UPDATE_BYTES);
+        payload.extend_from_slice(&(updates.len() as u32).to_le_bytes());
+        payload.extend_from_slice(&[0u8; 8]); // checksum patched below
+        for &(u, v, is_delete) in updates {
+            payload.extend_from_slice(&u.to_le_bytes());
+            payload.extend_from_slice(&v.to_le_bytes());
+            payload.push(is_delete as u8);
+        }
+        let checksum =
+            xxh64(&payload[WAL_RECORD_HEADER_BYTES..], updates.len() as u64).to_le_bytes();
+        payload[4..12].copy_from_slice(&checksum);
+        let result = self.file.write_all(&payload).and_then(|()| self.file.sync_data());
+        self.buf = payload;
+        result.map_err(GzError::Io)
+    }
+
+    /// Open the WAL at `path`, replay every intact record into `sink`
+    /// (in append order), truncate the first torn or corrupt tail, and
+    /// return the log positioned for appends plus the number of updates
+    /// replayed. A missing or torn-at-the-magic file is a fresh log, not an
+    /// error — the only crash that produces one is a crash during
+    /// [`create`](Self::create), before anything could have been acked
+    /// against it.
+    pub fn recover(
+        path: &Path,
+        sink: &mut dyn FnMut(u32, u32, bool),
+    ) -> Result<(UpdateWal, u64), GzError> {
+        let mut file = match std::fs::OpenOptions::new().read(true).write(true).open(path) {
+            Ok(file) => file,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                return Ok((UpdateWal::create(path)?, 0));
+            }
+            Err(e) => return Err(GzError::Io(e)),
+        };
+        let mut bytes = Vec::new();
+        file.read_to_end(&mut bytes)?;
+        if bytes.len() < WAL_MAGIC.len() {
+            drop(file);
+            return Ok((UpdateWal::create(path)?, 0));
+        }
+        if bytes[..4] != WAL_MAGIC {
+            return Err(corrupt(path, "not an update WAL (bad magic)"));
+        }
+
+        let mut at = WAL_MAGIC.len();
+        let mut replayed = 0u64;
+        while let Some(header) = bytes.get(at..at + WAL_RECORD_HEADER_BYTES) {
+            let count = u32::from_le_bytes(header[..4].try_into().unwrap()) as usize;
+            let checksum = u64::from_le_bytes(header[4..12].try_into().unwrap());
+            let payload_at = at + WAL_RECORD_HEADER_BYTES;
+            let Some(payload) = count
+                .checked_mul(WAL_UPDATE_BYTES)
+                .and_then(|len| bytes.get(payload_at..payload_at + len))
+            else {
+                break; // torn mid-payload
+            };
+            if xxh64(payload, count as u64) != checksum {
+                break; // torn mid-header or bit-rotted — either way, not acked-intact
+            }
+            for update in payload.chunks_exact(WAL_UPDATE_BYTES) {
+                let u = u32::from_le_bytes(update[..4].try_into().unwrap());
+                let v = u32::from_le_bytes(update[4..8].try_into().unwrap());
+                sink(u, v, update[8] != 0);
+            }
+            replayed += count as u64;
+            at = payload_at + payload.len();
+        }
+
+        file.set_len(at as u64)?;
+        file.seek(SeekFrom::Start(at as u64))?;
+        file.sync_data()?;
+        Ok((UpdateWal { file, buf: Vec::new() }, replayed))
+    }
+}
+
+/// The manifest naming `gz serve`'s current durable round (DESIGN.md §15):
+/// which versioned shard-checkpoint files are authoritative and how many
+/// client updates they cover. Written atomically *after* every shard file
+/// of the round is complete, so the round it names is always fully on
+/// disk; the WAL segment of the same round holds the updates that arrived
+/// since.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServeManifest {
+    /// Checkpoint round this manifest names (0 = fresh, no shard files).
+    pub round: u64,
+    /// Client updates the round's shard files cover.
+    pub covered: u64,
+    /// Vertex universe size — resume refuses a mismatched restart.
+    pub num_nodes: u64,
+    /// Master seed.
+    pub seed: u64,
+    /// Shard count the round's files were cut for.
+    pub num_shards: u32,
+}
+
+impl ServeManifest {
+    fn encode_fields(&self) -> [u8; 36] {
+        let mut out = [0u8; 36];
+        out[..8].copy_from_slice(&self.round.to_le_bytes());
+        out[8..16].copy_from_slice(&self.covered.to_le_bytes());
+        out[16..24].copy_from_slice(&self.num_nodes.to_le_bytes());
+        out[24..32].copy_from_slice(&self.seed.to_le_bytes());
+        out[32..36].copy_from_slice(&self.num_shards.to_le_bytes());
+        out
+    }
+
+    /// Atomically publish this manifest at `path` (tmp + fsync + rename):
+    /// a crash leaves either the previous round current or this one —
+    /// never a torn manifest.
+    pub fn save(&self, path: &Path) -> Result<(), GzError> {
+        let tmp: PathBuf = {
+            let mut os = path.as_os_str().to_os_string();
+            os.push(".tmp");
+            os.into()
+        };
+        let fields = self.encode_fields();
+        let mut file = std::fs::File::create(&tmp)?;
+        file.write_all(&MANIFEST_MAGIC)?;
+        file.write_all(&fields)?;
+        file.write_all(&xxh64(&fields, 0).to_le_bytes())?;
+        file.sync_all()?;
+        drop(file);
+        std::fs::rename(&tmp, path)?;
+        Ok(())
+    }
+
+    /// Load and validate the manifest at `path`.
+    pub fn load(path: &Path) -> Result<ServeManifest, GzError> {
+        let bytes = std::fs::read(path)?;
+        if bytes.len() != 4 + 36 + 8 {
+            return Err(corrupt(path, format!("manifest is {} bytes, expected 48", bytes.len())));
+        }
+        if bytes[..4] != MANIFEST_MAGIC {
+            return Err(corrupt(path, "not a serve manifest (bad magic)"));
+        }
+        let fields = &bytes[4..40];
+        let checksum = u64::from_le_bytes(bytes[40..48].try_into().unwrap());
+        if xxh64(fields, 0) != checksum {
+            return Err(corrupt(path, "manifest checksum mismatch"));
+        }
+        Ok(ServeManifest {
+            round: u64::from_le_bytes(fields[..8].try_into().unwrap()),
+            covered: u64::from_le_bytes(fields[8..16].try_into().unwrap()),
+            num_nodes: u64::from_le_bytes(fields[16..24].try_into().unwrap()),
+            seed: u64::from_le_bytes(fields[24..32].try_into().unwrap()),
+            num_shards: u32::from_le_bytes(fields[32..36].try_into().unwrap()),
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -663,5 +864,129 @@ mod tests {
             load_shard_checkpoint(path.path(), &params, &header),
             Err(GzError::InvalidConfig(_))
         ));
+    }
+
+    fn recover_all(path: &Path) -> (UpdateWal, u64, Vec<(u32, u32, bool)>) {
+        let mut got = Vec::new();
+        let (wal, replayed) = UpdateWal::recover(path, &mut |u, v, d| got.push((u, v, d))).unwrap();
+        (wal, replayed, got)
+    }
+
+    #[test]
+    fn wal_round_trips_batches_in_order() {
+        let path = tmp("wal_round_trip");
+        let mut wal = UpdateWal::create(path.path()).unwrap();
+        wal.append(&[(0, 1, false), (1, 2, false)]).unwrap();
+        wal.append(&[]).unwrap();
+        wal.append(&[(0, 1, true)]).unwrap();
+        drop(wal);
+
+        let (mut wal, replayed, got) = recover_all(path.path());
+        assert_eq!(replayed, 3);
+        assert_eq!(got, vec![(0, 1, false), (1, 2, false), (0, 1, true)]);
+
+        // Recovery leaves the log appendable: new records land after the
+        // replayed ones.
+        wal.append(&[(5, 6, false)]).unwrap();
+        drop(wal);
+        let (_, replayed, got) = recover_all(path.path());
+        assert_eq!(replayed, 4);
+        assert_eq!(got.last(), Some(&(5, 6, false)));
+    }
+
+    #[test]
+    fn wal_missing_file_is_a_fresh_log() {
+        let path = tmp("wal_missing");
+        let (mut wal, replayed, got) = recover_all(path.path());
+        assert_eq!((replayed, got.len()), (0, 0));
+        wal.append(&[(1, 2, false)]).unwrap();
+        drop(wal);
+        let (_, replayed, _) = recover_all(path.path());
+        assert_eq!(replayed, 1);
+    }
+
+    #[test]
+    fn wal_truncates_torn_tail_but_keeps_intact_prefix() {
+        let path = tmp("wal_torn");
+        let mut wal = UpdateWal::create(path.path()).unwrap();
+        wal.append(&[(0, 1, false)]).unwrap();
+        wal.append(&[(2, 3, false), (3, 4, false)]).unwrap();
+        drop(wal);
+        let full = std::fs::read(path.path()).unwrap();
+
+        // Tear the file at every byte boundary inside the second record:
+        // the first must always survive, the second never half-apply.
+        let first_record_end = 4 + 12 + 9;
+        for cut in first_record_end..full.len() {
+            std::fs::write(path.path(), &full[..cut]).unwrap();
+            let (_, replayed, got) = recover_all(path.path());
+            assert_eq!(replayed, 1, "cut {cut}");
+            assert_eq!(got, vec![(0, 1, false)], "cut {cut}");
+            // ...and the torn tail is gone: recovery is idempotent.
+            assert_eq!(std::fs::metadata(path.path()).unwrap().len(), first_record_end as u64);
+        }
+
+        // A tear inside the magic is a fresh log.
+        std::fs::write(path.path(), &full[..2]).unwrap();
+        let (_, replayed, _) = recover_all(path.path());
+        assert_eq!(replayed, 0);
+    }
+
+    #[test]
+    fn wal_detects_checksum_corruption() {
+        let path = tmp("wal_bitrot");
+        let mut wal = UpdateWal::create(path.path()).unwrap();
+        wal.append(&[(0, 1, false)]).unwrap();
+        wal.append(&[(2, 3, false)]).unwrap();
+        drop(wal);
+
+        // Flip one payload byte in the second record: replay stops before
+        // it.
+        let mut bytes = std::fs::read(path.path()).unwrap();
+        let second_payload = 4 + 12 + 9 + 12;
+        bytes[second_payload] ^= 0x40;
+        std::fs::write(path.path(), &bytes).unwrap();
+        let (_, replayed, got) = recover_all(path.path());
+        assert_eq!(replayed, 1);
+        assert_eq!(got, vec![(0, 1, false)]);
+    }
+
+    #[test]
+    fn wal_refuses_foreign_files() {
+        let path = tmp("wal_foreign");
+        std::fs::write(path.path(), b"definitely not a WAL").unwrap();
+        let err = UpdateWal::recover(path.path(), &mut |_, _, _| {}).unwrap_err();
+        assert!(matches!(err, GzError::InvalidConfig(_)), "{err}");
+    }
+
+    #[test]
+    fn serve_manifest_round_trips_and_rejects_corruption() {
+        let path = tmp("manifest");
+        let manifest = ServeManifest {
+            round: 7,
+            covered: 123_456,
+            num_nodes: 1 << 20,
+            seed: 0x5EED,
+            num_shards: 4,
+        };
+        manifest.save(path.path()).unwrap();
+        assert_eq!(ServeManifest::load(path.path()).unwrap(), manifest);
+
+        // Overwrites are atomic replacements of the whole manifest.
+        let next = ServeManifest { round: 8, covered: 200_000, ..manifest };
+        next.save(path.path()).unwrap();
+        assert_eq!(ServeManifest::load(path.path()).unwrap(), next);
+
+        // Any single-byte corruption is caught by length, magic, or
+        // checksum.
+        let bytes = std::fs::read(path.path()).unwrap();
+        for at in 0..bytes.len() {
+            let mut bad = bytes.clone();
+            bad[at] ^= 0x01;
+            std::fs::write(path.path(), &bad).unwrap();
+            assert!(ServeManifest::load(path.path()).is_err(), "byte {at}");
+        }
+        std::fs::write(path.path(), &bytes[..20]).unwrap();
+        assert!(ServeManifest::load(path.path()).is_err());
     }
 }

@@ -78,7 +78,7 @@ pub use boruvka::{
     boruvka_rounds, boruvka_rounds_parallel, boruvka_spanning_forest,
     boruvka_spanning_forest_parallel, BoruvkaOutcome, RoundSink,
 };
-pub use checkpoint::{CheckpointHeader, ShardCheckpointHeader};
+pub use checkpoint::{CheckpointHeader, ServeManifest, ShardCheckpointHeader, UpdateWal};
 pub use config::{
     BufferStrategy, GutterCapacity, GzConfig, LockingStrategy, QueryMode, StoreBackend,
 };

@@ -347,6 +347,30 @@ impl ShardedGraphZeppelin {
         Ok(seqs)
     }
 
+    /// Flush, then persist every shard's owned state to `paths[i]` (one
+    /// path per shard), regardless of any cadence-configured destination.
+    /// `gz serve` cuts its versioned checkpoint rounds through this.
+    pub fn checkpoint_shards_to(
+        &mut self,
+        paths: &[std::path::PathBuf],
+    ) -> Result<Vec<u64>, GzError> {
+        self.flush()?;
+        let seqs = self.transport.lock().checkpoint_shards_to(paths)?;
+        self.last_checkpoint_batches = self.router.batches_emitted();
+        Ok(seqs)
+    }
+
+    /// Restore every shard's owned state from `paths[i]`. Must run before
+    /// any updates are ingested: the router's batch counters restart at
+    /// zero either way, so resuming into a half-ingested system would
+    /// desynchronize checkpoint sequence numbers.
+    pub fn resume_shards_from(
+        &mut self,
+        paths: &[std::path::PathBuf],
+    ) -> Result<Vec<u64>, GzError> {
+        self.transport.lock().resume_shards_from(paths)
+    }
+
     /// Recovery counters (checkpoints, replays, reconnects), if the
     /// transport tracks them ([`transport::RecoveringTransport`] does;
     /// plain transports return `None`).
@@ -840,6 +864,68 @@ mod tests {
         let mut resumed = ShardedGraphZeppelin::local_socket(config).unwrap();
         assert_eq!(resumed.gather_serialized().unwrap(), want);
         resumed.shutdown().unwrap();
+    }
+
+    #[test]
+    fn clean_shutdown_cuts_a_final_checkpoint_without_a_cadence() {
+        // No `checkpoint_every`, no explicit `checkpoint_shards()` call:
+        // the only checkpoint is the one the workers write on the clean
+        // `Shutdown` frame. Before that fix, everything since the last
+        // cadence checkpoint (here: the entire stream) was silently
+        // dropped on clean exit.
+        let dir = gz_testutil::TempDir::new("gz-final-ckpt");
+        let n = 32u64;
+        let updates = demo_updates(32, 200, 11);
+        let mut config = ShardConfig::in_ram(n, 2);
+        config.checkpoint_dir = Some(dir.path().to_path_buf());
+
+        let mut sharded = ShardedGraphZeppelin::local_socket(config.clone()).unwrap();
+        sharded.ingest(updates.iter().copied()).unwrap();
+        let want = sharded.gather_serialized().unwrap();
+        let files: Vec<_> = (0..2)
+            .map(|i| dir.path().join(shard_checkpoint_file_name(i, 2, config.seed)))
+            .collect();
+        assert!(files.iter().all(|f| !f.exists()), "no checkpoint may exist before shutdown");
+        sharded.shutdown().unwrap();
+        assert!(files.iter().all(|f| f.exists()), "clean shutdown must leave a checkpoint");
+
+        let mut resumed = ShardedGraphZeppelin::local_socket(config).unwrap();
+        assert_eq!(resumed.gather_serialized().unwrap(), want);
+        resumed.shutdown().unwrap();
+    }
+
+    #[test]
+    fn targeted_checkpoint_round_trips_through_a_fresh_system() {
+        // The serve daemon's versioned-round path: checkpoint to explicit
+        // paths, restore a brand-new system from them, and the restored
+        // system both matches bit-for-bit and keeps answering correctly
+        // for the rest of the stream.
+        let dir = gz_testutil::TempDir::new("gz-targeted-ckpt");
+        let n = 48u64;
+        let updates = demo_updates(48, 400, 21);
+        let (first, rest) = updates.split_at(250);
+        let config = ShardConfig::in_ram(n, 3);
+
+        let mut sharded = ShardedGraphZeppelin::in_process(config.clone()).unwrap();
+        sharded.ingest(first.iter().copied()).unwrap();
+        let paths: Vec<_> = (0..3).map(|i| dir.path().join(format!("round-1-{i}.gzs2"))).collect();
+        let seqs = sharded.checkpoint_shards_to(&paths).unwrap();
+        assert_eq!(seqs.iter().sum::<u64>(), sharded.batches_shipped());
+        let want = sharded.gather_serialized().unwrap();
+
+        let mut restored = ShardedGraphZeppelin::in_process(config.clone()).unwrap();
+        let resumed_seqs = restored.resume_shards_from(&paths).unwrap();
+        assert_eq!(resumed_seqs, seqs);
+        assert_eq!(restored.gather_serialized().unwrap(), want);
+        restored.ingest(rest.iter().copied()).unwrap();
+        assert_eq!(
+            restored.connected_components().unwrap(),
+            single_node_labels(n, config.seed, &updates)
+        );
+
+        // Mismatched path count is refused before touching anything.
+        assert!(sharded.checkpoint_shards_to(&paths[..2]).is_err());
+        assert!(restored.resume_shards_from(&paths[..1]).is_err());
     }
 
     #[test]

@@ -225,6 +225,29 @@ pub trait ShardTransport {
         Err(GzError::InvalidConfig("this transport does not support shard checkpoints".into()))
     }
 
+    /// Durably checkpoint every shard's owned state to `paths[i]` (one path
+    /// per shard), overriding any cadence-configured destination. `gz
+    /// serve` uses this to write *versioned* checkpoint rounds: each round
+    /// lands at fresh paths, and only after every shard file is complete
+    /// does a manifest flip make the round current — so a crash mid-round
+    /// can never mix old and new shard state. The default refuses, like
+    /// [`checkpoint_shards`](Self::checkpoint_shards).
+    fn checkpoint_shards_to(&mut self, paths: &[std::path::PathBuf]) -> Result<Vec<u64>, GzError> {
+        let _ = paths;
+        Err(GzError::InvalidConfig(
+            "this transport does not support targeted shard checkpoints".into(),
+        ))
+    }
+
+    /// Restore every shard's owned state from `paths[i]`, validating each
+    /// file's topology header against the shard it lands on. Returns the
+    /// per-shard sequence numbers the restored state covers. The default
+    /// refuses.
+    fn resume_shards_from(&mut self, paths: &[std::path::PathBuf]) -> Result<Vec<u64>, GzError> {
+        let _ = paths;
+        Err(GzError::InvalidConfig("this transport does not support shard resume".into()))
+    }
+
     /// Recovery counters, if this transport keeps them
     /// ([`RecoveringTransport`] does; plain transports return `None`).
     fn recovery_stats(&self) -> Option<Arc<IoStats>> {
@@ -369,6 +392,35 @@ impl ShardTransport for InProcessTransport {
 
     fn checkpoint_shards(&mut self) -> Result<Vec<u64>, GzError> {
         self.shards.iter().map(|shard| shard.save_checkpoint()).collect()
+    }
+
+    fn checkpoint_shards_to(&mut self, paths: &[std::path::PathBuf]) -> Result<Vec<u64>, GzError> {
+        if paths.len() != self.shards.len() {
+            return Err(GzError::InvalidConfig(format!(
+                "checkpoint_shards_to needs one path per shard: got {} for {} shards",
+                paths.len(),
+                self.shards.len()
+            )));
+        }
+        self.shards
+            .iter()
+            .zip(paths)
+            .map(|(shard, path)| {
+                shard.set_checkpoint_path(path.clone());
+                shard.save_checkpoint()
+            })
+            .collect()
+    }
+
+    fn resume_shards_from(&mut self, paths: &[std::path::PathBuf]) -> Result<Vec<u64>, GzError> {
+        if paths.len() != self.shards.len() {
+            return Err(GzError::InvalidConfig(format!(
+                "resume_shards_from needs one path per shard: got {} for {} shards",
+                paths.len(),
+                self.shards.len()
+            )));
+        }
+        self.shards.iter().zip(paths).map(|(shard, path)| shard.resume_from(path)).collect()
     }
 
     fn shutdown(&mut self) -> Result<(), GzError> {
@@ -1219,7 +1271,18 @@ pub fn serve_shard_connection<S: Read + Write>(
                 pipeline.release_epoch(epoch);
                 WireMessage::EpochReleased.write_to(stream)?;
             }
-            WireMessage::Shutdown => return Ok(stats),
+            WireMessage::Shutdown => {
+                // A clean goodbye must not silently drop the updates
+                // absorbed since the last cadence checkpoint: when this
+                // worker has a checkpoint destination configured, cut one
+                // final checkpoint so a later `--resume` starts from the
+                // state the coordinator last saw, not an older one.
+                if pipeline.checkpoint_path().is_some() {
+                    stats.checkpoints += 1;
+                    pipeline.save_checkpoint()?;
+                }
+                return Ok(stats);
+            }
             other => {
                 return Err(GzError::Protocol(format!(
                     "unexpected {} on a shard-worker connection",
@@ -1597,7 +1660,9 @@ mod tests {
         }
         socket.shutdown().unwrap();
         for h in handles {
-            assert_eq!(h.join().unwrap().unwrap().checkpoints, 1);
+            // The explicit round plus the final checkpoint every worker
+            // with a configured path cuts on a clean `Shutdown`.
+            assert_eq!(h.join().unwrap().unwrap().checkpoints, 2);
         }
     }
 

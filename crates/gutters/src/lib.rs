@@ -26,7 +26,7 @@ pub mod work_queue;
 pub mod worker_pool;
 
 pub use leaf::LeafGutters;
-pub use stats::IoStats;
+pub use stats::{IoStats, ServeStats};
 pub use tree::{GutterTree, GutterTreeConfig};
 pub use work_queue::{Batch, WorkQueue};
 pub use worker_pool::WorkerPool;

@@ -228,6 +228,131 @@ impl IoStats {
     }
 }
 
+/// Connection-level counters for a long-running serve front door
+/// (DESIGN.md §15). Connection handlers record into a local instance and
+/// merge once when the connection ends — the same per-worker discipline as
+/// [`IoStats`] — so the daemon-wide totals sum exactly without contending
+/// on every frame.
+#[derive(Debug, Default)]
+pub struct ServeStats {
+    accepted: AtomicU64,
+    shed: AtomicU64,
+    killed_malformed: AtomicU64,
+    timed_out: AtomicU64,
+    frames_in: AtomicU64,
+    frames_out: AtomicU64,
+}
+
+impl ServeStats {
+    /// Fresh zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one connection admitted past the client limit check.
+    #[inline]
+    pub fn record_accepted(&self) {
+        self.accepted.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record one connection shed with a `Busy` reply at admission.
+    #[inline]
+    pub fn record_shed(&self) {
+        self.shed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record one connection killed for a malformed or protocol-violating
+    /// frame.
+    #[inline]
+    pub fn record_killed_malformed(&self) {
+        self.killed_malformed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record one connection dropped for missing a read or write deadline.
+    #[inline]
+    pub fn record_timed_out(&self) {
+        self.timed_out.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record `n` frames decoded from clients.
+    #[inline]
+    pub fn record_frames_in(&self, n: u64) {
+        self.frames_in.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Record `n` frames written to clients.
+    #[inline]
+    pub fn record_frames_out(&self, n: u64) {
+        self.frames_out.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Connections admitted.
+    pub fn accepted(&self) -> u64 {
+        self.accepted.load(Ordering::Relaxed)
+    }
+
+    /// Connections shed with `Busy`.
+    pub fn shed(&self) -> u64 {
+        self.shed.load(Ordering::Relaxed)
+    }
+
+    /// Connections killed for malformed frames.
+    pub fn killed_malformed(&self) -> u64 {
+        self.killed_malformed.load(Ordering::Relaxed)
+    }
+
+    /// Connections dropped on a missed deadline.
+    pub fn timed_out(&self) -> u64 {
+        self.timed_out.load(Ordering::Relaxed)
+    }
+
+    /// Frames received.
+    pub fn frames_in(&self) -> u64 {
+        self.frames_in.load(Ordering::Relaxed)
+    }
+
+    /// Frames sent.
+    pub fn frames_out(&self) -> u64 {
+        self.frames_out.load(Ordering::Relaxed)
+    }
+
+    /// Fold another counter set into this one, one atomic add each —
+    /// exact-sum merge under concurrency.
+    pub fn merge_from(&self, other: &ServeStats) {
+        self.accepted.fetch_add(other.accepted(), Ordering::Relaxed);
+        self.shed.fetch_add(other.shed(), Ordering::Relaxed);
+        self.killed_malformed.fetch_add(other.killed_malformed(), Ordering::Relaxed);
+        self.timed_out.fetch_add(other.timed_out(), Ordering::Relaxed);
+        self.frames_in.fetch_add(other.frames_in(), Ordering::Relaxed);
+        self.frames_out.fetch_add(other.frames_out(), Ordering::Relaxed);
+    }
+
+    /// Reset all counters to zero.
+    pub fn reset(&self) {
+        self.accepted.store(0, Ordering::Relaxed);
+        self.shed.store(0, Ordering::Relaxed);
+        self.killed_malformed.store(0, Ordering::Relaxed);
+        self.timed_out.store(0, Ordering::Relaxed);
+        self.frames_in.store(0, Ordering::Relaxed);
+        self.frames_out.store(0, Ordering::Relaxed);
+    }
+}
+
+impl std::fmt::Display for ServeStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "accepted={} shed={} killed_malformed={} timed_out={} frames_in={} frames_out={}",
+            self.accepted(),
+            self.shed(),
+            self.killed_malformed(),
+            self.timed_out(),
+            self.frames_in(),
+            self.frames_out()
+        )
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -367,6 +492,65 @@ mod tests {
         // Deepest batch across all workers: w = 7, i % 3 = 2 → 10.
         assert_eq!(shared.max_depth(), 10);
         assert!((shared.mean_depth() - expected as f64 / 800.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn serve_counters_accumulate_merge_and_reset() {
+        let s = ServeStats::new();
+        s.record_accepted();
+        s.record_accepted();
+        s.record_shed();
+        s.record_killed_malformed();
+        s.record_timed_out();
+        s.record_frames_in(10);
+        s.record_frames_out(7);
+        assert_eq!((s.accepted(), s.shed(), s.killed_malformed(), s.timed_out()), (2, 1, 1, 1));
+        assert_eq!((s.frames_in(), s.frames_out()), (10, 7));
+        assert_eq!(
+            s.to_string(),
+            "accepted=2 shed=1 killed_malformed=1 timed_out=1 frames_in=10 frames_out=7"
+        );
+        let t = ServeStats::new();
+        t.record_shed();
+        t.merge_from(&s);
+        assert_eq!((t.accepted(), t.shed()), (2, 2));
+        assert_eq!((t.frames_in(), t.frames_out()), (10, 7));
+        t.reset();
+        assert_eq!((t.accepted(), t.shed(), t.killed_malformed(), t.timed_out()), (0, 0, 0, 0));
+        assert_eq!((t.frames_in(), t.frames_out()), (0, 0));
+    }
+
+    #[test]
+    fn serve_per_connection_merge_sums_exactly() {
+        // Per-connection ServeStats merged once at connection end must sum
+        // exactly under concurrency — the daemon's `--stats` totals are
+        // only trustworthy if no frame is lost or double-counted.
+        let shared = std::sync::Arc::new(ServeStats::new());
+        std::thread::scope(|scope| {
+            for w in 0..8u64 {
+                let shared = std::sync::Arc::clone(&shared);
+                scope.spawn(move || {
+                    let local = ServeStats::new();
+                    local.record_accepted();
+                    for i in 0..500 {
+                        local.record_frames_in(w + i);
+                        local.record_frames_out(1);
+                    }
+                    if w % 2 == 0 {
+                        local.record_killed_malformed();
+                    } else {
+                        local.record_timed_out();
+                    }
+                    shared.merge_from(&local);
+                });
+            }
+        });
+        assert_eq!(shared.accepted(), 8);
+        assert_eq!(shared.killed_malformed(), 4);
+        assert_eq!(shared.timed_out(), 4);
+        let expected: u64 = (0..8u64).map(|w| (0..500u64).map(|i| w + i).sum::<u64>()).sum();
+        assert_eq!(shared.frames_in(), expected);
+        assert_eq!(shared.frames_out(), 8 * 500);
     }
 
     #[test]

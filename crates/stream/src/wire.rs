@@ -24,6 +24,12 @@
 //! `Hello` expects `HelloAck`, `Flush` expects `FlushAck`, `GatherSketches`
 //! expects `Sketches`, `GatherRound` expects `RoundSketches`; `Batch` and
 //! `Shutdown` are one-way.
+//!
+//! Since v7 the same framing also carries the *front-door* dialect spoken
+//! between `gz serve` and its clients: `ClientHello` expects
+//! `ClientHelloAck`, `UpdateBatch` expects `UpdateAck`, `Query` expects
+//! `QueryResult`; `Busy` and `ErrorReply` are server-initiated terminal
+//! replies (overload shedding and the malformed-frame kill, respectively).
 
 use std::io::{self, Read, Write};
 
@@ -49,8 +55,15 @@ pub const WIRE_MAGIC: [u8; 2] = *b"GZ";
 /// (persist the shard's owned state, acknowledging with the durable batch
 /// sequence number) and `Resync` / `ResyncFrom` (a restarted worker reports
 /// the sequence number its restored state covers, so the coordinator
-/// replays exactly the un-checkpointed tail).
-pub const PROTOCOL_VERSION: u8 = 6;
+/// replays exactly the un-checkpointed tail);
+/// v7 added the front-door frames spoken by `gz serve` clients:
+/// `ClientHello` / `ClientHelloAck` (the daemon handshake, announcing the
+/// universe size and the durably acked update count), `UpdateBatch` /
+/// `UpdateAck` (edge updates in, durable-prefix acknowledgements out),
+/// `Query` / `QueryResult` (connectivity questions answered from a sealed
+/// epoch), `Busy` (typed overload shedding at admission) and `ErrorReply`
+/// (the typed last word before the daemon kills a misbehaving connection).
+pub const PROTOCOL_VERSION: u8 = 7;
 
 /// Upper bound on a frame payload (defensive: a corrupt length header must
 /// not trigger a multi-gigabyte allocation).
@@ -74,6 +87,14 @@ const TAG_CHECKPOINT_SHARD: u8 = 15;
 const TAG_CHECKPOINT_ACK: u8 = 16;
 const TAG_RESYNC: u8 = 17;
 const TAG_RESYNC_FROM: u8 = 18;
+const TAG_CLIENT_HELLO: u8 = 19;
+const TAG_CLIENT_HELLO_ACK: u8 = 20;
+const TAG_UPDATE_BATCH: u8 = 21;
+const TAG_UPDATE_ACK: u8 = 22;
+const TAG_QUERY: u8 = 23;
+const TAG_QUERY_RESULT: u8 = 24;
+const TAG_BUSY: u8 = 25;
+const TAG_ERROR_REPLY: u8 = 26;
 
 /// On-wire sentinel for "no epoch" in [`WireMessage::GatherRound`]: the
 /// gather reads the live (flushed) state, the pre-v4 behavior.
@@ -87,6 +108,63 @@ pub struct SketchEntry {
     pub node: u32,
     /// Serialized sketch payload.
     pub bytes: Vec<u8>,
+}
+
+/// One edge update as a front-door client ships it: the two endpoints plus
+/// the insert/delete flag. Kept explicit (9 bytes on the wire) rather than
+/// bit-packed — the serve daemon validates endpoints against its universe
+/// before anything touches a sketch, so the codec carries exactly what the
+/// client said.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WireUpdate {
+    /// First endpoint.
+    pub u: u32,
+    /// Second endpoint.
+    pub v: u32,
+    /// `true` for a deletion, `false` for an insertion.
+    pub is_delete: bool,
+}
+
+/// What a front-door [`WireMessage::Query`] asks for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueryKind {
+    /// The number of connected components.
+    NumComponents,
+    /// The full per-vertex component labeling.
+    Components,
+    /// The spanning forest witnessing the components.
+    SpanningForest,
+}
+
+impl QueryKind {
+    fn code(self) -> u8 {
+        match self {
+            QueryKind::NumComponents => 0,
+            QueryKind::Components => 1,
+            QueryKind::SpanningForest => 2,
+        }
+    }
+
+    fn from_code(code: u8) -> io::Result<QueryKind> {
+        match code {
+            0 => Ok(QueryKind::NumComponents),
+            1 => Ok(QueryKind::Components),
+            2 => Ok(QueryKind::SpanningForest),
+            other => Err(invalid(format!("unknown query kind {other}"))),
+        }
+    }
+}
+
+/// The answer inside a [`WireMessage::QueryResult`], mirroring
+/// [`QueryKind`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QueryAnswer {
+    /// Number of connected components.
+    NumComponents(u64),
+    /// Component label per vertex, indexed by vertex id.
+    Components(Vec<u32>),
+    /// Spanning-forest edges as `(u, v)` pairs.
+    SpanningForest(Vec<(u32, u32)>),
 }
 
 /// A message of the coordinator ↔ shard-worker protocol.
@@ -195,8 +273,67 @@ pub enum WireMessage {
         seq: u64,
     },
     /// Coordinator → worker: close the connection; the worker exits its
-    /// event loop.
+    /// event loop. On a `gz serve` connection the same frame is the
+    /// client's clean goodbye — it closes that connection, never the
+    /// daemon.
     Shutdown,
+    /// Client → serve daemon: opening handshake of the front-door dialect.
+    /// Carries nothing: unlike a shard worker, a client does not need to
+    /// share sketch parameters — updates and answers are plain vertex ids.
+    ClientHello,
+    /// Serve daemon → client: handshake accepted. Announces the universe
+    /// size (so the client can validate vertex ids locally) and the number
+    /// of updates the daemon has durably acked so far — after a `--resume`
+    /// restart this is where a reconnecting client learns which prefix of
+    /// its stream survived.
+    ClientHelloAck {
+        /// Vertex universe size.
+        num_nodes: u64,
+        /// Updates durably acknowledged so far.
+        acked: u64,
+    },
+    /// Client → serve daemon: a batch of edge updates to ingest. Answered
+    /// with [`WireMessage::UpdateAck`] once the whole batch is durable, or
+    /// [`WireMessage::ErrorReply`] (and a dead connection) if any update is
+    /// malformed — a batch is applied entirely or not at all.
+    UpdateBatch {
+        /// The edge updates, in stream order.
+        updates: Vec<WireUpdate>,
+    },
+    /// Serve daemon → client: every update up to and including the last
+    /// [`WireMessage::UpdateBatch`] is durable and applied.
+    UpdateAck {
+        /// Total updates durably acknowledged on this daemon so far.
+        acked: u64,
+    },
+    /// Client → serve daemon: a connectivity question, answered from a
+    /// sealed epoch so it never stalls (or is stalled by) ingestion.
+    Query {
+        /// What to compute.
+        kind: QueryKind,
+    },
+    /// Serve daemon → client: the answer to a [`WireMessage::Query`].
+    QueryResult {
+        /// The answer, in the shape the query kind asked for.
+        answer: QueryAnswer,
+    },
+    /// Serve daemon → client: the daemon is at its `--max-clients` limit.
+    /// Sent instead of a handshake, after which the connection closes —
+    /// typed shedding, never accept-then-stall.
+    Busy {
+        /// Connections currently being served.
+        active: u32,
+        /// The configured admission limit.
+        max_clients: u32,
+    },
+    /// Serve daemon → client: a typed description of why the daemon is
+    /// about to kill this connection (malformed frame, out-of-range vertex,
+    /// unexpected message). Best-effort — a client that already vanished
+    /// simply misses it; the daemon keeps serving everyone else.
+    ErrorReply {
+        /// Human-readable reason.
+        message: String,
+    },
 }
 
 fn invalid(msg: impl Into<String>) -> io::Error {
@@ -252,6 +389,14 @@ impl WireMessage {
             WireMessage::Resync => TAG_RESYNC,
             WireMessage::ResyncFrom { .. } => TAG_RESYNC_FROM,
             WireMessage::Shutdown => TAG_SHUTDOWN,
+            WireMessage::ClientHello => TAG_CLIENT_HELLO,
+            WireMessage::ClientHelloAck { .. } => TAG_CLIENT_HELLO_ACK,
+            WireMessage::UpdateBatch { .. } => TAG_UPDATE_BATCH,
+            WireMessage::UpdateAck { .. } => TAG_UPDATE_ACK,
+            WireMessage::Query { .. } => TAG_QUERY,
+            WireMessage::QueryResult { .. } => TAG_QUERY_RESULT,
+            WireMessage::Busy { .. } => TAG_BUSY,
+            WireMessage::ErrorReply { .. } => TAG_ERROR_REPLY,
         }
     }
 
@@ -272,6 +417,19 @@ impl WireMessage {
             WireMessage::RoundSketches { entries, .. } => {
                 8 + entries.iter().map(|e| 8 + e.bytes.len()).sum::<usize>()
             }
+            WireMessage::ClientHelloAck { .. } => 16,
+            WireMessage::UpdateBatch { updates } => 4 + 9 * updates.len(),
+            WireMessage::UpdateAck { .. } => 8,
+            WireMessage::Query { .. } => 1,
+            WireMessage::QueryResult { answer } => {
+                1 + match answer {
+                    QueryAnswer::NumComponents(_) => 8,
+                    QueryAnswer::Components(labels) => 4 + 4 * labels.len(),
+                    QueryAnswer::SpanningForest(edges) => 4 + 8 * edges.len(),
+                }
+            }
+            WireMessage::Busy { .. } => 8,
+            WireMessage::ErrorReply { message } => 4 + message.len(),
             WireMessage::Flush
             | WireMessage::FlushAck
             | WireMessage::GatherSketches
@@ -279,7 +437,8 @@ impl WireMessage {
             | WireMessage::EpochReleased
             | WireMessage::CheckpointShard
             | WireMessage::Resync
-            | WireMessage::Shutdown => 0,
+            | WireMessage::Shutdown
+            | WireMessage::ClientHello => 0,
         }
     }
 
@@ -314,6 +473,51 @@ impl WireMessage {
                 out.extend_from_slice(&(entries.len() as u32).to_le_bytes());
                 encode_entries(entries, out);
             }
+            WireMessage::ClientHelloAck { num_nodes, acked } => {
+                out.extend_from_slice(&num_nodes.to_le_bytes());
+                out.extend_from_slice(&acked.to_le_bytes());
+            }
+            WireMessage::UpdateBatch { updates } => {
+                out.extend_from_slice(&(updates.len() as u32).to_le_bytes());
+                for upd in updates {
+                    out.extend_from_slice(&upd.u.to_le_bytes());
+                    out.extend_from_slice(&upd.v.to_le_bytes());
+                    out.push(upd.is_delete as u8);
+                }
+            }
+            WireMessage::UpdateAck { acked } => {
+                out.extend_from_slice(&acked.to_le_bytes());
+            }
+            WireMessage::Query { kind } => out.push(kind.code()),
+            WireMessage::QueryResult { answer } => match answer {
+                QueryAnswer::NumComponents(n) => {
+                    out.push(0);
+                    out.extend_from_slice(&n.to_le_bytes());
+                }
+                QueryAnswer::Components(labels) => {
+                    out.push(1);
+                    out.extend_from_slice(&(labels.len() as u32).to_le_bytes());
+                    for label in labels {
+                        out.extend_from_slice(&label.to_le_bytes());
+                    }
+                }
+                QueryAnswer::SpanningForest(edges) => {
+                    out.push(2);
+                    out.extend_from_slice(&(edges.len() as u32).to_le_bytes());
+                    for (u, v) in edges {
+                        out.extend_from_slice(&u.to_le_bytes());
+                        out.extend_from_slice(&v.to_le_bytes());
+                    }
+                }
+            },
+            WireMessage::Busy { active, max_clients } => {
+                out.extend_from_slice(&active.to_le_bytes());
+                out.extend_from_slice(&max_clients.to_le_bytes());
+            }
+            WireMessage::ErrorReply { message } => {
+                out.extend_from_slice(&(message.len() as u32).to_le_bytes());
+                out.extend_from_slice(message.as_bytes());
+            }
             WireMessage::Flush
             | WireMessage::FlushAck
             | WireMessage::GatherSketches
@@ -321,7 +525,8 @@ impl WireMessage {
             | WireMessage::EpochReleased
             | WireMessage::CheckpointShard
             | WireMessage::Resync
-            | WireMessage::Shutdown => {}
+            | WireMessage::Shutdown
+            | WireMessage::ClientHello => {}
         }
     }
 
@@ -423,6 +628,68 @@ impl WireMessage {
             TAG_RESYNC => WireMessage::Resync,
             TAG_RESYNC_FROM => WireMessage::ResyncFrom { seq: cur.u64()? },
             TAG_SHUTDOWN => WireMessage::Shutdown,
+            TAG_CLIENT_HELLO => WireMessage::ClientHello,
+            TAG_CLIENT_HELLO_ACK => {
+                WireMessage::ClientHelloAck { num_nodes: cur.u64()?, acked: cur.u64()? }
+            }
+            TAG_UPDATE_BATCH => {
+                let count = cur.u32()? as usize;
+                // Updates are 9 bytes each; a count the remaining payload
+                // cannot hold is a lie — refuse before allocating.
+                if count > cur.remaining() / 9 {
+                    return Err(invalid("update count exceeds remaining payload"));
+                }
+                let mut updates = Vec::with_capacity(count);
+                for _ in 0..count {
+                    let u = cur.u32()?;
+                    let v = cur.u32()?;
+                    let is_delete = match cur.take(1)?[0] {
+                        0 => false,
+                        1 => true,
+                        flag => return Err(invalid(format!("bad update flag {flag}"))),
+                    };
+                    updates.push(WireUpdate { u, v, is_delete });
+                }
+                WireMessage::UpdateBatch { updates }
+            }
+            TAG_UPDATE_ACK => WireMessage::UpdateAck { acked: cur.u64()? },
+            TAG_QUERY => WireMessage::Query { kind: QueryKind::from_code(cur.take(1)?[0])? },
+            TAG_QUERY_RESULT => {
+                let answer = match cur.take(1)?[0] {
+                    0 => QueryAnswer::NumComponents(cur.u64()?),
+                    1 => {
+                        let count = cur.u32()? as usize;
+                        if count > cur.remaining() / 4 {
+                            return Err(invalid("label count exceeds remaining payload"));
+                        }
+                        let labels =
+                            (0..count).map(|_| cur.u32()).collect::<io::Result<Vec<u32>>>()?;
+                        QueryAnswer::Components(labels)
+                    }
+                    2 => {
+                        let count = cur.u32()? as usize;
+                        if count > cur.remaining() / 8 {
+                            return Err(invalid("edge count exceeds remaining payload"));
+                        }
+                        let edges = (0..count)
+                            .map(|_| Ok((cur.u32()?, cur.u32()?)))
+                            .collect::<io::Result<Vec<(u32, u32)>>>()?;
+                        QueryAnswer::SpanningForest(edges)
+                    }
+                    other => return Err(invalid(format!("unknown query answer kind {other}"))),
+                };
+                WireMessage::QueryResult { answer }
+            }
+            TAG_BUSY => WireMessage::Busy { active: cur.u32()?, max_clients: cur.u32()? },
+            TAG_ERROR_REPLY => {
+                let len = cur.u32()? as usize;
+                if len > cur.remaining() {
+                    return Err(invalid("error message length exceeds remaining payload"));
+                }
+                let message = String::from_utf8(cur.take(len)?.to_vec())
+                    .map_err(|_| invalid("error message is not valid UTF-8"))?;
+                WireMessage::ErrorReply { message }
+            }
             other => return Err(invalid(format!("unknown message tag {other}"))),
         };
         if cur.at != payload.len() {
@@ -452,6 +719,14 @@ impl WireMessage {
             WireMessage::Resync => "Resync",
             WireMessage::ResyncFrom { .. } => "ResyncFrom",
             WireMessage::Shutdown => "Shutdown",
+            WireMessage::ClientHello => "ClientHello",
+            WireMessage::ClientHelloAck { .. } => "ClientHelloAck",
+            WireMessage::UpdateBatch { .. } => "UpdateBatch",
+            WireMessage::UpdateAck { .. } => "UpdateAck",
+            WireMessage::Query { .. } => "Query",
+            WireMessage::QueryResult { .. } => "QueryResult",
+            WireMessage::Busy { .. } => "Busy",
+            WireMessage::ErrorReply { .. } => "ErrorReply",
         }
     }
 }
@@ -539,6 +814,28 @@ mod tests {
             WireMessage::Resync,
             WireMessage::ResyncFrom { seq: 12345 },
             WireMessage::Shutdown,
+            WireMessage::ClientHello,
+            WireMessage::ClientHelloAck { num_nodes: 1 << 40, acked: u64::MAX },
+            WireMessage::UpdateBatch {
+                updates: vec![
+                    WireUpdate { u: 0, v: u32::MAX, is_delete: false },
+                    WireUpdate { u: 7, v: 9, is_delete: true },
+                ],
+            },
+            WireMessage::UpdateBatch { updates: vec![] },
+            WireMessage::UpdateAck { acked: 0 },
+            WireMessage::UpdateAck { acked: u64::MAX },
+            WireMessage::Query { kind: QueryKind::NumComponents },
+            WireMessage::Query { kind: QueryKind::Components },
+            WireMessage::Query { kind: QueryKind::SpanningForest },
+            WireMessage::QueryResult { answer: QueryAnswer::NumComponents(3) },
+            WireMessage::QueryResult { answer: QueryAnswer::Components(vec![0, 0, 2, 2]) },
+            WireMessage::QueryResult { answer: QueryAnswer::Components(vec![]) },
+            WireMessage::QueryResult { answer: QueryAnswer::SpanningForest(vec![(0, 1), (1, 2)]) },
+            WireMessage::QueryResult { answer: QueryAnswer::SpanningForest(vec![]) },
+            WireMessage::Busy { active: 64, max_clients: 64 },
+            WireMessage::ErrorReply { message: "vertex 9 out of range".to_string() },
+            WireMessage::ErrorReply { message: String::new() },
         ];
         for msg in msgs {
             assert_eq!(round_trip(msg.clone()), msg, "{}", msg.name());
@@ -744,5 +1041,90 @@ mod tests {
             let long = frame(tag, &[0u8; 12]);
             assert!(WireMessage::read_from(&mut &long[..]).is_err(), "tag {tag} long");
         }
+    }
+
+    fn serve_frame(tag: u8, payload: &[u8]) -> Vec<u8> {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&WIRE_MAGIC);
+        buf.push(PROTOCOL_VERSION);
+        buf.push(tag);
+        buf.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        buf.extend_from_slice(payload);
+        buf
+    }
+
+    #[test]
+    fn serve_frames_reject_malformed_payloads() {
+        // UpdateBatch claiming more updates than the payload can hold.
+        let mut payload = Vec::new();
+        payload.extend_from_slice(&u32::MAX.to_le_bytes());
+        let buf = serve_frame(TAG_UPDATE_BATCH, &payload);
+        let err = WireMessage::read_from(&mut &buf[..]).unwrap_err();
+        assert!(err.to_string().contains("update count exceeds remaining payload"), "got: {err}");
+
+        // An is_delete flag outside {0, 1} is a malformed frame, not a bool.
+        let mut payload = Vec::new();
+        payload.extend_from_slice(&1u32.to_le_bytes());
+        payload.extend_from_slice(&0u32.to_le_bytes());
+        payload.extend_from_slice(&1u32.to_le_bytes());
+        payload.push(2);
+        let buf = serve_frame(TAG_UPDATE_BATCH, &payload);
+        let err = WireMessage::read_from(&mut &buf[..]).unwrap_err();
+        assert!(err.to_string().contains("bad update flag"), "got: {err}");
+
+        // Query with an unknown kind code.
+        let buf = serve_frame(TAG_QUERY, &[9]);
+        let err = WireMessage::read_from(&mut &buf[..]).unwrap_err();
+        assert!(err.to_string().contains("unknown query kind"), "got: {err}");
+
+        // QueryResult with an unknown answer kind.
+        let buf = serve_frame(TAG_QUERY_RESULT, &[7, 0, 0, 0, 0, 0, 0, 0, 0]);
+        let err = WireMessage::read_from(&mut &buf[..]).unwrap_err();
+        assert!(err.to_string().contains("unknown query answer kind"), "got: {err}");
+
+        // QueryResult label / edge counts lying about the remaining bytes.
+        let mut payload = vec![1u8];
+        payload.extend_from_slice(&u32::MAX.to_le_bytes());
+        let buf = serve_frame(TAG_QUERY_RESULT, &payload);
+        let err = WireMessage::read_from(&mut &buf[..]).unwrap_err();
+        assert!(err.to_string().contains("label count exceeds remaining payload"), "got: {err}");
+
+        let mut payload = vec![2u8];
+        payload.extend_from_slice(&2u32.to_le_bytes());
+        payload.extend_from_slice(&[0u8; 8]); // room for one edge, claims two
+        let buf = serve_frame(TAG_QUERY_RESULT, &payload);
+        let err = WireMessage::read_from(&mut &buf[..]).unwrap_err();
+        assert!(err.to_string().contains("edge count exceeds remaining payload"), "got: {err}");
+
+        // ErrorReply whose length field overruns the payload.
+        let mut payload = Vec::new();
+        payload.extend_from_slice(&100u32.to_le_bytes());
+        payload.extend_from_slice(b"short");
+        let buf = serve_frame(TAG_ERROR_REPLY, &payload);
+        let err = WireMessage::read_from(&mut &buf[..]).unwrap_err();
+        assert!(
+            err.to_string().contains("error message length exceeds remaining payload"),
+            "got: {err}"
+        );
+
+        // ErrorReply carrying bytes that are not UTF-8.
+        let mut payload = Vec::new();
+        payload.extend_from_slice(&2u32.to_le_bytes());
+        payload.extend_from_slice(&[0xFF, 0xFE]);
+        let buf = serve_frame(TAG_ERROR_REPLY, &payload);
+        let err = WireMessage::read_from(&mut &buf[..]).unwrap_err();
+        assert!(err.to_string().contains("not valid UTF-8"), "got: {err}");
+
+        // Fixed-size serve frames truncate / trail like any other.
+        for (tag, len) in
+            [(TAG_CLIENT_HELLO_ACK, 16usize), (TAG_UPDATE_ACK, 8), (TAG_BUSY, 8), (TAG_QUERY, 1)]
+        {
+            let short = serve_frame(tag, &vec![0u8; len - 1]);
+            assert!(WireMessage::read_from(&mut &short[..]).is_err(), "tag {tag} short");
+            let long = serve_frame(tag, &vec![0u8; len + 1]);
+            assert!(WireMessage::read_from(&mut &long[..]).is_err(), "tag {tag} long");
+        }
+        let hello = serve_frame(TAG_CLIENT_HELLO, &[0]);
+        assert!(WireMessage::read_from(&mut &hello[..]).is_err(), "ClientHello trailing byte");
     }
 }
